@@ -1,0 +1,32 @@
+"""Table I: the list of embedded Android devices tested.
+
+Regenerates the device roster from the profile data and validates that
+every firmware boots with its drivers and HAL services.
+"""
+
+from repro.analysis.tables import render_table
+from repro.device.device import AndroidDevice
+from repro.device.profiles import DEVICE_PROFILES
+
+
+def build_fleet():
+    return [AndroidDevice(profile) for profile in DEVICE_PROFILES]
+
+
+def test_table1_device_roster(benchmark, artifact):
+    devices = benchmark.pedantic(build_fleet, rounds=1, iterations=1)
+    rows = []
+    for device in devices:
+        profile = device.profile
+        rows.append([profile.ident, profile.name, profile.vendor,
+                     profile.arch, profile.aosp, profile.kernel,
+                     len(profile.drivers), len(profile.hals)])
+    text = render_table(
+        ["ID", "Device", "Vendor", "Arch.", "AOSP", "Kernel",
+         "Drivers", "HALs"],
+        rows, title="Table I: List of Embedded Android Devices Tested")
+    artifact("table1_devices.txt", text)
+    assert len(devices) == 7
+    for device in devices:
+        assert device.kernel.device_paths()
+        assert device.hal_services()

@@ -1,0 +1,77 @@
+"""Table III: ablation coverage statistics (48h).
+
+The paper compares DroidFuzz against DroidFuzz-NoRel (relational
+payload generation disabled → randomized dependency generation) and
+DroidFuzz-NoHCov (HAL directional coverage removed from the feedback),
+with Syzkaller as the floor, across all seven devices.
+
+Expected shape: DF > DF-NoHCov ≥ DF-NoRel ≳ Syzkaller on most devices,
+with both ablations still beating Syzkaller — HAL access alone already
+produces more meaningful kernel workloads.
+"""
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import render_table
+from repro.baselines import make_engine
+from repro.device.device import AndroidDevice
+from repro.device.profiles import DEVICE_PROFILES
+
+from conftest import env_float, env_int
+
+TOOLS = ("droidfuzz", "df-norel", "df-nohcov", "syzkaller")
+
+
+def run_grid(hours: float, repeats: int):
+    results = {}
+    for profile in DEVICE_PROFILES:
+        for tool in TOOLS:
+            finals = []
+            for seed in range(repeats):
+                device = AndroidDevice(profile)
+                engine = make_engine(tool, device, seed=seed,
+                                     campaign_hours=hours)
+                finals.append(float(engine.run().kernel_coverage))
+            results[(profile.ident, tool)] = finals
+    return results
+
+
+def test_table3_ablations(benchmark, artifact):
+    hours = env_float("REPRO_BENCH_HOURS", 48.0)
+    repeats = env_int("REPRO_BENCH_REPEATS", 2)
+    results = benchmark.pedantic(run_grid, args=(hours, repeats),
+                                 rounds=1, iterations=1)
+
+    rows = []
+    wins = {tool: 0 for tool in TOOLS}
+    for profile in DEVICE_PROFILES:
+        ident = profile.ident
+        values = {tool: mean(results[(ident, tool)]) for tool in TOOLS}
+        best = max(values, key=values.get)
+        wins[best] += 1
+        rows.append([ident] + [f"{values[tool]:.0f}" for tool in TOOLS])
+    text = render_table(
+        ["Device", "DroidFuzz", "DF-NoRel", "DF-NoHCov", "Syzkaller"],
+        rows,
+        title=f"Table III: ablation coverage statistics "
+              f"({hours:.0f} virtual hours, mean of {repeats} seeds)")
+    text += ("\n\nPaper shape: full DroidFuzz highest on every device; "
+             "both ablations above Syzkaller on most devices.\n"
+             f"Devices won: {wins}")
+    artifact("table3_ablation.txt", text)
+
+    if hours < 24:
+        return  # shape assertions need a realistic budget
+    df_better = 0
+    ablations_above_syz = 0
+    for profile in DEVICE_PROFILES:
+        ident = profile.ident
+        df = mean(results[(ident, "droidfuzz")])
+        norel = mean(results[(ident, "df-norel")])
+        nohcov = mean(results[(ident, "df-nohcov")])
+        syz = mean(results[(ident, "syzkaller")])
+        df_better += df >= max(norel, nohcov, syz) * 0.98
+        ablations_above_syz += (norel > syz) + (nohcov > syz)
+    # DroidFuzz (near-)best on most devices; ablations usually beat
+    # Syzkaller (14 comparisons total).
+    assert df_better >= 5
+    assert ablations_above_syz >= 9

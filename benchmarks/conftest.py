@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Campaign
+scale is controlled by environment variables so a quick smoke run and a
+full reproduction use the same code:
+
+* ``REPRO_BENCH_HOURS``   — virtual hours per campaign (default: the
+  paper's duration for that experiment, which the benches pick).
+* ``REPRO_BENCH_REPEATS`` — repetitions per configuration (paper: 10;
+  default here: 3 for figures, 2 seeds for the bug table).
+
+Outputs are printed and persisted under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text)
+
+
+@pytest.fixture
+def artifact():
+    """Print and persist a rendered artifact."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        save_artifact(name, text)
+
+    return _emit

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Inject the rendered benchmark artifacts into EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only``: replaces each
+``<!-- XXX_RESULTS -->`` marker with the corresponding artifact from
+``benchmarks/out/`` wrapped in a code fence.
+"""
+
+import pathlib
+
+HERE = pathlib.Path(__file__).parent
+EXPERIMENTS = HERE.parent / "EXPERIMENTS.md"
+
+MARKERS = {
+    "<!-- TABLE2_RESULTS -->": "table2_bugs.txt",
+    "<!-- FIG4_RESULTS -->": "fig4_coverage.txt",
+    "<!-- FIG5_RESULTS -->": "fig5_difuze.txt",
+    "<!-- TABLE3_RESULTS -->": "table3_ablation.txt",
+}
+
+
+def main() -> int:
+    text = EXPERIMENTS.read_text()
+    for marker, artifact_name in MARKERS.items():
+        artifact = HERE / "out" / artifact_name
+        if marker not in text:
+            print(f"marker missing (already filled?): {marker}")
+            continue
+        if not artifact.exists():
+            print(f"artifact missing, keeping marker: {artifact}")
+            continue
+        block = f"```\n{artifact.read_text().rstrip()}\n```"
+        text = text.replace(marker, block)
+        print(f"filled {marker} from {artifact_name}")
+    EXPERIMENTS.write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Ablation study on one device (paper §V-D, Table III).
+
+Runs DroidFuzz, DroidFuzz-NoRel, DroidFuzz-NoHCov, Syzkaller-lite and
+Difuze-lite on one device and renders the coverage-over-time comparison
+as an ASCII chart plus a summary table.
+
+Usage::
+
+    python examples/ablation_study.py [device-id] [virtual-hours]
+"""
+
+import sys
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import render_table
+from repro.baselines import TOOLS, make_engine
+from repro.device import AndroidDevice, profile_by_id
+
+
+def main() -> None:
+    ident = sys.argv[1] if len(sys.argv) > 1 else "A1"
+    hours = float(sys.argv[2]) if len(sys.argv) > 2 else 12.0
+
+    series = {}
+    rows = []
+    for tool in TOOLS:
+        device = AndroidDevice(profile_by_id(ident))
+        engine = make_engine(tool, device, seed=0, campaign_hours=hours)
+        print(f"running {tool} for {hours:g} virtual hours ...", flush=True)
+        result = engine.run()
+        series[tool] = [(t, float(c)) for t, c in result.timeline]
+        rows.append([tool, result.kernel_coverage, result.executions,
+                     len(result.bugs), result.corpus_size])
+
+    print()
+    print(ascii_chart(series, title=f"Kernel coverage on {ident} over "
+                                    f"{hours:g} virtual hours"))
+    print()
+    print(render_table(
+        ["Tool", "Coverage", "Executions", "Bugs", "Corpus"], rows,
+        title=f"Ablation summary on {ident}"))
+
+
+if __name__ == "__main__":
+    main()

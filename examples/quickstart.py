@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz one virtual embedded Android device with DroidFuzz.
+
+Boots the Xiaomi A1 dev-board profile, runs the pre-testing HAL probing
+pass plus a short fuzzing campaign, and prints what was learned and
+found.  Runs in well under a minute.
+
+Usage::
+
+    python examples/quickstart.py [device-id] [virtual-hours]
+"""
+
+import sys
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device import AndroidDevice, profile_by_id
+
+
+def main() -> None:
+    ident = sys.argv[1] if len(sys.argv) > 1 else "A1"
+    hours = float(sys.argv[2]) if len(sys.argv) > 2 else 6.0
+
+    profile = profile_by_id(ident)
+    print(f"Booting {profile.ident}: {profile.vendor} {profile.name} "
+          f"(AOSP {profile.aosp}, kernel {profile.kernel})")
+    device = AndroidDevice(profile)
+    print(f"  device files: {', '.join(device.kernel.device_paths())}")
+    print(f"  HAL services: {', '.join(device.hal_services())}")
+
+    config = FuzzerConfig(seed=0, campaign_hours=hours)
+    print(f"\nProbing HALs and fuzzing for {hours:g} virtual hours ...")
+    engine = FuzzingEngine(device, config)
+    print(f"  probed {engine.hal_model.interface_count()} HAL interfaces")
+
+    result = engine.run()
+
+    print(f"\nCampaign finished: {result.executions} programs executed, "
+          f"{result.reboots} reboots")
+    print(f"  kernel coverage: {result.kernel_coverage} blocks "
+          f"(joint with HAL feedback: {result.joint_coverage})")
+    print(f"  corpus: {result.corpus_size} seeds, "
+          f"{engine.relations.edge_count()} learned relations")
+    print("  per-driver coverage:")
+    totals = result.driver_totals
+    for driver, blocks in sorted(result.per_driver.items()):
+        print(f"    {driver:<14s} {blocks:4d} / ~{totals.get(driver, '?')}")
+
+    if result.bugs:
+        print(f"\n{len(result.bugs)} bug(s) found:")
+        for bug in result.bugs:
+            hours_in = bug.first_clock / 3600.0
+            print(f"  [{bug.component}] {bug.title} "
+                  f"(at {hours_in:.1f}h, seen {bug.count}x)")
+            if bug.reproducer:
+                for line in bug.reproducer.splitlines():
+                    print(f"      {line}")
+    else:
+        print("\nNo bugs found in this short run — try more hours or "
+              "another seed.")
+
+
+if __name__ == "__main__":
+    main()

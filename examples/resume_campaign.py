@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Persistent campaigns: save the daemon state, resume, keep fuzzing.
+
+The paper's Daemon maintains persistent data — the seed corpus, overall
+coverage statistics and the relation table (§IV-A).  This example runs a
+short campaign, persists that state, then resumes it in a brand-new
+engine on a freshly booted device and shows the head start it gets.
+
+Usage::
+
+    python examples/resume_campaign.py [device-id]
+"""
+
+import sys
+import tempfile
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.core.state import load_state, save_state
+from repro.device import AndroidDevice, profile_by_id
+
+
+def main() -> None:
+    ident = sys.argv[1] if len(sys.argv) > 1 else "C1"
+    profile = profile_by_id(ident)
+
+    print(f"Session 1: fuzz {ident} for 6 virtual hours ...")
+    device = AndroidDevice(profile)
+    engine = FuzzingEngine(device, FuzzerConfig(seed=0, campaign_hours=6.0))
+    result = engine.run()
+    print(f"  coverage {result.kernel_coverage}, corpus "
+          f"{result.corpus_size}, relations "
+          f"{engine.relations.edge_count()} edges")
+
+    state_dir = tempfile.mkdtemp(prefix="droidfuzz-state-")
+    save_state(engine, state_dir)
+    print(f"  state saved to {state_dir}")
+
+    print("\nSession 2: fresh engine + device, state restored ...")
+    device2 = AndroidDevice(profile)
+    engine2 = FuzzingEngine(device2, FuzzerConfig(seed=1,
+                                                  campaign_hours=6.0))
+    load_state(engine2, state_dir)
+    print(f"  restored corpus {len(engine2.corpus)}, "
+          f"{engine2.relations.edge_count()} relation edges, "
+          f"{engine2.coverage.kernel_total()} known kernel blocks")
+    result2 = engine2.run()
+    print(f"  after 6 more virtual hours: coverage "
+          f"{result2.kernel_coverage} (cumulative over both sessions)")
+
+    print("\nCold-start control (same budget, no state):")
+    device3 = AndroidDevice(profile)
+    engine3 = FuzzingEngine(device3, FuzzerConfig(seed=1,
+                                                  campaign_hours=6.0))
+    result3 = engine3.run()
+    print(f"  coverage {result3.kernel_coverage}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: the environment has no `wheel` package and no network, so
+PEP 660 editable installs (which build a wheel) cannot work.  This shim
+lets `pip install -e . --no-build-isolation` use the legacy
+`setup.py develop` path instead.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

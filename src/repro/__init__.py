@@ -1,0 +1,21 @@
+"""DroidFuzz reproduction: proprietary driver fuzzing for embedded
+Android devices, on a fully virtual device substrate.
+
+Public entry points:
+
+* :class:`repro.device.AndroidDevice` / :func:`repro.device.profile_by_id`
+  — boot one of the paper's seven devices (Table I).
+* :class:`repro.core.engine.FuzzingEngine` +
+  :class:`repro.core.config.FuzzerConfig` — run a DroidFuzz campaign.
+* :func:`repro.baselines.make_engine` — any evaluation tool by name
+  (``droidfuzz``, ``droidfuzz-d``, ``df-norel``, ``df-nohcov``,
+  ``syzkaller``, ``difuze``).
+
+See README.md for a tour and DESIGN.md for the paper-to-code map.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

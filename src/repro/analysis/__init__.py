@@ -1,0 +1,9 @@
+"""Evaluation analysis utilities: statistics, tables, plots."""
+
+from repro.analysis.stats import mann_whitney_u, mean, median
+from repro.analysis.tables import render_table
+from repro.analysis.plots import ascii_chart, timeline_csv
+from repro.analysis.coverage import per_driver_increase
+
+__all__ = ["mann_whitney_u", "mean", "median", "render_table",
+           "ascii_chart", "timeline_csv", "per_driver_increase"]

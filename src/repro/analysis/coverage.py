@@ -1,0 +1,36 @@
+"""Per-driver coverage accounting (paper §V-C).
+
+The paper's headline coverage claim is per-driver: "through evaluating
+per-driver coverage in the kernel, DroidFuzz achieves a 17% increase on
+average" over Syzkaller.  These helpers compute that statistic from two
+campaigns' per-driver covered-block maps.
+"""
+
+from __future__ import annotations
+
+
+def per_driver_increase(ours: dict[str, int],
+                        baseline: dict[str, int]) -> dict[str, float]:
+    """Relative per-driver increase of ``ours`` over ``baseline``.
+
+    Drivers the baseline never touched contribute their full relative
+    gain against a floor of one block (they would otherwise divide by
+    zero); drivers neither tool touched are omitted.
+    """
+    out: dict[str, float] = {}
+    for driver in sorted(set(ours) | set(baseline)):
+        a = ours.get(driver, 0)
+        b = baseline.get(driver, 0)
+        if a == 0 and b == 0:
+            continue
+        out[driver] = (a - b) / max(b, 1)
+    return out
+
+
+def average_increase(ours: dict[str, int],
+                     baseline: dict[str, int]) -> float:
+    """Mean of the per-driver relative increases."""
+    increases = per_driver_increase(ours, baseline)
+    if not increases:
+        return 0.0
+    return sum(increases.values()) / len(increases)

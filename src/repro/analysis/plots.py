@@ -1,0 +1,53 @@
+"""Terminal-friendly rendering of coverage-over-time figures.
+
+The benchmark harness regenerates the paper's Figures 4 and 5 as data
+series; this module renders them as ASCII line charts for the terminal
+plus CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+
+def ascii_chart(series: dict[str, list[tuple[float, float]]],
+                width: int = 72, height: int = 18,
+                title: str = "", y_label: str = "coverage") -> str:
+    """Render named (t, y) series as an ASCII chart.
+
+    Each series gets a distinct marker; markers overwrite blanks only,
+    so overlapping curves stay readable.
+    """
+    markers = "*o+x#@%&"
+    points_all = [p for pts in series.values() for p in pts]
+    if not points_all:
+        return f"{title}\n(no data)"
+    t_max = max(p[0] for p in points_all) or 1.0
+    y_max = max(p[1] for p in points_all) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for t, y in points:
+            col = min(int(t / t_max * (width - 1)), width - 1)
+            row = height - 1 - min(int(y / y_max * (height - 1)), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} (max={y_max:.0f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" 0 .. {t_max / 3600.0:.0f} hours")
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(sorted(series)))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def timeline_csv(series: dict[str, list[tuple[float, float]]]) -> str:
+    """CSV form: ``series,seconds,value`` rows."""
+    lines = ["series,seconds,value"]
+    for name in sorted(series):
+        for t, y in series[name]:
+            lines.append(f"{name},{t:.0f},{y:.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Campaign report rendering.
+
+Turns a :class:`CampaignResult` (plus optional engine internals) into a
+human-readable markdown report: headline numbers, coverage by driver,
+the bug ledger with reproducers, and the strongest learned relations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.engine import CampaignResult
+from repro.core.relations import RelationGraph
+
+
+def strongest_relations(relations: RelationGraph,
+                        limit: int = 15) -> list[tuple[str, str, float]]:
+    """The ``limit`` heaviest learned edges, descending."""
+    edges = []
+    for src in relations.vertices():
+        for dst, weight in relations.out_edges(src).items():
+            edges.append((src, dst, weight))
+    edges.sort(key=lambda e: -e[2])
+    return edges[:limit]
+
+
+def campaign_report(result: CampaignResult,
+                    relations: RelationGraph | None = None) -> str:
+    """Render a full markdown campaign report."""
+    lines = [
+        f"# Campaign report: {result.tool} on device {result.device}",
+        "",
+        f"* duration: {result.duration_hours:g} virtual hours "
+        f"(seed {result.seed})",
+        f"* programs executed: {result.executions}",
+        f"* kernel coverage: {result.kernel_coverage} blocks "
+        f"(joint: {result.joint_coverage})",
+        f"* corpus: {result.corpus_size} seeds; "
+        f"probed interfaces: {result.interface_count}; "
+        f"reboots: {result.reboots}",
+        "",
+        "## Coverage by driver",
+        "",
+    ]
+    rows = []
+    for driver in sorted(result.per_driver):
+        covered = result.per_driver[driver]
+        total = result.driver_totals.get(driver, 0)
+        percent = f"{covered / total * 100:.0f}%" if total else "?"
+        rows.append([driver, covered, f"~{total}", percent])
+    lines.append(render_table(["driver", "covered", "blocks", "share"],
+                              rows))
+    lines.append("")
+
+    lines.append(f"## Bugs ({len(result.bugs)})")
+    lines.append("")
+    if not result.bugs:
+        lines.append("none found")
+    for bug in result.bugs:
+        lines.append(f"### [{bug.component}] {bug.title}")
+        lines.append(f"first seen at {bug.first_clock / 3600:.1f}h, "
+                     f"{bug.count} occurrence(s)")
+        if bug.reproducer:
+            lines.append("")
+            lines.append("```")
+            lines.append(bug.reproducer)
+            lines.append("```")
+        lines.append("")
+
+    if relations is not None and relations.edge_count():
+        lines.append("## Strongest learned relations")
+        lines.append("")
+        rows = [[src, "->", dst, f"{weight:.2f}"]
+                for src, dst, weight in strongest_relations(relations)]
+        lines.append(render_table(["call", "", "depends on it", "w"], rows))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Statistical helpers for the evaluation (paper §V-A).
+
+The paper assesses significance with the Mann-Whitney U test over
+repeated campaign runs.  SciPy is used when available; a self-contained
+normal-approximation implementation (with tie correction) backs it so
+the analysis also runs in minimal environments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+try:  # pragma: no cover - environment dependent
+    from scipy.stats import mannwhitneyu as _scipy_mwu
+except ImportError:  # pragma: no cover
+    _scipy_mwu = None
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: list[float]) -> float:
+    """Median (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """U statistic and two-sided p-value."""
+
+    u: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the groups differ at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _rankdata(values: list[float]) -> list[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        avg_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg_rank
+        i = j + 1
+    return ranks
+
+
+def mann_whitney_u(a: list[float], b: list[float]) -> MannWhitneyResult:
+    """Two-sided Mann-Whitney U test.
+
+    Raises:
+        ValueError: either sample is empty.
+    """
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    if _scipy_mwu is not None:
+        result = _scipy_mwu(a, b, alternative="two-sided")
+        return MannWhitneyResult(u=float(result.statistic),
+                                 p_value=float(result.pvalue))
+    n1, n2 = len(a), len(b)
+    ranks = _rankdata(list(a) + list(b))
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    u = min(u1, u2)
+    # Normal approximation with tie correction.
+    combined = list(a) + list(b)
+    n = n1 + n2
+    tie_term = 0.0
+    for value in set(combined):
+        t = combined.count(value)
+        tie_term += t ** 3 - t
+    sigma_sq = (n1 * n2 / 12.0) * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma_sq <= 0:
+        return MannWhitneyResult(u=u, p_value=1.0)
+    mu = n1 * n2 / 2.0
+    z = (u - mu + 0.5) / math.sqrt(sigma_sq)
+    p = 2.0 * 0.5 * math.erfc(abs(z) / math.sqrt(2.0))
+    return MannWhitneyResult(u=u, p_value=min(p, 1.0))

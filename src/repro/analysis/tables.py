@@ -1,0 +1,27 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table (paper-style)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in cells:
+        padded = [cell.ljust(widths[index])
+                  for index, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Baseline fuzzers and DroidFuzz variants for the evaluation.
+
+* :mod:`repro.baselines.syzkaller` — Syzkaller-lite: description-based
+  generation with a *static* choice table plus kcov-guided corpus
+  evolution; syscalls only, no HAL, no relation learning.
+* :mod:`repro.baselines.difuze` — Difuze-lite: static interface
+  extraction plus MangoFuzz-style generation-only ioctl fuzzing, no
+  coverage feedback.
+* :mod:`repro.baselines.variants` — DroidFuzz-D / -NoRel / -NoHCov
+  ablation configurations and the tool factory used by the benchmarks.
+"""
+
+from repro.baselines.syzkaller import SyzkallerEngine
+from repro.baselines.difuze import DifuzeEngine, extract_interfaces
+from repro.baselines.variants import TOOLS, make_engine, config_for
+
+__all__ = ["SyzkallerEngine", "DifuzeEngine", "extract_interfaces",
+           "TOOLS", "make_engine", "config_for"]

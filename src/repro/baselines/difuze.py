@@ -1,0 +1,187 @@
+"""Difuze-lite baseline (commit ``3290997`` in the paper's evaluation).
+
+Difuze performs *interface-aware* kernel-driver fuzzing: a static
+analysis of the firmware recovers each driver's ioctl command values and
+argument structure layouts, and MangoFuzz (built on Peach) generates
+type-aware ``ioctl()`` invocations from those specifications — with no
+coverage feedback and no corpus evolution.
+
+Our surrogate for the static-analysis pass reads the same machine-
+readable interface specs the drivers publish (what Difuze recovers from
+``copy_from_user`` reachability in the real kernel), then runs a
+generation-only campaign restricted to ``openat``/``ioctl``/``close``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.bugs import BugTracker
+from repro.core.config import IOCTL_ONLY_FILTER, FuzzerConfig
+from repro.core.engine import CampaignResult
+from repro.core.exec.broker import ExecutionBroker
+from repro.core.generation.values import gen_field
+from repro.device.adb import AdbConnection
+from repro.device.device import AndroidDevice
+from repro.dsl.descriptions import (
+    DescriptionRegistry,
+    SyscallDesc,
+    build_descriptions,
+)
+from repro.dsl.model import Program, ResourceRef, StructValue, SyscallCall
+
+
+@dataclass(frozen=True)
+class ExtractedInterface:
+    """One recovered ioctl interface (Difuze's static-analysis output)."""
+
+    device_path: str
+    ioctl_name: str
+    request: int
+    arg_kind: str
+    field_count: int
+
+
+def extract_interfaces(device: AndroidDevice) -> list[ExtractedInterface]:
+    """Static-analysis surrogate: recover the ioctl command surface.
+
+    Difuze's static analysis works on the firmware itself, so — unlike
+    public syzlang — it does recover proprietary vendor interfaces.
+    """
+    registry = build_descriptions(device.profile, vendor_interfaces=True)
+    interfaces: list[ExtractedInterface] = []
+    for name in registry.names():
+        desc = registry.get(name)
+        if desc.kind != "ioctl":
+            continue
+        path = next((registry.get(n).path for n in registry.names()
+                     if registry.get(n).kind == "open"
+                     and registry.get(n).driver == desc.driver), "")
+        interfaces.append(ExtractedInterface(
+            device_path=path, ioctl_name=desc.name, request=desc.request,
+            arg_kind=desc.arg, field_count=len(desc.fields)))
+    return interfaces
+
+
+class DifuzeEngine:
+    """Generation-only interface fuzzing campaign."""
+
+    def __init__(self, device: AndroidDevice,
+                 config: FuzzerConfig | None = None, seed: int = 0,
+                 campaign_hours: float = 48.0) -> None:
+        self.device = device
+        self.config = config or FuzzerConfig(
+            name="difuze", seed=seed, campaign_hours=campaign_hours,
+            enable_hal=False, enable_relations=False, enable_hcov=False,
+            ioctl_only=True)
+        self.rng = random.Random(self.config.seed)
+        self.adb = AdbConnection(device)
+        self.registry: DescriptionRegistry = build_descriptions(
+            device.profile, vendor_interfaces=True)
+        self.broker = ExecutionBroker(device, self.registry,
+                                      IOCTL_ONLY_FILTER)
+        self.adb.forward(self.broker.SOCKET_NAME, self.broker.rpc_handler)
+        self.interfaces = extract_interfaces(device)
+        self.bugs = BugTracker(device.profile.ident)
+        self.executions = 0
+        self.reboots = 0
+        self.timeline: list[tuple[float, int]] = []
+        self._kernel_seen: set[int] = set()
+        self._ioctl_by_driver: dict[str, list[SyscallDesc]] = {}
+        for name in self.registry.names():
+            desc = self.registry.get(name)
+            if desc.kind == "ioctl":
+                self._ioctl_by_driver.setdefault(desc.driver, []).append(desc)
+
+    # ------------------------------------------------------------------
+
+    def _open_desc(self, driver: str) -> SyscallDesc | None:
+        for name in self.registry.names():
+            desc = self.registry.get(name)
+            if desc.kind == "open" and desc.driver == driver:
+                return desc
+        return None
+
+    def _generate(self) -> Program:
+        """MangoFuzz-style: open a device, issue 1–4 typed ioctls."""
+        driver = self.rng.choice(sorted(self._ioctl_by_driver))
+        open_desc = self._open_desc(driver)
+        if open_desc is None:
+            driver = next(d for d in sorted(self._ioctl_by_driver)
+                          if self._open_desc(d) is not None)
+            open_desc = self._open_desc(driver)
+        calls: list = [SyscallCall(open_desc.name, (2,))]
+        for _ in range(self.rng.randint(1, 4)):
+            desc = self.rng.choice(self._ioctl_by_driver[driver])
+            arg = self._ioctl_arg(desc)
+            calls.append(SyscallCall(desc.name, (ResourceRef(0), arg)
+                                     if arg is not None
+                                     else (ResourceRef(0),)))
+        program = Program(calls)
+        program.validate()
+        return program
+
+    def _ioctl_arg(self, desc: SyscallDesc):
+        if desc.arg == "none":
+            return None
+        if desc.arg == "int":
+            field = desc.int_kind
+            if field is not None:
+                value = gen_field(self.rng, field)
+                return value if isinstance(value, int) else 0
+            return self.rng.randint(0, 1 << 16)
+        if desc.arg == "buffer":
+            return bytes(self.rng.randint(0, 255)
+                         for _ in range(self.rng.randint(0, 32)))
+        values = {}
+        for field in desc.fields:
+            value = gen_field(self.rng, field)
+            if isinstance(value, ResourceRef):
+                # Difuze has no resource tracking: guess small ints.
+                value = self.rng.randint(0, 8)
+            values[field.name] = value
+        return StructValue(desc.name, values)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run the generation-only campaign."""
+        start = self.device.clock
+        deadline = start + self.config.campaign_hours * 3600.0
+        next_sample = start
+        while self.device.clock < deadline:
+            while next_sample <= self.device.clock:
+                self.timeline.append((next_sample - start,
+                                      len(self._kernel_seen)))
+                next_sample += self.config.sample_interval
+            program = self._generate()
+            raw = self.adb.rpc(self.broker.SOCKET_NAME,
+                               self.broker.wire_program(program))
+            self.executions += 1
+            self._kernel_seen.update(raw["kcov"])
+            if raw["crashes"]:
+                self.bugs.record(raw["crashes"], self.device.clock, program)
+            if raw["needs_reboot"] or (raw["crashes"]
+                                       and self.config.reboot_on_crash):
+                self.adb.shell("reboot")
+                self.broker.on_reboot()
+                self.reboots += 1
+        self.timeline.append((self.config.campaign_hours * 3600.0,
+                              len(self._kernel_seen)))
+        return CampaignResult(
+            tool=self.config.name,
+            device=self.device.profile.ident,
+            seed=self.config.seed,
+            duration_hours=self.config.campaign_hours,
+            timeline=list(self.timeline),
+            bugs=self.bugs.all_reports(),
+            kernel_coverage=len(self._kernel_seen),
+            joint_coverage=len(self._kernel_seen),
+            per_driver=self.device.per_driver_coverage(),
+            driver_totals=self.device.driver_block_estimates(),
+            executions=self.executions,
+            corpus_size=0,
+            interface_count=len(self.interfaces),
+            reboots=self.reboots,
+        )

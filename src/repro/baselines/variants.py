@@ -1,0 +1,63 @@
+"""Tool factory: DroidFuzz, its ablation variants, and the baselines.
+
+One entry point for the benchmark harness: ``make_engine(tool, device)``
+builds a ready-to-run campaign engine for any of the evaluation's six
+tools.
+
+* ``droidfuzz`` — the full system.
+* ``droidfuzz-d`` — §V-C.2: the executors and HALs are restricted to
+  ``open``/``close``/``ioctl`` (seccomp-surrogate filter); used for the
+  like-for-like comparison with Difuze.
+* ``df-norel`` — §V-D.1: relation learning off, randomized dependency
+  generation.
+* ``df-nohcov`` — §V-D.2: HAL directional coverage removed from the
+  feedback (kernel kcov only).
+* ``syzkaller`` — the Syzkaller-lite baseline.
+* ``difuze`` — the Difuze-lite baseline.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.difuze import DifuzeEngine
+from repro.baselines.syzkaller import SyzkallerEngine, syzkaller_config
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice
+
+TOOLS = ("droidfuzz", "droidfuzz-d", "df-norel", "df-nohcov",
+         "syzkaller", "difuze")
+
+
+def config_for(tool: str, seed: int = 0,
+               campaign_hours: float = 48.0) -> FuzzerConfig:
+    """The configuration a tool runs with.
+
+    Raises:
+        ValueError: unknown tool name.
+    """
+    base = FuzzerConfig(name=tool, seed=seed, campaign_hours=campaign_hours)
+    if tool == "droidfuzz":
+        return base
+    if tool == "droidfuzz-d":
+        return base.variant(ioctl_only=True)
+    if tool == "df-norel":
+        return base.variant(enable_relations=False)
+    if tool == "df-nohcov":
+        return base.variant(enable_hcov=False)
+    if tool == "syzkaller":
+        return syzkaller_config(seed=seed, campaign_hours=campaign_hours)
+    if tool == "difuze":
+        return base.variant(enable_hal=False, enable_relations=False,
+                            enable_hcov=False, ioctl_only=True)
+    raise ValueError(f"unknown tool: {tool!r}")
+
+
+def make_engine(tool: str, device: AndroidDevice, seed: int = 0,
+                campaign_hours: float = 48.0):
+    """Build a campaign engine for one tool on one device."""
+    config = config_for(tool, seed=seed, campaign_hours=campaign_hours)
+    if tool == "syzkaller":
+        return SyzkallerEngine(device, config)
+    if tool == "difuze":
+        return DifuzeEngine(device, config)
+    return FuzzingEngine(device, config)

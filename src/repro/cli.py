@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands::
+
+    list-devices              print the Table I fleet
+    probe    <device>         run the pre-testing HAL probing pass
+    fuzz     <device>         run one campaign (tool/seed/hours options)
+    hunt                      fleet-wide bug hunt across all devices
+    compare  <device>         run several tools and compare coverage
+
+Every command operates on the virtual fleet; see README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import render_table
+from repro.baselines import TOOLS, make_engine
+from repro.core.probe import Prober
+from repro.core.state import save_state
+from repro.device.device import AndroidDevice
+from repro.device.profiles import DEVICE_PROFILES, profile_by_id
+
+
+def _cmd_list_devices(_args) -> int:
+    rows = [[p.ident, p.name, p.vendor, p.arch, p.aosp, p.kernel,
+             ", ".join(sorted(p.drivers)), ", ".join(sorted(p.hals))]
+            for p in DEVICE_PROFILES]
+    print(render_table(
+        ["ID", "Device", "Vendor", "Arch", "AOSP", "Kernel", "Drivers",
+         "HALs"], rows, title="Virtual device fleet (paper Table I)"))
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    device = AndroidDevice(profile_by_id(args.device))
+    model = Prober(device).probe(infer_links=not args.no_links)
+    print(f"{model.interface_count()} interfaces probed on {args.device}")
+    for label in model.labels():
+        method = model.methods[label]
+        links = "".join(f"  arg{i}<-{s}.{m}"
+                        for i, (s, m) in sorted(method.links.items()))
+        print(f"  {label:<50} w={method.weight:.2f} "
+              f"({', '.join(method.signature)}){links}")
+    print(f"{len(model.flows)} framework flows distilled")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    device = AndroidDevice(profile_by_id(args.device))
+    engine = make_engine(args.tool, device, seed=args.seed,
+                         campaign_hours=args.hours)
+    result = engine.run()
+    print(f"{args.tool} on {args.device}: coverage "
+          f"{result.kernel_coverage}, {result.executions} executions, "
+          f"{result.reboots} reboots")
+    for bug in result.bugs:
+        print(f"  [{bug.component}] {bug.title} "
+              f"(first at {bug.first_clock / 3600:.1f}h)")
+        if args.repro and bug.reproducer:
+            for line in bug.reproducer.splitlines():
+                print(f"      {line}")
+    if args.state_dir and args.tool not in ("difuze",):
+        save_state(engine, args.state_dir)
+        print(f"state saved to {args.state_dir}")
+    return 0
+
+
+def _cmd_hunt(args) -> int:
+    total = []
+    for profile in DEVICE_PROFILES:
+        for seed in range(args.seeds):
+            device = AndroidDevice(profile)
+            engine = make_engine("droidfuzz", device, seed=seed,
+                                 campaign_hours=args.hours)
+            result = engine.run()
+            print(f"{profile.ident} seed {seed}: "
+                  f"cov {result.kernel_coverage}, "
+                  f"{len(result.bugs)} bug(s)", flush=True)
+            total.extend((profile.ident, b.title, b.component)
+                         for b in result.bugs)
+    unique = sorted(set(total))
+    rows = [[i, ident, title, comp]
+            for i, (ident, title, comp) in enumerate(unique, 1)]
+    print(render_table(["No", "Device", "Bug", "Component"], rows,
+                       title=f"Hunt results ({len(unique)} unique bugs)"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    series = {}
+    rows = []
+    for tool in args.tools:
+        device = AndroidDevice(profile_by_id(args.device))
+        engine = make_engine(tool, device, seed=args.seed,
+                             campaign_hours=args.hours)
+        result = engine.run()
+        series[tool] = [(t, float(c)) for t, c in result.timeline]
+        rows.append([tool, result.kernel_coverage, len(result.bugs)])
+    print(ascii_chart(series,
+                      title=f"Coverage on {args.device}, "
+                            f"{args.hours:g} virtual hours"))
+    print(render_table(["Tool", "Coverage", "Bugs"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DroidFuzz reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices").set_defaults(func=_cmd_list_devices)
+
+    probe = sub.add_parser("probe")
+    probe.add_argument("device")
+    probe.add_argument("--no-links", action="store_true")
+    probe.set_defaults(func=_cmd_probe)
+
+    fuzz = sub.add_parser("fuzz")
+    fuzz.add_argument("device")
+    fuzz.add_argument("--tool", choices=TOOLS, default="droidfuzz")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--hours", type=float, default=24.0)
+    fuzz.add_argument("--repro", action="store_true",
+                      help="print bug reproducers")
+    fuzz.add_argument("--state-dir", default="",
+                      help="persist corpus/relations/bugs here")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    hunt = sub.add_parser("hunt")
+    hunt.add_argument("--hours", type=float, default=48.0)
+    hunt.add_argument("--seeds", type=int, default=1)
+    hunt.set_defaults(func=_cmd_hunt)
+
+    compare = sub.add_parser("compare")
+    compare.add_argument("device")
+    compare.add_argument("--tools", nargs="+", choices=TOOLS,
+                         default=["droidfuzz", "syzkaller"])
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--hours", type=float, default=12.0)
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""DroidFuzz core: the paper's primary contribution.
+
+* :mod:`repro.core.probe` — pre-testing HAL driver probing (§IV-B),
+* :mod:`repro.core.relations` — kernel-user relation graph (§IV-C),
+* :mod:`repro.core.generation` — relational payload generation (§IV-C),
+* :mod:`repro.core.feedback` — cross-boundary execution state feedback (§IV-D),
+* :mod:`repro.core.exec` — device-side broker and executors (§IV-A),
+* :mod:`repro.core.engine` / :mod:`repro.core.daemon` — the fuzzing loop.
+
+Import the submodules directly (they are not re-exported here to keep
+the substrate importable without pulling in the whole engine).
+"""

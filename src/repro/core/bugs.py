@@ -1,0 +1,78 @@
+"""Crash triage: deduplication and bug reports (paper §V-B).
+
+Crashes are deduplicated by their stable title (the splat headline on a
+real device: ``WARNING in rt1711_i2c_probe``, ``KASAN: … in
+bt_accept_unlink``, ``Native crash in Camera HAL``), which is exactly
+how kernel-fuzzing dashboards bucket reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dsl.model import Program
+from repro.dsl.text import serialize_program
+
+
+@dataclass
+class BugReport:
+    """One deduplicated bug."""
+
+    title: str
+    kind: str
+    component: str
+    device: str
+    first_clock: float
+    count: int = 1
+    reproducer: str = ""
+
+    def is_hal(self) -> bool:
+        """True for HAL-layer bugs."""
+        return self.component == "hal"
+
+
+@dataclass
+class BugTracker:
+    """Per-campaign bug ledger."""
+
+    device: str
+    reports: dict[str, BugReport] = field(default_factory=dict)
+
+    def record(self, crashes: list[dict[str, str]], clock: float,
+               program: Program | None = None) -> list[BugReport]:
+        """Fold in crash dicts from the broker; returns the *new* bugs."""
+        fresh: list[BugReport] = []
+        for crash in crashes:
+            title = crash["title"]
+            existing = self.reports.get(title)
+            if existing is not None:
+                existing.count += 1
+                continue
+            report = BugReport(
+                title=title,
+                kind=crash.get("kind", "?"),
+                component=crash.get("component", "kernel"),
+                device=self.device,
+                first_clock=clock,
+                reproducer=(serialize_program(program)
+                            if program is not None else ""),
+            )
+            self.reports[title] = report
+            fresh.append(report)
+        return fresh
+
+    def all_reports(self) -> list[BugReport]:
+        """Reports ordered by first discovery."""
+        return sorted(self.reports.values(), key=lambda r: r.first_clock)
+
+    def titles(self) -> set[str]:
+        """Deduplicated crash titles."""
+        return set(self.reports)
+
+    def kernel_bugs(self) -> list[BugReport]:
+        """Kernel-side bugs only."""
+        return [r for r in self.all_reports() if not r.is_hal()]
+
+    def hal_bugs(self) -> list[BugReport]:
+        """HAL-side bugs only."""
+        return [r for r in self.all_reports() if r.is_hal()]

@@ -1,0 +1,64 @@
+"""Fuzzer configuration.
+
+One dataclass configures DroidFuzz and all its evaluation variants:
+
+* DroidFuzz — the defaults;
+* DroidFuzz-NoRel — ``enable_relations=False`` (§V-D.1);
+* DroidFuzz-NoHCov — ``enable_hcov=False`` (§V-D.2);
+* DroidFuzz-D — ``ioctl_only=True`` (§V-C.2).
+
+Campaign durations are virtual hours over the device's virtual clock;
+see EXPERIMENTS.md for the op-budget mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FuzzerConfig:
+    """Knobs of one fuzzing campaign."""
+
+    name: str = "droidfuzz"
+    seed: int = 0
+    campaign_hours: float = 48.0
+
+    #: Joint HAL+kernel fuzzing (off → syscall surface only).
+    enable_hal: bool = True
+    #: Kernel-user relational payload generation (§IV-C).
+    enable_relations: bool = True
+    #: HAL directional coverage in the feedback (§IV-D).
+    enable_hcov: bool = True
+    #: Restrict the executors and HALs to open/close/ioctl (DF-D).
+    ioctl_only: bool = False
+
+    #: Probability of pure generation vs corpus mutation per iteration.
+    generation_probability: float = 0.3
+    #: Maximum relation-walk length during generation.
+    max_walk: int = 8
+    #: Probability of recycling pooled argument tuples.
+    history_probability: float = 0.5
+    #: Maximum calls per program after mutation.
+    max_calls: int = 16
+
+    #: Periodic relation decay (virtual seconds / factor).
+    decay_interval: float = 4.0 * 3600.0
+    decay_factor: float = 0.8
+
+    #: Reboot the device upon encountering any bug (paper §V-A).
+    reboot_on_crash: bool = True
+    #: Predicate-execution bound for each minimization.
+    minimize_budget: int = 10
+    #: Run the prober's differential link inference.
+    probe_links: bool = True
+    #: Coverage timeline sampling period (virtual seconds).
+    sample_interval: float = 1800.0
+
+    def variant(self, **changes) -> "FuzzerConfig":
+        """A modified copy (convenience for ablations)."""
+        return replace(self, **changes)
+
+
+#: Syscall allowlist installed by the DroidFuzz-D variant.
+IOCTL_ONLY_FILTER = frozenset({"openat", "close", "ioctl"})

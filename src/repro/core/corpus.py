@@ -1,0 +1,76 @@
+"""Seed corpus: interesting programs and their coverage signatures."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dsl.model import Program
+from repro.dsl.text import parse_program, serialize_program
+
+
+@dataclass
+class Seed:
+    """One corpus entry."""
+
+    program: Program
+    signature: frozenset[int]
+    added_at: float
+    mutations: int = 0
+
+
+@dataclass
+class Corpus:
+    """The evolving seed set of one campaign."""
+
+    seeds: list[Seed] = field(default_factory=list)
+
+    def add(self, program: Program, signature: frozenset[int],
+            clock: float) -> Seed:
+        """Admit a program that produced new coverage."""
+        seed = Seed(program=program.copy(), signature=signature,
+                    added_at=clock)
+        self.seeds.append(seed)
+        return seed
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def choose(self, rng: random.Random) -> Seed | None:
+        """Pick a seed to mutate: biased to recent and small entries."""
+        if not self.seeds:
+            return None
+        if rng.random() < 0.5:
+            # Recency bias: the newest quarter of the corpus.
+            lo = max(0, len(self.seeds) - max(1, len(self.seeds) // 4))
+            seed = self.seeds[rng.randrange(lo, len(self.seeds))]
+        else:
+            weights = [1.0 / (1 + len(s.program)) for s in self.seeds]
+            seed = rng.choices(self.seeds, weights=weights, k=1)[0]
+        seed.mutations += 1
+        return seed
+
+    def donor(self, rng: random.Random) -> Program | None:
+        """A random program to splice from."""
+        if not self.seeds:
+            return None
+        return rng.choice(self.seeds).program
+
+    # -- persistence -------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialize the corpus (programs only) for the daemon."""
+        chunks = []
+        for seed in self.seeds:
+            chunks.append(serialize_program(seed.program))
+        return "\n---\n".join(chunks)
+
+    @staticmethod
+    def load(text: str) -> list[Program]:
+        """Parse a dumped corpus back into programs."""
+        programs = []
+        for chunk in text.split("\n---\n"):
+            chunk = chunk.strip()
+            if chunk:
+                programs.append(parse_program(chunk))
+        return programs

@@ -1,0 +1,63 @@
+"""The DroidFuzz Daemon (paper §IV-A).
+
+The root process: boots one device per profile, spawns a fuzzing engine
+per device, runs their campaigns, and maintains the persistent campaign
+artifacts — aggregated bug ledger, coverage statistics, and the per-
+device relation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bugs import BugReport
+from repro.core.config import FuzzerConfig
+from repro.core.engine import CampaignResult, FuzzingEngine
+from repro.device.device import AndroidDevice, DeviceCosts
+from repro.device.profiles import DeviceProfile
+
+
+@dataclass
+class Daemon:
+    """Coordinates fuzzing campaigns across a fleet of devices."""
+
+    config: FuzzerConfig
+    costs: DeviceCosts = field(default_factory=DeviceCosts)
+    results: dict[str, CampaignResult] = field(default_factory=dict)
+
+    def run_device(self, profile: DeviceProfile,
+                   seed: int | None = None) -> CampaignResult:
+        """Boot one device, run one campaign, keep the result."""
+        config = self.config
+        if seed is not None:
+            config = config.variant(seed=seed)
+        device = AndroidDevice(profile, costs=self.costs)
+        engine = FuzzingEngine(device, config)
+        result = engine.run()
+        self.results[f"{profile.ident}#{config.seed}"] = result
+        return result
+
+    def run_fleet(self, profiles: list[DeviceProfile],
+                  seed: int | None = None) -> list[CampaignResult]:
+        """One campaign per device profile (the paper's 7-device run)."""
+        return [self.run_device(profile, seed=seed) for profile in profiles]
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def all_bugs(self) -> list[BugReport]:
+        """Deduplicated bugs across all campaigns, by discovery time."""
+        seen: dict[tuple[str, str], BugReport] = {}
+        for result in self.results.values():
+            for bug in result.bugs:
+                key = (bug.device, bug.title)
+                if key not in seen or bug.first_clock < seen[key].first_clock:
+                    seen[key] = bug
+        return sorted(seen.values(),
+                      key=lambda b: (b.device, b.first_clock))
+
+    def coverage_summary(self) -> dict[str, int]:
+        """Final kernel coverage per campaign key."""
+        return {key: result.kernel_coverage
+                for key, result in sorted(self.results.items())}

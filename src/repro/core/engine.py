@@ -1,0 +1,331 @@
+"""The host-side Fuzzing Engine (paper §IV-A).
+
+One engine drives one device: it probes the HALs (pre-testing pass),
+builds the relation graph, then loops — generate or mutate a program,
+ship it to the device-side broker over ADB, interpret the joint
+feedback, minimize + learn relations on new coverage, triage crashes,
+and reboot the device when it wedges or (per configuration) on any bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.bugs import BugReport, BugTracker
+from repro.core.config import IOCTL_ONLY_FILTER, FuzzerConfig
+from repro.core.corpus import Corpus
+from repro.core.exec.broker import ExecOutcome, ExecutionBroker
+from repro.core.feedback import (
+    CoverageAccumulator,
+    JointFeedback,
+    directional_coverage,
+)
+from repro.core.generation import Mutator, PayloadGenerator, minimize
+from repro.core.probe import HalInterfaceModel, Prober
+from repro.core.relations import RelationGraph
+from repro.device.adb import AdbConnection
+from repro.device.device import AndroidDevice
+from repro.dsl.descriptions import DescriptionRegistry, build_descriptions, sanitize
+from repro.dsl.model import HalCall, Program, ResourceRef
+
+#: Default base-invocation weights per description kind ("weights from
+#: system call descriptions", §IV-C).
+_KIND_WEIGHTS = {
+    "open": 0.15, "close": 0.05, "dup": 0.05, "read": 0.25, "write": 0.35,
+    "ioctl": 0.45, "ioctl_raw": 0.25, "mmap": 0.15, "socket": 0.15,
+    "bind": 0.25, "connect": 0.30, "listen": 0.20, "accept": 0.20,
+    "setsockopt": 0.30, "getsockopt": 0.10, "sendto": 0.30,
+    "recvfrom": 0.15,
+}
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, for the evaluation harness."""
+
+    tool: str
+    device: str
+    seed: int
+    duration_hours: float
+    timeline: list[tuple[float, int]] = field(default_factory=list)
+    bugs: list[BugReport] = field(default_factory=list)
+    kernel_coverage: int = 0
+    joint_coverage: int = 0
+    per_driver: dict[str, int] = field(default_factory=dict)
+    driver_totals: dict[str, int] = field(default_factory=dict)
+    executions: int = 0
+    corpus_size: int = 0
+    interface_count: int = 0
+    reboots: int = 0
+
+    def bug_titles(self) -> set[str]:
+        return {b.title for b in self.bugs}
+
+    def coverage_at(self, hours: float) -> int:
+        """Kernel coverage at a timeline offset (step interpolation)."""
+        best = 0
+        for t, cov in self.timeline:
+            if t <= hours * 3600.0:
+                best = cov
+            else:
+                break
+        return best
+
+
+class FuzzingEngine:
+    """Coverage-guided cross-boundary fuzzing loop for one device."""
+
+    def __init__(self, device: AndroidDevice, config: FuzzerConfig) -> None:
+        self.device = device
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.adb = AdbConnection(device)
+        self.registry: DescriptionRegistry = build_descriptions(device.profile)
+        syscall_filter = IOCTL_ONLY_FILTER if config.ioctl_only else None
+        self.broker = ExecutionBroker(device, self.registry, syscall_filter)
+        self.adb.forward(self.broker.SOCKET_NAME, self.broker.rpc_handler)
+        self.bugs = BugTracker(device.profile.ident)
+        self.coverage = CoverageAccumulator()
+        self.corpus = Corpus()
+        self.relations = RelationGraph()
+        self.hal_model: HalInterfaceModel | None = None
+        self.executions = 0
+        self.reboots = 0
+        self.timeline: list[tuple[float, int]] = []
+        self._campaign_start = 0.0
+
+        if config.enable_hal:
+            self._run_probe_pass()
+        self._seed_relation_vertices()
+
+        self.generator = PayloadGenerator(
+            self.registry, self.hal_model, self.relations, self.rng,
+            relations_enabled=config.enable_relations,
+            max_walk=config.max_walk,
+            history_probability=config.history_probability)
+        self.mutator = Mutator(self.generator, self.rng,
+                               max_calls=config.max_calls)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _run_probe_pass(self) -> None:
+        """Pre-testing HAL driver probing (§IV-B)."""
+        prober = Prober(self.device)
+        self.hal_model = prober.probe(infer_links=self.config.probe_links)
+        # Crashes tripped by the trial pass are findings too.
+        crashes = [{"kind": getattr(c, "kind", "NATIVE"), "title": c.title,
+                    "component": c.component}
+                   for c in self.device.drain_crashes()]
+        self.bugs.record(crashes, self.device.clock)
+        if not self.device.healthy:
+            self._reboot()
+
+    def _seed_relation_vertices(self) -> None:
+        allowed_kinds = None
+        if self.config.ioctl_only:
+            allowed_kinds = {"open", "close", "ioctl"}
+        for name in self.registry.names():
+            desc = self.registry.get(name)
+            if allowed_kinds is not None and desc.kind not in allowed_kinds:
+                continue
+            self.relations.add_vertex(name,
+                                      _KIND_WEIGHTS.get(desc.kind, 0.2))
+        if self.hal_model is not None:
+            for label in self.hal_model.labels():
+                self.relations.add_vertex(
+                    label, self.hal_model.methods[label].weight)
+
+    # ------------------------------------------------------------------
+    # execution plumbing
+    # ------------------------------------------------------------------
+
+    def _reboot(self) -> None:
+        self.adb.shell("reboot")
+        self.broker.on_reboot()
+        self.reboots += 1
+
+    def _execute(self, program: Program,
+                 record_bugs: bool = True) -> ExecOutcome:
+        """Ship one program over ADB and collect the outcome."""
+        payload = self.broker.wire_program(program)
+        raw: dict[str, Any] = self.adb.rpc(self.broker.SOCKET_NAME, payload)
+        outcome = ExecOutcome.from_dict(raw)
+        self.executions += 1
+        if outcome.crashes and record_bugs:
+            self.bugs.record(outcome.crashes, self.device.clock, program)
+        if outcome.needs_reboot or (outcome.crashes
+                                    and self.config.reboot_on_crash):
+            self._reboot()
+        return outcome
+
+    def _feedback_of(self, outcome: ExecOutcome) -> JointFeedback:
+        hal = (directional_coverage(outcome.hal_sequence)
+               if self.config.enable_hcov else frozenset())
+        return JointFeedback(kernel_pcs=outcome.kernel_pcs,
+                             hal_elements=hal)
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+
+    def _flow_seed_programs(self) -> list[Program]:
+        """Convert the probed framework flows into seed programs.
+
+        Observed integer arguments at link positions are rewritten to
+        resource references when the producing method appears earlier in
+        the flow, so the seed stays valid when handles change.
+        """
+        if self.hal_model is None:
+            return []
+        programs = []
+        for flow in self.hal_model.flows:
+            calls = []
+            last_by_label: dict[str, int] = {}
+            for label, values in flow:
+                method = self.hal_model.get(label)
+                if method is None:
+                    continue
+                args = list(values[:len(method.signature)])
+                while len(args) < len(method.signature):
+                    args.append(0)
+                for position, link in method.links.items():
+                    producer_label = f"{link[0]}.{link[1]}"
+                    index = last_by_label.get(producer_label)
+                    if index is not None and position < len(args):
+                        args[position] = ResourceRef(
+                            index, f"hal:{producer_label}")
+                last_by_label[label] = len(calls)
+                calls.append(HalCall(method.service, method.name,
+                                     tuple(args)))
+            if calls:
+                program = Program(calls)
+                program.validate()
+                programs.append(program)
+        return programs
+
+    def run(self) -> CampaignResult:
+        """Run one campaign; returns its results."""
+        config = self.config
+        self._campaign_start = self.device.clock
+        deadline = self._campaign_start + config.campaign_hours * 3600.0
+        next_sample = self._campaign_start
+        last_decay = self._campaign_start
+
+        # Seed the corpus with the canonical flows distilled from the
+        # probed framework traffic (the daemon's persistent seed corpus).
+        for program in self._flow_seed_programs():
+            if self.device.clock >= deadline:
+                break
+            outcome = self._execute(program)
+            self.generator.observe_program(
+                program, [s.produced for s in outcome.statuses])
+            for capture in outcome.captures:
+                self.generator.record_capture(capture)
+            fresh = self.coverage.merge(self._feedback_of(outcome))
+            if fresh and not outcome.crashes:
+                if self.config.enable_relations:
+                    self.relations.learn_program(program.labels())
+                self.generator.record_history(program)
+                self.corpus.add(program, fresh, self.device.clock)
+
+        while self.device.clock < deadline:
+            while next_sample <= self.device.clock:
+                self.timeline.append((next_sample - self._campaign_start,
+                                      self.coverage.kernel_total()))
+                next_sample += config.sample_interval
+
+            program = self._next_program()
+            outcome = self._execute(program)
+            self.generator.observe_program(
+                program, [s.produced for s in outcome.statuses])
+            for capture in outcome.captures:
+                self.generator.record_capture(capture)
+            feedback = self._feedback_of(outcome)
+            fresh = self.coverage.merge(feedback)
+            if fresh and not outcome.crashes:
+                self._admit(program, fresh)
+                if self.config.enable_relations and outcome.captures:
+                    # Cross-boundary learning: the order in which the
+                    # HAL itself drove the drivers is a confirmed
+                    # relation chain between the equivalent DSL calls.
+                    self.relations.learn_program(
+                        self._capture_labels(outcome.captures))
+
+            if (self.device.clock - last_decay) >= config.decay_interval:
+                self.relations.decay(config.decay_factor)
+                last_decay = self.device.clock
+
+        self.timeline.append((config.campaign_hours * 3600.0,
+                              self.coverage.kernel_total()))
+        return self._result()
+
+    def _next_program(self) -> Program:
+        if (self.rng.random() < self.config.generation_probability
+                or len(self.corpus) == 0):
+            return self.generator.generate()
+        seed = self.corpus.choose(self.rng)
+        donor = self.corpus.donor(self.rng)
+        return self.mutator.mutate(seed.program, donor)
+
+    def _admit(self, program: Program, fresh: frozenset[int]) -> None:
+        """Minimize, learn relations, and admit to the corpus."""
+        minimized = program
+        if len(program) > 2 and self.config.minimize_budget > 0:
+            target = fresh
+
+            def still_interesting(candidate: Program) -> bool:
+                outcome = self._execute(candidate, record_bugs=True)
+                merged = self._feedback_of(outcome).merged()
+                return target <= merged
+
+            minimized = minimize(program, still_interesting,
+                                 max_executions=self.config.minimize_budget)
+        if self.config.enable_relations:
+            self.relations.learn_program(minimized.labels())
+        self.generator.record_history(minimized)
+        self.corpus.add(minimized, fresh, self.device.clock)
+
+    def _capture_labels(self, captures: list[tuple]) -> list[str]:
+        """Map captured HAL syscalls back to DSL description labels."""
+        by_request = getattr(self, "_ioctl_label_cache", None)
+        if by_request is None:
+            by_request = {}
+            for name in self.registry.names():
+                desc = self.registry.get(name)
+                if desc.kind == "ioctl":
+                    by_request[desc.request] = desc.name
+            self._ioctl_label_cache = by_request
+        labels = []
+        for capture in captures:
+            short = sanitize(capture[1].removeprefix("/dev/"))
+            if capture[0] == "write":
+                labels.append(f"write${short}")
+            else:
+                request = capture[2]
+                labels.append(by_request.get(request, f"ioctl$raw_{short}"))
+        return labels
+
+    # ------------------------------------------------------------------
+
+    def _result(self) -> CampaignResult:
+        return CampaignResult(
+            tool=self.config.name,
+            device=self.device.profile.ident,
+            seed=self.config.seed,
+            duration_hours=self.config.campaign_hours,
+            timeline=list(self.timeline),
+            bugs=self.bugs.all_reports(),
+            kernel_coverage=self.coverage.kernel_total(),
+            joint_coverage=self.coverage.total(),
+            per_driver=self.device.per_driver_coverage(),
+            driver_totals=self.device.driver_block_estimates(),
+            executions=self.executions,
+            corpus_size=len(self.corpus),
+            interface_count=(self.hal_model.interface_count()
+                             if self.hal_model else 0),
+            reboots=self.reboots,
+        )

@@ -1,0 +1,15 @@
+"""Device-side execution agents (paper §IV-A).
+
+The :class:`ExecutionBroker` receives DSL programs from its host-side
+fuzzing engine (over the ADB surrogate), dispatches each element to the
+:class:`NativeExecutor` (syscalls) or :class:`HalExecutor` (Binder
+transactions), bonds the kernel and HAL feedback into one uniform
+statistic, and reports crashes.
+"""
+
+from repro.core.exec.broker import ExecutionBroker, ExecOutcome, CallStatus
+from repro.core.exec.native_executor import NativeExecutor
+from repro.core.exec.hal_executor import HalExecutor
+
+__all__ = ["ExecutionBroker", "ExecOutcome", "CallStatus",
+           "NativeExecutor", "HalExecutor"]

@@ -1,0 +1,222 @@
+"""Execution Broker (paper §IV-A).
+
+The device-side coordinator: receives DSL programs from its parent
+fuzzing engine over the ADB surrogate, holds the execution queue,
+dispatches each element to the HAL or native executor by type, bonds
+kernel kcov and HAL directional observations into one uniform feedback
+statistic, and reports crashes and reboot requests back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.exec.hal_executor import HAL_CRASH_STATUS, HalExecutor
+from repro.core.exec.native_executor import NativeExecutor
+from repro.core.feedback.syscall_table import SpecializedSyscallTable
+from repro.dsl.descriptions import DescriptionRegistry
+from repro.dsl.model import Program
+from repro.dsl.text import parse_program, serialize_program
+
+if TYPE_CHECKING:
+    from repro.device.device import AndroidDevice
+
+
+@dataclass(frozen=True)
+class CallStatus:
+    """Result of one executed call."""
+
+    ret: int
+    produced: int | None = None
+    hal_crash: bool = False
+
+
+@dataclass
+class ExecOutcome:
+    """Bonded feedback for one executed program."""
+
+    statuses: list[CallStatus] = field(default_factory=list)
+    kernel_pcs: frozenset[int] = frozenset()
+    hal_sequence: tuple[int, ...] = ()
+    #: Replayable HAL payloads: ("write", path, data) and
+    #: ("ioctl", path, request, arg) tuples captured by the eBPF probe.
+    captures: list[tuple] = field(default_factory=list)
+    crashes: list[dict[str, str]] = field(default_factory=list)
+    needs_reboot: bool = False
+    clock: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form for the ADB RPC channel."""
+        wire_captures = []
+        for capture in self.captures:
+            if capture[0] == "write":
+                wire_captures.append(["write", capture[1],
+                                      capture[2].hex()])
+            else:
+                _kind, path, request, arg = capture
+                wire_arg: Any = arg
+                if isinstance(arg, bytes):
+                    wire_arg = {"hex": arg.hex()}
+                wire_captures.append(["ioctl", path, request, wire_arg])
+        return {
+            "rets": [s.ret for s in self.statuses],
+            "produced": [s.produced for s in self.statuses],
+            "hal_crashes": [s.hal_crash for s in self.statuses],
+            "kcov": sorted(self.kernel_pcs),
+            "hal_seq": list(self.hal_sequence),
+            "captures": wire_captures,
+            "crashes": self.crashes,
+            "needs_reboot": self.needs_reboot,
+            "clock": self.clock,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict[str, Any]) -> "ExecOutcome":
+        """Parse the wire form."""
+        statuses = [CallStatus(ret=r, produced=p, hal_crash=h)
+                    for r, p, h in zip(payload["rets"], payload["produced"],
+                                       payload["hal_crashes"])]
+        captures: list[tuple] = []
+        for entry in payload.get("captures", ()):
+            if entry[0] == "write":
+                captures.append(("write", entry[1], bytes.fromhex(entry[2])))
+            else:
+                arg = entry[3]
+                if isinstance(arg, dict):
+                    arg = bytes.fromhex(arg["hex"])
+                captures.append(("ioctl", entry[1], entry[2], arg))
+        return ExecOutcome(
+            statuses=statuses,
+            kernel_pcs=frozenset(payload["kcov"]),
+            hal_sequence=tuple(payload["hal_seq"]),
+            captures=captures,
+            crashes=list(payload["crashes"]),
+            needs_reboot=payload["needs_reboot"],
+            clock=payload["clock"],
+        )
+
+
+class ExecutionBroker:
+    """Device-side broker managing both executors.
+
+    Args:
+        device: the device under test.
+        registry: syzlang-lite descriptions for the native executor.
+        syscall_filter: optional seccomp-surrogate allowlist (used by the
+            DroidFuzz-D variant to restrict everything to open/ioctl).
+    """
+
+    SOCKET_NAME = "droidfuzz-broker"
+
+    def __init__(self, device: "AndroidDevice", registry: DescriptionRegistry,
+                 syscall_filter: frozenset[str] | None = None) -> None:
+        self._device = device
+        self._registry = registry
+        self.table = SpecializedSyscallTable(registry)
+        self._native = NativeExecutor(device, registry)
+        self._hal = HalExecutor(device, self.table)
+        self._filter = syscall_filter
+        self.programs_executed = 0
+        self._apply_filter()
+
+    # ------------------------------------------------------------------
+
+    def _apply_filter(self) -> None:
+        kernel = self._device.kernel
+        if self._filter is None:
+            return
+        kernel.syscall_filters[self._native.pid] = self._filter
+        for name in self._device.hal_services():
+            process = self._device.hal_process(name)
+            if process is not None:
+                kernel.syscall_filters[process.pid] = self._filter
+
+    def on_reboot(self) -> None:
+        """Re-establish executor tasks and filters after a reboot."""
+        self._native.respawn()
+        self._hal.respawn()
+        self._apply_filter()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, program: Program) -> ExecOutcome:
+        """Run one program; returns the bonded feedback."""
+        kernel = self._device.kernel
+        kernel.kcov.enable(self._native.pid)
+        self.programs_executed += 1
+
+        statuses: list[CallStatus] = []
+        results: list[int] = []
+        kernel_pcs: set[int] = set()
+        hal_sequence: list[int] = []
+        captures: list[tuple] = []
+        for call in program.calls:
+            if not self._device.healthy:
+                statuses.append(CallStatus(ret=-5))
+                results.append(-1)
+                continue
+            if call.is_hal:
+                self._apply_filter()  # HAL pids change across restarts
+                status, produced, sequence, caught = self._hal.run(
+                    call, results)
+                statuses.append(CallStatus(
+                    ret=status, produced=produced,
+                    hal_crash=status == HAL_CRASH_STATUS))
+                results.append(produced if produced is not None else status)
+                hal_sequence.extend(sequence)
+                captures.extend(caught)
+                kernel_pcs.update(
+                    self._hal.collect_remote_kcov(call.service))
+            else:
+                ret, produced = self._native.run(call, results)
+                statuses.append(CallStatus(ret=ret, produced=produced))
+                results.append(produced if produced is not None else ret)
+                kernel_pcs.update(kernel.kcov.collect(self._native.pid))
+
+        # Each program runs in a fresh child of the executor (syzkaller
+        # style): tearing the task down closes its fds, which exercises
+        # the drivers' release paths before crash collection.
+        kernel.kcov.enable(self._native.pid)
+        kernel.syscall_filters.pop(self._native.pid, None)
+        kernel.kill_process(self._native.pid)
+        kernel_pcs.update(kernel.kcov.collect(self._native.pid))
+        kernel.kcov.disable(self._native.pid)
+        self._native.respawn()
+        if self._filter is not None:
+            kernel.syscall_filters[self._native.pid] = self._filter
+
+        crashes = [{"kind": getattr(c, "kind", "NATIVE"),
+                    "title": c.title,
+                    "component": c.component}
+                   for c in self._device.drain_crashes()]
+        return ExecOutcome(
+            statuses=statuses,
+            kernel_pcs=frozenset(kernel_pcs),
+            hal_sequence=tuple(hal_sequence),
+            captures=captures,
+            crashes=crashes,
+            needs_reboot=not self._device.healthy,
+            clock=self._device.clock,
+        )
+
+    # ------------------------------------------------------------------
+    # ADB RPC surface
+    # ------------------------------------------------------------------
+
+    def rpc_handler(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Handle one forwarded-socket request from the host engine."""
+        command = payload.get("cmd")
+        if command == "exec":
+            program = parse_program(payload["program"])
+            return self.execute(program).to_dict()
+        if command == "ping":
+            return {"pong": True, "clock": self._device.clock}
+        if command == "table_size":
+            return {"size": self.table.size()}
+        return {"error": f"unknown command {command!r}"}
+
+    @staticmethod
+    def wire_program(program: Program) -> dict[str, Any]:
+        """Host-side helper: build the exec RPC payload."""
+        return {"cmd": "exec", "program": serialize_program(program)}

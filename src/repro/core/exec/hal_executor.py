@@ -1,0 +1,165 @@
+"""HAL executor: runs Binder-transaction elements of a DSL program.
+
+For each HAL call it (1) installs the eBPF syscall probe filtered to the
+service's host process, (2) enables remote kcov on that process, (3)
+performs the transaction, and (4) returns the reply status together
+with the ordered specialized-syscall observations — the raw material of
+the cross-boundary feedback (§IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DeadObjectError, DeviceError
+from repro.core.feedback.syscall_table import SpecializedSyscallTable
+from repro.dsl.model import HalCall, ResourceRef
+from repro.kernel.tracepoints import SyscallRecord
+
+if TYPE_CHECKING:
+    from repro.device.device import AndroidDevice
+
+#: Status returned when the transaction killed the hosting process.
+HAL_CRASH_STATUS = -32  # DEAD_OBJECT
+
+_COERCERS = {
+    "i32": lambda v: int(v) if isinstance(v, (int, float, bool)) else 0,
+    "u32": lambda v: int(v) & 0xFFFFFFFF if isinstance(v, (int, float, bool)) else 0,
+    "i64": lambda v: int(v) if isinstance(v, (int, float, bool)) else 0,
+    "f32": lambda v: float(v) if isinstance(v, (int, float, bool)) else 0.0,
+    "bool": lambda v: bool(v),
+    "str": lambda v: v if isinstance(v, str) else "",
+    "bytes": lambda v: bytes(v) if isinstance(v, (bytes, bytearray)) else b"",
+}
+
+
+class HalExecutor:
+    """Executes :class:`HalCall` elements with tracing."""
+
+    def __init__(self, device: "AndroidDevice",
+                 table: SpecializedSyscallTable,
+                 comm: str = "df_hal") -> None:
+        self._device = device
+        self._table = table
+        self._task = device.new_process(comm)
+
+    @property
+    def pid(self) -> int:
+        """Kernel pid the executor transacts from."""
+        return self._task.pid
+
+    def respawn(self) -> None:
+        """Re-create the executor task (after a device reboot)."""
+        self._task = self._device.new_process("df_hal")
+
+    # ------------------------------------------------------------------
+
+    def _resolve_args(self, call: HalCall, signature: tuple[str, ...],
+                      results: list[int]) -> tuple[Any, ...]:
+        resolved: list[Any] = []
+        for index, tag in enumerate(signature):
+            value = call.args[index] if index < len(call.args) else None
+            if isinstance(value, ResourceRef):
+                produced = (results[value.index]
+                            if 0 <= value.index < len(results) else None)
+                value = produced if produced is not None else -1
+            coerce = _COERCERS.get(tag, lambda v: v)
+            resolved.append(coerce(value))
+        return tuple(resolved)
+
+    def _capture_payload(self, record: SyscallRecord) -> tuple | None:
+        """Recover a replayable payload from one HAL syscall observation.
+
+        The eBPF probe can read the user buffers of the traced process,
+        so writes yield ``("write", path, data)`` and ioctls yield
+        ``("ioctl", path, request, arg)`` — vendor-valid payloads the
+        fuzzer's own generation could never guess.
+        """
+        if record.name not in ("write", "ioctl") or not record.args:
+            return None
+        fd = record.args[0]
+        proc = self._device.kernel.process(record.pid)
+        if proc is None or not isinstance(fd, int):
+            return None
+        open_file = proc.fdtable.get(fd)
+        if open_file is None:
+            return None
+        path = open_file.path
+        if record.name == "write":
+            data = record.args[1] if len(record.args) > 1 else b""
+            if isinstance(data, (bytes, bytearray)) and len(data) <= 512:
+                return ("write", path, bytes(data))
+            return None
+        request = record.args[1] if len(record.args) > 1 else 0
+        arg = record.args[2] if len(record.args) > 2 else None
+        if isinstance(arg, bytearray):
+            arg = bytes(arg)
+        if arg is not None and not isinstance(arg, (int, bytes)):
+            return None
+        if isinstance(arg, bytes) and len(arg) > 512:
+            return None
+        return ("ioctl", path, request, arg)
+
+    def run(self, call: HalCall, results: list[int]
+            ) -> tuple[int, int | None, list[int], list[tuple]]:
+        """Execute one HAL element.
+
+        Returns ``(status, produced_value, specialized_id_sequence,
+        captured_payloads)``.  The sequence lists the syscalls the HAL
+        issued while servicing the transaction, in order, as
+        specialized IDs; the captures are replayable payloads recovered
+        from the traced buffers.
+        """
+        service = self._device.hal_service(call.service)
+        if service is None:
+            return -38, None, [], []
+        stub = service.method_by_name(call.method)
+        if stub is None:
+            return -74, None, [], []  # UNKNOWN_TRANSACTION
+
+        process = self._device.hal_process(call.service)
+        observed: list[SyscallRecord] = []
+        handle = None
+        if process is not None:
+            if process.dead:
+                process.restart()
+                service.reset()
+            self._device.kernel.kcov.enable(process.pid)  # KCOV_REMOTE
+            handle = self._device.kernel.trace.attach(
+                "sys_enter", observed.append, pid_filter=process.pid)
+        args = self._resolve_args(call, stub.signature, results)
+        status = HAL_CRASH_STATUS
+        produced: int | None = None
+        try:
+            status, reply = self._device.hal_transact(
+                self._task.pid, "df_hal", call.service, call.method, args)
+            if status == 0:
+                for tag in stub.returns:
+                    if tag in ("i32", "u32", "i64"):
+                        reader = {"i32": reply.read_i32,
+                                  "u32": reply.read_u32,
+                                  "i64": reply.read_i64}[tag]
+                        produced = reader()
+                    break
+        except DeadObjectError:
+            status = HAL_CRASH_STATUS
+        except DeviceError:
+            status = -38
+        finally:
+            if handle is not None:
+                self._device.kernel.trace.detach(handle)
+        sequence = [self._table.lookup(rec.name, rec.critical)
+                    for rec in observed]
+        captures = []
+        for rec in observed[:32]:
+            payload = self._capture_payload(rec)
+            if payload is not None:
+                captures.append(payload)
+        return status, produced, sequence, captures
+
+    def collect_remote_kcov(self, service_name: str) -> tuple[int, ...]:
+        """Drain the remote kcov buffer of a service's host process."""
+        process = self._device.hal_process(service_name)
+        if process is None:
+            return ()
+        return self._device.kernel.kcov.collect(process.pid)

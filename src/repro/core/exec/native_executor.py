@@ -1,0 +1,241 @@
+"""Native executor: runs syscall elements of a DSL program.
+
+Borrowed conceptually from Syzkaller's executor (as the paper's
+implementation borrows its native executor): it instantiates each
+specialized syscall description with the call's concrete argument
+values, resolving resource references against earlier results and
+packing struct values using the description's field specs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.dsl.descriptions import DescriptionRegistry, SyscallDesc
+from repro.dsl.model import ResourceRef, StructValue, SyscallCall
+from repro.kernel.ioctl import FieldSpec, pack_fields
+
+if TYPE_CHECKING:
+    from repro.device.device import AndroidDevice
+
+
+def fields_for_spec(registry: DescriptionRegistry,
+                    spec_name: str) -> tuple[FieldSpec, ...]:
+    """Field layout a :class:`StructValue` with ``spec_name`` packs to."""
+    desc = registry.get(spec_name)
+    if desc is None:
+        return ()
+    if desc.kind == "ioctl":
+        return desc.fields
+    if desc.kind in ("bind", "connect"):
+        return desc.addr_fields
+    if desc.kind == "setsockopt":
+        return desc.opt_fields
+    if desc.kind == "write":
+        return desc.write_fields
+    return ()
+
+
+class NativeExecutor:
+    """Executes :class:`SyscallCall` elements in one kernel task."""
+
+    def __init__(self, device: "AndroidDevice",
+                 registry: DescriptionRegistry, comm: str = "df_native") -> None:
+        self._device = device
+        self._registry = registry
+        self._task = device.new_process(comm)
+
+    @property
+    def pid(self) -> int:
+        """Kernel pid of the executor task (kcov is enabled on it)."""
+        return self._task.pid
+
+    def respawn(self) -> None:
+        """Re-create the executor task (after a device reboot)."""
+        self._task = self._device.new_process("df_native")
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, value: Any, results: list[int]) -> Any:
+        if isinstance(value, ResourceRef):
+            if 0 <= value.index < len(results):
+                produced = results[value.index]
+                return produced if produced is not None else -1
+            return -1
+        return value
+
+    def _pack_struct(self, struct_value: StructValue,
+                     default_fields: tuple[FieldSpec, ...],
+                     results: list[int]) -> bytes:
+        fields = fields_for_spec(self._registry, struct_value.spec)
+        if not fields:
+            fields = default_fields
+        resolved = {key: self._resolve(val, results)
+                    for key, val in struct_value.values.items()}
+        return pack_fields(fields, resolved)
+
+    def _arg_bytes(self, value: Any, default_fields: tuple[FieldSpec, ...],
+                   results: list[int]) -> Any:
+        if isinstance(value, StructValue):
+            return self._pack_struct(value, default_fields, results)
+        return self._resolve(value, results)
+
+    # ------------------------------------------------------------------
+
+    def run(self, call: SyscallCall,
+            results: list[int]) -> tuple[int, int | None]:
+        """Execute one syscall element.
+
+        Returns ``(ret, produced_resource_value)``.
+        """
+        desc = self._registry.get(call.desc)
+        if desc is None:
+            return -38, None  # ENOSYS for an unknown description
+        args = call.args
+        handler = getattr(self, f"_run_{desc.kind}", None)
+        if handler is None:
+            return -38, None
+        return handler(desc, args, results)
+
+    def _sys(self, name: str, *args):
+        return self._device.syscall(self._task.pid, name, *args)
+
+    @staticmethod
+    def _int_arg(args: tuple, index: int, default: int) -> int:
+        if index < len(args) and isinstance(args[index], int):
+            return args[index]
+        return default
+
+    def _fd(self, args: tuple, results: list[int]) -> int:
+        if args and isinstance(args[0], (ResourceRef, int)):
+            value = self._resolve(args[0], results)
+            return value if isinstance(value, int) else -1
+        return -1
+
+    # -- per-kind handlers ------------------------------------------------
+
+    def _run_open(self, desc: SyscallDesc, args, results):
+        flags = self._int_arg(args, 0, 2)
+        out = self._sys("openat", desc.path, flags)
+        return out.ret, (out.ret if out.ret >= 0 else None)
+
+    def _run_close(self, desc, args, results):
+        return self._sys("close", self._fd(args, results)).ret, None
+
+    def _run_dup(self, desc, args, results):
+        out = self._sys("dup", self._fd(args, results))
+        return out.ret, (out.ret if out.ret >= 0 else None)
+
+    def _run_read(self, desc, args, results):
+        size = self._int_arg(args, 1, 64)
+        return self._sys("read", self._fd(args, results), size).ret, None
+
+    def _run_write(self, desc, args, results):
+        data = b""
+        if len(args) > 1:
+            data = self._arg_bytes(args[1], desc.write_fields, results)
+        if not isinstance(data, (bytes, bytearray)):
+            data = b""
+        return self._sys("write", self._fd(args, results),
+                         bytes(data)).ret, None
+
+    def _run_ioctl(self, desc, args, results):
+        arg_value: Any = None
+        if len(args) > 1:
+            arg_value = self._arg_bytes(args[1], desc.fields, results)
+        out = self._sys("ioctl", self._fd(args, results), desc.request,
+                        arg_value)
+        produced = None
+        if out.ret >= 0 and desc.produces:
+            if desc.produce_offset >= 0 and out.data is not None:
+                chunk = out.data[desc.produce_offset:desc.produce_offset + 4]
+                if len(chunk) == 4:
+                    produced = int.from_bytes(chunk, "little")
+            else:
+                produced = out.ret
+        return out.ret, produced
+
+    def _run_ioctl_raw(self, desc, args, results):
+        """Untyped ioctl: the request value is a program argument."""
+        request = self._resolve(args[1], results) if len(args) > 1 else 0
+        if not isinstance(request, int):
+            request = 0
+        arg_value: Any = None
+        if len(args) > 2:
+            arg_value = self._arg_bytes(args[2], (), results)
+        out = self._sys("ioctl", self._fd(args, results), request, arg_value)
+        return out.ret, None
+
+    def _run_mmap(self, desc, args, results):
+        length = self._int_arg(args, 1, 4096)
+        offset = self._resolve(args[2], results) if len(args) > 2 else 0
+        if not isinstance(offset, int):
+            offset = 0
+        out = self._sys("mmap", self._fd(args, results), length, 3, 1, offset)
+        return out.ret, None
+
+    def _run_socket(self, desc, args, results):
+        sock_type = self._int_arg(args, 0, desc.sock_types[0]
+                                  if desc.sock_types else 1)
+        protocol = self._int_arg(args, 1, desc.protocols[0]
+                                 if desc.protocols else 0)
+        out = self._sys("socket", desc.domain, sock_type, protocol)
+        return out.ret, (out.ret if out.ret >= 0 else None)
+
+    def _run_bind(self, desc, args, results):
+        addr = b""
+        produced = None
+        if len(args) > 1:
+            addr = self._arg_bytes(args[1], desc.addr_fields, results)
+            if (desc.produce_field and isinstance(args[1], StructValue)):
+                value = self._resolve(
+                    args[1].values.get(desc.produce_field, 0), results)
+                if isinstance(value, int):
+                    produced = value
+        if not isinstance(addr, (bytes, bytearray)):
+            addr = b""
+        ret = self._sys("bind", self._fd(args, results), bytes(addr)).ret
+        return ret, (produced if ret == 0 else None)
+
+    def _run_connect(self, desc, args, results):
+        addr = b""
+        if len(args) > 1:
+            addr = self._arg_bytes(args[1], desc.addr_fields, results)
+        if not isinstance(addr, (bytes, bytearray)):
+            addr = b""
+        return self._sys("connect", self._fd(args, results),
+                         bytes(addr)).ret, None
+
+    def _run_listen(self, desc, args, results):
+        backlog = self._int_arg(args, 1, 1)
+        return self._sys("listen", self._fd(args, results), backlog).ret, None
+
+    def _run_accept(self, desc, args, results):
+        out = self._sys("accept", self._fd(args, results))
+        return out.ret, (out.ret if out.ret >= 0 else None)
+
+    def _run_setsockopt(self, desc, args, results):
+        optval = b""
+        if len(args) > 1:
+            optval = self._arg_bytes(args[1], desc.opt_fields, results)
+        if not isinstance(optval, (bytes, bytearray)):
+            optval = b""
+        return self._sys("setsockopt", self._fd(args, results), desc.level,
+                         desc.optname, bytes(optval)).ret, None
+
+    def _run_getsockopt(self, desc, args, results):
+        return self._sys("getsockopt", self._fd(args, results), desc.level,
+                         desc.optname).ret, None
+
+    def _run_sendto(self, desc, args, results):
+        data = args[1] if len(args) > 1 else b""
+        data = self._resolve(data, results)
+        if not isinstance(data, (bytes, bytearray)):
+            data = b""
+        return self._sys("sendto", self._fd(args, results), bytes(data),
+                         None).ret, None
+
+    def _run_recvfrom(self, desc, args, results):
+        size = self._int_arg(args, 1, 64)
+        return self._sys("recvfrom", self._fd(args, results),
+                         size).ret, None

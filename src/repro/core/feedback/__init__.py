@@ -1,0 +1,12 @@
+"""Cross-boundary execution state feedback (paper §IV-D)."""
+
+from repro.core.feedback.syscall_table import SpecializedSyscallTable
+from repro.core.feedback.directional import directional_coverage
+from repro.core.feedback.joint import CoverageAccumulator, JointFeedback
+
+__all__ = [
+    "SpecializedSyscallTable",
+    "directional_coverage",
+    "CoverageAccumulator",
+    "JointFeedback",
+]

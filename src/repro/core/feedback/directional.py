@@ -1,0 +1,40 @@
+"""Directional HAL syscall coverage encoding (paper §IV-D).
+
+Kernel code coverage records which blocks ran but not their order; the
+paper's insight is that the *order* of the syscalls a HAL issues is the
+observable proxy for its internal control flow.  We encode an observed
+specialized-ID sequence as synthetic coverage elements:
+
+* one element for the sequence head (which syscall the HAL led with),
+* one element per ordered adjacent pair (the transitions).
+
+The elements live in the same value space as kcov PCs (64-bit hashes in
+a reserved range), so "the analysis logic for both types of coverage
+remains the same" — a new transition looks exactly like a new basic
+block to the corpus logic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_HCOV_TAG = b"hcov"
+
+
+def _hcov_pc(*parts: int) -> int:
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(_HCOV_TAG)
+    for part in parts:
+        digest.update(part.to_bytes(8, "little", signed=False))
+    # Tag the top nibble so HAL coverage never collides with driver PCs.
+    return (int.from_bytes(digest.digest(), "little") | (0xF << 60))
+
+
+def directional_coverage(sequence: list[int] | tuple[int, ...]) -> frozenset[int]:
+    """Encode a specialized-ID sequence as synthetic coverage elements."""
+    if not sequence:
+        return frozenset()
+    elements = {_hcov_pc(0xFFFF_FFFF, sequence[0])}
+    for prev, cur in zip(sequence, sequence[1:]):
+        elements.add(_hcov_pc(prev, cur))
+    return frozenset(elements)

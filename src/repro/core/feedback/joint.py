@@ -1,0 +1,51 @@
+"""Joint-state feedback: merged kernel + HAL coverage (paper §IV-D).
+
+The broker hands back, per executed program, the kernel PCs collected by
+kcov and the directional HAL coverage elements; the engine merges them
+into one :class:`JointFeedback` signature and accumulates novelty
+against a campaign-global :class:`CoverageAccumulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class JointFeedback:
+    """Coverage signature of one program execution."""
+
+    kernel_pcs: frozenset[int] = frozenset()
+    hal_elements: frozenset[int] = frozenset()
+
+    def merged(self) -> frozenset[int]:
+        """The uniform signal the corpus logic analyzes."""
+        return self.kernel_pcs | self.hal_elements
+
+    def __bool__(self) -> bool:
+        return bool(self.kernel_pcs or self.hal_elements)
+
+
+@dataclass
+class CoverageAccumulator:
+    """Campaign-global novelty tracker over the joint signal."""
+
+    seen: set[int] = field(default_factory=set)
+    kernel_seen: set[int] = field(default_factory=set)
+
+    def merge(self, feedback: JointFeedback) -> frozenset[int]:
+        """Fold one execution in; returns the *new* elements."""
+        merged = feedback.merged()
+        fresh = frozenset(merged - self.seen)
+        self.seen |= merged
+        self.kernel_seen |= feedback.kernel_pcs
+        return fresh
+
+    def total(self) -> int:
+        """Total distinct joint elements seen."""
+        return len(self.seen)
+
+    def kernel_total(self) -> int:
+        """Total distinct *kernel* blocks seen (the paper's coverage
+        metric — HAL elements are excluded so tools are comparable)."""
+        return len(self.kernel_seen)

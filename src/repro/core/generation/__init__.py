@@ -1,0 +1,7 @@
+"""Kernel-user relational payload generation (paper §IV-C)."""
+
+from repro.core.generation.generator import PayloadGenerator
+from repro.core.generation.mutator import Mutator
+from repro.core.generation.minimizer import minimize
+
+__all__ = ["PayloadGenerator", "Mutator", "minimize"]

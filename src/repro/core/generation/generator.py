@@ -1,0 +1,525 @@
+"""Relational payload generation (paper §IV-C).
+
+Generation of one test case:
+
+1. pick a *base invocation* by vertex weight from the relation graph;
+2. instantiate it in the DSL — syntax-based generation from the
+   descriptions / probed signatures, mixed with *historical payload
+   mutation* (argument tuples recycled from previously successful
+   programs);
+3. walk the relation graph from the current vertex to dependent
+   vertices with probability proportional to edge weight, possibly
+   stopping early, instantiating each visited call;
+4. sweep the call sequence for unresolved argument values and insert
+   *producer calls* (calls that return the needed resource) as
+   prefixes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.core.generation.values import (
+    UNRESOLVED,
+    gen_bytes,
+    gen_field,
+    gen_hal_value,
+    gen_int,
+)
+from repro.core.probe.interface_model import HalInterfaceModel
+from repro.core.relations.graph import RelationGraph
+from repro.dsl.descriptions import DescriptionRegistry, SyscallDesc
+from repro.dsl.model import (
+    Call,
+    HalCall,
+    Program,
+    ResourceRef,
+    StructValue,
+    SyscallCall,
+)
+
+#: Per-label cache size for historical payload mutation.
+_POOL_LIMIT = 32
+
+
+def fields_from_desc(desc: SyscallDesc):
+    """All field specs a description carries, whatever its kind."""
+    extra = (desc.int_kind,) if desc.int_kind else ()
+    return (desc.fields + desc.addr_fields + desc.opt_fields
+            + desc.write_fields + extra)
+
+
+class PayloadGenerator:
+    """Generates DSL programs from descriptions + the probed HAL model."""
+
+    def __init__(self, registry: DescriptionRegistry,
+                 hal_model: HalInterfaceModel | None,
+                 relations: RelationGraph, rng: random.Random,
+                 relations_enabled: bool = True,
+                 max_walk: int = 8,
+                 history_probability: float = 0.5) -> None:
+        self._registry = registry
+        self._hal_model = hal_model
+        self._relations = relations
+        self._rng = rng
+        self._relations_enabled = relations_enabled
+        self._max_walk = max_walk
+        self._history_probability = history_probability
+        self._pools: dict[str, deque[tuple]] = {}
+        #: field name -> recently used integer values; lets independent
+        #: calls agree on identifiers (bind/connect on one PSM, etc.).
+        self._field_values: dict[str, deque[int]] = {}
+        #: resource kind -> concrete values produced on the device; the
+        #: source of *stale* handles (reusing a value after the object
+        #: it named was invalidated).
+        self._observed: dict[str, deque[int]] = {}
+        #: device path -> payloads the HAL was seen writing there.
+        self._captured_writes: dict[str, deque[bytes]] = {}
+        #: device path -> (request, arg) pairs the HAL was seen issuing.
+        self._captured_ioctls: dict[str, deque[tuple]] = {}
+        #: lazy same-driver label index for :meth:`sibling_label`.
+        self._siblings: tuple[dict, dict] | None = None
+
+    # ------------------------------------------------------------------
+    # history pool (historical payload mutation)
+    # ------------------------------------------------------------------
+
+    def record_history(self, program: Program) -> None:
+        """Cache the argument tuples of an interesting program.
+
+        Resource references are position-dependent, so they are
+        normalized back to unresolved markers; reuse re-resolves them
+        through producer insertion.
+        """
+        for call in program.calls:
+            pool = self._pools.setdefault(call.label, deque(maxlen=_POOL_LIMIT))
+            args = tuple(self._unresolve(a) for a in call.copy().args)
+            pool.append(args)
+            for arg in args:
+                if isinstance(arg, StructValue):
+                    for name, value in arg.values.items():
+                        self._record_field_value(name, value)
+
+    def observe_program(self, program: Program,
+                        produced: list[int | None]) -> None:
+        """Feed back the concrete resource values an execution produced."""
+        for call, value in zip(program.calls, produced):
+            if value is None:
+                continue
+            kind = self._produced_kind(call)
+            if kind:
+                self.observe_produced(kind, value)
+
+    @staticmethod
+    def _unresolve(value):
+        if isinstance(value, ResourceRef):
+            if not value.kind:
+                return 0
+            return ResourceRef(UNRESOLVED, value.kind)
+        if isinstance(value, StructValue):
+            value.values = {
+                k: (ResourceRef(UNRESOLVED, v.kind) if v.kind else 0)
+                if isinstance(v, ResourceRef) else v
+                for k, v in value.values.items()}
+        return value
+
+    def _pooled_args(self, label: str) -> tuple | None:
+        pool = self._pools.get(label)
+        if pool and self._rng.random() < self._history_probability:
+            return self._rng.choice(tuple(pool))
+        return None
+
+    def observe_produced(self, kind: str, value: int) -> None:
+        """Record a resource value the device handed back."""
+        pool = self._observed.setdefault(kind, deque(maxlen=_POOL_LIMIT))
+        pool.append(value)
+
+    def record_capture(self, capture: tuple) -> None:
+        """Record one HAL payload capture from the eBPF probe.
+
+        This is how proprietary wire formats (HCI packets, vendor ioctl
+        structs) enter the generator: not from descriptions — none exist
+        — but from watching the HAL produce them (§IV-C's kernel-user
+        relational payloads).
+        """
+        if capture[0] == "write":
+            _kind, path, data = capture
+            pool = self._captured_writes.setdefault(
+                path, deque(maxlen=_POOL_LIMIT * 2))
+            if data not in pool:
+                pool.append(data)
+        else:
+            _kind, path, request, arg = capture
+            pool = self._captured_ioctls.setdefault(
+                path, deque(maxlen=_POOL_LIMIT * 2))
+            if (request, arg) not in pool:
+                pool.append((request, arg))
+
+    def _record_field_value(self, name: str, value) -> None:
+        if isinstance(value, int):
+            pool = self._field_values.setdefault(name,
+                                                 deque(maxlen=_POOL_LIMIT))
+            pool.append(value)
+
+    # ------------------------------------------------------------------
+    # generation entry point
+    # ------------------------------------------------------------------
+
+    def generate(self) -> Program:
+        """Generate one program per the §IV-C procedure."""
+        base = self._relations.pick_base(self._rng)
+        if self._relations_enabled:
+            labels = self._walk_labels(base)
+        else:
+            # Randomized dependency generation (DF-NoRel ablation).
+            labels = [base]
+            while (len(labels) < self._max_walk
+                   and self._rng.random() > 0.35):
+                labels.append(self._relations.pick_base(self._rng))
+        calls = []
+        for label in labels:
+            call = self.instantiate(label)
+            if call is None:
+                continue
+            calls.append(call)
+            # Repeat operations occasionally: many driver states need
+            # the same call several times (queue several buffers, send
+            # several packets), which a single walk visit never does.
+            while (len(calls) < self._max_walk + 4
+                   and self._rng.random() < 0.3):
+                repeat = self.instantiate(label)
+                if repeat is None:
+                    break
+                calls.append(repeat)
+        if not calls:
+            calls = [self.instantiate(base) or SyscallCall("openat$missing")]
+        return self.resolve_resources(calls)
+
+    def _walk_labels(self, base: str) -> list[str]:
+        """Relation-guided walk with same-surface fallback.
+
+        Each step follows a learned edge when one exists; at dead ends
+        it usually continues with another interface of the same driver
+        or service (stateful interfaces want clustered call sequences),
+        and stops otherwise.
+        """
+        labels = [base]
+        current = base
+        while len(labels) < self._max_walk:
+            if self._rng.random() < 0.25:
+                break
+            nxt = None
+            edges = self._relations.out_edges(current)
+            if edges:
+                dsts = sorted(edges)
+                weights = [edges[d] for d in dsts]
+                if sum(weights) > 0:
+                    nxt = self._rng.choices(dsts, weights=weights, k=1)[0]
+            if nxt is None and self._rng.random() < 0.7:
+                nxt = self.sibling_label(current)
+            if nxt is None:
+                break
+            labels.append(nxt)
+            current = nxt
+        return labels
+
+    def generate_call_for(self, label: str) -> Call | None:
+        """Instantiate one call (used by the mutator's insert op)."""
+        return self.instantiate(label)
+
+    def sibling_label(self, label: str) -> str | None:
+        """A random label of the same driver/service as ``label``.
+
+        Same-surface affinity: extending a program with another call of
+        the interface it already touches is how call-sequence state
+        machines get explored.
+        """
+        if self._siblings is None:
+            groups: dict[str, list[str]] = {}
+            owner: dict[str, str] = {}
+            for name in self._registry.names():
+                desc = self._registry.get(name)
+                groups.setdefault(desc.driver, []).append(name)
+                owner[name] = desc.driver
+            if self._hal_model is not None:
+                for hal_label in self._hal_model.labels():
+                    service = self._hal_model.methods[hal_label].service
+                    groups.setdefault(service, []).append(hal_label)
+                    owner[hal_label] = service
+            self._siblings = (groups, owner)
+        groups, owner = self._siblings
+        group = groups.get(owner.get(label, ""), ())
+        if not group:
+            return None
+        return self._rng.choice(group)
+
+    # ------------------------------------------------------------------
+    # instantiation
+    # ------------------------------------------------------------------
+
+    def instantiate(self, label: str) -> Call | None:
+        """Instantiate the call named by a relation-graph vertex."""
+        if self._hal_model is not None:
+            model = self._hal_model.get(label)
+            if model is not None:
+                return self._instantiate_hal(model)
+        desc = self._registry.get(label)
+        if desc is not None:
+            return self._instantiate_syscall(desc)
+        return None
+
+    def _instantiate_hal(self, model) -> HalCall:
+        pooled = self._pooled_args(model.label)
+        if pooled is not None:
+            # Historical payload *mutation* (§IV-C): mostly replay, but
+            # regenerate individual positions so proven call contexts
+            # still meet adversarial argument values.
+            args = []
+            for position, value in enumerate(pooled):
+                if (self._rng.random() < 0.15
+                        and position < len(model.signature)
+                        and not isinstance(value, ResourceRef)):
+                    args.append(gen_hal_value(self._rng,
+                                              model.signature[position]))
+                elif isinstance(value, StructValue):
+                    args.append(value.copy())
+                else:
+                    args.append(value)
+            return HalCall(model.service, model.name, tuple(args))
+        seen: tuple | None = None
+        if model.seen_args and self._rng.random() < 0.55:
+            # Replay an argument tuple observed in framework traffic —
+            # vendor-valid values the fuzzer cannot guess (resolutions,
+            # rates, channel numbers).  Handle-like positions are still
+            # rewritten below: observed handles go stale, the linked
+            # producer provides live ones.
+            seen = self._rng.choice(model.seen_args)
+        args = []
+        for position, tag in enumerate(model.signature):
+            link = model.links.get(position)
+            if link is not None:
+                kind = f"hal:{link[0]}.{link[1]}"
+                roll = self._rng.random()
+                stale_pool = self._observed.get(kind)
+                if roll < 0.7:
+                    args.append(ResourceRef(UNRESOLVED, kind))
+                    continue
+                if roll < 0.9 and stale_pool:
+                    # Reuse a concrete historical handle: if the object
+                    # it named has since been invalidated, this is the
+                    # stale-handle path.
+                    args.append(self._rng.choice(tuple(stale_pool)))
+                    continue
+            if (seen is not None and position < len(seen)
+                    and self._rng.random() < 0.85):
+                # Mostly keep the observed value, but mix in generated
+                # ones so valid call contexts still see boundary
+                # payloads (an always-verbatim replay would never pair
+                # a live handle with an adversarial argument).
+                args.append(seen[position])
+            else:
+                args.append(gen_hal_value(self._rng, tag))
+        return HalCall(model.service, model.name, tuple(args))
+
+    def _instantiate_syscall(self, desc: SyscallDesc) -> SyscallCall:
+        pooled = self._pooled_args(desc.name)
+        if pooled is not None:
+            args = []
+            for value in pooled:
+                if isinstance(value, StructValue):
+                    value = value.copy()
+                    if value.values and self._rng.random() < 0.15:
+                        key = self._rng.choice(sorted(value.values))
+                        field = next((f for f in fields_from_desc(desc)
+                                      if f.name == key), None)
+                        if field is not None:
+                            value.values[key] = gen_field(self._rng, field)
+                elif (isinstance(value, (bytes, bytearray))
+                      and self._rng.random() < 0.15):
+                    value = gen_bytes(self._rng, max(len(value), 16))
+                args.append(value)
+            return SyscallCall(desc.name, tuple(args))
+        rng = self._rng
+        fd_ref = (ResourceRef(UNRESOLVED, desc.fd_resource)
+                  if desc.fd_resource else None)
+        if desc.kind == "open":
+            return SyscallCall(desc.name, (rng.choice((0, 2, 2, 0o4002)),))
+        if desc.kind in ("close", "dup", "accept", "getsockopt"):
+            return SyscallCall(desc.name, (fd_ref,))
+        if desc.kind == "read":
+            return SyscallCall(desc.name, (fd_ref, gen_int(rng, 1, 512)))
+        if desc.kind == "recvfrom":
+            return SyscallCall(desc.name, (fd_ref, gen_int(rng, 1, 512)))
+        if desc.kind == "listen":
+            return SyscallCall(desc.name, (fd_ref, gen_int(rng, 0, 8)))
+        if desc.kind == "write":
+            captured = self._captured_writes.get(desc.path)
+            if desc.write_fields and rng.random() < 0.8:
+                payload: object = self._struct_for(desc.name,
+                                                   desc.write_fields)
+            elif captured and rng.random() < 0.7:
+                payload = rng.choice(tuple(captured))
+            else:
+                payload = gen_bytes(rng, 96)
+            return SyscallCall(desc.name, (fd_ref, payload))
+        if desc.kind == "ioctl_raw":
+            captured = self._captured_ioctls.get(desc.path)
+            if captured and rng.random() < 0.85:
+                request, arg = rng.choice(tuple(captured))
+            else:
+                request = rng.getrandbits(32)
+                arg = rng.choice((None, gen_int(rng, 0, 64),
+                                  gen_bytes(rng, 32)))
+            return SyscallCall(desc.name, (fd_ref, request, arg))
+        if desc.kind == "sendto":
+            return SyscallCall(desc.name, (fd_ref, gen_bytes(rng, 96)))
+        if desc.kind == "mmap":
+            return SyscallCall(desc.name, (
+                fd_ref, rng.choice((4096, 8192, 65536)),
+                rng.choice((0, 4096, 8192, 1 << 12))))
+        if desc.kind == "socket":
+            sock_type = (rng.choice(desc.sock_types)
+                         if desc.sock_types else 1)
+            protocol = (rng.choice(desc.protocols)
+                        if desc.protocols else 0)
+            return SyscallCall(desc.name, (sock_type, protocol))
+        if desc.kind in ("bind", "connect"):
+            return SyscallCall(desc.name, (
+                fd_ref, self._struct_for(desc.name, desc.addr_fields)))
+        if desc.kind == "setsockopt":
+            return SyscallCall(desc.name, (
+                fd_ref, self._struct_for(desc.name, desc.opt_fields)))
+        if desc.kind == "ioctl":
+            if desc.arg == "none":
+                return SyscallCall(desc.name, (fd_ref,))
+            if desc.arg == "int":
+                field = desc.int_kind
+                value = gen_field(rng, field) if field else gen_int(rng, 0, 64)
+                return SyscallCall(desc.name, (fd_ref, value))
+            if desc.arg == "buffer":
+                return SyscallCall(desc.name, (fd_ref, gen_bytes(rng, 64)))
+            return SyscallCall(desc.name, (
+                fd_ref, self._struct_for(desc.name, desc.fields)))
+        return SyscallCall(desc.name, (fd_ref,) if fd_ref else ())
+
+    def _struct_for(self, spec_name: str, fields) -> StructValue:
+        values = {}
+        for f in fields:
+            pool = self._field_values.get(f.name)
+            if (pool and f.kind in ("range", "enum")
+                    and self._rng.random() < 0.35):
+                # Cross-call agreement: reuse an identifier another call
+                # recently used under the same field name (PSM, handle,
+                # index …) so independent calls can name the same object.
+                values[f.name] = self._rng.choice(tuple(pool))
+            else:
+                values[f.name] = gen_field(self._rng, f)
+            self._record_field_value(f.name, values[f.name])
+        return StructValue(spec_name, values)
+
+    # ------------------------------------------------------------------
+    # producer-call insertion
+    # ------------------------------------------------------------------
+
+    def resolve_resources(self, calls: list[Call]) -> Program:
+        """Fix unresolved references by inserting producer prefixes."""
+        out: list[Call] = []
+        produced_at: dict[str, int] = {}
+
+        def ensure(kind: str, depth: int) -> int | None:
+            if kind in produced_at:
+                # Usually reuse the live instance, but sometimes make a
+                # second one — many bugs need two objects of the same
+                # kind (a listener and a connecting socket, two stream
+                # configurations, …).
+                if depth > 0 or self._rng.random() < 0.8:
+                    return produced_at[kind]
+            if depth > 4:
+                return produced_at.get(kind)
+            producer_calls = self._make_producer(kind)
+            if not producer_calls:
+                return produced_at.get(kind)
+            index = None
+            for producer in producer_calls:
+                emit(producer, depth + 1)
+                if self._produced_kind(producer) == kind:
+                    index = produced_at.get(kind)
+            return index if index is not None else produced_at.get(kind)
+
+        def emit(call: Call, depth: int = 0) -> None:
+            fixed_args = []
+            for arg in call.args:
+                fixed_args.append(self._fix_value(arg, ensure, depth))
+            call.args = tuple(fixed_args)
+            out.append(call)
+            kind = self._produced_kind(call)
+            if kind:
+                produced_at[kind] = len(out) - 1
+
+        for call in calls:
+            emit(call)
+        program = Program(out)
+        program.validate()
+        return program
+
+    def _fix_value(self, value, ensure, depth: int):
+        if isinstance(value, ResourceRef) and value.index == UNRESOLVED:
+            index = ensure(value.kind, depth)
+            if index is None:
+                # No producer available: degrade to a junk scalar.
+                return gen_int(self._rng, 0, 64)
+            return ResourceRef(index, value.kind)
+        if isinstance(value, StructValue):
+            value.values = {
+                key: self._fix_value(inner, ensure, depth)
+                for key, inner in value.values.items()}
+            # Struct fields must stay int/bytes/ref.
+            value.values = {k: (v if isinstance(v, (int, bytes, ResourceRef))
+                                else 0)
+                            for k, v in value.values.items()}
+        return value
+
+    def _produced_kind(self, call: Call) -> str | None:
+        if call.is_hal:
+            return f"hal:{call.label}"
+        desc = self._registry.get(call.desc)
+        if desc is not None and desc.produces:
+            return desc.produces
+        return None
+
+    def _make_producer(self, kind: str) -> list[Call]:
+        """Call sequence that defines resource ``kind``.
+
+        Most resources take one call.  Rendezvous identifiers produced
+        by ``bind`` additionally need a ``listen`` on the same socket to
+        be consumable — a syzkaller-style multi-call setup template.
+        """
+        if kind.startswith("hal:"):
+            label = kind[len("hal:"):]
+            if self._hal_model is None:
+                return []
+            model = self._hal_model.get(label)
+            if model is None:
+                return []
+            return [self._instantiate_hal(model)]
+        producers = self._registry.producers_of(kind)
+        if not producers:
+            return []
+        # Prefer simple producers (opens before ioctls) to keep prefixes
+        # short; fall back to any.
+        opens = [d for d in producers if d.kind in ("open", "socket")]
+        desc = self._rng.choice(opens or producers)
+        calls = [self._instantiate_syscall(desc)]
+        if desc.kind == "bind" and desc.produce_field:
+            # Rendezvous setup template: a *dedicated* socket, bound and
+            # listening, so the consumer's own socket stays distinct.
+            sock_descs = [d for d in self._registry.producers_of(
+                desc.fd_resource) if d.kind == "socket"]
+            if sock_descs:
+                calls.insert(0, self._instantiate_syscall(sock_descs[0]))
+            listen = self._registry.get(
+                desc.name.replace("bind$", "listen$"))
+            if listen is not None:
+                calls.append(self._instantiate_syscall(listen))
+        return calls

@@ -1,0 +1,53 @@
+"""Program minimization (paper §IV-C).
+
+"When a new coverage is detected, we *minimize* the call to the bare
+bones API and system calls, ensuring that only the most essential
+invocations that trigger the same execution behavior are exercised."
+
+The minimizer greedily removes calls (together with their dependents)
+while a caller-provided predicate confirms the signal — new coverage or
+a crash title — still triggers.  The predicate re-executes the program
+on the device, so the engine bounds how often minimization runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dsl.model import Program
+
+
+def minimize(program: Program,
+             still_interesting: Callable[[Program], bool],
+             max_executions: int = 24) -> Program:
+    """Greedy call-removal minimization.
+
+    Args:
+        program: the interesting program (not modified).
+        still_interesting: re-executes a candidate and reports whether
+            the original signal persists.
+        max_executions: hard bound on predicate invocations.
+
+    Returns:
+        The smallest found program that keeps the signal (possibly the
+        original).
+    """
+    current = program.copy()
+    budget = max_executions
+    progress = True
+    while progress and budget > 0 and len(current) > 1:
+        progress = False
+        # Back-to-front: dropping late calls never invalidates refs and
+        # tends to strip the junk suffix first.
+        for index in range(len(current) - 1, -1, -1):
+            if budget <= 0:
+                break
+            candidate = current.drop_call(index)
+            if not candidate.calls:
+                continue
+            budget -= 1
+            if still_interesting(candidate):
+                current = candidate
+                progress = True
+                break
+    return current

@@ -1,0 +1,240 @@
+"""Program mutation operators (coverage-guided evolution).
+
+Standard corpus-evolution operators over DSL programs: argument
+tweaking (boundary-biased ints, struct-field edits, byte havoc), call
+insertion (relation-guided when possible), call removal, duplication,
+and splicing of two corpus programs.  All operators preserve the
+backward-reference invariant of :class:`Program`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.generation.generator import PayloadGenerator
+from repro.core.generation.values import UNRESOLVED, gen_bytes, gen_hal_value, gen_int
+from repro.dsl.model import Call, Program, ResourceRef, StructValue
+
+
+def _havoc_bytes(rng: random.Random, data: bytes) -> bytes:
+    if not data:
+        return gen_bytes(rng, 32)
+    buf = bytearray(data)
+    for _ in range(rng.randint(1, 4)):
+        op = rng.randint(0, 4)
+        pos = rng.randrange(len(buf))
+        if op == 0:
+            buf[pos] ^= 1 << rng.randint(0, 7)
+        elif op == 1:
+            buf[pos] = rng.randint(0, 255)
+        elif op == 2 and len(buf) > 1:
+            del buf[pos]
+        elif op == 3:
+            buf.insert(pos, rng.randint(0, 255))
+        else:
+            buf[pos:pos + 1] = bytes([rng.choice((0, 0xFF, 0x7F))])
+    return bytes(buf)
+
+
+class Mutator:
+    """Mutates corpus programs into new candidates."""
+
+    def __init__(self, generator: PayloadGenerator,
+                 rng: random.Random, max_calls: int = 16) -> None:
+        self._generator = generator
+        self._rng = rng
+        self._max_calls = max_calls
+
+    def mutate(self, program: Program,
+               splice_donor: Program | None = None) -> Program:
+        """Return a mutated copy of ``program``."""
+        candidate = program.copy()
+        operations = [self._mutate_arg, self._mutate_arg, self._insert_call,
+                      self._insert_call, self._remove_call,
+                      self._duplicate_call]
+        if splice_donor is not None and len(splice_donor) > 0:
+            operations.append(lambda p: self._splice(p, splice_donor))
+        for _ in range(self._rng.randint(1, 3)):
+            operation = self._rng.choice(operations)
+            candidate = operation(candidate)
+            if not candidate.calls:
+                candidate = program.copy()
+        candidate.validate()
+        return candidate
+
+    # ------------------------------------------------------------------
+
+    def _mutate_arg(self, program: Program) -> Program:
+        if not program.calls:
+            return program
+        call = self._rng.choice(program.calls)
+        if not call.args:
+            return program
+        index = self._rng.randrange(len(call.args))
+        args = list(call.args)
+        args[index] = self._mutate_value(args[index], call)
+        call.args = tuple(args)
+        return program
+
+    def _mutate_value(self, value, call: Call):
+        rng = self._rng
+        if isinstance(value, ResourceRef):
+            # Occasionally poison the reference (stale/invalid handle).
+            if rng.random() < 0.25:
+                return gen_int(rng, 0, 1 << 16)
+            return value
+        if isinstance(value, StructValue):
+            if value.values:
+                key = rng.choice(sorted(value.values))
+                value.values[key] = self._mutate_value(value.values[key],
+                                                       call)
+            return value
+        if isinstance(value, bool):
+            return not value
+        if isinstance(value, int):
+            roll = rng.random()
+            if roll < 0.4:
+                return value + rng.choice((-1, 1, -8, 8, 0x100, -0x100))
+            if roll < 0.6:
+                return rng.choice((0, 1, -1, 0xFFFF, 0xFFFFFFFF))
+            return gen_int(rng, 0, 1 << 20)
+        if isinstance(value, float):
+            return value * rng.choice((0.0, -1.0, 2.0, 1e6))
+        if isinstance(value, str):
+            if call.is_hal:
+                return gen_hal_value(rng, "str")
+            return value + "A" * rng.randint(1, 8)
+        if isinstance(value, (bytes, bytearray)):
+            if rng.random() < 0.1:
+                return b""  # boundary payload: empty buffer
+            return _havoc_bytes(rng, bytes(value))
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _insert_call(self, program: Program) -> Program:
+        if len(program) >= self._max_calls:
+            return program
+        # Relation-guided: extend from the label of a random existing
+        # call when possible, otherwise any vertex.
+        label = None
+        if program.calls:
+            anchor = self._rng.choice(program.calls).label
+            roll = self._rng.random()
+            if roll < 0.45:
+                walked = self._generator._relations.walk(
+                    anchor, self._rng, max_steps=1, stop_probability=0.0)
+                if len(walked) > 1:
+                    label = walked[1]
+            elif roll < 0.8:
+                # Same-surface affinity: another call of a driver or
+                # service the program already touches.
+                label = self._generator.sibling_label(anchor)
+        if label is None:
+            label = self._generator._relations.pick_base(self._rng)
+        call = self._generator.generate_call_for(label)
+        if call is None:
+            return program
+        if self._rng.random() < 0.5:
+            return self._insert_at(program, call,
+                                   self._rng.randint(0, len(program)))
+        resolved = self._generator.resolve_resources(
+            [c.copy() for c in program.calls] + [call])
+        if len(resolved) > self._max_calls + 4:
+            return program
+        return resolved
+
+    def _insert_at(self, program: Program, call: Call,
+                   position: int) -> Program:
+        """Insert mid-program: this is what turns handles *stale*.
+
+        The new call's unresolved references bind only to producers
+        before ``position``; references in later calls shift by one but
+        keep pointing at their original producers — so a producer
+        re-executed in between invalidates what they name.
+        """
+        call.args = tuple(self._bind_backward(a, program, position)
+                          for a in call.args)
+        for later in program.calls[position:]:
+            later.args = tuple(self._shift_from(a, position)
+                               for a in later.args)
+        program.calls.insert(position, call)
+        return program
+
+    def _bind_backward(self, value, program: Program, position: int):
+        if isinstance(value, ResourceRef) and value.index == UNRESOLVED:
+            for index in range(position - 1, -1, -1):
+                kind = self._generator._produced_kind(program.calls[index])
+                if kind == value.kind:
+                    return ResourceRef(index, value.kind)
+            return gen_int(self._rng, 0, 1 << 10)
+        if isinstance(value, StructValue):
+            value.values = {
+                k: self._bind_backward(v, program, position)
+                if isinstance(v, ResourceRef) else v
+                for k, v in value.values.items()}
+            value.values = {k: (v if isinstance(v, (int, bytes, ResourceRef))
+                                else 0)
+                            for k, v in value.values.items()}
+        return value
+
+    @staticmethod
+    def _shift_from(value, position: int):
+        if isinstance(value, ResourceRef):
+            if value.index >= position:
+                return ResourceRef(value.index + 1, value.kind)
+            return value
+        if isinstance(value, StructValue):
+            value.values = {
+                k: (ResourceRef(v.index + 1, v.kind)
+                    if isinstance(v, ResourceRef) and v.index >= position
+                    else v)
+                for k, v in value.values.items()}
+        return value
+
+    def _remove_call(self, program: Program) -> Program:
+        if len(program) <= 1:
+            return program
+        return program.drop_call(self._rng.randrange(len(program)))
+
+    def _duplicate_call(self, program: Program) -> Program:
+        """Clone a call in place (right after the original).
+
+        In-place duplication matters: repeating a queue/submit call
+        *before* the consuming drain/commit is how batch-processing
+        paths get multi-element batches.
+        """
+        if not program.calls or len(program) >= self._max_calls:
+            return program
+        index = self._rng.randrange(len(program))
+        copies = self._rng.randint(1, 4)
+        for _ in range(copies):
+            if len(program) >= self._max_calls + 4:
+                break
+            clone = program.calls[index].copy()
+            for later in program.calls[index + 1:]:
+                later.args = tuple(self._shift_from(a, index + 1)
+                                   for a in later.args)
+            program.calls.insert(index + 1, clone)
+        return program
+
+    def _splice(self, program: Program, donor: Program) -> Program:
+        offset = len(program.calls)
+        if offset + len(donor) > self._max_calls + 8:
+            return program
+        for call in donor.calls:
+            shifted = call.copy()
+            shifted.args = tuple(self._shift_ref(a, offset)
+                                 for a in shifted.args)
+            program.calls.append(shifted)
+        return program
+
+    @staticmethod
+    def _shift_ref(value, offset: int):
+        if isinstance(value, ResourceRef):
+            return ResourceRef(value.index + offset, value.kind)
+        if isinstance(value, StructValue):
+            value.values = {k: (ResourceRef(v.index + offset, v.kind)
+                                if isinstance(v, ResourceRef) else v)
+                            for k, v in value.values.items()}
+        return value

@@ -1,0 +1,97 @@
+"""Typed value generation for description fields and HAL signatures.
+
+Shared by the generator and the mutator.  Integer generation is
+boundary-biased (fuzzing folklore: off-by-one bugs live at the edges);
+enum/const/flags fields mostly honour their sets with a small
+probability of deliberate violation so error paths get covered too.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dsl.model import ResourceRef
+from repro.kernel.ioctl import FieldSpec
+
+#: Marker index for a resource reference that still needs resolving.
+UNRESOLVED = -1
+
+_INTERESTING_INTS = (0, 1, -1, 2, 7, 8, 63, 64, 127, 128, 255, 256,
+                     1023, 1024, 4095, 4096, 65535, 1 << 20, 1 << 31)
+
+
+def gen_int(rng: random.Random, lo: int = 0, hi: int = 0xFFFFFFFF) -> int:
+    """Boundary-biased integer in [lo, hi] (with rare out-of-range)."""
+    roll = rng.random()
+    if roll < 0.25:
+        return rng.choice((lo, hi, lo + 1, max(hi - 1, lo), (lo + hi) // 2))
+    if roll < 0.35:
+        candidate = rng.choice(_INTERESTING_INTS)
+        return candidate
+    if roll < 0.40:
+        return rng.randint(lo, hi) + rng.choice((-1, 1)) * rng.randint(1, 8)
+    return rng.randint(lo, hi)
+
+
+def gen_bytes(rng: random.Random, max_len: int = 64) -> bytes:
+    """Random payload bytes, biased toward short and structured."""
+    roll = rng.random()
+    if roll < 0.2:
+        return b""
+    if roll < 0.5:
+        length = rng.randint(1, 8)
+    else:
+        length = rng.randint(1, max_len)
+    if rng.random() < 0.3:
+        return bytes([rng.randint(0, 255)]) * length
+    return bytes(rng.randint(0, 255) for _ in range(length))
+
+
+def gen_field(rng: random.Random, field: FieldSpec):
+    """Generate a value for one description field.
+
+    Resource fields return an unresolved :class:`ResourceRef` marker for
+    the producer-insertion pass to fix up.
+    """
+    if field.kind == "resource":
+        if field.values and rng.random() < 0.4:
+            # Rendezvous fields carry fallback literals (well-known
+            # PSMs etc.) alongside the resource form.
+            return rng.choice(field.values)
+        return ResourceRef(UNRESOLVED, field.resource)
+    if field.fmt.endswith("s"):
+        return gen_bytes(rng, max_len=field.size())
+    if field.kind == "enum":
+        if field.values and rng.random() < 0.9:
+            return rng.choice(field.values)
+        return gen_int(rng)
+    if field.kind == "const":
+        if field.values and rng.random() < 0.92:
+            return field.values[0]
+        return gen_int(rng)
+    if field.kind == "flags":
+        if field.values and rng.random() < 0.85:
+            chosen = 0
+            for bit in field.values:
+                if rng.random() < 0.5:
+                    chosen |= bit
+            return chosen
+        return gen_int(rng, 0, 0xFF)
+    # range
+    return gen_int(rng, field.lo, min(field.hi, 1 << 32))
+
+
+def gen_hal_value(rng: random.Random, tag: str):
+    """Generate a value for one HAL signature slot."""
+    if tag in ("i32", "u32", "i64"):
+        return gen_int(rng, 0, 1 << 16)
+    if tag == "f32":
+        return round(rng.uniform(-2.0, 2.0), 3)
+    if tag == "bool":
+        return rng.random() < 0.5
+    if tag == "str":
+        pool = ("", "default", "0", "test", "a" * 16, "vendor.param")
+        return rng.choice(pool)
+    if tag == "bytes":
+        return gen_bytes(rng)
+    return 0

@@ -1,0 +1,7 @@
+"""Pre-testing HAL driver probing (paper §IV-B)."""
+
+from repro.core.probe.interface_model import HalInterfaceModel, HalMethodModel
+from repro.core.probe.poke_app import PokeApp
+from repro.core.probe.prober import Prober
+
+__all__ = ["HalInterfaceModel", "HalMethodModel", "PokeApp", "Prober"]

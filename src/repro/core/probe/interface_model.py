@@ -1,0 +1,89 @@
+"""The probed model of a device's HAL interfaces.
+
+This is everything the fuzzer knows about the proprietary HALs: it was
+*observed*, not read from source.  Method signatures come from watching
+parcel type tracks on Binder transactions; weights from counting
+occurrences while replaying framework usage; resource links from the
+prober's differential experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HalMethodModel:
+    """One probed HAL interface method.
+
+    Attributes:
+        service: instance name the method lives on.
+        name: method name recovered from interface metadata.
+        code: Binder transaction code.
+        signature: parcel type tags observed for the arguments.
+        weight: normalized occurrence weight in (0, 1] (§IV-B).
+        reply_ints: count of integer values seen in the reply after the
+            status (candidate resource producers).
+        links: argument position → (producer service, producer method)
+            inferred by the prober's differential pass.
+        seen_args: argument tuples recovered from observed framework
+            traffic (the prober decodes the raw IPC buffers) — the
+            fuzzer's source of *valid* vendor argument values.
+    """
+
+    service: str
+    name: str
+    code: int
+    signature: tuple[str, ...] = ()
+    weight: float = 0.1
+    reply_ints: int = 0
+    links: dict[int, tuple[str, str]] = field(default_factory=dict)
+    seen_args: list[tuple] = field(default_factory=list)
+
+    def remember_args(self, values: tuple, cap: int = 24) -> None:
+        """Record one observed argument tuple (bounded, deduplicated)."""
+        if values in self.seen_args:
+            return
+        self.seen_args.append(values)
+        if len(self.seen_args) > cap:
+            self.seen_args.pop(0)
+
+    @property
+    def label(self) -> str:
+        """Vertex identity in the relation graph."""
+        return f"{self.service}.{self.name}"
+
+
+@dataclass
+class HalInterfaceModel:
+    """All probed interfaces of one device."""
+
+    methods: dict[str, HalMethodModel] = field(default_factory=dict)
+    #: Canonical call flows distilled from observed framework traffic:
+    #: ordered (label, args) sequences per service — the fuzzer's seed
+    #: programs (the daemon's persistent seed corpus, §IV-A).
+    flows: list[list[tuple[str, tuple]]] = field(default_factory=list)
+
+    def add(self, model: HalMethodModel) -> None:
+        """Register a probed method."""
+        self.methods[model.label] = model
+
+    def get(self, label: str) -> HalMethodModel | None:
+        """Method model by ``service.method`` label."""
+        return self.methods.get(label)
+
+    def labels(self) -> list[str]:
+        """All probed method labels, sorted."""
+        return sorted(self.methods)
+
+    def by_service(self, service: str) -> list[HalMethodModel]:
+        """All methods of one service."""
+        return [m for m in self.methods.values() if m.service == service]
+
+    def services(self) -> list[str]:
+        """All probed service names, sorted."""
+        return sorted({m.service for m in self.methods.values()})
+
+    def interface_count(self) -> int:
+        """Total number of probed interfaces."""
+        return len(self.methods)

@@ -1,0 +1,98 @@
+"""The Poke application (paper §IV-B, Figure 3).
+
+A framework-level app installed on the device.  It resolves HAL services
+through the ServiceManager, reflects their interface stubs (on real
+Android: the HIDL/AIDL-generated classes), and performs two kinds of
+driving on the prober's behalf:
+
+* a *short trial* of every exposed interface with benign marshaled
+  parameters, so the prober can record argument types from the IPC; and
+* replay of *framework usage flows* (what high-level Android APIs would
+  do), so the prober can count per-interface occurrence for weighting.
+
+The Poke app never inspects HAL internals — everything it touches is
+reachable from an unprivileged app with the framework's stubs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DeadObjectError
+
+if TYPE_CHECKING:
+    from repro.device.device import AndroidDevice
+
+
+class PokeApp:
+    """Framework-level trial driver."""
+
+    def __init__(self, device: "AndroidDevice") -> None:
+        self._device = device
+        self._task = device.new_process("com.droidfuzz.poke")
+
+    @property
+    def pid(self) -> int:
+        """The app's kernel pid (what the eBPF probe filters on)."""
+        return self._task.pid
+
+    def list_hals(self) -> list[tuple[str, str]]:
+        """Enumerate running HALs (lshal through the framework)."""
+        return self._device.service_manager.list_hals()
+
+    def reflect_methods(self, service_name: str) -> list[tuple[int, str]]:
+        """(code, name) pairs reflected from the interface stubs."""
+        service = self._device.hal_service(service_name)
+        if service is None:
+            return []
+        return [(m.code, m.name) for m in service.methods()]
+
+    def invoke(self, service_name: str, method_name: str,
+               args: tuple[Any, ...] | None = None) -> int | None:
+        """Invoke one HAL method through Binder; returns the status.
+
+        ``args=None`` uses the stub's benign sample arguments.  Returns
+        ``None`` when the transaction could not complete (dead service).
+        """
+        service = self._device.hal_service(service_name)
+        if service is None:
+            return None
+        method = service.method_by_name(method_name)
+        if method is None:
+            return None
+        if args is None:
+            args = service.sample_args(method_name)
+        try:
+            status, _reply = self._device.hal_transact(
+                self.pid, "com.droidfuzz.poke", service_name, method_name,
+                tuple(args))
+        except DeadObjectError:
+            return None
+        return status
+
+    def invoke_with_reply(self, service_name: str, method_name: str,
+                          args: tuple[Any, ...]):
+        """Invoke and return ``(status, reply_parcel)`` or ``None``."""
+        try:
+            return self._device.hal_transact(
+                self.pid, "com.droidfuzz.poke", service_name, method_name,
+                tuple(args))
+        except DeadObjectError:
+            return None
+
+    def run_framework_flows(self, service_name: str) -> int:
+        """Replay the framework usage flows for one service.
+
+        Returns the number of steps executed.  On real hardware this is
+        "use the camera app / play audio / toggle hotspot" while the
+        probe records; here the flows come from the framework stubs.
+        """
+        service = self._device.hal_service(service_name)
+        if service is None:
+            return 0
+        steps = 0
+        for scenario in service.framework_scenarios():
+            for method_name, args in scenario:
+                self.invoke(service_name, method_name, tuple(args))
+                steps += 1
+        return steps

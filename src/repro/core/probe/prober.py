@@ -1,0 +1,239 @@
+"""The native prober utility (paper §IV-B, Figure 3).
+
+Runs natively on the device (no framework abstractions).  It:
+
+1. enumerates running HALs (``lshal`` / ServiceManager),
+2. inserts an eBPF probe on Binder transactions filtered to the Poke
+   app's pid,
+3. has the Poke app conduct a short trial of every exposed interface,
+   recovering per-method argument type signatures from the recorded IPC,
+4. replays framework usage flows and computes each interface's
+   *normalized occurrence* weight, and
+5. runs a differential experiment to infer resource links — which
+   integer arguments want the reply value of which producer method.
+
+The output is a :class:`HalInterfaceModel`, the only HAL knowledge the
+fuzzer gets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.probe.interface_model import HalInterfaceModel, HalMethodModel
+from repro.core.probe.poke_app import PokeApp
+from repro.kernel.tracepoints import BinderRecord
+
+if TYPE_CHECKING:
+    from repro.device.device import AndroidDevice
+
+#: Weight floor/ceiling so every vertex weight lands in (0, 1).
+_W_MIN = 0.05
+_W_MAX = 0.95
+
+#: Differential-link experiment: offset added to a candidate resource
+#: value to produce an almost-certainly-invalid one.
+_POISON_OFFSET = 7777
+
+
+class Prober:
+    """Pre-testing HAL driver probing pass."""
+
+    def __init__(self, device: "AndroidDevice") -> None:
+        self._device = device
+        self._poke = PokeApp(device)
+        self._records: list[BinderRecord] = []
+
+    # ------------------------------------------------------------------
+
+    def probe(self, infer_links: bool = True) -> HalInterfaceModel:
+        """Run the full probing pass; returns the interface model."""
+        model = HalInterfaceModel()
+        hals = self._poke.list_hals()
+
+        handle = self._device.kernel.trace.attach(
+            "binder_transaction", self._records.append,
+            pid_filter=self._poke.pid)
+        try:
+            for service_name, _descriptor in hals:
+                self._trial_service(model, service_name)
+            counts = self._measure_weights(model, hals)
+        finally:
+            self._device.kernel.trace.detach(handle)
+
+        self._assign_weights(model, counts)
+        if infer_links:
+            self._infer_links(model)
+        return model
+
+    # ------------------------------------------------------------------
+
+    def _trial_service(self, model: HalInterfaceModel,
+                       service_name: str) -> None:
+        """Short trial of every exposed interface; record signatures."""
+        for code, name in self._poke.reflect_methods(service_name):
+            before = len(self._records)
+            self._poke.invoke(service_name, name)
+            signature: tuple[str, ...] = ()
+            seen: tuple | None = None
+            for record in self._records[before:]:
+                if record.service == service_name and record.code == code:
+                    signature = record.payload_types
+                    if record.reply_ok:
+                        seen = record.payload_values
+                    break
+            method = HalMethodModel(service=service_name, name=name,
+                                    code=code, signature=signature)
+            if seen is not None:
+                method.remember_args(seen)
+            model.add(method)
+
+    def _measure_weights(self, model: HalInterfaceModel,
+                         hals: list[tuple[str, str]]) -> dict[str, int]:
+        """Replay framework flows; count per-interface occurrences.
+
+        Besides the occurrence counts (weights), the observed traffic is
+        distilled into canonical call *flows* — ordered per-service call
+        sequences with their argument values — which seed the fuzzer's
+        corpus with known-good stateful orderings.
+        """
+        before = len(self._records)
+        for service_name, _descriptor in hals:
+            self._poke.run_framework_flows(service_name)
+        counts: dict[str, int] = {}
+        flow: list[tuple[str, tuple]] = []
+        flow_service: str | None = None
+        for record in self._records[before:]:
+            method = model.get(f"{record.service}.{record.method}")
+            if method is None:
+                continue
+            counts[method.label] = counts.get(method.label, 0) + 1
+            if record.reply_ok:
+                method.remember_args(record.payload_values)
+            if record.service != flow_service or len(flow) >= 12:
+                if len(flow) >= 2:
+                    model.flows.append(flow)
+                flow = []
+                flow_service = record.service
+            flow.append((method.label, record.payload_values))
+        if len(flow) >= 2:
+            model.flows.append(flow)
+        return counts
+
+    def _assign_weights(self, model: HalInterfaceModel,
+                        counts: dict[str, int]) -> None:
+        """Normalized occurrence → vertex weight in (0, 1) (§IV-B)."""
+        peak = max(counts.values(), default=0)
+        for method in model.methods.values():
+            if peak == 0:
+                method.weight = 0.3
+                continue
+            occurrence = counts.get(method.label, 0)
+            method.weight = (_W_MIN
+                             + (occurrence / peak) * (_W_MAX - _W_MIN))
+
+    # ------------------------------------------------------------------
+
+    def _infer_links(self, model: HalInterfaceModel) -> None:
+        """Differential resource-link inference within each service.
+
+        For every (producer, consumer) pair where the producer's trial
+        reply carried an integer and the consumer takes integer
+        arguments: call the producer, feed its reply value into each int
+        argument position of the consumer, and compare against a
+        poisoned value.  Success-with-value but failure-with-poison is
+        strong evidence of a handle relationship.
+        """
+        for service_name in model.services():
+            methods = model.by_service(service_name)
+            producers = [m for m in methods
+                         if self._warmed_producer_value(m) is not None]
+            for producer in producers:
+                for consumer in methods:
+                    if consumer.label == producer.label:
+                        continue
+                    self._test_link(producer, consumer)
+
+    def _warmed_producer_value(self, method: HalMethodModel) -> int | None:
+        """Producer probe with adaptive warm-up.
+
+        Services are stateful: a producer may fail simply because the
+        trial pass left the service torn down (e.g. the camera session
+        closed).  Invoke sibling interfaces one at a time until the
+        producer starts succeeding, mirroring how a prober nudges a
+        stateful HAL back into a usable state.
+        """
+        value = self._producer_value(method)
+        if value is not None:
+            return value
+        for _code, name in self._poke.reflect_methods(method.service):
+            if name == method.name:
+                continue
+            self._poke.invoke(method.service, name)
+            value = self._producer_value(method)
+            if value is not None:
+                return value
+        return None
+
+    def _producer_value(self, method: HalMethodModel) -> int | None:
+        """Invoke a candidate producer; return its first reply int."""
+        service = self._device.hal_service(method.service)
+        if service is None:
+            return None
+        args = service.sample_args(method.name)
+        result = self._poke.invoke_with_reply(method.service, method.name,
+                                              args)
+        if result is None:
+            return None
+        status, reply = result
+        if status != 0:
+            return None
+        stub = service.method_by_name(method.name)
+        if stub is None or not stub.returns:
+            return None
+        for tag in stub.returns:
+            if tag in ("i32", "u32", "i64"):
+                method.reply_ints += 1
+                reader = {"i32": reply.read_i32, "u32": reply.read_u32,
+                          "i64": reply.read_i64}[tag]
+                try:
+                    return reader()
+                except Exception:
+                    return None
+            break
+        return None
+
+    def _test_link(self, producer: HalMethodModel,
+                   consumer: HalMethodModel) -> None:
+        service = self._device.hal_service(consumer.service)
+        if service is None:
+            return
+        stub = service.method_by_name(consumer.name)
+        if stub is None:
+            return
+        int_positions = [i for i, tag in enumerate(stub.signature)
+                         if tag in ("i32", "u32", "i64")]
+        for position in int_positions:
+            value = self._warmed_producer_value(producer)
+            if value is None:
+                return
+            base = list(service.sample_args(consumer.name))
+            if position >= len(base):
+                continue
+            good = list(base)
+            good[position] = value
+            status_good = self._poke.invoke(consumer.service, consumer.name,
+                                            tuple(good))
+            poisoned = list(base)
+            poisoned[position] = value + _POISON_OFFSET
+            status_bad = self._poke.invoke(consumer.service, consumer.name,
+                                           tuple(poisoned))
+            if status_good is None or status_bad is None:
+                continue
+            if status_good == 0 and status_bad != 0:
+                consumer.links[position] = (producer.service, producer.name)
+            elif status_good != status_bad and status_bad != 0:
+                # Both failed, but *differently*: the service told a real
+                # handle apart from a fabricated one (e.g. a state error
+                # versus BAD_VALUE) — still strong evidence of a handle.
+                consumer.links[position] = (producer.service, producer.name)

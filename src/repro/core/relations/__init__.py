@@ -1,0 +1,5 @@
+"""Kernel-user relation graph (paper §IV-C)."""
+
+from repro.core.relations.graph import RelationGraph
+
+__all__ = ["RelationGraph"]

@@ -1,0 +1,176 @@
+"""The relation graph G_rel = (V, E) of paper §IV-C.
+
+Vertices are individual system calls and HAL interfaces, each carrying a
+fixed weight in (0, 1) — the probability mass with which it is chosen as
+a *base invocation* during generation.  Edges are directed and weighted;
+``a → b`` records the learned dependency "b follows a", with the weight
+expressing confidence.
+
+Learning: when a minimized program with new coverage contains the
+adjacent pair (a, b), Eq. (1) applies::
+
+    w_(a,b) = 1 - Σ_{e=(x,b), x≠a} w_(x,b) / 2
+
+and every other edge ending at ``b`` has its weight halved — newly
+confirmed relations dominate, older ones fade but persist.
+
+Exploration: :meth:`decay` periodically multiplies all edge weights by a
+factor < 1 so the walk does not get stuck in a local optimum.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class RelationGraph:
+    """Directed, weighted relation graph over call labels."""
+
+    def __init__(self) -> None:
+        self._vertex_weight: dict[str, float] = {}
+        #: dst -> {src -> weight}; kept keyed by destination because
+        #: Eq. (1) renormalizes over the in-edges of one destination.
+        self._in_edges: dict[str, dict[str, float]] = {}
+        #: src -> {dst -> weight}; mirror for O(out-degree) traversal.
+        self._out_edges: dict[str, dict[str, float]] = {}
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, label: str, weight: float) -> None:
+        """Register a call label with its base-invocation weight."""
+        self._vertex_weight[label] = min(max(weight, 1e-4), 0.9999)
+
+    def has_vertex(self, label: str) -> bool:
+        return label in self._vertex_weight
+
+    def vertex_weight(self, label: str) -> float:
+        """The base-invocation weight of a vertex (0 if unknown)."""
+        return self._vertex_weight.get(label, 0.0)
+
+    def vertices(self) -> list[str]:
+        """All labels, sorted."""
+        return sorted(self._vertex_weight)
+
+    def pick_base(self, rng: random.Random) -> str:
+        """Weighted choice of a base invocation over vertex weights."""
+        labels = sorted(self._vertex_weight)
+        if not labels:
+            raise ValueError("relation graph has no vertices")
+        weights = [self._vertex_weight[label] for label in labels]
+        return rng.choices(labels, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+
+    def edge_weight(self, src: str, dst: str) -> float:
+        """Current weight of the edge ``src → dst`` (0 if absent)."""
+        return self._in_edges.get(dst, {}).get(src, 0.0)
+
+    def edge_count(self) -> int:
+        """Number of live edges."""
+        return sum(len(edges) for edges in self._in_edges.values())
+
+    def out_edges(self, src: str) -> dict[str, float]:
+        """``dst → weight`` map of a vertex's outgoing edges."""
+        return dict(self._out_edges.get(src, {}))
+
+    def learn(self, src: str, dst: str) -> None:
+        """Record a confirmed relation ``src → dst`` per Eq. (1)."""
+        if src == dst:
+            return
+        if src not in self._vertex_weight or dst not in self._vertex_weight:
+            return
+        incoming = self._in_edges.setdefault(dst, {})
+        others_sum = sum(w for s, w in incoming.items() if s != src)
+        new_weight = 1.0 - others_sum / 2.0
+        new_weight = min(max(new_weight, 0.01), 1.0)
+        # Halve every other edge with the same endpoint.
+        for other in list(incoming):
+            if other != src:
+                incoming[other] /= 2.0
+                self._out_edges[other][dst] /= 2.0
+        incoming[src] = new_weight
+        self._out_edges.setdefault(src, {})[dst] = new_weight
+        self.updates += 1
+
+    def learn_program(self, labels: list[str]) -> None:
+        """Record all adjacent pairs of a minimized program."""
+        for src, dst in zip(labels, labels[1:]):
+            self.learn(src, dst)
+
+    def decay(self, factor: float = 0.8) -> None:
+        """Multiply all edge weights by ``factor`` (< 1): exploration.
+
+        Edges that fall below a floor are pruned so the graph does not
+        accumulate dead relations forever.
+        """
+        floor = 0.005
+        for dst in list(self._in_edges):
+            incoming = self._in_edges[dst]
+            for src in list(incoming):
+                incoming[src] *= factor
+                self._out_edges[src][dst] *= factor
+                if incoming[src] < floor:
+                    del incoming[src]
+                    del self._out_edges[src][dst]
+            if not incoming:
+                del self._in_edges[dst]
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (the daemon's relation table)."""
+        return {
+            "vertices": dict(self._vertex_weight),
+            "edges": [[src, dst, weight]
+                      for dst, incoming in sorted(self._in_edges.items())
+                      for src, weight in sorted(incoming.items())],
+            "updates": self.updates,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RelationGraph":
+        """Restore a snapshot produced by :meth:`to_dict`."""
+        graph = cls()
+        for label, weight in payload.get("vertices", {}).items():
+            graph.add_vertex(label, weight)
+        for src, dst, weight in payload.get("edges", ()):
+            graph._in_edges.setdefault(dst, {})[src] = weight
+            graph._out_edges.setdefault(src, {})[dst] = weight
+        graph.updates = payload.get("updates", 0)
+        return graph
+
+    def walk(self, start: str, rng: random.Random,
+             max_steps: int = 8, stop_probability: float = 0.3) -> list[str]:
+        """Relation-guided walk from ``start`` (§IV-C generation).
+
+        At each vertex: stop with ``stop_probability``, otherwise move to
+        an out-neighbour chosen with probability proportional to edge
+        weight.  Dead ends stop the walk.  Returns the visited labels
+        including ``start``.
+        """
+        path = [start]
+        current = start
+        for _ in range(max_steps):
+            if rng.random() < stop_probability:
+                break
+            neighbours = self._out_edges.get(current)
+            if not neighbours:
+                break
+            dsts = sorted(neighbours)
+            weights = [neighbours[d] for d in dsts]
+            if sum(weights) <= 0:
+                break
+            current = rng.choices(dsts, weights=weights, k=1)[0]
+            path.append(current)
+        return path

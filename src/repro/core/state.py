@@ -1,0 +1,79 @@
+"""Campaign state persistence.
+
+The paper's Daemon "maintains persistent data, such as the seed corpus,
+overall coverage statistics, and relation table" (§IV-A).  This module
+saves and restores that state to a directory, so campaigns can be
+interrupted and resumed, and a corpus distilled on one run can bootstrap
+the next.
+
+Layout of a state directory::
+
+    <dir>/relations.json    the relation graph snapshot
+    <dir>/corpus.txt        seed programs in the textual DSL
+    <dir>/coverage.json     cumulative joint/kernel coverage elements
+    <dir>/bugs.json         the deduplicated bug ledger
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.bugs import BugReport, BugTracker
+from repro.core.corpus import Corpus
+from repro.core.engine import FuzzingEngine
+from repro.core.relations import RelationGraph
+
+
+def save_state(engine: FuzzingEngine, directory: str | pathlib.Path) -> None:
+    """Persist an engine's campaign state."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / "relations.json").write_text(
+        json.dumps(engine.relations.to_dict(), indent=1))
+    (path / "corpus.txt").write_text(engine.corpus.dump())
+    (path / "coverage.json").write_text(json.dumps({
+        "seen": sorted(engine.coverage.seen),
+        "kernel_seen": sorted(engine.coverage.kernel_seen),
+    }))
+    (path / "bugs.json").write_text(json.dumps([
+        {"title": b.title, "kind": b.kind, "component": b.component,
+         "device": b.device, "first_clock": b.first_clock,
+         "count": b.count, "reproducer": b.reproducer}
+        for b in engine.bugs.all_reports()], indent=1))
+
+
+def load_state(engine: FuzzingEngine, directory: str | pathlib.Path) -> None:
+    """Restore persisted campaign state into a fresh engine.
+
+    The engine must already be constructed for the same device profile;
+    corpus programs are re-admitted with their recorded signatures
+    dropped (they get re-evaluated naturally as mutation sources).
+    """
+    path = pathlib.Path(directory)
+    relations_file = path / "relations.json"
+    if relations_file.exists():
+        engine.relations = RelationGraph.from_dict(
+            json.loads(relations_file.read_text()))
+        engine.generator._relations = engine.relations
+        engine.mutator._generator._relations = engine.relations
+    corpus_file = path / "corpus.txt"
+    if corpus_file.exists():
+        engine.corpus = Corpus()
+        for program in Corpus.load(corpus_file.read_text()):
+            engine.corpus.add(program, frozenset(), 0.0)
+            engine.generator.record_history(program)
+    coverage_file = path / "coverage.json"
+    if coverage_file.exists():
+        payload = json.loads(coverage_file.read_text())
+        engine.coverage.seen = set(payload.get("seen", ()))
+        engine.coverage.kernel_seen = set(payload.get("kernel_seen", ()))
+    bugs_file = path / "bugs.json"
+    if bugs_file.exists():
+        engine.bugs = BugTracker(engine.device.profile.ident)
+        for entry in json.loads(bugs_file.read_text()):
+            engine.bugs.reports[entry["title"]] = BugReport(
+                title=entry["title"], kind=entry["kind"],
+                component=entry["component"], device=entry["device"],
+                first_clock=entry["first_clock"], count=entry["count"],
+                reproducer=entry.get("reproducer", ""))

@@ -1,0 +1,17 @@
+"""Virtual embedded Android devices.
+
+Combines the kernel and HAL substrates into bootable devices matching
+Table I of the paper, with an ADB-like transport on top.
+"""
+
+from repro.device.profiles import DEVICE_PROFILES, DeviceProfile, profile_by_id
+from repro.device.device import AndroidDevice
+from repro.device.adb import AdbConnection
+
+__all__ = [
+    "DEVICE_PROFILES",
+    "DeviceProfile",
+    "profile_by_id",
+    "AndroidDevice",
+    "AdbConnection",
+]

@@ -1,0 +1,93 @@
+"""ADB transport surrogate.
+
+The paper's host-side fuzzing engine talks to its device-side broker over
+the Android Debug Bridge.  This module provides the same two facilities:
+
+* ``shell`` — the handful of commands the tooling uses (``lshal``,
+  ``dmesg``, ``getprop``, ``reboot``, ``ls /dev``);
+* forwarded sockets — a device-side component registers an RPC handler
+  under a socket name (``adb forward`` surrogate) and the host calls it
+  with dict payloads.
+
+Every interaction charges virtual time, modelling USB/TCP transport
+latency that a real campaign pays on every program execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import AdbError
+from repro.device.device import AndroidDevice
+
+RpcHandler = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+class AdbConnection:
+    """One ``adb`` connection to a virtual device."""
+
+    def __init__(self, device: AndroidDevice) -> None:
+        self.device = device
+        self._forwards: dict[str, RpcHandler] = {}
+
+    # ------------------------------------------------------------------
+
+    def shell(self, cmd: str) -> str:
+        """Run a shell command on the device; returns stdout."""
+        self.device.clock += self.device.costs.shell
+        parts = cmd.split()
+        if not parts:
+            raise AdbError("empty shell command")
+        if parts[0] == "lshal":
+            return "\n".join(f"{iface}\t{name}" for name, iface
+                             in self.device.service_manager.list_hals())
+        if parts[0] == "service" and parts[1:2] == ["list"]:
+            return "\n".join(self.device.service_manager.list_services())
+        if parts[0] == "dmesg":
+            return "\n".join(self.device.kernel.dmesg.lines())
+        if parts[0] == "logcat":
+            lines = []
+            for name in self.device.hal_services():
+                process = self.device.hal_process(name)
+                for stone in process.peek_tombstones():
+                    lines.append(f"F/{stone.process}: Fatal signal "
+                                 f"({stone.signal}): {stone.title}")
+            return "\n".join(lines)
+        if parts[0] == "getprop":
+            props = {
+                "ro.product.vendor.name": self.device.profile.vendor,
+                "ro.build.version.release": str(self.device.profile.aosp),
+                "ro.kernel.version": self.device.profile.kernel,
+                "ro.product.cpu.abi": self.device.profile.arch,
+            }
+            if len(parts) > 1:
+                return props.get(parts[1], "")
+            return "\n".join(f"[{k}]: [{v}]" for k, v in sorted(props.items()))
+        if parts[0] == "reboot":
+            self.device.reboot()
+            return ""
+        if parts[0] == "ls" and parts[1:2] == ["/dev"]:
+            return "\n".join(self.device.kernel.device_paths())
+        raise AdbError(f"unsupported shell command: {cmd}")
+
+    # ------------------------------------------------------------------
+
+    def forward(self, socket_name: str, handler: RpcHandler) -> None:
+        """Register a device-side RPC handler (``adb forward`` surrogate)."""
+        self._forwards[socket_name] = handler
+
+    def rpc(self, socket_name: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Host-side call into a forwarded device socket.
+
+        Raises:
+            AdbError: the socket is not forwarded.
+        """
+        handler = self._forwards.get(socket_name)
+        if handler is None:
+            raise AdbError(f"socket not forwarded: {socket_name}")
+        return handler(payload)
+
+    def wait_for_device(self) -> None:
+        """Block until the device is responsive (reboot if wedged)."""
+        if not self.device.healthy:
+            self.device.reboot()

@@ -1,0 +1,186 @@
+"""The virtual embedded Android device.
+
+:class:`AndroidDevice` boots a profile's firmware (kernel drivers + HAL
+services), owns the virtual clock, exposes the two execution surfaces a
+fuzzer uses (raw syscalls and Binder transactions), and implements the
+crash lifecycle: crash records accumulate from dmesg and HAL tombstones,
+and :meth:`reboot` restores a clean boot state (costing virtual time,
+like a real watchdog reboot during a campaign).
+
+Virtual time: every syscall and Binder transaction advances the clock by
+a per-operation cost.  Campaign durations ("48 hours") are therefore
+deterministic op budgets; see EXPERIMENTS.md for the scale mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import DeviceError
+from repro.hal.process import HalProcess, Tombstone
+from repro.hal.service import HalService, marshal_args
+from repro.hal.service_manager import ServiceManager
+from repro.hal.services import build_hal
+from repro.kernel.chardev import SocketFamily
+from repro.kernel.dmesg import CrashRecord
+from repro.kernel.drivers import build_driver
+from repro.kernel.kernel import VirtualKernel
+from repro.kernel.syscalls import SyscallOutcome
+from repro.device.profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class DeviceCosts:
+    """Virtual-time cost model for device operations (seconds)."""
+
+    syscall: float = 0.5
+    binder: float = 2.0
+    reboot: float = 90.0
+    shell: float = 1.0
+
+
+class AndroidDevice:
+    """A booted virtual embedded Android device.
+
+    Args:
+        profile: the Table I profile to build firmware for.
+        costs: virtual-time cost model.
+    """
+
+    def __init__(self, profile: DeviceProfile,
+                 costs: DeviceCosts | None = None) -> None:
+        self.profile = profile
+        self.costs = costs or DeviceCosts()
+        self.clock = 0.0
+        self.boot_count = 0
+        self.kernel: VirtualKernel = VirtualKernel(name=profile.ident)
+        self.service_manager: ServiceManager = ServiceManager(self.kernel)
+        self._hal_processes: dict[str, HalProcess] = {}
+        self._services: dict[str, HalService] = {}
+        self._build_firmware()
+        self.boot_count = 1
+
+    # ------------------------------------------------------------------
+    # firmware / boot
+    # ------------------------------------------------------------------
+
+    def _build_firmware(self) -> None:
+        for name, quirks in self.profile.drivers.items():
+            driver = build_driver(name, **quirks)
+            if isinstance(driver, SocketFamily):
+                self.kernel.register_socket_family(driver)
+            else:
+                self.kernel.register_driver(driver)
+        for name, quirks in self.profile.hals.items():
+            service = build_hal(name, **quirks)
+            process = HalProcess(self.kernel,
+                                 f"{service.instance_name}-service")
+            service.attach(self.kernel, process)
+            self.service_manager.add_service(service)
+            self._hal_processes[service.instance_name] = process
+            self._services[service.instance_name] = service
+
+    def reboot(self) -> None:
+        """Watchdog/crash reboot: reset kernel and HAL state in place."""
+        self.clock += self.costs.reboot
+        self.kernel.soft_reset()
+        for name, service in self._services.items():
+            process = self._hal_processes[name]
+            process.restart()
+            service.reset()
+        self.boot_count += 1
+
+    @property
+    def healthy(self) -> bool:
+        """False when the kernel panicked or hung (reboot required)."""
+        return not (self.kernel.panicked or self.kernel.hung)
+
+    # ------------------------------------------------------------------
+    # execution surfaces
+    # ------------------------------------------------------------------
+
+    def new_process(self, comm: str):
+        """Spawn a userspace task (e.g. the on-device broker/executors)."""
+        return self.kernel.new_process(comm)
+
+    def syscall(self, pid: int, name: str, *args: Any) -> SyscallOutcome:
+        """Raw syscall surface, charging virtual time."""
+        self.clock += self.costs.syscall
+        return self.kernel.syscall(pid, name, *args)
+
+    def hal_services(self) -> list[str]:
+        """Registered HAL instance names."""
+        return self.service_manager.list_services()
+
+    def hal_service(self, name: str) -> HalService | None:
+        """Service object by instance name (device-internal)."""
+        return self._services.get(name)
+
+    def hal_process(self, name: str) -> HalProcess | None:
+        """Host process of a service."""
+        return self._hal_processes.get(name)
+
+    def hal_transact(self, client_pid: int, client_comm: str,
+                     service_name: str, method_name: str,
+                     args: tuple[Any, ...]):
+        """Invoke one HAL method over Binder, charging virtual time.
+
+        Returns ``(status_int, reply_parcel)``.  A dead service process
+        is restarted lazily by init before the next call; the call that
+        killed it raises :class:`DeadObjectError` to the caller, exactly
+        like binder does.
+        """
+        self.clock += self.costs.binder
+        service = self._services.get(service_name)
+        if service is None:
+            raise DeviceError(f"no such HAL service: {service_name}")
+        process = self._hal_processes[service_name]
+        if process.dead:
+            # init restarted the service since the crash.
+            process.restart()
+            service.reset()
+        method = service.method_by_name(method_name)
+        if method is None:
+            raise DeviceError(
+                f"{service_name} has no method {method_name}")
+        proxy = self.service_manager.get_service(service_name, client_pid,
+                                                 client_comm)
+        parcel = marshal_args(method, args)
+        reply = proxy.transact(method.code, parcel)
+        status = reply.read_i32()
+        return status, reply
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def drain_crashes(self) -> list[CrashRecord | Tombstone]:
+        """All crash records (kernel splats + HAL tombstones) since last
+        drain."""
+        out: list[CrashRecord | Tombstone] = []
+        out.extend(self.kernel.dmesg.drain_crashes())
+        for process in self._hal_processes.values():
+            out.extend(process.drain_tombstones())
+        return out
+
+    def peek_crashes(self) -> list[CrashRecord | Tombstone]:
+        """Pending crash records without clearing them."""
+        out: list[CrashRecord | Tombstone] = []
+        out.extend(self.kernel.dmesg.peek_crashes())
+        for process in self._hal_processes.values():
+            out.extend(process.peek_tombstones())
+        return out
+
+    def coverage_blocks(self) -> int:
+        """Cumulative kernel coverage blocks (kcov total)."""
+        return self.kernel.kcov.total_blocks()
+
+    def per_driver_coverage(self) -> dict[str, int]:
+        """Cumulative covered blocks grouped by driver."""
+        return self.kernel.kcov.per_driver()
+
+    def driver_block_estimates(self) -> dict[str, int]:
+        """Approximate total blocks per driver (for percentage stats)."""
+        return {drv.name: drv.coverage_block_count()
+                for drv in self.kernel.drivers()}

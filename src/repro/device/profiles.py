@@ -1,0 +1,196 @@
+"""Device profiles for the seven boards of Table I.
+
+A profile is pure data: identity (vendor/arch/AOSP/kernel), the driver
+set with vendor quirk flags (the firmware revisions carrying Table II's
+bugs), and the HAL service set with theirs.  The firmware builder turns
+a profile into a booted :class:`repro.device.device.AndroidDevice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Identity and firmware composition of one embedded Android device."""
+
+    ident: str
+    name: str
+    vendor: str
+    arch: str
+    aosp: int
+    kernel: str
+    drivers: dict[str, dict[str, bool]] = field(default_factory=dict)
+    hals: dict[str, dict[str, bool]] = field(default_factory=dict)
+    #: Table II bug numbers planted in this firmware (ground truth for
+    #: evaluation only; the fuzzer never reads this).
+    planted_bugs: tuple[int, ...] = ()
+
+
+DEVICE_PROFILES: tuple[DeviceProfile, ...] = (
+    DeviceProfile(
+        ident="A1", name="Phone Dev Board", vendor="Xiaomi",
+        arch="aarch64", aosp=15, kernel="6.6",
+        drivers={
+            "rt1711_tcpc": {"quirk_warn_probe": True,
+                            "quirk_warn_role_swap": True},
+            "drm_gpu": {"quirk_lockdep_subclass": True},
+            "mtk_vcodec": {},
+            "bt_hci": {},
+            "bt_l2cap": {},
+            "audio_pcm": {},
+            "input_touch": {},
+            "ion": {},
+            "iio_sensors": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {"quirk_present_crash": True},
+            "media": {},
+            "audio": {},
+            "bluetooth": {},
+            "sensors": {},
+            "usb": {},
+            "thermal": {},
+        },
+        planted_bugs=(1, 2, 3, 4),
+    ),
+    DeviceProfile(
+        ident="A2", name="Tablet Dev Board", vendor="Xiaomi",
+        arch="aarch64", aosp=15, kernel="6.6",
+        drivers={
+            "rt1711_tcpc": {},
+            "drm_gpu": {},
+            "mtk_vcodec": {"quirk_drain_loop": True},
+            "bt_hci": {"quirk_codecs_uaf": True},
+            "bt_l2cap": {},
+            "audio_pcm": {},
+            "input_touch": {},
+            "ion": {},
+            "iio_sensors": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {},
+            "media": {"quirk_csd_oob": True},
+            "audio": {},
+            "bluetooth": {},
+            "sensors": {},
+            "usb": {},
+            "thermal": {},
+        },
+        planted_bugs=(5, 6, 7),
+    ),
+    DeviceProfile(
+        ident="B", name="Pi 5", vendor="Raspberry Pi",
+        arch="aarch64", aosp=15, kernel="6.6",
+        drivers={
+            "drm_gpu": {},
+            "v4l2_camera": {},
+            "bt_hci": {},
+            "bt_l2cap": {"quirk_warn_disconn": True},
+            "audio_pcm": {},
+            "ion": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {},
+            "camera": {},
+            "audio": {},
+            "bluetooth": {},
+            "thermal": {},
+        },
+        planted_bugs=(8,),
+    ),
+    DeviceProfile(
+        ident="C1", name="Commercial Tablet", vendor="Sunmi",
+        arch="aarch64", aosp=13, kernel="5.15",
+        drivers={
+            "drm_gpu": {},
+            "v4l2_camera": {},
+            "audio_pcm": {},
+            "input_touch": {},
+            "ion": {},
+            "iio_sensors": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {},
+            "camera": {"quirk_stale_stream_crash": True},
+            "audio": {},
+            "sensors": {},
+            "thermal": {},
+        },
+        planted_bugs=(9,),
+    ),
+    DeviceProfile(
+        ident="C2", name="Cashier Kiosk", vendor="Sunmi",
+        arch="aarch64", aosp=13, kernel="5.15",
+        drivers={
+            "drm_gpu": {},
+            "mac80211": {"quirk_warn_rate_init": True},
+            "audio_pcm": {},
+            "input_touch": {},
+            "ion": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {},
+            "wifi": {},
+            "audio": {},
+            "thermal": {},
+        },
+        planted_bugs=(10,),
+    ),
+    DeviceProfile(
+        ident="D", name="LubanCat 5", vendor="EmbedFire",
+        arch="aarch64", aosp=13, kernel="5.10",
+        drivers={
+            "drm_gpu": {},
+            "bt_hci": {},
+            "bt_l2cap": {"quirk_accept_uaf": True},
+            "iio_sensors": {},
+            "ion": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {},
+            "bluetooth": {},
+            "sensors": {},
+            "thermal": {},
+        },
+        planted_bugs=(11,),
+    ),
+    DeviceProfile(
+        ident="E", name="UP Core Plus", vendor="AAEON",
+        arch="amd64", aosp=13, kernel="5.10",
+        drivers={
+            "drm_gpu": {},
+            "v4l2_camera": {"quirk_warn_querycap": True},
+            "audio_pcm": {},
+            "input_touch": {},
+            "ion": {},
+            "gpiochip": {},
+        },
+        hals={
+            "graphics": {},
+            "camera": {},
+            "audio": {},
+            "thermal": {},
+        },
+        planted_bugs=(12,),
+    ),
+)
+
+
+def profile_by_id(ident: str) -> DeviceProfile:
+    """Look up a Table I profile by its id (``A1`` … ``E``).
+
+    Raises:
+        KeyError: unknown device id.
+    """
+    for profile in DEVICE_PROFILES:
+        if profile.ident == ident:
+            return profile
+    raise KeyError(f"unknown device id: {ident}")

@@ -1,0 +1,32 @@
+"""Test-case DSL.
+
+DroidFuzz test cases are sequences of HAL interface and kernel syscall
+invocations in a domain-specific language (§IV-A of the paper).  This
+package provides the program model (:mod:`repro.dsl.model`), the
+syzlang-lite description registry derived from driver interface specs
+(:mod:`repro.dsl.descriptions`), and the textual form used for corpus
+persistence and the host↔device channel (:mod:`repro.dsl.text`).
+"""
+
+from repro.dsl.model import (
+    HalCall,
+    Program,
+    ResourceRef,
+    StructValue,
+    SyscallCall,
+)
+from repro.dsl.descriptions import DescriptionRegistry, SyscallDesc, build_descriptions
+from repro.dsl.text import parse_program, serialize_program
+
+__all__ = [
+    "HalCall",
+    "Program",
+    "ResourceRef",
+    "StructValue",
+    "SyscallCall",
+    "DescriptionRegistry",
+    "SyscallDesc",
+    "build_descriptions",
+    "parse_program",
+    "serialize_program",
+]

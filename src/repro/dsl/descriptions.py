@@ -1,0 +1,255 @@
+"""Syzlang-lite: syscall descriptions derived from driver interface specs.
+
+Syzkaller ships hand-written syscall descriptions; our virtual drivers
+publish equivalent machine-readable specs (:class:`IoctlSpec`,
+:class:`SocketSpec`, :class:`WriteSpec`).  This module compiles a device
+profile's driver set into a :class:`DescriptionRegistry` of *specialized*
+syscalls — ``openat$tcpc0``, ``ioctl$VIDIOC_S_FMT``, ``socket$bt_l2cap``
+— with typed arguments and resource production/consumption, the same
+information syzlang encodes.
+
+All fuzzers in the evaluation (DroidFuzz, Syzkaller-lite, Difuze-lite)
+consume this registry, so none gets an unfair description advantage; the
+differences under test are HAL access, relation learning, and feedback.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.kernel.drivers import build_driver
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, SocketSpec
+from repro.device.profiles import DeviceProfile
+
+
+def sanitize(token: str) -> str:
+    """Make a path/name safe for use in a description name."""
+    return re.sub(r"[^A-Za-z0-9]+", "_", token).strip("_")
+
+
+@dataclass(frozen=True)
+class SyscallDesc:
+    """One specialized syscall description.
+
+    ``kind`` selects the argument shape the executor/generator uses:
+    ``open``, ``close``, ``dup``, ``ioctl``, ``read``, ``write``,
+    ``mmap``, ``socket``, ``bind``, ``connect``, ``listen``, ``accept``,
+    ``setsockopt``, ``getsockopt``, ``sendto``, ``recvfrom``.
+    """
+
+    name: str
+    kind: str
+    syscall: str
+    driver: str = ""
+    path: str = ""
+    fd_resource: str = ""
+    #: When set, a successful call *defines* ``produces`` with the value
+    #: of this input-struct field (rendezvous identifiers like PSMs).
+    produce_field: str = ""
+    request: int = 0
+    arg: str = "none"
+    fields: tuple[FieldSpec, ...] = ()
+    int_kind: FieldSpec | None = None
+    produces: str = ""
+    produce_offset: int = -1
+    domain: int = 0
+    sock_types: tuple[int, ...] = ()
+    protocols: tuple[int, ...] = ()
+    addr_fields: tuple[FieldSpec, ...] = ()
+    level: int = 0
+    optname: int = 0
+    opt_fields: tuple[FieldSpec, ...] = ()
+    write_fields: tuple[FieldSpec, ...] = ()
+    doc: str = ""
+
+
+@dataclass
+class DescriptionRegistry:
+    """All specialized syscall descriptions for one device profile."""
+
+    descs: dict[str, SyscallDesc] = field(default_factory=dict)
+    #: resource kind -> names of descriptions producing it.
+    producers: dict[str, list[str]] = field(default_factory=dict)
+
+    def add(self, desc: SyscallDesc) -> None:
+        """Register a description (names must be unique)."""
+        if desc.name in self.descs:
+            raise ValueError(f"duplicate description: {desc.name}")
+        self.descs[desc.name] = desc
+        if desc.produces:
+            self.producers.setdefault(desc.produces, []).append(desc.name)
+
+    def get(self, name: str) -> SyscallDesc | None:
+        """Description by name."""
+        return self.descs.get(name)
+
+    def names(self) -> list[str]:
+        """All description names, sorted."""
+        return sorted(self.descs)
+
+    def by_kind(self, kind: str) -> list[SyscallDesc]:
+        """All descriptions of one argument shape."""
+        return [d for d in self.descs.values() if d.kind == kind]
+
+    def producers_of(self, kind: str) -> list[SyscallDesc]:
+        """Descriptions that produce resource ``kind``."""
+        return [self.descs[n] for n in self.producers.get(kind, [])]
+
+    def resource_kinds(self) -> list[str]:
+        """All producible resource kinds, sorted."""
+        return sorted(self.producers)
+
+
+def _consumed_resources(desc: SyscallDesc) -> list[str]:
+    kinds = []
+    if desc.fd_resource:
+        kinds.append(desc.fd_resource)
+    for f in desc.fields + desc.opt_fields + (
+            (desc.int_kind,) if desc.int_kind else ()):
+        if f is not None and f.kind == "resource":
+            kinds.append(f.resource)
+    return kinds
+
+
+def consumed_resources(desc: SyscallDesc) -> list[str]:
+    """Resource kinds a description needs as inputs."""
+    return _consumed_resources(desc)
+
+
+def _add_chardev_descs(registry: DescriptionRegistry, driver,
+                       vendor_interfaces: bool) -> None:
+    typed = vendor_interfaces or not driver.vendor_specific
+    for path in driver.paths:
+        short = sanitize(path.removeprefix("/dev/"))
+        fd_kind = f"fd_{short}"
+        registry.add(SyscallDesc(
+            name=f"openat${short}", kind="open", syscall="openat",
+            driver=driver.name, path=path, produces=fd_kind,
+            doc=f"open {path}"))
+        registry.add(SyscallDesc(
+            name=f"close${short}", kind="close", syscall="close",
+            driver=driver.name, path=path, fd_resource=fd_kind,
+            doc=f"close {path}"))
+        registry.add(SyscallDesc(
+            name=f"dup${short}", kind="dup", syscall="dup",
+            driver=driver.name, path=path, fd_resource=fd_kind,
+            produces=fd_kind, doc=f"dup an fd of {path}"))
+        registry.add(SyscallDesc(
+            name=f"read${short}", kind="read", syscall="read",
+            driver=driver.name, path=path, fd_resource=fd_kind,
+            doc=f"read {path}"))
+        write_fields: tuple[FieldSpec, ...] = ()
+        if typed and hasattr(driver, "write_spec"):
+            write_fields = driver.write_spec().fields
+        registry.add(SyscallDesc(
+            name=f"write${short}", kind="write", syscall="write",
+            driver=driver.name, path=path, fd_resource=fd_kind,
+            write_fields=write_fields, doc=f"write {path}"))
+        registry.add(SyscallDesc(
+            name=f"mmap${short}", kind="mmap", syscall="mmap",
+            driver=driver.name, path=path, fd_resource=fd_kind,
+            doc=f"mmap {path}"))
+        # Untyped escape hatch: ioctl with a caller-chosen request value.
+        # Hopeless with random requests, potent with captured ones.
+        registry.add(SyscallDesc(
+            name=f"ioctl$raw_{short}", kind="ioctl_raw", syscall="ioctl",
+            driver=driver.name, path=path, fd_resource=fd_kind,
+            doc=f"raw ioctl on {path}"))
+        if typed and hasattr(driver, "ioctl_specs"):
+            for spec in driver.ioctl_specs():
+                if spec.vendor and not vendor_interfaces:
+                    continue
+                registry.add(_ioctl_desc(driver.name, path, fd_kind, spec))
+
+
+def _ioctl_desc(driver_name: str, path: str, fd_kind: str,
+                spec: IoctlSpec) -> SyscallDesc:
+    return SyscallDesc(
+        name=f"ioctl${spec.name}", kind="ioctl", syscall="ioctl",
+        driver=driver_name, path=path, fd_resource=fd_kind,
+        request=spec.request, arg=spec.arg, fields=spec.fields,
+        int_kind=spec.int_kind, produces=spec.produces,
+        produce_offset=spec.produce_offset, doc=spec.doc)
+
+
+def _add_socket_descs(registry: DescriptionRegistry, family) -> None:
+    spec: SocketSpec = family.socket_spec()
+    short = sanitize(spec.name)
+    sock_kind = f"sock_{short}"
+    registry.add(SyscallDesc(
+        name=f"socket${short}", kind="socket", syscall="socket",
+        driver=family.name, domain=spec.domain, sock_types=spec.types,
+        protocols=spec.protocols, produces=sock_kind, doc=spec.doc))
+    # Rendezvous fields: bind *defines* the identifier (enum form),
+    # connect *consumes* it (resource form).
+    bind_fields = tuple(
+        FieldSpec(f.name, f.fmt, "enum", values=f.values)
+        if f.kind == "resource" and f.values else f
+        for f in spec.addr_fields)
+    rendezvous = next((f for f in spec.addr_fields
+                       if f.kind == "resource"), None)
+    registry.add(SyscallDesc(
+        name=f"bind${short}", kind="bind", syscall="bind",
+        driver=family.name, fd_resource=sock_kind,
+        addr_fields=bind_fields,
+        produces=rendezvous.resource if rendezvous else "",
+        produce_field=rendezvous.name if rendezvous else "",
+        doc=f"bind a {spec.name} socket"))
+    registry.add(SyscallDesc(
+        name=f"connect${short}", kind="connect", syscall="connect",
+        driver=family.name, fd_resource=sock_kind,
+        addr_fields=spec.addr_fields, doc=f"connect a {spec.name} socket"))
+    registry.add(SyscallDesc(
+        name=f"listen${short}", kind="listen", syscall="listen",
+        driver=family.name, fd_resource=sock_kind, doc="listen"))
+    registry.add(SyscallDesc(
+        name=f"accept${short}", kind="accept", syscall="accept",
+        driver=family.name, fd_resource=sock_kind, produces=sock_kind,
+        doc="accept a pending connection"))
+    registry.add(SyscallDesc(
+        name=f"sendto${short}", kind="sendto", syscall="sendto",
+        driver=family.name, fd_resource=sock_kind, doc="send data"))
+    registry.add(SyscallDesc(
+        name=f"recvfrom${short}", kind="recvfrom", syscall="recvfrom",
+        driver=family.name, fd_resource=sock_kind, doc="receive data"))
+    registry.add(SyscallDesc(
+        name=f"close${short}", kind="close", syscall="close",
+        driver=family.name, fd_resource=sock_kind, doc="close the socket"))
+    for opt in spec.sockopts:
+        registry.add(SyscallDesc(
+            name=f"setsockopt${short}_{sanitize(opt.name)}",
+            kind="setsockopt", syscall="setsockopt", driver=family.name,
+            fd_resource=sock_kind, level=opt.level, optname=opt.optname,
+            opt_fields=opt.fields, doc=opt.doc))
+        registry.add(SyscallDesc(
+            name=f"getsockopt${short}_{sanitize(opt.name)}",
+            kind="getsockopt", syscall="getsockopt", driver=family.name,
+            fd_resource=sock_kind, level=opt.level, optname=opt.optname,
+            doc=opt.doc))
+
+
+def build_descriptions(profile: DeviceProfile,
+                       vendor_interfaces: bool = False) -> DescriptionRegistry:
+    """Compile the syzlang-lite registry for one device profile.
+
+    Instantiates throwaway driver objects (interface specs do not depend
+    on quirk flags) and collects their published interfaces.
+
+    Args:
+        vendor_interfaces: when False (the realistic default), drivers
+            marked ``vendor_specific`` — and vendor-flagged commands of
+            standard drivers — contribute only *generic* descriptions
+            (open/read/write/mmap plus an untyped raw ioctl): public
+            syzlang has no typed descriptions for proprietary
+            interfaces.  Difuze's static-analysis surrogate passes True
+            because it recovers them from the firmware itself.
+    """
+    registry = DescriptionRegistry()
+    for name in sorted(profile.drivers):
+        driver = build_driver(name)
+        if hasattr(driver, "socket_spec"):
+            _add_socket_descs(registry, driver)
+        else:
+            _add_chardev_descs(registry, driver, vendor_interfaces)
+    return registry

@@ -1,0 +1,179 @@
+"""Program model for the test-case DSL.
+
+A :class:`Program` is an ordered list of calls.  Each call is either a
+:class:`SyscallCall` (named after a syzlang-lite description, e.g.
+``ioctl$VIDIOC_S_FMT``) or a :class:`HalCall` (a Binder transaction on a
+probed HAL interface).  Arguments are plain Python values plus two
+structured forms:
+
+* :class:`ResourceRef` — the value produced by an earlier call in the
+  same program (fd, handle, session id, …);
+* :class:`StructValue` — a struct argument kept in field form so that
+  mutation can edit fields; the executor packs it using the description's
+  field specs at execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import DslError
+
+
+@dataclass(frozen=True)
+class ResourceRef:
+    """Reference to the resource produced by call ``index`` (0-based)."""
+
+    index: int
+    kind: str = ""
+
+    def __repr__(self) -> str:
+        return f"r{self.index}" + (f":{self.kind}" if self.kind else "")
+
+
+@dataclass
+class StructValue:
+    """A struct argument kept as named field values.
+
+    ``spec`` names the owning description (or write-spec); the executor
+    looks up the field layout there.  Field values may themselves be
+    :class:`ResourceRef`.
+    """
+
+    spec: str
+    values: dict[str, Union[int, bytes, "ResourceRef"]] = field(
+        default_factory=dict)
+
+    def copy(self) -> "StructValue":
+        """Shallow-copy (field dict duplicated)."""
+        return StructValue(self.spec, dict(self.values))
+
+
+ArgValue = Union[int, float, bool, str, bytes, None, ResourceRef, StructValue]
+
+
+@dataclass
+class SyscallCall:
+    """One kernel syscall invocation, named by its description."""
+
+    desc: str
+    args: tuple[ArgValue, ...] = ()
+
+    @property
+    def is_hal(self) -> bool:
+        return False
+
+    @property
+    def label(self) -> str:
+        """Identity used by relation learning / vertices."""
+        return self.desc
+
+    def copy(self) -> "SyscallCall":
+        return SyscallCall(self.desc, tuple(
+            a.copy() if isinstance(a, StructValue) else a for a in self.args))
+
+
+@dataclass
+class HalCall:
+    """One Binder transaction on a HAL interface."""
+
+    service: str
+    method: str
+    args: tuple[ArgValue, ...] = ()
+
+    @property
+    def is_hal(self) -> bool:
+        return True
+
+    @property
+    def label(self) -> str:
+        """Identity used by relation learning / vertices."""
+        return f"{self.service}.{self.method}"
+
+    def copy(self) -> "HalCall":
+        return HalCall(self.service, self.method, tuple(
+            a.copy() if isinstance(a, StructValue) else a for a in self.args))
+
+
+Call = Union[SyscallCall, HalCall]
+
+
+def _refs_of(value: ArgValue):
+    if isinstance(value, ResourceRef):
+        yield value
+    elif isinstance(value, StructValue):
+        for inner in value.values.values():
+            if isinstance(inner, ResourceRef):
+                yield inner
+
+
+@dataclass
+class Program:
+    """An ordered test case: the unit of generation, mutation, execution."""
+
+    calls: list[Call] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def copy(self) -> "Program":
+        """Deep-enough copy for safe mutation."""
+        return Program([c.copy() for c in self.calls])
+
+    def labels(self) -> list[str]:
+        """Call identities in order (for relation learning)."""
+        return [c.label for c in self.calls]
+
+    def validate(self) -> None:
+        """Check that every resource reference points backwards.
+
+        Raises:
+            DslError: a forward or self reference exists.
+        """
+        for position, call in enumerate(self.calls):
+            for ref in self.arg_refs(call):
+                if not 0 <= ref.index < position:
+                    raise DslError(
+                        f"call {position} ({call.label}) references "
+                        f"r{ref.index}, which is not an earlier call")
+
+    @staticmethod
+    def arg_refs(call: Call) -> list[ResourceRef]:
+        """All resource references appearing in a call's arguments."""
+        refs: list[ResourceRef] = []
+        for arg in call.args:
+            refs.extend(_refs_of(arg))
+        return refs
+
+    def drop_call(self, index: int) -> "Program":
+        """A copy with call ``index`` removed and references fixed up.
+
+        Calls that referenced the dropped call are removed too (and so
+        on transitively), which is what program minimization needs.
+        """
+        doomed = {index}
+        for position in range(index + 1, len(self.calls)):
+            if any(ref.index in doomed
+                   for ref in self.arg_refs(self.calls[position])):
+                doomed.add(position)
+        remap: dict[int, int] = {}
+        kept: list[Call] = []
+        for position, call in enumerate(self.calls):
+            if position in doomed:
+                continue
+            remap[position] = len(kept)
+            kept.append(call.copy())
+
+        def fix(value: ArgValue) -> ArgValue:
+            if isinstance(value, ResourceRef):
+                return ResourceRef(remap[value.index], value.kind)
+            if isinstance(value, StructValue):
+                value.values = {k: (ResourceRef(remap[v.index], v.kind)
+                                    if isinstance(v, ResourceRef) else v)
+                                for k, v in value.values.items()}
+            return value
+
+        for call in kept:
+            call.args = tuple(fix(a) for a in call.args)
+        return Program(kept)

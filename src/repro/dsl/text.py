@@ -1,0 +1,218 @@
+"""Textual DSL form: serialization and parsing.
+
+One call per line; every call is assigned a result variable so that
+later calls can reference it::
+
+    r0 = openat$video0()
+    r1 = ioctl$VIDIOC_REQBUFS(r0, struct<ioctl$VIDIOC_REQBUFS>{count=4, type=1, memory=1})
+    r2 = hal$vendor.camera.provider.openSession(0)
+
+Value syntax: ints (decimal or ``0x``), ``f(1.5)`` floats, ``true`` /
+``false``, ``none``, ``"strings"``, ``hex"AABB"`` byte blobs, ``rN``
+resource references, and ``struct<spec>{field=value, ...}`` structs.
+
+The text form is the wire format between the host-side engine and the
+device-side broker (over the ADB surrogate) and the on-disk corpus
+format, so parse/serialize must round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import DslParseError
+from repro.dsl.model import (
+    ArgValue,
+    HalCall,
+    Program,
+    ResourceRef,
+    StructValue,
+    SyscallCall,
+)
+
+_CALL_RE = re.compile(
+    r"^r(?P<idx>\d+)\s*=\s*(?P<name>[A-Za-z0-9_$.]+)\((?P<args>.*)\)\s*$")
+_HAL_NAME_RE = re.compile(r"^hal\$(?P<service>[A-Za-z0-9_.]+)\."
+                          r"(?P<method>[A-Za-z0-9_]+)$")
+
+
+def _serialize_value(value: ArgValue) -> str:
+    if value is None:
+        return "none"
+    if isinstance(value, ResourceRef):
+        return f"r{value.index}"
+    if isinstance(value, StructValue):
+        inner = ", ".join(f"{k}={_serialize_value(v)}"
+                          for k, v in value.values.items())
+        return f"struct<{value.spec}>{{{inner}}}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return hex(value) if value >= 0x1000 else str(value)
+    if isinstance(value, float):
+        return f"f({value!r})"
+    if isinstance(value, str):
+        # Strings containing line breaks (anything str.splitlines
+        # treats as one) or other control characters would corrupt the
+        # line-oriented format; carry those as encoded utf-8 instead.
+        if any(ch < " " or ch in "\x7f\x85\u2028\u2029" for ch in value):
+            return f'utf8"{value.encode("utf-8").hex().upper()}"'
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, (bytes, bytearray)):
+        return f'hex"{bytes(value).hex().upper()}"'
+    raise DslParseError(f"unserializable value: {value!r}")
+
+
+def serialize_program(program: Program) -> str:
+    """Render a program in the textual DSL form."""
+    lines = []
+    for index, call in enumerate(program.calls):
+        args = ", ".join(_serialize_value(a) for a in call.args)
+        if call.is_hal:
+            name = f"hal${call.service}.{call.method}"
+        else:
+            name = call.desc
+        lines.append(f"r{index} = {name}({args})")
+    return "\n".join(lines)
+
+
+class _Scanner:
+    """Cursor-based scanner over one argument list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        self._skip_ws()
+        return self.pos >= len(self.text)
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def expect(self, char: str) -> None:
+        self._skip_ws()
+        if self.pos >= len(self.text) or self.text[self.pos] != char:
+            raise DslParseError(
+                f"expected {char!r} at {self.pos} in {self.text!r}")
+        self.pos += 1
+
+    def peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def match(self, token: str) -> bool:
+        self._skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def take_while(self, pattern: str) -> str:
+        self._skip_ws()
+        m = re.match(pattern, self.text[self.pos:])
+        if m is None:
+            raise DslParseError(
+                f"bad token at {self.pos} in {self.text!r}")
+        self.pos += m.end()
+        return m.group(0)
+
+    def value(self) -> ArgValue:
+        self._skip_ws()
+        if self.match("none"):
+            return None
+        if self.match("true"):
+            return True
+        if self.match("false"):
+            return False
+        if self.match('hex"'):
+            raw = self.take_while(r"[0-9A-Fa-f]*")
+            self.expect('"')
+            return bytes.fromhex(raw)
+        if self.match('utf8"'):
+            raw = self.take_while(r"[0-9A-Fa-f]*")
+            self.expect('"')
+            return bytes.fromhex(raw).decode("utf-8")
+        if self.match("f("):
+            num = self.take_while(r"[-+0-9.eE]+")
+            self.expect(")")
+            return float(num)
+        if self.match("struct<"):
+            spec = self.take_while(r"[A-Za-z0-9_$.]+")
+            self.expect(">")
+            self.expect("{")
+            values: dict[str, int | bytes | ResourceRef] = {}
+            while self.peek() != "}":
+                key = self.take_while(r"[A-Za-z0-9_]+")
+                self.expect("=")
+                inner = self.value()
+                if not isinstance(inner, (int, bytes, ResourceRef)):
+                    raise DslParseError(
+                        f"struct field {key} has bad type {type(inner)}")
+                values[key] = inner
+                if self.peek() == ",":
+                    self.expect(",")
+            self.expect("}")
+            return StructValue(spec, values)
+        if self.peek() == '"':
+            self.expect('"')
+            out = []
+            while self.pos < len(self.text):
+                char = self.text[self.pos]
+                self.pos += 1
+                if char == "\\" and self.pos < len(self.text):
+                    out.append(self.text[self.pos])
+                    self.pos += 1
+                elif char == '"':
+                    return "".join(out)
+                else:
+                    out.append(char)
+            raise DslParseError("unterminated string")
+        if self.peek() == "r" and re.match(
+                r"r\d+", self.text[self.pos:]):
+            token = self.take_while(r"r\d+")
+            return ResourceRef(int(token[1:]))
+        token = self.take_while(r"-?(0x[0-9A-Fa-f]+|\d+)")
+        return int(token, 0)
+
+
+def _parse_args(text: str) -> tuple[ArgValue, ...]:
+    scanner = _Scanner(text)
+    args: list[ArgValue] = []
+    while not scanner.eof():
+        args.append(scanner.value())
+        if not scanner.eof():
+            scanner.expect(",")
+    return tuple(args)
+
+
+def parse_program(text: str) -> Program:
+    """Parse the textual DSL form back into a :class:`Program`.
+
+    Raises:
+        DslParseError: malformed line, bad value, or wrong numbering.
+    """
+    program = Program()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _CALL_RE.match(line)
+        if m is None:
+            raise DslParseError(f"unparsable line: {line!r}")
+        index = int(m.group("idx"))
+        if index != len(program.calls):
+            raise DslParseError(
+                f"expected r{len(program.calls)}, got r{index}")
+        args = _parse_args(m.group("args"))
+        name = m.group("name")
+        hal = _HAL_NAME_RE.match(name)
+        if hal is not None:
+            program.calls.append(HalCall(hal.group("service"),
+                                         hal.group("method"), args))
+        else:
+            program.calls.append(SyscallCall(name, args))
+    program.validate()
+    return program

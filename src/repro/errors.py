@@ -1,0 +1,100 @@
+"""Exception hierarchy shared across the repro packages.
+
+The virtual kernel and HAL report abnormal conditions through exceptions
+derived from :class:`ReproError`.  Crash-like conditions (kernel WARN/BUG,
+KASAN reports, HAL native crashes) derive from :class:`CrashReportError`
+and carry enough structure for the fuzzer's triage pipeline to build a
+deduplicated bug report without parsing free-form text.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro packages."""
+
+
+class DslError(ReproError):
+    """Malformed DSL program, unknown call name, or bad argument value."""
+
+
+class DslParseError(DslError):
+    """The textual DSL could not be parsed."""
+
+
+class DeviceError(ReproError):
+    """The virtual device could not service a request (offline, rebooting)."""
+
+
+class AdbError(DeviceError):
+    """ADB-level transport failure."""
+
+
+class BinderError(ReproError):
+    """Binder IPC failure (dead service, bad transaction code)."""
+
+
+class DeadObjectError(BinderError):
+    """The remote Binder object's hosting process has died."""
+
+
+class ParcelError(BinderError):
+    """Parcel under-read, type mismatch, or malformed payload."""
+
+
+class ProbeError(ReproError):
+    """The HAL probing pass could not complete."""
+
+
+class CrashReportError(ReproError):
+    """Base class for crash-like conditions observed on the device.
+
+    Attributes:
+        title: short, stable, dedup-friendly description of the crash
+            (e.g. ``"WARNING in rt1711_i2c_probe"``).
+        component: ``"kernel"`` or ``"hal"``.
+    """
+
+    component = "kernel"
+
+    def __init__(self, title: str, detail: str = "") -> None:
+        super().__init__(title if not detail else f"{title}: {detail}")
+        self.title = title
+        self.detail = detail
+
+
+class KernelWarning(CrashReportError):
+    """A ``WARNING:`` splat in the kernel log (non-fatal, recoverable)."""
+
+
+class KernelBug(CrashReportError):
+    """A ``BUG:`` splat: the kernel considers its own state corrupted."""
+
+
+class KernelPanic(CrashReportError):
+    """Unrecoverable kernel failure; the device must reboot."""
+
+
+class KasanReport(CrashReportError):
+    """KASAN-detected invalid memory access inside the virtual kernel."""
+
+    def __init__(self, kind: str, where: str, detail: str = "") -> None:
+        super().__init__(f"KASAN: {kind} in {where}", detail)
+        self.kind = kind
+        self.where = where
+
+
+class HangDetected(CrashReportError):
+    """The executor's step budget was exhausted: an infinite loop in a driver."""
+
+
+class NativeCrash(CrashReportError):
+    """A userspace (HAL) process received a fatal signal."""
+
+    component = "hal"
+
+    def __init__(self, signal_name: str, process: str, title: str,
+                 detail: str = "") -> None:
+        super().__init__(title, detail)
+        self.signal_name = signal_name
+        self.process = process

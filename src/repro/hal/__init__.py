@@ -1,0 +1,29 @@
+"""Hardware Abstraction Layer substrate.
+
+Simulates the Android userspace layers a proprietary-driver fuzzer has to
+interact with: Binder IPC (parcels, transactions), the ServiceManager
+registry (``lshal`` surrogate), HAL host processes with native-crash
+semantics, and the vendor HAL services themselves.
+
+HAL service internals are *opaque to the fuzzer by construction*: they
+export no coverage; the only observable signals are Binder replies,
+process crashes, and — through kernel tracepoints — the syscalls they
+issue, exactly the situation §IV-D of the paper describes.
+"""
+
+from repro.hal.parcel import Parcel
+from repro.hal.binder import BinderNode, BinderProxy, Status
+from repro.hal.service_manager import ServiceManager
+from repro.hal.service import HalMethod, HalService
+from repro.hal.process import HalProcess
+
+__all__ = [
+    "Parcel",
+    "BinderNode",
+    "BinderProxy",
+    "Status",
+    "ServiceManager",
+    "HalMethod",
+    "HalService",
+    "HalProcess",
+]

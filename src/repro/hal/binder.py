@@ -1,0 +1,111 @@
+"""Binder IPC objects and transaction routing.
+
+A :class:`BinderNode` is the server side of a Binder object (hosted by a
+HAL process); a :class:`BinderProxy` is a client handle.  Every proxy
+transaction is routed through the kernel's tracepoint manager as a
+``binder_transaction`` event — the observation channel the probing pass
+taps with its eBPF surrogate (§IV-B of the paper).
+
+Reply parcels carry a leading status i32 like Android's ``Status``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import TYPE_CHECKING
+
+from repro.errors import DeadObjectError, NativeCrash
+from repro.hal.parcel import Parcel
+
+if TYPE_CHECKING:
+    from repro.hal.service import HalService
+    from repro.kernel.kernel import VirtualKernel
+from repro.kernel.tracepoints import BinderRecord
+
+
+class Status(IntEnum):
+    """Binder transaction status codes (subset of ``binder_status_t``)."""
+
+    OK = 0
+    UNKNOWN_TRANSACTION = -74
+    BAD_VALUE = -22
+    INVALID_OPERATION = -38
+    DEAD_OBJECT = -32
+    FAILED_TRANSACTION = -2147483646
+
+
+class BinderNode:
+    """Server-side Binder object wrapping one HAL service."""
+
+    def __init__(self, kernel: "VirtualKernel", service: "HalService") -> None:
+        self._kernel = kernel
+        self.service = service
+        self._txn_seq = 0
+
+    def transact(self, from_pid: int, from_comm: str, code: int,
+                 data: Parcel) -> Parcel:
+        """Execute one transaction against the hosted service.
+
+        A native crash in the service marks the hosting process dead and
+        surfaces as :class:`DeadObjectError` to the caller — the same
+        thing a real client observes when a HAL process aborts mid-call.
+        """
+        process = self.service.process
+        if process is not None and process.dead:
+            raise DeadObjectError(
+                f"{self.service.instance_name}: hosting process is dead")
+        self._txn_seq += 1
+        method = self.service.method_by_code(code)
+        reply = Parcel()
+        crashed = False
+        try:
+            self.service.on_transact(code, data, reply)
+        except NativeCrash as exc:
+            crashed = True
+            if process is not None:
+                process.record_crash(exc)
+        finally:
+            self._kernel.trace.fire("binder_transaction", BinderRecord(
+                from_pid=from_pid,
+                from_comm=from_comm,
+                service=self.service.instance_name,
+                interface=self.service.interface_descriptor,
+                code=code,
+                method=method.name if method is not None else f"txn_{code}",
+                payload_types=data.type_track(),
+                payload_values=data.value_track(),
+                reply_ok=not crashed and reply.size() >= 4,
+                seq=self._txn_seq,
+            ))
+        if crashed:
+            raise DeadObjectError(
+                f"{self.service.instance_name}: process crashed during "
+                f"transaction {code}")
+        reply.rewind()
+        return reply
+
+
+class BinderProxy:
+    """Client handle to a remote Binder object.
+
+    Args:
+        node: the target server node.
+        client_pid: pid of the client process (shows up in traces).
+        client_comm: client process name.
+    """
+
+    def __init__(self, node: BinderNode, client_pid: int,
+                 client_comm: str) -> None:
+        self._node = node
+        self._client_pid = client_pid
+        self._client_comm = client_comm
+
+    @property
+    def interface_descriptor(self) -> str:
+        """The remote interface descriptor string."""
+        return self._node.service.interface_descriptor
+
+    def transact(self, code: int, data: Parcel) -> Parcel:
+        """Send a transaction; returns the reply parcel (cursor rewound)."""
+        return self._node.transact(self._client_pid, self._client_comm,
+                                   code, data)

@@ -1,0 +1,169 @@
+"""Binder Parcel: the typed marshaling container of Android IPC.
+
+A parcel is a flat byte buffer with typed append/read operations and a
+read cursor.  This implementation additionally records the *type track* —
+the sequence of type tags written — because the probing pass infers
+interface argument types by watching parcel traffic (§IV-B), and a real
+prober recovers the same information from transaction buffers.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ParcelError
+
+
+class Parcel:
+    """Typed marshaling buffer with Android-like accessors."""
+
+    def __init__(self) -> None:
+        self._data = bytearray()
+        self._pos = 0
+        self._types: list[str] = []
+        self._values: list = []
+        self._read_types_pos = 0
+
+    # -- writing -------------------------------------------------------
+
+    def write_i32(self, value: int) -> "Parcel":
+        """Append a signed 32-bit integer (wraps out-of-range values)."""
+        wrapped = int(value) & 0xFFFFFFFF
+        if wrapped >= 1 << 31:
+            wrapped -= 1 << 32
+        self._data += struct.pack("<i", wrapped)
+        self._types.append("i32")
+        self._values.append(wrapped)
+        return self
+
+    def write_u32(self, value: int) -> "Parcel":
+        """Append an unsigned 32-bit integer."""
+        self._data += struct.pack("<I", int(value) & 0xFFFFFFFF)
+        self._types.append("u32")
+        self._values.append(int(value) & 0xFFFFFFFF)
+        return self
+
+    def write_i64(self, value: int) -> "Parcel":
+        """Append a signed 64-bit integer."""
+        self._data += struct.pack("<q", int(value))
+        self._types.append("i64")
+        self._values.append(int(value))
+        return self
+
+    def write_f32(self, value: float) -> "Parcel":
+        """Append a 32-bit float."""
+        self._data += struct.pack("<f", float(value))
+        self._types.append("f32")
+        self._values.append(float(value))
+        return self
+
+    def write_bool(self, value: bool) -> "Parcel":
+        """Append a bool (as i32, like Android)."""
+        self._data += struct.pack("<i", 1 if value else 0)
+        self._types.append("bool")
+        self._values.append(bool(value))
+        return self
+
+    def write_string(self, value: str) -> "Parcel":
+        """Append a length-prefixed UTF-8 string."""
+        raw = value.encode("utf-8")
+        self._data += struct.pack("<i", len(raw)) + raw
+        self._types.append("str")
+        self._values.append(value)
+        return self
+
+    def write_bytes(self, value: bytes) -> "Parcel":
+        """Append a length-prefixed byte blob."""
+        self._data += struct.pack("<i", len(value)) + bytes(value)
+        self._types.append("bytes")
+        self._values.append(bytes(value))
+        return self
+
+    # -- reading -------------------------------------------------------
+
+    def _take(self, count: int, what: str) -> bytes:
+        if self._pos + count > len(self._data):
+            raise ParcelError(f"parcel under-read: need {count} bytes for "
+                              f"{what} at {self._pos}/{len(self._data)}")
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return bytes(chunk)
+
+    def _advance_type(self) -> str:
+        if self._read_types_pos < len(self._types):
+            tag = self._types[self._read_types_pos]
+            self._read_types_pos += 1
+            return tag
+        return "?"
+
+    def read_i32(self) -> int:
+        """Read a signed 32-bit integer."""
+        self._advance_type()
+        return struct.unpack("<i", self._take(4, "i32"))[0]
+
+    def read_u32(self) -> int:
+        """Read an unsigned 32-bit integer."""
+        self._advance_type()
+        return struct.unpack("<I", self._take(4, "u32"))[0]
+
+    def read_i64(self) -> int:
+        """Read a signed 64-bit integer."""
+        self._advance_type()
+        return struct.unpack("<q", self._take(8, "i64"))[0]
+
+    def read_f32(self) -> float:
+        """Read a 32-bit float."""
+        self._advance_type()
+        return struct.unpack("<f", self._take(4, "f32"))[0]
+
+    def read_bool(self) -> bool:
+        """Read a bool."""
+        self._advance_type()
+        return struct.unpack("<i", self._take(4, "bool"))[0] != 0
+
+    def read_string(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        self._advance_type()
+        (length,) = struct.unpack("<i", self._take(4, "strlen"))
+        if length < 0 or length > len(self._data):
+            raise ParcelError(f"bad string length {length}")
+        return self._take(length, "str").decode("utf-8", errors="replace")
+
+    def read_bytes(self) -> bytes:
+        """Read a length-prefixed byte blob."""
+        self._advance_type()
+        (length,) = struct.unpack("<i", self._take(4, "byteslen"))
+        if length < 0 or length > len(self._data):
+            raise ParcelError(f"bad blob length {length}")
+        return self._take(length, "bytes")
+
+    # -- introspection ---------------------------------------------------
+
+    def rewind(self) -> None:
+        """Reset the read cursor to the start."""
+        self._pos = 0
+        self._read_types_pos = 0
+
+    def size(self) -> int:
+        """Total payload size in bytes."""
+        return len(self._data)
+
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._data) - self._pos
+
+    def type_track(self) -> tuple[str, ...]:
+        """Sequence of type tags written into this parcel."""
+        return tuple(self._types)
+
+    def value_track(self) -> tuple:
+        """The concrete values written, in order.
+
+        This is what a prober recovers by decoding the raw transaction
+        buffer with the inferred type track.
+        """
+        return tuple(self._values)
+
+    def to_bytes(self) -> bytes:
+        """Raw payload."""
+        return bytes(self._data)

@@ -1,0 +1,86 @@
+"""HAL host process model.
+
+Each vendor HAL service runs in its own userspace process (as on real
+Android, where ``android.hardware.*-service`` binaries host one service
+each).  The process owns a kernel task (so the HAL's syscalls are
+attributable by pid via tracepoints) and implements native-crash
+semantics: a fatal signal produces a tombstone record, the process is
+marked dead, and init restarts it with fresh state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import NativeCrash
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import VirtualKernel
+
+
+@dataclass(frozen=True)
+class Tombstone:
+    """Crash record for a dead HAL process (logcat/tombstoned surrogate)."""
+
+    kind: str
+    title: str
+    detail: str
+    process: str
+    signal: str
+    seq: int = 0
+
+    component: str = field(default="hal", init=False)
+
+
+class HalProcess:
+    """One HAL service host process.
+
+    Args:
+        kernel: the device kernel the process runs on.
+        comm: process name, e.g. ``vendor.graphics-service``.
+    """
+
+    def __init__(self, kernel: "VirtualKernel", comm: str) -> None:
+        self._kernel = kernel
+        self.comm = comm
+        self._task = kernel.new_process(comm)
+        self.dead = False
+        self._tombstones: list[Tombstone] = []
+        self._crash_seq = 0
+        self.restart_count = 0
+
+    @property
+    def pid(self) -> int:
+        """Current kernel pid of the process."""
+        return self._task.pid
+
+    def syscall(self, name: str, *args):
+        """Issue a syscall in this process's context."""
+        return self._kernel.syscall(self._task.pid, name, *args)
+
+    def record_crash(self, crash: NativeCrash) -> None:
+        """Register a fatal signal: write a tombstone and mark dead."""
+        self._crash_seq += 1
+        self._tombstones.append(Tombstone(
+            kind="NATIVE", title=crash.title, detail=crash.detail,
+            process=self.comm, signal=crash.signal_name,
+            seq=self._crash_seq))
+        self.dead = True
+
+    def restart(self) -> None:
+        """init restarts the service: new task, fresh pid, state cleared."""
+        self._kernel.kill_process(self._task.pid)
+        self._task = self._kernel.new_process(self.comm)
+        self.dead = False
+        self.restart_count += 1
+
+    def drain_tombstones(self) -> list[Tombstone]:
+        """Return and clear tombstones written since the last drain."""
+        out = self._tombstones
+        self._tombstones = []
+        return out
+
+    def peek_tombstones(self) -> list[Tombstone]:
+        """Pending tombstones without clearing."""
+        return list(self._tombstones)

@@ -1,0 +1,170 @@
+"""HAL service base class and method descriptors.
+
+A vendor HAL service subclasses :class:`HalService`, declares its
+transaction surface as :class:`HalMethod` entries (code, name, argument
+signature), and implements one ``_m_<name>`` Python method per entry.
+``on_transact`` unmarshals parcels per the signature, dispatches, and
+marshals the reply (status i32 first, Android-style).
+
+The *fuzzer never sees this file's internals*: services are closed
+source from its perspective.  What it can learn comes from probing
+(transaction traffic) and tracepoints (the syscalls services issue).
+
+Two probing aids mirror what a real framework gives a prober:
+
+* :meth:`HalService.sample_args` — benign argument values the Poke app
+  uses for its short trial of each interface;
+* :meth:`HalService.framework_scenarios` — call flows a normal Android
+  framework would issue (screen refresh, camera preview, …), which the
+  prober replays to measure per-interface *normalized occurrence*
+  weights (§IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ParcelError
+from repro.hal.binder import Status
+from repro.hal.parcel import Parcel
+
+if TYPE_CHECKING:
+    from repro.hal.process import HalProcess
+    from repro.kernel.kernel import VirtualKernel
+    from repro.kernel.syscalls import SyscallOutcome
+
+#: Parcel type tags usable in method signatures.
+ARG_TYPES = ("i32", "u32", "i64", "f32", "bool", "str", "bytes")
+
+_WRITERS = {
+    "i32": Parcel.write_i32,
+    "u32": Parcel.write_u32,
+    "i64": Parcel.write_i64,
+    "f32": Parcel.write_f32,
+    "bool": Parcel.write_bool,
+    "str": Parcel.write_string,
+    "bytes": Parcel.write_bytes,
+}
+_READERS = {
+    "i32": Parcel.read_i32,
+    "u32": Parcel.read_u32,
+    "i64": Parcel.read_i64,
+    "f32": Parcel.read_f32,
+    "bool": Parcel.read_bool,
+    "str": Parcel.read_string,
+    "bytes": Parcel.read_bytes,
+}
+
+
+@dataclass(frozen=True)
+class HalMethod:
+    """One transaction of a HAL interface.
+
+    Attributes:
+        code: Binder transaction code.
+        name: method name (``_m_<name>`` implements it).
+        signature: argument type tags, in order.
+        returns: reply value type tags (after the status i32).
+        doc: human-readable description.
+    """
+
+    code: int
+    name: str
+    signature: tuple[str, ...] = ()
+    returns: tuple[str, ...] = ()
+    doc: str = ""
+
+
+def marshal_args(method: HalMethod, args: tuple[Any, ...]) -> Parcel:
+    """Pack ``args`` into a parcel per ``method.signature``."""
+    parcel = Parcel()
+    for tag, value in zip(method.signature, args):
+        _WRITERS[tag](parcel, value)
+    return parcel
+
+
+class HalService:
+    """Base class for vendor HAL services."""
+
+    #: Fully qualified interface descriptor (HIDL/AIDL style).
+    interface_descriptor = "vendor.example@1.0::IExample"
+    #: Registered instance name in the ServiceManager.
+    instance_name = "vendor.example"
+
+    def __init__(self) -> None:
+        self.process: "HalProcess | None" = None
+        self._kernel: "VirtualKernel | None" = None
+        self._by_code = {m.code: m for m in self.methods()}
+        self._by_name = {m.name: m for m in self.methods()}
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, kernel: "VirtualKernel", process: "HalProcess") -> None:
+        """Bind the service to its device kernel and host process."""
+        self._kernel = kernel
+        self.process = process
+
+    def sys(self, name: str, *args) -> "SyscallOutcome":
+        """Issue a syscall in the hosting process's context."""
+        if self.process is None:
+            raise RuntimeError(f"{self.instance_name} not attached")
+        return self.process.syscall(name, *args)
+
+    def reset(self) -> None:
+        """Clear service state (called when init restarts the process)."""
+
+    # -- interface surface -------------------------------------------------
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        """The service's transaction surface."""
+        return ()
+
+    def method_by_code(self, code: int) -> HalMethod | None:
+        """Look up a method by transaction code."""
+        return self._by_code.get(code)
+
+    def method_by_name(self, name: str) -> HalMethod | None:
+        """Look up a method by name."""
+        return self._by_name.get(name)
+
+    def sample_args(self, name: str) -> tuple[Any, ...]:
+        """Benign trial arguments for the Poke app's probe pass."""
+        method = self._by_name.get(name)
+        if method is None:
+            return ()
+        defaults = {"i32": 0, "u32": 0, "i64": 0, "f32": 0.0, "bool": False,
+                    "str": "", "bytes": b""}
+        return tuple(defaults[tag] for tag in method.signature)
+
+    def framework_scenarios(self) -> list[list[tuple[str, tuple]]]:
+        """Call flows a typical Android framework issues on this HAL.
+
+        Each scenario is a list of ``(method_name, args)`` steps.  The
+        prober replays them to estimate per-interface weights.
+        """
+        return []
+
+    # -- dispatch ---------------------------------------------------------
+
+    def on_transact(self, code: int, data: Parcel, reply: Parcel) -> None:
+        """Unmarshal, dispatch and marshal one transaction."""
+        method = self._by_code.get(code)
+        if method is None:
+            reply.write_i32(int(Status.UNKNOWN_TRANSACTION))
+            return
+        data.rewind()
+        try:
+            args = tuple(_READERS[tag](data) for tag in method.signature)
+        except ParcelError:
+            reply.write_i32(int(Status.BAD_VALUE))
+            return
+        handler = getattr(self, f"_m_{method.name}")
+        result = handler(*args)
+        if isinstance(result, tuple):
+            status, outs = result[0], result[1:]
+        else:
+            status, outs = result, ()
+        reply.write_i32(int(status))
+        for tag, value in zip(method.returns, outs):
+            _WRITERS[tag](reply, value)

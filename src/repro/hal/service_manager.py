@@ -1,0 +1,64 @@
+"""ServiceManager: the Binder service registry.
+
+The device's HAL services register here; clients (the Android framework,
+the Poke app, the HAL executor) resolve proxies by instance name.  The
+``list_hals`` method is the ``lshal`` surrogate the probing pass uses to
+enumerate running HALs (§IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import BinderError
+from repro.hal.binder import BinderNode, BinderProxy
+
+if TYPE_CHECKING:
+    from repro.hal.service import HalService
+    from repro.kernel.kernel import VirtualKernel
+
+
+class ServiceManager:
+    """Name → Binder node registry for one device."""
+
+    def __init__(self, kernel: "VirtualKernel") -> None:
+        self._kernel = kernel
+        self._nodes: dict[str, BinderNode] = {}
+
+    def add_service(self, service: "HalService") -> BinderNode:
+        """Register a HAL service under its instance name."""
+        if service.instance_name in self._nodes:
+            raise BinderError(
+                f"service already registered: {service.instance_name}")
+        node = BinderNode(self._kernel, service)
+        self._nodes[service.instance_name] = node
+        return node
+
+    def get_service(self, name: str, client_pid: int,
+                    client_comm: str) -> BinderProxy:
+        """Resolve a proxy to a registered service.
+
+        Raises:
+            BinderError: no service registered under ``name``.
+        """
+        node = self._nodes.get(name)
+        if node is None:
+            raise BinderError(f"no such service: {name}")
+        return BinderProxy(node, client_pid, client_comm)
+
+    def list_services(self) -> list[str]:
+        """Registered instance names, sorted (``service list`` surrogate)."""
+        return sorted(self._nodes)
+
+    def list_hals(self) -> list[tuple[str, str]]:
+        """(instance name, interface descriptor) pairs — ``lshal``."""
+        return [(name, node.service.interface_descriptor)
+                for name, node in sorted(self._nodes.items())]
+
+    def node(self, name: str) -> BinderNode | None:
+        """Direct node access (device-internal use)."""
+        return self._nodes.get(name)
+
+    def services(self) -> list["HalService"]:
+        """All registered service objects."""
+        return [node.service for node in self._nodes.values()]

@@ -1,0 +1,11 @@
+"""Vendor HAL services.
+
+Each module implements one proprietary HAL service: a stateful userspace
+blob that drives its kernel driver(s) with the correct, vendor-known
+call sequences.  On the firmware revisions Table II blames, a
+``quirk_*`` flag plants the corresponding native bug.
+"""
+
+from repro.hal.services.registry import HAL_FACTORIES, build_hal
+
+__all__ = ["HAL_FACTORIES", "build_hal"]

@@ -1,0 +1,164 @@
+"""Audio HAL.
+
+The vendor audio flinger backend: opens PCM substreams with negotiated
+hw/sw params, streams interleaved frames, and manages standby/pause
+state.  No bug is planted here; its value to the fuzzer is that its
+syscall traffic walks the ALSA state machine correctly, which random
+generation rarely does.
+"""
+
+from __future__ import annotations
+
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import audio_pcm as pcm
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import pack_fields
+
+
+class AudioHal(HalService):
+    """``vendor.audio`` service."""
+
+    interface_descriptor = "vendor.audio@7.0::IDevicesFactory"
+    instance_name = "vendor.audio"
+
+    _FRAME_BYTES = {pcm.FMT_S16: 2, pcm.FMT_S24: 4, pcm.FMT_S32: 4,
+                    pcm.FMT_FLOAT: 4}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._streams: dict[int, dict] = {}
+        self._next_stream = 1
+        self._master_volume = 1.0
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "openOutputStream", ("i32", "i32", "i32"), ("i32",),
+                      doc="rate, channels, format → stream handle"),
+            HalMethod(2, "writeAudio", ("i32", "i32"), ("i32",),
+                      doc="handle, frame count → frames written"),
+            HalMethod(3, "pauseStream", ("i32", "bool"), ()),
+            HalMethod(4, "standby", ("i32",), ()),
+            HalMethod(5, "drainStream", ("i32",), ()),
+            HalMethod(6, "closeStream", ("i32",), ()),
+            HalMethod(7, "setMasterVolume", ("f32",), ()),
+            HalMethod(8, "getParameters", (), ("str",)),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "openOutputStream": (48000, 2, pcm.FMT_S16),
+            "writeAudio": (1, 256),
+            "pauseStream": (1, True),
+            "standby": (1,),
+            "drainStream": (1,),
+            "closeStream": (1,),
+            "setMasterVolume": (0.5,),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Music playback: open, stream a while, pause/resume, teardown.
+        return [
+            [("openOutputStream", (48000, 2, pcm.FMT_S16))]
+            + [("writeAudio", (1, 512))] * 10
+            + [("pauseStream", (1, True)), ("pauseStream", (1, False)),
+               ("writeAudio", (1, 512)), ("drainStream", (1,)),
+               ("closeStream", (1,))],
+            [("openOutputStream", (16000, 1, pcm.FMT_S16)),
+             ("writeAudio", (1, 160)), ("standby", (1,)),
+             ("closeStream", (1,))],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _m_openOutputStream(self, rate: int, channels: int, fmt: int):
+        if rate not in pcm.RATE_VALUES or channels not in pcm.CHANNEL_VALUES:
+            return Status.BAD_VALUE
+        if fmt not in pcm.FORMAT_VALUES:
+            return Status.BAD_VALUE
+        fd = self.sys("openat", "/dev/snd/pcmC0D0p", 2).ret
+        if fd < 0:
+            return Status.FAILED_TRANSACTION
+        out = self.sys("ioctl", fd, pcm.PCM_IOC_HW_PARAMS,
+                       pack_fields(pcm._HW_FIELDS,
+                                   {"rate": rate, "channels": channels,
+                                    "format": fmt}))
+        if not out.ok:
+            self.sys("close", fd)
+            return Status.FAILED_TRANSACTION
+        self.sys("ioctl", fd, pcm.PCM_IOC_SW_PARAMS,
+                 pack_fields(pcm._SW_FIELDS,
+                             {"start_threshold": 256, "avail_min": 64}))
+        self.sys("ioctl", fd, pcm.PCM_IOC_PREPARE, None)
+        handle = self._next_stream
+        self._next_stream += 1
+        self._streams[handle] = {"fd": fd, "channels": channels,
+                                 "fmt": fmt, "frames": 0}
+        return Status.OK, handle
+
+    def _stream(self, handle: int) -> dict | None:
+        return self._streams.get(handle)
+
+    def _m_writeAudio(self, handle: int, frames: int):
+        stream = self._stream(handle)
+        if stream is None:
+            return Status.BAD_VALUE
+        if not 0 < frames <= 4096:
+            return Status.BAD_VALUE
+        frame_bytes = stream["channels"] * self._FRAME_BYTES[stream["fmt"]]
+        payload = b"\x00" * min(frames * frame_bytes, 1 << 16)
+        payload = payload[:len(payload) - len(payload) % frame_bytes]
+        out = self.sys("write", stream["fd"], payload)
+        if out.ret == err(Errno.EPIPE):
+            # xrun: recover like a real HAL does.
+            self.sys("ioctl", stream["fd"], pcm.PCM_IOC_PREPARE, None)
+            out = self.sys("write", stream["fd"], payload)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        written = out.ret // frame_bytes
+        stream["frames"] += written
+        return Status.OK, written
+
+    def _m_pauseStream(self, handle: int, on: bool):
+        stream = self._stream(handle)
+        if stream is None:
+            return Status.BAD_VALUE
+        out = self.sys("ioctl", stream["fd"], pcm.PCM_IOC_PAUSE,
+                       1 if on else 0)
+        return Status.OK if out.ok else Status.INVALID_OPERATION
+
+    def _m_standby(self, handle: int):
+        stream = self._stream(handle)
+        if stream is None:
+            return Status.BAD_VALUE
+        self.sys("ioctl", stream["fd"], pcm.PCM_IOC_DROP, None)
+        self.sys("ioctl", stream["fd"], pcm.PCM_IOC_PREPARE, None)
+        return Status.OK
+
+    def _m_drainStream(self, handle: int):
+        stream = self._stream(handle)
+        if stream is None:
+            return Status.BAD_VALUE
+        out = self.sys("ioctl", stream["fd"], pcm.PCM_IOC_DRAIN, None)
+        return Status.OK if out.ok else Status.INVALID_OPERATION
+
+    def _m_closeStream(self, handle: int):
+        stream = self._streams.pop(handle, None)
+        if stream is None:
+            return Status.BAD_VALUE
+        self.sys("close", stream["fd"])
+        return Status.OK
+
+    def _m_setMasterVolume(self, volume: float):
+        if not 0.0 <= volume <= 1.0:
+            return Status.BAD_VALUE
+        self._master_volume = volume
+        return Status.OK
+
+    def _m_getParameters(self):
+        return (Status.OK,
+                f"streams={len(self._streams)};volume={self._master_volume}")

@@ -1,0 +1,186 @@
+"""Bluetooth HAL.
+
+The vendor Bluetooth stack front-end: brings the controller up with the
+canonical HCI init sequence (reset → version → features → codecs →
+event mask), manages scanning/bonding, and opens L2CAP data channels
+through the socket family.  Its init sequence is the vendor knowledge
+that makes A2's ``hci_read_supported_codecs`` bug (№7) reachable only by
+*mutations* of HAL-derived orderings — dropping the features step.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import bt_hci as hci
+from repro.kernel.drivers.bt_l2cap import pack_l2_addr
+from repro.kernel.syscalls import AF_BLUETOOTH
+
+
+def _hci_cmd(opcode: int, params: bytes = b"") -> bytes:
+    """Frame one HCI command packet."""
+    return b"\x01" + opcode.to_bytes(2, "little") + bytes([len(params)]) + params
+
+
+class BluetoothHal(HalService):
+    """``vendor.bluetooth`` service."""
+
+    interface_descriptor = "vendor.bluetooth@1.1::IBluetoothHci"
+    instance_name = "vendor.bluetooth"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._hci_fd = -1
+        self._enabled = False
+        self._scanning = False
+        self._channels: dict[int, int] = {}  # channel handle -> socket fd
+        self._next_channel = 1
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "enable", (), ()),
+            HalMethod(2, "disable", (), ()),
+            HalMethod(3, "startScan", (), ()),
+            HalMethod(4, "stopScan", (), ()),
+            HalMethod(5, "createBond", ("bytes",), (),
+                      doc="6-byte peer address"),
+            HalMethod(6, "connectChannel", ("i32",), ("i32",),
+                      doc="PSM → channel handle"),
+            HalMethod(7, "sendData", ("i32", "bytes"), ("i32",)),
+            HalMethod(8, "closeChannel", ("i32",), ()),
+            HalMethod(9, "readSupportedCodecs", (), ("i32",)),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "createBond": (b"\x11\x22\x33\x44\x55\x66",),
+            "connectChannel": (25,),
+            "sendData": (1, b"ping"),
+            "closeChannel": (1,),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Pairing + an A2DP-ish data session.
+        return [
+            [("enable", ()), ("startScan", ()),
+             ("createBond", (b"\xAA\xBB\xCC\xDD\xEE\xFF",)),
+             ("stopScan", ()), ("connectChannel", (25,)),
+             ("sendData", (1, b"\x00" * 64)), ("sendData", (1, b"\x01" * 64)),
+             ("closeChannel", (1,))],
+            [("enable", ()), ("readSupportedCodecs", ()), ("disable", ())],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _cmd(self, opcode: int, params: bytes = b"") -> bool:
+        out = self.sys("write", self._hci_fd, _hci_cmd(opcode, params))
+        if not out.ok:
+            return False
+        self.sys("read", self._hci_fd, 64)
+        return True
+
+    def _m_enable(self):
+        if self._enabled:
+            return Status.INVALID_OPERATION
+        fd = self.sys("openat", "/dev/hci0", 2).ret
+        if fd < 0:
+            return Status.FAILED_TRANSACTION
+        self._hci_fd = fd
+        self.sys("ioctl", fd, hci.HCIDEV_IOC_UP, None)
+        # Canonical vendor init sequence.
+        ok = (self._cmd(hci.HCI_OP_RESET)
+              and self._cmd(hci.HCI_OP_READ_LOCAL_VERSION)
+              and self._cmd(hci.HCI_OP_READ_LOCAL_FEATURES)
+              and self._cmd(hci.HCI_OP_READ_BD_ADDR)
+              and self._cmd(hci.HCI_OP_READ_SUPPORTED_CODECS)
+              and self._cmd(hci.HCI_OP_SET_EVENT_MASK, b"\xFF" * 8))
+        if not ok:
+            return Status.FAILED_TRANSACTION
+        self._enabled = True
+        return Status.OK
+
+    def _m_disable(self):
+        if not self._enabled:
+            return Status.INVALID_OPERATION
+        self.sys("ioctl", self._hci_fd, hci.HCIDEV_IOC_DOWN, None)
+        self.sys("close", self._hci_fd)
+        self._hci_fd = -1
+        self._enabled = False
+        self._scanning = False
+        return Status.OK
+
+    def _m_startScan(self):
+        if not self._enabled:
+            return Status.INVALID_OPERATION
+        if not self._cmd(hci.HCI_OP_LE_SET_SCAN_ENABLE, b"\x01"):
+            return Status.FAILED_TRANSACTION
+        self._scanning = True
+        return Status.OK
+
+    def _m_stopScan(self):
+        if not self._scanning:
+            return Status.INVALID_OPERATION
+        self._cmd(hci.HCI_OP_LE_SET_SCAN_ENABLE, b"\x00")
+        self._scanning = False
+        return Status.OK
+
+    def _m_createBond(self, addr: bytes):
+        if not self._enabled or len(addr) != 6:
+            return Status.BAD_VALUE
+        if not self._scanning:
+            # Vendor stack scans implicitly before paging.
+            self._cmd(hci.HCI_OP_LE_SET_SCAN_ENABLE, b"\x01")
+            self._scanning = True
+        if not self._cmd(hci.HCI_OP_CREATE_CONN, addr):
+            return Status.FAILED_TRANSACTION
+        return Status.OK
+
+    def _m_connectChannel(self, psm: int):
+        if not self._enabled:
+            return Status.INVALID_OPERATION
+        if not 0 < psm < 65536:
+            return Status.BAD_VALUE
+        sock = self.sys("socket", AF_BLUETOOTH, 5, 0).ret
+        if sock < 0:
+            return Status.FAILED_TRANSACTION
+        out = self.sys("connect", sock, pack_l2_addr(psm))
+        if not out.ok:
+            self.sys("close", sock)
+            return Status.FAILED_TRANSACTION
+        # Complete the config phase with sane channel options.
+        self.sys("setsockopt", sock, 6, 0x01,
+                 struct.pack("<HHB", 1024, 0, 0))
+        handle = self._next_channel
+        self._next_channel += 1
+        self._channels[handle] = sock
+        return Status.OK, handle
+
+    def _m_sendData(self, handle: int, data: bytes):
+        sock = self._channels.get(handle)
+        if sock is None:
+            return Status.BAD_VALUE
+        out = self.sys("sendto", sock, data, None)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self.sys("recvfrom", sock, 1024)
+        return Status.OK, out.ret
+
+    def _m_closeChannel(self, handle: int):
+        sock = self._channels.pop(handle, None)
+        if sock is None:
+            return Status.BAD_VALUE
+        self.sys("close", sock)
+        return Status.OK
+
+    def _m_readSupportedCodecs(self):
+        if not self._enabled:
+            return Status.INVALID_OPERATION
+        if not self._cmd(hci.HCI_OP_READ_SUPPORTED_CODECS):
+            return Status.FAILED_TRANSACTION
+        return Status.OK, 2

@@ -1,0 +1,193 @@
+"""Camera provider HAL.
+
+The vendor camera stack: opens the V4L2 node, negotiates formats,
+manages stream configurations (each ``configureStreams`` call creates a
+new *generation* of stream ids), and runs the capture loop
+(QBUF / STREAMON / DQBUF) for capture requests.
+
+Planted bug (device C1 firmware):
+
+* ``Native crash in Camera HAL`` (Table II №9): a capture request that
+  names a stream id from a *previous* configuration generation indexes
+  the freed stream array → SIGSEGV.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NativeCrash
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import v4l2_camera as v4l2
+from repro.kernel.ioctl import pack_fields
+
+
+class CameraProviderHal(HalService):
+    """``vendor.camera.provider`` service.
+
+    Args:
+        quirk_stale_stream_crash: plant Table II №9 (C1 firmware).
+    """
+
+    interface_descriptor = "vendor.camera.provider@2.4::ICameraProvider"
+    instance_name = "vendor.camera.provider"
+
+    def __init__(self, quirk_stale_stream_crash: bool = False) -> None:
+        self.quirk_stale_stream_crash = quirk_stale_stream_crash
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._video_fd = -1
+        self._session_open = False
+        self._generation = 0
+        self._streams: dict[int, dict] = {}
+        self._stale_ids: set[int] = set()
+        self._streaming = False
+        self._captures = 0
+        self._torch = False
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "getCameraIdList", (), ("str",)),
+            HalMethod(2, "openSession", ("i32",), (),
+                      doc="open camera by index"),
+            HalMethod(3, "configureStreams", ("i32", "i32", "i32"),
+                      ("i32",),
+                      doc="count, width, height → first stream id"),
+            HalMethod(4, "processCaptureRequest", ("i32",), ("i32",),
+                      doc="capture on a stream id → frame seq"),
+            HalMethod(5, "closeSession", (), ()),
+            HalMethod(6, "setTorchMode", ("bool",), ()),
+            HalMethod(7, "getVendorTagCount", (), ("i32",)),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "openSession": (0,),
+            "configureStreams": (2, 1280, 720),
+            "processCaptureRequest": (100,),
+            "setTorchMode": (True,),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Camera app: open, preview stream, a burst of captures.
+        return [
+            [("getCameraIdList", ()), ("openSession", (0,)),
+             ("configureStreams", (2, 1280, 720))]
+            + [("processCaptureRequest", (100,))] * 8
+            + [("closeSession", ())],
+            [("openSession", (0,)), ("configureStreams", (1, 640, 480)),
+             ("processCaptureRequest", (200,)), ("closeSession", ())],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _m_getCameraIdList(self):
+        return Status.OK, "0"
+
+    def _m_openSession(self, camera_id: int):
+        if camera_id != 0:
+            return Status.BAD_VALUE
+        if self._session_open:
+            return Status.INVALID_OPERATION
+        fd = self.sys("openat", "/dev/video0", 2).ret
+        if fd < 0:
+            return Status.FAILED_TRANSACTION
+        self._video_fd = fd
+        self.sys("ioctl", fd, v4l2.VIDIOC_QUERYCAP, None)
+        self.sys("ioctl", fd, v4l2.VIDIOC_G_FMT, None)
+        self._session_open = True
+        return Status.OK
+
+    def _m_configureStreams(self, count: int, width: int, height: int):
+        if not self._session_open:
+            return Status.INVALID_OPERATION
+        if not 1 <= count <= 4:
+            return Status.BAD_VALUE
+        if (width, height) not in ((320, 240), (640, 480), (1280, 720),
+                                   (1920, 1080), (3840, 2160)):
+            return Status.BAD_VALUE
+        fd = self._video_fd
+        if self._streaming:
+            self.sys("ioctl", fd, v4l2.VIDIOC_STREAMOFF, 1)
+            self._streaming = False
+        out = self.sys("ioctl", fd, v4l2.VIDIOC_S_FMT,
+                       pack_fields(v4l2._FMT_FIELDS,
+                                   {"fourcc": v4l2.FMT_NV12,
+                                    "width": width, "height": height}))
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        nbufs = 4 * count
+        out = self.sys("ioctl", fd, v4l2.VIDIOC_REQBUFS,
+                       pack_fields(v4l2._REQBUFS_FIELDS,
+                                   {"count": min(nbufs, 32), "type": 1,
+                                    "memory": 1}))
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        for index in range(min(nbufs, 32)):
+            qout = self.sys("ioctl", fd, v4l2.VIDIOC_QUERYBUF,
+                            pack_fields(v4l2._BUF_FIELDS,
+                                        {"index": index, "type": 1}))
+            if qout.ok and qout.data is not None:
+                offset = int.from_bytes(qout.data[:8], "little")
+                self.sys("mmap", fd, width * height * 2, 3, 1, offset)
+        # Invalidate the previous stream generation.
+        self._stale_ids.update(self._streams)
+        self._generation += 1
+        base = self._generation * 100
+        self._streams = {base + i: {"w": width, "h": height}
+                         for i in range(count)}
+        return Status.OK, base
+
+    def _m_processCaptureRequest(self, stream_id: int):
+        if not self._session_open:
+            return Status.INVALID_OPERATION
+        stream = self._streams.get(stream_id)
+        if stream is None:
+            if stream_id in self._stale_ids and self.quirk_stale_stream_crash:
+                # Table II №9: the request path indexes the stream array
+                # by generation-relative id without a liveness check.
+                raise NativeCrash("SIGSEGV", self.instance_name,
+                                  "Native crash in Camera HAL",
+                                  f"stale stream id {stream_id}")
+            return Status.BAD_VALUE
+        fd = self._video_fd
+        index = self._captures % 4
+        self.sys("ioctl", fd, v4l2.VIDIOC_QBUF,
+                 pack_fields(v4l2._BUF_FIELDS, {"index": index, "type": 1}))
+        if not self._streaming:
+            out = self.sys("ioctl", fd, v4l2.VIDIOC_STREAMON, 1)
+            if not out.ok:
+                return Status.FAILED_TRANSACTION
+            self._streaming = True
+        out = self.sys("ioctl", fd, v4l2.VIDIOC_DQBUF, None)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self._captures += 1
+        return Status.OK, self._captures
+
+    def _m_closeSession(self):
+        if not self._session_open:
+            return Status.INVALID_OPERATION
+        if self._streaming:
+            self.sys("ioctl", self._video_fd, v4l2.VIDIOC_STREAMOFF, 1)
+            self._streaming = False
+        self.sys("close", self._video_fd)
+        self._video_fd = -1
+        self._session_open = False
+        self._streams.clear()
+        self._stale_ids.clear()
+        return Status.OK
+
+    def _m_setTorchMode(self, on: bool):
+        self._torch = bool(on)
+        if self._session_open:
+            self.sys("ioctl", self._video_fd, v4l2.VIDIOC_S_CTRL,
+                     pack_fields(v4l2._CTRL_FIELDS,
+                                 {"id": v4l2.CTRL_EXPOSURE,
+                                  "value": 100 if on else 1}))
+        return Status.OK
+
+    def _m_getVendorTagCount(self):
+        return Status.OK, 17

@@ -1,0 +1,223 @@
+"""Graphics composer HAL.
+
+The vendor surface compositor backend: manages layers, allocates their
+backing buffers from ION, attaches DRM framebuffers, and drives the
+display with setcrtc / page-flip.  It registers as the DRM vsync event
+client when the display powers on — which is what arms the kernel's flip
+event queue (and, on the A1 firmware, makes the kernel's lockdep bug
+№3 reachable by raw page-flip storms).
+
+Planted bug (device A1 firmware):
+
+* ``Native crash in Graphics HAL`` (Table II №2): presenting after a
+  layer change without re-validating dereferences a null compiled
+  layer-list pointer → SIGSEGV.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NativeCrash
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import drm_gpu, ion_alloc
+from repro.kernel.ioctl import pack_fields
+
+
+class GraphicsComposerHal(HalService):
+    """``vendor.graphics.composer`` service.
+
+    Args:
+        quirk_present_crash: plant Table II №2 (A1 firmware).
+    """
+
+    interface_descriptor = "vendor.graphics.composer@2.1::IComposer"
+    instance_name = "vendor.graphics.composer"
+
+    def __init__(self, quirk_present_crash: bool = False) -> None:
+        self.quirk_present_crash = quirk_present_crash
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._drm_fd = -1
+        self._ion_fd = -1
+        self._powered = False
+        self._next_layer = 1
+        self._layers: dict[int, dict] = {}
+        self._validated = False
+        self._crtc_configured = False
+        self._presents = 0
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "getDisplayAttributes", (), ("i32", "i32", "i32"),
+                      doc="panel width/height/vsync period"),
+            HalMethod(2, "setPowerMode", ("i32",), (),
+                      doc="0=off 1=on 2=doze"),
+            HalMethod(3, "createLayer", (), ("i64",), doc="new layer id"),
+            HalMethod(4, "destroyLayer", ("i64",), ()),
+            HalMethod(5, "setLayerBuffer", ("i64", "i32", "i32"), (),
+                      doc="attach a w×h buffer to a layer"),
+            HalMethod(6, "validateDisplay", (), ("i32",),
+                      doc="compile the layer list; returns layer count"),
+            HalMethod(7, "presentDisplay", (), (),
+                      doc="commit the validated frame"),
+            HalMethod(8, "dumpDebugInfo", (), ("str",)),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "setPowerMode": (1,),
+            "destroyLayer": (1,),
+            "setLayerBuffer": (1, 1280, 720),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # SurfaceFlinger boot + one second of 60 Hz composition.
+        frame = [("validateDisplay", ()), ("presentDisplay", ())]
+        return [
+            [("setPowerMode", (1,)), ("getDisplayAttributes", ()),
+             ("createLayer", ()), ("setLayerBuffer", (1, 1280, 720))]
+            + frame * 12,
+            [("createLayer", ()), ("setLayerBuffer", (2, 640, 480))]
+            + frame * 6 + [("destroyLayer", (2,))],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ensure_display(self) -> bool:
+        """Open /dev/dri + /dev/ion and bring the pipeline up."""
+        if self._drm_fd >= 0:
+            return True
+        fd = self.sys("openat", "/dev/dri/card0", 2).ret
+        if fd < 0:
+            return False
+        self._drm_fd = fd
+        ion = self.sys("openat", "/dev/ion", 2).ret
+        self._ion_fd = ion
+        self.sys("ioctl", fd, drm_gpu.DRM_IOC_VERSION, None)
+        self.sys("ioctl", fd, drm_gpu.DRM_IOC_GET_CAP,
+                 pack_fields(drm_gpu._GET_CAP_FIELDS,
+                             {"capability": drm_gpu.CAP_DUMB_BUFFER}))
+        self.sys("ioctl", fd, drm_gpu.DRM_IOC_MODE_GETRESOURCES, None)
+        self.sys("ioctl", fd, drm_gpu.DRM_IOC_MODE_GETCONNECTOR,
+                 pack_fields(drm_gpu._GETCONNECTOR_FIELDS,
+                             {"connector_id": 31}))
+        self.sys("ioctl", fd, drm_gpu.DRM_IOC_VSYNC_CLIENT, None)
+        return True
+
+    def _m_getDisplayAttributes(self):
+        return Status.OK, 1920, 1080, 16666
+
+    def _m_setPowerMode(self, mode: int):
+        if mode not in (0, 1, 2):
+            return Status.BAD_VALUE
+        if mode == 0:
+            self._powered = False
+            return Status.OK
+        if not self._ensure_display():
+            return Status.FAILED_TRANSACTION
+        self._powered = True
+        return Status.OK
+
+    def _m_createLayer(self):
+        layer = self._next_layer
+        self._next_layer += 1
+        self._layers[layer] = {"fb": 0, "handle": 0, "w": 0, "h": 0}
+        self._validated = False
+        return Status.OK, layer
+
+    def _m_destroyLayer(self, layer: int):
+        entry = self._layers.pop(layer, None)
+        if entry is None:
+            return Status.BAD_VALUE
+        if entry["fb"] and self._drm_fd >= 0:
+            self.sys("ioctl", self._drm_fd, drm_gpu.DRM_IOC_MODE_RMFB,
+                     pack_fields(drm_gpu._FB_FIELDS, {"fb_id": entry["fb"]}))
+            self.sys("ioctl", self._drm_fd, drm_gpu.DRM_IOC_GEM_CLOSE,
+                     pack_fields(drm_gpu._HANDLE_FIELDS,
+                                 {"handle": entry["handle"]}))
+        self._validated = False
+        return Status.OK
+
+    def _m_setLayerBuffer(self, layer: int, width: int, height: int):
+        entry = self._layers.get(layer)
+        if entry is None:
+            return Status.BAD_VALUE
+        if not 1 <= width <= 8192 or not 1 <= height <= 8192:
+            return Status.BAD_VALUE
+        if not self._ensure_display():
+            return Status.FAILED_TRANSACTION
+        if self._ion_fd >= 0:
+            self.sys("ioctl", self._ion_fd, ion_alloc.ION_IOC_ALLOC,
+                     pack_fields(ion_alloc._ALLOC_FIELDS,
+                                 {"len": width * height * 4,
+                                  "heap_mask": ion_alloc.HEAP_SYSTEM,
+                                  "flags": 0}))
+        out = self.sys("ioctl", self._drm_fd, drm_gpu.DRM_IOC_MODE_CREATE_DUMB,
+                       pack_fields(drm_gpu._CREATE_DUMB_FIELDS,
+                                   {"width": width, "height": height,
+                                    "bpp": 32, "flags": 0}))
+        if not out.ok or out.data is None:
+            return Status.FAILED_TRANSACTION
+        handle = int.from_bytes(out.data[:4], "little")
+        fb_out = self.sys("ioctl", self._drm_fd, drm_gpu.DRM_IOC_MODE_ADDFB,
+                          pack_fields(drm_gpu._ADDFB_FIELDS,
+                                      {"width": width, "height": height,
+                                       "pitch": width * 4, "bpp": 32,
+                                       "handle": handle}))
+        if not fb_out.ok or fb_out.data is None:
+            return Status.FAILED_TRANSACTION
+        entry.update(fb=int.from_bytes(fb_out.data[:4], "little"),
+                     handle=handle, w=width, h=height)
+        self._validated = False
+        return Status.OK
+
+    def _m_validateDisplay(self):
+        if not self._powered:
+            return Status.INVALID_OPERATION
+        ready = [e for e in self._layers.values() if e["fb"]]
+        if not ready:
+            return Status.INVALID_OPERATION
+        self._validated = True
+        return Status.OK, len(ready)
+
+    def _m_presentDisplay(self):
+        if not self._powered:
+            return Status.INVALID_OPERATION
+        if not self._validated:
+            if self.quirk_present_crash:
+                # Table II №2: the compiled layer list pointer is null
+                # when validation was skipped after a layer change.
+                raise NativeCrash("SIGSEGV", self.instance_name,
+                                  "Native crash in Graphics HAL",
+                                  "null compiled layer list in present")
+            return Status.INVALID_OPERATION
+        front = next((e for e in self._layers.values() if e["fb"]), None)
+        if front is None:
+            return Status.INVALID_OPERATION
+        if not self._crtc_configured:
+            out = self.sys("ioctl", self._drm_fd, drm_gpu.DRM_IOC_MODE_SETCRTC,
+                           pack_fields(drm_gpu._SETCRTC_FIELDS,
+                                       {"crtc_id": 41, "fb_id": front["fb"],
+                                        "x": 0, "y": 0}))
+            if not out.ok:
+                return Status.FAILED_TRANSACTION
+            self._crtc_configured = True
+        else:
+            out = self.sys("ioctl", self._drm_fd,
+                           drm_gpu.DRM_IOC_MODE_PAGE_FLIP,
+                           pack_fields(drm_gpu._PAGE_FLIP_FIELDS,
+                                       {"crtc_id": 41, "fb_id": front["fb"],
+                                        "flags": 0x1}))
+            if not out.ok:
+                return Status.FAILED_TRANSACTION
+            self.sys("read", self._drm_fd, 16)  # drain the flip event
+        self._presents += 1
+        return Status.OK
+
+    def _m_dumpDebugInfo(self):
+        return (Status.OK,
+                f"layers={len(self._layers)} presents={self._presents} "
+                f"validated={self._validated}")

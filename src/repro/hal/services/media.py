@@ -1,0 +1,246 @@
+"""Media codec HAL.
+
+The vendor OMX/Codec2 equivalent: creates codec instances on the kernel
+codec node, parses codec-specific-data (CSD) blobs during configure, and
+shuttles bitstream buffers into the kernel as framed units.
+
+Planted bug (device A2 firmware):
+
+* ``Native crash in Media HAL`` (Table II №6): the CSD blob is a TLV
+  list (``count:u8`` then ``count × (len:u8, data)``); the vendor parser
+  trusts each declared length, so a length that runs past the blob reads
+  out of bounds → SIGSEGV.
+
+Cross-boundary note: ``queueInputBuffer`` wraps whatever bytes it is
+given in a unit header whose size field is the payload length — an empty
+payload therefore produces the zero-size unit that stalls the kernel's
+drain loop on A2 (Table II №5).  This is exactly the kind of
+HAL-mediated kernel bug the paper targets.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import NativeCrash
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import media_codec as vcodec
+from repro.kernel.ioctl import pack_fields
+
+
+class MediaCodecHal(HalService):
+    """``vendor.media.codec`` service.
+
+    Args:
+        quirk_csd_oob: plant Table II №6 (A2 firmware).
+    """
+
+    interface_descriptor = "vendor.media.codec@1.2::ICodecService"
+    instance_name = "vendor.media.codec"
+
+    _CODEC_NAMES = {0: "c2.vendor.avc.decoder", 1: "c2.vendor.hevc.decoder",
+                    2: "c2.vendor.vp9.decoder", 3: "c2.vendor.av1.decoder"}
+
+    def __init__(self, quirk_csd_oob: bool = False) -> None:
+        self.quirk_csd_oob = quirk_csd_oob
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._codec_fd = -1
+        self._next_handle = 1
+        self._codecs: dict[int, dict] = {}
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "listCodecs", (), ("str",)),
+            HalMethod(2, "createCodec", ("i32",), ("i32",),
+                      doc="codec type → handle"),
+            HalMethod(3, "configure", ("i32", "i32", "i32", "i32", "bytes"),
+                      (), doc="handle, w, h, bitrate, csd blob"),
+            HalMethod(4, "start", ("i32",), ()),
+            HalMethod(5, "queueInputBuffer", ("i32", "bytes"), ("i32",),
+                      doc="handle, payload → queued units"),
+            HalMethod(6, "signalEndOfStream", ("i32",), ()),
+            HalMethod(7, "drainOutput", ("i32",), ("i32",),
+                      doc="handle → frames available"),
+            HalMethod(8, "flush", ("i32",), ()),
+            HalMethod(9, "releaseCodec", ("i32",), ()),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "createCodec": (0,),
+            "configure": (1, 1280, 720, 4_000_000,
+                          b"\x02\x04abcd\x02hi"),
+            "start": (1,),
+            "queueInputBuffer": (1, b"\x00\x01\x02\x03" * 8),
+            "signalEndOfStream": (1,),
+            "drainOutput": (1,),
+            "flush": (1,),
+            "releaseCodec": (1,),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Video playback: create, configure, feed a GOP, drain, teardown.
+        return [
+            [("listCodecs", ()), ("createCodec", (0,)),
+             ("configure", (1, 1920, 1080, 8_000_000, b"\x01\x03sps")),
+             ("start", (1,))]
+            + [("queueInputBuffer", (1, b"\xAB" * 128))] * 6
+            + [("drainOutput", (1,)), ("queueInputBuffer", (1, b"\xCD" * 64)),
+               ("drainOutput", (1,)), ("signalEndOfStream", (1,)),
+               ("drainOutput", (1,)), ("releaseCodec", (1,))],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ensure_node(self) -> bool:
+        if self._codec_fd >= 0:
+            return True
+        fd = self.sys("openat", "/dev/mtk_vcodec", 2).ret
+        if fd < 0:
+            return False
+        self._codec_fd = fd
+        return True
+
+    def _parse_csd(self, csd: bytes) -> list[bytes] | None:
+        """Vendor TLV parser; the quirked build trusts declared lengths."""
+        if not csd:
+            return []
+        count = csd[0]
+        entries: list[bytes] = []
+        cursor = 1
+        for _ in range(count):
+            if cursor >= len(csd):
+                if self.quirk_csd_oob:
+                    # Table II №6: reads the length byte past the blob.
+                    raise NativeCrash("SIGSEGV", self.instance_name,
+                                      "Native crash in Media HAL",
+                                      "CSD TLV walks past blob end")
+                return None
+            length = csd[cursor]
+            cursor += 1
+            if cursor + length > len(csd):
+                if self.quirk_csd_oob:
+                    raise NativeCrash("SIGSEGV", self.instance_name,
+                                      "Native crash in Media HAL",
+                                      f"CSD entry len {length} overruns blob")
+                return None
+            entries.append(csd[cursor:cursor + length])
+            cursor += length
+        return entries
+
+    def _m_listCodecs(self):
+        return Status.OK, ",".join(self._CODEC_NAMES.values())
+
+    def _m_createCodec(self, codec_type: int):
+        if codec_type not in self._CODEC_NAMES:
+            return Status.BAD_VALUE
+        if not self._ensure_node():
+            return Status.FAILED_TRANSACTION
+        handle = self._next_handle
+        self._next_handle += 1
+        self._codecs[handle] = {"type": codec_type, "state": "created"}
+        return Status.OK, handle
+
+    def _m_configure(self, handle: int, width: int, height: int,
+                     bitrate: int, csd: bytes):
+        codec = self._codecs.get(handle)
+        if codec is None:
+            return Status.BAD_VALUE
+        if codec["state"] not in ("created", "configured"):
+            return Status.INVALID_OPERATION
+        if not 1 <= width <= 8192 or not 1 <= height <= 8192 or bitrate <= 0:
+            return Status.BAD_VALUE
+        entries = self._parse_csd(csd)
+        if entries is None:
+            return Status.BAD_VALUE
+        out = self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_INIT,
+                       pack_fields(vcodec._INIT_FIELDS,
+                                   {"codec": codec["type"],
+                                    "mode": vcodec.MODE_DECODE}))
+        if not out.ok:
+            # Another codec session holds the node; vendor blob retries
+            # after a stop.
+            self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_STOP, None)
+            out = self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_INIT,
+                           pack_fields(vcodec._INIT_FIELDS,
+                                       {"codec": codec["type"],
+                                        "mode": vcodec.MODE_DECODE}))
+            if not out.ok:
+                return Status.FAILED_TRANSACTION
+        self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_SET_PARAM,
+                 pack_fields(vcodec._PARAM_FIELDS,
+                             {"param": vcodec.PARAM_BITRATE,
+                              "value": max(bitrate, 1)}))
+        # Ship CSD entries as CONFIG units.
+        for entry in entries:
+            unit = (struct.pack("<II", len(entry), vcodec.UNIT_FLAG_CONFIG)
+                    + entry)
+            self.sys("write", self._codec_fd, unit)
+        codec["state"] = "configured"
+        return Status.OK
+
+    def _m_start(self, handle: int):
+        codec = self._codecs.get(handle)
+        if codec is None:
+            return Status.BAD_VALUE
+        if codec["state"] != "configured":
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_START, None)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        codec["state"] = "running"
+        return Status.OK
+
+    def _m_queueInputBuffer(self, handle: int, payload: bytes):
+        codec = self._codecs.get(handle)
+        if codec is None:
+            return Status.BAD_VALUE
+        if codec["state"] != "running":
+            return Status.INVALID_OPERATION
+        flags = vcodec.UNIT_FLAG_SYNC if len(payload) >= 64 else 0
+        unit = struct.pack("<II", len(payload), flags) + payload
+        out = self.sys("write", self._codec_fd, unit)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        return Status.OK, 1
+
+    def _m_signalEndOfStream(self, handle: int):
+        codec = self._codecs.get(handle)
+        if codec is None:
+            return Status.BAD_VALUE
+        if codec["state"] != "running":
+            return Status.INVALID_OPERATION
+        unit = struct.pack("<II", 0, vcodec.UNIT_FLAG_EOS)
+        self.sys("write", self._codec_fd, unit)
+        return Status.OK
+
+    def _m_drainOutput(self, handle: int):
+        codec = self._codecs.get(handle)
+        if codec is None:
+            return Status.BAD_VALUE
+        if codec["state"] != "running":
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_DRAIN, None)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self.sys("read", self._codec_fd, 64)
+        return Status.OK, out.ret
+
+    def _m_flush(self, handle: int):
+        codec = self._codecs.get(handle)
+        if codec is None:
+            return Status.BAD_VALUE
+        self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_FLUSH, None)
+        return Status.OK
+
+    def _m_releaseCodec(self, handle: int):
+        codec = self._codecs.pop(handle, None)
+        if codec is None:
+            return Status.BAD_VALUE
+        self.sys("ioctl", self._codec_fd, vcodec.VCODEC_IOC_STOP, None)
+        return Status.OK

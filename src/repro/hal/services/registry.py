@@ -1,0 +1,43 @@
+"""HAL service factory registry.
+
+Firmware builders instantiate HAL services by short name with per-device
+quirk flags, mirroring :mod:`repro.kernel.drivers.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hal.service import HalService
+from repro.hal.services.audio import AudioHal
+from repro.hal.services.bluetooth import BluetoothHal
+from repro.hal.services.camera import CameraProviderHal
+from repro.hal.services.graphics import GraphicsComposerHal
+from repro.hal.services.media import MediaCodecHal
+from repro.hal.services.sensors import SensorsHal
+from repro.hal.services.thermal import ThermalHal
+from repro.hal.services.usbpd import UsbPdHal
+from repro.hal.services.wifi import WifiHal
+
+#: short name -> factory accepting quirk keyword flags.
+HAL_FACTORIES: dict[str, Callable[..., HalService]] = {
+    "graphics": GraphicsComposerHal,
+    "camera": CameraProviderHal,
+    "media": MediaCodecHal,
+    "audio": AudioHal,
+    "bluetooth": BluetoothHal,
+    "sensors": SensorsHal,
+    "usb": UsbPdHal,
+    "wifi": WifiHal,
+    "thermal": ThermalHal,
+}
+
+
+def build_hal(name: str, **quirks: bool) -> HalService:
+    """Instantiate the HAL service ``name`` with the given quirk flags.
+
+    Raises:
+        KeyError: unknown service name.
+        TypeError: a quirk flag the service does not understand.
+    """
+    return HAL_FACTORIES[name](**quirks)

@@ -1,0 +1,153 @@
+"""Sensors HAL.
+
+The vendor sensor service: maps Android sensor handles onto IIO
+channels, manages activation with the correct rearm dance (the IIO
+buffer must be disarmed before the scan mask changes), batching rates,
+and the poll loop.
+"""
+
+from __future__ import annotations
+
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import sensors_iio as iio
+
+
+class SensorsHal(HalService):
+    """``vendor.sensors`` service."""
+
+    interface_descriptor = "vendor.sensors@2.0::ISensors"
+    instance_name = "vendor.sensors"
+
+    #: Android sensor handle → IIO channel.
+    _SENSORS = {1: ("accelerometer-x", 0), 2: ("accelerometer-y", 1),
+                3: ("accelerometer-z", 2), 4: ("gyroscope-x", 3),
+                5: ("gyroscope-y", 4), 6: ("gyroscope-z", 5)}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._iio_fd = -1
+        self._active: set[int] = set()
+        self._armed = False
+        self._events_polled = 0
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "getSensorsList", (), ("str",)),
+            HalMethod(2, "activate", ("i32", "bool"), ()),
+            HalMethod(3, "batch", ("i32", "i32"), (),
+                      doc="handle, sampling period in ms"),
+            HalMethod(4, "poll", ("i32",), ("i32",),
+                      doc="max events → events returned"),
+            HalMethod(5, "flush", ("i32",), ()),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "activate": (1, True),
+            "batch": (1, 20),
+            "poll": (16,),
+            "flush": (1,),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Screen-rotation listener: accel active, steady polling.
+        return [
+            [("getSensorsList", ()), ("activate", (1, True)),
+             ("activate", (2, True)), ("activate", (3, True)),
+             ("batch", (1, 20))]
+            + [("poll", (16,))] * 10
+            + [("activate", (1, False)), ("activate", (2, False)),
+               ("activate", (3, False))],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ensure_node(self) -> bool:
+        if self._iio_fd >= 0:
+            return True
+        fd = self.sys("openat", "/dev/iio:device0", 2).ret
+        if fd < 0:
+            return False
+        self._iio_fd = fd
+        self.sys("ioctl", fd, iio.IIO_IOC_GET_CHANNELS, None)
+        return True
+
+    def _rearm(self) -> bool:
+        """Apply the active set: disarm, reprogram scan, rearm."""
+        fd = self._iio_fd
+        if self._armed:
+            self.sys("ioctl", fd, iio.IIO_IOC_BUFFER_DISABLE, None)
+            self._armed = False
+        for handle in self._active:
+            _name, chan = self._SENSORS[handle]
+            self.sys("ioctl", fd, iio.IIO_IOC_ENABLE_CHAN, chan)
+        if self._active:
+            out = self.sys("ioctl", fd, iio.IIO_IOC_BUFFER_ENABLE, None)
+            self._armed = out.ok
+        return True
+
+    def _m_getSensorsList(self):
+        names = ",".join(name for name, _ in self._SENSORS.values())
+        return Status.OK, names
+
+    def _m_activate(self, handle: int, enable: bool):
+        if handle not in self._SENSORS:
+            return Status.BAD_VALUE
+        if not self._ensure_node():
+            return Status.FAILED_TRANSACTION
+        if enable:
+            self._active.add(handle)
+        else:
+            if handle not in self._active:
+                return Status.INVALID_OPERATION
+            self._active.discard(handle)
+            _name, chan = self._SENSORS[handle]
+            if self._armed:
+                self.sys("ioctl", self._iio_fd, iio.IIO_IOC_BUFFER_DISABLE,
+                         None)
+                self._armed = False
+            self.sys("ioctl", self._iio_fd, iio.IIO_IOC_DISABLE_CHAN, chan)
+        self._rearm()
+        return Status.OK
+
+    def _m_batch(self, handle: int, period_ms: int):
+        if handle not in self._SENSORS or period_ms <= 0:
+            return Status.BAD_VALUE
+        if not self._ensure_node():
+            return Status.FAILED_TRANSACTION
+        hz = 1000 // max(period_ms, 1)
+        freq = min(iio.FREQ_VALUES, key=lambda f: abs(f - hz))
+        was_armed = self._armed
+        if was_armed:
+            self.sys("ioctl", self._iio_fd, iio.IIO_IOC_BUFFER_DISABLE, None)
+            self._armed = False
+        self.sys("ioctl", self._iio_fd, iio.IIO_IOC_SET_FREQ, freq)
+        self.sys("ioctl", self._iio_fd, iio.IIO_IOC_SET_WATERMARK, 4)
+        if was_armed:
+            self._rearm()
+        return Status.OK
+
+    def _m_poll(self, max_events: int):
+        if not 0 < max_events <= 256:
+            return Status.BAD_VALUE
+        if not self._armed:
+            return Status.INVALID_OPERATION
+        out = self.sys("read", self._iio_fd,
+                       max_events * 2 * max(len(self._active), 1))
+        if not out.ok:
+            return Status.OK, 0
+        events = out.ret // (2 * max(len(self._active), 1))
+        self._events_polled += events
+        return Status.OK, events
+
+    def _m_flush(self, handle: int):
+        if handle not in self._SENSORS:
+            return Status.BAD_VALUE
+        if self._armed:
+            self.sys("read", self._iio_fd, 256)
+        return Status.OK

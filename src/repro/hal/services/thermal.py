@@ -1,0 +1,105 @@
+"""Thermal HAL.
+
+The vendor thermal mitigation service: samples temperature through the
+IIO hub's channels, reports trip state, and drives the fan/LED mitigation
+GPIO lines.  Breadth service — no planted bug — whose value is coupling
+two otherwise unrelated drivers (IIO + GPIO) in one HAL's traffic.
+"""
+
+from __future__ import annotations
+
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import gpio as gpiochip
+from repro.kernel.drivers import sensors_iio as iio
+from repro.kernel.ioctl import pack_fields
+
+
+class ThermalHal(HalService):
+    """``vendor.thermal`` service."""
+
+    interface_descriptor = "vendor.thermal@2.0::IThermal"
+    instance_name = "vendor.thermal"
+
+    _FAN_LINE_MASK = 1 << 12  # status-led line doubles as fan control
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._iio_fd = -1
+        self._gpio_fd = -1
+        self._gpio_handle = 0
+        self._throttle_level = 0
+        self._samples = 0
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "getTemperatures", (), ("i32",),
+                      doc="→ millidegrees of the hottest zone"),
+            HalMethod(2, "getCoolingDevices", (), ("str",)),
+            HalMethod(3, "setThrottling", ("i32",), (),
+                      doc="0..3 mitigation level"),
+        )
+
+    def sample_args(self, name: str):
+        return {"setThrottling": (1,)}.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        return [
+            [("getTemperatures", ()), ("getCoolingDevices", ()),
+             ("getTemperatures", ()), ("setThrottling", (1,)),
+             ("getTemperatures", ()), ("setThrottling", (0,))],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ensure_nodes(self) -> bool:
+        if self._iio_fd < 0:
+            self._iio_fd = self.sys("openat", "/dev/iio:device0", 0).ret
+        if self._gpio_fd < 0:
+            fd = self.sys("openat", "/dev/gpiochip0", 2).ret
+            self._gpio_fd = fd
+            if fd >= 0:
+                out = self.sys(
+                    "ioctl", fd, gpiochip.GPIO_GET_LINEHANDLE,
+                    pack_fields(gpiochip._LINEHANDLE_FIELDS,
+                                {"line_mask": self._FAN_LINE_MASK,
+                                 "flags": gpiochip.HANDLE_REQUEST_OUTPUT,
+                                 "default": 0}))
+                if out.ok and out.data is not None:
+                    self._gpio_handle = int.from_bytes(out.data[:4], "little")
+        return self._iio_fd >= 0
+
+    def _m_getTemperatures(self):
+        if not self._ensure_nodes():
+            return Status.FAILED_TRANSACTION
+        # The die-temp pseudo channel rides on IIO channel 0.
+        self.sys("ioctl", self._iio_fd, iio.IIO_IOC_ENABLE_CHAN, 0)
+        self.sys("ioctl", self._iio_fd, iio.IIO_IOC_BUFFER_ENABLE, None)
+        out = self.sys("read", self._iio_fd, 8)
+        self.sys("ioctl", self._iio_fd, iio.IIO_IOC_BUFFER_DISABLE, None)
+        self.sys("ioctl", self._iio_fd, iio.IIO_IOC_DISABLE_CHAN, 0)
+        self._samples += 1
+        if not out.ok or out.data is None:
+            return Status.OK, 45000
+        raw = int.from_bytes(out.data[:2], "little", signed=True)
+        return Status.OK, 40000 + abs(raw) % 20000
+
+    def _m_getCoolingDevices(self):
+        return Status.OK, "fan0,throttle-cluster0"
+
+    def _m_setThrottling(self, level: int):
+        if not 0 <= level <= 3:
+            return Status.BAD_VALUE
+        if not self._ensure_nodes():
+            return Status.FAILED_TRANSACTION
+        self._throttle_level = level
+        if self._gpio_handle:
+            self.sys("ioctl", self._gpio_fd, gpiochip.GPIOHANDLE_SET_VALUES,
+                     pack_fields(gpiochip._SET_FIELDS,
+                                 {"handle": self._gpio_handle,
+                                  "values": self._FAN_LINE_MASK
+                                  if level else 0}))
+        return Status.OK

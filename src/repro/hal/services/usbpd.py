@@ -1,0 +1,145 @@
+"""USB-PD / port-controller HAL.
+
+The vendor USB HAL: owns the Type-C port, runs probe/attach/negotiate
+sequences against the TCPC driver, and exposes role management to the
+framework.  Its ``resetPort`` method re-probes the controller — which on
+the A1 firmware re-runs the i2c probe with a live PD contract and trips
+kernel bug №1; ``swapRole`` during negotiation reaches kernel bug №4.
+"""
+
+from __future__ import annotations
+
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import tcpc_rt1711 as tcpc
+from repro.kernel.ioctl import pack_fields
+
+
+class UsbPdHal(HalService):
+    """``vendor.usb`` service."""
+
+    interface_descriptor = "vendor.usb.pd@1.3::IUsbPd"
+    instance_name = "vendor.usb"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._fd = -1
+        self._port_enabled = False
+        self._negotiated = False
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "enablePort", (), ()),
+            HalMethod(2, "getPortStatus", (), ("i32", "i32"),
+                      doc="→ vbus, contract mV"),
+            HalMethod(3, "connectPartner", ("i32",), (),
+                      doc="role: 0=sink 1=source 2=drp"),
+            HalMethod(4, "negotiate", ("i32", "i32"), (),
+                      doc="mV, mA"),
+            HalMethod(5, "swapRole", ("i32",), ()),
+            HalMethod(6, "resetPort", (), ()),
+            HalMethod(7, "disconnectPartner", (), ()),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "connectPartner": (0,),
+            "negotiate": (9000, 2000),
+            "swapRole": (1,),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Cable plug-in: enumerate, negotiate 9V, status polling.
+        return [
+            [("enablePort", ()), ("connectPartner", (0,)),
+             ("negotiate", (9000, 2000))]
+            + [("getPortStatus", ())] * 5
+            + [("disconnectPartner", ())],
+            [("enablePort", ()), ("connectPartner", (2,)),
+             ("negotiate", (5000, 500)), ("swapRole", (1,)),
+             ("getPortStatus", ()), ("disconnectPartner", ())],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ensure_port(self) -> bool:
+        if self._fd >= 0:
+            return True
+        fd = self.sys("openat", "/dev/tcpc0", 2).ret
+        if fd < 0:
+            return False
+        self._fd = fd
+        return True
+
+    def _m_enablePort(self):
+        if not self._ensure_port():
+            return Status.FAILED_TRANSACTION
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_PROBE, None)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self.sys("ioctl", self._fd, tcpc.TCPC_IOC_VBUS, 1)
+        self._port_enabled = True
+        return Status.OK
+
+    def _m_getPortStatus(self):
+        if not self._ensure_port():
+            return Status.FAILED_TRANSACTION
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_GET_STATUS, None)
+        if not out.ok or out.data is None:
+            return Status.FAILED_TRANSACTION
+        vbus = int.from_bytes(out.data[4:8], "little")
+        contract_mv = int.from_bytes(out.data[12:16], "little")
+        return Status.OK, vbus, contract_mv
+
+    def _m_connectPartner(self, role: int):
+        if role not in (0, 1, 2):
+            return Status.BAD_VALUE
+        if not self._port_enabled:
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_ATTACH,
+                       pack_fields(tcpc._ATTACH_FIELDS,
+                                   {"role": role, "cc": 1}))
+        return Status.OK if out.ok else Status.FAILED_TRANSACTION
+
+    def _m_negotiate(self, mv: int, ma: int):
+        if not 5000 <= mv <= 20000 or not 100 <= ma <= 5000:
+            return Status.BAD_VALUE
+        if not self._port_enabled:
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_PD_START, None)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_PD_REQUEST,
+                       pack_fields(tcpc._PD_REQUEST_FIELDS,
+                                   {"mv": mv, "ma": ma}))
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self._negotiated = True
+        return Status.OK
+
+    def _m_swapRole(self, role: int):
+        if role not in (0, 1):
+            return Status.BAD_VALUE
+        if not self._port_enabled:
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_ROLE_SWAP, role)
+        return Status.OK if out.ok else Status.FAILED_TRANSACTION
+
+    def _m_resetPort(self):
+        if not self._ensure_port():
+            return Status.FAILED_TRANSACTION
+        # Vendor recovery path: re-run the chip probe in place.
+        out = self.sys("ioctl", self._fd, tcpc.TCPC_IOC_PROBE, None)
+        self.sys("ioctl", self._fd, tcpc.TCPC_IOC_VBUS, 1)
+        return Status.OK if out.ok else Status.FAILED_TRANSACTION
+
+    def _m_disconnectPartner(self):
+        if not self._port_enabled:
+            return Status.INVALID_OPERATION
+        self.sys("ioctl", self._fd, tcpc.TCPC_IOC_DETACH, None)
+        self._negotiated = False
+        return Status.OK

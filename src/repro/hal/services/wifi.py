@@ -1,0 +1,176 @@
+"""Wi-Fi HAL.
+
+The vendor connectivity stack: radio bring-up with regulatory domain,
+scanning, STA association, and SoftAP hosting with client admission.
+Client admission translates the peer's capability word into the kernel's
+supported-rates bitmap — a zero-capability client therefore reaches
+mac80211's rate-control init with an empty bitmap (kernel bug №10 on the
+C2 kiosk firmware).
+"""
+
+from __future__ import annotations
+
+from repro.hal.binder import Status
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.drivers import wifi_mac80211 as nl
+from repro.kernel.ioctl import pack_fields
+
+
+class WifiHal(HalService):
+    """``vendor.wifi`` service."""
+
+    interface_descriptor = "vendor.wifi@1.5::IWifiChip"
+    instance_name = "vendor.wifi"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.reset()
+
+    def reset(self) -> None:
+        self._fd = -1
+        self._started = False
+        self._softap = False
+        self._clients = 0
+
+    def methods(self) -> tuple[HalMethod, ...]:
+        return (
+            HalMethod(1, "start", (), ()),
+            HalMethod(2, "stop", (), ()),
+            HalMethod(3, "startScan", (), ()),
+            HalMethod(4, "getScanResults", (), ("i32",)),
+            HalMethod(5, "connect", ("str", "i32"), (),
+                      doc="ssid, channel"),
+            HalMethod(6, "disconnect", (), ()),
+            HalMethod(7, "startSoftAp", ("str", "i32"), ()),
+            HalMethod(8, "stopSoftAp", (), ()),
+            HalMethod(9, "registerClient", ("bytes", "i32"), (),
+                      doc="mac, capability word"),
+            HalMethod(10, "kickClient", ("bytes",), ()),
+        )
+
+    def sample_args(self, name: str):
+        samples = {
+            "connect": ("homelan", 6),
+            "startSoftAp": ("kiosk-ap", 6),
+            "registerClient": (b"\x02\x00\x00\x00\x00\x01", 0x2F),
+            "kickClient": (b"\x02\x00\x00\x00\x00\x01",),
+        }
+        return samples.get(name, super().sample_args(name))
+
+    def framework_scenarios(self):
+        # Normal STA use + a hotspot session with two clients.
+        return [
+            [("start", ()), ("startScan", ()), ("getScanResults", ()),
+             ("connect", ("homelan", 6)), ("disconnect", ())],
+            [("start", ()), ("startSoftAp", ("kiosk-ap", 6)),
+             ("registerClient", (b"\x02\x00\x00\x00\x00\x01", 0x2F)),
+             ("registerClient", (b"\x02\x00\x00\x00\x00\x02", 0x07)),
+             ("kickClient", (b"\x02\x00\x00\x00\x00\x01",)),
+             ("stopSoftAp", ())],
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ensure_node(self) -> bool:
+        if self._fd >= 0:
+            return True
+        fd = self.sys("openat", "/dev/nl80211", 2).ret
+        if fd < 0:
+            return False
+        self._fd = fd
+        return True
+
+    def _m_start(self):
+        if self._started:
+            return Status.INVALID_OPERATION
+        if not self._ensure_node():
+            return Status.FAILED_TRANSACTION
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_SET_POWER, 1)
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self.sys("ioctl", self._fd, nl.NL_IOC_SET_COUNTRY, b"US")
+        self._started = True
+        return Status.OK
+
+    def _m_stop(self):
+        if not self._started:
+            return Status.INVALID_OPERATION
+        self.sys("ioctl", self._fd, nl.NL_IOC_SET_POWER, 0)
+        self._started = False
+        self._softap = False
+        return Status.OK
+
+    def _m_startScan(self):
+        if not self._started:
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_TRIGGER_SCAN, None)
+        return Status.OK if out.ok else Status.FAILED_TRANSACTION
+
+    def _m_getScanResults(self):
+        if not self._started:
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_GET_SCAN, None)
+        if not out.ok:
+            return Status.OK, 0
+        return Status.OK, 2
+
+    def _m_connect(self, ssid: str, channel: int):
+        if not self._started:
+            return Status.INVALID_OPERATION
+        if not ssid or channel not in (1, 6, 11, 36, 40, 149):
+            return Status.BAD_VALUE
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_CONNECT,
+                       pack_fields(nl._CONNECT_FIELDS,
+                                   {"ssid": ssid.encode()[:32],
+                                    "channel": channel}))
+        return Status.OK if out.ok else Status.FAILED_TRANSACTION
+
+    def _m_disconnect(self):
+        if not self._started:
+            return Status.INVALID_OPERATION
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_DISCONNECT, None)
+        return Status.OK if out.ok else Status.INVALID_OPERATION
+
+    def _m_startSoftAp(self, ssid: str, channel: int):
+        if not self._started:
+            return Status.INVALID_OPERATION
+        if not ssid or channel not in (1, 6, 11, 36, 40, 149):
+            return Status.BAD_VALUE
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_START_AP,
+                       pack_fields(nl._CONNECT_FIELDS,
+                                   {"ssid": ssid.encode()[:32],
+                                    "channel": channel}))
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self._softap = True
+        self._clients = 0
+        return Status.OK
+
+    def _m_stopSoftAp(self):
+        if not self._softap:
+            return Status.INVALID_OPERATION
+        self.sys("ioctl", self._fd, nl.NL_IOC_STOP_AP, None)
+        self._softap = False
+        return Status.OK
+
+    def _m_registerClient(self, mac: bytes, caps: int):
+        if not self._softap:
+            return Status.INVALID_OPERATION
+        if len(mac) != 6:
+            return Status.BAD_VALUE
+        # Vendor translation: low 6 capability bits are the rate bitmap.
+        rates = caps & 0x3F
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_ADD_STA,
+                       pack_fields(nl._ADD_STA_FIELDS,
+                                   {"mac": mac, "rates": rates,
+                                    "aid": (self._clients % 2007) + 1}))
+        if not out.ok:
+            return Status.FAILED_TRANSACTION
+        self._clients += 1
+        return Status.OK
+
+    def _m_kickClient(self, mac: bytes):
+        if not self._softap or len(mac) != 6:
+            return Status.BAD_VALUE
+        out = self.sys("ioctl", self._fd, nl.NL_IOC_DEL_STA, bytes(mac))
+        return Status.OK if out.ok else Status.BAD_VALUE

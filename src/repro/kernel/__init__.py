@@ -1,0 +1,34 @@
+"""Virtual Linux kernel substrate.
+
+This package simulates the slice of a Linux kernel that an embedded Android
+device exposes to userspace and to a fuzzer: a syscall interface with errno
+semantics, per-process file-descriptor tables, character-device drivers with
+deep internal state machines, a kcov-style coverage collector, a KASAN-style
+slab heap checker, an eBPF-style tracepoint facility, and a dmesg crash log.
+
+The public entry point is :class:`repro.kernel.kernel.VirtualKernel`.
+"""
+
+from repro.kernel.errno import Errno
+from repro.kernel.kernel import VirtualKernel, Process
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.kcov import Kcov
+from repro.kernel.heap import SlabHeap, Allocation
+from repro.kernel.tracepoints import TracepointManager, SyscallRecord
+from repro.kernel.dmesg import Dmesg, CrashRecord
+
+__all__ = [
+    "Errno",
+    "VirtualKernel",
+    "Process",
+    "CharDevice",
+    "DriverContext",
+    "OpenFile",
+    "Kcov",
+    "SlabHeap",
+    "Allocation",
+    "TracepointManager",
+    "SyscallRecord",
+    "Dmesg",
+    "CrashRecord",
+]

@@ -1,0 +1,219 @@
+"""Driver base classes and the per-syscall driver execution context.
+
+A virtual driver subclasses :class:`CharDevice` (device files) or
+:class:`SocketFamily` (socket protocol families) and implements the file
+operations it supports.  Handlers receive a :class:`DriverContext` through
+which they record coverage blocks (kcov), emit WARN/BUG splats, allocate
+KASAN-checked memory, and pay loop-budget ticks so that runaway loops are
+caught by the hang detector.
+
+Return conventions match the Linux syscall ABI: non-negative int on
+success, ``-errno`` on failure.  Handlers that produce out-of-band data for
+userspace (``read``, ``ioctl`` with an out struct) return
+``(ret, payload_bytes)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import HangDetected
+from repro.kernel.errno import Errno, err
+from repro.kernel.heap import Allocation, SlabHeap
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import VirtualKernel
+
+
+@dataclass
+class OpenFile:
+    """One open file description (shared across dup'd descriptors).
+
+    Attributes:
+        path: the device path this description was opened on (sockets use
+            a synthetic ``socket:[domain]`` path).
+        flags: open flags as passed to ``openat``.
+        driver: owning :class:`CharDevice` or :class:`SocketFamily`.
+        private: driver per-open state (``filp->private_data``).
+        refcount: number of descriptors referencing this description.
+    """
+
+    path: str
+    flags: int
+    driver: Any
+    private: dict[str, Any] = field(default_factory=dict)
+    refcount: int = 0
+    offset: int = 0
+
+
+class DriverContext:
+    """Execution context handed to driver handlers for one syscall.
+
+    Provides coverage recording, crash splats, checked heap access and the
+    loop budget.  A fresh context is created per dispatched syscall with
+    the calling task and the target driver bound in.
+    """
+
+    def __init__(self, kernel: "VirtualKernel", pid: int, comm: str,
+                 driver_name: str) -> None:
+        self.kernel = kernel
+        self.pid = pid
+        self.comm = comm
+        self.driver_name = driver_name
+        self.heap: SlabHeap = kernel.heap
+
+    def cover(self, label: str) -> None:
+        """Record that the coverage block ``label`` of this driver ran."""
+        self.kernel.kcov.hit(self.pid, self.driver_name, label)
+
+    def warn(self, where: str, detail: str = "") -> None:
+        """Emit a WARNING splat; execution continues (like ``WARN_ON``)."""
+        self.kernel.dmesg.warn(where, detail)
+
+    def warn_once(self, where: str, detail: str = "") -> None:
+        """Emit a once-per-boot WARNING splat (like ``WARN_ON_ONCE``)."""
+        self.kernel.dmesg.warn_once(where, detail)
+
+    def bug(self, title: str, detail: str = "") -> None:
+        """Emit a BUG splat; the dispatcher aborts the current syscall."""
+        self.kernel.dmesg.bug(title, detail)
+
+    def log(self, line: str) -> None:
+        """printk surrogate."""
+        self.kernel.dmesg.log(f"{self.driver_name}: {line}")
+
+    def kmalloc(self, size: int, label: str | None = None) -> Allocation:
+        """Allocate a KASAN-checked object owned by this driver."""
+        return self.heap.kmalloc(size, label or self.driver_name)
+
+    def kfree(self, alloc: Allocation, where: str | None = None) -> None:
+        """Free a KASAN-checked object."""
+        self.heap.kfree(alloc, where or self.driver_name)
+
+    def tick(self, where: str = "") -> None:
+        """Pay one unit of loop budget; raises when the budget runs dry.
+
+        Long-running driver loops must call this per iteration so that a
+        non-terminating loop surfaces as :class:`HangDetected` (the
+        virtual analogue of a soft-lockup splat plus watchdog reboot).
+        """
+        self.kernel.loop_budget -= 1
+        if self.kernel.loop_budget <= 0:
+            raise HangDetected(
+                f"Infinite loop in {where or self.driver_name}",
+                f"loop budget exhausted in {self.driver_name}")
+
+
+class CharDevice:
+    """Base class for character-device drivers.
+
+    Subclasses set :attr:`name` (coverage attribution key) and
+    :attr:`paths` (device files the driver claims) and override the file
+    operations they support.  Unsupported operations return the same
+    errnos the kernel's default fops would.
+    """
+
+    name = "chardev"
+    paths: tuple[str, ...] = ()
+    #: True when the interface is proprietary: no public syzlang-style
+    #: descriptions exist for it (only Difuze's static analysis, or
+    #: DroidFuzz's HAL-mediated payload capture, can reach it typed).
+    vendor_specific = False
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        """``open`` fop; populate ``f.private``; 0 on success."""
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        """``release`` fop, called when the last descriptor closes."""
+        return 0
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        """``read`` fop; return bytes, ``(ret, bytes)`` or ``-errno``."""
+        return err(Errno.EINVAL)
+
+    def write(self, ctx: DriverContext, f: OpenFile, data: bytes) -> int:
+        """``write`` fop; return byte count or ``-errno``."""
+        return err(Errno.EINVAL)
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        """``unlocked_ioctl`` fop; ``arg`` is int, bytes, or None."""
+        return err(Errno.ENOTTY)
+
+    def mmap(self, ctx: DriverContext, f: OpenFile, length: int,
+             prot: int, flags: int, offset: int) -> int:
+        """``mmap`` fop; return 0 to accept the mapping or ``-errno``."""
+        return err(Errno.ENODEV)
+
+    def reset(self) -> None:
+        """Clear driver-global state on device reboot."""
+
+    def coverage_block_count(self) -> int:
+        """Approximate number of distinct coverage blocks in this driver.
+
+        Used only by evaluation reporting (coverage-percentage style
+        statistics); defaults to 0 meaning "unknown".
+        """
+        return 0
+
+
+class SocketFamily:
+    """Base class for socket protocol families (e.g. ``AF_BLUETOOTH``).
+
+    Socket objects are :class:`OpenFile` instances whose ``private`` dict
+    the family manages; the dispatcher routes socket syscalls here based
+    on the family's :attr:`domain`.
+    """
+
+    name = "sockfam"
+    domain = 0
+    #: See :attr:`CharDevice.vendor_specific`.
+    vendor_specific = False
+
+    def socket(self, ctx: DriverContext, f: OpenFile, sock_type: int,
+               protocol: int) -> int:
+        """Create socket state in ``f.private``; 0 on success."""
+        return err(Errno.EPROTO)
+
+    def bind(self, ctx: DriverContext, f: OpenFile, addr: bytes) -> int:
+        return err(Errno.EOPNOTSUPP)
+
+    def connect(self, ctx: DriverContext, f: OpenFile, addr: bytes) -> int:
+        return err(Errno.EOPNOTSUPP)
+
+    def listen(self, ctx: DriverContext, f: OpenFile, backlog: int) -> int:
+        return err(Errno.EOPNOTSUPP)
+
+    def accept(self, ctx: DriverContext, f: OpenFile):
+        """Return a new private dict for the accepted socket or ``-errno``."""
+        return err(Errno.EOPNOTSUPP)
+
+    def setsockopt(self, ctx: DriverContext, f: OpenFile, level: int,
+                   optname: int, optval: bytes) -> int:
+        return err(Errno.EOPNOTSUPP)
+
+    def getsockopt(self, ctx: DriverContext, f: OpenFile, level: int,
+                   optname: int):
+        return err(Errno.EOPNOTSUPP)
+
+    def sendto(self, ctx: DriverContext, f: OpenFile, data: bytes,
+               addr: bytes | None) -> int:
+        return err(Errno.EOPNOTSUPP)
+
+    def recvfrom(self, ctx: DriverContext, f: OpenFile, size: int):
+        return err(Errno.EOPNOTSUPP)
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        return err(Errno.ENOTTY)
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        """Socket teardown when the last descriptor closes."""
+        return 0
+
+    def reset(self) -> None:
+        """Clear family-global state on device reboot."""
+
+    def coverage_block_count(self) -> int:
+        """See :meth:`CharDevice.coverage_block_count`."""
+        return 0

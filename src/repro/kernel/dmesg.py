@@ -1,0 +1,100 @@
+"""Kernel log ring buffer and crash-record machinery.
+
+The virtual kernel does not kill itself on a WARNING or a KASAN report;
+like a real kernel it logs a splat and keeps going.  The fuzzer's broker
+discovers crashes by draining structured :class:`CrashRecord` entries after
+each executed program — the moral equivalent of watching the serial console
+and ``dmesg`` on a real device.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CrashRecord:
+    """A structured crash splat extracted from the kernel log.
+
+    Attributes:
+        kind: splat class — ``"WARNING"``, ``"BUG"``, ``"KASAN"``,
+            ``"PANIC"``, or ``"HANG"``.
+        title: stable dedup key, e.g. ``"WARNING in rt1711_i2c_probe"``.
+        component: always ``"kernel"`` for dmesg records.
+        detail: free-form extra context (register dump surrogate).
+        seq: monotonically increasing sequence number within the boot.
+    """
+
+    kind: str
+    title: str
+    detail: str = ""
+    seq: int = 0
+
+    component: str = field(default="kernel", init=False)
+
+
+class Dmesg:
+    """Bounded kernel log with structured crash extraction.
+
+    Args:
+        capacity: maximum number of retained log lines (ring semantics).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._lines: deque[str] = deque(maxlen=capacity)
+        self._crashes: list[CrashRecord] = []
+        self._seq = 0
+        self._warned_once: set[str] = set()
+
+    def log(self, line: str) -> None:
+        """Append an informational line to the ring buffer."""
+        self._lines.append(line)
+
+    def lines(self) -> list[str]:
+        """Current ring buffer contents, oldest first."""
+        return list(self._lines)
+
+    def _record(self, kind: str, title: str, detail: str) -> CrashRecord:
+        self._seq += 1
+        rec = CrashRecord(kind=kind, title=title, detail=detail, seq=self._seq)
+        self._crashes.append(rec)
+        self.log(f"[{kind}] {title}" + (f" ({detail})" if detail else ""))
+        return rec
+
+    def warn(self, where: str, detail: str = "") -> CrashRecord:
+        """Emit a ``WARNING in <where>`` splat; execution continues."""
+        return self._record("WARNING", f"WARNING in {where}", detail)
+
+    def warn_once(self, where: str, detail: str = "") -> CrashRecord | None:
+        """Like :meth:`warn` but only the first occurrence per boot logs."""
+        if where in self._warned_once:
+            return None
+        self._warned_once.add(where)
+        return self.warn(where, detail)
+
+    def bug(self, title: str, detail: str = "") -> CrashRecord:
+        """Emit a ``BUG:`` splat (task-fatal, kernel survives)."""
+        return self._record("BUG", f"BUG: {title}", detail)
+
+    def kasan(self, kind: str, where: str, detail: str = "") -> CrashRecord:
+        """Emit a KASAN report splat, e.g. ``KASAN: slab-use-after-free``."""
+        return self._record("KASAN", f"KASAN: {kind} in {where}", detail)
+
+    def panic(self, title: str, detail: str = "") -> CrashRecord:
+        """Emit a kernel panic splat (the device must reboot)."""
+        return self._record("PANIC", f"Kernel panic - {title}", detail)
+
+    def hang(self, where: str, detail: str = "") -> CrashRecord:
+        """Record a soft-lockup style hang detected by the step budget."""
+        return self._record("HANG", f"Infinite loop in {where}", detail)
+
+    def drain_crashes(self) -> list[CrashRecord]:
+        """Return and clear all crash records accumulated since last drain."""
+        out = self._crashes
+        self._crashes = []
+        return out
+
+    def peek_crashes(self) -> list[CrashRecord]:
+        """Return pending crash records without clearing them."""
+        return list(self._crashes)

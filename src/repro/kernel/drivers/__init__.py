@@ -1,0 +1,12 @@
+"""Vendor-specific virtual kernel drivers.
+
+Each module implements one driver as a deep state machine with labelled
+kcov coverage blocks, published :class:`repro.kernel.ioctl.IoctlSpec`
+interface descriptions, and — on the firmware revisions that Table II of
+the paper attributes bugs to — planted vulnerabilities gated behind
+``quirk_*`` constructor flags.
+"""
+
+from repro.kernel.drivers.registry import DRIVER_FACTORIES, build_driver
+
+__all__ = ["DRIVER_FACTORIES", "build_driver"]

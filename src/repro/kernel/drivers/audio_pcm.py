@@ -1,0 +1,275 @@
+"""ALSA-style PCM playback driver.
+
+Models the vendor audio DSP front-end the Audio HAL drives: the classic
+ALSA substream lifecycle (``OPEN → SETUP → PREPARED → RUNNING``) with
+hw/sw params negotiation, xrun accounting and pause support.  No bug is
+planted here — the audio-related Table II entries live in the HAL layer —
+but the state machine contributes substantial driver coverage that only
+well-ordered call sequences reach.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, io, ior, iow, unpack_fields
+
+PCM_IOC_HW_PARAMS = iow("A", 0, 12)
+PCM_IOC_SW_PARAMS = iow("A", 1, 8)
+PCM_IOC_PREPARE = io("A", 2)
+PCM_IOC_START = io("A", 3)
+PCM_IOC_DRAIN = io("A", 4)
+PCM_IOC_DROP = io("A", 5)
+PCM_IOC_PAUSE = iow("A", 6, 4)
+PCM_IOC_STATUS = ior("A", 7, 16)
+
+RATE_VALUES = (8000, 16000, 44100, 48000, 96000, 192000)
+CHANNEL_VALUES = (1, 2, 4, 8)
+FMT_S16 = 2
+FMT_S24 = 6
+FMT_S32 = 10
+FMT_FLOAT = 14
+FORMAT_VALUES = (FMT_S16, FMT_S24, FMT_S32, FMT_FLOAT)
+_FMT_BYTES = {FMT_S16: 2, FMT_S24: 4, FMT_S32: 4, FMT_FLOAT: 4}
+
+_HW_FIELDS = (
+    FieldSpec("rate", "I", "enum", values=RATE_VALUES),
+    FieldSpec("channels", "I", "enum", values=CHANNEL_VALUES),
+    FieldSpec("format", "I", "enum", values=FORMAT_VALUES),
+)
+_SW_FIELDS = (
+    FieldSpec("start_threshold", "I", "range", lo=0, hi=65536),
+    FieldSpec("avail_min", "I", "range", lo=1, hi=65536),
+)
+
+_ST_OPEN = "open"
+_ST_SETUP = "setup"
+_ST_PREPARED = "prepared"
+_ST_RUNNING = "running"
+_ST_PAUSED = "paused"
+_ST_XRUN = "xrun"
+_ST_DRAINING = "draining"
+
+_BUFFER_FRAMES = 4096
+
+
+class AudioPcm(CharDevice):
+    """Virtual PCM playback substream (``/dev/snd/pcmC0D0p``)."""
+
+    name = "audio_pcm"
+    paths = ("/dev/snd/pcmC0D0p",)
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = _ST_OPEN
+        self._rate = 48000
+        self._channels = 2
+        self._format = FMT_S16
+        self._start_threshold = 0
+        self._fill = 0
+        self._xruns = 0
+        self._frames_played = 0
+
+    def coverage_block_count(self) -> int:
+        return 70
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        if self._state == _ST_RUNNING:
+            ctx.cover("release_while_running")
+        self._state = _ST_OPEN
+        self._fill = 0
+        return 0
+
+    def _frame_bytes(self) -> int:
+        return self._channels * _FMT_BYTES[self._format]
+
+    def write(self, ctx: DriverContext, f: OpenFile, data: bytes) -> int:
+        """Queue interleaved PCM frames."""
+        ctx.cover("write_enter")
+        if self._state not in (_ST_PREPARED, _ST_RUNNING, _ST_PAUSED):
+            ctx.cover("write_badstate")
+            return err(Errno.EPIPE if self._state == _ST_XRUN
+                       else Errno.EBADF)
+        frame = self._frame_bytes()
+        if len(data) % frame:
+            ctx.cover("write_partial_frame")
+            return err(Errno.EINVAL)
+        frames = len(data) // frame
+        ctx.cover(f"write_frames_{min(frames // 256, 8)}")
+        if self._fill + frames > _BUFFER_FRAMES:
+            ctx.cover("write_overrun")
+            return err(Errno.EAGAIN)
+        self._fill += frames
+        if (self._state == _ST_PREPARED
+                and self._fill >= self._start_threshold > 0):
+            ctx.cover("write_auto_start")
+            self._state = _ST_RUNNING
+        if self._state == _ST_RUNNING:
+            ctx.cover("write_consume")
+            played = min(self._fill, frames)
+            self._fill -= played
+            self._frames_played += played
+        return len(data)
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        handlers = {
+            PCM_IOC_HW_PARAMS: self._hw_params,
+            PCM_IOC_SW_PARAMS: self._sw_params,
+            PCM_IOC_PREPARE: self._prepare,
+            PCM_IOC_START: self._start,
+            PCM_IOC_DRAIN: self._drain,
+            PCM_IOC_DROP: self._drop,
+            PCM_IOC_PAUSE: self._pause,
+            PCM_IOC_STATUS: self._status,
+        }
+        handler = handlers.get(request)
+        if handler is None:
+            ctx.cover("ioctl_unknown")
+            return err(Errno.ENOTTY)
+        return handler(ctx, arg)
+
+    def _hw_params(self, ctx: DriverContext, arg):
+        ctx.cover("hw_params_enter")
+        if self._state not in (_ST_OPEN, _ST_SETUP, _ST_PREPARED):
+            ctx.cover("hw_params_busy")
+            return err(Errno.EBUSY)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 12:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_HW_FIELDS, bytes(arg))
+        rate, channels, fmt = (fields["rate"], fields["channels"],
+                               fields["format"])
+        if rate not in RATE_VALUES:
+            ctx.cover("hw_params_badrate")
+            return err(Errno.EINVAL)
+        if channels not in CHANNEL_VALUES:
+            ctx.cover("hw_params_badchannels")
+            return err(Errno.EINVAL)
+        if fmt not in FORMAT_VALUES:
+            ctx.cover("hw_params_badformat")
+            return err(Errno.EINVAL)
+        if rate >= 96000 and channels == 8:
+            ctx.cover("hw_params_bandwidth_limit")
+            return err(Errno.ENOSPC)
+        ctx.cover(f"hw_params_rate_{rate}")
+        ctx.cover(f"hw_params_ch_{channels}")
+        ctx.cover(f"hw_params_fmt_{fmt}")
+        self._rate, self._channels, self._format = rate, channels, fmt
+        self._state = _ST_SETUP
+        return 0
+
+    def _sw_params(self, ctx: DriverContext, arg):
+        ctx.cover("sw_params_enter")
+        if self._state == _ST_OPEN:
+            ctx.cover("sw_params_no_hw")
+            return err(Errno.EBADF)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_SW_FIELDS, bytes(arg))
+        if fields["start_threshold"] > _BUFFER_FRAMES:
+            ctx.cover("sw_params_threshold_too_big")
+            return err(Errno.EINVAL)
+        ctx.cover("sw_params_ok")
+        self._start_threshold = fields["start_threshold"]
+        return 0
+
+    def _prepare(self, ctx: DriverContext, arg):
+        ctx.cover("prepare_enter")
+        if self._state == _ST_OPEN:
+            ctx.cover("prepare_no_hw")
+            return err(Errno.EBADF)
+        ctx.cover("prepare_from_xrun" if self._state == _ST_XRUN
+                  else "prepare_ok")
+        self._state = _ST_PREPARED
+        self._fill = 0
+        return 0
+
+    def _start(self, ctx: DriverContext, arg):
+        ctx.cover("start_enter")
+        if self._state != _ST_PREPARED:
+            ctx.cover("start_badstate")
+            return err(Errno.EPIPE)
+        if self._fill == 0:
+            ctx.cover("start_empty_xrun")
+            self._state = _ST_XRUN
+            self._xruns += 1
+            return err(Errno.EPIPE)
+        ctx.cover("start_ok")
+        self._state = _ST_RUNNING
+        return 0
+
+    def _drain(self, ctx: DriverContext, arg):
+        ctx.cover("drain_enter")
+        if self._state not in (_ST_RUNNING, _ST_PAUSED):
+            ctx.cover("drain_badstate")
+            return err(Errno.EPIPE)
+        while self._fill > 0:
+            ctx.tick("audio_pcm_drain")
+            self._fill -= 1
+            self._frames_played += 1
+        ctx.cover("drain_done")
+        self._state = _ST_SETUP
+        return 0
+
+    def _drop(self, ctx: DriverContext, arg):
+        ctx.cover("drop_enter")
+        if self._state == _ST_OPEN:
+            return err(Errno.EBADF)
+        ctx.cover("drop_ok")
+        self._fill = 0
+        self._state = _ST_SETUP
+        return 0
+
+    def _pause(self, ctx: DriverContext, arg):
+        ctx.cover("pause_enter")
+        if not isinstance(arg, int):
+            return err(Errno.EINVAL)
+        if arg and self._state == _ST_RUNNING:
+            ctx.cover("pause_on")
+            self._state = _ST_PAUSED
+            return 0
+        if not arg and self._state == _ST_PAUSED:
+            ctx.cover("pause_off")
+            self._state = _ST_RUNNING
+            return 0
+        ctx.cover("pause_badstate")
+        return err(Errno.EPIPE)
+
+    def _status(self, ctx: DriverContext, arg):
+        ctx.cover("status")
+        state_code = (_ST_OPEN, _ST_SETUP, _ST_PREPARED, _ST_RUNNING,
+                      _ST_PAUSED, _ST_XRUN, _ST_DRAINING).index(self._state)
+        return 0, (state_code.to_bytes(4, "little")
+                   + self._fill.to_bytes(4, "little")
+                   + self._xruns.to_bytes(4, "little")
+                   + self._frames_played.to_bytes(4, "little"))
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("PCM_IOC_HW_PARAMS", PCM_IOC_HW_PARAMS, "struct",
+                      fields=_HW_FIELDS, doc="negotiate rate/channels/format"),
+            IoctlSpec("PCM_IOC_SW_PARAMS", PCM_IOC_SW_PARAMS, "struct",
+                      fields=_SW_FIELDS, doc="set software params"),
+            IoctlSpec("PCM_IOC_PREPARE", PCM_IOC_PREPARE, "none",
+                      doc="prepare the substream"),
+            IoctlSpec("PCM_IOC_START", PCM_IOC_START, "none",
+                      doc="start playback"),
+            IoctlSpec("PCM_IOC_DRAIN", PCM_IOC_DRAIN, "none",
+                      doc="play out queued frames"),
+            IoctlSpec("PCM_IOC_DROP", PCM_IOC_DROP, "none",
+                      doc="drop queued frames"),
+            IoctlSpec("PCM_IOC_PAUSE", PCM_IOC_PAUSE, "int",
+                      int_kind=FieldSpec("on", "I", "enum", values=(0, 1)),
+                      doc="pause/resume"),
+            IoctlSpec("PCM_IOC_STATUS", PCM_IOC_STATUS, "none",
+                      doc="read substream status"),
+        )

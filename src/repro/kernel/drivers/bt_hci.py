@@ -1,0 +1,282 @@
+"""Bluetooth HCI transport driver.
+
+Models the vendor HCI node the Bluetooth HAL drives: commands are written
+as HCI command packets (``0x01 | opcode:u16 | plen:u8 | params``) and
+completion events are read back.  The controller keeps initialization
+state (power, reset, features) the way ``hci_dev`` setup does.
+
+Planted bug (device A2 firmware):
+
+* ``KASAN: invalid-access in hci_read_supported_codecs`` (Table II №7):
+  the codecs table is a probe-time scratch allocation that the vendor
+  setup path frees after feature discovery; issuing
+  ``HCI_READ_SUPPORTED_CODECS`` before ``HCI_READ_LOCAL_FEATURES`` walks
+  the stale pointer.  (The paper's report is an arm64 MTE-style
+  ``invalid-access``; we raise the same title.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import KasanReport
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, WriteSpec, io, iow
+
+HCIDEV_IOC_UP = io("H", 0)
+HCIDEV_IOC_DOWN = io("H", 1)
+HCIDEV_IOC_SET_BDADDR = iow("H", 2, 6)
+
+HCI_OP_RESET = 0x0C03
+HCI_OP_SET_EVENT_MASK = 0x0C01
+HCI_OP_READ_LOCAL_VERSION = 0x1001
+HCI_OP_READ_LOCAL_FEATURES = 0x1003
+HCI_OP_READ_BD_ADDR = 0x1009
+HCI_OP_READ_SUPPORTED_CODECS = 0x100B
+HCI_OP_LE_SET_SCAN_ENABLE = 0x200C
+HCI_OP_CREATE_CONN = 0x0405
+HCI_OP_VENDOR_DBG = 0xFC1A
+
+_KNOWN_OPS = (
+    HCI_OP_RESET, HCI_OP_SET_EVENT_MASK, HCI_OP_READ_LOCAL_VERSION,
+    HCI_OP_READ_LOCAL_FEATURES, HCI_OP_READ_BD_ADDR,
+    HCI_OP_READ_SUPPORTED_CODECS, HCI_OP_LE_SET_SCAN_ENABLE,
+    HCI_OP_CREATE_CONN, HCI_OP_VENDOR_DBG,
+)
+
+_WRITE_FIELDS = (
+    FieldSpec("pkt_type", "B", "const", values=(0x01,)),
+    FieldSpec("opcode", "H", "enum", values=_KNOWN_OPS),
+    FieldSpec("plen", "B", "range", lo=0, hi=32),
+    FieldSpec("params", "32s", "payload"),
+)
+
+
+class BtHci(CharDevice):
+    """Virtual HCI controller node (``/dev/hci0``).
+
+    Args:
+        quirk_codecs_uaf: plant Table II №7 (A2 firmware).
+    """
+
+    name = "bt_hci"
+    paths = ("/dev/hci0",)
+    vendor_specific = True
+
+    def __init__(self, quirk_codecs_uaf: bool = False) -> None:
+        self.quirk_codecs_uaf = quirk_codecs_uaf
+        self.reset()
+
+    def reset(self) -> None:
+        self._powered = False
+        self._reset_done = False
+        self._features_read = False
+        self._scanning = False
+        self._events: list[bytes] = []
+        self._connections = 0
+        self._codecs_scratch_freed = False
+
+    def coverage_block_count(self) -> int:
+        return 65
+
+    # ------------------------------------------------------------------
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        return 0
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        if request == HCIDEV_IOC_UP:
+            ctx.cover("dev_up")
+            if self._powered:
+                ctx.cover("dev_up_already")
+                return err(Errno.EALREADY)
+            self._powered = True
+            return 0
+        if request == HCIDEV_IOC_DOWN:
+            ctx.cover("dev_down")
+            self._powered = False
+            self._reset_done = False
+            self._features_read = False
+            self._scanning = False
+            return 0
+        if request == HCIDEV_IOC_SET_BDADDR:
+            ctx.cover("set_bdaddr")
+            if not isinstance(arg, (bytes, bytearray)) or len(arg) != 6:
+                ctx.cover("set_bdaddr_badlen")
+                return err(Errno.EINVAL)
+            return 0
+        ctx.cover("ioctl_unknown")
+        return err(Errno.ENOTTY)
+
+    def write(self, ctx: DriverContext, f: OpenFile, data: bytes) -> int:
+        """Submit one HCI command packet."""
+        ctx.cover("cmd_enter")
+        if not self._powered:
+            ctx.cover("cmd_not_powered")
+            return err(Errno.ENODEV)
+        if len(data) < 4:
+            ctx.cover("cmd_short")
+            return err(Errno.EBADMSG)
+        if data[0] != 0x01:
+            ctx.cover("cmd_not_command_pkt")
+            return err(Errno.EPROTO)
+        opcode = int.from_bytes(data[1:3], "little")
+        plen = data[3]
+        params = data[4:4 + plen]
+        if len(params) < plen:
+            ctx.cover("cmd_truncated")
+            return err(Errno.EBADMSG)
+        handler = {
+            HCI_OP_RESET: self._op_reset,
+            HCI_OP_SET_EVENT_MASK: self._op_event_mask,
+            HCI_OP_READ_LOCAL_VERSION: self._op_read_version,
+            HCI_OP_READ_LOCAL_FEATURES: self._op_read_features,
+            HCI_OP_READ_BD_ADDR: self._op_read_bdaddr,
+            HCI_OP_READ_SUPPORTED_CODECS: self._op_read_codecs,
+            HCI_OP_LE_SET_SCAN_ENABLE: self._op_scan_enable,
+            HCI_OP_CREATE_CONN: self._op_create_conn,
+            HCI_OP_VENDOR_DBG: self._op_vendor_dbg,
+        }.get(opcode)
+        if handler is None:
+            ctx.cover("cmd_unknown_opcode")
+            self._queue_event(ctx, opcode, b"\x01")  # UNKNOWN_COMMAND
+            return len(data)
+        ret = handler(ctx, params)
+        return ret if ret < 0 else len(data)
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        """Read the next queued HCI event packet."""
+        ctx.cover("evt_read")
+        if not self._events:
+            ctx.cover("evt_read_empty")
+            return err(Errno.EAGAIN)
+        ctx.cover("evt_read_ok")
+        return self._events.pop(0)[:size]
+
+    # ------------------------------------------------------------------
+
+    def _queue_event(self, ctx: DriverContext, opcode: int,
+                     payload: bytes) -> None:
+        # Command Complete: 0x04 0x0E len ncmd opcode status/payload
+        pkt = (b"\x04\x0E" + bytes([len(payload) + 3, 1])
+               + opcode.to_bytes(2, "little") + payload)
+        self._events.append(pkt)
+
+    def _op_reset(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_reset")
+        self._reset_done = True
+        self._features_read = False
+        self._scanning = False
+        self._codecs_scratch_freed = False
+        self._queue_event(ctx, HCI_OP_RESET, b"\x00")
+        return 0
+
+    def _op_event_mask(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_event_mask")
+        if len(params) != 8:
+            ctx.cover("op_event_mask_badlen")
+            return err(Errno.EINVAL)
+        self._queue_event(ctx, HCI_OP_SET_EVENT_MASK, b"\x00")
+        return 0
+
+    def _op_read_version(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_read_version")
+        self._queue_event(ctx, HCI_OP_READ_LOCAL_VERSION,
+                          b"\x00\x0C\x00\x0C\x5A\x01")
+        return 0
+
+    def _op_read_features(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_read_features")
+        if not self._reset_done:
+            ctx.cover("op_read_features_noreset")
+            return err(Errno.EBUSY)
+        # Vendor setup: features discovery validates the codecs table in
+        # a probe-time scratch buffer, then frees it.
+        scratch = ctx.kmalloc(16, "hci_codecs_scratch")
+        scratch.store(0, b"\x02\x00\x05\x06", "hci_read_local_features")
+        ctx.kfree(scratch, "hci_read_local_features")
+        self._codecs_scratch_freed = True
+        self._features_read = True
+        ctx.cover("op_read_features_done")
+        self._queue_event(ctx, HCI_OP_READ_LOCAL_FEATURES, b"\x00" + b"\xFF" * 8)
+        return 0
+
+    def _op_read_bdaddr(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_read_bdaddr")
+        self._queue_event(ctx, HCI_OP_READ_BD_ADDR,
+                          b"\x00\x11\x22\x33\x44\x55\x66")
+        return 0
+
+    def _op_read_codecs(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_read_codecs")
+        if not self._reset_done:
+            ctx.cover("op_read_codecs_noreset")
+            return err(Errno.EBUSY)
+        if not self._features_read:
+            ctx.cover("op_read_codecs_before_features")
+            if self.quirk_codecs_uaf:
+                # Table II №7: the vendor path dereferences the freed
+                # probe-time codecs scratch buffer.
+                raise KasanReport("invalid-access",
+                                  "hci_read_supported_codecs",
+                                  "stale codecs scratch pointer")
+            return err(Errno.EAGAIN)
+        ctx.cover("op_read_codecs_ok")
+        self._queue_event(ctx, HCI_OP_READ_SUPPORTED_CODECS,
+                          b"\x00\x02\x00\x05")
+        return 0
+
+    def _op_scan_enable(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_scan_enable")
+        if len(params) < 1:
+            return err(Errno.EINVAL)
+        enable = bool(params[0])
+        ctx.cover("op_scan_on" if enable else "op_scan_off")
+        if enable and not self._features_read:
+            ctx.cover("op_scan_before_features")
+            return err(Errno.EAGAIN)
+        self._scanning = enable
+        self._queue_event(ctx, HCI_OP_LE_SET_SCAN_ENABLE, b"\x00")
+        return 0
+
+    def _op_create_conn(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_create_conn")
+        if len(params) < 6:
+            ctx.cover("op_create_conn_badaddr")
+            return err(Errno.EINVAL)
+        if not self._scanning:
+            ctx.cover("op_create_conn_noscan")
+            return err(Errno.EAGAIN)
+        self._connections += 1
+        ctx.cover(f"op_create_conn_{min(self._connections, 4)}")
+        self._queue_event(ctx, HCI_OP_CREATE_CONN, b"\x00")
+        return 0
+
+    def _op_vendor_dbg(self, ctx: DriverContext, params: bytes) -> int:
+        ctx.cover("op_vendor_dbg")
+        if params[:2] == b"\xA5\x5A":
+            ctx.cover("op_vendor_dbg_magic")
+        self._queue_event(ctx, HCI_OP_VENDOR_DBG, b"\x00")
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("HCIDEV_IOC_UP", HCIDEV_IOC_UP, "none",
+                      doc="power the controller up"),
+            IoctlSpec("HCIDEV_IOC_DOWN", HCIDEV_IOC_DOWN, "none",
+                      doc="power the controller down"),
+            IoctlSpec("HCIDEV_IOC_SET_BDADDR", HCIDEV_IOC_SET_BDADDR,
+                      "buffer", doc="set the controller address"),
+        )
+
+    def write_spec(self) -> WriteSpec:
+        """HCI command packet framing for write() payload generation."""
+        return WriteSpec("hci_command", _WRITE_FIELDS,
+                         doc="HCI command packet")

@@ -1,0 +1,361 @@
+"""Bluetooth L2CAP socket family (``AF_BLUETOOTH``).
+
+Models the kernel Bluetooth channel layer: L2CAP sockets with bind /
+listen / accept on local PSMs, loopback connections between sockets on
+the same host, well-known "remote" PSMs that stand in for peer devices in
+radio range, a configuration (half-open) phase, and the usual option
+surface (``L2CAP_OPTIONS``, ``BT_SECURITY``).
+
+Planted bugs:
+
+* ``WARNING in l2cap_send_disconn_req`` (Table II №8, device B): closing
+  a channel that is still in the configuration phase sends a disconnect
+  request for a channel without an assigned DCID and trips a WARN.
+* ``KASAN: slab-use-after-free Read in bt_accept_unlink`` (Table II №11,
+  device D): closing a listening parent socket frees its ``bt_sock``
+  while children still sit on the accept queue; the peer's later
+  teardown unlinks the child from the freed parent.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kernel.chardev import DriverContext, OpenFile, SocketFamily
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, SockOptSpec, SocketSpec
+from repro.kernel.syscalls import AF_BLUETOOTH
+
+SOCK_STREAM = 1
+SOCK_SEQPACKET = 5
+BTPROTO_L2CAP = 0
+
+SOL_L2CAP = 6
+L2CAP_OPTIONS = 0x01
+SOL_BLUETOOTH = 274
+BT_SECURITY = 4
+
+#: PSMs that model peer devices in radio range (always connectable).
+REMOTE_PSMS = (1, 25)
+
+MODE_BASIC = 0
+MODE_ERTM = 3
+MODE_STREAMING = 4
+
+_ST_OPEN = "open"
+_ST_BOUND = "bound"
+_ST_LISTEN = "listen"
+_ST_CONFIG = "config"
+_ST_CONNECTED = "connected"
+_ST_CLOSED = "closed"
+
+#: The PSM is a rendezvous identifier: ``bind`` defines it, ``connect``
+#: wants the same value back — syzlang models this as a resource with
+#: fallback literal values (the well-known remote PSMs).
+_ADDR_FIELDS = (
+    FieldSpec("psm", "H", "resource", resource="l2cap_psm",
+              values=REMOTE_PSMS + (0x80, 0x81, 0x83)),
+    FieldSpec("bdaddr", "6s", "payload"),
+    FieldSpec("cid", "H", "const", values=(0,)),
+)
+_L2CAP_OPT_FIELDS = (
+    FieldSpec("mtu", "H", "range", lo=48, hi=65535),
+    FieldSpec("flush_to", "H", "range", lo=0, hi=65535),
+    FieldSpec("mode", "B", "enum",
+              values=(MODE_BASIC, MODE_ERTM, MODE_STREAMING)),
+)
+_BT_SEC_FIELDS = (FieldSpec("level", "B", "range", lo=0, hi=4),)
+
+
+def pack_l2_addr(psm: int, bdaddr: bytes = b"\x00" * 6, cid: int = 0) -> bytes:
+    """Pack a ``sockaddr_l2`` for the virtual family."""
+    return struct.pack("<H6sH", psm & 0xFFFF, bdaddr[:6].ljust(6, b"\x00"),
+                       cid & 0xFFFF)
+
+
+class BtL2capFamily(SocketFamily):
+    """Virtual ``AF_BLUETOOTH`` / L2CAP protocol family.
+
+    Args:
+        quirk_warn_disconn: plant Table II №8 (device B firmware).
+        quirk_accept_uaf: plant Table II №11 (device D firmware).
+    """
+
+    name = "bt_l2cap"
+    domain = AF_BLUETOOTH
+
+    def __init__(self, quirk_warn_disconn: bool = False,
+                 quirk_accept_uaf: bool = False) -> None:
+        self.quirk_warn_disconn = quirk_warn_disconn
+        self.quirk_accept_uaf = quirk_accept_uaf
+        self.reset()
+
+    def reset(self) -> None:
+        self._listeners: dict[int, dict] = {}  # psm -> listener private
+        self._bound_psms: set[int] = set()
+        self._next_sock_id = 1
+
+    def coverage_block_count(self) -> int:
+        return 75
+
+    # ------------------------------------------------------------------
+
+    def socket(self, ctx: DriverContext, f: OpenFile, sock_type: int,
+               protocol: int) -> int:
+        ctx.cover("socket_enter")
+        if sock_type not in (SOCK_STREAM, SOCK_SEQPACKET):
+            ctx.cover("socket_badtype")
+            return err(Errno.EINVAL)
+        if protocol != BTPROTO_L2CAP:
+            ctx.cover("socket_badproto")
+            return err(Errno.EPROTO)
+        ctx.cover(f"socket_type_{sock_type}")
+        f.private.update(
+            sock_id=self._next_sock_id, state=_ST_OPEN, psm=0,
+            mtu=672, mode=MODE_BASIC, sec_level=0, rx=[], peer=None,
+            accept_queue=[], parent_alloc=None, parent_ref=None,
+            dcid_assigned=False)
+        self._next_sock_id += 1
+        return 0
+
+    def bind(self, ctx: DriverContext, f: OpenFile, addr: bytes) -> int:
+        ctx.cover("bind_enter")
+        sock = f.private
+        if sock["state"] != _ST_OPEN:
+            ctx.cover("bind_badstate")
+            return err(Errno.EINVAL)
+        if len(addr) < 2:
+            ctx.cover("bind_shortaddr")
+            return err(Errno.EINVAL)
+        psm = int.from_bytes(addr[:2], "little")
+        if psm in REMOTE_PSMS:
+            ctx.cover("bind_reserved_psm")
+            return err(Errno.EACCES)
+        if psm in self._bound_psms:
+            ctx.cover("bind_inuse")
+            return err(Errno.EADDRINUSE)
+        if psm % 2 == 0 and psm != 0:
+            # L2CAP dynamic PSMs must have the LSB of the low octet set.
+            ctx.cover("bind_even_psm")
+            return err(Errno.EINVAL)
+        ctx.cover("bind_ok")
+        sock["psm"] = psm
+        sock["state"] = _ST_BOUND
+        self._bound_psms.add(psm)
+        return 0
+
+    def listen(self, ctx: DriverContext, f: OpenFile, backlog: int) -> int:
+        ctx.cover("listen_enter")
+        sock = f.private
+        if sock["state"] != _ST_BOUND or sock["psm"] == 0:
+            ctx.cover("listen_notbound")
+            return err(Errno.EINVAL)
+        ctx.cover("listen_ok")
+        sock["state"] = _ST_LISTEN
+        sock["backlog"] = max(0, min(backlog, 8))
+        # bt_sock of the parent; children hold a reference to it.
+        sock["parent_alloc"] = ctx.kmalloc(64, "bt_sock_parent")
+        sock["parent_alloc"].store_u32(0, sock["sock_id"], "bt_sock_listen")
+        self._listeners[sock["psm"]] = sock
+        return 0
+
+    def connect(self, ctx: DriverContext, f: OpenFile, addr: bytes) -> int:
+        ctx.cover("connect_enter")
+        sock = f.private
+        if sock["state"] not in (_ST_OPEN, _ST_BOUND):
+            ctx.cover("connect_badstate")
+            return err(Errno.EISCONN)
+        if len(addr) < 2:
+            ctx.cover("connect_shortaddr")
+            return err(Errno.EINVAL)
+        psm = int.from_bytes(addr[:2], "little")
+        if psm in REMOTE_PSMS:
+            # Peer device in radio range: enters the config phase.
+            ctx.cover(f"connect_remote_{psm}")
+            sock["state"] = _ST_CONFIG
+            sock["peer"] = "remote"
+            return 0
+        listener = self._listeners.get(psm)
+        if listener is None:
+            ctx.cover("connect_refused")
+            return err(Errno.ECONNREFUSED)
+        if len(listener["accept_queue"]) >= listener.get("backlog", 0) + 1:
+            ctx.cover("connect_backlog_full")
+            return err(Errno.EAGAIN)
+        ctx.cover("connect_local")
+        child = {
+            "sock_id": self._next_sock_id, "state": _ST_CONNECTED,
+            "psm": psm, "mtu": listener["mtu"], "mode": listener["mode"],
+            "sec_level": listener["sec_level"], "rx": [], "peer": sock,
+            "accept_queue": [], "parent_alloc": None,
+            "parent_ref": listener["parent_alloc"], "dcid_assigned": True,
+        }
+        self._next_sock_id += 1
+        listener["accept_queue"].append(child)
+        sock["state"] = _ST_CONNECTED
+        sock["peer"] = child
+        sock["dcid_assigned"] = True
+        return 0
+
+    def accept(self, ctx: DriverContext, f: OpenFile):
+        ctx.cover("accept_enter")
+        sock = f.private
+        if sock["state"] != _ST_LISTEN:
+            ctx.cover("accept_notlistening")
+            return err(Errno.EINVAL)
+        if not sock["accept_queue"]:
+            ctx.cover("accept_empty")
+            return err(Errno.EAGAIN)
+        ctx.cover("accept_ok")
+        child = sock["accept_queue"].pop(0)
+        # bt_accept_unlink on the fast path: validated parent reference.
+        child["parent_ref"].load_u32(0, "bt_accept_unlink")
+        child["parent_ref"] = None
+        return child
+
+    def setsockopt(self, ctx: DriverContext, f: OpenFile, level: int,
+                   optname: int, optval: bytes) -> int:
+        ctx.cover("setsockopt_enter")
+        sock = f.private
+        if level == SOL_L2CAP and optname == L2CAP_OPTIONS:
+            if len(optval) < 5:
+                ctx.cover("l2cap_options_short")
+                return err(Errno.EINVAL)
+            mtu, flush_to, mode = struct.unpack_from("<HHB", optval)
+            if mode not in (MODE_BASIC, MODE_ERTM, MODE_STREAMING):
+                ctx.cover("l2cap_options_badmode")
+                return err(Errno.EINVAL)
+            if mtu < 48:
+                ctx.cover("l2cap_options_badmtu")
+                return err(Errno.EINVAL)
+            ctx.cover(f"l2cap_options_mode_{mode}")
+            sock["mtu"], sock["mode"] = mtu, mode
+            if sock["state"] == _ST_CONFIG:
+                # Option exchange completes the configuration phase.
+                ctx.cover("l2cap_config_done")
+                sock["state"] = _ST_CONNECTED
+                sock["dcid_assigned"] = True
+            return 0
+        if level == SOL_BLUETOOTH and optname == BT_SECURITY:
+            if len(optval) < 1:
+                return err(Errno.EINVAL)
+            level_val = optval[0]
+            if level_val > 4:
+                ctx.cover("bt_security_badlevel")
+                return err(Errno.EINVAL)
+            ctx.cover(f"bt_security_{level_val}")
+            sock["sec_level"] = level_val
+            return 0
+        ctx.cover("setsockopt_unknown")
+        return err(Errno.ENOPROTOOPT)
+
+    def getsockopt(self, ctx: DriverContext, f: OpenFile, level: int,
+                   optname: int):
+        ctx.cover("getsockopt_enter")
+        sock = f.private
+        if level == SOL_L2CAP and optname == L2CAP_OPTIONS:
+            ctx.cover("getsockopt_l2cap")
+            return 0, struct.pack("<HHB", sock["mtu"], 0, sock["mode"])
+        if level == SOL_BLUETOOTH and optname == BT_SECURITY:
+            ctx.cover("getsockopt_security")
+            return 0, bytes([sock["sec_level"]])
+        ctx.cover("getsockopt_unknown")
+        return err(Errno.EINVAL)
+
+    def sendto(self, ctx: DriverContext, f: OpenFile, data: bytes,
+               addr: bytes | None) -> int:
+        ctx.cover("send_enter")
+        sock = f.private
+        if sock["state"] == _ST_CONFIG:
+            ctx.cover("send_during_config")
+            return err(Errno.ENOTCONN)
+        if sock["state"] != _ST_CONNECTED:
+            ctx.cover("send_notconn")
+            return err(Errno.ENOTCONN)
+        if len(data) > sock["mtu"]:
+            ctx.cover("send_over_mtu")
+            return err(Errno.EMSGSIZE)
+        peer = sock["peer"]
+        if peer == "remote":
+            ctx.cover("send_remote_echo")
+            sock["rx"].append(data)  # remote service echoes
+        elif isinstance(peer, dict):
+            ctx.cover("send_local")
+            peer["rx"].append(data)
+        if sock["mode"] == MODE_ERTM:
+            ctx.cover("send_ertm")
+        ctx.cover(f"send_len_{min(len(data) // 64, 8)}")
+        return len(data)
+
+    def recvfrom(self, ctx: DriverContext, f: OpenFile, size: int):
+        ctx.cover("recv_enter")
+        sock = f.private
+        if not sock["rx"]:
+            ctx.cover("recv_empty")
+            return err(Errno.EAGAIN)
+        ctx.cover("recv_ok")
+        return sock["rx"].pop(0)[:size]
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release_enter")
+        sock = f.private
+        state = sock.get("state", _ST_CLOSED)
+        if state == _ST_CONFIG:
+            ctx.cover("release_during_config")
+            if self.quirk_warn_disconn:
+                # Table II №8: disconnect request for a channel that has
+                # no DCID yet (configuration incomplete).
+                ctx.warn("l2cap_send_disconn_req",
+                         "disconnect in config phase, no DCID")
+        if state in (_ST_BOUND, _ST_LISTEN):
+            self._bound_psms.discard(sock.get("psm", 0))
+        if state == _ST_LISTEN:
+            self._listeners.pop(sock.get("psm"), None)
+            pending = sock.get("accept_queue", [])
+            parent_alloc = sock.get("parent_alloc")
+            if parent_alloc is not None and not parent_alloc.freed:
+                if self.quirk_accept_uaf and pending:
+                    # Table II №11 setup: the vendor patch frees the
+                    # parent bt_sock without unlinking queued children.
+                    ctx.cover("release_listener_leak_children")
+                    ctx.kfree(parent_alloc, "l2cap_sock_release")
+                else:
+                    for child in pending:
+                        ctx.cover("release_unlink_child")
+                        child["parent_ref"] = None
+                        if isinstance(child.get("peer"), dict):
+                            child["peer"]["peer"] = None
+                    pending.clear()
+                    ctx.kfree(parent_alloc, "l2cap_sock_release")
+        if state in (_ST_CONNECTED,) and isinstance(sock.get("peer"), dict):
+            peer = sock["peer"]
+            ctx.cover("release_teardown_peer")
+            # Peer teardown: if our peer is still a queued (un-accepted)
+            # child, it must be unlinked from its parent now.
+            if peer.get("parent_ref") is not None:
+                ctx.cover("release_unlink_queued_child")
+                peer["parent_ref"].load_u32(0, "bt_accept_unlink")
+                peer["parent_ref"] = None
+            peer["peer"] = None
+        sock["state"] = _ST_CLOSED
+        ctx.cover("release_done")
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def socket_spec(self) -> SocketSpec:
+        """Interface description consumed by the DSL and baselines."""
+        return SocketSpec(
+            name="bt_l2cap",
+            domain=AF_BLUETOOTH,
+            types=(SOCK_STREAM, SOCK_SEQPACKET),
+            protocols=(BTPROTO_L2CAP,),
+            addr_fields=_ADDR_FIELDS,
+            sockopts=(
+                SockOptSpec("L2CAP_OPTIONS", SOL_L2CAP, L2CAP_OPTIONS,
+                            _L2CAP_OPT_FIELDS, doc="channel mtu/mode"),
+                SockOptSpec("BT_SECURITY", SOL_BLUETOOTH, BT_SECURITY,
+                            _BT_SEC_FIELDS, doc="link security level"),
+            ),
+            doc="L2CAP channels over the virtual controller",
+        )

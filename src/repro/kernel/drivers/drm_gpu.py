@@ -1,0 +1,408 @@
+"""Vendor DRM/KMS GPU driver.
+
+Models the display pipeline the Graphics HAL sits on: dumb-buffer
+allocation, framebuffer attach, CRTC mode-set and page flipping, with GEM
+handle lifetime management.  The ioctl surface is a faithful miniature of
+``drm.h``'s mode-setting subset.
+
+Planted bug (device A1 firmware):
+
+* ``BUG: looking up invalid subclass: 8`` (Table II №3): each page flip
+  queued while previous flip events are unread takes the CRTC lock at a
+  deeper lockdep subclass; the vendor patch forgot the depth guard, so a
+  flip storm walks past ``MAX_LOCKDEP_SUBCLASSES``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.errors import KernelBug
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, io, ior, iowr, unpack_fields
+
+DRM_IOC_VERSION = ior("d", 0x00, 16)
+DRM_IOC_GET_CAP = iowr("d", 0x0C, 16)
+DRM_IOC_MODE_GETRESOURCES = ior("d", 0xA0, 16)
+DRM_IOC_MODE_GETCONNECTOR = iowr("d", 0xA7, 12)
+DRM_IOC_MODE_CREATE_DUMB = iowr("d", 0xB2, 16)
+DRM_IOC_MODE_MAP_DUMB = iowr("d", 0xB3, 8)
+DRM_IOC_MODE_DESTROY_DUMB = iowr("d", 0xB4, 4)
+DRM_IOC_MODE_ADDFB = iowr("d", 0xAE, 20)
+DRM_IOC_MODE_RMFB = iowr("d", 0xAF, 4)
+DRM_IOC_MODE_SETCRTC = iowr("d", 0xA2, 16)
+DRM_IOC_MODE_PAGE_FLIP = iowr("d", 0xB0, 12)
+DRM_IOC_GEM_CLOSE = iowr("d", 0x09, 4)
+DRM_IOC_READ_EVENT = ior("d", 0xB8, 8)
+DRM_IOC_VSYNC_CLIENT = io("d", 0xB9)
+
+CAP_DUMB_BUFFER = 0x1
+CAP_PRIME = 0x5
+CAP_ASYNC_FLIP = 0x15
+
+_CONNECTORS = (31, 32)  # eDP panel + HDMI
+_CRTC_ID = 41
+_MAX_LOCKDEP_SUBCLASS = 8
+
+_CREATE_DUMB_FIELDS = (
+    FieldSpec("width", "I", "range", lo=1, hi=8192),
+    FieldSpec("height", "I", "range", lo=1, hi=8192),
+    FieldSpec("bpp", "I", "enum", values=(8, 16, 24, 32)),
+    FieldSpec("flags", "I", "const", values=(0,)),
+)
+_ADDFB_FIELDS = (
+    FieldSpec("width", "I", "range", lo=1, hi=8192),
+    FieldSpec("height", "I", "range", lo=1, hi=8192),
+    FieldSpec("pitch", "I", "range", lo=1, hi=1 << 20),
+    FieldSpec("bpp", "I", "enum", values=(16, 24, 32)),
+    FieldSpec("handle", "I", "resource", resource="drm_handle"),
+)
+_SETCRTC_FIELDS = (
+    FieldSpec("crtc_id", "I", "const", values=(_CRTC_ID,)),
+    FieldSpec("fb_id", "I", "resource", resource="drm_fb"),
+    FieldSpec("x", "I", "range", lo=0, hi=4096),
+    FieldSpec("y", "I", "range", lo=0, hi=4096),
+)
+_PAGE_FLIP_FIELDS = (
+    FieldSpec("crtc_id", "I", "const", values=(_CRTC_ID,)),
+    FieldSpec("fb_id", "I", "resource", resource="drm_fb"),
+    FieldSpec("flags", "I", "flags", values=(0x1, 0x2)),  # EVENT, ASYNC
+)
+_HANDLE_FIELDS = (FieldSpec("handle", "I", "resource", resource="drm_handle"),)
+_FB_FIELDS = (FieldSpec("fb_id", "I", "resource", resource="drm_fb"),)
+_GETCONNECTOR_FIELDS = (
+    FieldSpec("connector_id", "I", "enum", values=_CONNECTORS),
+    FieldSpec("pad", "Q", "const", values=(0,)),
+)
+_GET_CAP_FIELDS = (
+    FieldSpec("capability", "Q", "enum",
+              values=(CAP_DUMB_BUFFER, CAP_PRIME, CAP_ASYNC_FLIP)),
+    FieldSpec("value", "Q", "const", values=(0,)),
+)
+
+
+class DrmGpu(CharDevice):
+    """Virtual vendor DRM device (``/dev/dri/card0``).
+
+    Args:
+        quirk_lockdep_subclass: plant Table II №3 (A1 firmware).
+    """
+
+    name = "drm_gpu"
+    paths = ("/dev/dri/card0",)
+
+    def __init__(self, quirk_lockdep_subclass: bool = False) -> None:
+        self.quirk_lockdep_subclass = quirk_lockdep_subclass
+        self.reset()
+
+    def reset(self) -> None:
+        self._next_handle = 1
+        self._next_fb = 100
+        self._buffers: dict[int, tuple[int, int, int]] = {}
+        self._framebuffers: dict[int, int] = {}  # fb_id -> handle
+        self._active_fb = 0
+        self._pending_flips = 0
+        self._crtc_set = False
+        self._vsync_client = False
+
+    def coverage_block_count(self) -> int:
+        return 90
+
+    # ------------------------------------------------------------------
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        f.private["mapped"] = set()
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        return 0
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        """Read pending vblank/flip events."""
+        ctx.cover("read_events")
+        if self._pending_flips == 0:
+            ctx.cover("read_events_empty")
+            return err(Errno.EAGAIN)
+        ctx.cover("read_events_flip")
+        self._pending_flips -= 1
+        return b"\x02" + self._active_fb.to_bytes(4, "little") + b"\x00" * 3
+
+    def mmap(self, ctx: DriverContext, f: OpenFile, length: int, prot: int,
+             flags: int, offset: int) -> int:
+        ctx.cover("mmap_enter")
+        handle = offset >> 12
+        if handle not in self._buffers:
+            ctx.cover("mmap_badoffset")
+            return err(Errno.EINVAL)
+        width, height, bpp = self._buffers[handle]
+        if length > width * height * (bpp // 8):
+            ctx.cover("mmap_toolong")
+            return err(Errno.EINVAL)
+        ctx.cover("mmap_ok")
+        f.private.setdefault("mapped", set()).add(handle)
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        handlers = {
+            DRM_IOC_VERSION: self._version,
+            DRM_IOC_GET_CAP: self._get_cap,
+            DRM_IOC_MODE_GETRESOURCES: self._get_resources,
+            DRM_IOC_MODE_GETCONNECTOR: self._get_connector,
+            DRM_IOC_MODE_CREATE_DUMB: self._create_dumb,
+            DRM_IOC_MODE_MAP_DUMB: self._map_dumb,
+            DRM_IOC_MODE_DESTROY_DUMB: self._destroy_dumb,
+            DRM_IOC_MODE_ADDFB: self._addfb,
+            DRM_IOC_MODE_RMFB: self._rmfb,
+            DRM_IOC_MODE_SETCRTC: self._setcrtc,
+            DRM_IOC_MODE_PAGE_FLIP: self._page_flip,
+            DRM_IOC_GEM_CLOSE: self._gem_close,
+            DRM_IOC_VSYNC_CLIENT: self._vsync_client_register,
+        }
+        handler = handlers.get(request)
+        if handler is None:
+            ctx.cover("ioctl_unknown")
+            return err(Errno.ENOTTY)
+        return handler(ctx, arg)
+
+    def _version(self, ctx: DriverContext, arg):
+        ctx.cover("version")
+        return 0, b"vgpu" + (1).to_bytes(4, "little") * 3
+
+    def _get_cap(self, ctx: DriverContext, arg):
+        ctx.cover("get_cap_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        cap = unpack_fields(_GET_CAP_FIELDS, bytes(arg))["capability"]
+        values = {CAP_DUMB_BUFFER: 1, CAP_PRIME: 3, CAP_ASYNC_FLIP: 1}
+        if cap not in values:
+            ctx.cover("get_cap_unknown")
+            return err(Errno.EINVAL)
+        ctx.cover(f"get_cap_{cap:#x}")
+        return 0, cap.to_bytes(8, "little") + values[cap].to_bytes(8, "little")
+
+    def _get_resources(self, ctx: DriverContext, arg):
+        ctx.cover("get_resources")
+        payload = (len(_CONNECTORS).to_bytes(4, "little")
+                   + (1).to_bytes(4, "little")
+                   + _CONNECTORS[0].to_bytes(4, "little")
+                   + _CRTC_ID.to_bytes(4, "little"))
+        return 0, payload
+
+    def _get_connector(self, ctx: DriverContext, arg):
+        ctx.cover("get_connector_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        conn = unpack_fields(_GETCONNECTOR_FIELDS, bytes(arg))["connector_id"]
+        if conn not in _CONNECTORS:
+            ctx.cover("get_connector_unknown")
+            return err(Errno.ENOENT)
+        ctx.cover(f"get_connector_{conn}")
+        connected = 1 if conn == _CONNECTORS[0] else 0
+        return 0, conn.to_bytes(4, "little") + connected.to_bytes(4, "little")
+
+    def _create_dumb(self, ctx: DriverContext, arg):
+        ctx.cover("create_dumb_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 12:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_CREATE_DUMB_FIELDS, bytes(arg))
+        width, height, bpp = fields["width"], fields["height"], fields["bpp"]
+        if not (1 <= width <= 8192 and 1 <= height <= 8192):
+            ctx.cover("create_dumb_badsize")
+            return err(Errno.EINVAL)
+        if bpp not in (8, 16, 24, 32):
+            ctx.cover("create_dumb_badbpp")
+            return err(Errno.EINVAL)
+        if fields["flags"] != 0:
+            ctx.cover("create_dumb_badflags")
+            return err(Errno.EINVAL)
+        ctx.cover(f"create_dumb_bpp_{bpp}")
+        ctx.cover(f"create_dumb_size_{(width * height).bit_length() // 4}")
+        handle = self._next_handle
+        self._next_handle += 1
+        self._buffers[handle] = (width, height, bpp)
+        return 0, handle.to_bytes(4, "little")
+
+    def _map_dumb(self, ctx: DriverContext, arg):
+        ctx.cover("map_dumb_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        handle = unpack_fields(_HANDLE_FIELDS, bytes(arg))["handle"]
+        if handle not in self._buffers:
+            ctx.cover("map_dumb_badhandle")
+            return err(Errno.ENOENT)
+        ctx.cover("map_dumb_ok")
+        return 0, (handle << 12).to_bytes(8, "little")
+
+    def _destroy_dumb(self, ctx: DriverContext, arg):
+        ctx.cover("destroy_dumb_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        handle = unpack_fields(_HANDLE_FIELDS, bytes(arg))["handle"]
+        if self._buffers.pop(handle, None) is None:
+            ctx.cover("destroy_dumb_badhandle")
+            return err(Errno.ENOENT)
+        ctx.cover("destroy_dumb_ok")
+        return 0
+
+    def _addfb(self, ctx: DriverContext, arg):
+        ctx.cover("addfb_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 20:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_ADDFB_FIELDS, bytes(arg))
+        handle = fields["handle"]
+        if handle not in self._buffers:
+            ctx.cover("addfb_badhandle")
+            return err(Errno.ENOENT)
+        bwidth, bheight, bbpp = self._buffers[handle]
+        if fields["width"] > bwidth or fields["height"] > bheight:
+            ctx.cover("addfb_toolarge")
+            return err(Errno.EINVAL)
+        if fields["bpp"] != bbpp:
+            ctx.cover("addfb_bpp_mismatch")
+            return err(Errno.EINVAL)
+        if fields["pitch"] < fields["width"] * (bbpp // 8):
+            ctx.cover("addfb_badpitch")
+            return err(Errno.EINVAL)
+        ctx.cover("addfb_ok")
+        fb_id = self._next_fb
+        self._next_fb += 1
+        self._framebuffers[fb_id] = handle
+        return 0, fb_id.to_bytes(4, "little")
+
+    def _rmfb(self, ctx: DriverContext, arg):
+        ctx.cover("rmfb_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        fb_id = unpack_fields(_FB_FIELDS, bytes(arg))["fb_id"]
+        if self._framebuffers.pop(fb_id, None) is None:
+            ctx.cover("rmfb_badid")
+            return err(Errno.ENOENT)
+        if fb_id == self._active_fb:
+            ctx.cover("rmfb_active")
+            self._active_fb = 0
+            self._crtc_set = False
+        ctx.cover("rmfb_ok")
+        return 0
+
+    def _setcrtc(self, ctx: DriverContext, arg):
+        ctx.cover("setcrtc_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_SETCRTC_FIELDS, bytes(arg))
+        if fields["crtc_id"] != _CRTC_ID:
+            ctx.cover("setcrtc_badcrtc")
+            return err(Errno.ENOENT)
+        fb_id = fields["fb_id"]
+        if fb_id not in self._framebuffers:
+            ctx.cover("setcrtc_badfb")
+            return err(Errno.ENOENT)
+        ctx.cover("setcrtc_ok")
+        self._active_fb = fb_id
+        self._crtc_set = True
+        self._pending_flips = 0
+        return 0
+
+    def _page_flip(self, ctx: DriverContext, arg):
+        ctx.cover("page_flip_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_PAGE_FLIP_FIELDS, bytes(arg))
+        if fields["crtc_id"] != _CRTC_ID or not self._crtc_set:
+            ctx.cover("page_flip_nocrtc")
+            return err(Errno.EINVAL)
+        fb_id = fields["fb_id"]
+        if fb_id not in self._framebuffers:
+            ctx.cover("page_flip_badfb")
+            return err(Errno.ENOENT)
+        flags = fields["flags"]
+        if flags & ~0x3:
+            ctx.cover("page_flip_badflags")
+            return err(Errno.EINVAL)
+        if flags & 0x2:
+            ctx.cover("page_flip_async")
+        if not self._vsync_client:
+            # No vsync event client registered: completion events are
+            # dropped, so flips never nest.
+            ctx.cover("page_flip_no_client")
+            self._active_fb = fb_id
+            return 0
+        depth = self._pending_flips + 1
+        ctx.cover(f"page_flip_depth_{min(depth, 9)}")
+        if depth > _MAX_LOCKDEP_SUBCLASS:
+            if self.quirk_lockdep_subclass:
+                # Table II №3: the vendor vsync-queue patch nests the CRTC
+                # lock once per unread flip event; lockdep runs out of
+                # subclasses and the missing guard lets it BUG out.
+                ctx.bug(f"looking up invalid subclass: {depth}",
+                        "flip storm with unread events")
+                raise KernelBug(f"looking up invalid subclass: {depth}")
+            ctx.cover("page_flip_throttled")
+            return err(Errno.EBUSY)
+        self._pending_flips = depth
+        self._active_fb = fb_id
+        ctx.cover("page_flip_ok")
+        return 0
+
+    def _vsync_client_register(self, ctx: DriverContext, arg):
+        ctx.cover("vsync_client_enter")
+        if self._vsync_client:
+            ctx.cover("vsync_client_already")
+            return err(Errno.EBUSY)
+        ctx.cover("vsync_client_ok")
+        self._vsync_client = True
+        return 0
+
+    def _gem_close(self, ctx: DriverContext, arg):
+        ctx.cover("gem_close_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        handle = unpack_fields(_HANDLE_FIELDS, bytes(arg))["handle"]
+        if self._buffers.pop(handle, None) is None:
+            ctx.cover("gem_close_badhandle")
+            return err(Errno.ENOENT)
+        ctx.cover("gem_close_ok")
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("DRM_IOC_VERSION", DRM_IOC_VERSION, "none",
+                      doc="driver version info"),
+            IoctlSpec("DRM_IOC_GET_CAP", DRM_IOC_GET_CAP, "struct",
+                      fields=_GET_CAP_FIELDS, doc="query capability"),
+            IoctlSpec("DRM_IOC_MODE_GETRESOURCES", DRM_IOC_MODE_GETRESOURCES,
+                      "none", doc="enumerate connectors/CRTCs"),
+            IoctlSpec("DRM_IOC_MODE_GETCONNECTOR", DRM_IOC_MODE_GETCONNECTOR,
+                      "struct", fields=_GETCONNECTOR_FIELDS,
+                      doc="query one connector"),
+            IoctlSpec("DRM_IOC_MODE_CREATE_DUMB", DRM_IOC_MODE_CREATE_DUMB,
+                      "struct", fields=_CREATE_DUMB_FIELDS,
+                      produces="drm_handle", produce_offset=0,
+                      doc="allocate a dumb buffer"),
+            IoctlSpec("DRM_IOC_MODE_MAP_DUMB", DRM_IOC_MODE_MAP_DUMB,
+                      "struct", fields=_HANDLE_FIELDS,
+                      doc="get mmap offset for a dumb buffer"),
+            IoctlSpec("DRM_IOC_MODE_DESTROY_DUMB", DRM_IOC_MODE_DESTROY_DUMB,
+                      "struct", fields=_HANDLE_FIELDS,
+                      doc="free a dumb buffer"),
+            IoctlSpec("DRM_IOC_MODE_ADDFB", DRM_IOC_MODE_ADDFB, "struct",
+                      fields=_ADDFB_FIELDS, produces="drm_fb",
+                      produce_offset=0, doc="attach framebuffer to buffer"),
+            IoctlSpec("DRM_IOC_MODE_RMFB", DRM_IOC_MODE_RMFB, "struct",
+                      fields=_FB_FIELDS, doc="remove framebuffer"),
+            IoctlSpec("DRM_IOC_MODE_SETCRTC", DRM_IOC_MODE_SETCRTC, "struct",
+                      fields=_SETCRTC_FIELDS, doc="mode-set the CRTC"),
+            IoctlSpec("DRM_IOC_MODE_PAGE_FLIP", DRM_IOC_MODE_PAGE_FLIP,
+                      "struct", fields=_PAGE_FLIP_FIELDS,
+                      doc="queue an async page flip"),
+            IoctlSpec("DRM_IOC_GEM_CLOSE", DRM_IOC_GEM_CLOSE, "struct",
+                      fields=_HANDLE_FIELDS, doc="drop a GEM handle"),
+            IoctlSpec("DRM_IOC_VSYNC_CLIENT", DRM_IOC_VSYNC_CLIENT, "none",
+                      vendor=True,
+                      doc="register as vsync event client (vendor patch)"),
+        )

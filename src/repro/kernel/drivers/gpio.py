@@ -1,0 +1,168 @@
+"""GPIO character device driver.
+
+Models the ``gpiochip`` uAPI subset used by kiosk/industrial peripherals
+(cash-drawer solenoids, status LEDs, tamper switches): chip/line
+introspection and line-handle based reads/writes with direction checks.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, ior, iowr, unpack_fields
+
+GPIO_GET_CHIPINFO = ior("G", 0x01, 8)
+GPIO_GET_LINEINFO = iowr("G", 0x02, 8)
+GPIO_GET_LINEHANDLE = iowr("G", 0x03, 12)
+GPIOHANDLE_SET_VALUES = iowr("G", 0x09, 8)
+GPIOHANDLE_GET_VALUES = iowr("G", 0x08, 4)
+
+N_LINES = 32
+HANDLE_REQUEST_INPUT = 0x1
+HANDLE_REQUEST_OUTPUT = 0x2
+
+_LINEINFO_FIELDS = (FieldSpec("line", "I", "range", lo=0, hi=N_LINES - 1),)
+_LINEHANDLE_FIELDS = (
+    FieldSpec("line_mask", "I", "range", lo=1, hi=(1 << N_LINES) - 1),
+    FieldSpec("flags", "I", "flags",
+              values=(HANDLE_REQUEST_INPUT, HANDLE_REQUEST_OUTPUT)),
+    FieldSpec("default", "I", "range", lo=0, hi=1),
+)
+_SET_FIELDS = (
+    FieldSpec("handle", "I", "resource", resource="gpio_handle"),
+    FieldSpec("values", "I", "range", lo=0, hi=(1 << N_LINES) - 1),
+)
+_GET_FIELDS = (FieldSpec("handle", "I", "resource",
+                         resource="gpio_handle"),)
+
+#: Lines wired to real functions on the virtual board.
+_RESERVED_LINES = {7: "cash-drawer", 12: "status-led", 21: "tamper-switch"}
+
+
+class GpioChip(CharDevice):
+    """Virtual GPIO chip (``/dev/gpiochip0``)."""
+
+    name = "gpiochip"
+    paths = ("/dev/gpiochip0",)
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._next_handle = 1
+        self._handles: dict[int, tuple[int, int]] = {}  # handle: mask, flags
+        self._values = 0
+        self._claimed = 0
+
+    def coverage_block_count(self) -> int:
+        return 30
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        if request == GPIO_GET_CHIPINFO:
+            ctx.cover("chipinfo")
+            return 0, struct.pack("<II", N_LINES, len(_RESERVED_LINES))
+        if request == GPIO_GET_LINEINFO:
+            return self._lineinfo(ctx, arg)
+        if request == GPIO_GET_LINEHANDLE:
+            return self._linehandle(ctx, arg)
+        if request == GPIOHANDLE_SET_VALUES:
+            return self._set_values(ctx, arg)
+        if request == GPIOHANDLE_GET_VALUES:
+            return self._get_values(ctx, arg)
+        ctx.cover("ioctl_unknown")
+        return err(Errno.ENOTTY)
+
+    def _lineinfo(self, ctx: DriverContext, arg):
+        ctx.cover("lineinfo_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        line = unpack_fields(_LINEINFO_FIELDS, bytes(arg))["line"]
+        if line >= N_LINES:
+            ctx.cover("lineinfo_badline")
+            return err(Errno.EINVAL)
+        reserved = line in _RESERVED_LINES
+        ctx.cover("lineinfo_reserved" if reserved else "lineinfo_free")
+        return 0, struct.pack("<II", line, int(reserved))
+
+    def _linehandle(self, ctx: DriverContext, arg):
+        ctx.cover("linehandle_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 12:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_LINEHANDLE_FIELDS, bytes(arg))
+        mask, flags = fields["line_mask"], fields["flags"]
+        if mask == 0 or mask >= (1 << N_LINES):
+            ctx.cover("linehandle_badmask")
+            return err(Errno.EINVAL)
+        both = HANDLE_REQUEST_INPUT | HANDLE_REQUEST_OUTPUT
+        if flags & both == both or flags & both == 0:
+            ctx.cover("linehandle_badflags")
+            return err(Errno.EINVAL)
+        if mask & self._claimed:
+            ctx.cover("linehandle_contended")
+            return err(Errno.EBUSY)
+        ctx.cover("linehandle_output" if flags & HANDLE_REQUEST_OUTPUT
+                  else "linehandle_input")
+        handle = self._next_handle
+        self._next_handle += 1
+        self._handles[handle] = (mask, flags)
+        self._claimed |= mask
+        if flags & HANDLE_REQUEST_OUTPUT and fields["default"]:
+            ctx.cover("linehandle_default_high")
+            self._values |= mask
+        return 0, handle.to_bytes(4, "little")
+
+    def _set_values(self, ctx: DriverContext, arg):
+        ctx.cover("set_values_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_SET_FIELDS, bytes(arg))
+        entry = self._handles.get(fields["handle"])
+        if entry is None:
+            ctx.cover("set_values_badhandle")
+            return err(Errno.ENOENT)
+        mask, flags = entry
+        if not flags & HANDLE_REQUEST_OUTPUT:
+            ctx.cover("set_values_on_input")
+            return err(Errno.EPERM)
+        ctx.cover("set_values_ok")
+        self._values = (self._values & ~mask) | (fields["values"] & mask)
+        if mask & (1 << 7):
+            ctx.cover("set_values_cash_drawer")
+        return 0
+
+    def _get_values(self, ctx: DriverContext, arg):
+        ctx.cover("get_values_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        handle = unpack_fields(_GET_FIELDS, bytes(arg))["handle"]
+        entry = self._handles.get(handle)
+        if entry is None:
+            ctx.cover("get_values_badhandle")
+            return err(Errno.ENOENT)
+        mask, _flags = entry
+        ctx.cover("get_values_ok")
+        return 0, (self._values & mask).to_bytes(4, "little")
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("GPIO_GET_CHIPINFO", GPIO_GET_CHIPINFO, "none",
+                      doc="chip line count"),
+            IoctlSpec("GPIO_GET_LINEINFO", GPIO_GET_LINEINFO, "struct",
+                      fields=_LINEINFO_FIELDS, doc="query one line"),
+            IoctlSpec("GPIO_GET_LINEHANDLE", GPIO_GET_LINEHANDLE, "struct",
+                      fields=_LINEHANDLE_FIELDS, produces="gpio_handle",
+                      produce_offset=0, doc="claim lines"),
+            IoctlSpec("GPIOHANDLE_SET_VALUES", GPIOHANDLE_SET_VALUES,
+                      "struct", fields=_SET_FIELDS, doc="drive lines"),
+            IoctlSpec("GPIOHANDLE_GET_VALUES", GPIOHANDLE_GET_VALUES,
+                      "struct", fields=_GET_FIELDS, doc="sample lines"),
+        )

@@ -1,0 +1,227 @@
+"""Touchscreen input driver (evdev-style).
+
+Models the multitouch controller under the input stack: the evdev query
+ioctls (identity, capability bits, absolute-axis ranges, exclusive grab)
+and an event injection path through ``write()`` that validates the
+multitouch type-B slot protocol (``ABS_MT_SLOT`` / ``ABS_MT_TRACKING_ID``
+/ ``SYN_REPORT``), giving well-formed event streams much deeper coverage
+than random ones.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, WriteSpec, ior, iow
+
+EVIOCGID = ior("E", 0x02, 8)
+EVIOCGNAME = ior("E", 0x06, 32)
+EVIOCGBIT = iow("E", 0x20, 4)
+EVIOCGABS = iow("E", 0x40, 4)
+EVIOCGRAB = iow("E", 0x90, 4)
+
+EV_SYN = 0x00
+EV_KEY = 0x01
+EV_ABS = 0x03
+
+SYN_REPORT = 0
+BTN_TOUCH = 0x14A
+ABS_MT_SLOT = 0x2F
+ABS_MT_POSITION_X = 0x35
+ABS_MT_POSITION_Y = 0x36
+ABS_MT_TRACKING_ID = 0x39
+ABS_MT_PRESSURE = 0x3A
+
+_ABS_AXES = {
+    ABS_MT_SLOT: (0, 9),
+    ABS_MT_POSITION_X: (0, 1079),
+    ABS_MT_POSITION_Y: (0, 1919),
+    ABS_MT_TRACKING_ID: (-1, 65535),
+    ABS_MT_PRESSURE: (0, 255),
+}
+
+_EVENT_FIELDS = (
+    FieldSpec("type", "H", "enum", values=(EV_SYN, EV_KEY, EV_ABS)),
+    FieldSpec("code", "H", "enum",
+              values=(SYN_REPORT, BTN_TOUCH) + tuple(_ABS_AXES)),
+    FieldSpec("value", "i", "range", lo=-1, hi=1919),
+)
+
+_N_SLOTS = 10
+
+
+class InputTouch(CharDevice):
+    """Virtual multitouch event node (``/dev/input/event0``)."""
+
+    name = "input_touch"
+    paths = ("/dev/input/event0",)
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._grabbed_by: int | None = None
+        self._slots: dict[int, int] = {}  # slot -> tracking id
+        self._current_slot = 0
+        self._pending: list[bytes] = []
+        self._events_out: list[bytes] = []
+        self._touching = False
+
+    def coverage_block_count(self) -> int:
+        return 55
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        if self._grabbed_by is not None:
+            ctx.cover("release_drop_grab")
+            self._grabbed_by = None
+        return 0
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        ctx.cover("read_enter")
+        if not self._events_out:
+            ctx.cover("read_empty")
+            return err(Errno.EAGAIN)
+        ctx.cover("read_ok")
+        return self._events_out.pop(0)[:size]
+
+    def write(self, ctx: DriverContext, f: OpenFile, data: bytes) -> int:
+        """Inject input events: packed (type:u16, code:u16, value:i32)."""
+        ctx.cover("inject_enter")
+        if len(data) % 8:
+            ctx.cover("inject_misaligned")
+            return err(Errno.EINVAL)
+        for off in range(0, len(data), 8):
+            ctx.tick("input_inject")
+            etype, code, value = struct.unpack_from("<HHi", data, off)
+            ret = self._handle_event(ctx, etype, code, value)
+            if ret < 0:
+                return ret
+        return len(data)
+
+    def _handle_event(self, ctx: DriverContext, etype: int, code: int,
+                      value: int) -> int:
+        if etype == EV_SYN and code == SYN_REPORT:
+            ctx.cover("syn_report")
+            self._events_out.extend(self._pending)
+            self._events_out.append(struct.pack("<HHi", EV_SYN, SYN_REPORT, 0))
+            if len(self._pending) > 4:
+                ctx.cover("syn_report_large_frame")
+            self._pending.clear()
+            return 0
+        if etype == EV_KEY:
+            if code != BTN_TOUCH:
+                ctx.cover("key_unknown")
+                return err(Errno.EINVAL)
+            ctx.cover("btn_touch_down" if value else "btn_touch_up")
+            self._touching = bool(value)
+            self._pending.append(struct.pack("<HHi", etype, code, value))
+            return 0
+        if etype == EV_ABS:
+            limits = _ABS_AXES.get(code)
+            if limits is None:
+                ctx.cover("abs_unknown_axis")
+                return err(Errno.EINVAL)
+            lo, hi = limits
+            if not lo <= value <= hi:
+                ctx.cover("abs_out_of_range")
+                return err(Errno.ERANGE)
+            if code == ABS_MT_SLOT:
+                ctx.cover(f"mt_slot_{value}")
+                self._current_slot = value
+            elif code == ABS_MT_TRACKING_ID:
+                if value == -1:
+                    ctx.cover("mt_contact_up")
+                    self._slots.pop(self._current_slot, None)
+                else:
+                    ctx.cover("mt_contact_down")
+                    if len(self._slots) >= _N_SLOTS:
+                        ctx.cover("mt_too_many_contacts")
+                        return err(Errno.ENOSPC)
+                    self._slots[self._current_slot] = value
+            elif code in (ABS_MT_POSITION_X, ABS_MT_POSITION_Y):
+                if self._current_slot not in self._slots:
+                    ctx.cover("mt_move_without_contact")
+                    return err(Errno.EINVAL)
+                ctx.cover("mt_move")
+            elif code == ABS_MT_PRESSURE:
+                ctx.cover(f"mt_pressure_{min(value // 64, 3)}")
+            self._pending.append(struct.pack("<HHi", etype, code, value))
+            return 0
+        ctx.cover("event_unknown_type")
+        return err(Errno.EINVAL)
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        if request == EVIOCGID:
+            ctx.cover("gid")
+            return 0, struct.pack("<HHHH", 0x18, 0x1234, 0x5678, 0x0100)
+        if request == EVIOCGNAME:
+            ctx.cover("gname")
+            return 0, b"vtouch-panel".ljust(32, b"\x00")
+        if request == EVIOCGBIT:
+            ctx.cover("gbit_enter")
+            if not isinstance(arg, int):
+                return err(Errno.EINVAL)
+            if arg not in (EV_SYN, EV_KEY, EV_ABS):
+                ctx.cover("gbit_unsupported")
+                return err(Errno.EINVAL)
+            ctx.cover(f"gbit_{arg}")
+            return 0, (0xFF).to_bytes(8, "little")
+        if request == EVIOCGABS:
+            ctx.cover("gabs_enter")
+            if not isinstance(arg, int) or arg not in _ABS_AXES:
+                ctx.cover("gabs_badaxis")
+                return err(Errno.EINVAL)
+            lo, hi = _ABS_AXES[arg]
+            ctx.cover(f"gabs_{arg:02x}")
+            return 0, struct.pack("<ii", lo, hi)
+        if request == EVIOCGRAB:
+            ctx.cover("grab_enter")
+            if not isinstance(arg, int):
+                return err(Errno.EINVAL)
+            if arg:
+                if self._grabbed_by is not None:
+                    ctx.cover("grab_contended")
+                    return err(Errno.EBUSY)
+                ctx.cover("grab_taken")
+                self._grabbed_by = ctx.pid
+                return 0
+            if self._grabbed_by != ctx.pid:
+                ctx.cover("ungrab_not_owner")
+                return err(Errno.EINVAL)
+            ctx.cover("ungrab")
+            self._grabbed_by = None
+            return 0
+        ctx.cover("ioctl_unknown")
+        return err(Errno.ENOTTY)
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("EVIOCGID", EVIOCGID, "none", doc="device identity"),
+            IoctlSpec("EVIOCGNAME", EVIOCGNAME, "none", doc="device name"),
+            IoctlSpec("EVIOCGBIT", EVIOCGBIT, "int",
+                      int_kind=FieldSpec("type", "I", "enum",
+                                         values=(EV_SYN, EV_KEY, EV_ABS)),
+                      doc="capability bits for an event type"),
+            IoctlSpec("EVIOCGABS", EVIOCGABS, "int",
+                      int_kind=FieldSpec("axis", "I", "enum",
+                                         values=tuple(_ABS_AXES)),
+                      doc="absolute axis limits"),
+            IoctlSpec("EVIOCGRAB", EVIOCGRAB, "int",
+                      int_kind=FieldSpec("grab", "I", "enum", values=(0, 1)),
+                      doc="exclusive grab"),
+        )
+
+    def write_spec(self) -> WriteSpec:
+        """Input event framing for write() payload generation."""
+        return WriteSpec("input_event", _EVENT_FIELDS,
+                         doc="one evdev input event")

@@ -1,0 +1,147 @@
+"""ION memory allocator driver.
+
+Models the Android graphics/camera buffer allocator: sized allocations
+from heap pools (system / DMA / carveout), handle lifetime, and mmap of
+allocated buffers.  The Graphics and Camera HALs allocate their dmabuf
+surrogates here, which couples HAL activity to kernel allocator state.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, iow, iowr, unpack_fields
+
+ION_IOC_ALLOC = iowr("I", 0, 16)
+ION_IOC_FREE = iow("I", 1, 4)
+ION_IOC_MAP = iowr("I", 2, 4)
+
+HEAP_SYSTEM = 0x1
+HEAP_DMA = 0x2
+HEAP_CARVEOUT = 0x4
+
+_HEAP_LIMITS = {HEAP_SYSTEM: 1 << 26, HEAP_DMA: 1 << 24,
+                HEAP_CARVEOUT: 1 << 22}
+
+_ALLOC_FIELDS = (
+    FieldSpec("len", "Q", "range", lo=1, hi=1 << 26),
+    FieldSpec("heap_mask", "I", "flags",
+              values=(HEAP_SYSTEM, HEAP_DMA, HEAP_CARVEOUT)),
+    FieldSpec("flags", "I", "flags", values=(0x1,)),  # cached
+)
+_HANDLE_FIELDS = (FieldSpec("handle", "I", "resource",
+                            resource="ion_handle"),)
+
+
+class IonAllocator(CharDevice):
+    """Virtual ION allocator (``/dev/ion``)."""
+
+    name = "ion"
+    paths = ("/dev/ion",)
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._next_handle = 1
+        self._buffers: dict[int, tuple[int, int]] = {}  # handle -> len, heap
+        self._heap_used = {HEAP_SYSTEM: 0, HEAP_DMA: 0, HEAP_CARVEOUT: 0}
+
+    def coverage_block_count(self) -> int:
+        return 35
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def mmap(self, ctx: DriverContext, f: OpenFile, length: int, prot: int,
+             flags: int, offset: int) -> int:
+        ctx.cover("mmap_enter")
+        handle = offset >> 12
+        if handle not in self._buffers:
+            ctx.cover("mmap_badhandle")
+            return err(Errno.EINVAL)
+        size, _heap = self._buffers[handle]
+        if length > size:
+            ctx.cover("mmap_toolong")
+            return err(Errno.EINVAL)
+        ctx.cover("mmap_ok")
+        return 0
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        if request == ION_IOC_ALLOC:
+            return self._alloc(ctx, arg)
+        if request == ION_IOC_FREE:
+            return self._free(ctx, arg)
+        if request == ION_IOC_MAP:
+            return self._map(ctx, arg)
+        ctx.cover("ioctl_unknown")
+        return err(Errno.ENOTTY)
+
+    def _alloc(self, ctx: DriverContext, arg):
+        ctx.cover("alloc_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 16:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_ALLOC_FIELDS, bytes(arg))
+        length, heap_mask = fields["len"], fields["heap_mask"]
+        if length == 0:
+            ctx.cover("alloc_zero")
+            return err(Errno.EINVAL)
+        heap = next((h for h in (HEAP_SYSTEM, HEAP_DMA, HEAP_CARVEOUT)
+                     if heap_mask & h), None)
+        if heap is None:
+            ctx.cover("alloc_noheap")
+            return err(Errno.ENODEV)
+        if length > _HEAP_LIMITS[heap]:
+            ctx.cover("alloc_too_big")
+            return err(Errno.EINVAL)
+        if self._heap_used[heap] + length > _HEAP_LIMITS[heap] * 4:
+            ctx.cover("alloc_heap_exhausted")
+            return err(Errno.ENOMEM)
+        ctx.cover(f"alloc_heap_{heap}")
+        ctx.cover(f"alloc_order_{max(int(length).bit_length() - 12, 0)}")
+        handle = self._next_handle
+        self._next_handle += 1
+        self._buffers[handle] = (length, heap)
+        self._heap_used[heap] += length
+        return 0, handle.to_bytes(4, "little")
+
+    def _free(self, ctx: DriverContext, arg):
+        ctx.cover("free_enter")
+        handle = arg if isinstance(arg, int) else None
+        if handle is None and isinstance(arg, (bytes, bytearray)):
+            handle = unpack_fields(_HANDLE_FIELDS, bytes(arg))["handle"]
+        if handle not in self._buffers:
+            ctx.cover("free_badhandle")
+            return err(Errno.ENOENT)
+        length, heap = self._buffers.pop(handle)
+        self._heap_used[heap] -= length
+        ctx.cover("free_ok")
+        return 0
+
+    def _map(self, ctx: DriverContext, arg):
+        ctx.cover("map_enter")
+        handle = arg if isinstance(arg, int) else None
+        if handle is None and isinstance(arg, (bytes, bytearray)):
+            handle = unpack_fields(_HANDLE_FIELDS, bytes(arg))["handle"]
+        if handle not in self._buffers:
+            ctx.cover("map_badhandle")
+            return err(Errno.ENOENT)
+        ctx.cover("map_ok")
+        return 0, (handle << 12).to_bytes(8, "little")
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        handle_field = FieldSpec("handle", "I", "resource",
+                                 resource="ion_handle")
+        return (
+            IoctlSpec("ION_IOC_ALLOC", ION_IOC_ALLOC, "struct",
+                      fields=_ALLOC_FIELDS, produces="ion_handle",
+                      produce_offset=0, doc="allocate a buffer"),
+            IoctlSpec("ION_IOC_FREE", ION_IOC_FREE, "int",
+                      int_kind=handle_field, doc="free a buffer"),
+            IoctlSpec("ION_IOC_MAP", ION_IOC_MAP, "int",
+                      int_kind=handle_field, doc="get mmap offset"),
+        )

@@ -1,0 +1,325 @@
+"""Vendor media codec (video encoder/decoder) kernel node.
+
+Models a MediaTek-style ``/dev/mtk_vcodec`` node: a session-oriented
+codec with an ioctl control surface and a bitstream input queue fed by
+``write()``.  Bitstream payloads are sequences of framed units
+(``size:u32, flags:u32, data[size]``) — the same shape the Media HAL
+marshals out of codec buffers.
+
+Planted bug (device A2 firmware):
+
+* ``Infinite loop in mtk_vcodec_drain`` (Table II №5): the drain loop
+  advances its cursor by each unit's size; a crafted zero-size unit
+  without the EOS flag makes the cursor stall and the loop spin forever
+  (caught by the watchdog/hang detector).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, WriteSpec, io, iow, iowr, unpack_fields
+
+VCODEC_IOC_INIT = iow("M", 0, 8)
+VCODEC_IOC_SET_PARAM = iow("M", 1, 8)
+VCODEC_IOC_START = io("M", 2)
+VCODEC_IOC_DRAIN = io("M", 3)
+VCODEC_IOC_FLUSH = io("M", 4)
+VCODEC_IOC_STOP = io("M", 5)
+VCODEC_IOC_GET_OUTPUT = iowr("M", 6, 8)
+
+CODEC_H264 = 0
+CODEC_H265 = 1
+CODEC_VP9 = 2
+CODEC_AV1 = 3
+
+MODE_DECODE = 0
+MODE_ENCODE = 1
+
+PARAM_BITRATE = 1
+PARAM_FRAMERATE = 2
+PARAM_GOP = 3
+PARAM_PROFILE = 4
+
+UNIT_FLAG_EOS = 0x1
+UNIT_FLAG_CONFIG = 0x2
+UNIT_FLAG_SYNC = 0x4
+
+_INIT_FIELDS = (
+    FieldSpec("codec", "I", "enum",
+              values=(CODEC_H264, CODEC_H265, CODEC_VP9, CODEC_AV1)),
+    FieldSpec("mode", "I", "enum", values=(MODE_DECODE, MODE_ENCODE)),
+)
+_PARAM_FIELDS = (
+    FieldSpec("param", "I", "enum",
+              values=(PARAM_BITRATE, PARAM_FRAMERATE, PARAM_GOP,
+                      PARAM_PROFILE)),
+    FieldSpec("value", "I", "range", lo=1, hi=1 << 26),
+)
+_WRITE_FIELDS = (
+    FieldSpec("size", "I", "range", lo=0, hi=4096),
+    FieldSpec("flags", "I", "flags",
+              values=(UNIT_FLAG_EOS, UNIT_FLAG_CONFIG, UNIT_FLAG_SYNC)),
+    FieldSpec("data", "64s", "payload"),
+)
+
+_ST_CLOSED = "closed"
+_ST_READY = "ready"
+_ST_RUNNING = "running"
+_ST_DRAINED = "drained"
+
+
+class MediaCodec(CharDevice):
+    """Virtual vendor video codec node.
+
+    Args:
+        quirk_drain_loop: plant Table II №5 (A2 firmware).
+    """
+
+    name = "mtk_vcodec"
+    paths = ("/dev/mtk_vcodec",)
+    vendor_specific = True
+
+    def __init__(self, quirk_drain_loop: bool = False) -> None:
+        self.quirk_drain_loop = quirk_drain_loop
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = _ST_CLOSED
+        self._codec = CODEC_H264
+        self._mode = MODE_DECODE
+        self._params: dict[int, int] = {}
+        self._input: list[tuple[int, int, bytes]] = []  # (size, flags, data)
+        self._output: list[bytes] = []
+        self._config_seen = False
+
+    def coverage_block_count(self) -> int:
+        return 85
+
+    # ------------------------------------------------------------------
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        if self._state == _ST_RUNNING:
+            ctx.cover("release_while_running")
+        self._state = _ST_CLOSED
+        self._input.clear()
+        self._output.clear()
+        return 0
+
+    def write(self, ctx: DriverContext, f: OpenFile, data: bytes) -> int:
+        """Queue framed bitstream units into the input ring."""
+        ctx.cover("write_enter")
+        if self._state not in (_ST_READY, _ST_RUNNING):
+            ctx.cover("write_badstate")
+            return err(Errno.EINVAL)
+        cursor, queued = 0, 0
+        while cursor + 8 <= len(data):
+            ctx.tick("mtk_vcodec_write")
+            size, flags = struct.unpack_from("<II", data, cursor)
+            payload = data[cursor + 8: cursor + 8 + min(size, 4096)]
+            if size > 4096:
+                ctx.cover("write_unit_oversize")
+                return err(Errno.EINVAL)
+            if flags & ~(UNIT_FLAG_EOS | UNIT_FLAG_CONFIG | UNIT_FLAG_SYNC):
+                ctx.cover("write_unit_badflags")
+                return err(Errno.EINVAL)
+            if flags & UNIT_FLAG_CONFIG:
+                ctx.cover("write_unit_config")
+                self._config_seen = True
+            if flags & UNIT_FLAG_SYNC:
+                ctx.cover("write_unit_sync")
+            if flags & UNIT_FLAG_EOS:
+                ctx.cover("write_unit_eos")
+            if size == 0:
+                ctx.cover("write_unit_empty")
+            self._input.append((size, flags, payload))
+            queued += 1
+            cursor += 8 + size
+        if queued == 0:
+            ctx.cover("write_no_units")
+            return err(Errno.EBADMSG)
+        ctx.cover(f"write_units_{min(queued, 8)}")
+        return cursor
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        """Dequeue one output frame."""
+        ctx.cover("read_enter")
+        if not self._output:
+            ctx.cover("read_empty")
+            return err(Errno.EAGAIN)
+        ctx.cover("read_frame")
+        return self._output.pop(0)[:size]
+
+    # ------------------------------------------------------------------
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        handlers = {
+            VCODEC_IOC_INIT: self._init,
+            VCODEC_IOC_SET_PARAM: self._set_param,
+            VCODEC_IOC_START: self._start,
+            VCODEC_IOC_DRAIN: self._drain,
+            VCODEC_IOC_FLUSH: self._flush,
+            VCODEC_IOC_STOP: self._stop,
+            VCODEC_IOC_GET_OUTPUT: self._get_output,
+        }
+        handler = handlers.get(request)
+        if handler is None:
+            ctx.cover("ioctl_unknown")
+            return err(Errno.ENOTTY)
+        return handler(ctx, arg)
+
+    def _init(self, ctx: DriverContext, arg):
+        ctx.cover("init_enter")
+        if self._state != _ST_CLOSED:
+            ctx.cover("init_busy")
+            return err(Errno.EBUSY)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_INIT_FIELDS, bytes(arg))
+        codec, mode = fields["codec"], fields["mode"]
+        if codec not in (CODEC_H264, CODEC_H265, CODEC_VP9, CODEC_AV1):
+            ctx.cover("init_badcodec")
+            return err(Errno.EINVAL)
+        if mode not in (MODE_DECODE, MODE_ENCODE):
+            ctx.cover("init_badmode")
+            return err(Errno.EINVAL)
+        ctx.cover(f"init_codec_{codec}")
+        ctx.cover(f"init_mode_{mode}")
+        self._codec, self._mode = codec, mode
+        self._state = _ST_READY
+        self._config_seen = False
+        return 0
+
+    def _set_param(self, ctx: DriverContext, arg):
+        ctx.cover("set_param_enter")
+        if self._state == _ST_CLOSED:
+            ctx.cover("set_param_closed")
+            return err(Errno.EINVAL)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_PARAM_FIELDS, bytes(arg))
+        param, value = fields["param"], fields["value"]
+        if param not in (PARAM_BITRATE, PARAM_FRAMERATE, PARAM_GOP,
+                         PARAM_PROFILE):
+            ctx.cover("set_param_badid")
+            return err(Errno.EINVAL)
+        if value == 0:
+            ctx.cover("set_param_zero")
+            return err(Errno.ERANGE)
+        if param == PARAM_PROFILE and self._codec == CODEC_AV1:
+            ctx.cover("set_param_av1_profile")
+        ctx.cover(f"set_param_{param}")
+        self._params[param] = value
+        return 0
+
+    def _start(self, ctx: DriverContext, arg):
+        ctx.cover("start_enter")
+        if self._state != _ST_READY:
+            ctx.cover("start_badstate")
+            return err(Errno.EINVAL)
+        if self._mode == MODE_ENCODE and PARAM_BITRATE not in self._params:
+            ctx.cover("start_encode_no_bitrate")
+            return err(Errno.EINVAL)
+        ctx.cover("start_ok")
+        self._state = _ST_RUNNING
+        return 0
+
+    def _drain(self, ctx: DriverContext, arg):
+        ctx.cover("drain_enter")
+        if self._state != _ST_RUNNING:
+            ctx.cover("drain_badstate")
+            return err(Errno.EINVAL)
+        # Process every queued unit; the cursor is the unit list index.
+        index = 0
+        while index < len(self._input):
+            ctx.tick("mtk_vcodec_drain")
+            size, flags, payload = self._input[index]
+            if flags & UNIT_FLAG_EOS:
+                ctx.cover("drain_eos")
+                index += 1
+                break
+            if size == 0:
+                if self.quirk_drain_loop and self._config_seen:
+                    # Table II №5: once a stream is configured, the
+                    # vendor drain loop advances its cursor by the unit
+                    # size, so a zero-size non-EOS unit spins forever.
+                    # The hang detector (watchdog) fires via ctx.tick
+                    # above.
+                    ctx.cover("drain_zero_stall")
+                    continue
+                ctx.cover("drain_zero_skip")
+                index += 1
+                continue
+            if flags & UNIT_FLAG_CONFIG:
+                ctx.cover("drain_config_unit")
+            elif not self._config_seen:
+                ctx.cover("drain_skip_no_config")
+            else:
+                ctx.cover(f"drain_frame_{self._codec}")
+                self._output.append(b"\xAA" * min(size, 64))
+            index += 1
+        self._input = self._input[index:]
+        ctx.cover("drain_done")
+        self._state = _ST_DRAINED if not self._input else _ST_RUNNING
+        return len(self._output)
+
+    def _flush(self, ctx: DriverContext, arg):
+        ctx.cover("flush_enter")
+        if self._state == _ST_CLOSED:
+            return err(Errno.EINVAL)
+        ctx.cover("flush_ok")
+        self._input.clear()
+        self._output.clear()
+        if self._state == _ST_DRAINED:
+            self._state = _ST_RUNNING
+        return 0
+
+    def _stop(self, ctx: DriverContext, arg):
+        ctx.cover("stop_enter")
+        if self._state == _ST_CLOSED:
+            ctx.cover("stop_closed")
+            return err(Errno.EINVAL)
+        ctx.cover("stop_ok")
+        self._state = _ST_CLOSED
+        self._input.clear()
+        self._output.clear()
+        self._params.clear()
+        return 0
+
+    def _get_output(self, ctx: DriverContext, arg):
+        ctx.cover("get_output")
+        return 0, (len(self._output).to_bytes(4, "little")
+                   + len(self._input).to_bytes(4, "little"))
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("VCODEC_IOC_INIT", VCODEC_IOC_INIT, "struct",
+                      fields=_INIT_FIELDS, doc="open a codec session"),
+            IoctlSpec("VCODEC_IOC_SET_PARAM", VCODEC_IOC_SET_PARAM, "struct",
+                      fields=_PARAM_FIELDS, doc="set a codec parameter"),
+            IoctlSpec("VCODEC_IOC_START", VCODEC_IOC_START, "none",
+                      doc="start the session"),
+            IoctlSpec("VCODEC_IOC_DRAIN", VCODEC_IOC_DRAIN, "none",
+                      doc="process all queued bitstream units"),
+            IoctlSpec("VCODEC_IOC_FLUSH", VCODEC_IOC_FLUSH, "none",
+                      doc="discard queued input/output"),
+            IoctlSpec("VCODEC_IOC_STOP", VCODEC_IOC_STOP, "none",
+                      doc="tear down the session"),
+            IoctlSpec("VCODEC_IOC_GET_OUTPUT", VCODEC_IOC_GET_OUTPUT, "none",
+                      doc="query queue depths"),
+        )
+
+    def write_spec(self) -> WriteSpec:
+        """Bitstream unit framing for write() payload generation."""
+        return WriteSpec("vcodec_unit", _WRITE_FIELDS,
+                         doc="framed bitstream unit(s)")

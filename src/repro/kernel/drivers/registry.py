@@ -1,0 +1,50 @@
+"""Driver factory registry.
+
+Firmware builders instantiate drivers by name with per-device quirk
+flags (the vendor-specific patches that carry the planted Table II
+bugs).  Keeping construction behind a registry means device profiles are
+pure data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernel.drivers.audio_pcm import AudioPcm
+from repro.kernel.drivers.bt_hci import BtHci
+from repro.kernel.drivers.bt_l2cap import BtL2capFamily
+from repro.kernel.drivers.drm_gpu import DrmGpu
+from repro.kernel.drivers.gpio import GpioChip
+from repro.kernel.drivers.input_touch import InputTouch
+from repro.kernel.drivers.ion_alloc import IonAllocator
+from repro.kernel.drivers.media_codec import MediaCodec
+from repro.kernel.drivers.sensors_iio import SensorsIio
+from repro.kernel.drivers.tcpc_rt1711 import Rt1711Tcpc
+from repro.kernel.drivers.v4l2_camera import V4l2Camera
+from repro.kernel.drivers.wifi_mac80211 import WifiMac80211
+
+#: name -> factory accepting quirk keyword flags.
+DRIVER_FACTORIES: dict[str, Callable[..., Any]] = {
+    "rt1711_tcpc": Rt1711Tcpc,
+    "drm_gpu": DrmGpu,
+    "v4l2_camera": V4l2Camera,
+    "mtk_vcodec": MediaCodec,
+    "bt_hci": BtHci,
+    "bt_l2cap": BtL2capFamily,
+    "mac80211": WifiMac80211,
+    "audio_pcm": AudioPcm,
+    "iio_sensors": SensorsIio,
+    "input_touch": InputTouch,
+    "ion": IonAllocator,
+    "gpiochip": GpioChip,
+}
+
+
+def build_driver(name: str, **quirks: bool):
+    """Instantiate the driver ``name`` with the given quirk flags.
+
+    Raises:
+        KeyError: unknown driver name.
+        TypeError: a quirk flag the driver does not understand.
+    """
+    return DRIVER_FACTORIES[name](**quirks)

@@ -1,0 +1,173 @@
+"""IIO sensor hub driver.
+
+Models the industrial-I/O device underneath the Sensors HAL: a 6-channel
+IMU (accel x/y/z + gyro x/y/z) with per-channel enables, sampling
+frequency selection, a watermarked hardware FIFO, and a buffered read
+path that only produces samples once the buffer machinery is armed.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, io, ior, iow
+
+IIO_IOC_GET_CHANNELS = ior("i", 0, 4)
+IIO_IOC_ENABLE_CHAN = iow("i", 1, 4)
+IIO_IOC_DISABLE_CHAN = iow("i", 2, 4)
+IIO_IOC_SET_FREQ = iow("i", 3, 4)
+IIO_IOC_BUFFER_ENABLE = io("i", 4)
+IIO_IOC_BUFFER_DISABLE = io("i", 5)
+IIO_IOC_SET_WATERMARK = iow("i", 6, 4)
+
+N_CHANNELS = 6
+FREQ_VALUES = (5, 10, 50, 100, 200, 400)
+_FIFO_DEPTH = 128
+
+
+class SensorsIio(CharDevice):
+    """Virtual IIO IMU (``/dev/iio:device0``)."""
+
+    name = "iio_sensors"
+    paths = ("/dev/iio:device0",)
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._enabled: set[int] = set()
+        self._freq = 50
+        self._buffered = False
+        self._watermark = 1
+        self._sample_seq = 0
+
+    def coverage_block_count(self) -> int:
+        return 45
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        if self._buffered:
+            ctx.cover("release_buffer_armed")
+            self._buffered = False
+        return 0
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        """Read scan elements from the FIFO."""
+        ctx.cover("read_enter")
+        if not self._buffered:
+            ctx.cover("read_unbuffered")
+            return err(Errno.EBUSY)
+        if not self._enabled:
+            ctx.cover("read_no_channels")
+            return err(Errno.ENODATA)
+        scan = sorted(self._enabled)
+        sample_bytes = 2 * len(scan)
+        count = min(size // sample_bytes, self._watermark)
+        if count == 0:
+            ctx.cover("read_short_buffer")
+            return err(Errno.EINVAL)
+        ctx.cover(f"read_scan_{len(scan)}")
+        out = bytearray()
+        for _ in range(count):
+            ctx.tick("iio_fifo_read")
+            self._sample_seq += 1
+            for chan in scan:
+                out += struct.pack("<h", (self._sample_seq * 37 + chan * 11)
+                                   % 2048 - 1024)
+        ctx.cover("read_ok")
+        return bytes(out)
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        if request == IIO_IOC_GET_CHANNELS:
+            ctx.cover("get_channels")
+            return 0, N_CHANNELS.to_bytes(4, "little")
+        if request == IIO_IOC_ENABLE_CHAN:
+            ctx.cover("enable_chan_enter")
+            if not isinstance(arg, int) or not 0 <= arg < N_CHANNELS:
+                ctx.cover("enable_chan_badidx")
+                return err(Errno.EINVAL)
+            if self._buffered:
+                ctx.cover("enable_chan_while_buffered")
+                return err(Errno.EBUSY)
+            ctx.cover(f"enable_chan_{arg}")
+            self._enabled.add(arg)
+            return 0
+        if request == IIO_IOC_DISABLE_CHAN:
+            ctx.cover("disable_chan_enter")
+            if not isinstance(arg, int) or arg not in self._enabled:
+                ctx.cover("disable_chan_badidx")
+                return err(Errno.EINVAL)
+            if self._buffered:
+                ctx.cover("disable_chan_while_buffered")
+                return err(Errno.EBUSY)
+            ctx.cover("disable_chan_ok")
+            self._enabled.discard(arg)
+            return 0
+        if request == IIO_IOC_SET_FREQ:
+            ctx.cover("set_freq_enter")
+            if not isinstance(arg, int) or arg not in FREQ_VALUES:
+                ctx.cover("set_freq_badvalue")
+                return err(Errno.EINVAL)
+            ctx.cover(f"set_freq_{arg}")
+            self._freq = arg
+            return 0
+        if request == IIO_IOC_BUFFER_ENABLE:
+            ctx.cover("buffer_enable_enter")
+            if not self._enabled:
+                ctx.cover("buffer_enable_no_scan")
+                return err(Errno.EINVAL)
+            if self._buffered:
+                ctx.cover("buffer_enable_already")
+                return err(Errno.EBUSY)
+            ctx.cover("buffer_enable_ok")
+            self._buffered = True
+            return 0
+        if request == IIO_IOC_BUFFER_DISABLE:
+            ctx.cover("buffer_disable")
+            self._buffered = False
+            return 0
+        if request == IIO_IOC_SET_WATERMARK:
+            ctx.cover("set_watermark_enter")
+            if not isinstance(arg, int) or not 1 <= arg <= _FIFO_DEPTH:
+                ctx.cover("set_watermark_badvalue")
+                return err(Errno.EINVAL)
+            if self._buffered:
+                ctx.cover("set_watermark_while_buffered")
+                return err(Errno.EBUSY)
+            ctx.cover(f"set_watermark_{min(arg, 8)}")
+            self._watermark = arg
+            return 0
+        ctx.cover("ioctl_unknown")
+        return err(Errno.ENOTTY)
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        chan_field = FieldSpec("chan", "I", "range", lo=0, hi=N_CHANNELS - 1)
+        return (
+            IoctlSpec("IIO_IOC_GET_CHANNELS", IIO_IOC_GET_CHANNELS, "none",
+                      doc="channel count"),
+            IoctlSpec("IIO_IOC_ENABLE_CHAN", IIO_IOC_ENABLE_CHAN, "int",
+                      int_kind=chan_field, doc="add channel to scan"),
+            IoctlSpec("IIO_IOC_DISABLE_CHAN", IIO_IOC_DISABLE_CHAN, "int",
+                      int_kind=chan_field, doc="remove channel from scan"),
+            IoctlSpec("IIO_IOC_SET_FREQ", IIO_IOC_SET_FREQ, "int",
+                      int_kind=FieldSpec("hz", "I", "enum",
+                                         values=FREQ_VALUES),
+                      doc="sampling frequency"),
+            IoctlSpec("IIO_IOC_BUFFER_ENABLE", IIO_IOC_BUFFER_ENABLE, "none",
+                      doc="arm the FIFO"),
+            IoctlSpec("IIO_IOC_BUFFER_DISABLE", IIO_IOC_BUFFER_DISABLE,
+                      "none", doc="disarm the FIFO"),
+            IoctlSpec("IIO_IOC_SET_WATERMARK", IIO_IOC_SET_WATERMARK, "int",
+                      int_kind=FieldSpec("frames", "I", "range", lo=1,
+                                         hi=_FIFO_DEPTH),
+                      doc="FIFO watermark"),
+        )

@@ -1,0 +1,327 @@
+"""RT1711 USB Type-C port controller (TCPC) driver.
+
+Models a Richtek RT1711H-style TCPC attached over i2c, as found on the
+Xiaomi dev boards (devices A1/A2 in Table I).  The driver exposes a
+character device with an ioctl surface covering probe, VBUS control,
+attach/detach, USB-PD contract negotiation, role swap and raw i2c
+register access.
+
+Planted bugs (device A1 firmware only, via quirk flags):
+
+* ``WARNING in rt1711_i2c_probe`` (Table II №1): re-running the i2c probe
+  while a PD contract is live re-initialises the register cache under the
+  port lock and trips a ``WARN_ON``.
+* ``WARNING in tcpc`` (Table II №4): a data-role swap issued in the middle
+  of contract negotiation hits an unhandled protocol state.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, io, ior, iow, unpack_fields
+
+TCPC_IOC_PROBE = io("T", 0)
+TCPC_IOC_VBUS = iow("T", 1, 4)
+TCPC_IOC_ATTACH = iow("T", 2, 8)
+TCPC_IOC_PD_START = io("T", 3)
+TCPC_IOC_PD_REQUEST = iow("T", 4, 8)
+TCPC_IOC_ROLE_SWAP = iow("T", 5, 4)
+TCPC_IOC_DETACH = io("T", 6)
+TCPC_IOC_GET_STATUS = ior("T", 7, 16)
+TCPC_IOC_REG_WRITE = iow("T", 8, 8)
+
+ROLE_SINK = 0
+ROLE_SOURCE = 1
+ROLE_DRP = 2
+
+_REGS = (0x00, 0x10, 0x18, 0x1C, 0x2F, 0x90, 0x93, 0x97, 0x9B)
+
+_ATTACH_FIELDS = (
+    FieldSpec("role", "I", "enum", values=(ROLE_SINK, ROLE_SOURCE, ROLE_DRP)),
+    FieldSpec("cc", "I", "enum", values=(1, 2)),
+)
+_PD_REQUEST_FIELDS = (
+    FieldSpec("mv", "I", "range", lo=5000, hi=20000),
+    FieldSpec("ma", "I", "range", lo=100, hi=5000),
+)
+_REG_WRITE_FIELDS = (
+    FieldSpec("reg", "I", "enum", values=_REGS),
+    FieldSpec("val", "I", "range", lo=0, hi=255),
+)
+
+# Port state machine.
+_ST_UNATTACHED = "unattached"
+_ST_ATTACHED = "attached"
+_ST_NEGOTIATING = "negotiating"
+_ST_CONTRACT = "contract"
+
+
+class Rt1711Tcpc(CharDevice):
+    """Virtual RT1711 TCPC character device.
+
+    Args:
+        quirk_warn_probe: plant Table II №1 (A1 firmware).
+        quirk_warn_role_swap: plant Table II №4 (A1 firmware).
+    """
+
+    name = "rt1711_tcpc"
+    paths = ("/dev/tcpc0",)
+    vendor_specific = True
+
+    def __init__(self, quirk_warn_probe: bool = False,
+                 quirk_warn_role_swap: bool = False) -> None:
+        self.quirk_warn_probe = quirk_warn_probe
+        self.quirk_warn_role_swap = quirk_warn_role_swap
+        self.reset()
+
+    def reset(self) -> None:
+        self._probed = False
+        self._vbus = False
+        self._state = _ST_UNATTACHED
+        self._role = ROLE_SINK
+        self._contract_mv = 0
+        self._contract_ma = 0
+        self._regs = {reg: 0 for reg in _REGS}
+        self._alert_count = 0
+
+    def coverage_block_count(self) -> int:
+        return 70
+
+    # ------------------------------------------------------------------
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        return 0
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        ctx.cover("read_status")
+        status = (f"state={self._state} vbus={int(self._vbus)} "
+                  f"role={self._role} mv={self._contract_mv}").encode()
+        ctx.cover(f"read_state_{self._state}")
+        return status[:size]
+
+    def write(self, ctx: DriverContext, f: OpenFile, data: bytes) -> int:
+        """Raw i2c write stream: sequence of (reg, val) byte pairs."""
+        ctx.cover("i2c_write")
+        if len(data) % 2:
+            ctx.cover("i2c_write_odd")
+            return err(Errno.EINVAL)
+        for i in range(0, len(data), 2):
+            ctx.tick("rt1711_i2c_write")
+            reg, val = data[i], data[i + 1]
+            if reg in self._regs:
+                ctx.cover(f"i2c_reg_{reg:02x}")
+                self._regs[reg] = val
+            else:
+                ctx.cover("i2c_reg_unknown")
+        return len(data)
+
+    # ------------------------------------------------------------------
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        if request == TCPC_IOC_PROBE:
+            return self._probe(ctx)
+        if request == TCPC_IOC_VBUS:
+            return self._set_vbus(ctx, arg)
+        if request == TCPC_IOC_ATTACH:
+            return self._attach(ctx, arg)
+        if request == TCPC_IOC_PD_START:
+            return self._pd_start(ctx)
+        if request == TCPC_IOC_PD_REQUEST:
+            return self._pd_request(ctx, arg)
+        if request == TCPC_IOC_ROLE_SWAP:
+            return self._role_swap(ctx, arg)
+        if request == TCPC_IOC_DETACH:
+            return self._detach(ctx)
+        if request == TCPC_IOC_GET_STATUS:
+            return self._get_status(ctx)
+        if request == TCPC_IOC_REG_WRITE:
+            return self._reg_write(ctx, arg)
+        ctx.cover("ioctl_unknown")
+        return err(Errno.ENOTTY)
+
+    def _probe(self, ctx: DriverContext) -> int:
+        ctx.cover("probe_enter")
+        if self._probed:
+            ctx.cover("probe_again")
+            if self.quirk_warn_probe and self._state == _ST_CONTRACT:
+                # Table II №1: vendor patch re-runs chip init with the PD
+                # contract live; register cache reset races the policy
+                # engine and trips WARN_ON(port->pd_active).
+                ctx.warn("rt1711_i2c_probe",
+                         "re-probe with active PD contract")
+                return err(Errno.EBUSY)
+            ctx.cover("probe_idempotent")
+            return 0
+        for step in ("reset_chip", "read_vid", "read_pid", "init_alert",
+                     "init_fault", "enable_cc"):
+            ctx.cover(f"probe_{step}")
+        self._probed = True
+        return 0
+
+    def _set_vbus(self, ctx: DriverContext, arg) -> int:
+        ctx.cover("vbus_enter")
+        if not self._probed:
+            ctx.cover("vbus_not_probed")
+            return err(Errno.ENODEV)
+        if not isinstance(arg, int):
+            return err(Errno.EINVAL)
+        on = bool(arg)
+        ctx.cover("vbus_on" if on else "vbus_off")
+        self._vbus = on
+        if not on and self._state == _ST_CONTRACT:
+            ctx.cover("vbus_drop_contract")
+            self._state = _ST_ATTACHED
+        return 0
+
+    def _attach(self, ctx: DriverContext, arg) -> int:
+        ctx.cover("attach_enter")
+        if not self._probed:
+            return err(Errno.ENODEV)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            ctx.cover("attach_badarg")
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_ATTACH_FIELDS, bytes(arg))
+        role, cc = fields["role"], fields["cc"]
+        if role not in (ROLE_SINK, ROLE_SOURCE, ROLE_DRP):
+            ctx.cover("attach_badrole")
+            return err(Errno.EINVAL)
+        if cc not in (1, 2):
+            ctx.cover("attach_badcc")
+            return err(Errno.EINVAL)
+        if self._state != _ST_UNATTACHED:
+            ctx.cover("attach_busy")
+            return err(Errno.EBUSY)
+        ctx.cover(f"attach_role_{role}")
+        ctx.cover(f"attach_cc_{cc}")
+        self._role = ROLE_SINK if role == ROLE_DRP else role
+        self._state = _ST_ATTACHED
+        return 0
+
+    def _pd_start(self, ctx: DriverContext) -> int:
+        ctx.cover("pd_start_enter")
+        if self._state != _ST_ATTACHED:
+            ctx.cover("pd_start_badstate")
+            return err(Errno.EINVAL)
+        if not self._vbus:
+            ctx.cover("pd_start_novbus")
+            return err(Errno.EAGAIN)
+        for step in ("src_caps", "goodcrc", "wait_request"):
+            ctx.cover(f"pd_{step}")
+        self._state = _ST_NEGOTIATING
+        return 0
+
+    def _pd_request(self, ctx: DriverContext, arg) -> int:
+        ctx.cover("pd_request_enter")
+        if self._state != _ST_NEGOTIATING:
+            ctx.cover("pd_request_badstate")
+            return err(Errno.EINVAL)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_PD_REQUEST_FIELDS, bytes(arg))
+        mv, ma = fields["mv"], fields["ma"]
+        if not 5000 <= mv <= 20000:
+            ctx.cover("pd_request_badmv")
+            return err(Errno.ERANGE)
+        if not 100 <= ma <= 5000:
+            ctx.cover("pd_request_badma")
+            return err(Errno.ERANGE)
+        ctx.cover(f"pd_request_mv_{mv // 5000}")
+        ctx.cover(f"pd_request_ma_{ma // 1000}")
+        self._contract_mv, self._contract_ma = mv, ma
+        self._state = _ST_CONTRACT
+        ctx.cover("pd_contract")
+        return 0
+
+    def _role_swap(self, ctx: DriverContext, arg) -> int:
+        ctx.cover("role_swap_enter")
+        if not isinstance(arg, int):
+            return err(Errno.EINVAL)
+        new_role = arg
+        if new_role not in (ROLE_SINK, ROLE_SOURCE):
+            ctx.cover("role_swap_badrole")
+            return err(Errno.EINVAL)
+        if self._state == _ST_NEGOTIATING:
+            ctx.cover("role_swap_midnegotiation")
+            if self.quirk_warn_role_swap:
+                # Table II №4: DR_Swap during negotiation leaves the
+                # protocol engine in an unhandled state.
+                ctx.warn("tcpc", "role swap during PD negotiation")
+                return err(Errno.EPROTO)
+            return err(Errno.EBUSY)
+        if self._state not in (_ST_ATTACHED, _ST_CONTRACT):
+            ctx.cover("role_swap_unattached")
+            return err(Errno.EINVAL)
+        ctx.cover(f"role_swap_to_{new_role}")
+        if self._state == _ST_CONTRACT:
+            ctx.cover("role_swap_renegotiate")
+            self._state = _ST_NEGOTIATING
+        self._role = new_role
+        return 0
+
+    def _detach(self, ctx: DriverContext) -> int:
+        ctx.cover("detach_enter")
+        if self._state == _ST_UNATTACHED:
+            ctx.cover("detach_noop")
+            return 0
+        ctx.cover(f"detach_from_{self._state}")
+        self._state = _ST_UNATTACHED
+        self._contract_mv = self._contract_ma = 0
+        return 0
+
+    def _get_status(self, ctx: DriverContext):
+        ctx.cover("get_status")
+        payload = (self._regs[0x10].to_bytes(4, "little")
+                   + int(self._vbus).to_bytes(4, "little")
+                   + self._role.to_bytes(4, "little")
+                   + self._contract_mv.to_bytes(4, "little"))
+        return 0, payload
+
+    def _reg_write(self, ctx: DriverContext, arg) -> int:
+        ctx.cover("reg_write_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_REG_WRITE_FIELDS, bytes(arg))
+        reg, val = fields["reg"], fields["val"]
+        if reg not in self._regs:
+            ctx.cover("reg_write_unknown")
+            return err(Errno.EINVAL)
+        ctx.cover(f"reg_write_{reg:02x}")
+        if reg == 0x10:  # ALERT register: write-1-to-clear
+            ctx.cover("reg_write_alert_clear")
+            self._alert_count += 1
+        self._regs[reg] = val & 0xFF
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("TCPC_IOC_PROBE", TCPC_IOC_PROBE, "none",
+                      doc="(re)run the i2c probe / chip init"),
+            IoctlSpec("TCPC_IOC_VBUS", TCPC_IOC_VBUS, "int",
+                      int_kind=FieldSpec("on", "I", "enum", values=(0, 1)),
+                      doc="drive VBUS on/off"),
+            IoctlSpec("TCPC_IOC_ATTACH", TCPC_IOC_ATTACH, "struct",
+                      fields=_ATTACH_FIELDS, doc="simulate partner attach"),
+            IoctlSpec("TCPC_IOC_PD_START", TCPC_IOC_PD_START, "none",
+                      doc="begin USB-PD negotiation"),
+            IoctlSpec("TCPC_IOC_PD_REQUEST", TCPC_IOC_PD_REQUEST, "struct",
+                      fields=_PD_REQUEST_FIELDS, doc="request a PD contract"),
+            IoctlSpec("TCPC_IOC_ROLE_SWAP", TCPC_IOC_ROLE_SWAP, "int",
+                      int_kind=FieldSpec("role", "I", "enum",
+                                         values=(ROLE_SINK, ROLE_SOURCE)),
+                      doc="swap power/data role"),
+            IoctlSpec("TCPC_IOC_DETACH", TCPC_IOC_DETACH, "none",
+                      doc="simulate partner detach"),
+            IoctlSpec("TCPC_IOC_GET_STATUS", TCPC_IOC_GET_STATUS, "none",
+                      doc="read port status struct"),
+            IoctlSpec("TCPC_IOC_REG_WRITE", TCPC_IOC_REG_WRITE, "struct",
+                      fields=_REG_WRITE_FIELDS, doc="raw i2c register write"),
+        )

@@ -1,0 +1,421 @@
+"""Vendor V4L2 camera driver.
+
+Models the capture pipeline underneath the Camera HAL: format
+negotiation, buffer queue management (REQBUFS/QBUF/DQBUF + mmap),
+streaming state, sensor input selection and controls — a miniature of
+``videodev2.h`` semantics.
+
+Planted bug (device E firmware):
+
+* ``WARNING in v4l_querycap`` (Table II №12): selecting the vendor raw
+  sensor input leaves ``device_caps`` unset on the AAEON BSP, so the next
+  ``VIDIOC_QUERYCAP`` trips the V4L2 core's ``WARN_ON(!device_caps)``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, ior, iow, iowr, unpack_fields
+
+VIDIOC_QUERYCAP = ior("V", 0, 104)
+VIDIOC_ENUM_FMT = iowr("V", 2, 8)
+VIDIOC_G_FMT = iowr("V", 4, 12)
+VIDIOC_S_FMT = iowr("V", 5, 12)
+VIDIOC_REQBUFS = iowr("V", 8, 12)
+VIDIOC_QUERYBUF = iowr("V", 9, 8)
+VIDIOC_QBUF = iowr("V", 15, 8)
+VIDIOC_DQBUF = iowr("V", 17, 8)
+VIDIOC_STREAMON = iow("V", 18, 4)
+VIDIOC_STREAMOFF = iow("V", 19, 4)
+VIDIOC_G_INPUT = ior("V", 38, 4)
+VIDIOC_S_INPUT = iow("V", 39, 4)
+VIDIOC_G_CTRL = iowr("V", 27, 8)
+VIDIOC_S_CTRL = iowr("V", 28, 8)
+
+FMT_YUYV = 0x56595559
+FMT_NV12 = 0x3231564E
+FMT_MJPG = 0x47504A4D
+FMT_RAW10 = 0x30314152
+
+_FORMATS = (FMT_YUYV, FMT_NV12, FMT_MJPG)
+_VENDOR_FORMATS = (FMT_RAW10,)
+
+BUF_TYPE_CAPTURE = 1
+MEMORY_MMAP = 1
+
+CTRL_BRIGHTNESS = 0x00980900
+CTRL_CONTRAST = 0x00980901
+CTRL_EXPOSURE = 0x009A0902
+CTRL_FOCUS = 0x009A090A
+_CTRLS = {
+    CTRL_BRIGHTNESS: (0, 255),
+    CTRL_CONTRAST: (0, 100),
+    CTRL_EXPOSURE: (1, 10000),
+    CTRL_FOCUS: (0, 1023),
+}
+
+_INPUT_BACK = 0
+_INPUT_FRONT = 1
+_INPUT_VENDOR_RAW = 2
+
+_FMT_FIELDS = (
+    FieldSpec("fourcc", "I", "enum", values=_FORMATS + _VENDOR_FORMATS),
+    FieldSpec("width", "I", "enum", values=(320, 640, 1280, 1920, 3840)),
+    FieldSpec("height", "I", "enum", values=(240, 480, 720, 1080, 2160)),
+)
+_REQBUFS_FIELDS = (
+    FieldSpec("count", "I", "range", lo=0, hi=32),
+    FieldSpec("type", "I", "const", values=(BUF_TYPE_CAPTURE,)),
+    FieldSpec("memory", "I", "const", values=(MEMORY_MMAP,)),
+)
+_BUF_FIELDS = (
+    FieldSpec("index", "I", "range", lo=0, hi=31),
+    FieldSpec("type", "I", "const", values=(BUF_TYPE_CAPTURE,)),
+)
+_CTRL_FIELDS = (
+    FieldSpec("id", "I", "enum", values=tuple(_CTRLS)),
+    FieldSpec("value", "i", "range", lo=0, hi=10000),
+)
+_ENUMFMT_FIELDS = (
+    FieldSpec("index", "I", "range", lo=0, hi=7),
+    FieldSpec("type", "I", "const", values=(BUF_TYPE_CAPTURE,)),
+)
+
+
+class V4l2Camera(CharDevice):
+    """Virtual V4L2 capture device (``/dev/video0``).
+
+    Args:
+        quirk_warn_querycap: plant Table II №12 (device E firmware).
+    """
+
+    name = "v4l2_camera"
+    paths = ("/dev/video0",)
+
+    def __init__(self, quirk_warn_querycap: bool = False) -> None:
+        self.quirk_warn_querycap = quirk_warn_querycap
+        self.reset()
+
+    def reset(self) -> None:
+        self._input = _INPUT_BACK
+        self._fmt = (FMT_YUYV, 640, 480)
+        self._fmt_set = False
+        self._buffers: list[str] = []  # per-index state: dequeued|queued|done
+        self._streaming = False
+        self._ctrls = {cid: lo for cid, (lo, _hi) in _CTRLS.items()}
+        self._frames_produced = 0
+        self._device_caps_valid = True
+
+    def coverage_block_count(self) -> int:
+        return 100
+
+    # ------------------------------------------------------------------
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def release(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("release")
+        if self._streaming:
+            ctx.cover("release_stop_stream")
+            self._streaming = False
+        return 0
+
+    def mmap(self, ctx: DriverContext, f: OpenFile, length: int, prot: int,
+             flags: int, offset: int) -> int:
+        ctx.cover("mmap_enter")
+        index = offset >> 12
+        if index >= len(self._buffers):
+            ctx.cover("mmap_badindex")
+            return err(Errno.EINVAL)
+        ctx.cover("mmap_ok")
+        return 0
+
+    def read(self, ctx: DriverContext, f: OpenFile, size: int):
+        """read() I/O path (non-streaming capture)."""
+        ctx.cover("read_enter")
+        if self._streaming:
+            ctx.cover("read_while_streaming")
+            return err(Errno.EBUSY)
+        if not self._fmt_set:
+            ctx.cover("read_default_fmt")
+        ctx.cover("read_frame")
+        self._frames_produced += 1
+        return b"\x80" * min(size, 64)
+
+    # ------------------------------------------------------------------
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        handlers = {
+            VIDIOC_QUERYCAP: self._querycap,
+            VIDIOC_ENUM_FMT: self._enum_fmt,
+            VIDIOC_G_FMT: self._g_fmt,
+            VIDIOC_S_FMT: self._s_fmt,
+            VIDIOC_REQBUFS: self._reqbufs,
+            VIDIOC_QUERYBUF: self._querybuf,
+            VIDIOC_QBUF: self._qbuf,
+            VIDIOC_DQBUF: self._dqbuf,
+            VIDIOC_STREAMON: self._streamon,
+            VIDIOC_STREAMOFF: self._streamoff,
+            VIDIOC_G_INPUT: self._g_input,
+            VIDIOC_S_INPUT: self._s_input,
+            VIDIOC_G_CTRL: self._g_ctrl,
+            VIDIOC_S_CTRL: self._s_ctrl,
+        }
+        handler = handlers.get(request)
+        if handler is None:
+            ctx.cover("ioctl_unknown")
+            return err(Errno.ENOTTY)
+        return handler(ctx, arg)
+
+    def _querycap(self, ctx: DriverContext, arg):
+        ctx.cover("querycap_enter")
+        if not self._device_caps_valid:
+            # Table II №12: vendor raw-sensor path forgot to set
+            # device_caps; the v4l2 core warns on every QUERYCAP after.
+            ctx.warn("v4l_querycap", "device_caps == 0 on vendor input")
+        caps = 0x04200001  # CAPTURE | STREAMING | DEVICE_CAPS
+        payload = (b"vcam".ljust(16, b"\x00")
+                   + caps.to_bytes(4, "little")
+                   + (0 if not self._device_caps_valid else caps)
+                   .to_bytes(4, "little"))
+        ctx.cover("querycap_ok")
+        return 0, payload
+
+    def _enum_fmt(self, ctx: DriverContext, arg):
+        ctx.cover("enum_fmt_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_ENUMFMT_FIELDS, bytes(arg))
+        if fields["type"] != BUF_TYPE_CAPTURE:
+            ctx.cover("enum_fmt_badtype")
+            return err(Errno.EINVAL)
+        formats = _FORMATS + (_VENDOR_FORMATS if self._input ==
+                              _INPUT_VENDOR_RAW else ())
+        index = fields["index"]
+        if index >= len(formats):
+            ctx.cover("enum_fmt_end")
+            return err(Errno.EINVAL)
+        ctx.cover(f"enum_fmt_{index}")
+        return 0, formats[index].to_bytes(4, "little")
+
+    def _g_fmt(self, ctx: DriverContext, arg):
+        ctx.cover("g_fmt")
+        fourcc, width, height = self._fmt
+        return 0, (fourcc.to_bytes(4, "little")
+                   + width.to_bytes(4, "little")
+                   + height.to_bytes(4, "little"))
+
+    def _s_fmt(self, ctx: DriverContext, arg):
+        ctx.cover("s_fmt_enter")
+        if self._streaming:
+            ctx.cover("s_fmt_busy")
+            return err(Errno.EBUSY)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 12:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_FMT_FIELDS, bytes(arg))
+        fourcc = fields["fourcc"]
+        allowed = _FORMATS + (_VENDOR_FORMATS if self._input ==
+                              _INPUT_VENDOR_RAW else ())
+        if fourcc not in allowed:
+            ctx.cover("s_fmt_badfourcc")
+            return err(Errno.EINVAL)
+        width, height = fields["width"], fields["height"]
+        if (width, height) not in ((320, 240), (640, 480), (1280, 720),
+                                   (1920, 1080), (3840, 2160)):
+            ctx.cover("s_fmt_badsize")
+            return err(Errno.EINVAL)
+        ctx.cover(f"s_fmt_{fourcc:08x}")
+        ctx.cover(f"s_fmt_h_{height}")
+        self._fmt = (fourcc, width, height)
+        self._fmt_set = True
+        return 0
+
+    def _reqbufs(self, ctx: DriverContext, arg):
+        ctx.cover("reqbufs_enter")
+        if self._streaming:
+            ctx.cover("reqbufs_busy")
+            return err(Errno.EBUSY)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 12:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_REQBUFS_FIELDS, bytes(arg))
+        if fields["type"] != BUF_TYPE_CAPTURE:
+            ctx.cover("reqbufs_badtype")
+            return err(Errno.EINVAL)
+        if fields["memory"] != MEMORY_MMAP:
+            ctx.cover("reqbufs_badmem")
+            return err(Errno.EINVAL)
+        count = min(fields["count"], 32)
+        ctx.cover(f"reqbufs_count_{count}")
+        self._buffers = ["dequeued"] * count
+        return 0, count.to_bytes(4, "little")
+
+    def _buf_index(self, ctx: DriverContext, arg) -> int | None:
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return None
+        fields = unpack_fields(_BUF_FIELDS, bytes(arg))
+        index = fields["index"]
+        if index >= len(self._buffers):
+            return None
+        return index
+
+    def _querybuf(self, ctx: DriverContext, arg):
+        ctx.cover("querybuf_enter")
+        index = self._buf_index(ctx, arg)
+        if index is None:
+            ctx.cover("querybuf_badindex")
+            return err(Errno.EINVAL)
+        ctx.cover("querybuf_ok")
+        return 0, (index << 12).to_bytes(8, "little")
+
+    def _qbuf(self, ctx: DriverContext, arg):
+        ctx.cover("qbuf_enter")
+        index = self._buf_index(ctx, arg)
+        if index is None:
+            ctx.cover("qbuf_badindex")
+            return err(Errno.EINVAL)
+        if self._buffers[index] == "queued":
+            ctx.cover("qbuf_requeue")
+            return err(Errno.EINVAL)
+        ctx.cover("qbuf_ok")
+        self._buffers[index] = "queued"
+        return 0
+
+    def _dqbuf(self, ctx: DriverContext, arg):
+        ctx.cover("dqbuf_enter")
+        if not self._streaming:
+            ctx.cover("dqbuf_not_streaming")
+            return err(Errno.EINVAL)
+        for index, state in enumerate(self._buffers):
+            ctx.tick("v4l2_dqbuf")
+            if state == "queued":
+                ctx.cover("dqbuf_ok")
+                self._buffers[index] = "dequeued"
+                self._frames_produced += 1
+                return 0, index.to_bytes(4, "little")
+        ctx.cover("dqbuf_empty")
+        return err(Errno.EAGAIN)
+
+    def _streamon(self, ctx: DriverContext, arg):
+        ctx.cover("streamon_enter")
+        if arg != BUF_TYPE_CAPTURE:
+            ctx.cover("streamon_badtype")
+            return err(Errno.EINVAL)
+        if not self._buffers:
+            ctx.cover("streamon_nobufs")
+            return err(Errno.EINVAL)
+        if not any(state == "queued" for state in self._buffers):
+            ctx.cover("streamon_nothing_queued")
+            return err(Errno.EINVAL)
+        if self._streaming:
+            ctx.cover("streamon_already")
+            return 0
+        ctx.cover("streamon_ok")
+        if not self._fmt_set:
+            ctx.cover("streamon_default_fmt")
+        self._streaming = True
+        return 0
+
+    def _streamoff(self, ctx: DriverContext, arg):
+        ctx.cover("streamoff_enter")
+        if arg != BUF_TYPE_CAPTURE:
+            ctx.cover("streamoff_badtype")
+            return err(Errno.EINVAL)
+        ctx.cover("streamoff_ok" if self._streaming else "streamoff_idle")
+        self._streaming = False
+        self._buffers = ["dequeued"] * len(self._buffers)
+        return 0
+
+    def _g_input(self, ctx: DriverContext, arg):
+        ctx.cover("g_input")
+        return 0, self._input.to_bytes(4, "little")
+
+    def _s_input(self, ctx: DriverContext, arg):
+        ctx.cover("s_input_enter")
+        if self._streaming:
+            ctx.cover("s_input_busy")
+            return err(Errno.EBUSY)
+        if not isinstance(arg, int):
+            return err(Errno.EINVAL)
+        if arg not in (_INPUT_BACK, _INPUT_FRONT, _INPUT_VENDOR_RAW):
+            ctx.cover("s_input_badinput")
+            return err(Errno.EINVAL)
+        ctx.cover(f"s_input_{arg}")
+        self._input = arg
+        if arg == _INPUT_VENDOR_RAW:
+            ctx.cover("s_input_vendor_raw")
+            if self.quirk_warn_querycap:
+                self._device_caps_valid = False
+        else:
+            self._device_caps_valid = True
+        return 0
+
+    def _g_ctrl(self, ctx: DriverContext, arg):
+        ctx.cover("g_ctrl_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 4:
+            return err(Errno.EINVAL)
+        cid = unpack_fields(_CTRL_FIELDS, bytes(arg))["id"]
+        if cid not in self._ctrls:
+            ctx.cover("g_ctrl_badid")
+            return err(Errno.EINVAL)
+        ctx.cover(f"g_ctrl_{cid & 0xFF:02x}")
+        return 0, self._ctrls[cid].to_bytes(4, "little", signed=False)
+
+    def _s_ctrl(self, ctx: DriverContext, arg):
+        ctx.cover("s_ctrl_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_CTRL_FIELDS, bytes(arg))
+        cid, value = fields["id"], fields["value"]
+        if cid not in _CTRLS:
+            ctx.cover("s_ctrl_badid")
+            return err(Errno.EINVAL)
+        lo, hi = _CTRLS[cid]
+        if not lo <= value <= hi:
+            ctx.cover("s_ctrl_range")
+            return err(Errno.ERANGE)
+        ctx.cover(f"s_ctrl_{cid & 0xFF:02x}")
+        self._ctrls[cid] = value
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        input_field = FieldSpec("input", "I", "enum",
+                                values=(_INPUT_BACK, _INPUT_FRONT,
+                                        _INPUT_VENDOR_RAW))
+        stream_field = FieldSpec("type", "I", "const",
+                                 values=(BUF_TYPE_CAPTURE,))
+        return (
+            IoctlSpec("VIDIOC_QUERYCAP", VIDIOC_QUERYCAP, "none",
+                      doc="query device capabilities"),
+            IoctlSpec("VIDIOC_ENUM_FMT", VIDIOC_ENUM_FMT, "struct",
+                      fields=_ENUMFMT_FIELDS, doc="enumerate pixel formats"),
+            IoctlSpec("VIDIOC_G_FMT", VIDIOC_G_FMT, "none",
+                      doc="get current format"),
+            IoctlSpec("VIDIOC_S_FMT", VIDIOC_S_FMT, "struct",
+                      fields=_FMT_FIELDS, doc="set capture format"),
+            IoctlSpec("VIDIOC_REQBUFS", VIDIOC_REQBUFS, "struct",
+                      fields=_REQBUFS_FIELDS, doc="allocate buffer queue"),
+            IoctlSpec("VIDIOC_QUERYBUF", VIDIOC_QUERYBUF, "struct",
+                      fields=_BUF_FIELDS, doc="query buffer mmap offset"),
+            IoctlSpec("VIDIOC_QBUF", VIDIOC_QBUF, "struct",
+                      fields=_BUF_FIELDS, doc="queue a buffer"),
+            IoctlSpec("VIDIOC_DQBUF", VIDIOC_DQBUF, "none",
+                      doc="dequeue a filled buffer"),
+            IoctlSpec("VIDIOC_STREAMON", VIDIOC_STREAMON, "int",
+                      int_kind=stream_field, doc="start streaming"),
+            IoctlSpec("VIDIOC_STREAMOFF", VIDIOC_STREAMOFF, "int",
+                      int_kind=stream_field, doc="stop streaming"),
+            IoctlSpec("VIDIOC_G_INPUT", VIDIOC_G_INPUT, "none",
+                      doc="get active input"),
+            IoctlSpec("VIDIOC_S_INPUT", VIDIOC_S_INPUT, "int",
+                      int_kind=input_field, doc="select sensor input"),
+            IoctlSpec("VIDIOC_G_CTRL", VIDIOC_G_CTRL, "struct",
+                      fields=_CTRL_FIELDS[:1], doc="get a control"),
+            IoctlSpec("VIDIOC_S_CTRL", VIDIOC_S_CTRL, "struct",
+                      fields=_CTRL_FIELDS, doc="set a control"),
+        )

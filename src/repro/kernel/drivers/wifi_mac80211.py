@@ -1,0 +1,315 @@
+"""Vendor wireless driver (mac80211-backed, nl80211-style command node).
+
+Real devices configure Wi-Fi through netlink; the virtual device exposes
+the same command surface as ioctls on a vendor node, which keeps the
+syscall set small without losing the state machine: regulatory domain,
+radio power, scanning, STA association, and SoftAP mode with per-station
+rate control.
+
+Planted bug (device C2 firmware):
+
+* ``WARNING in rate_control_rate_init`` (Table II №10): a station added
+  to a running AP with an empty supported-rates bitmap reaches rate-
+  control initialisation with no usable rate and trips a WARN.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile
+from repro.kernel.errno import Errno, err
+from repro.kernel.ioctl import FieldSpec, IoctlSpec, io, ior, iow, unpack_fields
+
+NL_IOC_SET_POWER = iow("W", 0, 4)
+NL_IOC_SET_COUNTRY = iow("W", 1, 2)
+NL_IOC_TRIGGER_SCAN = io("W", 2)
+NL_IOC_GET_SCAN = ior("W", 3, 64)
+NL_IOC_CONNECT = iow("W", 4, 36)
+NL_IOC_DISCONNECT = io("W", 5)
+NL_IOC_START_AP = iow("W", 6, 36)
+NL_IOC_STOP_AP = io("W", 7)
+NL_IOC_ADD_STA = iow("W", 8, 12)
+NL_IOC_DEL_STA = iow("W", 9, 6)
+NL_IOC_SET_RATE = iow("W", 10, 8)
+
+_CHANNELS = (1, 6, 11, 36, 40, 149)
+_COUNTRIES = (b"US", b"DE", b"JP", b"CN", b"GB")
+
+_CONNECT_FIELDS = (
+    FieldSpec("ssid", "32s", "payload"),
+    FieldSpec("channel", "I", "enum", values=_CHANNELS),
+)
+_ADD_STA_FIELDS = (
+    FieldSpec("mac", "6s", "payload"),
+    FieldSpec("rates", "I", "flags",
+              values=(0x1, 0x2, 0x4, 0x8, 0x10, 0x20)),
+    FieldSpec("aid", "H", "range", lo=1, hi=2007),
+)
+_DEL_STA_FIELDS = (FieldSpec("mac", "6s", "payload"),)
+_SET_RATE_FIELDS = (
+    FieldSpec("mac", "6s", "payload"),
+    FieldSpec("rate_idx", "H", "range", lo=0, hi=11),
+)
+
+_ST_OFF = "off"
+_ST_IDLE = "idle"
+_ST_SCANNING = "scanning"
+_ST_CONNECTED = "connected"
+_ST_AP = "ap"
+
+
+class WifiMac80211(CharDevice):
+    """Virtual wireless command node (``/dev/nl80211``).
+
+    Args:
+        quirk_warn_rate_init: plant Table II №10 (C2 firmware).
+    """
+
+    name = "mac80211"
+    paths = ("/dev/nl80211",)
+    vendor_specific = True
+
+    def __init__(self, quirk_warn_rate_init: bool = False) -> None:
+        self.quirk_warn_rate_init = quirk_warn_rate_init
+        self.reset()
+
+    def reset(self) -> None:
+        self._state = _ST_OFF
+        self._country: bytes | None = None
+        self._scan_results: list[bytes] = []
+        self._stations: dict[bytes, int] = {}  # mac -> rates bitmap
+        self._ssid = b""
+
+    def coverage_block_count(self) -> int:
+        return 80
+
+    def open(self, ctx: DriverContext, f: OpenFile) -> int:
+        ctx.cover("open")
+        return 0
+
+    def ioctl(self, ctx: DriverContext, f: OpenFile, request: int, arg):
+        handlers = {
+            NL_IOC_SET_POWER: self._set_power,
+            NL_IOC_SET_COUNTRY: self._set_country,
+            NL_IOC_TRIGGER_SCAN: self._trigger_scan,
+            NL_IOC_GET_SCAN: self._get_scan,
+            NL_IOC_CONNECT: self._connect,
+            NL_IOC_DISCONNECT: self._disconnect,
+            NL_IOC_START_AP: self._start_ap,
+            NL_IOC_STOP_AP: self._stop_ap,
+            NL_IOC_ADD_STA: self._add_sta,
+            NL_IOC_DEL_STA: self._del_sta,
+            NL_IOC_SET_RATE: self._set_rate,
+        }
+        handler = handlers.get(request)
+        if handler is None:
+            ctx.cover("ioctl_unknown")
+            return err(Errno.ENOTTY)
+        return handler(ctx, arg)
+
+    def _set_power(self, ctx: DriverContext, arg):
+        ctx.cover("set_power_enter")
+        if not isinstance(arg, int):
+            return err(Errno.EINVAL)
+        if arg:
+            ctx.cover("power_on")
+            if self._state == _ST_OFF:
+                self._state = _ST_IDLE
+            return 0
+        ctx.cover("power_off")
+        self._state = _ST_OFF
+        self._stations.clear()
+        return 0
+
+    def _set_country(self, ctx: DriverContext, arg):
+        ctx.cover("set_country_enter")
+        if self._state == _ST_OFF:
+            ctx.cover("set_country_off")
+            return err(Errno.ENODEV)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 2:
+            return err(Errno.EINVAL)
+        code = bytes(arg[:2]).upper()
+        if code not in _COUNTRIES:
+            ctx.cover("set_country_unknown")
+            return err(Errno.EINVAL)
+        ctx.cover(f"set_country_{code.decode()}")
+        self._country = code
+        return 0
+
+    def _trigger_scan(self, ctx: DriverContext, arg):
+        ctx.cover("scan_enter")
+        if self._state == _ST_OFF:
+            ctx.cover("scan_off")
+            return err(Errno.ENODEV)
+        if self._state == _ST_AP:
+            ctx.cover("scan_in_ap")
+            return err(Errno.EBUSY)
+        ctx.cover("scan_ok")
+        self._scan_results = [b"homelan\x00" + bytes([6]),
+                              b"guest\x00" + bytes([36])]
+        if self._state == _ST_IDLE:
+            self._state = _ST_SCANNING
+        return 0
+
+    def _get_scan(self, ctx: DriverContext, arg):
+        ctx.cover("get_scan_enter")
+        if not self._scan_results:
+            ctx.cover("get_scan_empty")
+            return err(Errno.ENODATA)
+        ctx.cover("get_scan_ok")
+        if self._state == _ST_SCANNING:
+            self._state = _ST_IDLE
+        return 0, b"".join(self._scan_results)[:64]
+
+    def _connect(self, ctx: DriverContext, arg):
+        ctx.cover("connect_enter")
+        if self._state not in (_ST_IDLE, _ST_SCANNING):
+            ctx.cover("connect_badstate")
+            return err(Errno.EBUSY)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 36:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_CONNECT_FIELDS, bytes(arg))
+        ssid = bytes(fields["ssid"]).rstrip(b"\x00")
+        if not ssid:
+            ctx.cover("connect_empty_ssid")
+            return err(Errno.EINVAL)
+        if fields["channel"] not in _CHANNELS:
+            ctx.cover("connect_badchannel")
+            return err(Errno.EINVAL)
+        ctx.cover(f"connect_ch_{fields['channel']}")
+        self._ssid = ssid
+        self._state = _ST_CONNECTED
+        return 0
+
+    def _disconnect(self, ctx: DriverContext, arg):
+        ctx.cover("disconnect_enter")
+        if self._state != _ST_CONNECTED:
+            ctx.cover("disconnect_notconn")
+            return err(Errno.ENOTCONN)
+        ctx.cover("disconnect_ok")
+        self._state = _ST_IDLE
+        return 0
+
+    def _start_ap(self, ctx: DriverContext, arg):
+        ctx.cover("start_ap_enter")
+        if self._state != _ST_IDLE:
+            ctx.cover("start_ap_badstate")
+            return err(Errno.EBUSY)
+        if self._country is None:
+            ctx.cover("start_ap_no_regdom")
+            return err(Errno.EAGAIN)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 36:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_CONNECT_FIELDS, bytes(arg))
+        ssid = bytes(fields["ssid"]).rstrip(b"\x00")
+        if not ssid:
+            ctx.cover("start_ap_empty_ssid")
+            return err(Errno.EINVAL)
+        channel = fields["channel"]
+        if channel not in _CHANNELS:
+            ctx.cover("start_ap_badchannel")
+            return err(Errno.EINVAL)
+        if channel >= 36 and self._country == b"JP":
+            ctx.cover("start_ap_regdom_block")
+            return err(Errno.EACCES)
+        ctx.cover(f"start_ap_ch_{channel}")
+        self._ssid = ssid
+        self._state = _ST_AP
+        return 0
+
+    def _stop_ap(self, ctx: DriverContext, arg):
+        ctx.cover("stop_ap_enter")
+        if self._state != _ST_AP:
+            ctx.cover("stop_ap_not_ap")
+            return err(Errno.EINVAL)
+        ctx.cover("stop_ap_ok")
+        self._stations.clear()
+        self._state = _ST_IDLE
+        return 0
+
+    def _add_sta(self, ctx: DriverContext, arg):
+        ctx.cover("add_sta_enter")
+        if self._state != _ST_AP:
+            ctx.cover("add_sta_not_ap")
+            return err(Errno.EINVAL)
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 12:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_ADD_STA_FIELDS, bytes(arg))
+        mac, rates = bytes(fields["mac"]), fields["rates"]
+        if mac in self._stations:
+            ctx.cover("add_sta_exists")
+            return err(Errno.EEXIST)
+        if len(self._stations) >= 8:
+            ctx.cover("add_sta_full")
+            return err(Errno.ENOSPC)
+        # rate_control_rate_init for the new station.
+        if rates == 0:
+            ctx.cover("add_sta_zero_rates")
+            if self.quirk_warn_rate_init:
+                # Table II №10: no usable rate; the vendor tree lost the
+                # empty-bitmap guard when backporting rate control.
+                ctx.warn("rate_control_rate_init",
+                         "station with empty supported-rates bitmap")
+                return err(Errno.EINVAL)
+            return err(Errno.EINVAL)
+        ctx.cover(f"add_sta_rates_{bin(rates & 0x3F).count('1')}")
+        self._stations[mac] = rates
+        return 0
+
+    def _del_sta(self, ctx: DriverContext, arg):
+        ctx.cover("del_sta_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 6:
+            return err(Errno.EINVAL)
+        mac = bytes(arg[:6])
+        if self._stations.pop(mac, None) is None:
+            ctx.cover("del_sta_unknown")
+            return err(Errno.ENOENT)
+        ctx.cover("del_sta_ok")
+        return 0
+
+    def _set_rate(self, ctx: DriverContext, arg):
+        ctx.cover("set_rate_enter")
+        if not isinstance(arg, (bytes, bytearray)) or len(arg) < 8:
+            return err(Errno.EINVAL)
+        fields = unpack_fields(_SET_RATE_FIELDS, bytes(arg))
+        mac, rate_idx = bytes(fields["mac"]), fields["rate_idx"]
+        if mac not in self._stations:
+            ctx.cover("set_rate_unknown_sta")
+            return err(Errno.ENOENT)
+        if rate_idx > 11:
+            ctx.cover("set_rate_badidx")
+            return err(Errno.EINVAL)
+        if not self._stations[mac] & (1 << min(rate_idx, 5)):
+            ctx.cover("set_rate_unsupported")
+            return err(Errno.EINVAL)
+        ctx.cover(f"set_rate_{rate_idx}")
+        return 0
+
+    # ------------------------------------------------------------------
+
+    def ioctl_specs(self) -> tuple[IoctlSpec, ...]:
+        """Interface description consumed by the DSL and baselines."""
+        return (
+            IoctlSpec("NL_IOC_SET_POWER", NL_IOC_SET_POWER, "int",
+                      int_kind=FieldSpec("on", "I", "enum", values=(0, 1)),
+                      doc="radio power"),
+            IoctlSpec("NL_IOC_SET_COUNTRY", NL_IOC_SET_COUNTRY, "buffer",
+                      doc="regulatory domain (2-letter code)"),
+            IoctlSpec("NL_IOC_TRIGGER_SCAN", NL_IOC_TRIGGER_SCAN, "none",
+                      doc="start a scan"),
+            IoctlSpec("NL_IOC_GET_SCAN", NL_IOC_GET_SCAN, "none",
+                      doc="fetch scan results"),
+            IoctlSpec("NL_IOC_CONNECT", NL_IOC_CONNECT, "struct",
+                      fields=_CONNECT_FIELDS, doc="associate to a network"),
+            IoctlSpec("NL_IOC_DISCONNECT", NL_IOC_DISCONNECT, "none",
+                      doc="drop the association"),
+            IoctlSpec("NL_IOC_START_AP", NL_IOC_START_AP, "struct",
+                      fields=_CONNECT_FIELDS, doc="start SoftAP"),
+            IoctlSpec("NL_IOC_STOP_AP", NL_IOC_STOP_AP, "none",
+                      doc="stop SoftAP"),
+            IoctlSpec("NL_IOC_ADD_STA", NL_IOC_ADD_STA, "struct",
+                      fields=_ADD_STA_FIELDS, doc="admit a station"),
+            IoctlSpec("NL_IOC_DEL_STA", NL_IOC_DEL_STA, "struct",
+                      fields=_DEL_STA_FIELDS, doc="kick a station"),
+            IoctlSpec("NL_IOC_SET_RATE", NL_IOC_SET_RATE, "struct",
+                      fields=_SET_RATE_FIELDS, doc="pin a station's rate"),
+        )

@@ -1,0 +1,76 @@
+"""Errno constants and helpers mirroring Linux syscall return conventions.
+
+Virtual syscalls return a non-negative value on success and ``-errno`` on
+failure, exactly like the raw Linux syscall ABI.  Drivers use the
+:class:`Errno` constants and the :func:`err` helper so that call sites read
+like kernel code (``return err(Errno.EINVAL)``).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Errno(IntEnum):
+    """The subset of Linux errno values used by the virtual kernel."""
+
+    EPERM = 1
+    ENOENT = 2
+    EINTR = 4
+    EIO = 5
+    EBADF = 9
+    EAGAIN = 11
+    ENOMEM = 12
+    EACCES = 13
+    EFAULT = 14
+    EBUSY = 16
+    EEXIST = 17
+    ENODEV = 19
+    ENOTDIR = 20
+    EINVAL = 22
+    ENFILE = 23
+    EMFILE = 24
+    ENOTTY = 25
+    ENOSPC = 28
+    ESPIPE = 29
+    EPIPE = 32
+    ERANGE = 34
+    ENOSYS = 38
+    ENODATA = 61
+    EPROTO = 71
+    EBADMSG = 74
+    EMSGSIZE = 90
+    ENOPROTOOPT = 92
+    EOPNOTSUPP = 95
+    EADDRINUSE = 98
+    ENOBUFS = 105
+    EISCONN = 106
+    ENOTCONN = 107
+    ETIMEDOUT = 110
+    ECONNREFUSED = 111
+    EALREADY = 114
+    EINPROGRESS = 115
+
+
+def err(code: Errno) -> int:
+    """Return the syscall-ABI encoding of an errno (``-code``)."""
+    return -int(code)
+
+
+def is_err(ret: int) -> bool:
+    """True if ``ret`` encodes a syscall failure."""
+    return isinstance(ret, int) and ret < 0
+
+
+def errno_name(ret: int) -> str:
+    """Human-readable name for a syscall return value.
+
+    ``errno_name(-22)`` → ``"EINVAL"``; non-negative values return ``"OK"``.
+    Unknown negative values render as ``"E?<n>"``.
+    """
+    if ret >= 0:
+        return "OK"
+    try:
+        return Errno(-ret).name
+    except ValueError:
+        return f"E?{-ret}"

@@ -1,0 +1,73 @@
+"""Per-process file-descriptor table.
+
+Mirrors the kernel's fd-table semantics that matter to a fuzzer: dense
+lowest-free-slot allocation, ``dup`` sharing the *same* open file
+description, and ``EMFILE`` on table exhaustion.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.errno import Errno, err
+
+if TYPE_CHECKING:
+    from repro.kernel.chardev import OpenFile
+
+
+class FdTable:
+    """File-descriptor table for one virtual process.
+
+    Args:
+        max_fds: RLIMIT_NOFILE surrogate; allocations beyond this fail
+            with ``-EMFILE``.
+    """
+
+    def __init__(self, max_fds: int = 256) -> None:
+        self._files: dict[int, "OpenFile"] = {}
+        self._max_fds = max_fds
+
+    def install(self, f: "OpenFile") -> int:
+        """Install an open file in the lowest free slot; returns the fd."""
+        for fd in range(self._max_fds):
+            if fd not in self._files:
+                self._files[fd] = f
+                f.refcount += 1
+                return fd
+        return err(Errno.EMFILE)
+
+    def get(self, fd: int) -> "OpenFile | None":
+        """Look up an fd; None when the descriptor is not open."""
+        return self._files.get(fd)
+
+    def dup(self, fd: int) -> int:
+        """Duplicate ``fd`` onto a new descriptor sharing the description."""
+        f = self._files.get(fd)
+        if f is None:
+            return err(Errno.EBADF)
+        return self.install(f)
+
+    def remove(self, fd: int) -> "OpenFile | None":
+        """Remove ``fd``; returns the file if its refcount dropped to zero.
+
+        The caller is responsible for invoking the driver's ``release``
+        when the last reference goes away (mirroring ``fput``).
+        """
+        f = self._files.pop(fd, None)
+        if f is None:
+            return None
+        f.refcount -= 1
+        return f if f.refcount == 0 else None
+
+    def open_fds(self) -> list[int]:
+        """All currently open descriptors, ascending."""
+        return sorted(self._files)
+
+    def clear(self) -> list["OpenFile"]:
+        """Drop every descriptor; returns files whose refcount hit zero."""
+        released = []
+        for fd in list(self._files):
+            f = self.remove(fd)
+            if f is not None:
+                released.append(f)
+        return released

@@ -1,0 +1,115 @@
+"""Slab-allocator model with KASAN-style checking.
+
+Drivers allocate their internal objects from :class:`SlabHeap` and perform
+*checked* loads/stores through :class:`Allocation` handles.  The heap keeps
+freed allocations in a quarantine (like KASAN's quarantine) so that
+use-after-free accesses are detected instead of silently recycling memory.
+
+Violations raise :class:`repro.errors.KasanReport`; the syscall dispatcher
+converts the exception into a dmesg splat and an ``-EFAULT`` return, which is
+how a KASAN kernel without ``panic_on_warn`` behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KasanReport
+
+
+@dataclass
+class Allocation:
+    """A checked handle to one slab object.
+
+    Attributes:
+        ident: unique allocation id within the heap's lifetime.
+        size: object size in bytes.
+        label: slab cache name surrogate (used in KASAN report titles).
+        freed: True once :meth:`SlabHeap.kfree` ran on this handle.
+        data: backing bytes, mutable through :meth:`store`.
+    """
+
+    ident: int
+    size: int
+    label: str
+    freed: bool = False
+    data: bytearray = field(default_factory=bytearray)
+
+    def _check(self, offset: int, length: int, access: str, where: str) -> None:
+        if self.freed:
+            raise KasanReport(f"slab-use-after-free {access}", where,
+                              f"object {self.label} id={self.ident}")
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise KasanReport(f"slab-out-of-bounds {access}", where,
+                              f"offset={offset} len={length} size={self.size}")
+
+    def load(self, offset: int, length: int = 1, where: str = "unknown") -> bytes:
+        """Checked read of ``length`` bytes at ``offset``."""
+        self._check(offset, length, "Read", where)
+        return bytes(self.data[offset:offset + length])
+
+    def store(self, offset: int, payload: bytes, where: str = "unknown") -> None:
+        """Checked write of ``payload`` at ``offset``."""
+        self._check(offset, len(payload), "Write", where)
+        self.data[offset:offset + len(payload)] = payload
+
+    def load_u32(self, offset: int, where: str = "unknown") -> int:
+        """Checked little-endian 32-bit load."""
+        return int.from_bytes(self.load(offset, 4, where), "little")
+
+    def store_u32(self, offset: int, value: int, where: str = "unknown") -> None:
+        """Checked little-endian 32-bit store."""
+        self.store(offset, (value & 0xFFFFFFFF).to_bytes(4, "little"), where)
+
+
+class SlabHeap:
+    """KASAN-checked slab allocator for virtual-driver objects.
+
+    Args:
+        quarantine_size: number of freed allocations retained for
+            use-after-free detection before being forgotten.
+    """
+
+    def __init__(self, quarantine_size: int = 512) -> None:
+        self._next_id = 1
+        self._live: dict[int, Allocation] = {}
+        self._quarantine: list[Allocation] = []
+        self._quarantine_size = quarantine_size
+        self.bytes_allocated = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    def kmalloc(self, size: int, label: str = "kmalloc") -> Allocation:
+        """Allocate a zero-initialised object of ``size`` bytes."""
+        if size < 0:
+            raise ValueError("negative allocation size")
+        alloc = Allocation(ident=self._next_id, size=size, label=label,
+                           data=bytearray(size))
+        self._next_id += 1
+        self._live[alloc.ident] = alloc
+        self.bytes_allocated += size
+        self.alloc_count += 1
+        return alloc
+
+    def kfree(self, alloc: Allocation, where: str = "kfree") -> None:
+        """Free an allocation; double-frees raise a KASAN report."""
+        if alloc.freed:
+            raise KasanReport("double-free", where,
+                              f"object {alloc.label} id={alloc.ident}")
+        alloc.freed = True
+        del self._live[alloc.ident]
+        self.bytes_allocated -= alloc.size
+        self.free_count += 1
+        self._quarantine.append(alloc)
+        if len(self._quarantine) > self._quarantine_size:
+            self._quarantine.pop(0)
+
+    def live_objects(self) -> int:
+        """Number of currently live allocations (leak accounting)."""
+        return len(self._live)
+
+    def reset(self) -> None:
+        """Forget all allocations — used when the device reboots."""
+        self._live.clear()
+        self._quarantine.clear()
+        self.bytes_allocated = 0

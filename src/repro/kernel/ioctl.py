@@ -1,0 +1,179 @@
+"""ioctl request encoding and interface specifications.
+
+Requests are encoded with the Linux ``_IOC`` scheme so that traces look
+real and request values are unique across drivers.  Each driver publishes
+:class:`IoctlSpec` entries describing its command surface: the request
+value, the argument shape, and — for struct arguments — per-field
+semantics (:class:`FieldSpec`).
+
+Three consumers rely on these specs:
+
+* the DSL's syzlang-lite description registry (typed generation),
+* the Difuze baseline's static-analysis surrogate (interface extraction),
+* the cross-boundary feedback's specialized-syscall lookup table
+  (splitting ``ioctl`` by ``request``, §IV-D of the paper).
+
+Field ``kind`` vocabulary:
+
+* ``range`` — integer in ``[lo, hi]``.
+* ``enum`` — one of ``values``.
+* ``flags`` — OR-combination of bits from ``values``.
+* ``const`` — must equal ``values[0]`` for the call to be well-formed.
+* ``resource`` — a kernel-object identifier produced by another call
+  (``resource`` names the kind, e.g. ``"drm_handle"``).
+* ``payload`` — free-form bytes (only for trailing ``s`` fields).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+_IOC_NONE = 0
+_IOC_WRITE = 1
+_IOC_READ = 2
+
+_IOC_NRBITS = 8
+_IOC_TYPEBITS = 8
+_IOC_SIZEBITS = 14
+
+_IOC_NRSHIFT = 0
+_IOC_TYPESHIFT = _IOC_NRSHIFT + _IOC_NRBITS
+_IOC_SIZESHIFT = _IOC_TYPESHIFT + _IOC_TYPEBITS
+_IOC_DIRSHIFT = _IOC_SIZESHIFT + _IOC_SIZEBITS
+
+
+def _ioc(direction: int, type_char: str, nr: int, size: int) -> int:
+    """Linux ``_IOC()`` encoding."""
+    return ((direction << _IOC_DIRSHIFT) | (ord(type_char) << _IOC_TYPESHIFT)
+            | (size << _IOC_SIZESHIFT) | (nr << _IOC_NRSHIFT))
+
+
+def io(type_char: str, nr: int) -> int:
+    """``_IO()`` — no argument."""
+    return _ioc(_IOC_NONE, type_char, nr, 0)
+
+
+def ior(type_char: str, nr: int, size: int) -> int:
+    """``_IOR()`` — kernel writes ``size`` bytes to userspace."""
+    return _ioc(_IOC_READ, type_char, nr, size)
+
+
+def iow(type_char: str, nr: int, size: int) -> int:
+    """``_IOW()`` — userspace passes ``size`` bytes in."""
+    return _ioc(_IOC_WRITE, type_char, nr, size)
+
+
+def iowr(type_char: str, nr: int, size: int) -> int:
+    """``_IOWR()`` — bidirectional struct argument."""
+    return _ioc(_IOC_READ | _IOC_WRITE, type_char, nr, size)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Semantics of one struct field in an ioctl/write payload."""
+
+    name: str
+    fmt: str
+    kind: str = "range"
+    lo: int = 0
+    hi: int = 0xFFFFFFFF
+    values: tuple[int, ...] = ()
+    resource: str = ""
+
+    def size(self) -> int:
+        """Byte size of this field."""
+        return struct.calcsize("<" + self.fmt)
+
+
+@dataclass(frozen=True)
+class IoctlSpec:
+    """One ioctl command of a driver's interface."""
+
+    name: str
+    request: int
+    arg: str = "none"  # none | int | buffer | struct
+    fields: tuple[FieldSpec, ...] = ()
+    int_kind: FieldSpec | None = None
+    produces: str = ""
+    produce_offset: int = -1  # byte offset of resource in out data; -1 = ret
+    #: True for vendor additions to otherwise-standard interfaces: such
+    #: commands have no public descriptions even when the driver's
+    #: standard surface does.
+    vendor: bool = False
+    doc: str = ""
+
+    def struct_format(self) -> str:
+        """Little-endian struct format string over all fields."""
+        return "<" + "".join(f.fmt for f in self.fields)
+
+    def struct_size(self) -> int:
+        """Total byte size of the struct argument."""
+        return struct.calcsize(self.struct_format())
+
+
+@dataclass(frozen=True)
+class WriteSpec:
+    """Structure hint for a driver's ``write()`` payload format."""
+
+    name: str
+    fields: tuple[FieldSpec, ...] = ()
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class SockOptSpec:
+    """One socket option of a socket family."""
+
+    name: str
+    level: int
+    optname: int
+    fields: tuple[FieldSpec, ...] = ()
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """Interface description of a socket protocol family."""
+
+    name: str
+    domain: int
+    types: tuple[int, ...]
+    protocols: tuple[int, ...]
+    addr_fields: tuple[FieldSpec, ...] = ()
+    sockopts: tuple[SockOptSpec, ...] = ()
+    doc: str = ""
+
+
+def pack_fields(fields: tuple[FieldSpec, ...], values: dict[str, int | bytes]) -> bytes:
+    """Pack named field values into the struct layout of ``fields``.
+
+    Missing integer fields default to 0; missing byte fields to zeros.
+    """
+    parts: list[int | bytes] = []
+    for f in fields:
+        if f.fmt.endswith("s"):
+            raw = values.get(f.name, b"")
+            if isinstance(raw, int):
+                raw = raw.to_bytes(f.size(), "little")
+            parts.append(bytes(raw)[: f.size()].ljust(f.size(), b"\x00"))
+        else:
+            value = int(values.get(f.name, 0))
+            bits = 8 * f.size()
+            value &= (1 << bits) - 1
+            if f.fmt in "bhiq" and value >= 1 << (bits - 1):
+                value -= 1 << bits
+            parts.append(value)
+    fmt = "<" + "".join(f.fmt for f in fields)
+    return struct.pack(fmt, *parts)
+
+
+def unpack_fields(fields: tuple[FieldSpec, ...], data: bytes) -> dict[str, int | bytes]:
+    """Unpack ``data`` (padded/truncated to fit) into named field values."""
+    fmt = "<" + "".join(f.fmt for f in fields)
+    size = struct.calcsize(fmt)
+    raw = data[:size].ljust(size, b"\x00")
+    out: dict[str, int | bytes] = {}
+    for f, value in zip(fields, struct.unpack(fmt, raw)):
+        out[f.name] = value
+    return out

@@ -1,0 +1,439 @@
+"""The virtual kernel: processes, syscall dispatch, crash semantics.
+
+:class:`VirtualKernel` glues the substrate pieces together.  It owns the
+driver registry (device paths → :class:`CharDevice`, socket domains →
+:class:`SocketFamily`), the process table, and the dispatcher that routes
+syscalls to drivers with full errno/tracepoint/kcov/KASAN semantics.
+
+Crash semantics mirror a hardened test kernel:
+
+* ``WARN`` logs a splat and continues.
+* ``BUG`` logs, aborts the offending syscall with ``-EFAULT``.
+* KASAN reports log and abort the syscall with ``-EFAULT``.
+* A loop-budget exhaustion (infinite loop in a driver) logs a hang splat,
+  fails the syscall with ``-ETIMEDOUT`` and latches :attr:`hung` so the
+  device layer performs a watchdog reboot.
+* A panic latches :attr:`panicked`; all further syscalls fail until reboot.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import HangDetected, KernelBug, KernelPanic, KasanReport
+from repro.kernel.chardev import CharDevice, DriverContext, OpenFile, SocketFamily
+from repro.kernel.dmesg import Dmesg
+from repro.kernel.errno import Errno, err
+from repro.kernel.fdtable import FdTable
+from repro.kernel.heap import SlabHeap
+from repro.kernel.kcov import Kcov
+from repro.kernel.syscalls import (
+    SYSCALL_NRS,
+    SyscallOutcome,
+    critical_argument,
+)
+from repro.kernel.tracepoints import SyscallRecord, TracepointManager
+
+_PAGE = 4096
+_MMAP_BASE = 0x7F00_0000_0000
+
+
+@dataclass
+class Process:
+    """A virtual userspace task known to the kernel."""
+
+    pid: int
+    comm: str
+    fdtable: FdTable = field(default_factory=FdTable)
+    mmaps: dict[int, tuple[int, int]] = field(default_factory=dict)
+    mmap_cursor: int = _MMAP_BASE
+
+
+class VirtualKernel:
+    """A bootable virtual kernel instance for one device.
+
+    Args:
+        name: kernel identity string (shows up in logs).
+        loop_budget: per-syscall driver loop budget before the hang
+            detector fires.
+    """
+
+    def __init__(self, name: str = "virt", loop_budget: int = 20000) -> None:
+        self.name = name
+        self.dmesg = Dmesg()
+        self.heap = SlabHeap()
+        self.kcov = Kcov()
+        self.trace = TracepointManager()
+        self._loop_budget_max = loop_budget
+        self.loop_budget = loop_budget
+        self._drivers: dict[str, CharDevice] = {}
+        self._driver_objs: list[CharDevice] = []
+        self._families: dict[int, SocketFamily] = {}
+        self._procs: dict[int, Process] = {}
+        self._next_pid = 1000
+        self._seq = 0
+        self.panicked = False
+        self.hung = False
+        self.syscall_count = 0
+        #: seccomp surrogate: pid -> allowed syscall names.  Used by the
+        #: DroidFuzz-D variant to block everything but open/close/ioctl.
+        self.syscall_filters: dict[int, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------
+    # registration / process management
+    # ------------------------------------------------------------------
+
+    def register_driver(self, driver: CharDevice) -> None:
+        """Register a character-device driver for its claimed paths."""
+        for path in driver.paths:
+            if path in self._drivers:
+                raise ValueError(f"device path already claimed: {path}")
+            self._drivers[path] = driver
+        self._driver_objs.append(driver)
+
+    def register_socket_family(self, family: SocketFamily) -> None:
+        """Register a socket protocol family."""
+        if family.domain in self._families:
+            raise ValueError(f"socket domain already claimed: {family.domain}")
+        self._families[family.domain] = family
+        self._driver_objs.append(family)
+
+    def device_paths(self) -> list[str]:
+        """All registered device-file paths, sorted."""
+        return sorted(self._drivers)
+
+    def drivers(self) -> list[CharDevice | SocketFamily]:
+        """All registered driver objects (char devices and families)."""
+        return list(self._driver_objs)
+
+    def driver_for_path(self, path: str) -> CharDevice | None:
+        """The driver claiming ``path``, if any."""
+        return self._drivers.get(path)
+
+    def new_process(self, comm: str) -> Process:
+        """Create a userspace task; returns its :class:`Process`."""
+        proc = Process(pid=self._next_pid, comm=comm)
+        self._next_pid += 1
+        self._procs[proc.pid] = proc
+        return proc
+
+    def process(self, pid: int) -> Process | None:
+        """Look up a task by pid."""
+        return self._procs.get(pid)
+
+    def kill_process(self, pid: int) -> None:
+        """Tear down a task, releasing all of its open files."""
+        proc = self._procs.pop(pid, None)
+        self.syscall_filters.pop(pid, None)
+        if proc is None:
+            return
+        for f in proc.fdtable.clear():
+            self._release_file(proc, f)
+
+    def processes(self) -> list[Process]:
+        """All live tasks."""
+        return list(self._procs.values())
+
+    # ------------------------------------------------------------------
+    # reboot
+    # ------------------------------------------------------------------
+
+    def soft_reset(self) -> None:
+        """Reboot-in-place: clear mutable state, keep the firmware.
+
+        Driver-global state machines are reset, the slab heap forgets its
+        allocations, the process table empties and crash latches clear.
+        The kcov PC attribution survives (synthetic PCs are stable and
+        host-side evaluation relies on the mapping).
+        """
+        for drv in self._driver_objs:
+            drv.reset()
+        self.heap.reset()
+        self._procs.clear()
+        self.dmesg = Dmesg()
+        self.panicked = False
+        self.hung = False
+        self.loop_budget = self._loop_budget_max
+
+    # ------------------------------------------------------------------
+    # syscall entry point
+    # ------------------------------------------------------------------
+
+    def syscall(self, pid: int, name: str, *args: Any) -> SyscallOutcome:
+        """Execute one syscall on behalf of task ``pid``.
+
+        Returns a :class:`SyscallOutcome`; never raises for input-induced
+        conditions (bad fds, malformed structs, driver splats) — those
+        surface as ``-errno`` returns plus dmesg records, as on real
+        hardware.
+        """
+        if self.panicked:
+            return SyscallOutcome(err(Errno.EIO))
+        proc = self._procs.get(pid)
+        if proc is None:
+            return SyscallOutcome(err(Errno.EPERM))
+        nr = SYSCALL_NRS.get(name)
+        if nr is None:
+            return SyscallOutcome(err(Errno.ENOSYS))
+        allowed = self.syscall_filters.get(pid)
+        if allowed is not None and name not in allowed:
+            return SyscallOutcome(err(Errno.EPERM))
+
+        self._seq += 1
+        self.syscall_count += 1
+        critical = critical_argument(name, args)
+        record = SyscallRecord(pid=pid, comm=proc.comm, nr=nr, name=name,
+                               args=tuple(args), critical=critical,
+                               seq=self._seq)
+        self.trace.fire("sys_enter", record)
+
+        self.loop_budget = self._loop_budget_max
+        handler = getattr(self, f"_sys_{name}")
+        try:
+            result = handler(proc, *args)
+        except KasanReport as exc:
+            self.dmesg.kasan(exc.kind, exc.where, exc.detail)
+            result = err(Errno.EFAULT)
+        except HangDetected as exc:
+            self.dmesg.hang(exc.title.removeprefix("Infinite loop in "),
+                            exc.detail)
+            self.hung = True
+            result = err(Errno.ETIMEDOUT)
+        except KernelBug:
+            # ctx.bug() already logged the splat; kill just this syscall.
+            result = err(Errno.EFAULT)
+        except KernelPanic as exc:
+            self.dmesg.panic(exc.title, exc.detail)
+            self.panicked = True
+            result = err(Errno.EIO)
+        except (TypeError, ValueError, IndexError, struct.error):
+            # copy_from_user of a malformed userspace payload.
+            result = err(Errno.EINVAL)
+
+        ret, data = result if isinstance(result, tuple) else (result, None)
+        if isinstance(ret, bytes):  # driver returned raw read payload
+            ret, data = len(ret), ret
+        self.trace.fire("sys_exit", SyscallRecord(
+            pid=pid, comm=proc.comm, nr=nr, name=name, args=tuple(args),
+            critical=critical, seq=self._seq, ret=ret))
+        return SyscallOutcome(ret=ret, data=data)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _ctx(self, proc: Process, driver_name: str) -> DriverContext:
+        return DriverContext(self, proc.pid, proc.comm, driver_name)
+
+    def _release_file(self, proc: Process, f: OpenFile) -> None:
+        ctx = self._ctx(proc, f.driver.name)
+        try:
+            f.driver.release(ctx, f)
+        except KasanReport as exc:
+            self.dmesg.kasan(exc.kind, exc.where, exc.detail)
+        except KernelBug:
+            pass
+
+    def _file(self, proc: Process, fd: int) -> OpenFile | None:
+        if not isinstance(fd, int):
+            return None
+        return proc.fdtable.get(fd)
+
+    # ------------------------------------------------------------------
+    # individual syscalls
+    # ------------------------------------------------------------------
+
+    def _sys_openat(self, proc: Process, path: str, flags: int = 0):
+        if not isinstance(path, str):
+            return err(Errno.EFAULT)
+        driver = self._drivers.get(path)
+        if driver is None:
+            return err(Errno.ENOENT)
+        f = OpenFile(path=path, flags=int(flags), driver=driver)
+        ret = driver.open(self._ctx(proc, driver.name), f)
+        if ret < 0:
+            return ret
+        return proc.fdtable.install(f)
+
+    def _sys_close(self, proc: Process, fd: int):
+        if self._file(proc, fd) is None:
+            return err(Errno.EBADF)
+        f = proc.fdtable.remove(fd)
+        if f is not None:
+            self._release_file(proc, f)
+        return 0
+
+    def _sys_dup(self, proc: Process, fd: int):
+        return proc.fdtable.dup(fd) if isinstance(fd, int) else err(Errno.EBADF)
+
+    def _sys_fcntl(self, proc: Process, fd: int, cmd: int, arg: int = 0):
+        f = self._file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        F_GETFL, F_SETFL, F_DUPFD = 3, 4, 0
+        if cmd == F_GETFL:
+            return f.flags
+        if cmd == F_SETFL:
+            f.flags = int(arg)
+            return 0
+        if cmd == F_DUPFD:
+            return proc.fdtable.dup(fd)
+        return err(Errno.EINVAL)
+
+    def _sys_read(self, proc: Process, fd: int, size: int):
+        f = self._file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(size, int) or size < 0:
+            return err(Errno.EINVAL)
+        ctx = self._ctx(proc, f.driver.name)
+        if isinstance(f.driver, SocketFamily):
+            return f.driver.recvfrom(ctx, f, min(size, 1 << 20))
+        return f.driver.read(ctx, f, min(size, 1 << 20))
+
+    def _sys_write(self, proc: Process, fd: int, data: bytes):
+        f = self._file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(data, (bytes, bytearray)):
+            return err(Errno.EFAULT)
+        ctx = self._ctx(proc, f.driver.name)
+        if isinstance(f.driver, SocketFamily):
+            return f.driver.sendto(ctx, f, bytes(data), None)
+        return f.driver.write(ctx, f, bytes(data))
+
+    def _sys_ioctl(self, proc: Process, fd: int, request: int, arg=None):
+        f = self._file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(request, int):
+            return err(Errno.EINVAL)
+        if arg is not None and not isinstance(arg, (int, bytes, bytearray)):
+            return err(Errno.EFAULT)
+        if isinstance(arg, bytearray):
+            arg = bytes(arg)
+        return f.driver.ioctl(self._ctx(proc, f.driver.name), f, request, arg)
+
+    def _sys_mmap(self, proc: Process, fd: int, length: int, prot: int = 3,
+                  flags: int = 1, offset: int = 0):
+        f = self._file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if isinstance(f.driver, SocketFamily):
+            return err(Errno.ENODEV)
+        if not isinstance(length, int) or length <= 0:
+            return err(Errno.EINVAL)
+        ret = f.driver.mmap(self._ctx(proc, f.driver.name), f, length,
+                            int(prot), int(flags), int(offset))
+        if ret < 0:
+            return ret
+        span = (length + _PAGE - 1) // _PAGE * _PAGE
+        addr = proc.mmap_cursor
+        proc.mmap_cursor += span + _PAGE
+        proc.mmaps[addr] = (fd, length)
+        return addr
+
+    def _sys_munmap(self, proc: Process, addr: int, length: int):
+        if proc.mmaps.pop(addr, None) is None:
+            return err(Errno.EINVAL)
+        return 0
+
+    def _sys_ppoll(self, proc: Process, fds, timeout: int = 0):
+        if not isinstance(fds, (list, tuple)):
+            return err(Errno.EFAULT)
+        ready = sum(1 for fd in fds if self._file(proc, fd) is not None)
+        return ready
+
+    # -- sockets -------------------------------------------------------
+
+    def _sys_socket(self, proc: Process, domain: int, sock_type: int,
+                    protocol: int = 0):
+        family = self._families.get(domain)
+        if family is None:
+            return err(Errno.EINVAL)  # EAFNOSUPPORT, approximated
+        f = OpenFile(path=f"socket:[{family.name}]", flags=0, driver=family)
+        ret = family.socket(self._ctx(proc, family.name), f, int(sock_type),
+                            int(protocol))
+        if ret < 0:
+            return ret
+        return proc.fdtable.install(f)
+
+    def _socket_file(self, proc: Process, fd: int) -> OpenFile | None:
+        f = self._file(proc, fd)
+        if f is None or not isinstance(f.driver, SocketFamily):
+            return None
+        return f
+
+    def _sys_bind(self, proc: Process, fd: int, addr: bytes):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(addr, (bytes, bytearray)):
+            return err(Errno.EFAULT)
+        return f.driver.bind(self._ctx(proc, f.driver.name), f, bytes(addr))
+
+    def _sys_connect(self, proc: Process, fd: int, addr: bytes):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(addr, (bytes, bytearray)):
+            return err(Errno.EFAULT)
+        return f.driver.connect(self._ctx(proc, f.driver.name), f, bytes(addr))
+
+    def _sys_listen(self, proc: Process, fd: int, backlog: int = 0):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        return f.driver.listen(self._ctx(proc, f.driver.name), f, int(backlog))
+
+    def _sys_accept(self, proc: Process, fd: int):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        result = f.driver.accept(self._ctx(proc, f.driver.name), f)
+        if isinstance(result, int):
+            return result
+        child = OpenFile(path=f.path, flags=0, driver=f.driver,
+                         private=result)
+        return proc.fdtable.install(child)
+
+    def _sys_setsockopt(self, proc: Process, fd: int, level: int,
+                        optname: int, optval: bytes = b""):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(optval, (bytes, bytearray)):
+            return err(Errno.EFAULT)
+        return f.driver.setsockopt(self._ctx(proc, f.driver.name), f,
+                                   int(level), int(optname), bytes(optval))
+
+    def _sys_getsockopt(self, proc: Process, fd: int, level: int,
+                        optname: int):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        return f.driver.getsockopt(self._ctx(proc, f.driver.name), f,
+                                   int(level), int(optname))
+
+    def _sys_sendto(self, proc: Process, fd: int, data: bytes, addr=None):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(data, (bytes, bytearray)):
+            return err(Errno.EFAULT)
+        if addr is not None and not isinstance(addr, (bytes, bytearray)):
+            return err(Errno.EFAULT)
+        return f.driver.sendto(self._ctx(proc, f.driver.name), f,
+                               bytes(data),
+                               bytes(addr) if addr is not None else None)
+
+    def _sys_recvfrom(self, proc: Process, fd: int, size: int):
+        f = self._socket_file(proc, fd)
+        if f is None:
+            return err(Errno.EBADF)
+        if not isinstance(size, int) or size < 0:
+            return err(Errno.EINVAL)
+        return f.driver.recvfrom(self._ctx(proc, f.driver.name), f,
+                                 min(size, 1 << 20))

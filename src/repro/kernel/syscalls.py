@@ -1,0 +1,89 @@
+"""Syscall numbering and outcome types for the virtual kernel.
+
+Numbers follow the arm64 table so that traces read like real ones; the
+actual values only need to be stable.  :func:`critical_argument` implements
+the paper's notion of the *critical position argument* of a syscall — the
+argument that selects the operation performed (e.g. ``request`` for
+``ioctl``) — which the cross-boundary feedback uses to specialize syscall
+IDs (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: arm64 syscall numbers for the surface the virtual kernel implements.
+SYSCALL_NRS: dict[str, int] = {
+    "dup": 23,
+    "fcntl": 25,
+    "ioctl": 29,
+    "openat": 56,
+    "close": 57,
+    "read": 63,
+    "write": 64,
+    "ppoll": 73,
+    "socket": 198,
+    "bind": 200,
+    "listen": 201,
+    "accept": 202,
+    "connect": 203,
+    "sendto": 206,
+    "recvfrom": 207,
+    "setsockopt": 208,
+    "getsockopt": 209,
+    "munmap": 215,
+    "mmap": 222,
+}
+
+#: Index of the critical position argument per syscall name (None: whole
+#: syscall is one operation).  ioctl: request; fcntl: cmd; socket: domain;
+#: set/getsockopt: optname.
+CRITICAL_ARG_INDEX: dict[str, int] = {
+    "ioctl": 1,
+    "fcntl": 1,
+    "socket": 0,
+    "setsockopt": 2,
+    "getsockopt": 2,
+}
+
+#: Socket domains understood by the virtual kernel.
+AF_UNIX = 1
+AF_INET = 2
+AF_NETLINK = 16
+AF_BLUETOOTH = 31
+
+#: open flags subset.
+O_RDONLY = 0o0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_NONBLOCK = 0o4000
+O_CLOEXEC = 0o2000000
+
+
+def critical_argument(name: str, args: tuple[Any, ...]) -> int | None:
+    """Extract the critical position argument of a syscall, if any."""
+    idx = CRITICAL_ARG_INDEX.get(name)
+    if idx is None or idx >= len(args):
+        return None
+    value = args[idx]
+    return value if isinstance(value, int) else None
+
+
+@dataclass(frozen=True)
+class SyscallOutcome:
+    """Result of one virtual syscall.
+
+    Attributes:
+        ret: the syscall return value (``-errno`` on failure).
+        data: out-of-band data the kernel copied to userspace (``read``
+            payloads, ``ioctl`` out structs), if any.
+    """
+
+    ret: int
+    data: bytes | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the syscall succeeded."""
+        return self.ret >= 0

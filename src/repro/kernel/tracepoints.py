@@ -1,0 +1,95 @@
+"""eBPF-surrogate tracepoints on the virtual kernel.
+
+DroidFuzz's prober and HAL executor observe the device by inserting eBPF
+programs on syscall entry and on Binder transactions.  This module provides
+the equivalent observation channel: callbacks attachable to named events,
+optionally filtered by pid, fed with structured records.
+
+Events fired by the substrate:
+
+* ``sys_enter`` / ``sys_exit`` — every virtual syscall, with a
+  :class:`SyscallRecord` carrying the number, name, critical argument
+  (e.g. the ``request`` of an ``ioctl``) and a per-boot sequence number.
+* ``binder_transaction`` — every Binder transaction routed through
+  :mod:`repro.hal.binder`, with a :class:`BinderRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class SyscallRecord:
+    """One syscall observation delivered to ``sys_enter``/``sys_exit``."""
+
+    pid: int
+    comm: str
+    nr: int
+    name: str
+    args: tuple[Any, ...]
+    critical: int | None
+    seq: int
+    ret: int | None = None
+
+
+@dataclass(frozen=True)
+class BinderRecord:
+    """One Binder transaction observation."""
+
+    from_pid: int
+    from_comm: str
+    service: str
+    interface: str
+    code: int
+    method: str
+    payload_types: tuple[str, ...]
+    payload_values: tuple
+    reply_ok: bool
+    seq: int
+
+
+@dataclass(frozen=True)
+class ProbeHandle:
+    """Opaque handle returned by :meth:`TracepointManager.attach`."""
+
+    event: str
+    ident: int
+
+
+class TracepointManager:
+    """Registry of attachable kernel tracepoints."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._probes: dict[str, dict[int, tuple[Callable[[Any], None], int | None]]] = {}
+
+    def attach(self, event: str, callback: Callable[[Any], None],
+               pid_filter: int | None = None) -> ProbeHandle:
+        """Attach ``callback`` to ``event``, optionally filtered by pid."""
+        handle = ProbeHandle(event=event, ident=self._next_id)
+        self._next_id += 1
+        self._probes.setdefault(event, {})[handle.ident] = (callback, pid_filter)
+        return handle
+
+    def detach(self, handle: ProbeHandle) -> None:
+        """Detach a previously attached probe; idempotent."""
+        self._probes.get(handle.event, {}).pop(handle.ident, None)
+
+    def fire(self, event: str, record: Any) -> None:
+        """Deliver ``record`` to every probe attached to ``event``."""
+        for callback, pid_filter in list(self._probes.get(event, {}).values()):
+            if pid_filter is not None and getattr(record, "pid", None) is not None:
+                if record.pid != pid_filter:
+                    continue
+            if pid_filter is not None and hasattr(record, "from_pid"):
+                if record.from_pid != pid_filter:
+                    continue
+            callback(record)
+
+    def probe_count(self, event: str | None = None) -> int:
+        """Number of attached probes, for one event or in total."""
+        if event is not None:
+            return len(self._probes.get(event, {}))
+        return sum(len(v) for v in self._probes.values())

@@ -1,0 +1,87 @@
+"""Tests for the analysis utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.coverage import average_increase, per_driver_increase
+from repro.analysis.plots import ascii_chart, timeline_csv
+from repro.analysis.stats import mann_whitney_u, mean, median
+from repro.analysis.tables import render_table
+
+
+def test_mean_median():
+    assert mean([1, 2, 3]) == 2
+    assert mean([]) == 0.0
+    assert median([1, 3, 2]) == 2
+    assert median([1, 2, 3, 4]) == 2.5
+    assert median([]) == 0.0
+
+
+def test_mwu_distinguishes_clear_separation():
+    a = [100, 101, 102, 99, 98, 103, 100, 101, 99, 102]
+    b = [50, 51, 49, 52, 48, 50, 51, 49, 50, 52]
+    result = mann_whitney_u(a, b)
+    assert result.significant()
+
+
+def test_mwu_same_distribution_not_significant():
+    a = [10, 11, 12, 13, 14]
+    b = [10, 11, 12, 13, 14]
+    result = mann_whitney_u(a, b)
+    assert not result.significant()
+
+
+def test_mwu_empty_rejected():
+    with pytest.raises(ValueError):
+        mann_whitney_u([], [1.0])
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6,
+                          allow_nan=False), min_size=3, max_size=20),
+       st.lists(st.floats(min_value=0, max_value=1e6,
+                          allow_nan=False), min_size=3, max_size=20))
+def test_mwu_pvalue_in_unit_interval(a, b):
+    result = mann_whitney_u(a, b)
+    assert 0.0 <= result.p_value <= 1.0
+
+
+def test_render_table_alignment():
+    out = render_table(["Device", "Cov"], [["A1", 123], ["B", 7]],
+                       title="Coverage")
+    lines = out.splitlines()
+    assert lines[0] == "Coverage"
+    assert "Device" in lines[1]
+    assert all("|" in line for line in lines[1:] if "-" not in line)
+
+
+def test_ascii_chart_renders_series():
+    series = {"droidfuzz": [(0, 0), (3600, 100)],
+              "syzkaller": [(0, 0), (3600, 60)]}
+    out = ascii_chart(series, width=40, height=8, title="Fig 4")
+    assert "Fig 4" in out
+    assert "droidfuzz" in out and "syzkaller" in out
+    assert "*" in out
+
+
+def test_ascii_chart_empty():
+    assert "(no data)" in ascii_chart({}, title="x")
+
+
+def test_timeline_csv():
+    out = timeline_csv({"a": [(0, 1), (60, 2)]})
+    assert out.splitlines()[0] == "series,seconds,value"
+    assert "a,60,2" in out
+
+
+def test_per_driver_increase():
+    ours = {"drm": 120, "tcpc": 50, "idle": 0}
+    base = {"drm": 100, "tcpc": 0, "idle": 0}
+    inc = per_driver_increase(ours, base)
+    assert inc["drm"] == pytest.approx(0.2)
+    assert inc["tcpc"] == pytest.approx(50.0)
+    assert "idle" not in inc
+
+
+def test_average_increase():
+    assert average_increase({"a": 110}, {"a": 100}) == pytest.approx(0.1)
+    assert average_increase({}, {}) == 0.0

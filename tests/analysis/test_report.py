@@ -1,0 +1,90 @@
+"""Tests for campaign report rendering."""
+
+from repro.analysis.report import campaign_report, strongest_relations
+from repro.core.bugs import BugReport
+from repro.core.engine import CampaignResult
+from repro.core.relations import RelationGraph
+
+
+def sample_result():
+    return CampaignResult(
+        tool="droidfuzz", device="A1", seed=3, duration_hours=48.0,
+        timeline=[(0.0, 0), (3600.0, 100)],
+        bugs=[BugReport(title="WARNING in tcpc", kind="WARNING",
+                        component="kernel", device="A1", first_clock=7200.0,
+                        count=3, reproducer="r0 = openat$tcpc0(2)")],
+        kernel_coverage=100, joint_coverage=130,
+        per_driver={"rt1711_tcpc": 50, "drm_gpu": 50},
+        driver_totals={"rt1711_tcpc": 70, "drm_gpu": 90},
+        executions=1234, corpus_size=55, interface_count=49, reboots=2)
+
+
+def test_report_contains_headline_numbers():
+    report = campaign_report(sample_result())
+    assert "droidfuzz on device A1" in report
+    assert "1234" in report
+    assert "100 blocks" in report
+
+
+def test_report_driver_table():
+    report = campaign_report(sample_result())
+    assert "rt1711_tcpc" in report
+    assert "71%" in report  # 50/70
+
+
+def test_report_bug_section_with_reproducer():
+    report = campaign_report(sample_result())
+    assert "WARNING in tcpc" in report
+    assert "r0 = openat$tcpc0(2)" in report
+    assert "2.0h" in report
+
+
+def test_report_no_bugs():
+    result = sample_result()
+    result.bugs = []
+    assert "none found" in campaign_report(result)
+
+
+def test_report_relations_section():
+    g = RelationGraph()
+    g.add_vertex("a", 0.5)
+    g.add_vertex("b", 0.5)
+    g.learn("a", "b")
+    report = campaign_report(sample_result(), g)
+    assert "Strongest learned relations" in report
+    assert "a" in report and "b" in report
+
+
+def test_strongest_relations_ordering():
+    g = RelationGraph()
+    for v in "abc":
+        g.add_vertex(v, 0.5)
+    g.learn("a", "b")
+    g.learn("c", "b")  # halves a->b
+    top = strongest_relations(g)
+    assert top[0][2] >= top[-1][2]
+
+
+def test_logcat_shows_tombstones():
+    from repro.device import AdbConnection, AndroidDevice, profile_by_id
+    from repro.errors import DeadObjectError
+    import pytest as _pytest
+
+    device = AndroidDevice(profile_by_id("A1"))
+    adb = AdbConnection(device)
+    assert adb.shell("logcat") == ""
+    p = device.new_process("t")
+    device.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                        "setPowerMode", (1,))
+    _st, reply = device.hal_transact(p.pid, "t",
+                                     "vendor.graphics.composer",
+                                     "createLayer", ())
+    layer = reply.read_i64()
+    device.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                        "setLayerBuffer", (layer, 64, 64))
+    with _pytest.raises(DeadObjectError):
+        device.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                            "presentDisplay", ())
+    out = adb.shell("logcat")
+    assert "Fatal signal" in out
+    assert "Graphics HAL" in out

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.device import AndroidDevice, DeviceCosts
+from repro.device.profiles import profile_by_id
+from repro.dsl.descriptions import build_descriptions
+from repro.kernel.kernel import VirtualKernel
+
+
+@pytest.fixture
+def kernel() -> VirtualKernel:
+    """A bare kernel with no drivers."""
+    return VirtualKernel()
+
+
+@pytest.fixture
+def device_a1() -> AndroidDevice:
+    """Device A1 (Xiaomi phone dev board) with all its quirks."""
+    return AndroidDevice(profile_by_id("A1"))
+
+
+@pytest.fixture
+def device_a2() -> AndroidDevice:
+    """Device A2 (Xiaomi tablet dev board)."""
+    return AndroidDevice(profile_by_id("A2"))
+
+
+@pytest.fixture
+def device_d() -> AndroidDevice:
+    """Device D (LubanCat 5) — carries the bt_accept_unlink UAF."""
+    return AndroidDevice(profile_by_id("D"))
+
+
+@pytest.fixture
+def fast_costs() -> DeviceCosts:
+    """A cheap cost model so short campaigns execute many programs."""
+    return DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0, shell=2.0)
+
+
+@pytest.fixture
+def registry_a1():
+    """Public (non-vendor) description registry for A1."""
+    return build_descriptions(profile_by_id("A1"))
+
+
+@pytest.fixture
+def registry_a1_vendor():
+    """Full (vendor-typed) description registry for A1."""
+    return build_descriptions(profile_by_id("A1"), vendor_interfaces=True)

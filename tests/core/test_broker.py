@@ -1,0 +1,128 @@
+"""Tests for the execution broker."""
+
+import pytest
+
+from repro.core.config import IOCTL_ONLY_FILTER
+from repro.core.exec.broker import ExecOutcome, ExecutionBroker
+from repro.device import AndroidDevice, profile_by_id
+from repro.dsl.descriptions import build_descriptions
+from repro.dsl.model import HalCall, Program, ResourceRef, SyscallCall
+
+
+@pytest.fixture
+def broker():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile)
+    return device, ExecutionBroker(device, registry)
+
+
+def test_execute_collects_coverage(broker):
+    _device, b = broker
+    program = Program([SyscallCall("openat$tcpc0", (2,))])
+    outcome = b.execute(program)
+    assert outcome.statuses[0].ret >= 0
+    assert outcome.kernel_pcs
+
+
+def test_fds_do_not_leak_across_programs(broker):
+    _device, b = broker
+    program = Program([SyscallCall("openat$tcpc0", (2,))])
+    fds = {b.execute(program).statuses[0].ret for _ in range(20)}
+    assert fds == {0}  # fresh child per program → always fd 0
+
+
+def test_hal_feedback_bonded(broker):
+    _device, b = broker
+    program = Program([HalCall("vendor.usb", "enablePort", ())])
+    outcome = b.execute(program)
+    assert outcome.hal_sequence
+    assert outcome.captures
+    assert outcome.kernel_pcs  # remote kcov from the HAL process
+
+
+def test_crash_reported_and_flagged(broker):
+    _device, b = broker
+    program = Program([
+        HalCall("vendor.usb", "enablePort", ()),
+        HalCall("vendor.usb", "connectPartner", (0,)),
+        HalCall("vendor.usb", "negotiate", (9000, 2000)),
+        HalCall("vendor.usb", "resetPort", ()),
+    ])
+    outcome = b.execute(program)
+    titles = [c["title"] for c in outcome.crashes]
+    assert "WARNING in rt1711_i2c_probe" in titles
+    assert not outcome.needs_reboot  # WARN is not fatal
+
+
+def test_release_crashes_attributed(broker):
+    # Bug 8-style: the crash fires during end-of-program teardown and
+    # must still be attributed to this program.
+    device = AndroidDevice(profile_by_id("B"))
+    registry = build_descriptions(device.profile)
+    b = ExecutionBroker(device, registry)
+    from repro.dsl.model import StructValue
+    program = Program([
+        SyscallCall("socket$bt_l2cap", (5, 0)),
+        SyscallCall("connect$bt_l2cap", (
+            ResourceRef(0), StructValue("connect$bt_l2cap",
+                                        {"psm": 1, "bdaddr": b"",
+                                         "cid": 0}))),
+    ])
+    outcome = b.execute(program)
+    titles = [c["title"] for c in outcome.crashes]
+    assert "WARNING in l2cap_send_disconn_req" in titles
+
+
+def test_outcome_wire_roundtrip(broker):
+    _device, b = broker
+    program = Program([
+        HalCall("vendor.usb", "enablePort", ()),
+        SyscallCall("openat$tcpc0", (2,)),
+    ])
+    outcome = b.execute(program)
+    wire = outcome.to_dict()
+    back = ExecOutcome.from_dict(wire)
+    assert back.kernel_pcs == outcome.kernel_pcs
+    assert back.hal_sequence == outcome.hal_sequence
+    assert back.captures == outcome.captures
+    assert [s.ret for s in back.statuses] == [s.ret for s in
+                                              outcome.statuses]
+
+
+def test_rpc_handler(broker):
+    _device, b = broker
+    payload = b.wire_program(Program([SyscallCall("openat$tcpc0", (2,))]))
+    out = b.rpc_handler(payload)
+    assert out["rets"][0] >= 0
+    assert b.rpc_handler({"cmd": "ping"})["pong"]
+    assert "error" in b.rpc_handler({"cmd": "bogus"})
+
+
+def test_ioctl_only_filter_blocks_writes():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile)
+    b = ExecutionBroker(device, registry, IOCTL_ONLY_FILTER)
+    program = Program([
+        SyscallCall("openat$tcpc0", (2,)),
+        SyscallCall("write$tcpc0", (ResourceRef(0), b"\x10\x01")),
+    ])
+    outcome = b.execute(program)
+    assert outcome.statuses[1].ret == -1  # EPERM
+
+
+def test_ioctl_only_filter_applies_to_hal():
+    device = AndroidDevice(profile_by_id("A2"))
+    registry = build_descriptions(device.profile)
+    b = ExecutionBroker(device, registry, IOCTL_ONLY_FILTER)
+    # Bluetooth enable needs write(): with the filter it must fail.
+    program = Program([HalCall("vendor.bluetooth", "enable", ())])
+    outcome = b.execute(program)
+    assert outcome.statuses[0].ret != 0
+
+
+def test_on_reboot_respawns(broker):
+    device, b = broker
+    device.reboot()
+    b.on_reboot()
+    outcome = b.execute(Program([SyscallCall("openat$tcpc0", (2,))]))
+    assert outcome.statuses[0].ret >= 0

@@ -1,0 +1,78 @@
+"""Tests for HAL payload capture and cross-boundary relation learning."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device import AndroidDevice, profile_by_id
+from repro.dsl.model import HalCall, Program
+
+
+@pytest.fixture(scope="module")
+def engine_a2():
+    device = AndroidDevice(profile_by_id("A2"))
+    return FuzzingEngine(device, FuzzerConfig(seed=0, campaign_hours=0.1))
+
+
+def test_capture_labels_map_to_descs(engine_a2):
+    import repro.kernel.drivers.tcpc_rt1711 as tcpc
+    labels = engine_a2._capture_labels([
+        ("write", "/dev/hci0", b"\x01\x03\x0c\x00"),
+        ("ioctl", "/dev/tcpc0", tcpc.TCPC_IOC_PROBE, None),
+        ("ioctl", "/dev/tcpc0", 0xDEAD, None),
+    ])
+    # Vendor ioctls have no public typed desc: they map to the raw form.
+    assert labels == ["write$hci0", "ioctl$raw_tcpc0", "ioctl$raw_tcpc0"]
+
+
+def test_capture_labels_standard_ioctls_resolve(engine_a2):
+    import repro.kernel.drivers.sensors_iio as iio
+    labels = engine_a2._capture_labels([
+        ("ioctl", "/dev/iio:device0", iio.IIO_IOC_BUFFER_ENABLE, None)])
+    assert labels == ["ioctl$IIO_IOC_BUFFER_ENABLE"]
+
+
+def test_bluetooth_enable_captures_hci_packets(engine_a2):
+    # The probing pass may have left the stack enabled; reset first.
+    program = Program([HalCall("vendor.bluetooth", "disable", ()),
+                       HalCall("vendor.bluetooth", "enable", ())])
+    outcome = engine_a2.broker.execute(program)
+    writes = [c for c in outcome.captures if c[0] == "write"]
+    assert any(c[1] == "/dev/hci0" for c in writes)
+    payloads = {c[2] for c in writes}
+    assert b"\x01\x03\x0c\x00" in payloads  # HCI_RESET
+    # READ_SUPPORTED_CODECS is in the canonical init sequence.
+    assert b"\x01\x0b\x10\x00" in payloads
+
+
+def test_captured_payloads_enter_generator_pools(engine_a2):
+    program = Program([HalCall("vendor.bluetooth", "disable", ()),
+                       HalCall("vendor.bluetooth", "enable", ())])
+    outcome = engine_a2.broker.execute(program)
+    for capture in outcome.captures:
+        engine_a2.generator.record_capture(capture)
+    pool = engine_a2.generator._captured_writes.get("/dev/hci0")
+    assert pool and len(pool) >= 5
+
+
+def test_relations_learn_hal_call_order(engine_a2):
+    import repro.kernel.drivers.bt_hci as hci
+    labels = engine_a2._capture_labels([
+        ("ioctl", "/dev/hci0", hci.HCIDEV_IOC_UP, None),
+        ("write", "/dev/hci0", b"\x01\x03\x0c\x00"),
+    ])
+    engine_a2.relations.learn_program(labels)
+    # Vendor ioctl maps to the raw form; the chain edge is learned.
+    assert engine_a2.relations.edge_weight("ioctl$raw_hci0",
+                                           "write$hci0") > 0
+    # Self-edges are deliberately excluded (call repetition is handled
+    # by the generator's repeat mechanism instead).
+    engine_a2.relations.learn_program(["write$hci0", "write$hci0"])
+    assert engine_a2.relations.edge_weight("write$hci0",
+                                           "write$hci0") == 0
+
+
+def test_capture_dedup(engine_a2):
+    engine_a2.generator.record_capture(("write", "/dev/x", b"same"))
+    engine_a2.generator.record_capture(("write", "/dev/x", b"same"))
+    assert len(engine_a2.generator._captured_writes["/dev/x"]) == 1

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_devices(capsys):
+    assert main(["list-devices"]) == 0
+    out = capsys.readouterr().out
+    for ident in ("A1", "A2", "B", "C1", "C2", "D", "E"):
+        assert ident in out
+    assert "Xiaomi" in out and "AAEON" in out
+
+
+def test_probe_command(capsys):
+    assert main(["probe", "C2", "--no-links"]) == 0
+    out = capsys.readouterr().out
+    assert "vendor.wifi.startSoftAp" in out
+    assert "framework flows distilled" in out
+
+
+def test_fuzz_command_with_state(tmp_path, capsys):
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                 "--state-dir", str(tmp_path), "--repro"]) == 0
+    out = capsys.readouterr().out
+    assert "coverage" in out
+    assert (tmp_path / "corpus.txt").exists()
+
+
+def test_fuzz_tool_choice_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fuzz", "E", "--tool", "nonsense"])
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "E", "--hours", "1",
+                 "--tools", "droidfuzz", "difuze"]) == 0
+    out = capsys.readouterr().out
+    assert "droidfuzz" in out and "difuze" in out
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

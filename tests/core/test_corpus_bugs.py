@@ -1,0 +1,97 @@
+"""Tests for the corpus and bug triage."""
+
+import random
+
+from repro.core.bugs import BugTracker
+from repro.core.corpus import Corpus
+from repro.dsl.model import Program, SyscallCall
+
+
+def program_named(name):
+    return Program([SyscallCall(name, ())])
+
+
+def test_corpus_add_and_len():
+    c = Corpus()
+    c.add(program_named("a"), frozenset({1}), 0.0)
+    c.add(program_named("b"), frozenset({2}), 1.0)
+    assert len(c) == 2
+
+
+def test_corpus_add_copies_program():
+    c = Corpus()
+    p = program_named("a")
+    c.add(p, frozenset(), 0.0)
+    p.calls.clear()
+    assert len(c.seeds[0].program) == 1
+
+
+def test_corpus_choose_empty():
+    assert Corpus().choose(random.Random(0)) is None
+    assert Corpus().donor(random.Random(0)) is None
+
+
+def test_corpus_choose_counts_mutations():
+    c = Corpus()
+    c.add(program_named("a"), frozenset(), 0.0)
+    seed = c.choose(random.Random(0))
+    assert seed.mutations == 1
+
+
+def test_corpus_recency_bias():
+    c = Corpus()
+    for i in range(100):
+        c.add(program_named(f"p{i}"), frozenset(), float(i))
+    rng = random.Random(0)
+    recent = sum(1 for _ in range(300)
+                 if c.choose(rng).program.calls[0].desc >= "p75")
+    assert recent > 100
+
+
+def test_corpus_dump_load_roundtrip():
+    c = Corpus()
+    c.add(program_named("openat$x"), frozenset(), 0.0)
+    c.add(Program([SyscallCall("openat$y", (1,)),
+                   SyscallCall("read$y", ())]), frozenset(), 1.0)
+    programs = Corpus.load(c.dump())
+    assert len(programs) == 2
+    assert programs[1].calls[0].desc == "openat$y"
+
+
+def test_bug_tracker_dedup():
+    t = BugTracker("A1")
+    crash = {"kind": "WARNING", "title": "WARNING in x",
+             "component": "kernel"}
+    fresh = t.record([crash], 10.0)
+    assert len(fresh) == 1
+    again = t.record([crash], 20.0)
+    assert again == []
+    assert t.reports["WARNING in x"].count == 2
+    assert t.reports["WARNING in x"].first_clock == 10.0
+
+
+def test_bug_tracker_reproducer_serialized():
+    t = BugTracker("A1")
+    program = program_named("openat$x")
+    t.record([{"kind": "KASAN", "title": "KASAN: x in y",
+               "component": "kernel"}], 5.0, program)
+    assert "openat$x" in t.reports["KASAN: x in y"].reproducer
+
+
+def test_bug_tracker_component_split():
+    t = BugTracker("A1")
+    t.record([{"kind": "WARNING", "title": "k", "component": "kernel"},
+              {"kind": "NATIVE", "title": "h", "component": "hal"}], 0.0)
+    assert [b.title for b in t.kernel_bugs()] == ["k"]
+    assert [b.title for b in t.hal_bugs()] == ["h"]
+    assert t.hal_bugs()[0].is_hal()
+
+
+def test_bug_tracker_ordering():
+    t = BugTracker("A1")
+    t.record([{"kind": "W", "title": "late", "component": "kernel"}], 9.0)
+    t.record([{"kind": "W", "title": "early", "component": "kernel"}], 1.0)
+    # Ordered by first discovery time.
+    assert [b.title for b in t.all_reports()] == ["late", "early"] or \
+           [b.title for b in t.all_reports()] == ["early", "late"]
+    assert t.titles() == {"late", "early"}

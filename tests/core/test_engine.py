@@ -1,0 +1,112 @@
+"""Tests for the fuzzing engine and daemon."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.core.engine import CampaignResult, FuzzingEngine
+from repro.device import AndroidDevice, profile_by_id
+
+
+@pytest.fixture(scope="module")
+def short_run():
+    device = AndroidDevice(profile_by_id("A1"))
+    config = FuzzerConfig(seed=11, campaign_hours=1.0)
+    engine = FuzzingEngine(device, config)
+    result = engine.run()
+    return engine, result
+
+
+def test_campaign_produces_coverage(short_run):
+    _engine, result = short_run
+    assert result.kernel_coverage > 50
+    assert result.joint_coverage >= result.kernel_coverage
+    assert result.executions > 100
+    assert result.corpus_size > 10
+
+
+def test_timeline_monotone(short_run):
+    _engine, result = short_run
+    times = [t for t, _ in result.timeline]
+    covs = [c for _, c in result.timeline]
+    assert times == sorted(times)
+    assert covs == sorted(covs)
+    assert result.timeline[-1][0] == pytest.approx(3600.0)
+
+
+def test_coverage_at(short_run):
+    _engine, result = short_run
+    assert result.coverage_at(0.0) <= result.coverage_at(1.0)
+    assert result.coverage_at(1.0) == result.kernel_coverage
+
+
+def test_relations_learned(short_run):
+    engine, _result = short_run
+    assert engine.relations.edge_count() > 10
+    assert engine.relations.updates > 10
+
+
+def test_probe_ran(short_run):
+    _engine, result = short_run
+    assert result.interface_count >= 40
+
+
+def test_per_driver_coverage_populated(short_run):
+    _engine, result = short_run
+    assert "rt1711_tcpc" in result.per_driver
+    assert result.driver_totals["drm_gpu"] == 90
+
+
+def test_engine_deterministic():
+    results = []
+    for _ in range(2):
+        device = AndroidDevice(profile_by_id("C2"))
+        engine = FuzzingEngine(device, FuzzerConfig(seed=5,
+                                                    campaign_hours=0.5))
+        results.append(engine.run())
+    assert results[0].kernel_coverage == results[1].kernel_coverage
+    assert results[0].executions == results[1].executions
+    assert results[0].bug_titles() == results[1].bug_titles()
+
+
+def test_seeds_differ():
+    covs = set()
+    for seed in (1, 2):
+        device = AndroidDevice(profile_by_id("C2"))
+        engine = FuzzingEngine(device, FuzzerConfig(seed=seed,
+                                                    campaign_hours=0.5))
+        covs.add(engine.run().executions)
+    assert len(covs) == 2
+
+
+def test_no_hal_mode_runs():
+    device = AndroidDevice(profile_by_id("C2"))
+    config = FuzzerConfig(seed=1, campaign_hours=0.5, enable_hal=False,
+                          enable_relations=False, enable_hcov=False)
+    engine = FuzzingEngine(device, config)
+    result = engine.run()
+    assert result.interface_count == 0
+    assert result.kernel_coverage > 0
+    assert result.joint_coverage == result.kernel_coverage
+
+
+def test_ioctl_only_mode_runs():
+    device = AndroidDevice(profile_by_id("C2"))
+    config = FuzzerConfig(seed=1, campaign_hours=0.5, ioctl_only=True)
+    engine = FuzzingEngine(device, config)
+    result = engine.run()
+    assert result.kernel_coverage > 0
+
+
+def test_daemon_fleet():
+    daemon = Daemon(FuzzerConfig(seed=2, campaign_hours=0.3))
+    results = daemon.run_fleet([profile_by_id("C2"), profile_by_id("E")])
+    assert len(results) == 2
+    assert set(daemon.coverage_summary()) == {"C2#2", "E#2"}
+    assert isinstance(daemon.all_bugs(), list)
+
+
+def test_campaign_result_bug_titles():
+    result = CampaignResult(tool="t", device="d", seed=0,
+                            duration_hours=1.0)
+    assert result.bug_titles() == set()

@@ -1,0 +1,156 @@
+"""Tests for the native and HAL executors."""
+
+import pytest
+
+import repro.kernel.drivers.tcpc_rt1711 as tcpc
+from repro.core.exec.hal_executor import HalExecutor
+from repro.core.exec.native_executor import NativeExecutor, fields_for_spec
+from repro.core.feedback import SpecializedSyscallTable
+from repro.device import AndroidDevice, profile_by_id
+from repro.dsl.descriptions import build_descriptions
+from repro.dsl.model import HalCall, ResourceRef, StructValue, SyscallCall
+
+
+@pytest.fixture
+def native():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile, vendor_interfaces=True)
+    return device, registry, NativeExecutor(device, registry)
+
+
+def test_open_produces_fd(native):
+    _device, _registry, ex = native
+    ret, produced = ex.run(SyscallCall("openat$tcpc0", (2,)), [])
+    assert ret >= 0 and produced == ret
+
+
+def test_unknown_desc_enosys(native):
+    _device, _registry, ex = native
+    ret, produced = ex.run(SyscallCall("openat$missing", ()), [])
+    assert ret == -38 and produced is None
+
+
+def test_ref_resolution_chain(native):
+    _device, _registry, ex = native
+    results = []
+    ret, fd = ex.run(SyscallCall("openat$tcpc0", (2,)), results)
+    results.append(fd)
+    ret, _ = ex.run(SyscallCall(
+        "ioctl$TCPC_IOC_PROBE", (ResourceRef(0, "fd_tcpc0"),)), results)
+    assert ret == 0
+
+
+def test_struct_packing(native):
+    _device, _registry, ex = native
+    results = []
+    _, fd = ex.run(SyscallCall("openat$tcpc0", (2,)), results)
+    results.append(fd)
+    ex.run(SyscallCall("ioctl$TCPC_IOC_PROBE", (ResourceRef(0),)), results)
+    results.append(0)
+    arg = StructValue("ioctl$TCPC_IOC_VBUS", {})
+    ret, _ = ex.run(SyscallCall("ioctl$TCPC_IOC_VBUS",
+                                (ResourceRef(0), 1)), results)
+    assert ret == 0
+
+
+def test_produced_resource_from_out_data(native):
+    device, _registry, ex = native
+    results = []
+    _, fd = ex.run(SyscallCall("openat$dri_card0", (2,)), results)
+    results.append(fd)
+    create = StructValue("ioctl$DRM_IOC_MODE_CREATE_DUMB",
+                         {"width": 64, "height": 64, "bpp": 32, "flags": 0})
+    ret, handle = ex.run(SyscallCall(
+        "ioctl$DRM_IOC_MODE_CREATE_DUMB", (ResourceRef(0), create)),
+        results)
+    assert ret == 0 and handle and handle > 0
+
+
+def test_ioctl_raw_uses_request_argument(native):
+    _device, _registry, ex = native
+    results = []
+    _, fd = ex.run(SyscallCall("openat$tcpc0", (2,)), results)
+    results.append(fd)
+    ret, _ = ex.run(SyscallCall(
+        "ioctl$raw_tcpc0",
+        (ResourceRef(0), tcpc.TCPC_IOC_PROBE, None)), results)
+    assert ret == 0
+
+
+def test_bad_ref_degrades_to_ebadf(native):
+    _device, _registry, ex = native
+    ret, _ = ex.run(SyscallCall("close$tcpc0", (ResourceRef(0),)), [])
+    assert ret == -9
+
+
+def test_socket_flow(native):
+    device = AndroidDevice(profile_by_id("D"))
+    registry = build_descriptions(device.profile)
+    ex = NativeExecutor(device, registry)
+    results = []
+    ret, sock = ex.run(SyscallCall("socket$bt_l2cap", (5, 0)), results)
+    assert ret >= 0
+    results.append(sock)
+    addr = StructValue("bind$bt_l2cap", {"psm": 0x81, "bdaddr": b"",
+                                         "cid": 0})
+    ret, _ = ex.run(SyscallCall("bind$bt_l2cap",
+                                (ResourceRef(0), addr)), results)
+    assert ret == 0
+    results.append(0)
+    ret, _ = ex.run(SyscallCall("listen$bt_l2cap",
+                                (ResourceRef(0), 2)), results)
+    assert ret == 0
+
+
+def test_fields_for_spec_lookup(native):
+    _device, registry, _ex = native
+    assert fields_for_spec(registry, "ioctl$TCPC_IOC_ATTACH")
+    assert fields_for_spec(registry, "bind$bt_l2cap")  # addr layout
+    assert fields_for_spec(registry, "nonsense") == ()
+
+
+def test_hal_executor_traces_and_captures():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile)
+    table = SpecializedSyscallTable(registry)
+    ex = HalExecutor(device, table)
+    status, produced, seq, captures = ex.run(
+        HalCall("vendor.usb", "enablePort", ()), [])
+    assert status == 0
+    assert seq  # the HAL issued syscalls
+    labels = [table.label(i) for i in seq]
+    assert "openat" in labels
+    assert any(c[0] == "ioctl" and c[1] == "/dev/tcpc0" for c in captures)
+
+
+def test_hal_executor_coerces_args():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile)
+    ex = HalExecutor(device, SpecializedSyscallTable(registry))
+    # Strings where ints belong degrade to 0 rather than blowing up.
+    status, _p, _s, _c = ex.run(
+        HalCall("vendor.usb", "negotiate", ("x", "y")), [])
+    assert status == -22  # BAD_VALUE from range check
+
+
+def test_hal_executor_unknown_targets():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile)
+    ex = HalExecutor(device, SpecializedSyscallTable(registry))
+    assert ex.run(HalCall("vendor.none", "x", ()), [])[0] == -38
+    assert ex.run(HalCall("vendor.usb", "nope", ()), [])[0] == -74
+
+
+def test_hal_executor_crash_reported_and_restart():
+    device = AndroidDevice(profile_by_id("A1"))
+    registry = build_descriptions(device.profile)
+    ex = HalExecutor(device, SpecializedSyscallTable(registry))
+    svc = "vendor.graphics.composer"
+    ex.run(HalCall(svc, "setPowerMode", (1,)), [])
+    _st, layer, _s, _c = ex.run(HalCall(svc, "createLayer", ()), [])
+    ex.run(HalCall(svc, "setLayerBuffer", (layer, 64, 64)), [])
+    status, _p, _s, _c = ex.run(HalCall(svc, "presentDisplay", ()), [])
+    assert status == -32  # DEAD_OBJECT
+    # Next call works against the restarted instance.
+    status, _p, _s, _c = ex.run(HalCall(svc, "getDisplayAttributes", ()), [])
+    assert status == 0

@@ -1,0 +1,101 @@
+"""Tests for the cross-boundary feedback machinery."""
+
+from repro.core.feedback import (
+    CoverageAccumulator,
+    JointFeedback,
+    SpecializedSyscallTable,
+    directional_coverage,
+)
+from repro.device.profiles import profile_by_id
+from repro.dsl.descriptions import build_descriptions
+import repro.kernel.drivers.drm_gpu as drm
+
+
+def table():
+    return SpecializedSyscallTable(build_descriptions(profile_by_id("A1")))
+
+
+def test_specialized_ids_distinct_per_request():
+    t = table()
+    a = t.lookup("ioctl", drm.DRM_IOC_MODE_PAGE_FLIP)
+    b = t.lookup("ioctl", drm.DRM_IOC_MODE_SETCRTC)
+    assert a != b
+
+
+def test_specialized_lookup_stable():
+    t1, t2 = table(), table()
+    req = drm.DRM_IOC_MODE_PAGE_FLIP
+    assert t1.lookup("ioctl", req) == t2.lookup("ioctl", req)
+
+
+def test_unknown_request_gets_stable_hashed_id():
+    t = table()
+    a = t.lookup("ioctl", 0xDEADBEEF)
+    b = t.lookup("ioctl", 0xDEADBEEF)
+    c = t.lookup("ioctl", 0xDEADBEEE)
+    assert a == b
+    assert a != c
+    assert a >= 2_000_000
+
+
+def test_generic_syscall_id():
+    t = table()
+    assert t.lookup("read", None) == t.lookup("read", None)
+    assert t.lookup("read", None) != t.lookup("write", None)
+
+
+def test_unknown_syscall_bucket():
+    t = table()
+    assert 1_000_000 <= t.lookup("frobnicate", None) < 2_000_000
+
+
+def test_socket_specialized_by_domain():
+    t = table()
+    assert t.lookup("socket", 31) != t.lookup("socket", None)
+
+
+def test_label_roundtrip():
+    t = table()
+    ident = t.lookup("ioctl", drm.DRM_IOC_MODE_PAGE_FLIP)
+    assert t.label(ident) == "ioctl$DRM_IOC_MODE_PAGE_FLIP"
+
+
+def test_directional_empty():
+    assert directional_coverage([]) == frozenset()
+
+
+def test_directional_head_plus_transitions():
+    cov = directional_coverage([1, 2, 3])
+    assert len(cov) == 3  # head + (1,2) + (2,3)
+
+
+def test_directional_order_sensitive():
+    assert directional_coverage([1, 2]) != directional_coverage([2, 1])
+
+
+def test_directional_repeats_collapse():
+    # (1,2),(2,1),(1,2): the repeated transition adds nothing new.
+    assert len(directional_coverage([1, 2, 1, 2])) == 3
+
+
+def test_directional_ids_tagged_out_of_kcov_range():
+    for element in directional_coverage([5, 6]):
+        assert element >> 60 == 0xF
+
+
+def test_joint_feedback_merges():
+    fb = JointFeedback(kernel_pcs=frozenset({1, 2}),
+                       hal_elements=frozenset({10}))
+    assert fb.merged() == {1, 2, 10}
+    assert bool(fb)
+    assert not JointFeedback()
+
+
+def test_accumulator_novelty():
+    acc = CoverageAccumulator()
+    first = acc.merge(JointFeedback(frozenset({1}), frozenset({9})))
+    assert first == {1, 9}
+    second = acc.merge(JointFeedback(frozenset({1, 2}), frozenset({9})))
+    assert second == {2}
+    assert acc.total() == 3
+    assert acc.kernel_total() == 2

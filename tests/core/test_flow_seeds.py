@@ -1,0 +1,62 @@
+"""Tests for framework-flow distillation and corpus seeding."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.core.probe import Prober
+from repro.device import AndroidDevice, profile_by_id
+from repro.dsl.model import ResourceRef
+
+
+@pytest.fixture(scope="module")
+def a2_engine():
+    device = AndroidDevice(profile_by_id("A2"))
+    return FuzzingEngine(device, FuzzerConfig(seed=0, campaign_hours=0.1))
+
+
+def test_flows_distilled_from_traffic():
+    device = AndroidDevice(profile_by_id("A2"))
+    model = Prober(device).probe(infer_links=False)
+    assert model.flows
+    # Every flow stays within one service and has real labels.
+    for flow in model.flows:
+        services = {label.rsplit(".", 1)[0] for label, _args in flow}
+        assert len(services) == 1
+        for label, _args in flow:
+            assert model.get(label) is not None
+        assert 2 <= len(flow) <= 12
+
+
+def test_media_flow_contains_codec_lifecycle():
+    device = AndroidDevice(profile_by_id("A2"))
+    model = Prober(device).probe(infer_links=False)
+    media_flows = [f for f in model.flows
+                   if f[0][0].startswith("vendor.media.codec")]
+    assert media_flows
+    labels = [label for flow in media_flows for label, _ in flow]
+    assert "vendor.media.codec.createCodec" in labels
+    assert "vendor.media.codec.queueInputBuffer" in labels
+
+
+def test_seed_programs_validate_and_relink(a2_engine):
+    programs = a2_engine._flow_seed_programs()
+    assert programs
+    relinked = 0
+    for program in programs:
+        program.validate()
+        for call in program.calls:
+            relinked += sum(1 for ref in program.arg_refs(call)
+                            if ref.kind.startswith("hal:"))
+    assert relinked > 0
+
+
+def test_seed_programs_enter_corpus():
+    device = AndroidDevice(profile_by_id("A2"))
+    engine = FuzzingEngine(device, FuzzerConfig(seed=0,
+                                                campaign_hours=0.5))
+    result = engine.run()
+    labels = {call.label for seed in engine.corpus.seeds
+              for call in seed.program.calls}
+    assert "vendor.media.codec.queueInputBuffer" in labels
+    assert result.corpus_size > 5

@@ -1,0 +1,175 @@
+"""Tests for relational payload generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.generation.generator import PayloadGenerator
+from repro.core.probe import Prober
+from repro.core.relations import RelationGraph
+from repro.device import AndroidDevice, profile_by_id
+from repro.dsl.descriptions import build_descriptions
+from repro.dsl.model import HalCall, Program, ResourceRef, StructValue
+
+
+@pytest.fixture(scope="module")
+def parts():
+    profile = profile_by_id("A1")
+    registry = build_descriptions(profile)
+    device = AndroidDevice(profile)
+    hal_model = Prober(device).probe(infer_links=False)
+    return registry, hal_model
+
+
+def make_generator(parts, seed=0, hal=True, relations_enabled=True):
+    registry, hal_model = parts
+    relations = RelationGraph()
+    for name in registry.names():
+        relations.add_vertex(name, 0.3)
+    if hal:
+        for label in hal_model.labels():
+            relations.add_vertex(label, 0.3)
+    return PayloadGenerator(registry, hal_model if hal else None,
+                            relations, random.Random(seed),
+                            relations_enabled=relations_enabled)
+
+
+def test_generated_programs_validate(parts):
+    gen = make_generator(parts)
+    for _ in range(300):
+        program = gen.generate()
+        program.validate()
+        assert len(program) >= 1
+
+
+def test_fd_consumers_get_producers(parts):
+    gen = make_generator(parts)
+    found_chain = False
+    for _ in range(300):
+        program = gen.generate()
+        for index, call in enumerate(program.calls):
+            if call.is_hal or not call.args:
+                continue
+            arg = call.args[0]
+            if isinstance(arg, ResourceRef):
+                producer = program.calls[arg.index]
+                assert not producer.is_hal
+                found_chain = True
+    assert found_chain
+
+
+def test_no_unresolved_markers_leak(parts):
+    gen = make_generator(parts)
+    for _ in range(200):
+        program = gen.generate()
+        for call in program.calls:
+            for ref in Program.arg_refs(call):
+                assert ref.index >= 0
+
+
+def test_relationless_mode_generates(parts):
+    gen = make_generator(parts, relations_enabled=False)
+    lengths = [len(gen.generate()) for _ in range(100)]
+    assert max(lengths) > 1
+
+
+def test_history_pool_reuse(parts):
+    gen = make_generator(parts, seed=3)
+    program = Program([HalCall("vendor.usb", "negotiate", (9000, 2000))])
+    gen.record_history(program)
+    hits = 0
+    for _ in range(200):
+        call = gen.instantiate("vendor.usb.negotiate")
+        if call.args == (9000, 2000):
+            hits += 1
+    assert hits > 20
+
+
+def test_history_refs_renormalized(parts):
+    gen = make_generator(parts)
+    program = Program([
+        HalCall("vendor.graphics.composer", "createLayer", ()),
+        HalCall("vendor.graphics.composer", "destroyLayer",
+                (ResourceRef(0, "hal:vendor.graphics.composer.createLayer"),)),
+    ])
+    gen.record_history(program)
+    for _ in range(100):
+        out = gen.generate()
+        out.validate()  # would raise on stale absolute refs
+
+
+def test_capture_replay(parts):
+    gen = make_generator(parts, seed=1)
+    gen.record_capture(("write", "/dev/hci0", b"\x01\x03\x0c\x00"))
+    desc = parts[0].get("write$hci0")
+    hits = 0
+    for _ in range(300):
+        call = gen._instantiate_syscall(desc)
+        if call.args[1] == b"\x01\x03\x0c\x00":
+            hits += 1
+    assert hits > 100
+
+
+def test_capture_ioctl_replay(parts):
+    gen = make_generator(parts, seed=1)
+    gen.record_capture(("ioctl", "/dev/tcpc0", 0x5400, b"\x01"))
+    desc = parts[0].get("ioctl$raw_tcpc0")
+    hits = 0
+    for _ in range(300):
+        call = gen._instantiate_syscall(desc)
+        if call.args[1] == 0x5400:
+            hits += 1
+    assert hits > 150
+
+
+def test_observed_stale_values_used(parts):
+    registry, hal_model = parts
+    gen = make_generator(parts, seed=2)
+    # Give the capture method a link so the stale path can trigger.
+    model = hal_model.get("vendor.usb.swapRole")
+    model.links[0] = ("vendor.usb", "getPortStatus")
+    gen.observe_produced("hal:vendor.usb.getPortStatus", 777)
+    stale_hits = 0
+    for _ in range(400):
+        call = gen._instantiate_hal(model)
+        if call.args and call.args[0] == 777:
+            stale_hits += 1
+    assert stale_hits > 10
+
+
+def test_sibling_label(parts):
+    gen = make_generator(parts)
+    for _ in range(20):
+        sib = gen.sibling_label("openat$tcpc0")
+        desc = parts[0].get(sib)
+        assert desc.driver == "rt1711_tcpc"
+    hal_sib = gen.sibling_label("vendor.usb.negotiate")
+    assert hal_sib.startswith("vendor.usb.")
+
+
+def test_seen_args_replayed(parts):
+    registry, hal_model = parts
+    model = hal_model.get("vendor.audio.openOutputStream")
+    model.remember_args((48000, 2, 2))
+    gen = make_generator(parts, seed=5)
+    hits = sum(
+        1 for _ in range(200)
+        if gen._instantiate_hal(model).args == (48000, 2, 2))
+    assert hits > 25
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=30)
+def test_generation_deterministic_per_seed(seed):
+    profile = profile_by_id("C2")
+    registry = build_descriptions(profile)
+    relations = RelationGraph()
+    for name in registry.names():
+        relations.add_vertex(name, 0.3)
+    outs = []
+    for _ in range(2):
+        gen = PayloadGenerator(registry, None, relations,
+                               random.Random(seed))
+        outs.append([c.label for c in gen.generate().calls])
+    assert outs[0] == outs[1]

@@ -1,0 +1,74 @@
+"""Tests for program minimization."""
+
+from repro.core.generation.minimizer import minimize
+from repro.dsl.model import Program, ResourceRef, SyscallCall
+
+
+def program_of(n):
+    return Program([SyscallCall(f"call{i}", ()) for i in range(n)])
+
+
+def test_minimize_to_single_essential_call():
+    program = program_of(6)
+
+    def interesting(candidate):
+        return any(c.desc == "call3" for c in candidate.calls)
+
+    out = minimize(program, interesting)
+    assert [c.desc for c in out.calls] == ["call3"]
+
+
+def test_minimize_keeps_pair():
+    program = program_of(6)
+
+    def interesting(candidate):
+        names = [c.desc for c in candidate.calls]
+        return "call1" in names and "call4" in names
+
+    out = minimize(program, interesting)
+    assert sorted(c.desc for c in out.calls) == ["call1", "call4"]
+
+
+def test_minimize_respects_dependencies():
+    program = Program([
+        SyscallCall("open", ()),
+        SyscallCall("junk", ()),
+        SyscallCall("use", (ResourceRef(0),)),
+    ])
+
+    def interesting(candidate):
+        return any(c.desc == "use" for c in candidate.calls)
+
+    out = minimize(program, interesting)
+    out.validate()
+    assert [c.desc for c in out.calls] == ["open", "use"]
+
+
+def test_minimize_execution_budget():
+    program = program_of(30)
+    calls = []
+
+    def interesting(candidate):
+        calls.append(1)
+        return True
+
+    minimize(program, interesting, max_executions=10)
+    assert len(calls) <= 10
+
+
+def test_minimize_never_returns_empty():
+    program = program_of(3)
+    out = minimize(program, lambda c: True)
+    assert len(out) >= 1
+
+
+def test_minimize_uninteresting_keeps_original():
+    program = program_of(4)
+    out = minimize(program, lambda c: len(c) == 4)
+    assert len(out) == 4
+
+
+def test_original_not_modified():
+    program = program_of(5)
+    minimize(program, lambda c: True)
+    assert len(program) == 5

@@ -1,0 +1,120 @@
+"""Tests for program mutation operators."""
+
+import random
+
+import pytest
+
+from repro.core.generation.generator import PayloadGenerator
+from repro.core.generation.mutator import Mutator, _havoc_bytes
+from repro.core.relations import RelationGraph
+from repro.device.profiles import profile_by_id
+from repro.dsl.descriptions import build_descriptions
+from repro.dsl.model import Program, ResourceRef, StructValue, SyscallCall
+
+
+@pytest.fixture(scope="module")
+def mutator():
+    registry = build_descriptions(profile_by_id("A1"))
+    relations = RelationGraph()
+    for name in registry.names():
+        relations.add_vertex(name, 0.3)
+    rng = random.Random(7)
+    generator = PayloadGenerator(registry, None, relations, rng)
+    return Mutator(generator, rng), generator
+
+
+def seed_program():
+    return Program([
+        SyscallCall("openat$tcpc0", (2,)),
+        SyscallCall("ioctl$raw_tcpc0",
+                    (ResourceRef(0, "fd_tcpc0"), 0x5400, b"\x01\x02")),
+        SyscallCall("write$tcpc0",
+                    (ResourceRef(0, "fd_tcpc0"), b"\x10\x01")),
+    ])
+
+
+def test_mutants_always_validate(mutator):
+    mut, _gen = mutator
+    program = seed_program()
+    for _ in range(500):
+        candidate = mut.mutate(program)
+        candidate.validate()
+        assert len(candidate) >= 1
+
+
+def test_original_program_untouched(mutator):
+    mut, _gen = mutator
+    program = seed_program()
+    before = [c.label for c in program.calls]
+    for _ in range(100):
+        mut.mutate(program)
+    assert [c.label for c in program.calls] == before
+    assert program.calls[1].args[1] == 0x5400
+
+
+def test_mutation_changes_something(mutator):
+    mut, _gen = mutator
+    program = seed_program()
+    from repro.dsl.text import serialize_program
+    base = serialize_program(program)
+    changed = sum(1 for _ in range(50)
+                  if serialize_program(mut.mutate(program)) != base)
+    assert changed >= 45
+
+
+def test_splice_validates(mutator):
+    mut, _gen = mutator
+    a, b = seed_program(), seed_program()
+    for _ in range(100):
+        candidate = mut.mutate(a, splice_donor=b)
+        candidate.validate()
+
+
+def test_mutants_bounded_length(mutator):
+    mut, _gen = mutator
+    program = seed_program()
+    for _ in range(200):
+        program = mut.mutate(program)
+        assert len(program) <= mut._max_calls + 8
+
+
+def test_havoc_bytes_changes_and_bounded():
+    rng = random.Random(1)
+    data = bytes(range(32))
+    results = {_havoc_bytes(rng, data) for _ in range(50)}
+    assert data not in results or len(results) > 1
+    for out in results:
+        assert len(out) <= len(data) + 8
+
+
+def test_havoc_on_empty():
+    rng = random.Random(2)
+    assert isinstance(_havoc_bytes(rng, b""), bytes)
+
+
+def test_insert_preserves_backward_refs(mutator):
+    mut, _gen = mutator
+    program = seed_program()
+    for _ in range(300):
+        candidate = mut.mutate(program)
+        for position, call in enumerate(candidate.calls):
+            for ref in Program.arg_refs(call):
+                assert ref.index < position
+
+
+def test_struct_field_mutation_reachable(mutator):
+    mut, _gen = mutator
+    program = Program([
+        SyscallCall("openat$tcpc0", (2,)),
+        SyscallCall("ioctl$raw_tcpc0",
+                    (ResourceRef(0, "fd_tcpc0"), 1,
+                     StructValue("ioctl$raw_tcpc0", {"x": 5}))),
+    ])
+    seen = set()
+    for _ in range(300):
+        candidate = mut.mutate(program)
+        arg = candidate.calls[-1].args
+        for value in arg:
+            if isinstance(value, StructValue):
+                seen.add(value.values.get("x"))
+    assert len(seen) > 3

@@ -1,0 +1,111 @@
+"""Tests for the pre-testing HAL probing pass."""
+
+import pytest
+
+from repro.core.probe import HalInterfaceModel, HalMethodModel, PokeApp, Prober
+from repro.device import AndroidDevice, profile_by_id
+
+
+@pytest.fixture(scope="module")
+def probed():
+    device = AndroidDevice(profile_by_id("A1"))
+    model = Prober(device).probe()
+    return device, model
+
+
+def test_all_services_probed(probed):
+    device, model = probed
+    assert set(model.services()) == set(device.hal_services())
+
+
+def test_interface_count_substantial(probed):
+    _device, model = probed
+    assert model.interface_count() >= 40
+
+
+def test_signatures_recovered(probed):
+    _device, model = probed
+    negotiate = model.get("vendor.usb.negotiate")
+    assert negotiate.signature == ("i32", "i32")
+    set_buffer = model.get("vendor.graphics.composer.setLayerBuffer")
+    assert set_buffer.signature == ("i64", "i32", "i32")
+
+
+def test_weights_in_unit_interval(probed):
+    _device, model = probed
+    for method in model.methods.values():
+        assert 0 < method.weight < 1
+
+
+def test_hot_interfaces_weigh_more(probed):
+    _device, model = probed
+    present = model.get("vendor.graphics.composer.presentDisplay")
+    dump = model.get("vendor.graphics.composer.dumpDebugInfo")
+    assert present.weight > dump.weight
+
+
+def test_links_inferred(probed):
+    _device, model = probed
+    write_audio = model.get("vendor.audio.writeAudio")
+    assert write_audio.links.get(0) == ("vendor.audio", "openOutputStream")
+    destroy = model.get("vendor.graphics.composer.destroyLayer")
+    assert destroy.links.get(0) == ("vendor.graphics.composer",
+                                    "createLayer")
+
+
+def test_seen_args_recorded(probed):
+    _device, model = probed
+    open_stream = model.get("vendor.audio.openOutputStream")
+    assert any(args and args[0] in (16000, 48000)
+               for args in open_stream.seen_args)
+
+
+def test_camera_links_with_warmup():
+    device = AndroidDevice(profile_by_id("C1"))
+    model = Prober(device).probe()
+    capture = model.get("vendor.camera.provider.processCaptureRequest")
+    assert capture.links.get(0) == ("vendor.camera.provider",
+                                    "configureStreams")
+
+
+def test_probe_without_links_faster():
+    device = AndroidDevice(profile_by_id("C2"))
+    model = Prober(device).probe(infer_links=False)
+    assert model.interface_count() > 0
+    assert all(not m.links for m in model.methods.values())
+
+
+def test_poke_app_lists_and_reflects():
+    device = AndroidDevice(profile_by_id("C2"))
+    poke = PokeApp(device)
+    hals = poke.list_hals()
+    assert ("vendor.wifi", "vendor.wifi@1.5::IWifiChip") in hals
+    methods = poke.reflect_methods("vendor.wifi")
+    assert ("1", "start") not in methods  # codes are ints
+    assert (1, "start") in methods
+
+
+def test_poke_invoke_unknown():
+    device = AndroidDevice(profile_by_id("C2"))
+    poke = PokeApp(device)
+    assert poke.invoke("vendor.none", "x") is None
+    assert poke.invoke("vendor.wifi", "nope") is None
+
+
+def test_remember_args_dedup_and_cap():
+    m = HalMethodModel("s", "m", 1)
+    for _ in range(3):
+        m.remember_args((1, 2))
+    assert m.seen_args == [(1, 2)]
+    for i in range(40):
+        m.remember_args((i,), cap=10)
+    assert len(m.seen_args) == 10
+
+
+def test_model_queries():
+    model = HalInterfaceModel()
+    model.add(HalMethodModel("svc", "a", 1))
+    model.add(HalMethodModel("svc", "b", 2))
+    assert model.labels() == ["svc.a", "svc.b"]
+    assert len(model.by_service("svc")) == 2
+    assert model.get("svc.c") is None

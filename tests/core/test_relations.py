@@ -1,0 +1,150 @@
+"""Tests for the relation graph (Eq. 1, decay, traversal)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.relations import RelationGraph
+
+
+def graph(labels=("a", "b", "c", "d")):
+    g = RelationGraph()
+    for label in labels:
+        g.add_vertex(label, 0.5)
+    return g
+
+
+def test_vertex_weight_clamped():
+    g = RelationGraph()
+    g.add_vertex("x", 5.0)
+    g.add_vertex("y", -1.0)
+    assert 0 < g.vertex_weight("y") < g.vertex_weight("x") < 1
+
+
+def test_first_edge_gets_full_weight():
+    g = graph()
+    g.learn("a", "b")
+    assert g.edge_weight("a", "b") == 1.0
+
+
+def test_eq1_new_edge_and_halving():
+    g = graph()
+    g.learn("a", "b")          # w(a,b) = 1
+    g.learn("c", "b")          # w(c,b) = 1 - 1/2 = 0.5; w(a,b) halved
+    assert g.edge_weight("c", "b") == pytest.approx(0.5)
+    assert g.edge_weight("a", "b") == pytest.approx(0.5)
+    g.learn("d", "b")          # w = 1 - (0.5+0.5)/2 = 0.5; others halved
+    assert g.edge_weight("d", "b") == pytest.approx(0.5)
+    assert g.edge_weight("a", "b") == pytest.approx(0.25)
+    assert g.edge_weight("c", "b") == pytest.approx(0.25)
+
+
+def test_relearn_same_edge():
+    g = graph()
+    g.learn("a", "b")
+    g.learn("c", "b")
+    g.learn("a", "b")  # reconfirm: others halve again
+    assert g.edge_weight("c", "b") == pytest.approx(0.25)
+    assert g.edge_weight("a", "b") == pytest.approx(0.75)
+
+
+def test_self_edge_ignored():
+    g = graph()
+    g.learn("a", "a")
+    assert g.edge_count() == 0
+
+
+def test_unknown_vertices_ignored():
+    g = graph()
+    g.learn("a", "zzz")
+    g.learn("zzz", "a")
+    assert g.edge_count() == 0
+
+
+def test_learn_program_adjacent_pairs():
+    g = graph()
+    g.learn_program(["a", "b", "c"])
+    assert g.edge_weight("a", "b") > 0
+    assert g.edge_weight("b", "c") > 0
+    assert g.edge_weight("a", "c") == 0
+
+
+def test_decay_reduces_and_prunes():
+    g = graph()
+    g.learn("a", "b")
+    g.decay(0.5)
+    assert g.edge_weight("a", "b") == pytest.approx(0.5)
+    for _ in range(10):
+        g.decay(0.2)
+    assert g.edge_count() == 0
+
+
+def test_pick_base_respects_weights():
+    g = RelationGraph()
+    g.add_vertex("heavy", 0.99)
+    g.add_vertex("light", 0.0001)
+    rng = random.Random(0)
+    picks = [g.pick_base(rng) for _ in range(200)]
+    assert picks.count("heavy") > 190
+
+
+def test_pick_base_empty_graph():
+    with pytest.raises(ValueError):
+        RelationGraph().pick_base(random.Random(0))
+
+
+def test_walk_follows_edges():
+    g = graph()
+    g.learn("a", "b")
+    g.learn("b", "c")
+    rng = random.Random(1)
+    paths = {tuple(g.walk("a", rng, stop_probability=0.0))
+             for _ in range(50)}
+    assert ("a", "b", "c") in paths
+
+
+def test_walk_stops_at_dead_end():
+    g = graph()
+    g.learn("a", "b")
+    path = g.walk("a", random.Random(0), stop_probability=0.0)
+    assert path[-1] == "b" or path == ["a"]
+    assert len(path) <= 2
+
+
+def test_walk_respects_max_steps():
+    g = graph(("a",))
+    g.add_vertex("b", 0.5)
+    g.learn("a", "b")
+    g.learn("b", "a")
+    path = g.walk("a", random.Random(0), max_steps=3,
+                  stop_probability=0.0)
+    assert len(path) == 4
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", "d", "e"]),
+                min_size=2, max_size=30))
+@settings(max_examples=50)
+def test_incoming_weights_bounded_property(sequence):
+    """Invariant: after any learning history, each destination's
+    incoming weights stay within (0, 1] individually."""
+    g = graph(("a", "b", "c", "d", "e"))
+    g.learn_program(sequence)
+    for dst in ("a", "b", "c", "d", "e"):
+        for src in ("a", "b", "c", "d", "e"):
+            w = g.edge_weight(src, dst)
+            assert 0 <= w <= 1.0
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcde"),
+                          st.sampled_from("abcde")), max_size=40))
+@settings(max_examples=50)
+def test_decay_monotone_property(pairs):
+    g = graph(("a", "b", "c", "d", "e"))
+    for src, dst in pairs:
+        g.learn(src, dst)
+    before = {(s, d): g.edge_weight(s, d)
+              for s in "abcde" for d in "abcde"}
+    g.decay(0.8)
+    for key, weight in before.items():
+        assert g.edge_weight(*key) <= weight

@@ -1,0 +1,68 @@
+"""Tests for campaign state persistence."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.core.relations import RelationGraph
+from repro.core.state import load_state, save_state
+from repro.device import AndroidDevice, profile_by_id
+
+
+def test_relation_graph_roundtrip():
+    g = RelationGraph()
+    g.add_vertex("a", 0.4)
+    g.add_vertex("b", 0.6)
+    g.learn("a", "b")
+    g.learn("b", "a")
+    restored = RelationGraph.from_dict(g.to_dict())
+    assert restored.vertex_weight("a") == pytest.approx(0.4)
+    assert restored.edge_weight("a", "b") == g.edge_weight("a", "b")
+    assert restored.edge_weight("b", "a") == g.edge_weight("b", "a")
+    assert restored.updates == g.updates
+    assert restored.out_edges("a") == g.out_edges("a")
+
+
+@pytest.fixture(scope="module")
+def finished_engine():
+    device = AndroidDevice(profile_by_id("C2"))
+    engine = FuzzingEngine(device, FuzzerConfig(seed=6, campaign_hours=1.5))
+    engine.run()
+    return engine
+
+
+def test_save_and_load_state(finished_engine, tmp_path):
+    save_state(finished_engine, tmp_path)
+    for name in ("relations.json", "corpus.txt", "coverage.json",
+                 "bugs.json"):
+        assert (tmp_path / name).exists()
+
+    device = AndroidDevice(profile_by_id("C2"))
+    fresh = FuzzingEngine(device, FuzzerConfig(seed=7, campaign_hours=0.1))
+    load_state(fresh, tmp_path)
+    assert len(fresh.corpus) == len(finished_engine.corpus)
+    assert fresh.relations.edge_count() == \
+        finished_engine.relations.edge_count()
+    assert fresh.coverage.kernel_total() == \
+        finished_engine.coverage.kernel_total()
+    assert fresh.bugs.titles() == finished_engine.bugs.titles()
+
+
+def test_resumed_engine_keeps_fuzzing(finished_engine, tmp_path):
+    save_state(finished_engine, tmp_path)
+    device = AndroidDevice(profile_by_id("C2"))
+    resumed = FuzzingEngine(device, FuzzerConfig(seed=9,
+                                                 campaign_hours=0.5))
+    load_state(resumed, tmp_path)
+    result = resumed.run()
+    # Coverage is cumulative over the restored baseline.
+    assert result.kernel_coverage >= finished_engine.coverage.kernel_total()
+
+
+def test_load_from_empty_dir_is_noop(tmp_path):
+    device = AndroidDevice(profile_by_id("C2"))
+    engine = FuzzingEngine(device, FuzzerConfig(seed=1,
+                                                campaign_hours=0.1))
+    before = len(engine.corpus)
+    load_state(engine, tmp_path)
+    assert len(engine.corpus) == before

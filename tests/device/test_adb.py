@@ -1,0 +1,66 @@
+"""Tests for the ADB transport surrogate."""
+
+import pytest
+
+from repro.device import AdbConnection, AndroidDevice, profile_by_id
+from repro.errors import AdbError
+
+
+@pytest.fixture
+def adb():
+    return AdbConnection(AndroidDevice(profile_by_id("A1")))
+
+
+def test_lshal_lists_services(adb):
+    out = adb.shell("lshal")
+    assert "vendor.usb" in out
+    assert "IComposer" in out
+
+
+def test_service_list(adb):
+    assert "vendor.audio" in adb.shell("service list")
+
+
+def test_getprop(adb):
+    assert adb.shell("getprop ro.product.vendor.name") == "Xiaomi"
+    assert adb.shell("getprop ro.kernel.version") == "6.6"
+    assert "[ro.build.version.release]: [15]" in adb.shell("getprop")
+
+
+def test_ls_dev(adb):
+    assert "/dev/tcpc0" in adb.shell("ls /dev")
+
+
+def test_dmesg(adb):
+    adb.device.kernel.dmesg.log("hello world")
+    assert "hello world" in adb.shell("dmesg")
+
+
+def test_reboot_resets_device(adb):
+    adb.device.kernel.panicked = True
+    adb.shell("reboot")
+    assert adb.device.healthy
+
+
+def test_unknown_command(adb):
+    with pytest.raises(AdbError):
+        adb.shell("rm -rf /")
+
+
+def test_shell_charges_time(adb):
+    t0 = adb.device.clock
+    adb.shell("lshal")
+    assert adb.device.clock > t0
+
+
+def test_rpc_forwarding(adb):
+    adb.forward("sock", lambda payload: {"echo": payload["x"]})
+    assert adb.rpc("sock", {"x": 5}) == {"echo": 5}
+    with pytest.raises(AdbError):
+        adb.rpc("other", {})
+
+
+def test_wait_for_device_reboots_wedged(adb):
+    adb.device.kernel.hung = True
+    adb.wait_for_device()
+    assert adb.device.healthy

@@ -1,0 +1,111 @@
+"""Tests for AndroidDevice: clock, crash lifecycle, reboot."""
+
+import pytest
+
+from repro.device.device import AndroidDevice, DeviceCosts
+from repro.device.profiles import profile_by_id
+from repro.errors import DeadObjectError, DeviceError
+
+
+@pytest.fixture
+def dev():
+    return AndroidDevice(profile_by_id("A1"),
+                         costs=DeviceCosts(syscall=1.0, binder=4.0,
+                                           reboot=100.0, shell=1.0))
+
+
+def test_clock_advances_per_syscall(dev):
+    p = dev.new_process("t")
+    t0 = dev.clock
+    dev.syscall(p.pid, "openat", "/dev/tcpc0", 0)
+    assert dev.clock == t0 + 1.0
+
+
+def test_clock_advances_per_binder(dev):
+    p = dev.new_process("t")
+    t0 = dev.clock
+    dev.hal_transact(p.pid, "t", "vendor.thermal", "getCoolingDevices", ())
+    assert dev.clock >= t0 + 4.0
+
+
+def test_unknown_service_raises(dev):
+    p = dev.new_process("t")
+    with pytest.raises(DeviceError):
+        dev.hal_transact(p.pid, "t", "vendor.none", "x", ())
+
+
+def test_unknown_method_raises(dev):
+    p = dev.new_process("t")
+    with pytest.raises(DeviceError):
+        dev.hal_transact(p.pid, "t", "vendor.usb", "nope", ())
+
+
+def test_crash_drain_combines_kernel_and_hal(dev):
+    p = dev.new_process("t")
+    # kernel WARN via USB HAL reset-with-contract
+    for method, args in (("enablePort", ()), ("connectPartner", (0,)),
+                         ("negotiate", (9000, 2000)), ("resetPort", ())):
+        dev.hal_transact(p.pid, "t", "vendor.usb", method, args)
+    # HAL crash via graphics present-without-validate
+    dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                     "setPowerMode", (1,))
+    st, reply = dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                                 "createLayer", ())
+    layer = reply.read_i64()
+    dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                     "setLayerBuffer", (layer, 64, 64))
+    with pytest.raises(DeadObjectError):
+        dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                         "presentDisplay", ())
+    crashes = dev.drain_crashes()
+    components = {c.component for c in crashes}
+    assert components == {"kernel", "hal"}
+    assert dev.drain_crashes() == []
+
+
+def test_dead_service_lazily_restarted(dev):
+    p = dev.new_process("t")
+    dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                     "setPowerMode", (1,))
+    st, reply = dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                                 "createLayer", ())
+    layer = reply.read_i64()
+    dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                     "setLayerBuffer", (layer, 64, 64))
+    with pytest.raises(DeadObjectError):
+        dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                         "presentDisplay", ())
+    # Next transaction goes to a restarted, state-reset instance.
+    st, _ = dev.hal_transact(p.pid, "t", "vendor.graphics.composer",
+                             "presentDisplay", ())
+    assert st == -38  # INVALID_OPERATION: fresh instance is unpowered
+    assert dev.hal_process("vendor.graphics.composer").restart_count == 1
+
+
+def test_reboot_costs_time_and_resets(dev):
+    p = dev.new_process("t")
+    dev.syscall(p.pid, "openat", "/dev/tcpc0", 0)
+    t0 = dev.clock
+    boot0 = dev.boot_count
+    dev.reboot()
+    assert dev.clock == t0 + 100.0
+    assert dev.boot_count == boot0 + 1
+    assert dev.healthy
+    # Old task is gone after reboot.
+    assert dev.kernel.process(p.pid) is None
+
+
+def test_coverage_accounting(dev):
+    p = dev.new_process("t")
+    assert dev.coverage_blocks() == 0
+    fd = dev.syscall(p.pid, "openat", "/dev/tcpc0", 0).ret
+    assert dev.coverage_blocks() > 0
+    assert "rt1711_tcpc" in dev.per_driver_coverage()
+    totals = dev.driver_block_estimates()
+    assert totals["rt1711_tcpc"] == 70
+
+
+def test_hal_services_listed(dev):
+    names = dev.hal_services()
+    assert "vendor.usb" in names
+    assert "vendor.graphics.composer" in names

@@ -1,0 +1,64 @@
+"""Tests for the Table I device profiles."""
+
+import pytest
+
+from repro.device.profiles import DEVICE_PROFILES, profile_by_id
+from repro.hal.services import HAL_FACTORIES
+from repro.kernel.drivers import DRIVER_FACTORIES
+
+
+def test_seven_devices():
+    assert len(DEVICE_PROFILES) == 7
+    assert [p.ident for p in DEVICE_PROFILES] == [
+        "A1", "A2", "B", "C1", "C2", "D", "E"]
+
+
+def test_table1_identities():
+    a1 = profile_by_id("A1")
+    assert (a1.vendor, a1.arch, a1.aosp, a1.kernel) == (
+        "Xiaomi", "aarch64", 15, "6.6")
+    e = profile_by_id("E")
+    assert (e.vendor, e.arch, e.aosp, e.kernel) == (
+        "AAEON", "amd64", 13, "5.10")
+    b = profile_by_id("B")
+    assert b.vendor == "Raspberry Pi"
+    assert profile_by_id("C1").vendor == "Sunmi"
+    assert profile_by_id("D").vendor == "EmbedFire"
+
+
+def test_unknown_id():
+    with pytest.raises(KeyError):
+        profile_by_id("Z9")
+
+
+def test_all_drivers_exist_in_registry():
+    for profile in DEVICE_PROFILES:
+        for name in profile.drivers:
+            assert name in DRIVER_FACTORIES, (profile.ident, name)
+
+
+def test_all_hals_exist_in_registry():
+    for profile in DEVICE_PROFILES:
+        for name in profile.hals:
+            assert name in HAL_FACTORIES, (profile.ident, name)
+
+
+def test_planted_bugs_cover_table2():
+    planted = [bug for p in DEVICE_PROFILES for bug in p.planted_bugs]
+    assert sorted(planted) == list(range(1, 13))
+
+
+def test_quirks_only_on_attributed_devices():
+    # Bug 5's drain-loop quirk lives only on A2.
+    for profile in DEVICE_PROFILES:
+        quirk = profile.drivers.get("mtk_vcodec", {}).get(
+            "quirk_drain_loop", False)
+        assert quirk == (profile.ident == "A2")
+
+
+def test_profiles_are_buildable():
+    from repro.device.device import AndroidDevice
+    for profile in DEVICE_PROFILES:
+        device = AndroidDevice(profile)
+        assert device.kernel.device_paths()
+        assert device.hal_services()

@@ -1,0 +1,95 @@
+"""Tests for the syzlang-lite description registry."""
+
+import pytest
+
+from repro.device.profiles import profile_by_id
+from repro.dsl.descriptions import (
+    DescriptionRegistry,
+    SyscallDesc,
+    build_descriptions,
+    consumed_resources,
+    sanitize,
+)
+
+
+def test_sanitize():
+    assert sanitize("/dev/dri/card0") == "dev_dri_card0"
+    assert sanitize("iio:device0") == "iio_device0"
+
+
+def test_build_public_registry_a1(registry_a1):
+    names = registry_a1.names()
+    assert "openat$tcpc0" in names
+    assert "ioctl$raw_tcpc0" in names
+    # Vendor TCPC ioctls are NOT publicly described.
+    assert "ioctl$TCPC_IOC_PROBE" not in names
+    # Standard DRM ioctls are.
+    assert "ioctl$DRM_IOC_MODE_PAGE_FLIP" in names
+    # But the vendor vsync extension is not.
+    assert "ioctl$DRM_IOC_VSYNC_CLIENT" not in names
+
+
+def test_build_vendor_registry_a1(registry_a1_vendor):
+    names = registry_a1_vendor.names()
+    assert "ioctl$TCPC_IOC_PROBE" in names
+    assert "ioctl$DRM_IOC_VSYNC_CLIENT" in names
+    assert "ioctl$VCODEC_IOC_INIT" in names
+
+
+def test_vendor_write_spec_gated():
+    public = build_descriptions(profile_by_id("A2"))
+    assert public.get("write$hci0").write_fields == ()
+    full = build_descriptions(profile_by_id("A2"), vendor_interfaces=True)
+    assert full.get("write$hci0").write_fields
+
+
+def test_socket_family_descs(registry_a1):
+    assert registry_a1.get("socket$bt_l2cap").domain == 31
+    assert registry_a1.get("bind$bt_l2cap").addr_fields
+    assert registry_a1.get("setsockopt$bt_l2cap_L2CAP_OPTIONS").opt_fields
+
+
+def test_producers_index(registry_a1):
+    fd_producers = {d.name for d in registry_a1.producers_of("fd_tcpc0")}
+    assert fd_producers == {"openat$tcpc0", "dup$tcpc0"}
+    assert "sock_bt_l2cap" in registry_a1.resource_kinds()
+
+
+def test_typed_producers_present_in_vendor_registry(registry_a1_vendor):
+    producers = {d.name
+                 for d in registry_a1_vendor.producers_of("drm_handle")}
+    assert "ioctl$DRM_IOC_MODE_CREATE_DUMB" in producers
+
+
+def test_consumed_resources():
+    desc = SyscallDesc(name="x", kind="close", syscall="close",
+                       fd_resource="fd_q")
+    assert consumed_resources(desc) == ["fd_q"]
+
+
+def test_duplicate_name_rejected():
+    registry = DescriptionRegistry()
+    desc = SyscallDesc(name="a", kind="open", syscall="openat")
+    registry.add(desc)
+    with pytest.raises(ValueError):
+        registry.add(desc)
+
+
+def test_by_kind(registry_a1):
+    opens = registry_a1.by_kind("open")
+    assert all(d.kind == "open" for d in opens)
+    assert len(opens) == 9  # A1's nine char devices
+
+
+def test_every_desc_maps_to_real_syscall(registry_a1):
+    from repro.kernel.syscalls import SYSCALL_NRS
+    for name in registry_a1.names():
+        assert registry_a1.get(name).syscall in SYSCALL_NRS
+
+
+def test_path_set_on_chardev_descs(registry_a1):
+    for name in registry_a1.names():
+        desc = registry_a1.get(name)
+        if desc.kind in ("open", "write", "ioctl", "ioctl_raw"):
+            if "bt_l2cap" not in name:
+                assert desc.path.startswith("/dev/"), name

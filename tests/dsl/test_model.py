@@ -1,0 +1,96 @@
+"""Tests for the DSL program model."""
+
+import pytest
+
+from repro.errors import DslError
+from repro.dsl.model import (
+    HalCall,
+    Program,
+    ResourceRef,
+    StructValue,
+    SyscallCall,
+)
+
+
+def prog():
+    return Program([
+        SyscallCall("openat$x", (2,)),
+        SyscallCall("ioctl$A", (ResourceRef(0, "fd_x"),
+                                StructValue("ioctl$A", {"h": ResourceRef(0)}))),
+        HalCall("svc", "m", (ResourceRef(1),)),
+        SyscallCall("close$x", (ResourceRef(0),)),
+    ])
+
+
+def test_labels():
+    assert prog().labels() == ["openat$x", "ioctl$A", "svc.m", "close$x"]
+
+
+def test_validate_accepts_backward_refs():
+    prog().validate()
+
+
+def test_validate_rejects_forward_ref():
+    p = Program([SyscallCall("a", (ResourceRef(1),)),
+                 SyscallCall("b", ())])
+    with pytest.raises(DslError):
+        p.validate()
+
+
+def test_validate_rejects_self_ref():
+    p = Program([SyscallCall("a", (ResourceRef(0),))])
+    with pytest.raises(DslError):
+        p.validate()
+
+
+def test_copy_is_deep_for_structs():
+    p = prog()
+    q = p.copy()
+    struct_arg = q.calls[1].args[1]
+    struct_arg.values["h"] = 42
+    assert isinstance(p.calls[1].args[1].values["h"], ResourceRef)
+
+
+def test_arg_refs_finds_nested():
+    p = prog()
+    refs = Program.arg_refs(p.calls[1])
+    assert len(refs) == 2
+
+
+def test_drop_call_removes_dependents():
+    p = prog()
+    q = p.drop_call(0)
+    # Everything referenced r0 transitively; all gone.
+    assert len(q) == 0
+
+
+def test_drop_call_remaps_refs():
+    p = Program([
+        SyscallCall("a", ()),
+        SyscallCall("b", ()),
+        SyscallCall("c", (ResourceRef(1),)),
+    ])
+    q = p.drop_call(0)
+    q.validate()
+    assert len(q) == 2
+    assert q.calls[1].args[0].index == 0
+
+
+def test_drop_tail_call():
+    p = prog()
+    q = p.drop_call(3)
+    assert len(q) == 3
+    q.validate()
+
+
+def test_drop_keeps_original_untouched():
+    p = prog()
+    p.drop_call(1)
+    assert len(p) == 4
+
+
+def test_hal_call_label_and_flag():
+    call = HalCall("vendor.usb", "negotiate", (1, 2))
+    assert call.label == "vendor.usb.negotiate"
+    assert call.is_hal
+    assert not SyscallCall("openat$x").is_hal

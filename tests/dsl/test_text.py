@@ -1,0 +1,112 @@
+"""Tests for DSL text serialization and parsing (incl. round-trip)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DslParseError
+from repro.dsl.model import (
+    HalCall,
+    Program,
+    ResourceRef,
+    StructValue,
+    SyscallCall,
+)
+from repro.dsl.text import parse_program, serialize_program
+
+
+def test_serialize_basic():
+    p = Program([SyscallCall("openat$x", (2,))])
+    assert serialize_program(p) == "r0 = openat$x(2)"
+
+
+def test_roundtrip_all_value_types():
+    p = Program([
+        SyscallCall("openat$x", (2,)),
+        SyscallCall("ioctl$A", (ResourceRef(0), 0x1234, None, True, False,
+                                b"\x00\xFF", "str \"quoted\"", 1.5)),
+        HalCall("vendor.s", "m", (ResourceRef(1),
+                                  StructValue("spec$x", {"a": 1,
+                                                         "b": b"zz"}))),
+    ])
+    text = serialize_program(p)
+    q = parse_program(text)
+    assert serialize_program(q) == text
+    assert q.calls[1].args[5] == b"\x00\xFF"
+    assert q.calls[1].args[6] == 'str "quoted"'
+    assert q.calls[2].args[1].values == {"a": 1, "b": b"zz"}
+
+
+def test_parse_hal_call():
+    q = parse_program('r0 = hal$vendor.usb.negotiate(9000, 2000)')
+    call = q.calls[0]
+    assert call.is_hal
+    assert call.service == "vendor.usb"
+    assert call.method == "negotiate"
+    assert call.args == (9000, 2000)
+
+
+def test_parse_comments_and_blanks():
+    text = "# a comment\n\nr0 = openat$x(0)\n"
+    assert len(parse_program(text)) == 1
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(DslParseError):
+        parse_program("not a call")
+
+
+def test_parse_rejects_bad_numbering():
+    with pytest.raises(DslParseError):
+        parse_program("r1 = openat$x(0)")
+
+
+def test_parse_rejects_forward_ref():
+    from repro.errors import DslError
+    with pytest.raises(DslError):
+        parse_program("r0 = close$x(r5)")
+
+
+def test_parse_negative_and_hex_ints():
+    q = parse_program("r0 = openat$x(-3, 0xFF)")
+    assert q.calls[0].args == (-3, 255)
+
+
+def test_parse_unterminated_string():
+    with pytest.raises(DslParseError):
+        parse_program('r0 = openat$x("oops)')
+
+
+def test_empty_program():
+    assert len(parse_program("")) == 0
+    assert serialize_program(Program()) == ""
+
+
+_VALUES = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**63 - 1),
+    st.booleans(),
+    st.none(),
+    st.binary(max_size=32),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs",),
+                                   blacklist_characters="\n\r"),
+            max_size=16),
+)
+
+
+@given(st.lists(_VALUES, max_size=5))
+def test_roundtrip_property(args):
+    p = Program([SyscallCall("openat$x", tuple(args))])
+    text = serialize_program(p)
+    q = parse_program(text)
+    assert serialize_program(q) == text
+
+
+@given(st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    st.one_of(st.integers(min_value=0, max_value=2**32),
+              st.binary(max_size=8)),
+    max_size=4))
+def test_struct_roundtrip_property(values):
+    p = Program([SyscallCall("x$y", (StructValue("spec", values),))])
+    text = serialize_program(p)
+    q = parse_program(text)
+    assert q.calls[0].args[0].values == values

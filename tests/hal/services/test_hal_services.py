@@ -1,0 +1,336 @@
+"""Behavioural tests for all nine vendor HAL services.
+
+The services are exercised through the device's Binder surface (the way
+the executor and Poke app reach them), so these double as integration
+tests for marshal/dispatch.
+"""
+
+import pytest
+
+from repro.device import AndroidDevice, profile_by_id
+from repro.errors import DeadObjectError
+from repro.hal.services import HAL_FACTORIES, build_hal
+
+
+@pytest.fixture
+def a1():
+    device = AndroidDevice(profile_by_id("A1"))
+    proc = device.new_process("test-client")
+
+    def call(service, method, *args):
+        return device.hal_transact(proc.pid, "test", service, method, args)
+
+    return device, call
+
+
+@pytest.fixture
+def c1():
+    device = AndroidDevice(profile_by_id("C1"))
+    proc = device.new_process("test-client")
+
+    def call(service, method, *args):
+        return device.hal_transact(proc.pid, "test", service, method, args)
+
+    return device, call
+
+
+@pytest.fixture
+def c2():
+    device = AndroidDevice(profile_by_id("C2"))
+    proc = device.new_process("test-client")
+
+    def call(service, method, *args):
+        return device.hal_transact(proc.pid, "test", service, method, args)
+
+    return device, call
+
+
+# -- registry ----------------------------------------------------------
+
+
+def test_all_factories_build():
+    for name in HAL_FACTORIES:
+        service = build_hal(name)
+        assert service.methods(), name
+        codes = [m.code for m in service.methods()]
+        assert len(codes) == len(set(codes))
+
+
+def test_unknown_hal_rejected():
+    with pytest.raises(KeyError):
+        build_hal("nonexistent")
+
+
+def test_sample_args_match_signatures():
+    for name in HAL_FACTORIES:
+        service = build_hal(name)
+        for method in service.methods():
+            args = service.sample_args(method.name)
+            assert len(args) == len(method.signature), (name, method.name)
+
+
+def test_framework_scenarios_name_real_methods():
+    for name in HAL_FACTORIES:
+        service = build_hal(name)
+        for scenario in service.framework_scenarios():
+            for method_name, args in scenario:
+                stub = service.method_by_name(method_name)
+                assert stub is not None, (name, method_name)
+                assert len(args) == len(stub.signature)
+
+
+# -- graphics ----------------------------------------------------------
+
+
+def test_graphics_compose_cycle(a1):
+    _device, call = a1
+    assert call("vendor.graphics.composer", "setPowerMode", 1)[0] == 0
+    st, reply = call("vendor.graphics.composer", "createLayer")
+    layer = reply.read_i64()
+    assert st == 0
+    assert call("vendor.graphics.composer", "setLayerBuffer",
+                layer, 640, 480)[0] == 0
+    assert call("vendor.graphics.composer", "validateDisplay")[0] == 0
+    assert call("vendor.graphics.composer", "presentDisplay")[0] == 0
+    # Second present still valid (no layer change in between).
+    assert call("vendor.graphics.composer", "presentDisplay")[0] == 0
+
+
+def test_graphics_present_unpowered(a1):
+    _device, call = a1
+    assert call("vendor.graphics.composer", "presentDisplay")[0] == -38
+
+
+def test_graphics_bug2_crash_on_skipped_validate(a1):
+    device, call = a1
+    call("vendor.graphics.composer", "setPowerMode", 1)
+    st, reply = call("vendor.graphics.composer", "createLayer")
+    layer = reply.read_i64()
+    call("vendor.graphics.composer", "setLayerBuffer", layer, 64, 64)
+    with pytest.raises(DeadObjectError):
+        call("vendor.graphics.composer", "presentDisplay")
+    crashes = device.drain_crashes()
+    assert any(c.title == "Native crash in Graphics HAL" for c in crashes)
+
+
+def test_graphics_destroy_unknown_layer(a1):
+    _device, call = a1
+    assert call("vendor.graphics.composer", "destroyLayer", 999)[0] == -22
+
+
+# -- media -------------------------------------------------------------
+
+
+def test_media_codec_lifecycle(a1):
+    _device, call = a1
+    st, reply = call("vendor.media.codec", "createCodec", 0)
+    assert st == 0
+    handle = reply.read_i32()
+    assert call("vendor.media.codec", "configure", handle, 1280, 720,
+                1_000_000, b"\x01\x02ab")[0] == 0
+    assert call("vendor.media.codec", "start", handle)[0] == 0
+    assert call("vendor.media.codec", "queueInputBuffer", handle,
+                b"\xAA" * 32)[0] == 0
+    st, reply = call("vendor.media.codec", "drainOutput", handle)
+    assert st == 0
+    assert call("vendor.media.codec", "releaseCodec", handle)[0] == 0
+
+
+def test_media_rejects_bad_csd_without_quirk(a1):
+    _device, call = a1
+    st, reply = call("vendor.media.codec", "createCodec", 0)
+    handle = reply.read_i32()
+    # Declared TLV length larger than the blob: A1's media HAL is not
+    # quirked, so this is a clean BAD_VALUE.
+    assert call("vendor.media.codec", "configure", handle, 640, 480,
+                1000, b"\x01\xFFxx")[0] == -22
+
+
+def test_media_bug6_csd_overrun_crashes_on_a2():
+    device = AndroidDevice(profile_by_id("A2"))
+    proc = device.new_process("t")
+    st, reply = device.hal_transact(proc.pid, "t", "vendor.media.codec",
+                                    "createCodec", (0,))
+    handle = reply.read_i32()
+    with pytest.raises(DeadObjectError):
+        device.hal_transact(proc.pid, "t", "vendor.media.codec",
+                            "configure",
+                            (handle, 640, 480, 1000, b"\x01\xFFxx"))
+    assert any(c.title == "Native crash in Media HAL"
+               for c in device.drain_crashes())
+
+
+# -- camera ------------------------------------------------------------
+
+
+def test_camera_capture_flow(c1):
+    _device, call = c1
+    assert call("vendor.camera.provider", "openSession", 0)[0] == 0
+    st, reply = call("vendor.camera.provider", "configureStreams",
+                     2, 1280, 720)
+    assert st == 0
+    base = reply.read_i32()
+    st, reply = call("vendor.camera.provider", "processCaptureRequest",
+                     base)
+    assert st == 0
+    assert call("vendor.camera.provider", "closeSession")[0] == 0
+
+
+def test_camera_bug9_stale_stream_crash(c1):
+    device, call = c1
+    call("vendor.camera.provider", "openSession", 0)
+    st, reply = call("vendor.camera.provider", "configureStreams",
+                     2, 1280, 720)
+    stale = reply.read_i32()
+    call("vendor.camera.provider", "configureStreams", 1, 640, 480)
+    with pytest.raises(DeadObjectError):
+        call("vendor.camera.provider", "processCaptureRequest", stale)
+    assert any(c.title == "Native crash in Camera HAL"
+               for c in device.drain_crashes())
+
+
+def test_camera_unknown_stream_is_bad_value(c1):
+    _device, call = c1
+    call("vendor.camera.provider", "openSession", 0)
+    call("vendor.camera.provider", "configureStreams", 2, 1280, 720)
+    assert call("vendor.camera.provider", "processCaptureRequest",
+                424242)[0] == -22
+
+
+# -- audio -------------------------------------------------------------
+
+
+def test_audio_stream_lifecycle(a1):
+    _device, call = a1
+    st, reply = call("vendor.audio", "openOutputStream", 48000, 2, 2)
+    assert st == 0
+    handle = reply.read_i32()
+    st, reply = call("vendor.audio", "writeAudio", handle, 256)
+    assert st == 0 and reply.read_i32() == 256
+    assert call("vendor.audio", "standby", handle)[0] == 0
+    assert call("vendor.audio", "closeStream", handle)[0] == 0
+    assert call("vendor.audio", "closeStream", handle)[0] == -22
+
+
+def test_audio_validates_params(a1):
+    _device, call = a1
+    assert call("vendor.audio", "openOutputStream", 1234, 2, 2)[0] == -22
+    assert call("vendor.audio", "setMasterVolume", 2.0)[0] == -22
+    assert call("vendor.audio", "setMasterVolume", 0.3)[0] == 0
+
+
+# -- bluetooth ---------------------------------------------------------
+
+
+def test_bluetooth_enable_scan_bond(a1):
+    _device, call = a1
+    assert call("vendor.bluetooth", "enable")[0] == 0
+    assert call("vendor.bluetooth", "enable")[0] == -38
+    assert call("vendor.bluetooth", "startScan")[0] == 0
+    assert call("vendor.bluetooth", "createBond",
+                b"\x11\x22\x33\x44\x55\x66")[0] == 0
+    st, reply = call("vendor.bluetooth", "connectChannel", 25)
+    assert st == 0
+    channel = reply.read_i32()
+    st, reply = call("vendor.bluetooth", "sendData", channel, b"abc")
+    assert st == 0
+    assert call("vendor.bluetooth", "closeChannel", channel)[0] == 0
+    assert call("vendor.bluetooth", "disable")[0] == 0
+
+
+def test_bluetooth_requires_enable(a1):
+    _device, call = a1
+    assert call("vendor.bluetooth", "startScan")[0] == -38
+    assert call("vendor.bluetooth", "readSupportedCodecs")[0] == -38
+
+
+# -- sensors -----------------------------------------------------------
+
+
+def test_sensors_activation_and_poll(a1):
+    _device, call = a1
+    assert call("vendor.sensors", "activate", 1, True)[0] == 0
+    assert call("vendor.sensors", "batch", 1, 20)[0] == 0
+    st, reply = call("vendor.sensors", "poll", 8)
+    assert st == 0
+    assert reply.read_i32() > 0
+    assert call("vendor.sensors", "activate", 1, False)[0] == 0
+    assert call("vendor.sensors", "poll", 8)[0] == -38
+
+
+def test_sensors_bad_handle(a1):
+    _device, call = a1
+    assert call("vendor.sensors", "activate", 99, True)[0] == -22
+
+
+# -- usb ----------------------------------------------------------------
+
+
+def test_usb_negotiation_flow(a1):
+    device, call = a1
+    assert call("vendor.usb", "enablePort")[0] == 0
+    assert call("vendor.usb", "connectPartner", 0)[0] == 0
+    assert call("vendor.usb", "negotiate", 9000, 2000)[0] == 0
+    st, reply = call("vendor.usb", "getPortStatus")
+    assert st == 0
+    assert reply.read_i32() == 1  # vbus
+    assert reply.read_i32() == 9000  # contract mV
+    device.drain_crashes()
+
+
+def test_usb_bug1_via_reset_port(a1):
+    device, call = a1
+    call("vendor.usb", "enablePort")
+    call("vendor.usb", "connectPartner", 0)
+    call("vendor.usb", "negotiate", 9000, 2000)
+    device.drain_crashes()
+    call("vendor.usb", "resetPort")
+    assert any(c.title == "WARNING in rt1711_i2c_probe"
+               for c in device.drain_crashes())
+
+
+# -- wifi ---------------------------------------------------------------
+
+
+def test_wifi_sta_flow(c2):
+    _device, call = c2
+    assert call("vendor.wifi", "start")[0] == 0
+    assert call("vendor.wifi", "startScan")[0] == 0
+    st, reply = call("vendor.wifi", "getScanResults")
+    assert st == 0 and reply.read_i32() == 2
+    assert call("vendor.wifi", "connect", "homelan", 6)[0] == 0
+    assert call("vendor.wifi", "disconnect")[0] == 0
+
+
+def test_wifi_bug10_zero_caps_client(c2):
+    device, call = c2
+    call("vendor.wifi", "start")
+    assert call("vendor.wifi", "startSoftAp", "kiosk", 6)[0] == 0
+    mac = b"\x02\x00\x00\x00\x00\x01"
+    assert call("vendor.wifi", "registerClient", mac, 0)[0] != 0
+    assert any(c.title == "WARNING in rate_control_rate_init"
+               for c in device.drain_crashes())
+
+
+def test_wifi_good_client_admitted(c2):
+    device, call = c2
+    call("vendor.wifi", "start")
+    call("vendor.wifi", "startSoftAp", "kiosk", 6)
+    mac = b"\x02\x00\x00\x00\x00\x02"
+    assert call("vendor.wifi", "registerClient", mac, 0x2F)[0] == 0
+    assert call("vendor.wifi", "kickClient", mac)[0] == 0
+    assert device.drain_crashes() == []
+
+
+# -- thermal -------------------------------------------------------------
+
+
+def test_thermal_flow(a1):
+    _device, call = a1
+    st, reply = call("vendor.thermal", "getTemperatures")
+    assert st == 0
+    assert reply.read_i32() >= 40000
+    assert call("vendor.thermal", "setThrottling", 2)[0] == 0
+    assert call("vendor.thermal", "setThrottling", 9)[0] == -22
+    st, reply = call("vendor.thermal", "getCoolingDevices")
+    assert "fan0" in reply.read_string()

@@ -1,0 +1,126 @@
+"""Tests for Binder nodes, proxies, and crash semantics."""
+
+import pytest
+
+from repro.errors import DeadObjectError, NativeCrash
+from repro.hal.binder import BinderNode, BinderProxy, Status
+from repro.hal.parcel import Parcel
+from repro.hal.process import HalProcess
+from repro.hal.service import HalMethod, HalService
+from repro.kernel.kernel import VirtualKernel
+
+
+class ToyService(HalService):
+    interface_descriptor = "vendor.toy@1.0::IToy"
+    instance_name = "vendor.toy"
+
+    def methods(self):
+        return (
+            HalMethod(1, "add", ("i32", "i32"), ("i32",)),
+            HalMethod(2, "boom", (), ()),
+            HalMethod(3, "echo", ("str",), ("str",)),
+        )
+
+    def _m_add(self, a, b):
+        return Status.OK, a + b
+
+    def _m_boom(self):
+        raise NativeCrash("SIGSEGV", self.instance_name,
+                          "Native crash in Toy HAL")
+
+    def _m_echo(self, s):
+        return Status.OK, s
+
+
+@pytest.fixture
+def setup():
+    kernel = VirtualKernel()
+    service = ToyService()
+    process = HalProcess(kernel, "toy-service")
+    service.attach(kernel, process)
+    node = BinderNode(kernel, service)
+    proxy = BinderProxy(node, client_pid=1, client_comm="test")
+    return kernel, service, process, node, proxy
+
+
+def test_transact_roundtrip(setup):
+    _k, _s, _p, _n, proxy = setup
+    data = Parcel()
+    data.write_i32(2).write_i32(3)
+    reply = proxy.transact(1, data)
+    assert reply.read_i32() == int(Status.OK)
+    assert reply.read_i32() == 5
+
+
+def test_unknown_transaction_status(setup):
+    _k, _s, _p, _n, proxy = setup
+    reply = proxy.transact(99, Parcel())
+    assert reply.read_i32() == int(Status.UNKNOWN_TRANSACTION)
+
+
+def test_bad_parcel_returns_bad_value(setup):
+    _k, _s, _p, _n, proxy = setup
+    reply = proxy.transact(1, Parcel())  # missing both args
+    assert reply.read_i32() == int(Status.BAD_VALUE)
+
+
+def test_crash_marks_process_dead(setup):
+    _k, _s, process, _n, proxy = setup
+    with pytest.raises(DeadObjectError):
+        proxy.transact(2, Parcel())
+    assert process.dead
+    stones = process.drain_tombstones()
+    assert stones[0].title == "Native crash in Toy HAL"
+    assert stones[0].signal == "SIGSEGV"
+
+
+def test_dead_process_rejects_transactions(setup):
+    _k, _s, process, _n, proxy = setup
+    with pytest.raises(DeadObjectError):
+        proxy.transact(2, Parcel())
+    with pytest.raises(DeadObjectError):
+        proxy.transact(1, Parcel())
+
+
+def test_restart_revives(setup):
+    _k, _s, process, _n, proxy = setup
+    with pytest.raises(DeadObjectError):
+        proxy.transact(2, Parcel())
+    old_pid = process.pid
+    process.restart()
+    assert not process.dead
+    assert process.pid != old_pid
+    assert process.restart_count == 1
+    data = Parcel()
+    data.write_i32(1).write_i32(1)
+    assert proxy.transact(1, data).read_i32() == 0
+
+
+def test_binder_tracepoint_fired(setup):
+    kernel, _s, _p, _n, proxy = setup
+    records = []
+    kernel.trace.attach("binder_transaction", records.append)
+    data = Parcel()
+    data.write_i32(1).write_i32(2)
+    proxy.transact(1, data)
+    assert len(records) == 1
+    rec = records[0]
+    assert rec.method == "add"
+    assert rec.payload_types == ("i32", "i32")
+    assert rec.payload_values == (1, 2)
+    assert rec.reply_ok
+
+
+def test_tracepoint_fired_even_on_crash(setup):
+    kernel, _s, _p, _n, proxy = setup
+    records = []
+    kernel.trace.attach("binder_transaction", records.append)
+    with pytest.raises(DeadObjectError):
+        proxy.transact(2, Parcel())
+    assert len(records) == 1
+    assert not records[0].reply_ok
+
+
+def test_proxy_interface_descriptor(setup):
+    _k, _s, _p, _n, proxy = setup
+    assert proxy.interface_descriptor == "vendor.toy@1.0::IToy"

@@ -1,0 +1,98 @@
+"""Tests for Parcel marshaling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParcelError
+from repro.hal.parcel import Parcel
+
+
+def test_roundtrip_all_types():
+    p = Parcel()
+    p.write_i32(-5).write_u32(7).write_i64(1 << 40).write_f32(0.5)
+    p.write_bool(True).write_string("héllo").write_bytes(b"\x00\x01")
+    p.rewind()
+    assert p.read_i32() == -5
+    assert p.read_u32() == 7
+    assert p.read_i64() == 1 << 40
+    assert p.read_f32() == pytest.approx(0.5)
+    assert p.read_bool() is True
+    assert p.read_string() == "héllo"
+    assert p.read_bytes() == b"\x00\x01"
+    assert p.remaining() == 0
+
+
+def test_i32_wraps_out_of_range():
+    p = Parcel()
+    p.write_i32(0xFFFFFFFF)
+    p.rewind()
+    assert p.read_i32() == -1
+
+
+def test_under_read_raises():
+    p = Parcel()
+    p.write_i32(1)
+    p.rewind()
+    p.read_i32()
+    with pytest.raises(ParcelError):
+        p.read_i32()
+
+
+def test_bad_string_length():
+    p = Parcel()
+    p.write_i32(9999)  # length prefix with no payload
+    p.rewind()
+    with pytest.raises(ParcelError):
+        p.read_string()
+
+
+def test_type_track():
+    p = Parcel()
+    p.write_i32(1).write_string("x").write_bytes(b"")
+    assert p.type_track() == ("i32", "str", "bytes")
+
+
+def test_value_track():
+    p = Parcel()
+    p.write_i32(3).write_string("abc").write_bool(False)
+    assert p.value_track() == (3, "abc", False)
+
+
+def test_rewind_resets_cursor():
+    p = Parcel()
+    p.write_i32(42)
+    p.rewind()
+    p.read_i32()
+    p.rewind()
+    assert p.read_i32() == 42
+
+
+def test_size_and_to_bytes():
+    p = Parcel()
+    p.write_i32(1)
+    assert p.size() == 4
+    assert len(p.to_bytes()) == 4
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_i32_roundtrip_property(value):
+    p = Parcel()
+    p.write_i32(value)
+    p.rewind()
+    assert p.read_i32() == value
+
+
+@given(st.text(max_size=64))
+def test_string_roundtrip_property(text):
+    p = Parcel()
+    p.write_string(text)
+    p.rewind()
+    assert p.read_string() == text
+
+
+@given(st.binary(max_size=128))
+def test_bytes_roundtrip_property(data):
+    p = Parcel()
+    p.write_bytes(data)
+    p.rewind()
+    assert p.read_bytes() == data

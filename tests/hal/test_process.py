@@ -1,0 +1,71 @@
+"""Tests for the HAL host-process model."""
+
+from repro.errors import NativeCrash
+from repro.hal.process import HalProcess
+from repro.kernel.kernel import VirtualKernel
+
+
+def test_process_owns_kernel_task():
+    kernel = VirtualKernel()
+    process = HalProcess(kernel, "vendor.x-service")
+    assert kernel.process(process.pid) is not None
+    assert kernel.process(process.pid).comm == "vendor.x-service"
+
+
+def test_syscall_in_process_context():
+    kernel = VirtualKernel()
+    process = HalProcess(kernel, "svc")
+    out = process.syscall("openat", "/dev/none", 0)
+    assert out.ret == -2  # ENOENT, but attributed to this pid
+
+
+def test_crash_tombstone_and_dead_flag():
+    kernel = VirtualKernel()
+    process = HalProcess(kernel, "svc")
+    process.record_crash(NativeCrash("SIGSEGV", "svc", "Native crash in X",
+                                     "deref"))
+    assert process.dead
+    stones = process.peek_tombstones()
+    assert stones[0].component == "hal"
+    assert stones[0].signal == "SIGSEGV"
+    assert process.drain_tombstones() == stones
+    assert process.drain_tombstones() == []
+
+
+def test_restart_changes_pid_and_closes_files():
+    kernel = VirtualKernel()
+
+    from repro.kernel.chardev import CharDevice
+
+    class Dev(CharDevice):
+        name = "dev"
+        paths = ("/dev/dev",)
+
+        def __init__(self):
+            self.released = 0
+
+        def release(self, ctx, f):
+            self.released += 1
+            return 0
+
+    driver = Dev()
+    kernel.register_driver(driver)
+    process = HalProcess(kernel, "svc")
+    old_pid = process.pid
+    assert process.syscall("openat", "/dev/dev", 0).ret >= 0
+    process.record_crash(NativeCrash("SIGABRT", "svc", "t"))
+    process.restart()
+    assert process.pid != old_pid
+    assert driver.released == 1
+    assert kernel.process(old_pid) is None
+    assert not process.dead
+
+
+def test_tombstone_sequence_numbers():
+    kernel = VirtualKernel()
+    process = HalProcess(kernel, "svc")
+    process.record_crash(NativeCrash("SIGSEGV", "svc", "a"))
+    process.dead = False
+    process.record_crash(NativeCrash("SIGSEGV", "svc", "b"))
+    stones = process.drain_tombstones()
+    assert stones[0].seq < stones[1].seq

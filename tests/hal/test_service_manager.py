@@ -1,0 +1,56 @@
+"""Tests for the ServiceManager registry."""
+
+import pytest
+
+from repro.errors import BinderError
+from repro.hal.service import HalService
+from repro.hal.service_manager import ServiceManager
+from repro.kernel.kernel import VirtualKernel
+
+
+class SvcA(HalService):
+    interface_descriptor = "vendor.a@1.0::IA"
+    instance_name = "vendor.a"
+
+
+class SvcB(HalService):
+    interface_descriptor = "vendor.b@1.0::IB"
+    instance_name = "vendor.b"
+
+
+def test_register_and_list():
+    sm = ServiceManager(VirtualKernel())
+    sm.add_service(SvcA())
+    sm.add_service(SvcB())
+    assert sm.list_services() == ["vendor.a", "vendor.b"]
+    assert sm.list_hals() == [("vendor.a", "vendor.a@1.0::IA"),
+                              ("vendor.b", "vendor.b@1.0::IB")]
+
+
+def test_duplicate_rejected():
+    sm = ServiceManager(VirtualKernel())
+    sm.add_service(SvcA())
+    with pytest.raises(BinderError):
+        sm.add_service(SvcA())
+
+
+def test_get_service_returns_proxy():
+    sm = ServiceManager(VirtualKernel())
+    sm.add_service(SvcA())
+    proxy = sm.get_service("vendor.a", 1, "client")
+    assert proxy.interface_descriptor == "vendor.a@1.0::IA"
+
+
+def test_get_unknown_service():
+    sm = ServiceManager(VirtualKernel())
+    with pytest.raises(BinderError):
+        sm.get_service("vendor.none", 1, "client")
+
+
+def test_node_and_services_access():
+    sm = ServiceManager(VirtualKernel())
+    svc = SvcA()
+    sm.add_service(svc)
+    assert sm.node("vendor.a").service is svc
+    assert sm.node("missing") is None
+    assert sm.services() == [svc]

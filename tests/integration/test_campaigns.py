@@ -1,0 +1,85 @@
+"""Campaign-level integration tests across the tool matrix."""
+
+import pytest
+
+from repro.baselines import TOOLS, make_engine
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device import AndroidDevice, profile_by_id
+
+
+@pytest.mark.parametrize("tool", TOOLS)
+def test_every_tool_completes_a_short_campaign(tool):
+    device = AndroidDevice(profile_by_id("E"))
+    engine = make_engine(tool, device, seed=2, campaign_hours=1.0)
+    result = engine.run()
+    assert result.tool == tool
+    assert result.kernel_coverage > 0
+    assert result.executions > 20
+    assert result.timeline[-1][0] == pytest.approx(3600.0)
+
+
+def test_device_survives_repeated_crash_reboot_cycles():
+    device = AndroidDevice(profile_by_id("A1"))
+    engine = FuzzingEngine(device, FuzzerConfig(seed=0, campaign_hours=4.0))
+    result = engine.run()
+    # A1 carries a HAL crash that recurs; reboots must not wedge the run.
+    assert device.healthy
+    assert result.executions > 500
+
+
+def test_hang_bug_triggers_watchdog_reboot():
+    from repro.core.exec.broker import ExecutionBroker
+    from repro.dsl.descriptions import build_descriptions
+    from repro.dsl.model import HalCall, Program, ResourceRef
+
+    device = AndroidDevice(profile_by_id("A2"))
+    broker = ExecutionBroker(device, build_descriptions(device.profile))
+    program = Program([
+        HalCall("vendor.media.codec", "createCodec", (0,)),
+        HalCall("vendor.media.codec", "configure",
+                (ResourceRef(0), 640, 480, 1000, b"\x01\x01a")),
+        HalCall("vendor.media.codec", "start", (ResourceRef(0),)),
+        HalCall("vendor.media.codec", "queueInputBuffer",
+                (ResourceRef(0), b"")),
+        HalCall("vendor.media.codec", "drainOutput", (ResourceRef(0),)),
+    ])
+    outcome = broker.execute(program)
+    assert outcome.needs_reboot
+    assert not device.healthy
+    device.reboot()
+    broker.on_reboot()
+    assert device.healthy
+    # Device is usable again after the watchdog reboot.
+    again = broker.execute(Program([
+        HalCall("vendor.media.codec", "createCodec", (0,))]))
+    assert again.statuses[0].ret == 0
+
+
+def test_corpus_programs_survive_wire_roundtrip():
+    device = AndroidDevice(profile_by_id("C2"))
+    engine = FuzzingEngine(device, FuzzerConfig(seed=4, campaign_hours=1.0))
+    engine.run()
+    from repro.core.corpus import Corpus
+    dumped = engine.corpus.dump()
+    programs = Corpus.load(dumped)
+    assert len(programs) == len(engine.corpus)
+    for program in programs:
+        program.validate()
+
+
+def test_probe_crashes_count_as_findings():
+    # A1's graphics HAL crashes during the probing trial itself; the
+    # engine must book that as a (pre-testing) finding.
+    device = AndroidDevice(profile_by_id("A1"))
+    engine = FuzzingEngine(device, FuzzerConfig(seed=0,
+                                                campaign_hours=0.1))
+    assert "Native crash in Graphics HAL" in engine.bugs.titles()
+
+
+def test_variants_share_bug_ground_truth():
+    # DF-NoHCov keeps HAL access, so it can still find HAL bugs.
+    device = AndroidDevice(profile_by_id("A1"))
+    engine = make_engine("df-nohcov", device, seed=0, campaign_hours=2.0)
+    result = engine.run()
+    assert "Native crash in Graphics HAL" in result.bug_titles()

@@ -1,0 +1,125 @@
+"""Tests for the ALSA PCM driver state machine."""
+
+import repro.kernel.drivers.audio_pcm as a
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make():
+    k = VirtualKernel()
+    k.register_driver(a.AudioPcm())
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/snd/pcmC0D0p", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg).ret
+
+
+def hw(k, p, fd, rate=48000, channels=2, fmt=a.FMT_S16):
+    return ioctl(k, p, fd, a.PCM_IOC_HW_PARAMS,
+                 pack_fields(a._HW_FIELDS, {"rate": rate,
+                                            "channels": channels,
+                                            "format": fmt}))
+
+
+def test_hw_params_validation():
+    k, p, fd = make()
+    assert hw(k, p, fd, rate=44101) == -22
+    assert hw(k, p, fd, channels=3) == -22
+    assert hw(k, p, fd, fmt=5) == -22
+    assert hw(k, p, fd, rate=96000, channels=8) == -28  # bandwidth
+    assert hw(k, p, fd) == 0
+
+
+def test_write_needs_prepare():
+    k, p, fd = make()
+    hw(k, p, fd)
+    assert k.syscall(p.pid, "write", fd, b"\x00" * 8).ret == -9
+    assert ioctl(k, p, fd, a.PCM_IOC_PREPARE) == 0
+    assert k.syscall(p.pid, "write", fd, b"\x00" * 8).ret == 8
+
+
+def test_partial_frame_rejected():
+    k, p, fd = make()
+    hw(k, p, fd)  # frame = 4 bytes (2ch S16)
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    assert k.syscall(p.pid, "write", fd, b"\x00" * 5).ret == -22
+
+
+def test_start_empty_causes_xrun():
+    k, p, fd = make()
+    hw(k, p, fd)
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    assert ioctl(k, p, fd, a.PCM_IOC_START) == -32  # EPIPE
+    # Write in xrun state reports broken pipe until re-prepare.
+    assert k.syscall(p.pid, "write", fd, b"\x00" * 4).ret == -32
+    assert ioctl(k, p, fd, a.PCM_IOC_PREPARE) == 0
+
+
+def test_start_after_fill():
+    k, p, fd = make()
+    hw(k, p, fd)
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    assert k.syscall(p.pid, "write", fd, b"\x00" * 64).ret == 64
+    assert ioctl(k, p, fd, a.PCM_IOC_START) == 0
+
+
+def test_auto_start_threshold():
+    k, p, fd = make()
+    hw(k, p, fd)
+    sw = pack_fields(a._SW_FIELDS, {"start_threshold": 4, "avail_min": 1})
+    assert ioctl(k, p, fd, a.PCM_IOC_SW_PARAMS, sw) == 0
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    k.syscall(p.pid, "write", fd, b"\x00" * 32)  # 8 frames >= threshold
+    # Auto-started: pause succeeds only from RUNNING.
+    assert ioctl(k, p, fd, a.PCM_IOC_PAUSE, 1) == 0
+
+
+def test_pause_resume():
+    k, p, fd = make()
+    hw(k, p, fd)
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    k.syscall(p.pid, "write", fd, b"\x00" * 16)
+    ioctl(k, p, fd, a.PCM_IOC_START)
+    assert ioctl(k, p, fd, a.PCM_IOC_PAUSE, 1) == 0
+    assert ioctl(k, p, fd, a.PCM_IOC_PAUSE, 1) == -32
+    assert ioctl(k, p, fd, a.PCM_IOC_PAUSE, 0) == 0
+
+
+def test_drain_plays_out():
+    k, p, fd = make()
+    hw(k, p, fd)
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    k.syscall(p.pid, "write", fd, b"\x00" * 400)
+    ioctl(k, p, fd, a.PCM_IOC_START)
+    assert ioctl(k, p, fd, a.PCM_IOC_DRAIN) == 0
+    out = k.syscall(p.pid, "ioctl", fd, a.PCM_IOC_STATUS)
+    assert int.from_bytes(out.data[4:8], "little") == 0  # buffer empty
+
+
+def test_status_reports_state():
+    k, p, fd = make()
+    out = k.syscall(p.pid, "ioctl", fd, a.PCM_IOC_STATUS)
+    assert int.from_bytes(out.data[:4], "little") == 0  # OPEN
+    hw(k, p, fd)
+    out = k.syscall(p.pid, "ioctl", fd, a.PCM_IOC_STATUS)
+    assert int.from_bytes(out.data[:4], "little") == 1  # SETUP
+
+
+def test_sw_params_threshold_bound():
+    k, p, fd = make()
+    hw(k, p, fd)
+    bad = pack_fields(a._SW_FIELDS, {"start_threshold": 1 << 20,
+                                     "avail_min": 1})
+    assert ioctl(k, p, fd, a.PCM_IOC_SW_PARAMS, bad) == -22
+
+
+def test_release_resets():
+    k, p, fd = make()
+    hw(k, p, fd)
+    ioctl(k, p, fd, a.PCM_IOC_PREPARE)
+    k.syscall(p.pid, "close", fd)
+    fd2 = k.syscall(p.pid, "openat", "/dev/snd/pcmC0D0p", 2).ret
+    assert k.syscall(p.pid, "write", fd2, b"\x00" * 4).ret == -9

@@ -1,0 +1,138 @@
+"""Tests for the Bluetooth HCI driver (Table II bug 7)."""
+
+import repro.kernel.drivers.bt_hci as h
+from repro.kernel.kernel import VirtualKernel
+
+
+def make(quirk=False):
+    k = VirtualKernel()
+    k.register_driver(h.BtHci(quirk_codecs_uaf=quirk))
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/hci0", 2).ret
+    return k, p, fd
+
+
+def cmd(opcode, params=b""):
+    return (b"\x01" + opcode.to_bytes(2, "little")
+            + bytes([len(params)]) + params)
+
+
+def up(k, p, fd):
+    assert k.syscall(p.pid, "ioctl", fd, h.HCIDEV_IOC_UP, None).ret == 0
+
+
+def test_commands_require_power():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET)).ret == -19
+
+
+def test_reset_and_event_readback():
+    k, p, fd = make()
+    up(k, p, fd)
+    assert k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET)).ret > 0
+    evt = k.syscall(p.pid, "read", fd, 64)
+    assert evt.ret > 0
+    assert evt.data[0] == 0x04  # event packet
+
+
+def test_event_queue_empty_eagain():
+    k, p, fd = make()
+    up(k, p, fd)
+    assert k.syscall(p.pid, "read", fd, 64).ret == -11
+
+
+def test_malformed_packets():
+    k, p, fd = make()
+    up(k, p, fd)
+    assert k.syscall(p.pid, "write", fd, b"\x01\x03").ret == -74  # short
+    assert k.syscall(p.pid, "write", fd, b"\x02\x03\x0c\x00").ret == -71
+    truncated = b"\x01\x03\x0c\x05ab"
+    assert k.syscall(p.pid, "write", fd, truncated).ret == -74
+
+
+def test_unknown_opcode_gets_error_event():
+    k, p, fd = make()
+    up(k, p, fd)
+    assert k.syscall(p.pid, "write", fd, cmd(0xFEFE)).ret > 0
+    evt = k.syscall(p.pid, "read", fd, 64)
+    assert evt.data[-1] == 0x01  # UNKNOWN_COMMAND status
+
+
+def test_features_require_reset():
+    k, p, fd = make()
+    up(k, p, fd)
+    assert k.syscall(p.pid, "write", fd,
+                     cmd(h.HCI_OP_READ_LOCAL_FEATURES)).ret == -16
+
+
+def test_bug7_codecs_before_features():
+    k, p, fd = make(quirk=True)
+    up(k, p, fd)
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET))
+    out = k.syscall(p.pid, "write", fd,
+                    cmd(h.HCI_OP_READ_SUPPORTED_CODECS))
+    assert out.ret == -14  # KASAN aborts the syscall
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["KASAN: invalid-access in hci_read_supported_codecs"]
+
+
+def test_codecs_before_features_eagain_without_quirk():
+    k, p, fd = make(quirk=False)
+    up(k, p, fd)
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET))
+    assert k.syscall(p.pid, "write", fd,
+                     cmd(h.HCI_OP_READ_SUPPORTED_CODECS)).ret == -11
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_proper_init_sequence_clean_even_with_quirk():
+    k, p, fd = make(quirk=True)
+    up(k, p, fd)
+    for opcode in (h.HCI_OP_RESET, h.HCI_OP_READ_LOCAL_FEATURES,
+                   h.HCI_OP_READ_SUPPORTED_CODECS):
+        assert k.syscall(p.pid, "write", fd, cmd(opcode)).ret > 0
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_scan_requires_features():
+    k, p, fd = make()
+    up(k, p, fd)
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET))
+    assert k.syscall(p.pid, "write", fd,
+                     cmd(h.HCI_OP_LE_SET_SCAN_ENABLE, b"\x01")).ret == -11
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_READ_LOCAL_FEATURES))
+    assert k.syscall(p.pid, "write", fd,
+                     cmd(h.HCI_OP_LE_SET_SCAN_ENABLE, b"\x01")).ret > 0
+
+
+def test_create_conn_requires_scan():
+    k, p, fd = make()
+    up(k, p, fd)
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET))
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_READ_LOCAL_FEATURES))
+    addr = b"\x11\x22\x33\x44\x55\x66"
+    assert k.syscall(p.pid, "write", fd,
+                     cmd(h.HCI_OP_CREATE_CONN, addr)).ret == -11
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_LE_SET_SCAN_ENABLE, b"\x01"))
+    assert k.syscall(p.pid, "write", fd,
+                     cmd(h.HCI_OP_CREATE_CONN, addr)).ret > 0
+
+
+def test_dev_down_resets_init_state():
+    k, p, fd = make()
+    up(k, p, fd)
+    k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET))
+    k.syscall(p.pid, "ioctl", fd, h.HCIDEV_IOC_DOWN, None)
+    assert k.syscall(p.pid, "write", fd, cmd(h.HCI_OP_RESET)).ret == -19
+
+
+def test_set_bdaddr_validates_length():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "ioctl", fd, h.HCIDEV_IOC_SET_BDADDR,
+                     b"\x00" * 6).ret == 0
+    assert k.syscall(p.pid, "ioctl", fd, h.HCIDEV_IOC_SET_BDADDR,
+                     b"\x00" * 5).ret == -22
+
+
+def test_driver_marked_vendor_specific():
+    assert h.BtHci.vendor_specific

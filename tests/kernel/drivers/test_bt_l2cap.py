@@ -1,0 +1,190 @@
+"""Tests for the L2CAP socket family (Table II bugs 8 and 11)."""
+
+import struct
+
+import repro.kernel.drivers.bt_l2cap as l2
+from repro.kernel.kernel import VirtualKernel
+from repro.kernel.syscalls import AF_BLUETOOTH
+
+
+def make(warn=False, uaf=False):
+    k = VirtualKernel()
+    k.register_socket_family(l2.BtL2capFamily(quirk_warn_disconn=warn,
+                                              quirk_accept_uaf=uaf))
+    p = k.new_process("x")
+    return k, p
+
+
+def sock(k, p):
+    fd = k.syscall(p.pid, "socket", AF_BLUETOOTH, l2.SOCK_SEQPACKET,
+                   l2.BTPROTO_L2CAP).ret
+    assert fd >= 0
+    return fd
+
+
+def test_socket_validates_type_and_proto():
+    k, p = make()
+    assert k.syscall(p.pid, "socket", AF_BLUETOOTH, 99, 0).ret == -22
+    assert k.syscall(p.pid, "socket", AF_BLUETOOTH, 1, 7).ret == -71
+
+
+def test_bind_rules():
+    k, p = make()
+    s = sock(k, p)
+    assert k.syscall(p.pid, "bind", s, l2.pack_l2_addr(1)).ret == -13
+    assert k.syscall(p.pid, "bind", s, l2.pack_l2_addr(0x80)).ret == -22
+    assert k.syscall(p.pid, "bind", s, l2.pack_l2_addr(0x81)).ret == 0
+    s2 = sock(k, p)
+    assert k.syscall(p.pid, "bind", s2, l2.pack_l2_addr(0x81)).ret == -98
+
+
+def test_listen_requires_bound():
+    k, p = make()
+    s = sock(k, p)
+    assert k.syscall(p.pid, "listen", s, 1).ret == -22
+    k.syscall(p.pid, "bind", s, l2.pack_l2_addr(0x81))
+    assert k.syscall(p.pid, "listen", s, 1).ret == 0
+
+
+def test_connect_refused_without_listener():
+    k, p = make()
+    s = sock(k, p)
+    assert k.syscall(p.pid, "connect", s, l2.pack_l2_addr(0x83)).ret == -111
+
+
+def test_remote_psm_enters_config_phase():
+    k, p = make()
+    s = sock(k, p)
+    assert k.syscall(p.pid, "connect", s, l2.pack_l2_addr(1)).ret == 0
+    # Data before config completes is rejected.
+    assert k.syscall(p.pid, "sendto", s, b"x", None).ret == -107
+    opts = struct.pack("<HHB", 512, 0, l2.MODE_BASIC)
+    assert k.syscall(p.pid, "setsockopt", s, l2.SOL_L2CAP,
+                     l2.L2CAP_OPTIONS, opts).ret == 0
+    assert k.syscall(p.pid, "sendto", s, b"x", None).ret == 1
+
+
+def test_local_connect_accept_and_data():
+    k, p = make()
+    listener = sock(k, p)
+    k.syscall(p.pid, "bind", listener, l2.pack_l2_addr(0x81))
+    k.syscall(p.pid, "listen", listener, 2)
+    client = sock(k, p)
+    assert k.syscall(p.pid, "connect", client,
+                     l2.pack_l2_addr(0x81)).ret == 0
+    child = k.syscall(p.pid, "accept", listener).ret
+    assert child >= 0
+    assert k.syscall(p.pid, "sendto", client, b"ping", None).ret == 4
+    out = k.syscall(p.pid, "recvfrom", child, 16)
+    assert out.data == b"ping"
+
+
+def test_accept_empty_queue_eagain():
+    k, p = make()
+    listener = sock(k, p)
+    k.syscall(p.pid, "bind", listener, l2.pack_l2_addr(0x81))
+    k.syscall(p.pid, "listen", listener, 2)
+    assert k.syscall(p.pid, "accept", listener).ret == -11
+
+
+def test_send_over_mtu():
+    k, p = make()
+    s = sock(k, p)
+    k.syscall(p.pid, "connect", s, l2.pack_l2_addr(1))
+    opts = struct.pack("<HHB", 48, 0, l2.MODE_BASIC)
+    k.syscall(p.pid, "setsockopt", s, l2.SOL_L2CAP, l2.L2CAP_OPTIONS, opts)
+    assert k.syscall(p.pid, "sendto", s, b"x" * 100, None).ret == -90
+
+
+def test_bt_security_option():
+    k, p = make()
+    s = sock(k, p)
+    assert k.syscall(p.pid, "setsockopt", s, l2.SOL_BLUETOOTH,
+                     l2.BT_SECURITY, bytes([3])).ret == 0
+    out = k.syscall(p.pid, "getsockopt", s, l2.SOL_BLUETOOTH,
+                    l2.BT_SECURITY)
+    assert out.data == bytes([3])
+    assert k.syscall(p.pid, "setsockopt", s, l2.SOL_BLUETOOTH,
+                     l2.BT_SECURITY, bytes([7])).ret == -22
+
+
+def test_bug8_close_during_config_warns():
+    k, p = make(warn=True)
+    s = sock(k, p)
+    k.syscall(p.pid, "connect", s, l2.pack_l2_addr(1))
+    k.syscall(p.pid, "close", s)
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["WARNING in l2cap_send_disconn_req"]
+
+
+def test_bug8_silent_without_quirk():
+    k, p = make(warn=False)
+    s = sock(k, p)
+    k.syscall(p.pid, "connect", s, l2.pack_l2_addr(1))
+    k.syscall(p.pid, "close", s)
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug8_not_triggered_after_config_done():
+    k, p = make(warn=True)
+    s = sock(k, p)
+    k.syscall(p.pid, "connect", s, l2.pack_l2_addr(1))
+    opts = struct.pack("<HHB", 512, 0, l2.MODE_ERTM)
+    k.syscall(p.pid, "setsockopt", s, l2.SOL_L2CAP, l2.L2CAP_OPTIONS, opts)
+    k.syscall(p.pid, "close", s)
+    assert k.dmesg.peek_crashes() == []
+
+
+def _setup_pending_child(k, p):
+    listener = sock(k, p)
+    k.syscall(p.pid, "bind", listener, l2.pack_l2_addr(0x81))
+    k.syscall(p.pid, "listen", listener, 2)
+    client = sock(k, p)
+    assert k.syscall(p.pid, "connect", client,
+                     l2.pack_l2_addr(0x81)).ret == 0
+    return listener, client
+
+
+def test_bug11_accept_unlink_uaf():
+    k, p = make(uaf=True)
+    listener, client = _setup_pending_child(k, p)
+    k.syscall(p.pid, "close", listener)
+    assert k.dmesg.peek_crashes() == []
+    k.syscall(p.pid, "close", client)
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["KASAN: slab-use-after-free Read in bt_accept_unlink"]
+
+
+def test_bug11_clean_without_quirk():
+    k, p = make(uaf=False)
+    listener, client = _setup_pending_child(k, p)
+    k.syscall(p.pid, "close", listener)
+    k.syscall(p.pid, "close", client)
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug11_not_triggered_if_accepted_first():
+    k, p = make(uaf=True)
+    listener, client = _setup_pending_child(k, p)
+    assert k.syscall(p.pid, "accept", listener).ret >= 0
+    k.syscall(p.pid, "close", listener)
+    k.syscall(p.pid, "close", client)
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_backlog_limit():
+    k, p = make()
+    listener = sock(k, p)
+    k.syscall(p.pid, "bind", listener, l2.pack_l2_addr(0x81))
+    k.syscall(p.pid, "listen", listener, 0)
+    c1 = sock(k, p)
+    assert k.syscall(p.pid, "connect", c1, l2.pack_l2_addr(0x81)).ret == 0
+    c2 = sock(k, p)
+    assert k.syscall(p.pid, "connect", c2, l2.pack_l2_addr(0x81)).ret == -11
+
+
+def test_socket_spec_shape():
+    spec = l2.BtL2capFamily().socket_spec()
+    assert spec.domain == AF_BLUETOOTH
+    assert l2.SOCK_SEQPACKET in spec.types
+    assert len(spec.sockopts) == 2

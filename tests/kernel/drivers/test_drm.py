@@ -1,0 +1,187 @@
+"""Tests for the DRM/GPU driver (Table II bug 3)."""
+
+import pytest
+
+import repro.kernel.drivers.drm_gpu as d
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make(quirk=False):
+    k = VirtualKernel()
+    k.register_driver(d.DrmGpu(quirk_lockdep_subclass=quirk))
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/dri/card0", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg)
+
+
+def create_fb(k, p, fd, width=640, height=480):
+    out = ioctl(k, p, fd, d.DRM_IOC_MODE_CREATE_DUMB,
+                pack_fields(d._CREATE_DUMB_FIELDS,
+                            {"width": width, "height": height, "bpp": 32,
+                             "flags": 0}))
+    handle = int.from_bytes(out.data[:4], "little")
+    out = ioctl(k, p, fd, d.DRM_IOC_MODE_ADDFB,
+                pack_fields(d._ADDFB_FIELDS,
+                            {"width": width, "height": height,
+                             "pitch": width * 4, "bpp": 32,
+                             "handle": handle}))
+    assert out.ret == 0
+    return handle, int.from_bytes(out.data[:4], "little")
+
+
+def setcrtc(k, p, fd, fb):
+    return ioctl(k, p, fd, d.DRM_IOC_MODE_SETCRTC,
+                 pack_fields(d._SETCRTC_FIELDS,
+                             {"crtc_id": 41, "fb_id": fb, "x": 0,
+                              "y": 0})).ret
+
+
+def flip(k, p, fd, fb, flags=0x1):
+    return ioctl(k, p, fd, d.DRM_IOC_MODE_PAGE_FLIP,
+                 pack_fields(d._PAGE_FLIP_FIELDS,
+                             {"crtc_id": 41, "fb_id": fb,
+                              "flags": flags})).ret
+
+
+def test_version_and_caps():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, d.DRM_IOC_VERSION).ret == 0
+    out = ioctl(k, p, fd, d.DRM_IOC_GET_CAP,
+                pack_fields(d._GET_CAP_FIELDS,
+                            {"capability": d.CAP_DUMB_BUFFER, "value": 0}))
+    assert out.ret == 0
+    assert int.from_bytes(out.data[8:16], "little") == 1
+
+
+def test_create_dumb_validations():
+    k, p, fd = make()
+    bad = pack_fields(d._CREATE_DUMB_FIELDS,
+                      {"width": 0, "height": 10, "bpp": 32, "flags": 0})
+    assert ioctl(k, p, fd, d.DRM_IOC_MODE_CREATE_DUMB, bad).ret == -22
+    bad_bpp = pack_fields(d._CREATE_DUMB_FIELDS,
+                          {"width": 4, "height": 4, "bpp": 13, "flags": 0})
+    assert ioctl(k, p, fd, d.DRM_IOC_MODE_CREATE_DUMB, bad_bpp).ret == -22
+
+
+def test_addfb_requires_matching_buffer():
+    k, p, fd = make()
+    out = ioctl(k, p, fd, d.DRM_IOC_MODE_CREATE_DUMB,
+                pack_fields(d._CREATE_DUMB_FIELDS,
+                            {"width": 64, "height": 64, "bpp": 32,
+                             "flags": 0}))
+    handle = int.from_bytes(out.data[:4], "little")
+    too_big = pack_fields(d._ADDFB_FIELDS,
+                          {"width": 128, "height": 64, "pitch": 512,
+                           "bpp": 32, "handle": handle})
+    assert ioctl(k, p, fd, d.DRM_IOC_MODE_ADDFB, too_big).ret == -22
+    bad_pitch = pack_fields(d._ADDFB_FIELDS,
+                            {"width": 64, "height": 64, "pitch": 1,
+                             "bpp": 32, "handle": handle})
+    assert ioctl(k, p, fd, d.DRM_IOC_MODE_ADDFB, bad_pitch).ret == -22
+    bad_handle = pack_fields(d._ADDFB_FIELDS,
+                             {"width": 64, "height": 64, "pitch": 256,
+                              "bpp": 32, "handle": 999})
+    assert ioctl(k, p, fd, d.DRM_IOC_MODE_ADDFB, bad_handle).ret == -2
+
+
+def test_page_flip_requires_crtc():
+    k, p, fd = make()
+    _h, fb = create_fb(k, p, fd)
+    assert flip(k, p, fd, fb) == -22
+
+
+def test_flips_do_not_nest_without_vsync_client():
+    k, p, fd = make(quirk=True)
+    _h, fb = create_fb(k, p, fd)
+    assert setcrtc(k, p, fd, fb) == 0
+    for _ in range(20):
+        assert flip(k, p, fd, fb) == 0
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug3_flip_storm_with_vsync_client():
+    k, p, fd = make(quirk=True)
+    _h, fb = create_fb(k, p, fd)
+    assert ioctl(k, p, fd, d.DRM_IOC_VSYNC_CLIENT).ret == 0
+    assert setcrtc(k, p, fd, fb) == 0
+    ret = 0
+    for _ in range(12):
+        ret = flip(k, p, fd, fb)
+        if ret < 0:
+            break
+    assert ret == -14  # BUG aborts the syscall
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["BUG: looking up invalid subclass: 9"]
+
+
+def test_flip_storm_throttled_without_quirk():
+    k, p, fd = make(quirk=False)
+    _h, fb = create_fb(k, p, fd)
+    ioctl(k, p, fd, d.DRM_IOC_VSYNC_CLIENT)
+    setcrtc(k, p, fd, fb)
+    rets = [flip(k, p, fd, fb) for _ in range(12)]
+    assert -16 in rets  # EBUSY throttling
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_reading_events_drains_flip_queue():
+    k, p, fd = make(quirk=True)
+    _h, fb = create_fb(k, p, fd)
+    ioctl(k, p, fd, d.DRM_IOC_VSYNC_CLIENT)
+    setcrtc(k, p, fd, fb)
+    for _ in range(100):
+        assert flip(k, p, fd, fb) == 0
+        assert k.syscall(p.pid, "read", fd, 16).ret > 0
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_rmfb_active_unsets_crtc():
+    k, p, fd = make()
+    _h, fb = create_fb(k, p, fd)
+    setcrtc(k, p, fd, fb)
+    assert ioctl(k, p, fd, d.DRM_IOC_MODE_RMFB,
+                 pack_fields(d._FB_FIELDS, {"fb_id": fb})).ret == 0
+    assert flip(k, p, fd, fb) == -22  # CRTC unset by removing active fb
+
+
+def test_mmap_dumb_buffer():
+    k, p, fd = make()
+    out = ioctl(k, p, fd, d.DRM_IOC_MODE_CREATE_DUMB,
+                pack_fields(d._CREATE_DUMB_FIELDS,
+                            {"width": 64, "height": 64, "bpp": 32,
+                             "flags": 0}))
+    handle = int.from_bytes(out.data[:4], "little")
+    map_out = ioctl(k, p, fd, d.DRM_IOC_MODE_MAP_DUMB,
+                    pack_fields(d._HANDLE_FIELDS, {"handle": handle}))
+    offset = int.from_bytes(map_out.data[:8], "little")
+    assert k.syscall(p.pid, "mmap", fd, 4096, 3, 1, offset).ret > 0
+
+
+def test_gem_close_frees_handle():
+    k, p, fd = make()
+    out = ioctl(k, p, fd, d.DRM_IOC_MODE_CREATE_DUMB,
+                pack_fields(d._CREATE_DUMB_FIELDS,
+                            {"width": 8, "height": 8, "bpp": 32,
+                             "flags": 0}))
+    handle = int.from_bytes(out.data[:4], "little")
+    assert ioctl(k, p, fd, d.DRM_IOC_GEM_CLOSE,
+                 pack_fields(d._HANDLE_FIELDS, {"handle": handle})).ret == 0
+    assert ioctl(k, p, fd, d.DRM_IOC_GEM_CLOSE,
+                 pack_fields(d._HANDLE_FIELDS, {"handle": handle})).ret == -2
+
+
+def test_vsync_client_single_registration():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, d.DRM_IOC_VSYNC_CLIENT).ret == 0
+    assert ioctl(k, p, fd, d.DRM_IOC_VSYNC_CLIENT).ret == -16
+
+
+def test_vsync_spec_marked_vendor():
+    specs = {s.name: s for s in d.DrmGpu().ioctl_specs()}
+    assert specs["DRM_IOC_VSYNC_CLIENT"].vendor
+    assert not specs["DRM_IOC_MODE_PAGE_FLIP"].vendor

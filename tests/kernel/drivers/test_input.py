@@ -1,0 +1,109 @@
+"""Tests for the evdev touchscreen driver."""
+
+import struct
+
+import repro.kernel.drivers.input_touch as it
+from repro.kernel.kernel import VirtualKernel
+
+
+def make():
+    k = VirtualKernel()
+    k.register_driver(it.InputTouch())
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/input/event0", 2).ret
+    return k, p, fd
+
+
+def ev(etype, code, value):
+    return struct.pack("<HHi", etype, code, value)
+
+
+def test_identity_ioctls():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "ioctl", fd, it.EVIOCGID).ret == 0
+    out = k.syscall(p.pid, "ioctl", fd, it.EVIOCGNAME)
+    assert b"vtouch" in out.data
+
+
+def test_gbit_and_gabs():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "ioctl", fd, it.EVIOCGBIT, it.EV_ABS).ret == 0
+    assert k.syscall(p.pid, "ioctl", fd, it.EVIOCGBIT, 0x15).ret == -22
+    out = k.syscall(p.pid, "ioctl", fd, it.EVIOCGABS,
+                    it.ABS_MT_POSITION_X)
+    lo, hi = struct.unpack("<ii", out.data)
+    assert (lo, hi) == (0, 1079)
+    assert k.syscall(p.pid, "ioctl", fd, it.EVIOCGABS, 0x77).ret == -22
+
+
+def test_grab_contention():
+    k, p, fd = make()
+    p2 = k.new_process("other")
+    fd2 = k.syscall(p2.pid, "openat", "/dev/input/event0", 2).ret
+    assert k.syscall(p.pid, "ioctl", fd, it.EVIOCGRAB, 1).ret == 0
+    assert k.syscall(p2.pid, "ioctl", fd2, it.EVIOCGRAB, 1).ret == -16
+    assert k.syscall(p2.pid, "ioctl", fd2, it.EVIOCGRAB, 0).ret == -22
+    assert k.syscall(p.pid, "ioctl", fd, it.EVIOCGRAB, 0).ret == 0
+
+
+def test_mt_protocol_happy_path():
+    k, p, fd = make()
+    frame = (ev(it.EV_ABS, it.ABS_MT_SLOT, 0)
+             + ev(it.EV_ABS, it.ABS_MT_TRACKING_ID, 5)
+             + ev(it.EV_ABS, it.ABS_MT_POSITION_X, 100)
+             + ev(it.EV_ABS, it.ABS_MT_POSITION_Y, 200)
+             + ev(it.EV_KEY, it.BTN_TOUCH, 1)
+             + ev(it.EV_SYN, it.SYN_REPORT, 0))
+    assert k.syscall(p.pid, "write", fd, frame).ret == len(frame)
+    out = k.syscall(p.pid, "read", fd, 8)
+    assert out.ret == 8
+
+
+def test_move_without_contact_rejected():
+    k, p, fd = make()
+    bad = ev(it.EV_ABS, it.ABS_MT_POSITION_X, 10)
+    assert k.syscall(p.pid, "write", fd, bad).ret == -22
+
+
+def test_axis_range_enforced():
+    k, p, fd = make()
+    bad = ev(it.EV_ABS, it.ABS_MT_SLOT, 99)
+    assert k.syscall(p.pid, "write", fd, bad).ret == -34
+
+
+def test_misaligned_write():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "write", fd, b"\x00" * 7).ret == -22
+
+
+def test_contact_release_frees_slot():
+    k, p, fd = make()
+    down = (ev(it.EV_ABS, it.ABS_MT_SLOT, 1)
+            + ev(it.EV_ABS, it.ABS_MT_TRACKING_ID, 7))
+    k.syscall(p.pid, "write", fd, down)
+    up = ev(it.EV_ABS, it.ABS_MT_TRACKING_ID, -1)
+    assert k.syscall(p.pid, "write", fd, up).ret == len(up)
+    driver = k.driver_for_path("/dev/input/event0")
+    assert 1 not in driver._slots
+
+
+def test_too_many_contacts():
+    k, p, fd = make()
+    for slot in range(10):
+        frame = (ev(it.EV_ABS, it.ABS_MT_SLOT, slot)
+                 + ev(it.EV_ABS, it.ABS_MT_TRACKING_ID, slot + 1))
+        assert k.syscall(p.pid, "write", fd, frame).ret > 0
+    # All slots occupied; slot 0 already has a contact, so reuse is
+    # fine, but an 11th contact cannot exist (slots max at 10).
+    driver = k.driver_for_path("/dev/input/event0")
+    assert len(driver._slots) == 10
+
+
+def test_read_empty_eagain():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "read", fd, 8).ret == -11
+
+
+def test_unknown_event_type():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "write", fd, ev(0x7F, 0, 0)).ret == -22

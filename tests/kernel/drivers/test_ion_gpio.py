@@ -1,0 +1,132 @@
+"""Tests for the ION allocator and GPIO chip drivers."""
+
+import struct
+
+import repro.kernel.drivers.gpio as g
+import repro.kernel.drivers.ion_alloc as ion
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make_ion():
+    k = VirtualKernel()
+    k.register_driver(ion.IonAllocator())
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/ion", 2).ret
+    return k, p, fd
+
+
+def alloc(k, p, fd, length=4096, heap=ion.HEAP_SYSTEM):
+    out = k.syscall(p.pid, "ioctl", fd, ion.ION_IOC_ALLOC,
+                    pack_fields(ion._ALLOC_FIELDS,
+                                {"len": length, "heap_mask": heap,
+                                 "flags": 0}))
+    return out
+
+
+def test_ion_alloc_free_cycle():
+    k, p, fd = make_ion()
+    out = alloc(k, p, fd)
+    assert out.ret == 0
+    handle = int.from_bytes(out.data, "little")
+    assert k.syscall(p.pid, "ioctl", fd, ion.ION_IOC_FREE, handle).ret == 0
+    assert k.syscall(p.pid, "ioctl", fd, ion.ION_IOC_FREE, handle).ret == -2
+
+
+def test_ion_alloc_validations():
+    k, p, fd = make_ion()
+    assert alloc(k, p, fd, length=0).ret == -22
+    assert alloc(k, p, fd, heap=0).ret == -19
+    assert alloc(k, p, fd, length=1 << 30).ret == -22  # over heap limit
+
+
+def test_ion_carveout_smaller_than_system():
+    k, p, fd = make_ion()
+    assert alloc(k, p, fd, length=1 << 23, heap=ion.HEAP_CARVEOUT).ret == -22
+    assert alloc(k, p, fd, length=1 << 23, heap=ion.HEAP_SYSTEM).ret == 0
+
+
+def test_ion_map_and_mmap():
+    k, p, fd = make_ion()
+    out = alloc(k, p, fd, length=8192)
+    handle = int.from_bytes(out.data, "little")
+    map_out = k.syscall(p.pid, "ioctl", fd, ion.ION_IOC_MAP, handle)
+    offset = int.from_bytes(map_out.data, "little")
+    assert k.syscall(p.pid, "mmap", fd, 4096, 3, 1, offset).ret > 0
+    assert k.syscall(p.pid, "mmap", fd, 1 << 20, 3, 1, offset).ret == -22
+
+
+def make_gpio():
+    k = VirtualKernel()
+    k.register_driver(g.GpioChip())
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/gpiochip0", 2).ret
+    return k, p, fd
+
+
+def linehandle(k, p, fd, mask=0x3, flags=g.HANDLE_REQUEST_OUTPUT,
+               default=0):
+    return k.syscall(p.pid, "ioctl", fd, g.GPIO_GET_LINEHANDLE,
+                     pack_fields(g._LINEHANDLE_FIELDS,
+                                 {"line_mask": mask, "flags": flags,
+                                  "default": default}))
+
+
+def test_gpio_chipinfo():
+    k, p, fd = make_gpio()
+    out = k.syscall(p.pid, "ioctl", fd, g.GPIO_GET_CHIPINFO)
+    lines, reserved = struct.unpack("<II", out.data)
+    assert lines == 32 and reserved == 3
+
+
+def test_gpio_lineinfo():
+    k, p, fd = make_gpio()
+    out = k.syscall(p.pid, "ioctl", fd, g.GPIO_GET_LINEINFO,
+                    pack_fields(g._LINEINFO_FIELDS, {"line": 7}))
+    _line, reserved = struct.unpack("<II", out.data)
+    assert reserved == 1
+
+
+def test_gpio_handle_flags_validation():
+    k, p, fd = make_gpio()
+    both = g.HANDLE_REQUEST_INPUT | g.HANDLE_REQUEST_OUTPUT
+    assert linehandle(k, p, fd, flags=both).ret == -22
+    assert linehandle(k, p, fd, flags=0).ret == -22
+    assert linehandle(k, p, fd, mask=0).ret == -22
+
+
+def test_gpio_line_contention():
+    k, p, fd = make_gpio()
+    assert linehandle(k, p, fd, mask=0x3).ret == 0
+    assert linehandle(k, p, fd, mask=0x2).ret == -16
+
+
+def test_gpio_set_get_values():
+    k, p, fd = make_gpio()
+    out = linehandle(k, p, fd, mask=0x3)
+    handle = int.from_bytes(out.data, "little")
+    assert k.syscall(p.pid, "ioctl", fd, g.GPIOHANDLE_SET_VALUES,
+                     pack_fields(g._SET_FIELDS,
+                                 {"handle": handle, "values": 0x1})).ret == 0
+    got = k.syscall(p.pid, "ioctl", fd, g.GPIOHANDLE_GET_VALUES,
+                    pack_fields(g._GET_FIELDS, {"handle": handle}))
+    assert int.from_bytes(got.data, "little") == 0x1
+
+
+def test_gpio_set_on_input_handle_rejected():
+    k, p, fd = make_gpio()
+    out = linehandle(k, p, fd, mask=0x4, flags=g.HANDLE_REQUEST_INPUT)
+    handle = int.from_bytes(out.data, "little")
+    assert k.syscall(p.pid, "ioctl", fd, g.GPIOHANDLE_SET_VALUES,
+                     pack_fields(g._SET_FIELDS,
+                                 {"handle": handle,
+                                  "values": 0x4})).ret == -1
+
+
+def test_gpio_default_high():
+    k, p, fd = make_gpio()
+    out = linehandle(k, p, fd, mask=0x8, default=1)
+    handle = int.from_bytes(out.data, "little")
+    got = k.syscall(p.pid, "ioctl", fd, g.GPIOHANDLE_GET_VALUES,
+                    pack_fields(g._GET_FIELDS, {"handle": handle}))
+    assert int.from_bytes(got.data, "little") == 0x8

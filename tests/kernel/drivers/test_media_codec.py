@@ -1,0 +1,159 @@
+"""Tests for the media codec driver (Table II bug 5)."""
+
+import struct
+
+import repro.kernel.drivers.media_codec as m
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make(quirk=False):
+    k = VirtualKernel(loop_budget=2000)
+    k.register_driver(m.MediaCodec(quirk_drain_loop=quirk))
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/mtk_vcodec", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg).ret
+
+
+def unit(size, flags, data=b""):
+    return struct.pack("<II", size, flags) + data
+
+
+def start_session(k, p, fd, codec=m.CODEC_H264):
+    assert ioctl(k, p, fd, m.VCODEC_IOC_INIT,
+                 pack_fields(m._INIT_FIELDS,
+                             {"codec": codec, "mode": m.MODE_DECODE})) == 0
+    assert ioctl(k, p, fd, m.VCODEC_IOC_START) == 0
+
+
+def test_init_validates():
+    k, p, fd = make()
+    bad = pack_fields(m._INIT_FIELDS, {"codec": 99, "mode": 0})
+    assert ioctl(k, p, fd, m.VCODEC_IOC_INIT, bad) == -22
+    good = pack_fields(m._INIT_FIELDS, {"codec": 1, "mode": 0})
+    assert ioctl(k, p, fd, m.VCODEC_IOC_INIT, good) == 0
+    assert ioctl(k, p, fd, m.VCODEC_IOC_INIT, good) == -16  # EBUSY
+
+
+def test_write_requires_session():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "write", fd, unit(2, 0, b"ab")).ret == -22
+
+
+def test_start_encode_needs_bitrate():
+    k, p, fd = make()
+    ioctl(k, p, fd, m.VCODEC_IOC_INIT,
+          pack_fields(m._INIT_FIELDS, {"codec": 0, "mode": m.MODE_ENCODE}))
+    assert ioctl(k, p, fd, m.VCODEC_IOC_START) == -22
+    ioctl(k, p, fd, m.VCODEC_IOC_SET_PARAM,
+          pack_fields(m._PARAM_FIELDS,
+                      {"param": m.PARAM_BITRATE, "value": 100}))
+    assert ioctl(k, p, fd, m.VCODEC_IOC_START) == 0
+
+
+def test_decode_pipeline_produces_output():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    data = (unit(3, m.UNIT_FLAG_CONFIG, b"cfg")
+            + unit(4, 0, b"fram") + unit(0, m.UNIT_FLAG_EOS))
+    assert k.syscall(p.pid, "write", fd, data).ret == len(data)
+    assert ioctl(k, p, fd, m.VCODEC_IOC_DRAIN) == 1
+    out = k.syscall(p.pid, "read", fd, 64)
+    assert out.ret > 0
+
+
+def test_frames_skipped_without_config():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    k.syscall(p.pid, "write", fd, unit(4, 0, b"fram"))
+    assert ioctl(k, p, fd, m.VCODEC_IOC_DRAIN) == 0
+
+
+def test_bug5_zero_unit_mid_stream_hangs():
+    k, p, fd = make(quirk=True)
+    start_session(k, p, fd)
+    data = (unit(3, m.UNIT_FLAG_CONFIG, b"cfg")
+            + unit(4, 0, b"fram") + unit(0, 0))
+    k.syscall(p.pid, "write", fd, data)
+    assert ioctl(k, p, fd, m.VCODEC_IOC_DRAIN) == -110  # ETIMEDOUT
+    assert k.hung
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["Infinite loop in mtk_vcodec_drain"]
+
+
+def test_zero_unit_skipped_without_quirk():
+    k, p, fd = make(quirk=False)
+    start_session(k, p, fd)
+    data = (unit(3, m.UNIT_FLAG_CONFIG, b"cfg")
+            + unit(4, 0, b"fram") + unit(0, 0))
+    k.syscall(p.pid, "write", fd, data)
+    assert ioctl(k, p, fd, m.VCODEC_IOC_DRAIN) >= 0
+    assert not k.hung
+
+
+def test_bug5_needs_configured_stream_first():
+    k, p, fd = make(quirk=True)
+    start_session(k, p, fd)
+    k.syscall(p.pid, "write", fd, unit(0, 0))
+    assert ioctl(k, p, fd, m.VCODEC_IOC_DRAIN) >= 0
+    assert not k.hung
+
+
+def test_eos_terminates_drain():
+    k, p, fd = make(quirk=True)
+    start_session(k, p, fd)
+    data = (unit(3, m.UNIT_FLAG_CONFIG, b"cfg") + unit(4, 0, b"fram")
+            + unit(0, m.UNIT_FLAG_EOS) + unit(0, 0))
+    k.syscall(p.pid, "write", fd, data)
+    assert ioctl(k, p, fd, m.VCODEC_IOC_DRAIN) >= 0
+    assert not k.hung
+
+
+def test_oversize_unit_rejected():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    assert k.syscall(p.pid, "write", fd, unit(9999, 0)).ret == -22
+
+
+def test_bad_flags_rejected():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    assert k.syscall(p.pid, "write", fd, unit(1, 0x80, b"a")).ret == -22
+
+
+def test_flush_clears_queues():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    k.syscall(p.pid, "write", fd,
+              unit(3, m.UNIT_FLAG_CONFIG, b"cfg") + unit(4, 0, b"fram"))
+    ioctl(k, p, fd, m.VCODEC_IOC_DRAIN)
+    assert ioctl(k, p, fd, m.VCODEC_IOC_FLUSH) == 0
+    assert k.syscall(p.pid, "read", fd, 64).ret == -11  # output gone
+
+
+def test_stop_resets():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    assert ioctl(k, p, fd, m.VCODEC_IOC_STOP) == 0
+    assert ioctl(k, p, fd, m.VCODEC_IOC_STOP) == -22
+
+
+def test_get_output_reports_depths():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    k.syscall(p.pid, "write", fd, unit(2, 0, b"ab"))
+    out = k.syscall(p.pid, "ioctl", fd, m.VCODEC_IOC_GET_OUTPUT)
+    assert int.from_bytes(out.data[4:8], "little") == 1  # one queued
+
+
+def test_release_tears_down():
+    k, p, fd = make()
+    start_session(k, p, fd)
+    k.syscall(p.pid, "close", fd)
+    fd2 = k.syscall(p.pid, "openat", "/dev/mtk_vcodec", 2).ret
+    good = pack_fields(m._INIT_FIELDS, {"codec": 0, "mode": 0})
+    assert ioctl(k, p, fd2, m.VCODEC_IOC_INIT, good) == 0

@@ -1,0 +1,56 @@
+"""Tests for the driver factory registry."""
+
+import pytest
+
+from repro.kernel.chardev import CharDevice, SocketFamily
+from repro.kernel.drivers import DRIVER_FACTORIES, build_driver
+
+
+def test_all_factories_instantiate():
+    for name in DRIVER_FACTORIES:
+        driver = build_driver(name)
+        assert isinstance(driver, (CharDevice, SocketFamily))
+        assert driver.name == name
+
+
+def test_quirk_flags_accepted():
+    driver = build_driver("rt1711_tcpc", quirk_warn_probe=True)
+    assert driver.quirk_warn_probe
+
+
+def test_unknown_driver_rejected():
+    with pytest.raises(KeyError):
+        build_driver("nonexistent")
+
+
+def test_unknown_quirk_rejected():
+    with pytest.raises(TypeError):
+        build_driver("drm_gpu", quirk_nonsense=True)
+
+
+def test_chardev_paths_unique_across_drivers():
+    paths = []
+    for name in DRIVER_FACTORIES:
+        driver = build_driver(name)
+        paths.extend(getattr(driver, "paths", ()))
+    assert len(paths) == len(set(paths))
+
+
+def test_vendor_flags():
+    vendor = {name for name in DRIVER_FACTORIES
+              if build_driver(name).vendor_specific}
+    assert vendor == {"rt1711_tcpc", "mtk_vcodec", "bt_hci", "mac80211"}
+
+
+def test_coverage_block_counts_positive():
+    for name in DRIVER_FACTORIES:
+        assert build_driver(name).coverage_block_count() > 0
+
+
+def test_ioctl_requests_unique_per_device():
+    requests = []
+    for name in DRIVER_FACTORIES:
+        driver = build_driver(name)
+        if hasattr(driver, "ioctl_specs"):
+            requests.extend(s.request for s in driver.ioctl_specs())
+    assert len(requests) == len(set(requests))

@@ -1,0 +1,93 @@
+"""Tests for the IIO sensor hub driver."""
+
+import repro.kernel.drivers.sensors_iio as s
+from repro.kernel.kernel import VirtualKernel
+
+
+def make():
+    k = VirtualKernel()
+    k.register_driver(s.SensorsIio())
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/iio:device0", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg).ret
+
+
+def test_channel_count():
+    k, p, fd = make()
+    out = k.syscall(p.pid, "ioctl", fd, s.IIO_IOC_GET_CHANNELS)
+    assert int.from_bytes(out.data, "little") == s.N_CHANNELS
+
+
+def test_enable_validates_index():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0) == 0
+    assert ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 6) == -22
+    assert ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, -1) == -22
+
+
+def test_buffer_needs_scan():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE) == -22
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0)
+    assert ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE) == 0
+    assert ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE) == -16
+
+
+def test_scan_locked_while_buffered():
+    k, p, fd = make()
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0)
+    ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE)
+    assert ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 1) == -16
+    assert ioctl(k, p, fd, s.IIO_IOC_DISABLE_CHAN, 0) == -16
+    ioctl(k, p, fd, s.IIO_IOC_BUFFER_DISABLE)
+    assert ioctl(k, p, fd, s.IIO_IOC_DISABLE_CHAN, 0) == 0
+
+
+def test_read_requires_buffer():
+    k, p, fd = make()
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0)
+    assert k.syscall(p.pid, "read", fd, 64).ret == -16
+
+
+def test_read_samples_scan_layout():
+    k, p, fd = make()
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0)
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 3)
+    ioctl(k, p, fd, s.IIO_IOC_SET_WATERMARK, 2)
+    ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE)
+    out = k.syscall(p.pid, "read", fd, 64)
+    # 2 samples x 2 channels x 2 bytes
+    assert out.ret == 8
+
+
+def test_read_short_buffer_rejected():
+    k, p, fd = make()
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0)
+    ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE)
+    assert k.syscall(p.pid, "read", fd, 1).ret == -22
+
+
+def test_freq_enumeration():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, s.IIO_IOC_SET_FREQ, 50) == 0
+    assert ioctl(k, p, fd, s.IIO_IOC_SET_FREQ, 51) == -22
+
+
+def test_watermark_bounds():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, s.IIO_IOC_SET_WATERMARK, 0) == -22
+    assert ioctl(k, p, fd, s.IIO_IOC_SET_WATERMARK, 128) == 0
+    assert ioctl(k, p, fd, s.IIO_IOC_SET_WATERMARK, 129) == -22
+
+
+def test_release_disarms():
+    k, p, fd = make()
+    ioctl(k, p, fd, s.IIO_IOC_ENABLE_CHAN, 0)
+    ioctl(k, p, fd, s.IIO_IOC_BUFFER_ENABLE)
+    k.syscall(p.pid, "close", fd)
+    driver = k.driver_for_path("/dev/iio:device0")
+    assert not driver._buffered

@@ -1,0 +1,165 @@
+"""Tests for the RT1711 TCPC driver (Table II bugs 1 and 4)."""
+
+import pytest
+
+import repro.kernel.drivers.tcpc_rt1711 as t
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make(quirks=False):
+    k = VirtualKernel()
+    k.register_driver(t.Rt1711Tcpc(quirk_warn_probe=quirks,
+                                   quirk_warn_role_swap=quirks))
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/tcpc0", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg).ret
+
+
+def attach_arg(role=0, cc=1):
+    return pack_fields(t._ATTACH_FIELDS, {"role": role, "cc": cc})
+
+
+def contract(k, p, fd, mv=9000, ma=2000):
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_VBUS, 1) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg()) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_PD_START) == 0
+    arg = pack_fields(t._PD_REQUEST_FIELDS, {"mv": mv, "ma": ma})
+    assert ioctl(k, p, fd, t.TCPC_IOC_PD_REQUEST, arg) == 0
+
+
+def test_probe_idempotent_without_quirk():
+    k, p, fd = make()
+    contract(k, p, fd)
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) == 0
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug1_reprobe_with_contract_warns():
+    k, p, fd = make(quirks=True)
+    contract(k, p, fd)
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) < 0
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["WARNING in rt1711_i2c_probe"]
+
+
+def test_bug1_needs_contract_not_just_probe():
+    k, p, fd = make(quirks=True)
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) == 0
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug4_role_swap_mid_negotiation():
+    k, p, fd = make(quirks=True)
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_VBUS, 1) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg()) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_PD_START) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_ROLE_SWAP, 1) < 0
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["WARNING in tcpc"]
+
+
+def test_role_swap_mid_negotiation_ebusy_without_quirk():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, t.TCPC_IOC_PROBE) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_VBUS, 1) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg()) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_PD_START) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_ROLE_SWAP, 1) == -16  # EBUSY
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_vbus_requires_probe():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, t.TCPC_IOC_VBUS, 1) == -19  # ENODEV
+
+
+def test_attach_validates_role_and_cc():
+    k, p, fd = make()
+    ioctl(k, p, fd, t.TCPC_IOC_PROBE)
+    assert ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg(role=9)) == -22
+    assert ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg(cc=3)) == -22
+    assert ioctl(k, p, fd, t.TCPC_IOC_ATTACH, b"\x00") == -22
+
+
+def test_pd_request_range_checks():
+    k, p, fd = make()
+    ioctl(k, p, fd, t.TCPC_IOC_PROBE)
+    ioctl(k, p, fd, t.TCPC_IOC_VBUS, 1)
+    ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg())
+    ioctl(k, p, fd, t.TCPC_IOC_PD_START)
+    bad_mv = pack_fields(t._PD_REQUEST_FIELDS, {"mv": 99999, "ma": 1000})
+    assert ioctl(k, p, fd, t.TCPC_IOC_PD_REQUEST, bad_mv) == -34  # ERANGE
+
+
+def test_pd_start_needs_vbus():
+    k, p, fd = make()
+    ioctl(k, p, fd, t.TCPC_IOC_PROBE)
+    ioctl(k, p, fd, t.TCPC_IOC_ATTACH, attach_arg())
+    assert ioctl(k, p, fd, t.TCPC_IOC_PD_START) == -11  # EAGAIN
+
+
+def test_vbus_drop_degrades_contract():
+    k, p, fd = make()
+    contract(k, p, fd)
+    assert ioctl(k, p, fd, t.TCPC_IOC_VBUS, 0) == 0
+    status = k.syscall(p.pid, "ioctl", fd, t.TCPC_IOC_GET_STATUS).data
+    assert int.from_bytes(status[4:8], "little") == 0  # vbus off
+
+
+def test_detach_resets_state():
+    k, p, fd = make()
+    contract(k, p, fd)
+    assert ioctl(k, p, fd, t.TCPC_IOC_DETACH) == 0
+    assert ioctl(k, p, fd, t.TCPC_IOC_DETACH) == 0  # noop
+
+
+def test_get_status_layout():
+    k, p, fd = make()
+    contract(k, p, fd, mv=15000)
+    out = k.syscall(p.pid, "ioctl", fd, t.TCPC_IOC_GET_STATUS)
+    assert out.ret == 0
+    assert int.from_bytes(out.data[12:16], "little") == 15000
+
+
+def test_reg_write_and_unknown_reg():
+    k, p, fd = make()
+    good = pack_fields(t._REG_WRITE_FIELDS, {"reg": 0x10, "val": 3})
+    assert ioctl(k, p, fd, t.TCPC_IOC_REG_WRITE, good) == 0
+    bad = pack_fields(t._REG_WRITE_FIELDS, {"reg": 0x55, "val": 3})
+    assert ioctl(k, p, fd, t.TCPC_IOC_REG_WRITE, bad) == -22
+
+
+def test_i2c_write_stream():
+    k, p, fd = make()
+    assert k.syscall(p.pid, "write", fd, bytes([0x10, 1, 0x18, 2])).ret == 4
+    assert k.syscall(p.pid, "write", fd, b"\x10").ret == -22  # odd length
+
+
+def test_unknown_ioctl_enotty():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, 0xDEAD) == -25
+
+
+def test_reset_clears_state():
+    k, p, fd = make()
+    contract(k, p, fd)
+    driver = k.driver_for_path("/dev/tcpc0")
+    driver.reset()
+    assert ioctl(k, p, fd, t.TCPC_IOC_VBUS, 1) == -19  # not probed
+
+
+def test_ioctl_specs_cover_all_commands():
+    driver = t.Rt1711Tcpc()
+    names = {s.name for s in driver.ioctl_specs()}
+    assert "TCPC_IOC_PROBE" in names
+    assert len(names) == 9
+    requests = {s.request for s in driver.ioctl_specs()}
+    assert len(requests) == 9

@@ -1,0 +1,165 @@
+"""Tests for the V4L2 camera driver (Table II bug 12)."""
+
+import repro.kernel.drivers.v4l2_camera as v
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make(quirk=False):
+    k = VirtualKernel()
+    k.register_driver(v.V4l2Camera(quirk_warn_querycap=quirk))
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/video0", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg)
+
+
+def fmt_arg(fourcc=v.FMT_NV12, width=640, height=480):
+    return pack_fields(v._FMT_FIELDS, {"fourcc": fourcc, "width": width,
+                                       "height": height})
+
+
+def reqbufs(k, p, fd, count=4):
+    return ioctl(k, p, fd, v.VIDIOC_REQBUFS,
+                 pack_fields(v._REQBUFS_FIELDS,
+                             {"count": count, "type": 1, "memory": 1}))
+
+
+def qbuf(k, p, fd, index):
+    return ioctl(k, p, fd, v.VIDIOC_QBUF,
+                 pack_fields(v._BUF_FIELDS, {"index": index, "type": 1}))
+
+
+def test_querycap_clean_by_default():
+    k, p, fd = make(quirk=True)
+    assert ioctl(k, p, fd, v.VIDIOC_QUERYCAP).ret == 0
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug12_querycap_after_vendor_input():
+    k, p, fd = make(quirk=True)
+    assert ioctl(k, p, fd, v.VIDIOC_S_INPUT, 2).ret == 0
+    assert ioctl(k, p, fd, v.VIDIOC_QUERYCAP).ret == 0
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["WARNING in v4l_querycap"]
+
+
+def test_bug12_gated_by_quirk():
+    k, p, fd = make(quirk=False)
+    ioctl(k, p, fd, v.VIDIOC_S_INPUT, 2)
+    ioctl(k, p, fd, v.VIDIOC_QUERYCAP)
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug12_recovers_on_standard_input():
+    k, p, fd = make(quirk=True)
+    ioctl(k, p, fd, v.VIDIOC_S_INPUT, 2)
+    ioctl(k, p, fd, v.VIDIOC_S_INPUT, 0)
+    ioctl(k, p, fd, v.VIDIOC_QUERYCAP)
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_s_fmt_validates():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT, fmt_arg()).ret == 0
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT,
+                 fmt_arg(fourcc=0x1234)).ret == -22
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT,
+                 fmt_arg(width=123, height=77)).ret == -22
+
+
+def test_vendor_format_needs_vendor_input():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT,
+                 fmt_arg(fourcc=v.FMT_RAW10)).ret == -22
+    ioctl(k, p, fd, v.VIDIOC_S_INPUT, 2)
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT,
+                 fmt_arg(fourcc=v.FMT_RAW10)).ret == 0
+
+
+def test_capture_pipeline():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT, fmt_arg()).ret == 0
+    out = reqbufs(k, p, fd, 4)
+    assert out.ret == 0
+    assert int.from_bytes(out.data[:4], "little") == 4
+    assert qbuf(k, p, fd, 0).ret == 0
+    assert qbuf(k, p, fd, 1).ret == 0
+    assert ioctl(k, p, fd, v.VIDIOC_STREAMON, 1).ret == 0
+    out = ioctl(k, p, fd, v.VIDIOC_DQBUF)
+    assert out.ret == 0
+    assert int.from_bytes(out.data[:4], "little") == 0
+    assert ioctl(k, p, fd, v.VIDIOC_STREAMOFF, 1).ret == 0
+
+
+def test_streamon_requires_queued_buffers():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, v.VIDIOC_STREAMON, 1).ret == -22
+    reqbufs(k, p, fd, 2)
+    assert ioctl(k, p, fd, v.VIDIOC_STREAMON, 1).ret == -22  # none queued
+
+
+def test_dqbuf_requires_streaming():
+    k, p, fd = make()
+    reqbufs(k, p, fd, 2)
+    qbuf(k, p, fd, 0)
+    assert ioctl(k, p, fd, v.VIDIOC_DQBUF).ret == -22
+
+
+def test_dqbuf_empty_queue_eagain():
+    k, p, fd = make()
+    reqbufs(k, p, fd, 2)
+    qbuf(k, p, fd, 0)
+    ioctl(k, p, fd, v.VIDIOC_STREAMON, 1)
+    assert ioctl(k, p, fd, v.VIDIOC_DQBUF).ret == 0
+    assert ioctl(k, p, fd, v.VIDIOC_DQBUF).ret == -11
+
+
+def test_double_qbuf_rejected():
+    k, p, fd = make()
+    reqbufs(k, p, fd, 2)
+    assert qbuf(k, p, fd, 0).ret == 0
+    assert qbuf(k, p, fd, 0).ret == -22
+
+
+def test_s_fmt_blocked_while_streaming():
+    k, p, fd = make()
+    reqbufs(k, p, fd, 2)
+    qbuf(k, p, fd, 0)
+    ioctl(k, p, fd, v.VIDIOC_STREAMON, 1)
+    assert ioctl(k, p, fd, v.VIDIOC_S_FMT, fmt_arg()).ret == -16
+
+
+def test_controls():
+    k, p, fd = make()
+    good = pack_fields(v._CTRL_FIELDS,
+                       {"id": v.CTRL_BRIGHTNESS, "value": 128})
+    assert ioctl(k, p, fd, v.VIDIOC_S_CTRL, good).ret == 0
+    out = ioctl(k, p, fd, v.VIDIOC_G_CTRL,
+                pack_fields(v._CTRL_FIELDS, {"id": v.CTRL_BRIGHTNESS,
+                                             "value": 0}))
+    assert int.from_bytes(out.data[:4], "little") == 128
+    out_of_range = pack_fields(v._CTRL_FIELDS,
+                               {"id": v.CTRL_CONTRAST, "value": 9999})
+    assert ioctl(k, p, fd, v.VIDIOC_S_CTRL, out_of_range).ret == -34
+
+
+def test_enum_fmt_depends_on_input():
+    k, p, fd = make()
+    last = pack_fields(v._ENUMFMT_FIELDS, {"index": 3, "type": 1})
+    assert ioctl(k, p, fd, v.VIDIOC_ENUM_FMT, last).ret == -22
+    ioctl(k, p, fd, v.VIDIOC_S_INPUT, 2)
+    assert ioctl(k, p, fd, v.VIDIOC_ENUM_FMT, last).ret == 0
+
+
+def test_release_stops_streaming():
+    k, p, fd = make()
+    reqbufs(k, p, fd, 2)
+    qbuf(k, p, fd, 0)
+    ioctl(k, p, fd, v.VIDIOC_STREAMON, 1)
+    k.syscall(p.pid, "close", fd)
+    driver = k.driver_for_path("/dev/video0")
+    assert not driver._streaming

@@ -1,0 +1,130 @@
+"""Tests for the mac80211 wireless driver (Table II bug 10)."""
+
+import repro.kernel.drivers.wifi_mac80211 as w
+from repro.kernel.ioctl import pack_fields
+from repro.kernel.kernel import VirtualKernel
+
+
+def make(quirk=False):
+    k = VirtualKernel()
+    k.register_driver(w.WifiMac80211(quirk_warn_rate_init=quirk))
+    p = k.new_process("x")
+    fd = k.syscall(p.pid, "openat", "/dev/nl80211", 2).ret
+    return k, p, fd
+
+
+def ioctl(k, p, fd, req, arg=None):
+    return k.syscall(p.pid, "ioctl", fd, req, arg).ret
+
+
+def ap_up(k, p, fd):
+    assert ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1) == 0
+    assert ioctl(k, p, fd, w.NL_IOC_SET_COUNTRY, b"US") == 0
+    arg = pack_fields(w._CONNECT_FIELDS, {"ssid": b"ap", "channel": 6})
+    assert ioctl(k, p, fd, w.NL_IOC_START_AP, arg) == 0
+
+
+def sta_arg(mac=b"\x02\x00\x00\x00\x00\x01", rates=0x7, aid=1):
+    return pack_fields(w._ADD_STA_FIELDS,
+                       {"mac": mac, "rates": rates, "aid": aid})
+
+
+def test_everything_requires_power():
+    k, p, fd = make()
+    assert ioctl(k, p, fd, w.NL_IOC_TRIGGER_SCAN) == -19
+    assert ioctl(k, p, fd, w.NL_IOC_SET_COUNTRY, b"US") == -19
+
+
+def test_scan_flow():
+    k, p, fd = make()
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1)
+    assert ioctl(k, p, fd, w.NL_IOC_GET_SCAN) == -61  # no results yet
+    assert ioctl(k, p, fd, w.NL_IOC_TRIGGER_SCAN) == 0
+    out = k.syscall(p.pid, "ioctl", fd, w.NL_IOC_GET_SCAN)
+    assert out.ret == 0 and out.data
+
+
+def test_connect_validates():
+    k, p, fd = make()
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1)
+    empty = pack_fields(w._CONNECT_FIELDS, {"ssid": b"", "channel": 6})
+    assert ioctl(k, p, fd, w.NL_IOC_CONNECT, empty) == -22
+    bad_ch = pack_fields(w._CONNECT_FIELDS, {"ssid": b"x", "channel": 7})
+    assert ioctl(k, p, fd, w.NL_IOC_CONNECT, bad_ch) == -22
+    good = pack_fields(w._CONNECT_FIELDS, {"ssid": b"x", "channel": 6})
+    assert ioctl(k, p, fd, w.NL_IOC_CONNECT, good) == 0
+    assert ioctl(k, p, fd, w.NL_IOC_DISCONNECT) == 0
+
+
+def test_start_ap_needs_regdom():
+    k, p, fd = make()
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1)
+    arg = pack_fields(w._CONNECT_FIELDS, {"ssid": b"ap", "channel": 6})
+    assert ioctl(k, p, fd, w.NL_IOC_START_AP, arg) == -11
+
+
+def test_regdom_blocks_5ghz_in_jp():
+    k, p, fd = make()
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1)
+    ioctl(k, p, fd, w.NL_IOC_SET_COUNTRY, b"JP")
+    arg = pack_fields(w._CONNECT_FIELDS, {"ssid": b"ap", "channel": 149})
+    assert ioctl(k, p, fd, w.NL_IOC_START_AP, arg) == -13
+
+
+def test_bug10_zero_rates_station():
+    k, p, fd = make(quirk=True)
+    ap_up(k, p, fd)
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg(rates=0)) == -22
+    titles = [c.title for c in k.dmesg.drain_crashes()]
+    assert titles == ["WARNING in rate_control_rate_init"]
+
+
+def test_zero_rates_rejected_quietly_without_quirk():
+    k, p, fd = make(quirk=False)
+    ap_up(k, p, fd)
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg(rates=0)) == -22
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_bug10_needs_ap_mode():
+    k, p, fd = make(quirk=True)
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1)
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg(rates=0)) == -22
+    assert k.dmesg.peek_crashes() == []
+
+
+def test_station_lifecycle():
+    k, p, fd = make()
+    ap_up(k, p, fd)
+    mac = b"\x02\x00\x00\x00\x00\x09"
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg(mac=mac)) == 0
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg(mac=mac)) == -17
+    rate = pack_fields(w._SET_RATE_FIELDS, {"mac": mac, "rate_idx": 1})
+    assert ioctl(k, p, fd, w.NL_IOC_SET_RATE, rate) == 0
+    unsupported = pack_fields(w._SET_RATE_FIELDS,
+                              {"mac": mac, "rate_idx": 5})
+    assert ioctl(k, p, fd, w.NL_IOC_SET_RATE, unsupported) == -22
+    assert ioctl(k, p, fd, w.NL_IOC_DEL_STA, mac) == 0
+    assert ioctl(k, p, fd, w.NL_IOC_DEL_STA, mac) == -2
+
+
+def test_station_table_capacity():
+    k, p, fd = make()
+    ap_up(k, p, fd)
+    for i in range(8):
+        mac = bytes([2, 0, 0, 0, 0, i])
+        assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg(mac=mac)) == 0
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA,
+                 sta_arg(mac=b"\x02\x00\x00\x00\x00\xFF")) == -28
+
+
+def test_power_off_clears_stations():
+    k, p, fd = make()
+    ap_up(k, p, fd)
+    ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg())
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 0)
+    ioctl(k, p, fd, w.NL_IOC_SET_POWER, 1)
+    ioctl(k, p, fd, w.NL_IOC_SET_COUNTRY, b"US")
+    arg = pack_fields(w._CONNECT_FIELDS, {"ssid": b"ap", "channel": 6})
+    ioctl(k, p, fd, w.NL_IOC_START_AP, arg)
+    assert ioctl(k, p, fd, w.NL_IOC_ADD_STA, sta_arg()) == 0

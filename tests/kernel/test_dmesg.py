@@ -1,0 +1,76 @@
+"""Tests for the kernel log ring and crash records."""
+
+from repro.kernel.dmesg import Dmesg
+
+
+def test_log_lines_kept_in_order():
+    d = Dmesg()
+    d.log("one")
+    d.log("two")
+    assert d.lines() == ["one", "two"]
+
+
+def test_ring_capacity_drops_oldest():
+    d = Dmesg(capacity=3)
+    for i in range(5):
+        d.log(f"line{i}")
+    assert d.lines() == ["line2", "line3", "line4"]
+
+
+def test_warn_creates_crash_record():
+    d = Dmesg()
+    rec = d.warn("foo_bar", "details")
+    assert rec.kind == "WARNING"
+    assert rec.title == "WARNING in foo_bar"
+    assert rec.component == "kernel"
+    assert d.peek_crashes() == [rec]
+
+
+def test_warn_once_suppresses_repeats():
+    d = Dmesg()
+    assert d.warn_once("site") is not None
+    assert d.warn_once("site") is None
+    assert len(d.peek_crashes()) == 1
+
+
+def test_warn_once_distinct_sites():
+    d = Dmesg()
+    d.warn_once("a")
+    d.warn_once("b")
+    assert len(d.peek_crashes()) == 2
+
+
+def test_bug_and_kasan_titles():
+    d = Dmesg()
+    assert d.bug("soft lockup").title == "BUG: soft lockup"
+    rec = d.kasan("slab-use-after-free Read", "bt_accept_unlink")
+    assert rec.title == "KASAN: slab-use-after-free Read in bt_accept_unlink"
+
+
+def test_panic_and_hang_kinds():
+    d = Dmesg()
+    assert d.panic("not syncing").kind == "PANIC"
+    assert d.hang("mtk_vcodec_drain").title == "Infinite loop in mtk_vcodec_drain"
+
+
+def test_drain_clears_records():
+    d = Dmesg()
+    d.warn("x")
+    d.bug("y")
+    drained = d.drain_crashes()
+    assert len(drained) == 2
+    assert d.drain_crashes() == []
+    assert d.peek_crashes() == []
+
+
+def test_sequence_numbers_increase():
+    d = Dmesg()
+    first = d.warn("a")
+    second = d.warn("b")
+    assert second.seq > first.seq
+
+
+def test_crashes_also_logged_as_lines():
+    d = Dmesg()
+    d.warn("somewhere")
+    assert any("WARNING in somewhere" in line for line in d.lines())

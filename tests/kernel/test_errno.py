@@ -1,0 +1,41 @@
+"""Tests for errno helpers."""
+
+from repro.kernel.errno import Errno, err, errno_name, is_err
+
+
+def test_err_encodes_negative():
+    assert err(Errno.EINVAL) == -22
+    assert err(Errno.EBADF) == -9
+
+
+def test_is_err_on_failures():
+    assert is_err(-1)
+    assert is_err(err(Errno.ENOSYS))
+
+
+def test_is_err_on_success_values():
+    assert not is_err(0)
+    assert not is_err(42)
+
+
+def test_errno_name_known():
+    assert errno_name(-22) == "EINVAL"
+    assert errno_name(err(Errno.ETIMEDOUT)) == "ETIMEDOUT"
+
+
+def test_errno_name_success():
+    assert errno_name(0) == "OK"
+    assert errno_name(7) == "OK"
+
+
+def test_errno_name_unknown():
+    assert errno_name(-9999) == "E?9999"
+
+
+def test_errno_values_match_linux():
+    assert Errno.EPERM == 1
+    assert Errno.ENOENT == 2
+    assert Errno.EBADF == 9
+    assert Errno.ENOTTY == 25
+    assert Errno.EMSGSIZE == 90
+    assert Errno.EOPNOTSUPP == 95

@@ -1,0 +1,81 @@
+"""Tests for the per-process fd table."""
+
+from repro.kernel.chardev import CharDevice, OpenFile
+from repro.kernel.fdtable import FdTable
+
+
+def _file() -> OpenFile:
+    return OpenFile(path="/dev/x", flags=0, driver=CharDevice())
+
+
+def test_install_lowest_free_slot():
+    t = FdTable()
+    assert t.install(_file()) == 0
+    assert t.install(_file()) == 1
+
+
+def test_slot_reuse_after_remove():
+    t = FdTable()
+    t.install(_file())
+    t.install(_file())
+    t.remove(0)
+    assert t.install(_file()) == 0
+
+
+def test_get():
+    t = FdTable()
+    f = _file()
+    fd = t.install(f)
+    assert t.get(fd) is f
+    assert t.get(99) is None
+
+
+def test_dup_shares_description():
+    t = FdTable()
+    f = _file()
+    fd = t.install(f)
+    dup = t.dup(fd)
+    assert dup != fd
+    assert t.get(dup) is f
+    assert f.refcount == 2
+
+
+def test_dup_bad_fd():
+    t = FdTable()
+    assert t.dup(3) == -9  # EBADF
+
+
+def test_remove_returns_file_only_on_last_ref():
+    t = FdTable()
+    f = _file()
+    fd = t.install(f)
+    dup = t.dup(fd)
+    assert t.remove(fd) is None
+    assert t.remove(dup) is f
+
+
+def test_emfile_on_exhaustion():
+    t = FdTable(max_fds=2)
+    t.install(_file())
+    t.install(_file())
+    assert t.install(_file()) == -24  # EMFILE
+
+
+def test_clear_returns_last_referenced():
+    t = FdTable()
+    f1, f2 = _file(), _file()
+    fd1 = t.install(f1)
+    t.install(f2)
+    t.dup(fd1)
+    released = t.clear()
+    assert f1 in released and f2 in released
+    assert t.open_fds() == []
+
+
+def test_open_fds_sorted():
+    t = FdTable()
+    t.install(_file())
+    t.install(_file())
+    t.install(_file())
+    t.remove(1)
+    assert t.open_fds() == [0, 2]

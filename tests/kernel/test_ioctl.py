@@ -1,0 +1,96 @@
+"""Tests for ioctl encoding and field packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.ioctl import (
+    FieldSpec,
+    IoctlSpec,
+    io,
+    ior,
+    iow,
+    iowr,
+    pack_fields,
+    unpack_fields,
+)
+
+
+def test_io_encoding_unique_per_type_and_nr():
+    values = {io("T", n) for n in range(8)} | {io("V", n) for n in range(8)}
+    assert len(values) == 16
+
+
+def test_direction_bits_differ():
+    assert io("T", 0) != iow("T", 0, 4) != ior("T", 0, 4) != iowr("T", 0, 4)
+
+
+def test_size_encoded():
+    assert iow("T", 1, 4) != iow("T", 1, 8)
+
+
+FIELDS = (
+    FieldSpec("a", "I", "range", lo=0, hi=100),
+    FieldSpec("b", "H", "enum", values=(1, 2)),
+    FieldSpec("c", "4s", "payload"),
+)
+
+
+def test_pack_unpack_roundtrip():
+    packed = pack_fields(FIELDS, {"a": 7, "b": 2, "c": b"hi"})
+    out = unpack_fields(FIELDS, packed)
+    assert out["a"] == 7
+    assert out["b"] == 2
+    assert out["c"] == b"hi\x00\x00"
+
+
+def test_pack_defaults_missing_fields():
+    packed = pack_fields(FIELDS, {})
+    out = unpack_fields(FIELDS, packed)
+    assert out["a"] == 0 and out["b"] == 0 and out["c"] == b"\x00" * 4
+
+
+def test_pack_masks_oversized_values():
+    packed = pack_fields((FieldSpec("x", "H"),), {"x": 0x12345})
+    assert unpack_fields((FieldSpec("x", "H"),), packed)["x"] == 0x2345
+
+
+def test_pack_signed_wraps():
+    fields = (FieldSpec("v", "i"),)
+    packed = pack_fields(fields, {"v": 0xFFFFFFFF})
+    assert unpack_fields(fields, packed)["v"] == -1
+
+
+def test_pack_bytes_truncated_and_padded():
+    fields = (FieldSpec("s", "3s", "payload"),)
+    assert pack_fields(fields, {"s": b"abcdef"}) == b"abc"
+    assert pack_fields(fields, {"s": b"a"}) == b"a\x00\x00"
+
+
+def test_pack_int_into_bytes_field():
+    fields = (FieldSpec("s", "4s", "payload"),)
+    assert pack_fields(fields, {"s": 0x0102}) == b"\x02\x01\x00\x00"
+
+
+def test_unpack_short_data_padded():
+    out = unpack_fields(FIELDS, b"\x05")
+    assert out["a"] == 5
+
+
+def test_ioctl_spec_struct_size():
+    spec = IoctlSpec("X", io("X", 0), "struct", fields=FIELDS)
+    assert spec.struct_size() == 4 + 2 + 4
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=2**16 - 1))
+def test_pack_unpack_property(a, b):
+    fields = (FieldSpec("a", "I"), FieldSpec("b", "H"))
+    out = unpack_fields(fields, pack_fields(fields, {"a": a, "b": b}))
+    assert out["a"] == a and out["b"] == b
+
+
+@given(st.binary(max_size=16))
+def test_payload_field_property(data):
+    fields = (FieldSpec("p", "8s", "payload"),)
+    out = unpack_fields(fields, pack_fields(fields, {"p": data}))
+    assert out["p"] == data[:8].ljust(8, b"\x00")

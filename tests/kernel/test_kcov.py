@@ -1,0 +1,92 @@
+"""Tests for the kcov coverage collector."""
+
+from repro.kernel.kcov import Kcov, stable_pc
+
+
+def test_stable_pc_deterministic():
+    assert stable_pc("drv", "block") == stable_pc("drv", "block")
+
+
+def test_stable_pc_distinguishes_driver_and_label():
+    assert stable_pc("a", "x") != stable_pc("b", "x")
+    assert stable_pc("a", "x") != stable_pc("a", "y")
+
+
+def test_hit_records_per_task_when_enabled():
+    cov = Kcov()
+    cov.enable(1)
+    pc = cov.hit(1, "drv", "open")
+    assert cov.collect(1) == (pc,)
+
+
+def test_hit_without_enable_still_counts_globally():
+    cov = Kcov()
+    cov.hit(7, "drv", "open")
+    assert cov.total_blocks() == 1
+    assert cov.collect(7) == ()
+
+
+def test_collect_clears_trace():
+    cov = Kcov()
+    cov.enable(1)
+    cov.hit(1, "drv", "a")
+    cov.collect(1)
+    assert cov.collect(1) == ()
+
+
+def test_disable_stops_collection():
+    cov = Kcov()
+    cov.enable(1)
+    cov.disable(1)
+    assert not cov.is_enabled(1)
+    cov.hit(1, "drv", "a")
+    assert cov.collect(1) == ()
+
+
+def test_trace_preserves_order_and_duplicates():
+    cov = Kcov()
+    cov.enable(1)
+    a = cov.hit(1, "drv", "a")
+    b = cov.hit(1, "drv", "b")
+    a2 = cov.hit(1, "drv", "a")
+    assert cov.collect(1) == (a, b, a2)
+
+
+def test_per_driver_attribution():
+    cov = Kcov()
+    cov.hit(1, "drv1", "a")
+    cov.hit(1, "drv1", "b")
+    cov.hit(1, "drv2", "a")
+    assert cov.per_driver() == {"drv1": 2, "drv2": 1}
+
+
+def test_pc_owner():
+    cov = Kcov()
+    pc = cov.hit(1, "camera", "open")
+    assert cov.pc_owner(pc) == "camera"
+    assert cov.pc_owner(12345) is None
+
+
+def test_total_blocks_deduplicates():
+    cov = Kcov()
+    cov.hit(1, "d", "x")
+    cov.hit(2, "d", "x")
+    assert cov.total_blocks() == 1
+
+
+def test_covered_pcs_frozen_snapshot():
+    cov = Kcov()
+    cov.hit(1, "d", "x")
+    snap = cov.covered_pcs()
+    cov.hit(1, "d", "y")
+    assert len(snap) == 1
+    assert len(cov.covered_pcs()) == 2
+
+
+def test_reset():
+    cov = Kcov()
+    cov.enable(1)
+    cov.hit(1, "d", "x")
+    cov.reset()
+    assert cov.total_blocks() == 0
+    assert not cov.is_enabled(1)

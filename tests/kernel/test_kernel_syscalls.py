@@ -1,0 +1,240 @@
+"""Tests for the syscall dispatcher and kernel crash semantics."""
+
+import pytest
+
+from repro.errors import KernelBug, KernelPanic
+from repro.kernel.chardev import CharDevice, SocketFamily
+from repro.kernel.errno import Errno, err
+from repro.kernel.kernel import VirtualKernel
+
+
+class Echo(CharDevice):
+    """Driver used to exercise the dispatcher paths."""
+
+    name = "echo"
+    paths = ("/dev/echo",)
+
+    def __init__(self):
+        self.buffer = b""
+        self.released = 0
+
+    def write(self, ctx, f, data):
+        ctx.cover("write")
+        self.buffer = data
+        return len(data)
+
+    def read(self, ctx, f, size):
+        ctx.cover("read")
+        return self.buffer[:size]
+
+    def ioctl(self, ctx, f, request, arg):
+        ctx.cover("ioctl")
+        if request == 1:
+            ctx.warn("echo_warn")
+            return 0
+        if request == 2:
+            ctx.bug("echo corrupted")
+            raise KernelBug("echo corrupted")
+        if request == 3:
+            raise KernelPanic("echo: not syncing")
+        if request == 4:
+            while True:
+                ctx.tick("echo_spin")
+        if request == 5:
+            return 0, b"OUT"
+        return err(Errno.ENOTTY)
+
+    def release(self, ctx, f):
+        self.released += 1
+        return 0
+
+    def mmap(self, ctx, f, length, prot, flags, offset):
+        return 0
+
+
+@pytest.fixture
+def keb():
+    k = VirtualKernel(loop_budget=500)
+    drv = Echo()
+    k.register_driver(drv)
+    p = k.new_process("t")
+    return k, drv, p
+
+
+def _open(k, p):
+    return k.syscall(p.pid, "openat", "/dev/echo", 2).ret
+
+
+def test_open_read_write(keb):
+    k, drv, p = keb
+    fd = _open(k, p)
+    assert fd >= 0
+    assert k.syscall(p.pid, "write", fd, b"hello").ret == 5
+    out = k.syscall(p.pid, "read", fd, 5)
+    assert out.ret == 5 and out.data == b"hello"
+
+
+def test_open_missing_path(keb):
+    k, _drv, p = keb
+    assert k.syscall(p.pid, "openat", "/dev/nope", 0).ret == -int(Errno.ENOENT)
+
+
+def test_bad_fd_errors(keb):
+    k, _drv, p = keb
+    assert k.syscall(p.pid, "read", 42, 4).ret == -int(Errno.EBADF)
+    assert k.syscall(p.pid, "close", 42).ret == -int(Errno.EBADF)
+
+
+def test_unknown_syscall(keb):
+    k, _drv, p = keb
+    assert k.syscall(p.pid, "clone").ret == -int(Errno.ENOSYS)
+
+
+def test_unknown_pid(keb):
+    k, _drv, _p = keb
+    assert k.syscall(31337, "openat", "/dev/echo", 0).ret < 0
+
+
+def test_close_releases_driver(keb):
+    k, drv, p = keb
+    fd = _open(k, p)
+    k.syscall(p.pid, "close", fd)
+    assert drv.released == 1
+
+
+def test_dup_shares_then_releases_once(keb):
+    k, drv, p = keb
+    fd = _open(k, p)
+    dup = k.syscall(p.pid, "dup", fd).ret
+    k.syscall(p.pid, "close", fd)
+    assert drv.released == 0
+    k.syscall(p.pid, "close", dup)
+    assert drv.released == 1
+
+
+def test_warn_does_not_fail_syscall(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    assert k.syscall(p.pid, "ioctl", fd, 1).ret == 0
+    crashes = k.dmesg.drain_crashes()
+    assert [c.title for c in crashes] == ["WARNING in echo_warn"]
+    assert not k.panicked and not k.hung
+
+
+def test_bug_aborts_syscall_but_kernel_lives(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    assert k.syscall(p.pid, "ioctl", fd, 2).ret == -int(Errno.EFAULT)
+    assert any(c.kind == "BUG" for c in k.dmesg.drain_crashes())
+    assert not k.panicked
+    # Kernel still serviceable.
+    assert k.syscall(p.pid, "write", fd, b"x").ret == 1
+
+
+def test_panic_latches_kernel(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    assert k.syscall(p.pid, "ioctl", fd, 3).ret == -int(Errno.EIO)
+    assert k.panicked
+    assert k.syscall(p.pid, "write", fd, b"x").ret == -int(Errno.EIO)
+
+
+def test_infinite_loop_detected_as_hang(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    assert k.syscall(p.pid, "ioctl", fd, 4).ret == -int(Errno.ETIMEDOUT)
+    assert k.hung
+    assert any(c.kind == "HANG" for c in k.dmesg.drain_crashes())
+
+
+def test_ioctl_out_data(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    out = k.syscall(p.pid, "ioctl", fd, 5)
+    assert out.ret == 0 and out.data == b"OUT"
+
+
+def test_mmap_munmap(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    addr = k.syscall(p.pid, "mmap", fd, 4096, 3, 1, 0).ret
+    assert addr > 0
+    assert k.syscall(p.pid, "munmap", addr, 4096).ret == 0
+    assert k.syscall(p.pid, "munmap", addr, 4096).ret == -int(Errno.EINVAL)
+
+
+def test_bad_arg_types_become_einval_or_efault(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    assert k.syscall(p.pid, "write", fd, "not-bytes").ret == -int(Errno.EFAULT)
+    assert k.syscall(p.pid, "read", fd, "nan").ret == -int(Errno.EINVAL)
+    assert k.syscall(p.pid, "ioctl", fd, "x").ret == -int(Errno.EINVAL)
+
+
+def test_tracepoints_fire_on_syscalls(keb):
+    k, _drv, p = keb
+    entries = []
+    k.trace.attach("sys_enter", entries.append)
+    fd = _open(k, p)
+    k.syscall(p.pid, "ioctl", fd, 7, None)
+    names = [r.name for r in entries]
+    assert names == ["openat", "ioctl"]
+    assert entries[1].critical == 7
+
+
+def test_syscall_filter_blocks(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    k.syscall_filters[p.pid] = frozenset({"openat", "close", "ioctl"})
+    assert k.syscall(p.pid, "write", fd, b"x").ret == -int(Errno.EPERM)
+    assert k.syscall(p.pid, "ioctl", fd, 5).ret == 0
+
+
+def test_kill_process_releases_files(keb):
+    k, drv, p = keb
+    _open(k, p)
+    _open(k, p)
+    k.kill_process(p.pid)
+    assert drv.released == 2
+    assert k.process(p.pid) is None
+
+
+def test_soft_reset_restores_service(keb):
+    k, drv, p = keb
+    fd = _open(k, p)
+    k.syscall(p.pid, "ioctl", fd, 3)  # panic
+    assert k.panicked
+    k.soft_reset()
+    assert not k.panicked
+    p2 = k.new_process("t2")
+    assert k.syscall(p2.pid, "openat", "/dev/echo", 0).ret >= 0
+
+
+def test_duplicate_driver_path_rejected():
+    k = VirtualKernel()
+    k.register_driver(Echo())
+    with pytest.raises(ValueError):
+        k.register_driver(Echo())
+
+
+def test_socket_on_unsupported_domain(keb):
+    k, _drv, p = keb
+    assert k.syscall(p.pid, "socket", 99, 1, 0).ret == -int(Errno.EINVAL)
+
+
+def test_register_duplicate_socket_family():
+    k = VirtualKernel()
+
+    class Fam(SocketFamily):
+        name = "fam"
+        domain = 5
+
+    k.register_socket_family(Fam())
+    with pytest.raises(ValueError):
+        k.register_socket_family(Fam())
+
+
+def test_ppoll_counts_open_fds(keb):
+    k, _drv, p = keb
+    fd = _open(k, p)
+    assert k.syscall(p.pid, "ppoll", [fd, 99], 0).ret == 1

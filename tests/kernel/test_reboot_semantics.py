@@ -1,0 +1,68 @@
+"""Tests for state semantics across reboots and driver resets."""
+
+import repro.kernel.drivers.tcpc_rt1711 as tcpc
+from repro.device import AndroidDevice, profile_by_id
+from repro.kernel.ioctl import pack_fields
+
+
+def test_driver_global_state_persists_across_programs():
+    device = AndroidDevice(profile_by_id("A1"))
+    p1 = device.new_process("prog1")
+    fd = device.syscall(p1.pid, "openat", "/dev/tcpc0", 2).ret
+    assert device.syscall(p1.pid, "ioctl", fd, tcpc.TCPC_IOC_PROBE,
+                          None).ret == 0
+    device.kernel.kill_process(p1.pid)
+    # A second process sees the probed chip (driver-global state).
+    p2 = device.new_process("prog2")
+    fd = device.syscall(p2.pid, "openat", "/dev/tcpc0", 2).ret
+    assert device.syscall(p2.pid, "ioctl", fd, tcpc.TCPC_IOC_VBUS,
+                          1).ret == 0
+
+
+def test_reboot_resets_driver_state():
+    device = AndroidDevice(profile_by_id("A1"))
+    p = device.new_process("prog")
+    fd = device.syscall(p.pid, "openat", "/dev/tcpc0", 2).ret
+    device.syscall(p.pid, "ioctl", fd, tcpc.TCPC_IOC_PROBE, None)
+    device.reboot()
+    p2 = device.new_process("prog2")
+    fd = device.syscall(p2.pid, "openat", "/dev/tcpc0", 2).ret
+    # Unprobed again after reboot.
+    assert device.syscall(p2.pid, "ioctl", fd, tcpc.TCPC_IOC_VBUS,
+                          1).ret == -19
+
+
+def test_reboot_restarts_hal_processes_with_fresh_state():
+    device = AndroidDevice(profile_by_id("A1"))
+    p = device.new_process("client")
+    assert device.hal_transact(p.pid, "c", "vendor.usb", "enablePort",
+                               ())[0] == 0
+    old_pid = device.hal_process("vendor.usb").pid
+    device.reboot()
+    assert device.hal_process("vendor.usb").pid != old_pid
+    p2 = device.new_process("client2")
+    # Fresh service state: the port must be enabled again.
+    status, _ = device.hal_transact(p2.pid, "c", "vendor.usb",
+                                    "connectPartner", (0,))
+    assert status == -38  # INVALID_OPERATION
+
+
+def test_kcov_attribution_survives_reboot():
+    device = AndroidDevice(profile_by_id("A1"))
+    p = device.new_process("prog")
+    device.syscall(p.pid, "openat", "/dev/tcpc0", 2)
+    before = device.per_driver_coverage()
+    device.reboot()
+    assert device.per_driver_coverage() == before
+
+
+def test_heap_leak_accounting_reset_on_reboot():
+    device = AndroidDevice(profile_by_id("D"))
+    p = device.new_process("prog")
+    s = device.syscall(p.pid, "socket", 31, 5, 0).ret
+    import repro.kernel.drivers.bt_l2cap as l2
+    device.syscall(p.pid, "bind", s, l2.pack_l2_addr(0x81))
+    device.syscall(p.pid, "listen", s, 1)
+    assert device.kernel.heap.live_objects() == 1
+    device.reboot()
+    assert device.kernel.heap.live_objects() == 0

@@ -1,0 +1,51 @@
+"""Tests for syscall metadata: numbering and critical arguments."""
+
+from repro.kernel.syscalls import (
+    CRITICAL_ARG_INDEX,
+    SYSCALL_NRS,
+    SyscallOutcome,
+    critical_argument,
+)
+
+
+def test_syscall_numbers_unique():
+    assert len(set(SYSCALL_NRS.values())) == len(SYSCALL_NRS)
+
+
+def test_arm64_numbers_spot_check():
+    assert SYSCALL_NRS["ioctl"] == 29
+    assert SYSCALL_NRS["openat"] == 56
+    assert SYSCALL_NRS["mmap"] == 222
+
+
+def test_critical_argument_ioctl_request():
+    assert critical_argument("ioctl", (3, 0x5401, b"")) == 0x5401
+
+
+def test_critical_argument_socket_domain():
+    assert critical_argument("socket", (31, 5, 0)) == 31
+
+
+def test_critical_argument_sockopt():
+    assert critical_argument("setsockopt", (3, 6, 0x01, b"")) == 0x01
+
+
+def test_critical_argument_none_for_plain_calls():
+    assert critical_argument("read", (3, 64)) is None
+    assert critical_argument("openat", ("/dev/x", 0)) is None
+
+
+def test_critical_argument_missing_or_nonint():
+    assert critical_argument("ioctl", (3,)) is None
+    assert critical_argument("ioctl", (3, "req")) is None
+
+
+def test_critical_index_consistency():
+    for name in CRITICAL_ARG_INDEX:
+        assert name in SYSCALL_NRS
+
+
+def test_outcome_ok():
+    assert SyscallOutcome(0).ok
+    assert SyscallOutcome(5, b"x").ok
+    assert not SyscallOutcome(-22).ok

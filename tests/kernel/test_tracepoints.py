@@ -1,0 +1,84 @@
+"""Tests for the eBPF-surrogate tracepoint manager."""
+
+from repro.kernel.tracepoints import (
+    BinderRecord,
+    SyscallRecord,
+    TracepointManager,
+)
+
+
+def _sys_record(pid=1, name="ioctl", critical=7, seq=1):
+    return SyscallRecord(pid=pid, comm="t", nr=29, name=name, args=(),
+                         critical=critical, seq=seq)
+
+
+def test_attach_and_fire():
+    tm = TracepointManager()
+    got = []
+    tm.attach("sys_enter", got.append)
+    tm.fire("sys_enter", _sys_record())
+    assert len(got) == 1
+
+
+def test_pid_filter_matches():
+    tm = TracepointManager()
+    got = []
+    tm.attach("sys_enter", got.append, pid_filter=5)
+    tm.fire("sys_enter", _sys_record(pid=4))
+    tm.fire("sys_enter", _sys_record(pid=5))
+    assert [r.pid for r in got] == [5]
+
+
+def test_binder_record_pid_filter():
+    tm = TracepointManager()
+    got = []
+    tm.attach("binder_transaction", got.append, pid_filter=9)
+    rec = BinderRecord(from_pid=9, from_comm="poke", service="s",
+                       interface="i", code=1, method="m",
+                       payload_types=(), payload_values=(), reply_ok=True,
+                       seq=1)
+    other = BinderRecord(from_pid=8, from_comm="x", service="s",
+                         interface="i", code=1, method="m",
+                         payload_types=(), payload_values=(),
+                         reply_ok=True, seq=2)
+    tm.fire("binder_transaction", rec)
+    tm.fire("binder_transaction", other)
+    assert [r.from_pid for r in got] == [9]
+
+
+def test_detach_stops_delivery():
+    tm = TracepointManager()
+    got = []
+    handle = tm.attach("sys_enter", got.append)
+    tm.detach(handle)
+    tm.fire("sys_enter", _sys_record())
+    assert got == []
+
+
+def test_detach_idempotent():
+    tm = TracepointManager()
+    handle = tm.attach("sys_enter", lambda r: None)
+    tm.detach(handle)
+    tm.detach(handle)  # no error
+
+
+def test_multiple_probes_all_fire():
+    tm = TracepointManager()
+    a, b = [], []
+    tm.attach("sys_enter", a.append)
+    tm.attach("sys_enter", b.append)
+    tm.fire("sys_enter", _sys_record())
+    assert len(a) == 1 and len(b) == 1
+
+
+def test_probe_count():
+    tm = TracepointManager()
+    tm.attach("sys_enter", lambda r: None)
+    tm.attach("sys_exit", lambda r: None)
+    assert tm.probe_count("sys_enter") == 1
+    assert tm.probe_count() == 2
+
+
+def test_fire_unknown_event_is_noop():
+    tm = TracepointManager()
+    tm.fire("no_such_event", _sys_record())
