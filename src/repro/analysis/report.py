@@ -2,7 +2,9 @@
 
 Turns a :class:`CampaignResult` (plus optional engine internals) into a
 human-readable markdown report: headline numbers, coverage by driver,
-the bug ledger with reproducers, and the strongest learned relations.
+the bug ledger with reproducers, the strongest learned relations, and —
+when a recorded telemetry trace is supplied — a profiling section with
+the per-phase virtual-time breakdown and the most expensive drivers.
 """
 
 from __future__ import annotations
@@ -10,6 +12,7 @@ from __future__ import annotations
 from repro.analysis.tables import render_table
 from repro.core.engine import CampaignResult
 from repro.core.relations import RelationGraph
+from repro.obs.stats import TraceSummary
 
 
 def strongest_relations(relations: RelationGraph,
@@ -23,8 +26,37 @@ def strongest_relations(relations: RelationGraph,
     return edges[:limit]
 
 
+def profiling_section(summary: TraceSummary) -> list[str]:
+    """Markdown lines for the telemetry profiling section."""
+    lines = ["## Profiling", ""]
+    shares = summary.phase_shares()
+    if shares:
+        rows = [[name, stat.count, f"{stat.exclusive_seconds:.0f}",
+                 f"{share:.1f}%"]
+                for name, stat, share in shares]
+        lines.append(render_table(
+            ["phase", "spans", "virtual s", "share"], rows))
+        lines.append("")
+    drivers = summary.driver_costs()
+    if drivers:
+        rows = [[name, f"{cost:.0f}"] for name, cost in drivers[:5]]
+        lines.append("Top 5 drivers by attributed virtual-time cost:")
+        lines.append("")
+        lines.append(render_table(["driver", "virtual s"], rows))
+        lines.append("")
+    if summary.snapshots:
+        rates = summary.exec_rates()
+        if rates:
+            lines.append(f"mean throughput: "
+                         f"{sum(rates) / len(rates):.2f} exec/s over "
+                         f"{len(summary.snapshots)} snapshot(s)")
+            lines.append("")
+    return lines
+
+
 def campaign_report(result: CampaignResult,
-                    relations: RelationGraph | None = None) -> str:
+                    relations: RelationGraph | None = None,
+                    trace_summary: TraceSummary | None = None) -> str:
     """Render a full markdown campaign report."""
     lines = [
         f"# Campaign report: {result.tool} on device {result.device}",
@@ -73,4 +105,8 @@ def campaign_report(result: CampaignResult,
                 for src, dst, weight in strongest_relations(relations)]
         lines.append(render_table(["call", "", "depends on it", "w"], rows))
         lines.append("")
+
+    if trace_summary is not None and (trace_summary.phases
+                                      or trace_summary.snapshots):
+        lines.extend(profiling_section(trace_summary))
     return "\n".join(lines)

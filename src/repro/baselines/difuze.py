@@ -30,6 +30,7 @@ from repro.dsl.descriptions import (
     build_descriptions,
 )
 from repro.dsl.model import Program, ResourceRef, StructValue, SyscallCall
+from repro.obs.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -69,7 +70,8 @@ class DifuzeEngine:
 
     def __init__(self, device: AndroidDevice,
                  config: FuzzerConfig | None = None, seed: int = 0,
-                 campaign_hours: float = 48.0) -> None:
+                 campaign_hours: float = 48.0,
+                 telemetry: Telemetry | None = None) -> None:
         self.device = device
         self.config = config or FuzzerConfig(
             name="difuze", seed=seed, campaign_hours=campaign_hours,
@@ -77,10 +79,14 @@ class DifuzeEngine:
             ioctl_only=True)
         self.rng = random.Random(self.config.seed)
         self.adb = AdbConnection(device)
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.telemetry.attach_device(device)
         self.registry: DescriptionRegistry = build_descriptions(
             device.profile, vendor_interfaces=True)
-        self.broker = ExecutionBroker(device, self.registry,
-                                      IOCTL_ONLY_FILTER)
+        self.broker = ExecutionBroker(
+            device, self.registry, IOCTL_ONLY_FILTER,
+            metrics=self.telemetry.metrics if self.telemetry.enabled
+            else None)
         self.adb.forward(self.broker.SOCKET_NAME, self.broker.rpc_handler)
         self.interfaces = extract_interfaces(device)
         self.bugs = BugTracker(device.profile.ident)
@@ -143,6 +149,21 @@ class DifuzeEngine:
             values[field.name] = value
         return StructValue(desc.name, values)
 
+    def _telemetry_sample(self, force: bool = False) -> None:
+        """Poll bridged channels and take a due monitor snapshot."""
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.poll()
+        if force or self.telemetry.monitor.due(self.device.clock):
+            self.telemetry.monitor.sample(
+                self.device.clock,
+                executions=self.executions,
+                kernel_coverage=len(self._kernel_seen),
+                corpus_size=0,
+                reboots=self.reboots,
+                bugs=len(self.bugs.reports),
+                per_driver=self.device.per_driver_coverage())
+
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignResult:
@@ -150,25 +171,44 @@ class DifuzeEngine:
         start = self.device.clock
         deadline = start + self.config.campaign_hours * 3600.0
         next_sample = start
+        tracer = self.telemetry.tracer
+        self.telemetry.monitor.start(start)
         while self.device.clock < deadline:
             while next_sample <= self.device.clock:
                 self.timeline.append((next_sample - start,
                                       len(self._kernel_seen)))
                 next_sample += self.config.sample_interval
-            program = self._generate()
-            raw = self.adb.rpc(self.broker.SOCKET_NAME,
-                               self.broker.wire_program(program))
+            self._telemetry_sample()
+            with tracer.span("generate"):
+                program = self._generate()
+            with tracer.span("execute"):
+                raw = self.adb.rpc(self.broker.SOCKET_NAME,
+                                   self.broker.wire_program(program))
             self.executions += 1
+            before = len(self._kernel_seen)
             self._kernel_seen.update(raw["kcov"])
+            if len(self._kernel_seen) > before:
+                tracer.event("new-coverage",
+                             fresh=len(self._kernel_seen) - before,
+                             total=len(self._kernel_seen))
             if raw["crashes"]:
-                self.bugs.record(raw["crashes"], self.device.clock, program)
+                with tracer.span("triage"):
+                    fresh_bugs = self.bugs.record(raw["crashes"],
+                                                  self.device.clock, program)
+                for bug in fresh_bugs:
+                    tracer.event("crash", title=bug.title,
+                                 component=bug.component,
+                                 bug_kind=bug.kind)
             if raw["needs_reboot"] or (raw["crashes"]
                                        and self.config.reboot_on_crash):
-                self.adb.shell("reboot")
-                self.broker.on_reboot()
+                with tracer.span("reboot"):
+                    self.adb.shell("reboot")
+                    self.broker.on_reboot()
                 self.reboots += 1
+                tracer.event("reboot", count=self.reboots)
         self.timeline.append((self.config.campaign_hours * 3600.0,
                               len(self._kernel_seen)))
+        self._telemetry_sample(force=True)
         return CampaignResult(
             tool=self.config.name,
             device=self.device.profile.ident,

@@ -101,11 +101,11 @@ class SyzkallerEngine(FuzzingEngine):
 
     def __init__(self, device: AndroidDevice,
                  config: FuzzerConfig | None = None, seed: int = 0,
-                 campaign_hours: float = 48.0) -> None:
+                 campaign_hours: float = 48.0, telemetry=None) -> None:
         if config is None:
             config = syzkaller_config(seed=seed,
                                       campaign_hours=campaign_hours)
-        super().__init__(device, config)
+        super().__init__(device, config, telemetry=telemetry)
         # Swap in the static-choice-table generator; the mutator keeps
         # working since it only uses the generator's public surface.
         self._choice_table = ChoiceTable(self.registry)

@@ -23,6 +23,7 @@ from repro.baselines.syzkaller import SyzkallerEngine, syzkaller_config
 from repro.core.config import FuzzerConfig
 from repro.core.engine import FuzzingEngine
 from repro.device.device import AndroidDevice
+from repro.obs.telemetry import Telemetry
 
 TOOLS = ("droidfuzz", "droidfuzz-d", "df-norel", "df-nohcov",
          "syzkaller", "difuze")
@@ -53,11 +54,16 @@ def config_for(tool: str, seed: int = 0,
 
 
 def make_engine(tool: str, device: AndroidDevice, seed: int = 0,
-                campaign_hours: float = 48.0):
-    """Build a campaign engine for one tool on one device."""
+                campaign_hours: float = 48.0,
+                telemetry: Telemetry | None = None):
+    """Build a campaign engine for one tool on one device.
+
+    All engines report through the same telemetry context, so tool
+    comparisons include throughput, not just coverage.
+    """
     config = config_for(tool, seed=seed, campaign_hours=campaign_hours)
     if tool == "syzkaller":
-        return SyzkallerEngine(device, config)
+        return SyzkallerEngine(device, config, telemetry=telemetry)
     if tool == "difuze":
-        return DifuzeEngine(device, config)
-    return FuzzingEngine(device, config)
+        return DifuzeEngine(device, config, telemetry=telemetry)
+    return FuzzingEngine(device, config, telemetry=telemetry)

@@ -7,13 +7,18 @@ Subcommands::
     fuzz     <device>         run one campaign (tool/seed/hours options)
     hunt                      fleet-wide bug hunt across all devices
     compare  <device>         run several tools and compare coverage
+    stats    <trace-dir>      summarize a recorded telemetry trace
 
-Every command operates on the virtual fleet; see README.md.
+``fuzz``, ``hunt``, and ``compare`` accept ``--telemetry DIR`` to record
+a JSONL trace, periodic monitor snapshots, and a metrics dump that
+``stats`` reads back.  Every command operates on the virtual fleet; see
+README.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro.analysis.plots import ascii_chart
@@ -23,6 +28,19 @@ from repro.core.probe import Prober
 from repro.core.state import save_state
 from repro.device.device import AndroidDevice
 from repro.device.profiles import DEVICE_PROFILES, profile_by_id
+from repro.obs.stats import find_trace_dirs, load_trace_dir, render_summary
+from repro.obs.telemetry import Telemetry
+
+
+def _make_telemetry(directory: str | None,
+                    subdir: str | None = None) -> Telemetry | None:
+    """A recording telemetry context, or None when not requested."""
+    if not directory:
+        return None
+    path = pathlib.Path(directory)
+    if subdir:
+        path = path / subdir
+    return Telemetry(directory=path)
 
 
 def _cmd_list_devices(_args) -> int:
@@ -51,8 +69,9 @@ def _cmd_probe(args) -> int:
 
 def _cmd_fuzz(args) -> int:
     device = AndroidDevice(profile_by_id(args.device))
+    telemetry = _make_telemetry(args.telemetry)
     engine = make_engine(args.tool, device, seed=args.seed,
-                         campaign_hours=args.hours)
+                         campaign_hours=args.hours, telemetry=telemetry)
     result = engine.run()
     print(f"{args.tool} on {args.device}: coverage "
           f"{result.kernel_coverage}, {result.executions} executions, "
@@ -66,6 +85,9 @@ def _cmd_fuzz(args) -> int:
     if args.state_dir and args.tool not in ("difuze",):
         save_state(engine, args.state_dir)
         print(f"state saved to {args.state_dir}")
+    if telemetry is not None:
+        telemetry.close()
+        print(f"telemetry written to {telemetry.directory}")
     return 0
 
 
@@ -74,9 +96,14 @@ def _cmd_hunt(args) -> int:
     for profile in DEVICE_PROFILES:
         for seed in range(args.seeds):
             device = AndroidDevice(profile)
+            telemetry = _make_telemetry(args.telemetry,
+                                        f"{profile.ident}-s{seed}")
             engine = make_engine("droidfuzz", device, seed=seed,
-                                 campaign_hours=args.hours)
+                                 campaign_hours=args.hours,
+                                 telemetry=telemetry)
             result = engine.run()
+            if telemetry is not None:
+                telemetry.close()
             print(f"{profile.ident} seed {seed}: "
                   f"cov {result.kernel_coverage}, "
                   f"{len(result.bugs)} bug(s)", flush=True)
@@ -87,6 +114,8 @@ def _cmd_hunt(args) -> int:
             for i, (ident, title, comp) in enumerate(unique, 1)]
     print(render_table(["No", "Device", "Bug", "Component"], rows,
                        title=f"Hunt results ({len(unique)} unique bugs)"))
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
     return 0
 
 
@@ -95,15 +124,38 @@ def _cmd_compare(args) -> int:
     rows = []
     for tool in args.tools:
         device = AndroidDevice(profile_by_id(args.device))
+        telemetry = _make_telemetry(args.telemetry, tool)
         engine = make_engine(tool, device, seed=args.seed,
-                             campaign_hours=args.hours)
+                             campaign_hours=args.hours, telemetry=telemetry)
         result = engine.run()
+        rollup = (engine.telemetry.rollup()
+                  if telemetry is not None else None)
+        if telemetry is not None:
+            telemetry.close()
         series[tool] = [(t, float(c)) for t, c in result.timeline]
-        rows.append([tool, result.kernel_coverage, len(result.bugs)])
+        row = [tool, result.kernel_coverage, len(result.bugs)]
+        if rollup is not None:
+            row.append(f"{rollup.get('mean_execs_per_sec', 0.0):.2f}")
+        rows.append(row)
     print(ascii_chart(series,
                       title=f"Coverage on {args.device}, "
                             f"{args.hours:g} virtual hours"))
-    print(render_table(["Tool", "Coverage", "Bugs"], rows))
+    headers = ["Tool", "Coverage", "Bugs"]
+    if args.telemetry:
+        headers.append("exec/s")
+    print(render_table(headers, rows))
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    directories = find_trace_dirs(args.trace_dir)
+    if not directories:
+        print(f"no telemetry found under {args.trace_dir}")
+        return 1
+    for directory in directories:
+        print(render_summary(load_trace_dir(directory)))
     return 0
 
 
@@ -129,11 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print bug reproducers")
     fuzz.add_argument("--state-dir", default="",
                       help="persist corpus/relations/bugs here")
+    fuzz.add_argument("--telemetry", default="", metavar="DIR",
+                      help="record JSONL trace + snapshots + metrics here")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     hunt = sub.add_parser("hunt")
     hunt.add_argument("--hours", type=float, default=48.0)
     hunt.add_argument("--seeds", type=int, default=1)
+    hunt.add_argument("--telemetry", default="", metavar="DIR",
+                      help="record per-campaign telemetry under DIR")
     hunt.set_defaults(func=_cmd_hunt)
 
     compare = sub.add_parser("compare")
@@ -142,7 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
                          default=["droidfuzz", "syzkaller"])
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--hours", type=float, default=12.0)
+    compare.add_argument("--telemetry", default="", metavar="DIR",
+                         help="record per-tool telemetry under DIR")
     compare.set_defaults(func=_cmd_compare)
+
+    stats = sub.add_parser("stats")
+    stats.add_argument("trace_dir",
+                       help="telemetry directory (or a parent of several)")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -37,6 +37,10 @@ class BugTracker:
 
     device: str
     reports: dict[str, BugReport] = field(default_factory=dict)
+    #: Crashes folded into an existing report (telemetry: dedup rate).
+    dup_hits: int = 0
+    #: Virtual clock of the first unique bug (telemetry: time-to-first).
+    first_bug_clock: float | None = None
 
     def record(self, crashes: list[dict[str, str]], clock: float,
                program: Program | None = None) -> list[BugReport]:
@@ -47,7 +51,10 @@ class BugTracker:
             existing = self.reports.get(title)
             if existing is not None:
                 existing.count += 1
+                self.dup_hits += 1
                 continue
+            if self.first_bug_clock is None:
+                self.first_bug_clock = clock
             report = BugReport(
                 title=title,
                 kind=crash.get("kind", "?"),
@@ -60,6 +67,12 @@ class BugTracker:
             self.reports[title] = report
             fresh.append(report)
         return fresh
+
+    def dedup_rate(self) -> float:
+        """Share of recorded crashes that deduplicated into an existing
+        report (0.0 when nothing crashed yet)."""
+        total = self.dup_hits + len(self.reports)
+        return self.dup_hits / total if total else 0.0
 
     def all_reports(self) -> list[BugReport]:
         """Reports ordered by first discovery."""

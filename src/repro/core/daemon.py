@@ -2,19 +2,24 @@
 
 The root process: boots one device per profile, spawns a fuzzing engine
 per device, runs their campaigns, and maintains the persistent campaign
-artifacts — aggregated bug ledger, coverage statistics, and the per-
-device relation tables.
+artifacts — aggregated bug ledger, coverage statistics, the per-device
+relation tables, and (when a telemetry directory is configured) one
+recorded trace per campaign plus a fleet-wide throughput rollup.
 """
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.bugs import BugReport
 from repro.core.config import FuzzerConfig
 from repro.core.engine import CampaignResult, FuzzingEngine
 from repro.device.device import AndroidDevice, DeviceCosts
 from repro.device.profiles import DeviceProfile
+from repro.obs.monitor import CampaignMonitor
+from repro.obs.telemetry import Telemetry
 
 
 @dataclass
@@ -24,6 +29,23 @@ class Daemon:
     config: FuzzerConfig
     costs: DeviceCosts = field(default_factory=DeviceCosts)
     results: dict[str, CampaignResult] = field(default_factory=dict)
+    #: When set, each campaign records its telemetry under
+    #: ``<telemetry_dir>/<campaign key>/``.
+    telemetry_dir: str | pathlib.Path | None = None
+    #: Per-campaign monitor rollups, keyed like :attr:`results`.
+    rollups: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def _campaign_key(self, profile: DeviceProfile,
+                      config: FuzzerConfig) -> str:
+        """A unique result key: ``ident#seed``, suffixed with a run
+        ordinal when the same profile+seed is re-run."""
+        base = f"{profile.ident}#{config.seed}"
+        if base not in self.results:
+            return base
+        ordinal = 2
+        while f"{base}.r{ordinal}" in self.results:
+            ordinal += 1
+        return f"{base}.r{ordinal}"
 
     def run_device(self, profile: DeviceProfile,
                    seed: int | None = None) -> CampaignResult:
@@ -31,10 +53,19 @@ class Daemon:
         config = self.config
         if seed is not None:
             config = config.variant(seed=seed)
+        key = self._campaign_key(profile, config)
+        telemetry = None
+        if self.telemetry_dir is not None:
+            telemetry = Telemetry(
+                directory=pathlib.Path(self.telemetry_dir) / key,
+                interval=config.sample_interval)
         device = AndroidDevice(profile, costs=self.costs)
-        engine = FuzzingEngine(device, config)
+        engine = FuzzingEngine(device, config, telemetry=telemetry)
         result = engine.run()
-        self.results[f"{profile.ident}#{config.seed}"] = result
+        if telemetry is not None:
+            self.rollups[key] = telemetry.rollup()
+            telemetry.close()
+        self.results[key] = result
         return result
 
     def run_fleet(self, profiles: list[DeviceProfile],
@@ -61,3 +92,7 @@ class Daemon:
         """Final kernel coverage per campaign key."""
         return {key: result.kernel_coverage
                 for key, result in sorted(self.results.items())}
+
+    def fleet_rollup(self) -> dict[str, Any]:
+        """Aggregate throughput across all monitored campaigns."""
+        return CampaignMonitor.fleet_rollup(self.rollups)

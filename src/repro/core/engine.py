@@ -29,6 +29,7 @@ from repro.device.adb import AdbConnection
 from repro.device.device import AndroidDevice
 from repro.dsl.descriptions import DescriptionRegistry, build_descriptions, sanitize
 from repro.dsl.model import HalCall, Program, ResourceRef
+from repro.obs.telemetry import Telemetry
 
 #: Default base-invocation weights per description kind ("weights from
 #: system call descriptions", §IV-C).
@@ -77,14 +78,24 @@ class CampaignResult:
 class FuzzingEngine:
     """Coverage-guided cross-boundary fuzzing loop for one device."""
 
-    def __init__(self, device: AndroidDevice, config: FuzzerConfig) -> None:
+    def __init__(self, device: AndroidDevice, config: FuzzerConfig,
+                 telemetry: Telemetry | None = None) -> None:
         self.device = device
         self.config = config
         self.rng = random.Random(config.seed)
         self.adb = AdbConnection(device)
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.telemetry.attach_device(device)
         self.registry: DescriptionRegistry = build_descriptions(device.profile)
+        self._ioctl_label_cache = {
+            desc.request: desc.name
+            for desc in (self.registry.get(n) for n in self.registry.names())
+            if desc.kind == "ioctl"}
         syscall_filter = IOCTL_ONLY_FILTER if config.ioctl_only else None
-        self.broker = ExecutionBroker(device, self.registry, syscall_filter)
+        self.broker = ExecutionBroker(
+            device, self.registry, syscall_filter,
+            metrics=self.telemetry.metrics if self.telemetry.enabled
+            else None)
         self.adb.forward(self.broker.SOCKET_NAME, self.broker.rpc_handler)
         self.bugs = BugTracker(device.profile.ident)
         self.coverage = CoverageAccumulator()
@@ -97,7 +108,8 @@ class FuzzingEngine:
         self._campaign_start = 0.0
 
         if config.enable_hal:
-            self._run_probe_pass()
+            with self.telemetry.tracer.span("probe"):
+                self._run_probe_pass()
         self._seed_relation_vertices()
 
         self.generator = PayloadGenerator(
@@ -144,19 +156,30 @@ class FuzzingEngine:
     # ------------------------------------------------------------------
 
     def _reboot(self) -> None:
-        self.adb.shell("reboot")
-        self.broker.on_reboot()
+        with self.telemetry.tracer.span("reboot"):
+            self.adb.shell("reboot")
+            self.broker.on_reboot()
         self.reboots += 1
+        self.telemetry.tracer.event("reboot", count=self.reboots)
 
     def _execute(self, program: Program,
                  record_bugs: bool = True) -> ExecOutcome:
         """Ship one program over ADB and collect the outcome."""
-        payload = self.broker.wire_program(program)
-        raw: dict[str, Any] = self.adb.rpc(self.broker.SOCKET_NAME, payload)
-        outcome = ExecOutcome.from_dict(raw)
+        with self.telemetry.tracer.span("execute") as span:
+            payload = self.broker.wire_program(program)
+            raw: dict[str, Any] = self.adb.rpc(self.broker.SOCKET_NAME,
+                                               payload)
+            outcome = ExecOutcome.from_dict(raw)
+            span.note(calls=len(program.calls), crashes=len(outcome.crashes))
         self.executions += 1
         if outcome.crashes and record_bugs:
-            self.bugs.record(outcome.crashes, self.device.clock, program)
+            with self.telemetry.tracer.span("triage"):
+                fresh_bugs = self.bugs.record(outcome.crashes,
+                                              self.device.clock, program)
+            for bug in fresh_bugs:
+                self.telemetry.tracer.event(
+                    "crash", title=bug.title, component=bug.component,
+                    bug_kind=bug.kind)
         if outcome.needs_reboot or (outcome.crashes
                                     and self.config.reboot_on_crash):
             self._reboot()
@@ -214,29 +237,32 @@ class FuzzingEngine:
         deadline = self._campaign_start + config.campaign_hours * 3600.0
         next_sample = self._campaign_start
         last_decay = self._campaign_start
+        self.telemetry.monitor.start(self._campaign_start)
 
         # Seed the corpus with the canonical flows distilled from the
         # probed framework traffic (the daemon's persistent seed corpus).
-        for program in self._flow_seed_programs():
-            if self.device.clock >= deadline:
-                break
-            outcome = self._execute(program)
-            self.generator.observe_program(
-                program, [s.produced for s in outcome.statuses])
-            for capture in outcome.captures:
-                self.generator.record_capture(capture)
-            fresh = self.coverage.merge(self._feedback_of(outcome))
-            if fresh and not outcome.crashes:
-                if self.config.enable_relations:
-                    self.relations.learn_program(program.labels())
-                self.generator.record_history(program)
-                self.corpus.add(program, fresh, self.device.clock)
+        with self.telemetry.tracer.span("seed"):
+            for program in self._flow_seed_programs():
+                if self.device.clock >= deadline:
+                    break
+                outcome = self._execute(program)
+                self.generator.observe_program(
+                    program, [s.produced for s in outcome.statuses])
+                for capture in outcome.captures:
+                    self.generator.record_capture(capture)
+                fresh = self.coverage.merge(self._feedback_of(outcome))
+                if fresh and not outcome.crashes:
+                    if self.config.enable_relations:
+                        self.relations.learn_program(program.labels())
+                    self.generator.record_history(program)
+                    self.corpus.add(program, fresh, self.device.clock)
 
         while self.device.clock < deadline:
             while next_sample <= self.device.clock:
                 self.timeline.append((next_sample - self._campaign_start,
                                       self.coverage.kernel_total()))
                 next_sample += config.sample_interval
+            self._telemetry_sample()
 
             program = self._next_program()
             outcome = self._execute(program)
@@ -246,6 +272,10 @@ class FuzzingEngine:
                 self.generator.record_capture(capture)
             feedback = self._feedback_of(outcome)
             fresh = self.coverage.merge(feedback)
+            if fresh:
+                self.telemetry.tracer.event(
+                    "new-coverage", fresh=len(fresh),
+                    total=self.coverage.kernel_total())
             if fresh and not outcome.crashes:
                 self._admit(program, fresh)
                 if self.config.enable_relations and outcome.captures:
@@ -258,18 +288,38 @@ class FuzzingEngine:
             if (self.device.clock - last_decay) >= config.decay_interval:
                 self.relations.decay(config.decay_factor)
                 last_decay = self.device.clock
+                self.telemetry.tracer.event(
+                    "relation-decay", factor=config.decay_factor)
 
         self.timeline.append((config.campaign_hours * 3600.0,
                               self.coverage.kernel_total()))
+        self._telemetry_sample(force=True)
         return self._result()
+
+    def _telemetry_sample(self, force: bool = False) -> None:
+        """Poll bridged channels and take a due monitor snapshot."""
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.poll()
+        if force or self.telemetry.monitor.due(self.device.clock):
+            self.telemetry.monitor.sample(
+                self.device.clock,
+                executions=self.executions,
+                kernel_coverage=self.coverage.kernel_total(),
+                corpus_size=len(self.corpus),
+                reboots=self.reboots,
+                bugs=len(self.bugs.reports),
+                per_driver=self.device.per_driver_coverage())
 
     def _next_program(self) -> Program:
         if (self.rng.random() < self.config.generation_probability
                 or len(self.corpus) == 0):
-            return self.generator.generate()
-        seed = self.corpus.choose(self.rng)
-        donor = self.corpus.donor(self.rng)
-        return self.mutator.mutate(seed.program, donor)
+            with self.telemetry.tracer.span("generate"):
+                return self.generator.generate()
+        with self.telemetry.tracer.span("mutate"):
+            seed = self.corpus.choose(self.rng)
+            donor = self.corpus.donor(self.rng)
+            return self.mutator.mutate(seed.program, donor)
 
     def _admit(self, program: Program, fresh: frozenset[int]) -> None:
         """Minimize, learn relations, and admit to the corpus."""
@@ -282,23 +332,21 @@ class FuzzingEngine:
                 merged = self._feedback_of(outcome).merged()
                 return target <= merged
 
-            minimized = minimize(program, still_interesting,
-                                 max_executions=self.config.minimize_budget)
+            with self.telemetry.tracer.span("minimize") as span:
+                minimized = minimize(
+                    program, still_interesting,
+                    max_executions=self.config.minimize_budget)
+                span.note(before=len(program), after=len(minimized))
         if self.config.enable_relations:
             self.relations.learn_program(minimized.labels())
         self.generator.record_history(minimized)
         self.corpus.add(minimized, fresh, self.device.clock)
+        self.telemetry.tracer.event(
+            "corpus-admit", calls=len(minimized), fresh=len(fresh),
+            corpus_size=len(self.corpus))
 
     def _capture_labels(self, captures: list[tuple]) -> list[str]:
         """Map captured HAL syscalls back to DSL description labels."""
-        by_request = getattr(self, "_ioctl_label_cache", None)
-        if by_request is None:
-            by_request = {}
-            for name in self.registry.names():
-                desc = self.registry.get(name)
-                if desc.kind == "ioctl":
-                    by_request[desc.request] = desc.name
-            self._ioctl_label_cache = by_request
         labels = []
         for capture in captures:
             short = sanitize(capture[1].removeprefix("/dev/"))
@@ -306,7 +354,8 @@ class FuzzingEngine:
                 labels.append(f"write${short}")
             else:
                 request = capture[2]
-                labels.append(by_request.get(request, f"ioctl$raw_{short}"))
+                labels.append(self._ioctl_label_cache.get(
+                    request, f"ioctl$raw_{short}"))
         return labels
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.dsl.text import parse_program, serialize_program
 
 if TYPE_CHECKING:
     from repro.device.device import AndroidDevice
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -105,12 +106,15 @@ class ExecutionBroker:
         registry: syzlang-lite descriptions for the native executor.
         syscall_filter: optional seccomp-surrogate allowlist (used by the
             DroidFuzz-D variant to restrict everything to open/ioctl).
+        metrics: optional telemetry registry; when given, the broker
+            records wire payload sizes and per-program virtual time.
     """
 
     SOCKET_NAME = "droidfuzz-broker"
 
     def __init__(self, device: "AndroidDevice", registry: DescriptionRegistry,
-                 syscall_filter: frozenset[str] | None = None) -> None:
+                 syscall_filter: frozenset[str] | None = None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self._device = device
         self._registry = registry
         self.table = SpecializedSyscallTable(registry)
@@ -118,6 +122,19 @@ class ExecutionBroker:
         self._hal = HalExecutor(device, self.table)
         self._filter = syscall_filter
         self.programs_executed = 0
+        self._m_programs = self._m_vtime = None
+        self._m_payload = self._m_calls = self._m_rpcs = None
+        if metrics is not None:
+            self._m_programs = metrics.counter("broker.programs")
+            self._m_rpcs = metrics.counter("broker.rpcs")
+            self._m_vtime = metrics.histogram(
+                "broker.exec_vtime", buckets=(1.0, 2.5, 5.0, 10.0, 25.0,
+                                              50.0, 100.0, 250.0))
+            self._m_payload = metrics.histogram(
+                "broker.payload_bytes", buckets=(64, 128, 256, 512, 1024,
+                                                 2048, 4096, 8192))
+            self._m_calls = metrics.histogram(
+                "broker.calls_per_program", buckets=(1, 2, 4, 8, 16, 32))
         self._apply_filter()
 
     # ------------------------------------------------------------------
@@ -145,6 +162,10 @@ class ExecutionBroker:
         kernel = self._device.kernel
         kernel.kcov.enable(self._native.pid)
         self.programs_executed += 1
+        vclock_start = self._device.clock
+        if self._m_programs is not None:
+            self._m_programs.inc()
+            self._m_calls.observe(len(program.calls))
 
         statuses: list[CallStatus] = []
         results: list[int] = []
@@ -190,6 +211,8 @@ class ExecutionBroker:
                     "title": c.title,
                     "component": c.component}
                    for c in self._device.drain_crashes()]
+        if self._m_vtime is not None:
+            self._m_vtime.observe(self._device.clock - vclock_start)
         return ExecOutcome(
             statuses=statuses,
             kernel_pcs=frozenset(kernel_pcs),
@@ -207,7 +230,11 @@ class ExecutionBroker:
     def rpc_handler(self, payload: dict[str, Any]) -> dict[str, Any]:
         """Handle one forwarded-socket request from the host engine."""
         command = payload.get("cmd")
+        if self._m_rpcs is not None:
+            self._m_rpcs.inc()
         if command == "exec":
+            if self._m_payload is not None:
+                self._m_payload.observe(len(payload["program"]))
             program = parse_program(payload["program"])
             return self.execute(program).to_dict()
         if command == "ping":

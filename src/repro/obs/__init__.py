@@ -1,0 +1,28 @@
+"""Observability layer: metrics, structured traces, campaign monitoring.
+
+The paper's Daemon "maintains persistent campaign artifacts — aggregated
+bug ledger, coverage statistics" (§IV-A).  This package is the
+reproduction's equivalent of syzkaller's ``/stats`` page: a cheap
+always-on metrics registry, a structured JSONL event trace keyed to the
+*virtual device clock*, and a campaign monitor emitting periodic
+snapshots (exec/s, coverage growth, corpus size, reboots) through a
+pluggable sink.
+
+Everything is designed so that a telemetry-disabled campaign is
+behaviourally identical to one that never imported this package: no
+virtual time is charged, no RNG is consumed, and the no-op sink path is
+near-zero cost.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.monitor import CampaignMonitor, Snapshot
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, StdoutSink
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import PHASES, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "CampaignMonitor", "Snapshot",
+    "JsonlSink", "MemorySink", "NullSink", "StdoutSink",
+    "Telemetry", "Tracer", "PHASES",
+]

@@ -1,0 +1,123 @@
+"""Bridge from the virtual device's native observation channels into
+the telemetry layer.
+
+The substrate already emits rich signals — ``sys_enter`` /
+``binder_transaction`` tracepoints (:mod:`repro.kernel.tracepoints`) and
+the dmesg ring buffer — but nothing aggregated them.  The bridge
+attaches eBPF-surrogate probes that:
+
+* count syscalls by name and Binder transactions by service;
+* attribute virtual-time cost to the *driver* behind each file
+  descriptor (an fd→driver map maintained from ``openat``/``socket``
+  returns, the way a real eBPF profiler walks ``struct file``), feeding
+  the "top-N slowest drivers" profile;
+* surface new dmesg splat lines as discrete trace events when polled.
+
+The bridge is only constructed when telemetry is enabled, so disabled
+campaigns never pay for the probes.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.tracepoints import BinderRecord, SyscallRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: Syscalls whose first argument is a file descriptor.
+_FD_SYSCALLS = frozenset({
+    "close", "dup", "fcntl", "read", "write", "ioctl", "mmap", "bind",
+    "connect", "listen", "accept", "setsockopt", "getsockopt", "sendto",
+    "recvfrom",
+})
+
+#: dmesg splat prefixes worth surfacing as trace events.
+_SPLAT_PREFIXES = ("[WARNING]", "[BUG]", "[KASAN]", "[PANIC]", "[HANG]")
+
+
+class DeviceBridge:
+    """Probe attachments for one device, feeding one telemetry context."""
+
+    def __init__(self, device, metrics: MetricsRegistry,
+                 tracer: Tracer) -> None:
+        self._device = device
+        self._metrics = metrics
+        self._tracer = tracer
+        self._fd_owner: dict[tuple[int, int], str] = {}
+        self._dmesg = device.kernel.dmesg
+        self._dmesg_seen = 0
+        kernel = device.kernel
+        self._syscall_cost = device.costs.syscall
+        self._handles = [
+            kernel.trace.attach("sys_enter", self._on_sys_enter),
+            kernel.trace.attach("sys_exit", self._on_sys_exit),
+            kernel.trace.attach("binder_transaction", self._on_binder),
+        ]
+
+    # ------------------------------------------------------------------
+    # probe callbacks
+    # ------------------------------------------------------------------
+
+    def _on_sys_enter(self, record: SyscallRecord) -> None:
+        self._metrics.counter(f"device.syscalls.{record.name}").inc()
+        if record.name in _FD_SYSCALLS and record.args:
+            fd = record.args[0]
+            if isinstance(fd, int):
+                owner = self._fd_owner.get((record.pid, fd))
+                if owner is not None:
+                    self._metrics.counter(f"driver.ops.{owner}").inc()
+                    self._metrics.counter(f"driver.vtime.{owner}").inc(
+                        self._syscall_cost)
+                    if record.name == "close":
+                        self._fd_owner.pop((record.pid, fd), None)
+
+    def _on_sys_exit(self, record: SyscallRecord) -> None:
+        if record.ret is None or record.ret < 0:
+            return
+        if record.name == "openat" and record.args:
+            driver = self._device.kernel.driver_for_path(record.args[0])
+            if driver is not None:
+                self._fd_owner[(record.pid, record.ret)] = driver.name
+        elif record.name == "socket" and record.args:
+            domain = record.args[0]
+            for drv in self._device.kernel.drivers():
+                if getattr(drv, "domain", None) == domain:
+                    self._fd_owner[(record.pid, record.ret)] = drv.name
+                    break
+
+    def _on_binder(self, record: BinderRecord) -> None:
+        self._metrics.counter(f"binder.txns.{record.service}").inc()
+        if not record.reply_ok:
+            self._metrics.counter("binder.failed_txns").inc()
+
+    # ------------------------------------------------------------------
+    # polling
+    # ------------------------------------------------------------------
+
+    def poll_dmesg(self) -> int:
+        """Surface dmesg splat lines logged since the last poll.
+
+        Reboot replaces the ring buffer object, so the cursor resets
+        whenever the kernel's ``dmesg`` identity changes.  Returns the
+        number of new lines examined.
+        """
+        dmesg = self._device.kernel.dmesg
+        if dmesg is not self._dmesg:
+            self._dmesg = dmesg
+            self._dmesg_seen = 0
+        lines = dmesg.lines()
+        fresh = lines[self._dmesg_seen:]
+        self._dmesg_seen = len(lines)
+        if fresh:
+            self._metrics.counter("device.dmesg_lines").inc(len(fresh))
+            for line in fresh:
+                if line.startswith(_SPLAT_PREFIXES):
+                    self._tracer.event("dmesg", line=line)
+        return len(fresh)
+
+    # ------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Remove all probes; idempotent."""
+        for handle in self._handles:
+            self._device.kernel.trace.detach(handle)
+        self._handles = []

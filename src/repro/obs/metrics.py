@@ -1,0 +1,167 @@
+"""Always-on metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately minimal — flat string names, no label
+machinery — so instrumentation on the hot execution path costs a dict
+lookup and an integer add.  Instrumented components cache the metric
+object once (``self._execs = registry.counter("engine.execs")``) and
+touch only that on each operation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any
+
+#: Default histogram bucket upper bounds (virtual seconds / sizes); the
+#: final implicit bucket is +inf.
+DEFAULT_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                   500.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (corpus size, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    Args:
+        name: metric name.
+        buckets: sorted upper bounds; observations above the last bound
+            land in an implicit +inf bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count",
+                 "minimum", "maximum")
+
+    def __init__(self, name: str,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(buckets)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the bucket bound containing rank ``q``."""
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return bound
+        return self.maximum
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry for all three metric kinds.
+
+    Names are flat dotted strings (``engine.execs``,
+    ``driver.ops.ion_alloc``).  Requesting an existing name returns the
+    same object; requesting it as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def with_prefix(self, prefix: str) -> dict[str, Any]:
+        """All metrics under ``prefix.``, mapped name → metric object."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {name: metric for name, metric in self._metrics.items()
+                if name.startswith(dotted)}
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable dump of every metric."""
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}

@@ -1,0 +1,154 @@
+"""Campaign monitor: periodic syzkaller-style status snapshots.
+
+Every ``interval`` virtual seconds the monitor computes rates against
+the previous snapshot — exec/s over virtual time, coverage growth per
+virtual hour, per-driver coverage deltas — and emits one ``snapshot``
+record to its sink.  Snapshots are also retained in memory so a daemon
+can aggregate a fleet rollup after its campaigns finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One periodic campaign status sample (all times virtual)."""
+
+    t: float
+    executions: int
+    execs_per_sec: float
+    kernel_coverage: int
+    coverage_growth_per_hour: float
+    corpus_size: int
+    reboots: int
+    bugs: int
+    per_driver_delta: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "type": "snapshot", "t": self.t,
+            "executions": self.executions,
+            "execs_per_sec": round(self.execs_per_sec, 4),
+            "kernel_coverage": self.kernel_coverage,
+            "coverage_growth_per_hour": round(
+                self.coverage_growth_per_hour, 2),
+            "corpus_size": self.corpus_size,
+            "reboots": self.reboots,
+            "bugs": self.bugs,
+        }
+        if self.per_driver_delta:
+            record["per_driver_delta"] = dict(
+                sorted(self.per_driver_delta.items()))
+        return record
+
+
+class CampaignMonitor:
+    """Rate-computing snapshot producer for one campaign.
+
+    Args:
+        sink: snapshot record destination.
+        interval: virtual seconds between snapshots.
+    """
+
+    def __init__(self, sink, interval: float = 1800.0) -> None:
+        self.sink = sink
+        self.interval = interval
+        self.enabled: bool = getattr(sink, "enabled", True)
+        self.snapshots: list[Snapshot] = []
+        self._next_due = 0.0
+        self._last_t = 0.0
+        self._last_executions = 0
+        self._last_coverage = 0
+        self._last_per_driver: dict[str, int] = {}
+
+    def start(self, clock: float) -> None:
+        """Anchor rate computation at the campaign start clock."""
+        self._next_due = clock
+        self._last_t = clock
+
+    def due(self, clock: float) -> bool:
+        """True when a snapshot should be taken at ``clock``."""
+        return self.enabled and clock >= self._next_due
+
+    def sample(self, clock: float, *, executions: int, kernel_coverage: int,
+               corpus_size: int, reboots: int, bugs: int,
+               per_driver: dict[str, int] | None = None) -> Snapshot | None:
+        """Take one snapshot now; returns it (None when disabled)."""
+        if not self.enabled:
+            return None
+        elapsed = clock - self._last_t
+        exec_delta = executions - self._last_executions
+        cov_delta = kernel_coverage - self._last_coverage
+        per_driver = per_driver or {}
+        driver_delta = {
+            name: covered - self._last_per_driver.get(name, 0)
+            for name, covered in per_driver.items()
+            if covered - self._last_per_driver.get(name, 0) > 0}
+        snapshot = Snapshot(
+            t=clock,
+            executions=executions,
+            execs_per_sec=exec_delta / elapsed if elapsed > 0 else 0.0,
+            kernel_coverage=kernel_coverage,
+            coverage_growth_per_hour=(cov_delta / elapsed * 3600.0
+                                      if elapsed > 0 else 0.0),
+            corpus_size=corpus_size,
+            reboots=reboots,
+            bugs=bugs,
+            per_driver_delta=driver_delta,
+        )
+        self.snapshots.append(snapshot)
+        self.sink.emit(snapshot.to_dict())
+        self._last_t = clock
+        self._last_executions = executions
+        self._last_coverage = kernel_coverage
+        self._last_per_driver = dict(per_driver)
+        while self._next_due <= clock:
+            self._next_due += self.interval
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+
+    def rollup(self) -> dict[str, Any]:
+        """Campaign-level aggregate of all snapshots taken."""
+        if not self.snapshots:
+            return {"snapshots": 0}
+        last = self.snapshots[-1]
+        first = self.snapshots[0]
+        elapsed = last.t - first.t
+        rates = [s.execs_per_sec for s in self.snapshots[1:]] or [0.0]
+        return {
+            "snapshots": len(self.snapshots),
+            "virtual_seconds": elapsed,
+            "executions": last.executions,
+            "mean_execs_per_sec": (last.executions - first.executions)
+            / elapsed if elapsed > 0 else 0.0,
+            "peak_execs_per_sec": max(rates),
+            "kernel_coverage": last.kernel_coverage,
+            "corpus_size": last.corpus_size,
+            "reboots": last.reboots,
+            "bugs": last.bugs,
+        }
+
+    @staticmethod
+    def fleet_rollup(rollups: dict[str, dict[str, Any]]) -> dict[str, Any]:
+        """Aggregate several campaign rollups into fleet totals."""
+        campaigns = [r for r in rollups.values() if r.get("snapshots")]
+        totals = {
+            "campaigns": len(rollups),
+            "executions": sum(r.get("executions", 0) for r in campaigns),
+            "kernel_coverage": sum(r.get("kernel_coverage", 0)
+                                   for r in campaigns),
+            "bugs": sum(r.get("bugs", 0) for r in campaigns),
+            "reboots": sum(r.get("reboots", 0) for r in campaigns),
+            "mean_execs_per_sec": 0.0,
+        }
+        if campaigns:
+            totals["mean_execs_per_sec"] = (
+                sum(r.get("mean_execs_per_sec", 0.0) for r in campaigns)
+                / len(campaigns))
+        return totals

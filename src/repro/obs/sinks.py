@@ -1,0 +1,115 @@
+"""Pluggable record sinks for traces and monitor snapshots.
+
+A sink consumes flat JSON-serializable dicts.  Four implementations:
+
+* :class:`NullSink` — discards everything; the disabled-telemetry path.
+* :class:`MemorySink` — keeps records in a list (tests, fleet rollups).
+* :class:`JsonlSink` — appends one JSON object per line to a file.
+* :class:`StdoutSink` — prints a compact ``key=value`` line (the
+  syzkaller-console experience for interactive runs).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, TextIO
+
+
+class NullSink:
+    """Discards every record; ``enabled`` is False so emitters can skip
+    building records entirely."""
+
+    enabled = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Accumulates records in memory."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def by_type(self, record_type: str) -> list[dict[str, Any]]:
+        """Records whose ``type`` field matches."""
+        return [r for r in self.records if r.get("type") == record_type]
+
+
+class JsonlSink:
+    """Writes records as JSON lines to ``path`` (opened lazily).
+
+    The file is truncated on first emit so a re-run into the same
+    telemetry directory replaces the previous trace instead of silently
+    concatenating two campaigns.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._handle: TextIO | None = None
+        self._opened = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open(
+                "a" if self._opened else "w", encoding="utf-8")
+            self._opened = True
+        self._handle.write(json.dumps(record, sort_keys=True,
+                                      default=str) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class StdoutSink:
+    """Prints each record as one compact ``k=v`` line."""
+
+    enabled = True
+
+    def emit(self, record: dict[str, Any]) -> None:
+        parts = []
+        for key in sorted(record):
+            value = record[key]
+            if isinstance(value, float):
+                value = f"{value:g}"
+            elif isinstance(value, dict):
+                value = json.dumps(value, sort_keys=True)
+            parts.append(f"{key}={value}")
+        print(" ".join(parts), flush=True)
+
+    def close(self) -> None:
+        pass
+
+
+class TeeSink:
+    """Fans one record out to several sinks."""
+
+    enabled = True
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = [s for s in sinks if getattr(s, "enabled", True)]
+
+    def emit(self, record: dict[str, Any]) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

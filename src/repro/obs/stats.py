@@ -1,0 +1,199 @@
+"""Reader/renderer for recorded telemetry directories.
+
+Loads the layout :class:`~repro.obs.telemetry.Telemetry` writes
+(``trace.jsonl``, ``snapshots.jsonl``, ``metrics.json``), aggregates it
+into a :class:`TraceSummary`, and renders the ``repro stats`` terminal
+view: headline rates, an exec/s sparkline, the per-phase virtual-time
+breakdown, and the top drivers by attributed virtual-time cost.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.tables import render_table
+from repro.obs.telemetry import METRICS_FILE, SNAPSHOT_FILE, TRACE_FILE
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated span timing for one campaign phase."""
+
+    count: int = 0
+    virtual_seconds: float = 0.0
+    #: Time from depth-0 spans only (excludes e.g. execute-inside-
+    #: minimize double counting).
+    exclusive_seconds: float = 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything aggregated out of one telemetry directory."""
+
+    directory: str = ""
+    phases: dict[str, PhaseStat] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    snapshots: list[dict[str, Any]] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def total_phase_seconds(self) -> float:
+        """Accounted top-level virtual time across all phases."""
+        return sum(p.exclusive_seconds for p in self.phases.values())
+
+    def phase_shares(self) -> list[tuple[str, PhaseStat, float]]:
+        """Phases with their share of accounted virtual time, sorted
+        by descending share."""
+        total = self.total_phase_seconds()
+        rows = [(name, stat,
+                 stat.exclusive_seconds / total * 100.0 if total else 0.0)
+                for name, stat in self.phases.items()]
+        rows.sort(key=lambda r: -r[2])
+        return rows
+
+    def driver_costs(self) -> list[tuple[str, float]]:
+        """Drivers by attributed virtual-time cost, descending."""
+        costs = []
+        for name, metric in self.metrics.items():
+            if name.startswith("driver.vtime."):
+                costs.append((name.removeprefix("driver.vtime."),
+                              float(metric.get("value", 0.0))))
+        costs.sort(key=lambda c: (-c[1], c[0]))
+        return costs
+
+    def exec_rates(self) -> list[float]:
+        """exec/s series over the campaign's snapshots."""
+        return [float(s.get("execs_per_sec", 0.0))
+                for s in self.snapshots[1:]]
+
+    def coverage_series(self) -> list[float]:
+        return [float(s.get("kernel_coverage", 0)) for s in self.snapshots]
+
+
+def _read_jsonl(path: pathlib.Path) -> list[dict[str, Any]]:
+    if not path.exists():
+        return []
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # tolerate a torn final line from a killed campaign
+    return records
+
+
+def load_trace_dir(directory: str | pathlib.Path) -> TraceSummary:
+    """Aggregate one telemetry directory into a :class:`TraceSummary`."""
+    path = pathlib.Path(directory)
+    summary = TraceSummary(directory=str(path))
+    for record in _read_jsonl(path / TRACE_FILE):
+        if record.get("type") == "span":
+            stat = summary.phases.setdefault(record.get("phase", "?"),
+                                             PhaseStat())
+            stat.count += 1
+            duration = float(record.get("dur", 0.0))
+            stat.virtual_seconds += duration
+            if record.get("depth", 0) == 0:
+                stat.exclusive_seconds += duration
+        elif record.get("type") == "event":
+            kind = record.get("kind", "?")
+            summary.events[kind] = summary.events.get(kind, 0) + 1
+    summary.snapshots = _read_jsonl(path / SNAPSHOT_FILE)
+    metrics_file = path / METRICS_FILE
+    if metrics_file.exists():
+        try:
+            summary.metrics = json.loads(metrics_file.read_text())
+        except json.JSONDecodeError:
+            pass  # partial write from a killed campaign
+    return summary
+
+
+def find_trace_dirs(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Telemetry directories at ``directory`` or one level below it."""
+    path = pathlib.Path(directory)
+    names = (TRACE_FILE, SNAPSHOT_FILE, METRICS_FILE)
+    if any((path / name).exists() for name in names):
+        return [path]
+    if not path.is_dir():
+        return []
+    return sorted(child for child in path.iterdir()
+                  if child.is_dir()
+                  and any((child / name).exists() for name in names))
+
+
+def sparkline(values: list[float], width: int = 48) -> str:
+    """Render a series as a unicode block sparkline."""
+    if not values:
+        return "(no samples)"
+    if len(values) > width:
+        # Downsample by averaging fixed-size chunks.
+        chunk = len(values) / width
+        values = [sum(values[int(i * chunk):max(int((i + 1) * chunk),
+                                                int(i * chunk) + 1)])
+                  / max(int((i + 1) * chunk) - int(i * chunk), 1)
+                  for i in range(width)]
+    top = max(values)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    return "".join(
+        _SPARK_LEVELS[min(int(v / top * (len(_SPARK_LEVELS) - 1)),
+                          len(_SPARK_LEVELS) - 1)]
+        for v in values)
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """The ``repro stats`` terminal view for one telemetry directory."""
+    lines = [f"# Telemetry: {summary.directory}", ""]
+
+    if summary.snapshots:
+        last = summary.snapshots[-1]
+        hours = float(last.get("t", 0.0)) / 3600.0
+        rates = summary.exec_rates()
+        mean_rate = sum(rates) / len(rates) if rates else 0.0
+        lines.append(
+            f"{hours:.1f} virtual hours, "
+            f"{last.get('executions', 0)} executions "
+            f"({mean_rate:.2f} exec/s mean), "
+            f"coverage {last.get('kernel_coverage', 0)}, "
+            f"corpus {last.get('corpus_size', 0)}, "
+            f"{last.get('reboots', 0)} reboot(s), "
+            f"{last.get('bugs', 0)} bug(s)")
+        lines.append(f"exec/s   {sparkline(rates)}")
+        lines.append(f"coverage {sparkline(summary.coverage_series())}")
+        lines.append("")
+
+    if summary.phases:
+        rows = [[name, stat.count, f"{stat.virtual_seconds:.0f}",
+                 f"{stat.exclusive_seconds:.0f}", f"{share:.1f}%"]
+                for name, stat, share in summary.phase_shares()]
+        lines.append(render_table(
+            ["phase", "spans", "vsec", "vsec(excl)", "share"], rows,
+            title="Virtual time by campaign phase"))
+        lines.append("")
+
+    drivers = summary.driver_costs()
+    if drivers:
+        rows = [[name, f"{cost:.0f}"] for name, cost in drivers[:5]]
+        lines.append(render_table(
+            ["driver", "attributed vsec"], rows,
+            title="Top drivers by virtual-time cost"))
+        lines.append("")
+
+    if summary.events:
+        rows = [[kind, count]
+                for kind, count in sorted(summary.events.items())]
+        lines.append(render_table(["event", "count"], rows,
+                                  title="Events"))
+        lines.append("")
+    if len(lines) == 2:
+        lines.append("(no telemetry records found)")
+    return "\n".join(lines)

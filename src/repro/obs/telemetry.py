@@ -1,0 +1,105 @@
+"""The telemetry facade: one object bundling metrics + trace + monitor.
+
+Construction decides the cost model:
+
+* ``Telemetry.disabled()`` (or constructing with no directory and no
+  sinks) wires everything to :class:`~repro.obs.sinks.NullSink`; every
+  instrumentation call short-circuits, so an uninstrumented campaign
+  and a disabled-telemetry campaign behave identically.
+* ``Telemetry(directory=...)`` records ``trace.jsonl`` (spans +
+  events), ``snapshots.jsonl`` (monitor samples) and, on close,
+  ``metrics.json`` — the layout ``repro stats`` reads back.
+
+Telemetry never touches the virtual clock or the campaign RNG: enabling
+it cannot change fuzzing behaviour, only observe it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.bridge import DeviceBridge
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import CampaignMonitor
+from repro.obs.sinks import JsonlSink, NullSink, StdoutSink, TeeSink
+from repro.obs.trace import Tracer
+
+TRACE_FILE = "trace.jsonl"
+SNAPSHOT_FILE = "snapshots.jsonl"
+METRICS_FILE = "metrics.json"
+
+
+class Telemetry:
+    """Telemetry context for one campaign (or one fleet member).
+
+    Args:
+        directory: when set, record the JSONL trace + snapshots there.
+        trace_sink: explicit span/event sink (overrides ``directory``).
+        snapshot_sink: explicit monitor sink (overrides ``directory``).
+        interval: virtual seconds between monitor snapshots.
+        echo: also print each snapshot to stdout (interactive runs).
+    """
+
+    def __init__(self, directory: str | pathlib.Path | None = None,
+                 trace_sink=None, snapshot_sink=None,
+                 interval: float = 1800.0, echo: bool = False) -> None:
+        self.directory = pathlib.Path(directory) if directory else None
+        if trace_sink is None:
+            trace_sink = (JsonlSink(self.directory / TRACE_FILE)
+                          if self.directory else NullSink())
+        if snapshot_sink is None:
+            snapshot_sink = (JsonlSink(self.directory / SNAPSHOT_FILE)
+                             if self.directory else NullSink())
+        if echo:
+            snapshot_sink = TeeSink(snapshot_sink, StdoutSink())
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(trace_sink)
+        self.monitor = CampaignMonitor(snapshot_sink, interval)
+        self.enabled: bool = self.tracer.enabled or self.monitor.enabled
+        self._bridges: list[DeviceBridge] = []
+        self._closed = False
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The no-op context used when no telemetry was requested."""
+        return cls()
+
+    # ------------------------------------------------------------------
+
+    def attach_device(self, device) -> DeviceBridge | None:
+        """Bind the virtual clock and attach kernel/dmesg probes."""
+        if not self.enabled:
+            return None
+        self.tracer.bind_clock(lambda: device.clock)
+        bridge = DeviceBridge(device, self.metrics, self.tracer)
+        self._bridges.append(bridge)
+        return bridge
+
+    def poll(self) -> None:
+        """Drain bridged device channels (cheap; call at sample points)."""
+        for bridge in self._bridges:
+            bridge.poll_dmesg()
+
+    # ------------------------------------------------------------------
+
+    def rollup(self) -> dict[str, Any]:
+        """Campaign aggregate (monitor rollup + headline metrics)."""
+        return self.monitor.rollup()
+
+    def close(self) -> None:
+        """Flush sinks, persist the metrics dump, detach probes."""
+        if self._closed:
+            return
+        self._closed = True
+        for bridge in self._bridges:
+            bridge.poll_dmesg()
+            bridge.detach()
+        if self.directory is not None and self.enabled:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            (self.directory / METRICS_FILE).write_text(
+                json.dumps(self.metrics.snapshot(), indent=1,
+                           sort_keys=True))
+        self.tracer.sink.close()
+        self.monitor.sink.close()

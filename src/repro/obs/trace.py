@@ -1,0 +1,118 @@
+"""Structured event trace keyed to the virtual device clock.
+
+Two record shapes flow to the sink:
+
+* **spans** — campaign phases (probe, seed, generate, mutate, execute,
+  minimize, triage, reboot) with start clock and virtual duration::
+
+      {"type": "span", "phase": "execute", "t": 12.5, "dur": 4.0, ...}
+
+* **events** — discrete occurrences (new-coverage, crash, corpus-admit,
+  relation-decay, dmesg)::
+
+      {"type": "event", "kind": "crash", "t": 16.5, ...}
+
+Timestamps are *virtual seconds* from the device clock, so traces are
+fully deterministic for a given seed and can be diffed across runs.
+Nested spans (an ``execute`` inside a ``minimize``) each emit their own
+record; readers aggregating per-phase time should treat ``minimize`` as
+inclusive of its inner executions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+#: Canonical campaign phases, in pipeline order.
+PHASES = ("probe", "seed", "generate", "mutate", "execute", "minimize",
+          "triage", "reboot")
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **fields) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span; emits its record when the ``with`` block exits."""
+
+    __slots__ = ("_tracer", "_phase", "_fields", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", phase: str,
+                 fields: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._phase = phase
+        self._fields = fields
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer.clock()
+        self._depth = self._tracer.depth
+        self._tracer.depth += 1
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.depth -= 1
+        end = self._tracer.clock()
+        record = {"type": "span", "phase": self._phase,
+                  "t": self._start, "dur": end - self._start,
+                  "depth": self._depth}
+        if self._fields:
+            record.update(self._fields)
+        self._tracer.sink.emit(record)
+        return False
+
+    def note(self, **fields) -> None:
+        """Attach extra fields to the span before it closes."""
+        self._fields.update(fields)
+
+
+class Tracer:
+    """Span/event emitter bound to a sink and a virtual-clock source.
+
+    Args:
+        sink: where records go; a :class:`~repro.obs.sinks.NullSink`
+            makes every call near-zero cost.
+        clock: zero-argument callable returning the current virtual
+            time; bind one with :meth:`bind_clock` once the device
+            exists.
+    """
+
+    def __init__(self, sink, clock: Callable[[], float] | None = None) -> None:
+        self.sink = sink
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.enabled: bool = getattr(sink, "enabled", True)
+        #: Current span nesting depth; recorded on each span so readers
+        #: can compute exclusive top-level phase breakdowns.
+        self.depth = 0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the tracer at a device's virtual clock."""
+        self.clock = clock
+
+    def span(self, phase: str, **fields):
+        """Context manager timing one phase occurrence."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, phase, fields)
+
+    def event(self, kind: str, **fields) -> None:
+        """Emit one discrete event at the current virtual time."""
+        if not self.enabled:
+            return
+        record = {"type": "event", "kind": kind, "t": self.clock()}
+        if fields:
+            record.update(fields)
+        self.sink.emit(record)

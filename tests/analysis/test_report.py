@@ -55,6 +55,31 @@ def test_report_relations_section():
     assert "a" in report and "b" in report
 
 
+def test_report_profiling_section_from_trace_summary():
+    from repro.obs.stats import PhaseStat, TraceSummary
+
+    summary = TraceSummary(
+        directory="out",
+        phases={"execute": PhaseStat(count=10, virtual_seconds=80.0,
+                                     exclusive_seconds=60.0),
+                "minimize": PhaseStat(count=2, virtual_seconds=40.0,
+                                      exclusive_seconds=40.0)},
+        metrics={"driver.vtime.drm_gpu": {"type": "counter", "value": 55.0},
+                 "driver.vtime.ion_alloc": {"type": "counter",
+                                            "value": 20.0}},
+        snapshots=[{"t": 0.0, "execs_per_sec": 0.0},
+                   {"t": 100.0, "execs_per_sec": 0.5}])
+    report = campaign_report(sample_result(), trace_summary=summary)
+    assert "## Profiling" in report
+    assert "60.0%" in report  # execute's share of accounted time
+    assert "drm_gpu" in report
+    assert "mean throughput" in report
+
+
+def test_report_without_trace_summary_has_no_profiling():
+    assert "## Profiling" not in campaign_report(sample_result())
+
+
 def test_strongest_relations_ordering():
     g = RelationGraph()
     for v in "abc":

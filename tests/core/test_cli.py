@@ -43,3 +43,49 @@ def test_compare_command(capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_fuzz_with_telemetry_then_stats(tmp_path, capsys):
+    telemetry_dir = tmp_path / "tel"
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                 "--telemetry", str(telemetry_dir)]) == 0
+    assert (telemetry_dir / "trace.jsonl").exists()
+    assert (telemetry_dir / "snapshots.jsonl").exists()
+    assert (telemetry_dir / "metrics.json").exists()
+    capsys.readouterr()
+
+    assert main(["stats", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "exec/s" in out
+    assert "Virtual time by campaign phase" in out
+    assert "execute" in out
+
+
+def test_compare_with_telemetry_adds_throughput_column(tmp_path, capsys):
+    telemetry_dir = tmp_path / "cmp"
+    assert main(["compare", "E", "--hours", "1",
+                 "--tools", "droidfuzz", "syzkaller",
+                 "--telemetry", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "exec/s" in out
+    assert (telemetry_dir / "droidfuzz" / "trace.jsonl").exists()
+    assert (telemetry_dir / "syzkaller" / "trace.jsonl").exists()
+
+    assert main(["stats", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert str(telemetry_dir / "droidfuzz") in out
+    assert str(telemetry_dir / "syzkaller") in out
+
+
+def test_stats_on_missing_dir_fails(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "nothing")]) == 1
+    assert "no telemetry found" in capsys.readouterr().out
+
+
+def test_telemetry_flag_does_not_change_results(tmp_path, capsys):
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2"]) == 0
+    plain = capsys.readouterr().out.splitlines()[0]
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                 "--telemetry", str(tmp_path / "t")]) == 0
+    observed = capsys.readouterr().out.splitlines()[0]
+    assert observed == plain

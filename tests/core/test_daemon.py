@@ -1,0 +1,66 @@
+"""Daemon fleet coordination: result keys, rollups, aggregation."""
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.device.device import DeviceCosts
+from repro.device.profiles import profile_by_id
+
+
+def _fast_daemon(**kwargs) -> Daemon:
+    return Daemon(
+        config=FuzzerConfig(seed=0, campaign_hours=0.25),
+        costs=DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0,
+                          shell=2.0),
+        **kwargs)
+
+
+def test_rerunning_same_profile_and_seed_keeps_both_results():
+    daemon = _fast_daemon()
+    profile = profile_by_id("E")
+    first = daemon.run_device(profile, seed=1)
+    second = daemon.run_device(profile, seed=1)
+    third = daemon.run_device(profile, seed=1)
+    assert set(daemon.results) == {"E#1", "E#1.r2", "E#1.r3"}
+    assert daemon.results["E#1"] is first
+    assert daemon.results["E#1.r2"] is second
+    assert daemon.results["E#1.r3"] is third
+    # Identical configuration ⇒ identical deterministic outcomes.
+    assert first == second == third
+
+
+def test_distinct_seeds_do_not_collide():
+    daemon = _fast_daemon()
+    profile = profile_by_id("E")
+    daemon.run_device(profile, seed=1)
+    daemon.run_device(profile, seed=2)
+    assert set(daemon.results) == {"E#1", "E#2"}
+    assert set(daemon.coverage_summary()) == {"E#1", "E#2"}
+
+
+def test_daemon_records_telemetry_and_fleet_rollup(tmp_path):
+    daemon = _fast_daemon(telemetry_dir=tmp_path)
+    profile = profile_by_id("E")
+    result = daemon.run_device(profile, seed=1)
+    daemon.run_device(profile, seed=1)
+
+    assert (tmp_path / "E#1" / "trace.jsonl").exists()
+    assert (tmp_path / "E#1" / "snapshots.jsonl").exists()
+    assert (tmp_path / "E#1" / "metrics.json").exists()
+    assert (tmp_path / "E#1.r2" / "trace.jsonl").exists()
+
+    assert set(daemon.rollups) == {"E#1", "E#1.r2"}
+    assert daemon.rollups["E#1"]["executions"] == result.executions
+    fleet = daemon.fleet_rollup()
+    assert fleet["campaigns"] == 2
+    assert fleet["executions"] == 2 * result.executions
+
+
+def test_all_bugs_deduplicates_across_campaigns():
+    daemon = _fast_daemon()
+    daemon.config = daemon.config.variant(campaign_hours=1.0)
+    profile = profile_by_id("A1")
+    daemon.run_device(profile, seed=0)
+    daemon.run_device(profile, seed=0)
+    bugs = daemon.all_bugs()
+    titles = [(b.device, b.title) for b in bugs]
+    assert len(titles) == len(set(titles))

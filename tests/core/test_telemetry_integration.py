@@ -1,0 +1,125 @@
+"""Telemetry integration: behavioural identity, overhead, bridging.
+
+The core guarantee: telemetry observes a campaign without perturbing it.
+A telemetry-enabled run must produce exactly the same
+:class:`CampaignResult` (same RNG stream, coverage, bugs, timeline) as a
+disabled one, and the disabled path must be near-zero cost.
+"""
+
+import time
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice
+from repro.device.profiles import profile_by_id
+from repro.obs.sinks import MemorySink
+from repro.obs.telemetry import Telemetry
+
+
+def _run_campaign(telemetry=None, ident="E", seed=3, hours=0.5):
+    device = AndroidDevice(profile_by_id(ident))
+    engine = FuzzingEngine(
+        device, FuzzerConfig(seed=seed, campaign_hours=hours),
+        telemetry=telemetry)
+    return engine, engine.run()
+
+
+def _memory_telemetry(interval=600.0) -> Telemetry:
+    return Telemetry(trace_sink=MemorySink(), snapshot_sink=MemorySink(),
+                     interval=interval)
+
+
+def test_telemetry_does_not_change_campaign_results():
+    _, baseline = _run_campaign(telemetry=None)
+    telemetry = _memory_telemetry()
+    _, observed = _run_campaign(telemetry=telemetry)
+    assert observed == baseline  # every CampaignResult field identical
+    # ... and the instrumented run actually recorded something.
+    assert telemetry.tracer.sink.records
+    assert telemetry.monitor.snapshots
+
+
+def test_telemetry_disabled_attaches_no_probes():
+    device = AndroidDevice(profile_by_id("E"))
+    FuzzingEngine(device, FuzzerConfig(seed=0, campaign_hours=0.1))
+    assert device.kernel.trace.probe_count() == 0
+
+
+def test_telemetry_enabled_records_spans_events_and_snapshots():
+    telemetry = _memory_telemetry()
+    engine, result = _run_campaign(telemetry=telemetry, hours=1.0)
+    records = telemetry.tracer.sink.records
+    phases = {r["phase"] for r in records if r["type"] == "span"}
+    assert {"probe", "seed", "execute", "generate"} <= phases
+    executes = [r for r in records
+                if r["type"] == "span" and r["phase"] == "execute"]
+    assert len(executes) == result.executions
+    kinds = {r["kind"] for r in records if r["type"] == "event"}
+    assert "new-coverage" in kinds and "corpus-admit" in kinds
+    snapshots = telemetry.monitor.snapshots
+    assert snapshots[-1].executions == result.executions
+    assert snapshots[-1].kernel_coverage == result.kernel_coverage
+    # The kernel bridge attributed cost to real drivers.
+    assert telemetry.metrics.with_prefix("driver.vtime")
+    assert telemetry.metrics.with_prefix("device.syscalls")
+    # The broker recorded wire metrics.
+    assert telemetry.metrics.counter("broker.programs").value > 0
+    assert telemetry.metrics.histogram("broker.payload_bytes").count > 0
+
+
+def test_noop_telemetry_overhead_under_five_percent():
+    start = time.perf_counter()
+    engine, _ = _run_campaign(telemetry=None, hours=0.5)
+    campaign_seconds = time.perf_counter() - start
+
+    # Generously overestimate the instrumentation call volume: six
+    # disabled span entries plus six suppressed events per execution.
+    tracer = Telemetry.disabled().tracer
+    calls = max(engine.executions, 1) * 6
+    start = time.perf_counter()
+    for _ in range(calls):
+        with tracer.span("execute"):
+            pass
+        tracer.event("new-coverage", fresh=0)
+    overhead_seconds = time.perf_counter() - start
+    assert overhead_seconds < 0.05 * campaign_seconds, (
+        f"disabled telemetry cost {overhead_seconds:.4f}s vs campaign "
+        f"{campaign_seconds:.4f}s")
+
+
+def test_bug_tracker_dedup_stats():
+    from repro.core.bugs import BugTracker
+
+    tracker = BugTracker("E")
+    crash = {"kind": "BUG", "title": "BUG: x", "component": "kernel"}
+    assert tracker.dedup_rate() == 0.0
+    tracker.record([crash], clock=10.0)
+    assert tracker.first_bug_clock == 10.0
+    tracker.record([crash, crash], clock=20.0)
+    assert tracker.dup_hits == 2
+    assert tracker.first_bug_clock == 10.0
+    assert tracker.dedup_rate() == 2 / 3
+
+
+def test_dmesg_splats_bridge_into_trace():
+    telemetry = _memory_telemetry()
+    device = AndroidDevice(profile_by_id("E"))
+    telemetry.attach_device(device)
+    device.kernel.dmesg.warn("test_site", "detail")
+    device.kernel.dmesg.log("benign line")
+    telemetry.poll()
+    events = [r for r in telemetry.tracer.sink.records
+              if r["type"] == "event" and r["kind"] == "dmesg"]
+    assert len(events) == 1
+    assert "WARNING in test_site" in events[0]["line"]
+    # Lines already surfaced are not re-emitted on the next poll.
+    telemetry.poll()
+    assert len([r for r in telemetry.tracer.sink.records
+                if r.get("kind") == "dmesg"]) == 1
+    # A reboot replaces the ring buffer; the cursor must reset with it.
+    device.reboot()
+    device.kernel.dmesg.warn("after_reboot")
+    telemetry.poll()
+    lines = [r["line"] for r in telemetry.tracer.sink.records
+             if r.get("kind") == "dmesg"]
+    assert any("after_reboot" in line for line in lines)

@@ -1,0 +1,82 @@
+"""CampaignResult.coverage_at and engine timeline sampling boundaries."""
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import CampaignResult, FuzzingEngine
+from repro.device.device import AndroidDevice
+from repro.device.profiles import profile_by_id
+
+
+def _result_with_timeline(timeline) -> CampaignResult:
+    return CampaignResult(tool="droidfuzz", device="E", seed=0,
+                          duration_hours=1.0, timeline=timeline)
+
+
+# ----------------------------------------------------------------------
+# coverage_at step interpolation
+# ----------------------------------------------------------------------
+
+def test_coverage_at_steps_between_samples():
+    result = _result_with_timeline([(0.0, 0), (1800.0, 40), (3600.0, 90)])
+    assert result.coverage_at(0.0) == 0
+    assert result.coverage_at(0.25) == 0     # before the 1800s sample
+    assert result.coverage_at(0.5) == 40     # exactly on a sample
+    assert result.coverage_at(0.75) == 40    # holds until the next step
+    assert result.coverage_at(1.0) == 90
+    assert result.coverage_at(5.0) == 90     # past the end: last value
+
+
+def test_coverage_at_empty_timeline_is_zero():
+    assert _result_with_timeline([]).coverage_at(1.0) == 0
+
+
+def test_coverage_at_before_first_sample_is_zero():
+    result = _result_with_timeline([(1800.0, 25)])
+    assert result.coverage_at(0.0) == 0
+    assert result.coverage_at(0.5) == 25
+
+
+# ----------------------------------------------------------------------
+# engine timeline sampling loop
+# ----------------------------------------------------------------------
+
+def _run(config: FuzzerConfig):
+    device = AndroidDevice(profile_by_id("E"))
+    engine = FuzzingEngine(device, config)
+    return engine.run()
+
+
+def test_sample_interval_longer_than_campaign():
+    # Only the t=0 sample plus the final closing sample are recorded.
+    result = _run(FuzzerConfig(seed=4, campaign_hours=0.25,
+                               sample_interval=7200.0))
+    times = [t for t, _ in result.timeline]
+    assert times[0] == 0.0
+    assert times[-1] == pytest.approx(900.0)
+    assert len(times) == 2
+
+
+def test_clock_jump_emits_every_skipped_sample_point():
+    # With a 60s sample interval, a single program execution (several
+    # virtual seconds) and especially a reboot (90s) jump the clock
+    # across multiple sample points; each must still be emitted.
+    result = _run(FuzzerConfig(seed=4, campaign_hours=0.25,
+                               sample_interval=60.0))
+    times = [t for t, _ in result.timeline]
+    assert times[0] == 0.0
+    assert times[-1] == pytest.approx(900.0)
+    # All intermediate points are exactly on the sampling grid, strictly
+    # increasing, with no gaps.
+    grid = times[:-1]
+    assert grid == [i * 60.0 for i in range(len(grid))]
+    # Coverage along the timeline is monotonically non-decreasing.
+    coverage = [c for _, c in result.timeline]
+    assert all(a <= b for a, b in zip(coverage, coverage[1:]))
+
+
+def test_timeline_final_point_matches_result_coverage():
+    result = _run(FuzzerConfig(seed=4, campaign_hours=0.25))
+    assert result.timeline[-1][1] == result.kernel_coverage
+    assert result.coverage_at(result.duration_hours) == \
+        result.kernel_coverage

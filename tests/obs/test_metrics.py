@@ -1,0 +1,70 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    counter = registry.counter("engine.execs")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("engine.execs").value == 5
+    assert registry.counter("engine.execs") is counter
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("corpus.size")
+    gauge.set(10)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value == 11
+
+
+def test_histogram_buckets_and_stats():
+    hist = Histogram("vtime", buckets=(1.0, 5.0, 10.0))
+    for value in (0.5, 0.9, 3.0, 7.0, 50.0):
+        hist.observe(value)
+    assert hist.counts == [2, 1, 1, 1]
+    assert hist.count == 5
+    assert hist.total == pytest.approx(61.4)
+    assert hist.mean() == pytest.approx(61.4 / 5)
+    assert hist.minimum == 0.5
+    assert hist.maximum == 50.0
+
+
+def test_histogram_quantile_approximation():
+    hist = Histogram("q", buckets=(1.0, 10.0, 100.0))
+    for _ in range(90):
+        hist.observe(0.5)
+    for _ in range(10):
+        hist.observe(50.0)
+    assert hist.quantile(0.5) == 1.0
+    assert hist.quantile(0.95) == 100.0
+    assert Histogram("empty").quantile(0.5) == 0.0
+
+
+def test_registry_rejects_kind_clash():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_prefix_and_snapshot_roundtrip():
+    registry = MetricsRegistry()
+    registry.counter("driver.vtime.ion").inc(3)
+    registry.counter("driver.vtime.drm").inc(7)
+    registry.gauge("other").set(1)
+    assert set(registry.with_prefix("driver.vtime")) == {
+        "driver.vtime.ion", "driver.vtime.drm"}
+    snapshot = registry.snapshot()
+    assert snapshot["driver.vtime.drm"] == {"type": "counter", "value": 7.0}
+    assert snapshot["other"]["type"] == "gauge"
+    hist = registry.histogram("h", buckets=(1.0,))
+    hist.observe(0.5)
+    dumped = registry.snapshot()["h"]
+    assert dumped["counts"] == [1, 0]
+    assert dumped["min"] == 0.5

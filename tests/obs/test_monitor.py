@@ -1,0 +1,78 @@
+"""Tests for the campaign monitor and its rollups."""
+
+import pytest
+
+from repro.obs.monitor import CampaignMonitor
+from repro.obs.sinks import MemorySink, NullSink
+
+
+def test_sample_computes_rates_against_previous_snapshot():
+    sink = MemorySink()
+    monitor = CampaignMonitor(sink, interval=100.0)
+    monitor.start(0.0)
+    monitor.sample(0.0, executions=0, kernel_coverage=0, corpus_size=0,
+                   reboots=0, bugs=0)
+    snapshot = monitor.sample(
+        100.0, executions=50, kernel_coverage=20, corpus_size=5,
+        reboots=1, bugs=2, per_driver={"drm_gpu": 12, "ion": 8})
+    assert snapshot.execs_per_sec == pytest.approx(0.5)
+    assert snapshot.coverage_growth_per_hour == pytest.approx(720.0)
+    assert snapshot.per_driver_delta == {"drm_gpu": 12, "ion": 8}
+    later = monitor.sample(
+        200.0, executions=50, kernel_coverage=20, corpus_size=5,
+        reboots=1, bugs=2, per_driver={"drm_gpu": 12, "ion": 8})
+    assert later.execs_per_sec == 0.0
+    assert later.per_driver_delta == {}
+    assert len(sink.by_type("snapshot")) == 3
+
+
+def test_due_respects_interval_after_clock_jump():
+    monitor = CampaignMonitor(MemorySink(), interval=100.0)
+    monitor.start(0.0)
+    assert monitor.due(0.0)
+    monitor.sample(0.0, executions=0, kernel_coverage=0, corpus_size=0,
+                   reboots=0, bugs=0)
+    assert not monitor.due(50.0)
+    # A reboot-style clock jump across several intervals yields ONE
+    # due sample, then the schedule re-anchors past the jump.
+    assert monitor.due(350.0)
+    monitor.sample(350.0, executions=1, kernel_coverage=1, corpus_size=0,
+                   reboots=1, bugs=0)
+    assert not monitor.due(380.0)
+    assert monitor.due(400.0)
+
+
+def test_disabled_monitor_never_samples():
+    monitor = CampaignMonitor(NullSink())
+    monitor.start(0.0)
+    assert not monitor.due(1e9)
+    assert monitor.sample(10.0, executions=1, kernel_coverage=1,
+                          corpus_size=1, reboots=0, bugs=0) is None
+    assert monitor.rollup() == {"snapshots": 0}
+
+
+def test_rollup_and_fleet_rollup():
+    monitor = CampaignMonitor(MemorySink(), interval=10.0)
+    monitor.start(0.0)
+    monitor.sample(0.0, executions=0, kernel_coverage=0, corpus_size=0,
+                   reboots=0, bugs=0)
+    monitor.sample(10.0, executions=40, kernel_coverage=30, corpus_size=4,
+                   reboots=0, bugs=1)
+    monitor.sample(20.0, executions=60, kernel_coverage=35, corpus_size=6,
+                   reboots=1, bugs=1)
+    rollup = monitor.rollup()
+    assert rollup["executions"] == 60
+    assert rollup["mean_execs_per_sec"] == pytest.approx(3.0)
+    assert rollup["peak_execs_per_sec"] == pytest.approx(4.0)
+    assert rollup["bugs"] == 1
+
+    fleet = CampaignMonitor.fleet_rollup({
+        "A#0": rollup,
+        "B#0": {"snapshots": 2, "executions": 40, "kernel_coverage": 10,
+                "bugs": 2, "reboots": 0, "mean_execs_per_sec": 1.0},
+        "C#0": {"snapshots": 0},
+    })
+    assert fleet["campaigns"] == 3
+    assert fleet["executions"] == 100
+    assert fleet["bugs"] == 3
+    assert fleet["mean_execs_per_sec"] == pytest.approx(2.0)

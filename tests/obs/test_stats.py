@@ -1,0 +1,112 @@
+"""Tests for the telemetry directory reader and renderer."""
+
+import json
+
+from repro.obs.stats import (
+    find_trace_dirs,
+    load_trace_dir,
+    render_summary,
+    sparkline,
+)
+from repro.obs.telemetry import Telemetry
+
+
+def _write_fixture(directory):
+    telemetry = Telemetry(directory=directory)
+    clock = [0.0]
+    telemetry.tracer.bind_clock(lambda: clock[0])
+    with telemetry.tracer.span("probe"):
+        clock[0] = 100.0
+    with telemetry.tracer.span("minimize"):
+        with telemetry.tracer.span("execute"):
+            clock[0] = 150.0
+    with telemetry.tracer.span("execute"):
+        clock[0] = 170.0
+    telemetry.tracer.event("crash", title="BUG: x")
+    telemetry.tracer.event("new-coverage", fresh=3)
+    telemetry.metrics.counter("driver.vtime.drm_gpu").inc(40)
+    telemetry.metrics.counter("driver.vtime.ion_alloc").inc(90)
+    telemetry.monitor.start(0.0)
+    telemetry.monitor.sample(0.0, executions=0, kernel_coverage=0,
+                             corpus_size=0, reboots=0, bugs=0)
+    telemetry.monitor.sample(170.0, executions=2, kernel_coverage=9,
+                             corpus_size=1, reboots=0, bugs=1)
+    telemetry.close()
+    return telemetry
+
+
+def test_load_trace_dir_aggregates_phases_events_metrics(tmp_path):
+    _write_fixture(tmp_path / "run")
+    summary = load_trace_dir(tmp_path / "run")
+
+    execute = summary.phases["execute"]
+    assert execute.count == 2
+    assert execute.virtual_seconds == 70.0
+    assert execute.exclusive_seconds == 20.0  # nested one excluded
+    minimize = summary.phases["minimize"]
+    assert minimize.exclusive_seconds == 50.0
+    assert summary.events == {"crash": 1, "new-coverage": 1}
+    assert len(summary.snapshots) == 2
+    assert summary.driver_costs() == [("ion_alloc", 90.0),
+                                      ("drm_gpu", 40.0)]
+    total = summary.total_phase_seconds()
+    shares = dict((name, share) for name, _, share in summary.phase_shares())
+    assert total == 170.0
+    assert shares["probe"] == 100.0 / 170.0 * 100.0
+
+
+def test_metrics_json_written_on_close(tmp_path):
+    _write_fixture(tmp_path / "run")
+    metrics = json.loads((tmp_path / "run" / "metrics.json").read_text())
+    assert metrics["driver.vtime.ion_alloc"]["value"] == 90.0
+
+
+def test_find_trace_dirs_direct_and_nested(tmp_path):
+    _write_fixture(tmp_path / "fleet" / "A")
+    _write_fixture(tmp_path / "fleet" / "B")
+    assert find_trace_dirs(tmp_path / "fleet" / "A") == [
+        tmp_path / "fleet" / "A"]
+    assert find_trace_dirs(tmp_path / "fleet") == [
+        tmp_path / "fleet" / "A", tmp_path / "fleet" / "B"]
+    assert find_trace_dirs(tmp_path / "nope") == []
+
+
+def test_render_summary_contains_rates_phases_drivers(tmp_path):
+    _write_fixture(tmp_path / "run")
+    text = render_summary(load_trace_dir(tmp_path / "run"))
+    assert "exec/s" in text
+    assert "probe" in text and "minimize" in text
+    assert "ion_alloc" in text
+    assert "crash" in text
+
+
+def test_render_summary_on_empty_dir(tmp_path):
+    summary = load_trace_dir(tmp_path)
+    assert "(no telemetry records found)" in render_summary(summary)
+
+
+def test_load_trace_dir_tolerates_torn_lines(tmp_path):
+    _write_fixture(tmp_path / "run")
+    with (tmp_path / "run" / "trace.jsonl").open("a") as handle:
+        handle.write('{"type": "span", "phase": "exe')  # killed mid-write
+    (tmp_path / "run" / "metrics.json").write_text('{"truncat')
+    summary = load_trace_dir(tmp_path / "run")
+    assert summary.phases["execute"].count == 2
+    assert summary.metrics == {}
+
+
+def test_rerun_into_same_directory_replaces_trace(tmp_path):
+    _write_fixture(tmp_path / "run")
+    first = len((tmp_path / "run" / "trace.jsonl").read_text().splitlines())
+    _write_fixture(tmp_path / "run")
+    second = len((tmp_path / "run" / "trace.jsonl").read_text().splitlines())
+    assert first == second  # truncated, not appended
+
+
+def test_sparkline_scaling_and_downsampling():
+    assert sparkline([]) == "(no samples)"
+    assert sparkline([0.0, 0.0]) == "▁▁"
+    line = sparkline([0.0, 1.0, 2.0, 4.0])
+    assert len(line) == 4
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(list(range(1000)), width=48)) == 48

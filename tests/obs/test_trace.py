@@ -1,0 +1,95 @@
+"""Tests for the structured trace (spans, events, sinks)."""
+
+import json
+
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, TeeSink
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def test_span_records_virtual_start_and_duration():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracer = Tracer(sink, clock)
+    with tracer.span("execute", calls=3):
+        clock.now = 4.5
+    [record] = sink.records
+    assert record == {"type": "span", "phase": "execute", "t": 0.0,
+                      "dur": 4.5, "depth": 0, "calls": 3}
+
+
+def test_nested_spans_record_depth():
+    sink = MemorySink()
+    clock = FakeClock()
+    tracer = Tracer(sink, clock)
+    with tracer.span("minimize"):
+        with tracer.span("execute"):
+            clock.now = 2.0
+    execute, minimize = sink.records
+    assert execute["phase"] == "execute" and execute["depth"] == 1
+    assert minimize["phase"] == "minimize" and minimize["depth"] == 0
+    assert tracer.depth == 0
+
+
+def test_span_note_attaches_fields():
+    sink = MemorySink()
+    tracer = Tracer(sink, FakeClock())
+    with tracer.span("minimize") as span:
+        span.note(before=8, after=2)
+    assert sink.records[0]["before"] == 8
+    assert sink.records[0]["after"] == 2
+
+
+def test_event_records_clock_and_fields():
+    sink = MemorySink()
+    clock = FakeClock()
+    clock.now = 7.0
+    tracer = Tracer(sink, clock)
+    tracer.event("crash", title="BUG: x")
+    assert sink.records == [
+        {"type": "event", "kind": "crash", "t": 7.0, "title": "BUG: x"}]
+
+
+def test_disabled_tracer_emits_nothing_and_reuses_noop_span():
+    tracer = Tracer(NullSink())
+    assert not tracer.enabled
+    span_a = tracer.span("execute")
+    span_b = tracer.span("reboot", extra=1)
+    assert span_a is span_b
+    with span_a as span:
+        span.note(x=1)
+    tracer.event("crash", title="t")
+    assert tracer.depth == 0
+
+
+def test_jsonl_sink_roundtrip(tmp_path):
+    path = tmp_path / "sub" / "trace.jsonl"
+    sink = JsonlSink(path)
+    sink.emit({"type": "event", "kind": "a"})
+    sink.emit({"type": "event", "kind": "b"})
+    sink.close()
+    records = [json.loads(line) for line in
+               path.read_text().splitlines()]
+    assert [r["kind"] for r in records] == ["a", "b"]
+    # close() is idempotent and reopening appends.
+    sink.close()
+    sink.emit({"type": "event", "kind": "c"})
+    sink.close()
+    assert len(path.read_text().splitlines()) == 3
+
+
+def test_tee_sink_fans_out_and_drops_disabled():
+    first, second = MemorySink(), MemorySink()
+    tee = TeeSink(first, NullSink(), second)
+    tee.emit({"x": 1})
+    tee.close()
+    assert first.records == [{"x": 1}]
+    assert second.records == [{"x": 1}]
+    assert len(tee.sinks) == 2
