@@ -1,0 +1,111 @@
+"""Fleet orchestration benchmark: sequential vs parallel wall-clock.
+
+Runs the same 4-profile fleet twice — inline (``jobs=1``) and on a
+4-worker pool — verifies the merged results are identical, and records
+both speedup views into ``BENCH_fleet.json`` at the repo root:
+
+* ``real_wall_speedup`` — measured host wall-clock ratio.  Honest but
+  hardware-bound: on a single-core host the pool cannot beat the
+  inline run, while the 4-core CI runner shows the real effect.
+* ``virtual_makespan_speedup`` — the campaigns' summed virtual hours
+  over the longest per-worker virtual span.  Deterministic on any
+  host: with 4 equal campaigns on 4 workers it is 4.0.
+
+Dual mode: collected by pytest (``pytest benchmarks/bench_fleet.py``)
+or run directly (``python benchmarks/bench_fleet.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # direct invocation: src/ onto the path
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                           .parent.parent / "src"))
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.device.device import DeviceCosts
+from repro.device.profiles import profile_by_id
+
+PROFILES = ("A1", "A2", "B", "E")
+JOBS = 4
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+#: The fast cost model keeps one campaign ~sub-second so the benchmark
+#: measures orchestration, not the device simulation.
+COSTS = DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0, shell=2.0)
+
+
+def _run(jobs: int, hours: float) -> tuple[Daemon, float]:
+    daemon = Daemon(config=FuzzerConfig(seed=0, campaign_hours=hours),
+                    costs=COSTS)
+    profiles = [profile_by_id(ident) for ident in PROFILES]
+    started = time.perf_counter()
+    daemon.run_fleet(profiles, jobs=jobs)
+    return daemon, time.perf_counter() - started
+
+
+def bench_fleet(hours: float | None = None) -> dict:
+    """Run both modes and assemble the ``BENCH_fleet.json`` record."""
+    if hours is None:
+        hours = float(os.environ.get("REPRO_BENCH_HOURS", 2.0))
+    sequential, seq_wall = _run(1, hours)
+    parallel, par_wall = _run(JOBS, hours)
+
+    durations = [result.duration_hours * 3600.0
+                 for result in parallel.results.values()]
+    virtual_total = sum(durations)
+    # Worker → summed virtual seconds of the jobs it ran; the longest
+    # such span is the fleet's virtual makespan.
+    spans: dict[int, float] = {}
+    stats = parallel.fleet_stats
+    per_worker = stats.get("per_worker", {})
+    for worker, slot in per_worker.items():
+        # Virtual share proportional to jobs (equal-length campaigns).
+        spans[worker] = slot["jobs"] * hours * 3600.0
+    makespan = max(spans.values()) if spans else virtual_total
+
+    record = {
+        "profiles": list(PROFILES),
+        "campaign_hours": hours,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "sequential_wall_seconds": round(seq_wall, 3),
+        "parallel_wall_seconds": round(par_wall, 3),
+        "real_wall_speedup": round(seq_wall / par_wall, 3)
+        if par_wall > 0 else 0.0,
+        "virtual_seconds_total": round(virtual_total, 1),
+        "virtual_makespan_seconds": round(makespan, 1),
+        "virtual_makespan_speedup": round(virtual_total / makespan, 3)
+        if makespan > 0 else 0.0,
+        "scheduler": {key: stats[key]
+                      for key in ("completed", "retried", "failed",
+                                  "speedup", "efficiency")
+                      if key in stats},
+        "results_identical": sequential.results == parallel.results,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return record
+
+
+def test_fleet_parallel_speedup():
+    record = bench_fleet()
+    assert record["results_identical"]
+    assert record["scheduler"]["failed"] == 0
+    # 4 equal campaigns on 4 workers: the virtual makespan shrinks 4x.
+    assert record["virtual_makespan_speedup"] >= 2.0
+    # The honest hardware number is recorded either way; it only
+    # expresses real parallelism when cores exist to back it.
+    if (record["cpu_count"] or 1) >= 4:
+        assert record["real_wall_speedup"] >= 2.0
+    assert OUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    summary = bench_fleet()
+    print(json.dumps(summary, indent=1, sort_keys=True))
+    print(f"\nwritten to {OUT_PATH}")

@@ -6,13 +6,17 @@ Subcommands::
     probe    <device>         run the pre-testing HAL probing pass
     fuzz     <device>         run one campaign (tool/seed/hours options)
     hunt                      fleet-wide bug hunt across all devices
+    fleet                     parallel multi-device fleet via the daemon
     compare  <device>         run several tools and compare coverage
     stats    <trace-dir>      summarize a recorded telemetry trace
 
 ``fuzz``, ``hunt``, and ``compare`` accept ``--telemetry DIR`` to record
 a JSONL trace, periodic monitor snapshots, and a metrics dump that
-``stats`` reads back.  Every command operates on the virtual fleet; see
-README.md.
+``stats`` reads back, and ``--jobs N`` to shard independent campaigns
+across a worker pool (``fuzz`` needs ``--seeds`` > 1 to have anything
+to parallelize).  ``--trace-max-mb`` bounds each ``trace.jsonl`` by
+rotating full segments.  Every command operates on the virtual fleet;
+see README.md.
 """
 
 from __future__ import annotations
@@ -23,24 +27,56 @@ import sys
 
 from repro.analysis.plots import ascii_chart
 from repro.analysis.tables import render_table
-from repro.baselines import TOOLS, make_engine
+from repro.baselines import TOOLS, config_for, make_engine
+from repro.core.daemon import Daemon
 from repro.core.probe import Prober
 from repro.core.state import save_state
 from repro.device.device import AndroidDevice
 from repro.device.profiles import DEVICE_PROFILES, profile_by_id
-from repro.obs.stats import find_trace_dirs, load_trace_dir, render_summary
+from repro.fleet import CampaignJob, FleetJobError, FleetScheduler
+from repro.obs.stats import (
+    find_trace_dirs,
+    load_fleet_summary,
+    load_trace_dir,
+    render_fleet_summary,
+    render_summary,
+)
 from repro.obs.telemetry import Telemetry
 
 
-def _make_telemetry(directory: str | None,
-                    subdir: str | None = None) -> Telemetry | None:
+def _trace_bytes(args) -> int | None:
+    """``--trace-max-mb`` as a byte threshold (None: unbounded)."""
+    limit = getattr(args, "trace_max_mb", 0.0)
+    return int(limit * 1024 * 1024) if limit else None
+
+
+def _make_telemetry(directory: str | None, subdir: str | None = None,
+                    max_trace_bytes: int | None = None) -> Telemetry | None:
     """A recording telemetry context, or None when not requested."""
     if not directory:
         return None
     path = pathlib.Path(directory)
     if subdir:
         path = path / subdir
-    return Telemetry(directory=path)
+    return Telemetry(directory=path, max_trace_bytes=max_trace_bytes)
+
+
+def _fleet_progress(event: dict) -> None:
+    """Render one scheduler lifecycle event as a progress line."""
+    kind = event.get("kind")
+    key = event.get("key", "?")
+    if kind == "start":
+        print(f"[w{event.get('worker', '?')}] {key} start "
+              f"(attempt {event.get('attempt', 1)})", flush=True)
+    elif kind == "done":
+        print(f"[w{event.get('worker', '?')}] {key} done: "
+              f"cov {event.get('coverage', '?')}, "
+              f"{event.get('executions', '?')} execs, "
+              f"{event.get('bugs', 0)} bug(s)", flush=True)
+    elif kind == "retry":
+        print(f"[--] {key} retry: {event.get('reason', '')}", flush=True)
+    elif kind == "fail":
+        print(f"[--] {key} FAILED: {event.get('reason', '')}", flush=True)
 
 
 def _cmd_list_devices(_args) -> int:
@@ -68,8 +104,11 @@ def _cmd_probe(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    if args.seeds > 1:
+        return _fuzz_fleet(args)
     device = AndroidDevice(profile_by_id(args.device))
-    telemetry = _make_telemetry(args.telemetry)
+    telemetry = _make_telemetry(args.telemetry,
+                                max_trace_bytes=_trace_bytes(args))
     engine = make_engine(args.tool, device, seed=args.seed,
                          campaign_hours=args.hours, telemetry=telemetry)
     result = engine.run()
@@ -91,13 +130,46 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _fuzz_fleet(args) -> int:
+    """``fuzz --seeds N``: one campaign per seed, optionally parallel."""
+    profile = profile_by_id(args.device)
+    specs = [CampaignJob(
+        key=f"{args.device}-s{seed}", index=index, profile=profile,
+        config=config_for(args.tool, seed=seed, campaign_hours=args.hours),
+        telemetry_dir=args.telemetry or None,
+        max_trace_bytes=_trace_bytes(args))
+        for index, seed in enumerate(
+            range(args.seed, args.seed + args.seeds))]
+    scheduler = FleetScheduler(jobs=max(args.jobs, 1),
+                               progress=_fleet_progress)
+    outcomes = scheduler.run(specs)
+    failed = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            failed += 1
+            continue
+        result = outcome.result
+        print(f"{args.tool} on {outcome.key}: coverage "
+              f"{result.kernel_coverage}, {result.executions} executions, "
+              f"{result.reboots} reboots")
+        for bug in result.bugs:
+            print(f"  [{bug.component}] {bug.title} "
+                  f"(first at {bug.first_clock / 3600:.1f}h)")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 1 if failed else 0
+
+
 def _cmd_hunt(args) -> int:
+    if args.jobs > 1:
+        return _hunt_fleet(args)
     total = []
     for profile in DEVICE_PROFILES:
         for seed in range(args.seeds):
             device = AndroidDevice(profile)
             telemetry = _make_telemetry(args.telemetry,
-                                        f"{profile.ident}-s{seed}")
+                                        f"{profile.ident}-s{seed}",
+                                        max_trace_bytes=_trace_bytes(args))
             engine = make_engine("droidfuzz", device, seed=seed,
                                  campaign_hours=args.hours,
                                  telemetry=telemetry)
@@ -119,24 +191,136 @@ def _cmd_hunt(args) -> int:
     return 0
 
 
+def _hunt_fleet(args) -> int:
+    """``hunt --jobs N``: the profile×seed grid on a worker pool."""
+    specs = []
+    for profile in DEVICE_PROFILES:
+        for seed in range(args.seeds):
+            specs.append(CampaignJob(
+                key=f"{profile.ident}-s{seed}", index=len(specs),
+                profile=profile,
+                config=config_for("droidfuzz", seed=seed,
+                                  campaign_hours=args.hours),
+                telemetry_dir=args.telemetry or None,
+                max_trace_bytes=_trace_bytes(args)))
+    scheduler = FleetScheduler(jobs=args.jobs, progress=_fleet_progress)
+    outcomes = scheduler.run(specs)
+    total = []
+    failed = 0
+    for outcome in outcomes:  # submission order, as the inline loop prints
+        if not outcome.ok:
+            failed += 1
+            continue
+        result = outcome.result
+        ident, _, seed = outcome.key.rpartition("-s")
+        print(f"{ident} seed {seed}: cov {result.kernel_coverage}, "
+              f"{len(result.bugs)} bug(s)", flush=True)
+        total.extend((ident, b.title, b.component) for b in result.bugs)
+    unique = sorted(set(total))
+    rows = [[i, ident, title, comp]
+            for i, (ident, title, comp) in enumerate(unique, 1)]
+    print(render_table(["No", "Device", "Bug", "Component"], rows,
+                       title=f"Hunt results ({len(unique)} unique bugs)"))
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 1 if failed else 0
+
+
+def _cmd_fleet(args) -> int:
+    """Parallel multi-device fleet through :class:`Daemon.run_fleet`."""
+    try:
+        profiles = [profile_by_id(ident) for ident in args.devices]
+    except KeyError as error:
+        print(error.args[0])
+        return 2
+    daemon = Daemon(config=config_for(args.tool, seed=args.seed,
+                                      campaign_hours=args.hours),
+                    telemetry_dir=args.telemetry or None,
+                    jobs=args.jobs, watchdog_seconds=args.watchdog,
+                    max_trace_bytes=_trace_bytes(args))
+    try:
+        daemon.run_fleet(profiles, progress=_fleet_progress)
+    except FleetJobError as error:
+        for key, reason in error.failures.items():
+            print(f"[--] {key} FAILED: {reason.strip().splitlines()[-1]}")
+    rows = [[key, result.kernel_coverage, result.executions,
+             result.reboots, len(result.bugs)]
+            for key, result in sorted(daemon.results.items())]
+    print(render_table(["Campaign", "Coverage", "Execs", "Reboots", "Bugs"],
+                       rows, title="Fleet results"))
+    bugs = daemon.all_bugs()
+    if bugs:
+        bug_rows = [[i, b.device, b.title, b.component]
+                    for i, b in enumerate(bugs, 1)]
+        print(render_table(["No", "Device", "Bug", "Component"], bug_rows,
+                           title=f"{len(bugs)} unique bug(s)"))
+    if daemon.fleet_stats:
+        print(render_fleet_summary(daemon.fleet_stats))
+    if daemon.rollups:
+        rollup = daemon.fleet_rollup()
+        print(f"fleet rollup: {rollup.get('campaigns', 0)} campaign(s), "
+              f"{rollup.get('executions', 0)} executions, "
+              f"{rollup.get('kernel_coverage', 0)} coverage, "
+              f"{rollup.get('bugs', 0)} bug(s), "
+              f"{rollup.get('mean_execs_per_sec', 0.0):.2f} exec/s mean")
+    if args.telemetry:
+        print(f"telemetry written to {args.telemetry}")
+    return 1 if len(daemon.results) < len(profiles) else 0
+
+
+def _compare_fleet(args):
+    """``compare --jobs N``: one worker per tool; None on any failure."""
+    profile = profile_by_id(args.device)
+    specs = [CampaignJob(
+        key=tool, index=index, profile=profile,
+        config=config_for(tool, seed=args.seed, campaign_hours=args.hours),
+        telemetry_dir=args.telemetry or None,
+        max_trace_bytes=_trace_bytes(args))
+        for index, tool in enumerate(args.tools)]
+    outcomes = FleetScheduler(jobs=args.jobs,
+                              progress=_fleet_progress).run(specs)
+    bad = [outcome for outcome in outcomes if not outcome.ok]
+    if bad:
+        for outcome in bad:
+            reason = (outcome.error or "?").strip().splitlines()[-1]
+            print(f"[--] {outcome.key} FAILED: {reason}")
+        return None
+    return outcomes
+
+
 def _cmd_compare(args) -> int:
     series = {}
     rows = []
-    for tool in args.tools:
-        device = AndroidDevice(profile_by_id(args.device))
-        telemetry = _make_telemetry(args.telemetry, tool)
-        engine = make_engine(tool, device, seed=args.seed,
-                             campaign_hours=args.hours, telemetry=telemetry)
-        result = engine.run()
-        rollup = (engine.telemetry.rollup()
-                  if telemetry is not None else None)
-        if telemetry is not None:
-            telemetry.close()
-        series[tool] = [(t, float(c)) for t, c in result.timeline]
-        row = [tool, result.kernel_coverage, len(result.bugs)]
-        if rollup is not None:
-            row.append(f"{rollup.get('mean_execs_per_sec', 0.0):.2f}")
-        rows.append(row)
+    if args.jobs > 1:
+        outcomes = _compare_fleet(args)
+        if outcomes is None:
+            return 1
+        for outcome in outcomes:
+            result = outcome.result
+            series[outcome.key] = [(t, float(c))
+                                   for t, c in result.timeline]
+            row = [outcome.key, result.kernel_coverage, len(result.bugs)]
+            if args.telemetry:
+                row.append(f"{outcome.rollup.get('mean_execs_per_sec', 0.0):.2f}")
+            rows.append(row)
+    else:
+        for tool in args.tools:
+            device = AndroidDevice(profile_by_id(args.device))
+            telemetry = _make_telemetry(args.telemetry, tool,
+                                        max_trace_bytes=_trace_bytes(args))
+            engine = make_engine(tool, device, seed=args.seed,
+                                 campaign_hours=args.hours,
+                                 telemetry=telemetry)
+            result = engine.run()
+            rollup = (engine.telemetry.rollup()
+                      if telemetry is not None else None)
+            if telemetry is not None:
+                telemetry.close()
+            series[tool] = [(t, float(c)) for t, c in result.timeline]
+            row = [tool, result.kernel_coverage, len(result.bugs)]
+            if rollup is not None:
+                row.append(f"{rollup.get('mean_execs_per_sec', 0.0):.2f}")
+            rows.append(row)
     print(ascii_chart(series,
                       title=f"Coverage on {args.device}, "
                             f"{args.hours:g} virtual hours"))
@@ -150,8 +334,13 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_stats(args) -> int:
+    fleet = load_fleet_summary(args.trace_dir)
+    if fleet is not None:
+        print(render_fleet_summary(fleet))
     directories = find_trace_dirs(args.trace_dir)
     if not directories:
+        if fleet is not None:
+            return 0
         print(f"no telemetry found under {args.trace_dir}")
         return 1
     for directory in directories:
@@ -172,10 +361,20 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--no-links", action="store_true")
     probe.set_defaults(func=_cmd_probe)
 
+    def _pool_args(command, jobs_help: str) -> None:
+        command.add_argument("--jobs", type=int, default=1,
+                             help=jobs_help)
+        command.add_argument("--trace-max-mb", type=float, default=0.0,
+                             metavar="MB",
+                             help="rotate trace.jsonl past this size "
+                                  "(0: unbounded)")
+
     fuzz = sub.add_parser("fuzz")
     fuzz.add_argument("device")
     fuzz.add_argument("--tool", choices=TOOLS, default="droidfuzz")
     fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--seeds", type=int, default=1,
+                      help="campaigns to run, seeded --seed, --seed+1, …")
     fuzz.add_argument("--hours", type=float, default=24.0)
     fuzz.add_argument("--repro", action="store_true",
                       help="print bug reproducers")
@@ -183,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist corpus/relations/bugs here")
     fuzz.add_argument("--telemetry", default="", metavar="DIR",
                       help="record JSONL trace + snapshots + metrics here")
+    _pool_args(fuzz, "worker pool width for --seeds > 1")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     hunt = sub.add_parser("hunt")
@@ -190,7 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--seeds", type=int, default=1)
     hunt.add_argument("--telemetry", default="", metavar="DIR",
                       help="record per-campaign telemetry under DIR")
+    _pool_args(hunt, "worker pool width for the profile×seed grid")
     hunt.set_defaults(func=_cmd_hunt)
+
+    fleet = sub.add_parser(
+        "fleet", help="parallel multi-device fleet via the daemon")
+    fleet.add_argument("--devices", nargs="+", metavar="ID",
+                       default=[p.ident for p in DEVICE_PROFILES])
+    fleet.add_argument("--tool", choices=TOOLS, default="droidfuzz")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--hours", type=float, default=24.0)
+    fleet.add_argument("--watchdog", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="kill+requeue a worker silent this long")
+    fleet.add_argument("--telemetry", default="", metavar="DIR",
+                       help="record per-campaign telemetry under DIR")
+    _pool_args(fleet, "worker pool width (1: run inline)")
+    fleet.set_defaults(func=_cmd_fleet)
 
     compare = sub.add_parser("compare")
     compare.add_argument("device")
@@ -200,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--hours", type=float, default=12.0)
     compare.add_argument("--telemetry", default="", metavar="DIR",
                          help="record per-tool telemetry under DIR")
+    _pool_args(compare, "worker pool width (one worker per tool)")
     compare.set_defaults(func=_cmd_compare)
 
     stats = sub.add_parser("stats")

@@ -5,19 +5,31 @@ per device, runs their campaigns, and maintains the persistent campaign
 artifacts — aggregated bug ledger, coverage statistics, the per-device
 relation tables, and (when a telemetry directory is configured) one
 recorded trace per campaign plus a fleet-wide throughput rollup.
+
+Fleet runs dispatch through :class:`repro.fleet.FleetScheduler`: with
+``jobs > 1`` campaigns shard across a worker pool (the paper's seven
+devices run concurrently), while ``jobs=1`` executes inline through the
+same code path.  Campaigns are seed-deterministic and independent per
+device, so the merged ``results``/``rollups`` are identical either way;
+result keys are reserved at submit time, which keeps naming race-free
+no matter in which order workers finish.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.bugs import BugReport
 from repro.core.config import FuzzerConfig
 from repro.core.engine import CampaignResult, FuzzingEngine
 from repro.device.device import AndroidDevice, DeviceCosts
 from repro.device.profiles import DeviceProfile
+from repro.fleet.jobs import CampaignJob, FleetJobError
+from repro.fleet.scheduler import FLEET_FILE, FleetScheduler
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import CampaignMonitor
 from repro.obs.telemetry import Telemetry
 
@@ -34,18 +46,45 @@ class Daemon:
     telemetry_dir: str | pathlib.Path | None = None
     #: Per-campaign monitor rollups, keyed like :attr:`results`.
     rollups: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Worker pool width for :meth:`run_fleet` (1: inline execution).
+    jobs: int = 1
+    #: Real seconds without a worker heartbeat before the watchdog
+    #: kills and requeues the job.
+    watchdog_seconds: float = 300.0
+    #: Re-executions allowed per job after its first attempt.
+    max_retries: int = 2
+    #: Size-based trace rotation threshold handed to each campaign's
+    #: telemetry (None: unbounded ``trace.jsonl``).
+    max_trace_bytes: int | None = None
+    #: Fleet-level scheduler metrics (jobs queued/retried/failed,
+    #: per-worker exec/s, wall vs virtual seconds).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Scheduler summary of the last :meth:`run_fleet` call.
+    fleet_stats: dict[str, Any] = field(default_factory=dict)
+    #: Keys handed out but possibly not yet completed (reserved at
+    #: submit time so concurrent dispatch cannot collide).
+    _reserved: set[str] = field(default_factory=set, repr=False)
 
     def _campaign_key(self, profile: DeviceProfile,
                       config: FuzzerConfig) -> str:
-        """A unique result key: ``ident#seed``, suffixed with a run
-        ordinal when the same profile+seed is re-run."""
+        """Reserve and return a unique result key: ``ident#seed``,
+        suffixed with a run ordinal when the same profile+seed is
+        re-run.  Reservation happens here — at submit time — so keys
+        stay unique when jobs are dispatched concurrently and finish
+        out of order."""
         base = f"{profile.ident}#{config.seed}"
-        if base not in self.results:
-            return base
-        ordinal = 2
-        while f"{base}.r{ordinal}" in self.results:
-            ordinal += 1
-        return f"{base}.r{ordinal}"
+
+        def taken(candidate: str) -> bool:
+            return candidate in self.results or candidate in self._reserved
+
+        key = base
+        if taken(key):
+            ordinal = 2
+            while taken(f"{base}.r{ordinal}"):
+                ordinal += 1
+            key = f"{base}.r{ordinal}"
+        self._reserved.add(key)
+        return key
 
     def run_device(self, profile: DeviceProfile,
                    seed: int | None = None) -> CampaignResult:
@@ -58,7 +97,8 @@ class Daemon:
         if self.telemetry_dir is not None:
             telemetry = Telemetry(
                 directory=pathlib.Path(self.telemetry_dir) / key,
-                interval=config.sample_interval)
+                interval=config.sample_interval,
+                max_trace_bytes=self.max_trace_bytes)
         device = AndroidDevice(profile, costs=self.costs)
         engine = FuzzingEngine(device, config, telemetry=telemetry)
         result = engine.run()
@@ -68,10 +108,60 @@ class Daemon:
         self.results[key] = result
         return result
 
+    # ------------------------------------------------------------------
+    # fleet orchestration
+    # ------------------------------------------------------------------
+
+    def _job_specs(self, profiles: list[DeviceProfile],
+                   seed: int | None) -> list[CampaignJob]:
+        """Reserve keys and build picklable job specs, in fleet order."""
+        config = self.config
+        if seed is not None:
+            config = config.variant(seed=seed)
+        telemetry_dir = (str(self.telemetry_dir)
+                         if self.telemetry_dir is not None else None)
+        return [CampaignJob(key=self._campaign_key(profile, config),
+                            index=index, profile=profile, config=config,
+                            costs=self.costs, telemetry_dir=telemetry_dir,
+                            max_trace_bytes=self.max_trace_bytes)
+                for index, profile in enumerate(profiles)]
+
     def run_fleet(self, profiles: list[DeviceProfile],
-                  seed: int | None = None) -> list[CampaignResult]:
-        """One campaign per device profile (the paper's 7-device run)."""
-        return [self.run_device(profile, seed=seed) for profile in profiles]
+                  seed: int | None = None, jobs: int | None = None,
+                  progress: Callable[[dict[str, Any]], None] | None = None,
+                  ) -> list[CampaignResult]:
+        """One campaign per device profile (the paper's 7-device run).
+
+        With ``jobs > 1`` the campaigns shard across a worker pool;
+        results, rollups and aggregates are merged in submission order
+        and are identical to a sequential run.  Jobs whose retries are
+        exhausted raise :class:`FleetJobError` *after* every other
+        campaign's result has been merged.
+        """
+        width = self.jobs if jobs is None else jobs
+        specs = self._job_specs(profiles, seed)
+        scheduler = FleetScheduler(
+            jobs=width, watchdog_seconds=self.watchdog_seconds,
+            max_retries=self.max_retries, metrics=self.metrics,
+            progress=progress)
+        outcomes = scheduler.run(specs)
+        failures: dict[str, str] = {}
+        for outcome in outcomes:  # already in submission order
+            if not outcome.ok:
+                failures[outcome.key] = outcome.error or "unknown failure"
+                continue
+            self.results[outcome.key] = outcome.result
+            if outcome.rollup:
+                self.rollups[outcome.key] = outcome.rollup
+        self.fleet_stats = scheduler.last_summary
+        if self.telemetry_dir is not None:
+            root = pathlib.Path(self.telemetry_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            (root / FLEET_FILE).write_text(
+                json.dumps(self.fleet_stats, indent=1, sort_keys=True))
+        if failures:
+            raise FleetJobError(failures)
+        return [outcome.result for outcome in outcomes]
 
     # ------------------------------------------------------------------
     # aggregation

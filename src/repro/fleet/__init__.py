@@ -1,0 +1,16 @@
+"""Parallel fleet orchestration (paper §IV-A's concurrent 7-device run).
+
+* :mod:`repro.fleet.jobs` — picklable :class:`CampaignJob` specs,
+  :class:`CampaignOutcome` results, :class:`FleetJobError`.
+* :mod:`repro.fleet.worker` — the pool-process campaign runner shared
+  with the inline fallback path.
+* :mod:`repro.fleet.scheduler` — :class:`FleetScheduler`: worker pool,
+  heartbeat watchdog with bounded retries, deterministic result merge.
+"""
+
+from repro.fleet.jobs import CampaignJob, CampaignOutcome, FleetJobError
+from repro.fleet.scheduler import FLEET_FILE, FleetScheduler
+from repro.fleet.worker import build_engine, execute_job
+
+__all__ = ["CampaignJob", "CampaignOutcome", "FleetJobError",
+           "FleetScheduler", "FLEET_FILE", "build_engine", "execute_job"]

@@ -1,0 +1,89 @@
+"""Picklable fleet job specifications and outcomes.
+
+A :class:`CampaignJob` is everything a worker process needs to rebuild
+one campaign from scratch — the device profile, the fuzzer
+configuration, the cost model, and the pre-reserved result key.  The
+worker constructs its own :class:`~repro.device.device.AndroidDevice`
+and engine from the spec, runs the campaign, and ships back a
+:class:`CampaignOutcome` carrying the result, the telemetry rollup and
+bookkeeping (worker slot, attempts, real wall time).
+
+Both shapes cross a ``multiprocessing`` boundary, so they hold only
+plain data: dataclasses, dicts, strings.  Keys are reserved by the
+submitter *before* dispatch, which makes result naming race-free no
+matter in which order campaigns finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import CampaignResult
+from repro.device.device import DeviceCosts
+from repro.device.profiles import DeviceProfile
+from repro.errors import ReproError
+
+
+class FleetJobError(ReproError):
+    """One or more fleet jobs exhausted their retries.
+
+    The scheduler keeps every other campaign's outcome; this error
+    carries the per-key failure reasons for the jobs that did not make
+    it.
+    """
+
+    def __init__(self, failures: dict[str, str]) -> None:
+        self.failures = dict(failures)
+        keys = ", ".join(sorted(self.failures))
+        super().__init__(
+            f"{len(self.failures)} fleet job(s) failed after retries: "
+            f"{keys}")
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One schedulable campaign: a picklable engine construction spec."""
+
+    #: Pre-reserved result key (``ident#seed`` with optional ``.rN``).
+    key: str
+    #: Submission ordinal; the reducer merges outcomes in this order.
+    index: int
+    profile: DeviceProfile
+    config: FuzzerConfig
+    costs: DeviceCosts = field(default_factory=DeviceCosts)
+    #: Fleet telemetry root; the worker records under ``<dir>/<key>/``.
+    telemetry_dir: str | None = None
+    #: Size-based ``trace.jsonl`` rotation threshold (None: unbounded).
+    max_trace_bytes: int | None = None
+    #: Test-only fault-injection hook, ``"module.path:callable"``;
+    #: resolved and invoked with the job inside the worker before the
+    #: campaign starts (and before heartbeats, so a hanging hook looks
+    #: like a wedged worker to the watchdog).
+    hook: str | None = None
+    #: Opaque argument for the hook (e.g. a sentinel-file path).
+    hook_arg: str = ""
+
+
+@dataclass
+class CampaignOutcome:
+    """What one job produced, in picklable form."""
+
+    key: str
+    index: int
+    result: CampaignResult | None = None
+    #: Telemetry monitor rollup ({} when telemetry was off).
+    rollup: dict[str, Any] = field(default_factory=dict)
+    #: Worker slot that ran the final attempt (0: inline).
+    worker_id: int = 0
+    #: Execution attempts consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: Real seconds the successful attempt spent in the worker.
+    wall_seconds: float = 0.0
+    #: Failure reason after retry exhaustion (result is None then).
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None

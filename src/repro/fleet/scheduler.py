@@ -1,0 +1,387 @@
+"""Fleet scheduler: worker pool, watchdog supervisor, deterministic reduce.
+
+The paper's evaluation drives seven physical devices *concurrently*
+from one host daemon; this module is that orchestration for the virtual
+fleet.  A :class:`FleetScheduler` shards :class:`CampaignJob` specs
+across ``multiprocessing`` workers, supervises them with per-job
+heartbeats and a configurable watchdog (hung or crashed workers are
+killed and requeued with bounded, backed-off retries), and reduces the
+:class:`CampaignOutcome` stream back into submission order so the
+merged results are identical regardless of completion order.
+
+Degradation is graceful: ``jobs=1``, a single job, or a pool that
+cannot start all fall back to inline in-process execution through the
+*same* :func:`~repro.fleet.worker.execute_job` code path, so parallel
+and sequential runs produce byte-identical campaign artifacts (the
+campaigns themselves are seed-deterministic and independent).
+
+The ``fork`` start method is preferred when the platform offers it:
+forked workers inherit the parent's string-hash seed, which keeps any
+incidental set-iteration order identical across the pool.
+
+Each worker writes to its *own* result queue.  A queue with a single
+writer never takes the contended ``_wlock`` path in its feeder thread;
+with one queue shared across forked writers that path was observed to
+deadlock (feeders parked in ``wacquire()`` with no live holder) on
+some kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.fleet.jobs import CampaignJob, CampaignOutcome
+from repro.fleet.worker import execute_job, resolve_hook, worker_main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FLEET_FILE
+
+__all__ = ["FleetScheduler", "FLEET_FILE"]
+
+#: Seconds a worker may be observed dead before it is declared crashed
+#: (grace for its final queue message to arrive).
+_DEAD_GRACE = 1.0
+
+
+@dataclass
+class _Pending:
+    job: CampaignJob
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+@dataclass
+class _Running:
+    job: CampaignJob
+    process: Any
+    #: This worker's private message queue (single writer — see the
+    #: module docstring for why queues are never shared).
+    channel: Any
+    worker_id: int
+    attempt: int
+    last_seen: float
+    dead_since: float | None = None
+
+
+@dataclass
+class FleetScheduler:
+    """Parallel campaign orchestrator with watchdog supervision.
+
+    Args:
+        jobs: worker pool width; ``<=1`` executes inline.
+        watchdog_seconds: real seconds without a heartbeat before a
+            worker is declared hung, killed, and its job requeued.
+        heartbeat_seconds: worker heartbeat period (real seconds).
+        max_retries: re-executions allowed per job after its first try.
+        retry_backoff: base real-seconds delay before attempt ``n``
+            requeues (scaled by the attempt number).
+        metrics: optional registry receiving ``fleet.*`` metrics.
+        progress: optional callable receiving lifecycle event dicts
+            (``kind`` in start/hb/done/retry/fail) as they happen.
+    """
+
+    jobs: int = 1
+    watchdog_seconds: float = 300.0
+    heartbeat_seconds: float = 2.0
+    max_retries: int = 2
+    retry_backoff: float = 0.5
+    metrics: MetricsRegistry | None = None
+    progress: Callable[[dict[str, Any]], None] | None = None
+    #: Summary of the last :meth:`run` (wall time, retries, per-worker).
+    last_summary: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def run(self, job_list: list[CampaignJob]) -> list[CampaignOutcome]:
+        """Execute every job; outcomes return in submission order.
+
+        Failed jobs (retries exhausted) come back with ``error`` set and
+        ``result`` None — the other campaigns' outcomes are never lost.
+        """
+        started = time.perf_counter()
+        self._counts = {"queued": len(job_list), "completed": 0,
+                        "retried": 0, "failed": 0}
+        self._count("fleet.jobs.queued", len(job_list))
+        width = max(int(self.jobs), 1)
+        if width <= 1 or len(job_list) <= 1:
+            outcomes = self._run_inline(job_list)
+        else:
+            outcomes = self._run_pool(job_list, width)
+        outcomes.sort(key=lambda outcome: outcome.index)
+        wall = time.perf_counter() - started
+        self.last_summary = self._summarize(outcomes, wall, width)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # inline path (jobs=1 and pool fallback)
+    # ------------------------------------------------------------------
+
+    def _run_inline(self,
+                    job_list: list[CampaignJob]) -> list[CampaignOutcome]:
+        outcomes = []
+        for pending in job_list:
+            outcomes.append(self._execute_inline(pending))
+        return outcomes
+
+    def _execute_inline(self, job: CampaignJob) -> CampaignOutcome:
+        attempt = 1
+        while True:
+            self._emit({"kind": "start", "key": job.key, "worker": 0,
+                        "attempt": attempt})
+            try:
+                if job.hook:
+                    resolve_hook(job.hook)(job)
+                outcome = execute_job(job)
+            except Exception:
+                reason = traceback.format_exc()
+                if attempt > self.max_retries:
+                    return self._fail(job, attempt, reason)
+                self._retry(job, attempt, reason)
+                time.sleep(min(self.retry_backoff * attempt, 30.0))
+                attempt += 1
+                continue
+            outcome.worker_id = 0
+            outcome.attempts = attempt
+            self._complete(outcome)
+            return outcome
+
+    # ------------------------------------------------------------------
+    # pool path
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _context():
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+
+    def _run_pool(self, job_list: list[CampaignJob],
+                  width: int) -> list[CampaignOutcome]:
+        try:
+            ctx = self._context()
+        except (OSError, ValueError):
+            return self._run_inline(job_list)
+        pending: list[_Pending] = [_Pending(job) for job in job_list]
+        running: dict[str, _Running] = {}
+        done: dict[int, CampaignOutcome] = {}
+        free_slots = list(range(1, width + 1))
+        heapq.heapify(free_slots)
+        pool_ok = True
+
+        while pending or running:
+            now = time.monotonic()
+            if pool_ok:
+                pool_ok = self._launch_ready(ctx, pending, running,
+                                             free_slots, now)
+            elif not running:
+                # Pool is broken and drained: degrade to inline.
+                for entry in pending:
+                    outcome = self._execute_inline(entry.job)
+                    done[outcome.index] = outcome
+                pending.clear()
+                break
+            self._drain(running, pending, done, free_slots)
+            self._patrol(running, pending, done, free_slots)
+            self._gauge("fleet.jobs.running", len(running))
+            if pending or running:
+                time.sleep(0.02)
+        return [done[index] for index in sorted(done)]
+
+    def _launch_ready(self, ctx, pending: list[_Pending],
+                      running: dict[str, _Running], free_slots: list[int],
+                      now: float) -> bool:
+        """Start every ready pending job a slot exists for.
+
+        Returns False when the platform refuses to start a process —
+        the caller then degrades the remaining jobs to inline runs.
+        """
+        while pending and free_slots:
+            ready = next((entry for entry in pending
+                          if entry.not_before <= now), None)
+            if ready is None:
+                return True
+            worker_id = heapq.heappop(free_slots)
+            try:
+                channel = ctx.Queue()
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(worker_id, ready.job, channel,
+                          self.heartbeat_seconds),
+                    daemon=True)
+                process.start()
+            except OSError:
+                heapq.heappush(free_slots, worker_id)
+                return False
+            pending.remove(ready)
+            running[ready.job.key] = _Running(
+                job=ready.job, process=process, channel=channel,
+                worker_id=worker_id, attempt=ready.attempt,
+                last_seen=time.monotonic())
+        return True
+
+    def _drain(self, running: dict[str, _Running],
+               pending: list[_Pending], done: dict[int, CampaignOutcome],
+               free_slots: list[int]) -> None:
+        """Consume every queued message from every running worker."""
+        for run in list(running.values()):
+            while run.job.key in running:
+                try:
+                    message = run.channel.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    break
+                run.last_seen = time.monotonic()
+                run.dead_since = None
+                if message.kind in ("start", "hb"):
+                    self._emit({"kind": message.kind, "key": message.key,
+                                "attempt": run.attempt, **message.data})
+                elif message.kind == "done":
+                    outcome: CampaignOutcome = message.data["outcome"]
+                    self._retire(run, running, free_slots)
+                    if outcome.index not in done:
+                        outcome.attempts = run.attempt
+                        done[outcome.index] = outcome
+                        self._complete(outcome)
+                elif message.kind == "error":
+                    self._retire(run, running, free_slots)
+                    self._requeue_or_fail(run,
+                                          message.data.get("error", "?"),
+                                          pending, done)
+
+    def _patrol(self, running: dict[str, _Running], pending: list[_Pending],
+                done: dict[int, CampaignOutcome],
+                free_slots: list[int]) -> None:
+        """Watchdog sweep: kill hung workers, reap silent deaths."""
+        now = time.monotonic()
+        for run in list(running.values()):
+            if now - run.last_seen > self.watchdog_seconds:
+                self._retire(run, running, free_slots)
+                self._requeue_or_fail(
+                    run, f"watchdog: no heartbeat for "
+                         f"{self.watchdog_seconds:g}s", pending, done)
+            elif not run.process.is_alive():
+                if run.dead_since is None:
+                    run.dead_since = now
+                elif now - run.dead_since > _DEAD_GRACE:
+                    self._retire(run, running, free_slots)
+                    self._requeue_or_fail(
+                        run, f"worker exited (code "
+                             f"{run.process.exitcode})", pending, done)
+
+    def _retire(self, run: _Running, running: dict[str, _Running],
+                free_slots: list[int]) -> None:
+        """Remove a job from the running table and reclaim its slot."""
+        process = run.process
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        else:
+            process.join(timeout=0.5)
+        run.channel.close()
+        running.pop(run.job.key, None)
+        heapq.heappush(free_slots, run.worker_id)
+
+    def _requeue_or_fail(self, run: _Running, reason: str,
+                         pending: list[_Pending],
+                         done: dict[int, CampaignOutcome]) -> None:
+        if run.attempt <= self.max_retries:
+            self._retry(run.job, run.attempt, reason)
+            pending.append(_Pending(
+                job=run.job, attempt=run.attempt + 1,
+                not_before=time.monotonic()
+                + min(self.retry_backoff * run.attempt, 30.0)))
+            return
+        done[run.job.index] = self._fail(run.job, run.attempt, reason)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def _complete(self, outcome: CampaignOutcome) -> None:
+        self._counts["completed"] += 1
+        self._count("fleet.jobs.completed")
+        if outcome.wall_seconds > 0 and outcome.result is not None:
+            self._gauge(
+                f"fleet.worker.{outcome.worker_id}.execs_per_sec",
+                outcome.result.executions / outcome.wall_seconds)
+        summary = {}
+        if outcome.result is not None:
+            summary = {"coverage": outcome.result.kernel_coverage,
+                       "executions": outcome.result.executions,
+                       "bugs": len(outcome.result.bugs)}
+        self._emit({"kind": "done", "key": outcome.key,
+                    "worker": outcome.worker_id,
+                    "attempt": outcome.attempts, **summary})
+
+    def _retry(self, job: CampaignJob, attempt: int, reason: str) -> None:
+        self._counts["retried"] += 1
+        self._count("fleet.jobs.retried")
+        self._emit({"kind": "retry", "key": job.key, "attempt": attempt,
+                    "reason": reason.strip().splitlines()[-1]})
+
+    def _fail(self, job: CampaignJob, attempts: int,
+              reason: str) -> CampaignOutcome:
+        self._counts["failed"] += 1
+        self._count("fleet.jobs.failed")
+        self._emit({"kind": "fail", "key": job.key, "attempt": attempts,
+                    "reason": reason.strip().splitlines()[-1]})
+        return CampaignOutcome(key=job.key, index=job.index, result=None,
+                               attempts=attempts, error=reason)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+
+    def _emit(self, event: dict[str, Any]) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    def _summarize(self, outcomes: list[CampaignOutcome], wall: float,
+                   width: int) -> dict[str, Any]:
+        """The fleet rollup ``repro stats`` renders parallel efficiency
+        from: real wall-clock vs per-worker busy time vs the campaigns'
+        summed virtual time."""
+        good = [outcome for outcome in outcomes if outcome.ok]
+        worker_wall = sum(outcome.wall_seconds for outcome in good)
+        virtual = sum(outcome.result.duration_hours * 3600.0
+                      for outcome in good)
+        per_worker: dict[str, dict[str, Any]] = {}
+        for outcome in good:
+            slot = per_worker.setdefault(
+                str(outcome.worker_id),
+                {"jobs": 0, "executions": 0, "wall_seconds": 0.0})
+            slot["jobs"] += 1
+            slot["executions"] += outcome.result.executions
+            slot["wall_seconds"] += outcome.wall_seconds
+        for slot in per_worker.values():
+            slot["execs_per_sec"] = (
+                slot["executions"] / slot["wall_seconds"]
+                if slot["wall_seconds"] > 0 else 0.0)
+        speedup = worker_wall / wall if wall > 0 else 0.0
+        summary = {
+            "jobs": self._counts["queued"],
+            "workers": width,
+            "completed": self._counts["completed"],
+            "retried": self._counts["retried"],
+            "failed": self._counts["failed"],
+            "wall_seconds": wall,
+            "worker_wall_seconds": worker_wall,
+            "virtual_seconds": virtual,
+            "speedup": speedup,
+            "efficiency": speedup / width if width > 0 else 0.0,
+            "per_worker": dict(sorted(per_worker.items())),
+        }
+        self._gauge("fleet.wall_seconds", wall)
+        self._gauge("fleet.virtual_seconds", virtual)
+        return summary

@@ -1,0 +1,149 @@
+"""Fleet worker: campaign execution inside a pool process.
+
+:func:`execute_job` is the single campaign runner shared by the inline
+path (``jobs=1`` / pool fallback) and the worker processes, so both
+execution modes are the *same code* and stay byte-identical.
+
+:func:`worker_main` is the process entry point: it reports lifecycle
+messages (``start`` / ``hb`` / ``done`` / ``error``) on the shared
+result queue.  Heartbeats come from a daemon thread started *after* the
+test-only fault hook runs, so a hook that hangs produces a worker that
+goes silent after ``start`` — exactly what the supervisor's watchdog is
+there to catch.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice
+from repro.fleet.jobs import CampaignJob, CampaignOutcome
+from repro.obs.telemetry import Telemetry
+
+
+@dataclass
+class WorkerMessage:
+    """One supervisor-bound message from a worker process."""
+
+    kind: str  # start | hb | done | error
+    key: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+def build_engine(device: AndroidDevice, config: FuzzerConfig,
+                 telemetry: Telemetry | None = None):
+    """Engine for one campaign, dispatched on the configured tool name.
+
+    Mirrors :func:`repro.baselines.make_engine` but takes a finished
+    config, so daemon-customized configurations survive the trip
+    through a job spec unchanged.
+    """
+    # Imported here: baselines pull in the full engine stack, which the
+    # parent may not need when it only schedules.
+    if config.name == "syzkaller":
+        from repro.baselines.syzkaller import SyzkallerEngine
+        return SyzkallerEngine(device, config, telemetry=telemetry)
+    if config.name == "difuze":
+        from repro.baselines.difuze import DifuzeEngine
+        return DifuzeEngine(device, config, telemetry=telemetry)
+    return FuzzingEngine(device, config, telemetry=telemetry)
+
+
+def resolve_hook(spec: str) -> Callable[[CampaignJob], None]:
+    """Import a ``"module.path:callable"`` fault-injection hook."""
+    module_name, _, attr = spec.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"malformed hook spec: {spec!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def execute_job(job: CampaignJob,
+                holder: dict[str, Any] | None = None) -> CampaignOutcome:
+    """Run one campaign from its spec; shared by inline and pool paths.
+
+    Args:
+        job: the campaign spec.
+        holder: optional dict the live engine/device are published into
+            (``engine`` / ``device`` keys) so a heartbeat thread can
+            report progress mid-campaign.
+    """
+    started = time.perf_counter()
+    telemetry = None
+    if job.telemetry_dir:
+        telemetry = Telemetry(
+            directory=pathlib.Path(job.telemetry_dir) / job.key,
+            interval=job.config.sample_interval,
+            max_trace_bytes=job.max_trace_bytes)
+    device = AndroidDevice(job.profile, costs=job.costs)
+    engine = build_engine(device, job.config, telemetry)
+    if holder is not None:
+        holder["device"] = device
+        holder["engine"] = engine
+    result = engine.run()
+    rollup: dict[str, Any] = {}
+    if telemetry is not None:
+        rollup = telemetry.rollup()
+        telemetry.close()
+    return CampaignOutcome(
+        key=job.key, index=job.index, result=result, rollup=rollup,
+        wall_seconds=time.perf_counter() - started)
+
+
+def _progress_of(holder: dict[str, Any]) -> dict[str, Any]:
+    """Best-effort live campaign stats for a heartbeat payload."""
+    engine = holder.get("engine")
+    device = holder.get("device")
+    payload: dict[str, Any] = {}
+    if engine is not None:
+        payload["executions"] = getattr(engine, "executions", 0)
+        coverage = getattr(engine, "coverage", None)
+        if coverage is not None and hasattr(coverage, "kernel_total"):
+            payload["coverage"] = coverage.kernel_total()
+    if device is not None:
+        payload["clock"] = device.clock
+    return payload
+
+
+def worker_main(worker_id: int, job: CampaignJob, queue,
+                heartbeat_seconds: float) -> None:
+    """Process entry point: run one job, report on the shared queue."""
+    try:
+        queue.put(WorkerMessage("start", job.key, {"worker": worker_id}))
+        # Fault hook runs before heartbeats start: a hanging hook makes
+        # this worker go silent, which is what the watchdog tests need.
+        if job.hook:
+            resolve_hook(job.hook)(job)
+        holder: dict[str, Any] = {}
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(heartbeat_seconds):
+                payload = {"worker": worker_id}
+                payload.update(_progress_of(holder))
+                try:
+                    queue.put(WorkerMessage("hb", job.key, payload))
+                except Exception:
+                    return  # queue torn down mid-shutdown
+
+        pulse = threading.Thread(target=beat, daemon=True)
+        pulse.start()
+        outcome = execute_job(job, holder)
+        stop.set()
+        outcome.worker_id = worker_id
+        queue.put(WorkerMessage("done", job.key,
+                                {"worker": worker_id, "outcome": outcome}))
+    except BaseException:
+        try:
+            queue.put(WorkerMessage(
+                "error", job.key,
+                {"worker": worker_id, "error": traceback.format_exc()}))
+        except Exception:
+            pass

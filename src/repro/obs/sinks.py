@@ -53,24 +53,56 @@ class JsonlSink:
 
     The file is truncated on first emit so a re-run into the same
     telemetry directory replaces the previous trace instead of silently
-    concatenating two campaigns.
+    concatenating two campaigns; stale rotated segments from the
+    previous run are removed at the same point.
+
+    Args:
+        path: destination file.
+        max_bytes: when set, rotate once the current segment reaches
+            this size: ``trace.jsonl`` is renamed to ``trace.1.jsonl``
+            (then ``.2``, …— ascending index = older) and a fresh file
+            begins.  Multi-day campaigns stay bounded per segment and
+            readers can replay segments in index order.
     """
 
     enabled = True
 
-    def __init__(self, path: str | pathlib.Path) -> None:
+    def __init__(self, path: str | pathlib.Path,
+                 max_bytes: int | None = None) -> None:
         self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
         self._handle: TextIO | None = None
         self._opened = False
+        self._bytes = 0
+        self._segments = 0
+
+    def _rotated_name(self, index: int) -> pathlib.Path:
+        return self.path.with_name(
+            f"{self.path.stem}.{index}{self.path.suffix}")
 
     def emit(self, record: dict[str, Any]) -> None:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            if not self._opened:
+                for stale in self.path.parent.glob(
+                        f"{self.path.stem}.*{self.path.suffix}"):
+                    stale.unlink(missing_ok=True)
             self._handle = self.path.open(
                 "a" if self._opened else "w", encoding="utf-8")
             self._opened = True
-        self._handle.write(json.dumps(record, sort_keys=True,
-                                      default=str) + "\n")
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        self._handle.write(line)
+        self._bytes += len(line)
+        if self.max_bytes is not None and self._bytes >= self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Close the full segment and shelve it under the next index."""
+        self._handle.close()
+        self._handle = None
+        self._segments += 1
+        self.path.rename(self._rotated_name(self._segments))
+        self._bytes = 0
 
     def close(self) -> None:
         if self._handle is not None:

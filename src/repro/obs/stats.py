@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.analysis.tables import render_table
-from repro.obs.telemetry import METRICS_FILE, SNAPSHOT_FILE, TRACE_FILE
+from repro.obs.telemetry import (
+    FLEET_FILE,
+    METRICS_FILE,
+    SNAPSHOT_FILE,
+    TRACE_FILE,
+)
 
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -91,11 +96,47 @@ def _read_jsonl(path: pathlib.Path) -> list[dict[str, Any]]:
     return records
 
 
+def trace_segments(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Trace files of one campaign in chronological order.
+
+    Size-based rotation shelves full segments as ``trace.1.jsonl``,
+    ``trace.2.jsonl``, … (ascending index = older), with the live tail
+    in ``trace.jsonl``; replay order is the rotated segments by index,
+    then the tail.
+    """
+    path = pathlib.Path(directory)
+    stem = pathlib.Path(TRACE_FILE).stem
+    suffix = pathlib.Path(TRACE_FILE).suffix
+    rotated = []
+    for candidate in path.glob(f"{stem}.*{suffix}"):
+        index = candidate.name[len(stem) + 1:-len(suffix)]
+        if index.isdigit():
+            rotated.append((int(index), candidate))
+    ordered = [segment for _, segment in sorted(rotated)]
+    tail = path / TRACE_FILE
+    if tail.exists():
+        ordered.append(tail)
+    return ordered
+
+
 def load_trace_dir(directory: str | pathlib.Path) -> TraceSummary:
     """Aggregate one telemetry directory into a :class:`TraceSummary`."""
     path = pathlib.Path(directory)
     summary = TraceSummary(directory=str(path))
-    for record in _read_jsonl(path / TRACE_FILE):
+    for segment in trace_segments(path):
+        _fold_trace(summary, segment)
+    summary.snapshots = _read_jsonl(path / SNAPSHOT_FILE)
+    metrics_file = path / METRICS_FILE
+    if metrics_file.exists():
+        try:
+            summary.metrics = json.loads(metrics_file.read_text())
+        except json.JSONDecodeError:
+            pass  # partial write from a killed campaign
+    return summary
+
+
+def _fold_trace(summary: TraceSummary, segment: pathlib.Path) -> None:
+    for record in _read_jsonl(segment):
         if record.get("type") == "span":
             stat = summary.phases.setdefault(record.get("phase", "?"),
                                              PhaseStat())
@@ -107,27 +148,70 @@ def load_trace_dir(directory: str | pathlib.Path) -> TraceSummary:
         elif record.get("type") == "event":
             kind = record.get("kind", "?")
             summary.events[kind] = summary.events.get(kind, 0) + 1
-    summary.snapshots = _read_jsonl(path / SNAPSHOT_FILE)
-    metrics_file = path / METRICS_FILE
-    if metrics_file.exists():
-        try:
-            summary.metrics = json.loads(metrics_file.read_text())
-        except json.JSONDecodeError:
-            pass  # partial write from a killed campaign
-    return summary
+
+
+def _holds_telemetry(path: pathlib.Path) -> bool:
+    names = (TRACE_FILE, SNAPSHOT_FILE, METRICS_FILE)
+    return (any((path / name).exists() for name in names)
+            or bool(trace_segments(path)))
 
 
 def find_trace_dirs(directory: str | pathlib.Path) -> list[pathlib.Path]:
     """Telemetry directories at ``directory`` or one level below it."""
     path = pathlib.Path(directory)
-    names = (TRACE_FILE, SNAPSHOT_FILE, METRICS_FILE)
-    if any((path / name).exists() for name in names):
+    if _holds_telemetry(path):
         return [path]
     if not path.is_dir():
         return []
     return sorted(child for child in path.iterdir()
-                  if child.is_dir()
-                  and any((child / name).exists() for name in names))
+                  if child.is_dir() and _holds_telemetry(child))
+
+
+def load_fleet_summary(
+        directory: str | pathlib.Path) -> dict[str, Any] | None:
+    """The scheduler's ``fleet.json`` at a fleet telemetry root."""
+    path = pathlib.Path(directory) / FLEET_FILE
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def render_fleet_summary(summary: dict[str, Any]) -> str:
+    """Terminal view of a fleet run: job counts, parallel efficiency."""
+    lines = ["# Fleet", ""]
+    lines.append(
+        f"{summary.get('jobs', 0)} job(s) on "
+        f"{summary.get('workers', 0)} worker(s): "
+        f"{summary.get('completed', 0)} completed, "
+        f"{summary.get('retried', 0)} retried, "
+        f"{summary.get('failed', 0)} failed")
+    wall = float(summary.get("wall_seconds", 0.0))
+    worker_wall = float(summary.get("worker_wall_seconds", 0.0))
+    virtual = float(summary.get("virtual_seconds", 0.0))
+    lines.append(
+        f"wall {wall:.2f}s, worker-wall {worker_wall:.2f}s, "
+        f"virtual {virtual:.0f}s "
+        f"({virtual / wall:.0f}x virtual/wall)" if wall > 0 else
+        f"wall {wall:.2f}s")
+    lines.append(
+        f"parallel speedup {summary.get('speedup', 0.0):.2f}x, "
+        f"efficiency {summary.get('efficiency', 0.0) * 100:.0f}%")
+    per_worker = summary.get("per_worker") or {}
+    if per_worker:
+        rows = [[f"w{worker}", stats.get("jobs", 0),
+                 stats.get("executions", 0),
+                 f"{stats.get('wall_seconds', 0.0):.2f}",
+                 f"{stats.get('execs_per_sec', 0.0):.1f}"]
+                for worker, stats in sorted(per_worker.items())]
+        lines.append("")
+        lines.append(render_table(
+            ["worker", "jobs", "execs", "wall s", "exec/s"], rows,
+            title="Per-worker throughput (real time)"))
+    lines.append("")
+    return "\n".join(lines)
 
 
 def sparkline(values: list[float], width: int = 48) -> str:

@@ -29,6 +29,9 @@ from repro.obs.trace import Tracer
 TRACE_FILE = "trace.jsonl"
 SNAPSHOT_FILE = "snapshots.jsonl"
 METRICS_FILE = "metrics.json"
+#: Fleet-level scheduler summary, at the *root* of a fleet telemetry
+#: directory (the per-campaign files above live one level below it).
+FLEET_FILE = "fleet.json"
 
 
 class Telemetry:
@@ -40,14 +43,19 @@ class Telemetry:
         snapshot_sink: explicit monitor sink (overrides ``directory``).
         interval: virtual seconds between monitor snapshots.
         echo: also print each snapshot to stdout (interactive runs).
+        max_trace_bytes: size-based ``trace.jsonl`` rotation threshold;
+            full segments shelve to ``trace.1.jsonl``, ``trace.2.jsonl``
+            … (None: one unbounded file).
     """
 
     def __init__(self, directory: str | pathlib.Path | None = None,
                  trace_sink=None, snapshot_sink=None,
-                 interval: float = 1800.0, echo: bool = False) -> None:
+                 interval: float = 1800.0, echo: bool = False,
+                 max_trace_bytes: int | None = None) -> None:
         self.directory = pathlib.Path(directory) if directory else None
         if trace_sink is None:
-            trace_sink = (JsonlSink(self.directory / TRACE_FILE)
+            trace_sink = (JsonlSink(self.directory / TRACE_FILE,
+                                    max_bytes=max_trace_bytes)
                           if self.directory else NullSink())
         if snapshot_sink is None:
             snapshot_sink = (JsonlSink(self.directory / SNAPSHOT_FILE)

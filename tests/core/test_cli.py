@@ -89,3 +89,63 @@ def test_telemetry_flag_does_not_change_results(tmp_path, capsys):
                  "--telemetry", str(tmp_path / "t")]) == 0
     observed = capsys.readouterr().out.splitlines()[0]
     assert observed == plain
+
+
+def test_fleet_command_inline(tmp_path, capsys):
+    telemetry_dir = tmp_path / "fleet"
+    assert main(["fleet", "--devices", "E", "--hours", "1",
+                 "--telemetry", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "[w0] E#0 start" in out
+    assert "Fleet results" in out
+    assert "parallel speedup" in out
+    assert (telemetry_dir / "fleet.json").exists()
+    assert (telemetry_dir / "E#0" / "trace.jsonl").exists()
+
+    assert main(["stats", str(telemetry_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "# Fleet" in out  # fleet.json rendered ahead of campaigns
+    assert "Virtual time by campaign phase" in out
+
+
+def test_fleet_command_parallel_workers(tmp_path, capsys):
+    assert main(["fleet", "--devices", "E", "B", "--hours", "1",
+                 "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "[w1] E#0 start" in out
+    assert "[w2] B#0 start" in out
+    assert "E#0" in out and "B#0" in out
+
+
+def test_fleet_command_unknown_device(capsys):
+    assert main(["fleet", "--devices", "Z9"]) == 2
+    assert "unknown device" in capsys.readouterr().out
+
+
+def test_fuzz_multi_seed_fleet(capsys):
+    assert main(["fuzz", "E", "--hours", "1", "--seeds", "2",
+                 "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "droidfuzz on E-s0: coverage" in out
+    assert "droidfuzz on E-s1: coverage" in out
+
+
+def test_fuzz_multi_seed_matches_single_runs(capsys):
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "1"]) == 0
+    single = capsys.readouterr().out.splitlines()[0]
+    single_tail = single.split(":", 1)[1]
+    assert main(["fuzz", "E", "--hours", "1", "--seeds", "2"]) == 0
+    fleet_out = capsys.readouterr().out
+    fleet_line = next(line for line in fleet_out.splitlines()
+                      if line.startswith("droidfuzz on E-s1:"))
+    assert fleet_line.split(":", 1)[1] == single_tail
+
+
+def test_trace_max_mb_rotates_trace(tmp_path, capsys):
+    telemetry_dir = tmp_path / "rot"
+    assert main(["fuzz", "E", "--hours", "2", "--telemetry",
+                 str(telemetry_dir), "--trace-max-mb", "0.001"]) == 0
+    capsys.readouterr()
+    assert (telemetry_dir / "trace.1.jsonl").exists()
+    assert main(["stats", str(telemetry_dir)]) == 0
+    assert "Virtual time by campaign phase" in capsys.readouterr().out

@@ -72,3 +72,34 @@ def test_original_not_modified():
     program = program_of(5)
     minimize(program, lambda c: True)
     assert len(program) == 5
+
+
+def test_group_bisection_strips_junk_suffix_cheaply():
+    # 15 junk calls behind one essential call: group drops should clear
+    # the suffix in far fewer predicate runs than one-at-a-time removal.
+    program = program_of(16)
+    executions = []
+
+    def interesting(candidate):
+        executions.append(1)
+        return any(c.desc == "call0" for c in candidate.calls)
+
+    out = minimize(program, interesting, max_executions=24)
+    assert [c.desc for c in out.calls] == ["call0"]
+    assert len(executions) < 15
+
+
+def test_early_exit_on_stable_single_call_pass():
+    # Every call is essential: after group drops fail, exactly one full
+    # chunk=1 pass must run before the minimizer gives up — it may not
+    # burn the whole budget re-confirming stability.
+    program = program_of(8)
+    executions = []
+
+    def interesting(candidate):
+        executions.append(1)
+        return len(candidate) == 8
+
+    out = minimize(program, interesting, max_executions=100)
+    assert len(out) == 8
+    assert len(executions) < 30

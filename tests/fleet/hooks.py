@@ -1,0 +1,39 @@
+"""Fault-injection hooks the fleet tests point worker jobs at.
+
+A :class:`~repro.fleet.jobs.CampaignJob` carries an optional
+``"module:callable"`` hook spec that the worker resolves and invokes
+before the campaign (and before its heartbeat thread starts).  These
+are the failure modes the scheduler must survive.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.fleet.jobs import CampaignJob
+
+
+def always_raise(job: CampaignJob) -> None:
+    """Every attempt blows up: retries must exhaust into a failure."""
+    raise RuntimeError(f"injected failure for {job.key}")
+
+
+def hang(job: CampaignJob) -> None:
+    """Wedge before the heartbeat thread starts: the worker goes
+    silent after ``start`` and only the watchdog can reclaim it."""
+    time.sleep(600.0)
+
+
+def fail_until_marker(job: CampaignJob) -> None:
+    """Fail the first attempt, succeed afterwards.
+
+    ``job.hook_arg`` names a marker file: absent means this is the
+    first attempt, so drop the marker and raise; present means a retry
+    is underway and the campaign may proceed.
+    """
+    marker = pathlib.Path(job.hook_arg)
+    if marker.exists():
+        return
+    marker.touch()
+    raise RuntimeError(f"first-attempt failure for {job.key}")

@@ -1,0 +1,218 @@
+"""Fleet scheduler tests: determinism, failure paths, supervision."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.device.profiles import profile_by_id
+from repro.fleet import (
+    CampaignJob,
+    FleetJobError,
+    FleetScheduler,
+    execute_job,
+)
+from repro.obs.metrics import MetricsRegistry
+
+HOOKS = "tests.fleet.hooks"
+
+
+def _jobs(fast_costs, idents=("A1", "A2", "B", "E"), hours=0.5,
+          telemetry_dir=None, **extra) -> list[CampaignJob]:
+    return [CampaignJob(key=f"{ident}#0", index=index,
+                        profile=profile_by_id(ident),
+                        config=FuzzerConfig(seed=0, campaign_hours=hours),
+                        costs=fast_costs, telemetry_dir=telemetry_dir,
+                        **extra)
+            for index, ident in enumerate(idents)]
+
+
+# ----------------------------------------------------------------------
+# determinism: parallel == sequential
+# ----------------------------------------------------------------------
+
+def test_parallel_outcomes_match_inline(fast_costs):
+    inline = FleetScheduler(jobs=1).run(_jobs(fast_costs))
+    pooled = FleetScheduler(jobs=4).run(_jobs(fast_costs))
+    assert [o.key for o in pooled] == [o.key for o in inline]
+    for left, right in zip(inline, pooled):
+        assert right.ok
+        assert right.result == left.result
+
+
+def test_parallel_traces_byte_identical(fast_costs, tmp_path):
+    seq_dir, par_dir = tmp_path / "seq", tmp_path / "par"
+    FleetScheduler(jobs=1).run(
+        _jobs(fast_costs, idents=("A1", "B"), telemetry_dir=str(seq_dir)))
+    FleetScheduler(jobs=2).run(
+        _jobs(fast_costs, idents=("A1", "B"), telemetry_dir=str(par_dir)))
+    for key in ("A1#0", "B#0"):
+        for name in ("trace.jsonl", "snapshots.jsonl", "metrics.json"):
+            seq_bytes = (seq_dir / key / name).read_bytes()
+            par_bytes = (par_dir / key / name).read_bytes()
+            assert seq_bytes == par_bytes, f"{key}/{name} diverged"
+
+
+def test_daemon_fleet_results_independent_of_jobs(fast_costs):
+    profiles = [profile_by_id(i) for i in ("A1", "A2", "B", "E")]
+    seq = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                 costs=fast_costs)
+    par = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                 costs=fast_costs)
+    seq.run_fleet(profiles, jobs=1)
+    par.run_fleet(profiles, jobs=4)
+    assert par.results == seq.results
+    assert par.all_bugs() == seq.all_bugs()
+    assert par.coverage_summary() == seq.coverage_summary()
+
+
+def test_daemon_key_reservation_with_duplicate_profiles(fast_costs):
+    profile = profile_by_id("E")
+    daemon = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                    costs=fast_costs)
+    daemon.run_fleet([profile, profile, profile], jobs=3)
+    assert sorted(daemon.results) == ["E#0", "E#0.r2", "E#0.r3"]
+    # Duplicate campaigns are identical runs, just under distinct keys.
+    assert daemon.results["E#0"] == daemon.results["E#0.r2"]
+
+
+def test_daemon_writes_fleet_summary(fast_costs, tmp_path):
+    daemon = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                    costs=fast_costs, telemetry_dir=tmp_path)
+    daemon.run_fleet([profile_by_id("A1"), profile_by_id("B")], jobs=2)
+    summary = json.loads((tmp_path / "fleet.json").read_text())
+    assert summary["jobs"] == 2
+    assert summary["completed"] == 2
+    assert summary["failed"] == 0
+    assert summary == daemon.fleet_stats
+    assert daemon.rollups["A1#0"]["snapshots"] > 0
+
+
+# ----------------------------------------------------------------------
+# failure paths
+# ----------------------------------------------------------------------
+
+def test_worker_raise_exhausts_retries_without_losing_others(fast_costs):
+    jobs = _jobs(fast_costs, idents=("A1", "E"))
+    bad = CampaignJob(key="B#0", index=len(jobs),
+                      profile=profile_by_id("B"),
+                      config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                      costs=fast_costs, hook=f"{HOOKS}:always_raise")
+    metrics = MetricsRegistry()
+    scheduler = FleetScheduler(jobs=3, max_retries=1, retry_backoff=0.0,
+                               metrics=metrics)
+    outcomes = scheduler.run(jobs + [bad])
+    by_key = {o.key: o for o in outcomes}
+    assert by_key["A1#0"].ok and by_key["E#0"].ok
+    failed = by_key["B#0"]
+    assert not failed.ok
+    assert failed.result is None
+    assert "injected failure for B#0" in failed.error
+    assert failed.attempts == 2  # first try + one retry
+    assert metrics.counter("fleet.jobs.failed").value == 1
+    assert metrics.counter("fleet.jobs.retried").value == 1
+
+
+def test_daemon_raises_fleet_job_error_after_merging(fast_costs,
+                                                     monkeypatch):
+    daemon = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                    costs=fast_costs, max_retries=0)
+    specs = daemon._job_specs([profile_by_id("A1"), profile_by_id("E")],
+                              seed=None)
+    broken = [specs[0],
+              CampaignJob(key=specs[1].key, index=specs[1].index,
+                          profile=specs[1].profile, config=specs[1].config,
+                          costs=fast_costs,
+                          hook=f"{HOOKS}:always_raise")]
+    monkeypatch.setattr(Daemon, "_job_specs", lambda *a, **k: broken)
+    with pytest.raises(FleetJobError) as excinfo:
+        daemon.run_fleet([profile_by_id("A1"), profile_by_id("E")], jobs=2)
+    assert set(excinfo.value.failures) == {"E#0"}
+    # The healthy campaign's result was merged before the raise.
+    assert "A1#0" in daemon.results
+
+
+def test_watchdog_kills_and_fails_hung_worker(fast_costs):
+    jobs = _jobs(fast_costs, idents=("E",))
+    hung = CampaignJob(key="A1#0", index=1, profile=profile_by_id("A1"),
+                       config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                       costs=fast_costs, hook=f"{HOOKS}:hang")
+    events = []
+    scheduler = FleetScheduler(jobs=2, watchdog_seconds=1.0,
+                               heartbeat_seconds=0.2, max_retries=0,
+                               progress=events.append)
+    outcomes = scheduler.run(jobs + [hung])
+    by_key = {o.key: o for o in outcomes}
+    assert by_key["E#0"].ok
+    assert not by_key["A1#0"].ok
+    assert "watchdog" in by_key["A1#0"].error
+    kinds = {event["kind"] for event in events}
+    assert "fail" in kinds and "done" in kinds
+
+
+def test_retry_recovers_transient_failure(fast_costs, tmp_path):
+    marker = tmp_path / "first-attempt"
+    flaky = CampaignJob(key="E#0", index=0, profile=profile_by_id("E"),
+                        config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                        costs=fast_costs,
+                        hook=f"{HOOKS}:fail_until_marker",
+                        hook_arg=str(marker))
+    other = CampaignJob(key="B#0", index=1, profile=profile_by_id("B"),
+                        config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                        costs=fast_costs)
+    scheduler = FleetScheduler(jobs=2, max_retries=2, retry_backoff=0.0)
+    outcomes = scheduler.run([flaky, other])
+    recovered = next(o for o in outcomes if o.key == "E#0")
+    assert recovered.ok
+    assert recovered.attempts == 2
+    assert scheduler.last_summary["retried"] == 1
+    assert scheduler.last_summary["completed"] == 2
+    # The retried campaign is the same campaign: identical to a clean run.
+    clean = execute_job(flaky)
+    assert recovered.result == clean.result
+
+
+def test_inline_retry_semantics_match_pool(fast_costs, tmp_path):
+    marker = tmp_path / "inline-first-attempt"
+    flaky = CampaignJob(key="E#0", index=0, profile=profile_by_id("E"),
+                        config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                        costs=fast_costs,
+                        hook=f"{HOOKS}:fail_until_marker",
+                        hook_arg=str(marker))
+    scheduler = FleetScheduler(jobs=1, max_retries=1, retry_backoff=0.0)
+    outcomes = scheduler.run([flaky])
+    assert outcomes[0].ok and outcomes[0].attempts == 2
+
+
+def test_pool_start_failure_degrades_to_inline(fast_costs, monkeypatch):
+    class BrokenContext:
+        @staticmethod
+        def Queue():
+            raise OSError("no queues here")
+
+        @staticmethod
+        def Process(*args, **kwargs):
+            raise OSError("no processes here")
+
+    monkeypatch.setattr(FleetScheduler, "_context",
+                        staticmethod(lambda: BrokenContext()))
+    outcomes = FleetScheduler(jobs=2).run(
+        _jobs(fast_costs, idents=("A1", "E")))
+    assert [o.key for o in outcomes] == ["A1#0", "E#0"]
+    assert all(o.ok for o in outcomes)
+    assert all(o.worker_id == 0 for o in outcomes)  # ran inline
+
+
+def test_summary_accounts_wall_and_virtual_time(fast_costs):
+    scheduler = FleetScheduler(jobs=2)
+    scheduler.run(_jobs(fast_costs, idents=("A1", "B")))
+    summary = scheduler.last_summary
+    assert summary["jobs"] == 2 and summary["workers"] == 2
+    assert summary["virtual_seconds"] == pytest.approx(2 * 0.5 * 3600.0,
+                                                       rel=0.2)
+    assert summary["wall_seconds"] > 0
+    assert summary["worker_wall_seconds"] >= summary["wall_seconds"] * 0.5
+    assert set(summary["per_worker"]) == {"1", "2"}
