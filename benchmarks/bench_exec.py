@@ -1,0 +1,250 @@
+"""Execution hot-path benchmark: snapshot-restore + dense coverage path.
+
+Measures executions per host-second on the reboot-heavy ``A1`` profile
+in three legs and records them into ``BENCH_exec.json`` at the repo
+root:
+
+* ``optimized`` — current defaults: checkpoint restore on reboot,
+  in-process exec fast path, listener-gated tracepoint records.
+* ``legacy`` — the same tree with every gate flipped back to the
+  pre-change cost model (``fast_exec=False``, ``checkpoint=False``,
+  ``trace.eager=True``): each reboot re-runs every driver ``reset()``
+  and service restart, every program crosses the serialized ADB wire,
+  and every tracepoint hit builds its record.  This is the in-tree
+  reconstruction of the pre-change baseline and is what CI compares
+  against.
+* ``pre_change`` (optional) — an *actual* pre-change checkout, run in a
+  subprocess when ``--baseline-src PATH`` (or
+  ``REPRO_BENCH_BASELINE_SRC``) points at one.  The committed
+  ``BENCH_exec.json`` carries this measurement from the seed commit.
+
+Equivalence is part of the measurement: the optimized and legacy legs
+must produce *equal* :class:`CampaignResult` objects on every repeat,
+and the pre-change subprocess must report the same campaign
+fingerprint (executions, reboots, coverage, bug titles).  The recorded
+``results_identical`` flag is the conjunction; CI asserts it.
+
+Methodology: every leg runs ``REPRO_BENCH_REPEATS`` times (default 5)
+with the garbage collector paused inside the timed region, and the
+*minimum* wall is used — the host is shared, so min-of-N estimates the
+noise floor.  Speedups are ratios of executions per second.
+
+Dual mode: collected by pytest (``pytest benchmarks/bench_exec.py``)
+or run directly (``python benchmarks/bench_exec.py [--baseline-src P]``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+if __name__ == "__main__":  # direct invocation: src/ onto the path
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                           .parent.parent / "src"))
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice, DeviceCosts
+from repro.device.profiles import profile_by_id
+
+PROFILE = "A1"  # reboot-heavy: ~20 watchdog reboots in a 4 h campaign
+SEED = 0
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+#: Fast cost model (same as bench_fleet): keeps one campaign
+#: sub-second so repeats are cheap, while preserving the reboot-heavy
+#: virtual-time shape that the snapshot path targets.
+COSTS = DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0, shell=2.0)
+
+#: Subprocess body for the optional pre-change leg: runs the same
+#: campaign against another checkout and prints its fingerprint.
+_BASELINE_RUNNER = r"""
+import gc, json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice, DeviceCosts
+from repro.device.profiles import profile_by_id
+
+costs = DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0, shell=2.0)
+repeats, hours, seed = int(sys.argv[2]), float(sys.argv[3]), int(sys.argv[4])
+walls = []
+for _ in range(repeats):
+    device = AndroidDevice(profile_by_id("A1"), costs=costs)
+    engine = FuzzingEngine(device, FuzzerConfig(seed=seed,
+                                                campaign_hours=hours))
+    gc.disable()
+    started = time.perf_counter()
+    result = engine.run()
+    walls.append(time.perf_counter() - started)
+    gc.enable()
+    gc.collect()
+print(json.dumps({
+    "walls": walls,
+    "fingerprint": {
+        "executions": result.executions,
+        "reboots": result.reboots,
+        "kernel_coverage": result.kernel_coverage,
+        "joint_coverage": result.joint_coverage,
+        "corpus_size": result.corpus_size,
+        "bug_titles": sorted(result.bug_titles()),
+    },
+}))
+"""
+
+
+def _campaign(hours: float, *, fast: bool):
+    """One timed campaign; ``fast=False`` flips every legacy gate."""
+    device = AndroidDevice(profile_by_id(PROFILE), costs=COSTS,
+                           checkpoint=fast)
+    device.kernel.trace.eager = not fast
+    config = FuzzerConfig(seed=SEED, campaign_hours=hours,
+                          fast_exec=fast)
+    engine = FuzzingEngine(device, config)
+    gc.disable()
+    started = time.perf_counter()
+    result = engine.run()
+    wall = time.perf_counter() - started
+    gc.enable()
+    gc.collect()
+    return result, wall
+
+
+def _fingerprint(result) -> dict:
+    return {
+        "executions": result.executions,
+        "reboots": result.reboots,
+        "kernel_coverage": result.kernel_coverage,
+        "joint_coverage": result.joint_coverage,
+        "corpus_size": result.corpus_size,
+        "bug_titles": sorted(result.bug_titles()),
+    }
+
+
+def _bench_restore(hours_unused: float = 0.0) -> dict:
+    """Microbenchmark: one reboot via checkpoint restore vs legacy path."""
+    timings = {}
+    for mode, flag in (("checkpoint_restore", True), ("legacy_reset", False)):
+        device = AndroidDevice(profile_by_id(PROFILE), costs=COSTS,
+                               checkpoint=flag)
+        # Dirty some state first so neither path restores a no-op.
+        proc = device.new_process("bench")
+        device.syscall(proc.pid, "openat", "/dev/gpiochip0")
+        rounds = 200
+        gc.disable()
+        started = time.perf_counter()
+        for _ in range(rounds):
+            device.reboot()
+        wall = time.perf_counter() - started
+        gc.enable()
+        gc.collect()
+        timings[mode] = round(wall / rounds * 1e6, 2)  # µs per reboot
+    return timings
+
+
+def _run_pre_change(src: str, repeats: int, hours: float) -> dict | None:
+    """Measure an actual pre-change checkout in a subprocess."""
+    src_path = pathlib.Path(src) / "src"
+    if not src_path.is_dir():
+        return None
+    proc = subprocess.run(
+        [sys.executable, "-c", _BASELINE_RUNNER, str(src_path),
+         str(repeats), str(hours), str(SEED)],
+        capture_output=True, text=True, timeout=1800)
+    if proc.returncode != 0:
+        return None
+    payload = json.loads(proc.stdout)
+    payload["source"] = src
+    return payload
+
+
+def bench_exec(hours: float | None = None,
+               baseline_src: str | None = None) -> dict:
+    """Run all legs and assemble the ``BENCH_exec.json`` record."""
+    if hours is None:
+        hours = float(os.environ.get("REPRO_BENCH_HOURS", 4.0))
+    if baseline_src is None:
+        baseline_src = os.environ.get("REPRO_BENCH_BASELINE_SRC") or None
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", 5))
+
+    identical = True
+    legacy_walls: list[float] = []
+    optimized_walls: list[float] = []
+    reference = None
+    for _ in range(repeats):
+        legacy_result, legacy_wall = _campaign(hours, fast=False)
+        optimized_result, optimized_wall = _campaign(hours, fast=True)
+        identical = identical and (legacy_result == optimized_result)
+        legacy_walls.append(legacy_wall)
+        optimized_walls.append(optimized_wall)
+        reference = optimized_result
+
+    executions = reference.executions
+    legacy_wall = min(legacy_walls)
+    optimized_wall = min(optimized_walls)
+    legacy_eps = executions / legacy_wall
+    optimized_eps = executions / optimized_wall
+
+    record = {
+        "profile": PROFILE,
+        "seed": SEED,
+        "campaign_hours": hours,
+        "repeats": repeats,
+        "executions": executions,
+        "reboots": reference.reboots,
+        "optimized": {
+            "wall_seconds": round(optimized_wall, 4),
+            "execs_per_second": round(optimized_eps, 1),
+        },
+        "legacy": {
+            "wall_seconds": round(legacy_wall, 4),
+            "execs_per_second": round(legacy_eps, 1),
+        },
+        "speedup_vs_legacy": round(optimized_eps / legacy_eps, 3),
+        "restore_vs_reboot_us": _bench_restore(),
+        "results_identical": identical,
+    }
+
+    pre_change = _run_pre_change(baseline_src, repeats, hours) \
+        if baseline_src else None
+    if pre_change is not None:
+        pre_wall = min(pre_change["walls"])
+        pre_eps = pre_change["fingerprint"]["executions"] / pre_wall
+        record["pre_change"] = {
+            "source": pre_change["source"],
+            "wall_seconds": round(pre_wall, 4),
+            "execs_per_second": round(pre_eps, 1),
+        }
+        record["speedup_vs_pre_change"] = round(optimized_eps / pre_eps, 3)
+        record["results_identical"] = (
+            identical and pre_change["fingerprint"] == _fingerprint(reference))
+
+    OUT_PATH.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return record
+
+
+def test_exec_fast_path():
+    record = bench_exec()
+    assert record["results_identical"]
+    assert record["executions"] > 0
+    # The reboot-heavy profile must actually reboot, or the snapshot
+    # path is not exercised.
+    assert record["reboots"] >= 5
+    # The fast path must win; the full >=2x margin over the pre-change
+    # baseline is recorded in the committed BENCH_exec.json (shared CI
+    # hosts are too noisy to gate the exact ratio on).
+    assert record["speedup_vs_legacy"] > 1.0
+
+
+if __name__ == "__main__":
+    arg_src = None
+    argv = sys.argv[1:]
+    if "--baseline-src" in argv:
+        arg_src = argv[argv.index("--baseline-src") + 1]
+    summary = bench_exec(baseline_src=arg_src)
+    print(json.dumps(summary, indent=1, sort_keys=True))
+    print(f"\nwritten to {OUT_PATH}")

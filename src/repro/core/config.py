@@ -55,6 +55,13 @@ class FuzzerConfig:
     #: Coverage timeline sampling period (virtual seconds).
     sample_interval: float = 1800.0
 
+    #: Ship programs to the in-process broker directly instead of the
+    #: textual ADB wire round-trip (byte-identical results; the wire
+    #: path stays in use for telemetry campaigns, corpus persistence
+    #: and cross-process transports).  Off → legacy baseline, as
+    #: benchmarked by ``benchmarks/bench_exec.py``.
+    fast_exec: bool = True
+
     def variant(self, **changes) -> "FuzzerConfig":
         """A modified copy (convenience for ablations)."""
         return replace(self, **changes)

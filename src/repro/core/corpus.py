@@ -24,6 +24,13 @@ class Corpus:
     """The evolving seed set of one campaign."""
 
     seeds: list[Seed] = field(default_factory=list)
+    #: Cached cumulative ``1/(1+len)`` weights for :meth:`choose`,
+    #: invalidated whenever the seed set changes.  ``random.choices``
+    #: with ``cum_weights`` draws exactly the picks the per-call weights
+    #: list produced (it accumulates left-to-right the same way), so the
+    #: cache is determinism-neutral.
+    _cum_weights: list[float] | None = field(
+        default=None, repr=False, compare=False)
 
     def add(self, program: Program, signature: frozenset[int],
             clock: float) -> Seed:
@@ -31,6 +38,7 @@ class Corpus:
         seed = Seed(program=program.copy(), signature=signature,
                     added_at=clock)
         self.seeds.append(seed)
+        self._cum_weights = None
         return seed
 
     def __len__(self) -> int:
@@ -45,8 +53,15 @@ class Corpus:
             lo = max(0, len(self.seeds) - max(1, len(self.seeds) // 4))
             seed = self.seeds[rng.randrange(lo, len(self.seeds))]
         else:
-            weights = [1.0 / (1 + len(s.program)) for s in self.seeds]
-            seed = rng.choices(self.seeds, weights=weights, k=1)[0]
+            if self._cum_weights is None:
+                total = 0.0
+                cum = []
+                for s in self.seeds:
+                    total += 1.0 / (1 + len(s.program))
+                    cum.append(total)
+                self._cum_weights = cum
+            seed = rng.choices(self.seeds, cum_weights=self._cum_weights,
+                               k=1)[0]
         seed.mutations += 1
         return seed
 

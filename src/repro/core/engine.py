@@ -95,7 +95,13 @@ class FuzzingEngine:
         self.broker = ExecutionBroker(
             device, self.registry, syscall_filter,
             metrics=self.telemetry.metrics if self.telemetry.enabled
-            else None)
+            else None,
+            fast_wire=config.fast_exec)
+        # The in-process bypass trades the textual wire round-trip for a
+        # program copy; with telemetry on, the wire path is kept so the
+        # payload-size metrics stay meaningful (results are byte-identical
+        # either way).
+        self._fast_exec = config.fast_exec and not self.telemetry.enabled
         self.adb.forward(self.broker.SOCKET_NAME, self.broker.rpc_handler)
         self.bugs = BugTracker(device.profile.ident)
         self.coverage = CoverageAccumulator()
@@ -165,12 +171,18 @@ class FuzzingEngine:
     def _execute(self, program: Program,
                  record_bugs: bool = True) -> ExecOutcome:
         """Ship one program over ADB and collect the outcome."""
-        with self.telemetry.tracer.span("execute") as span:
-            payload = self.broker.wire_program(program)
-            raw: dict[str, Any] = self.adb.rpc(self.broker.SOCKET_NAME,
-                                               payload)
-            outcome = ExecOutcome.from_dict(raw)
-            span.note(calls=len(program.calls), crashes=len(outcome.crashes))
+        if self._fast_exec:
+            # Telemetry is off on this path (see __init__), so the
+            # tracer span it would wrap is a no-op; skip it entirely.
+            outcome = self.broker.execute_program(program)
+        else:
+            with self.telemetry.tracer.span("execute") as span:
+                payload = self.broker.wire_program(program)
+                raw: dict[str, Any] = self.adb.rpc(self.broker.SOCKET_NAME,
+                                                   payload)
+                outcome = ExecOutcome.from_dict(raw)
+                span.note(calls=len(program.calls),
+                          crashes=len(outcome.crashes))
         self.executions += 1
         if outcome.crashes and record_bugs:
             with self.telemetry.tracer.span("triage"):

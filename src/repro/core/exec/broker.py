@@ -24,9 +24,14 @@ if TYPE_CHECKING:
     from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass(frozen=True)
+@dataclass
 class CallStatus:
-    """Result of one executed call."""
+    """Result of one executed call.
+
+    Treated as immutable; left unfrozen because instances are built once
+    per executed call and the frozen ``object.__setattr__`` constructor
+    is measurably slower on that path.
+    """
 
     ret: int
     produced: int | None = None
@@ -112,9 +117,13 @@ class ExecutionBroker:
 
     SOCKET_NAME = "droidfuzz-broker"
 
+    #: Bound on the full-text parse cache before a wholesale flush.
+    PARSE_CACHE_CAP = 4096
+
     def __init__(self, device: "AndroidDevice", registry: DescriptionRegistry,
                  syscall_filter: frozenset[str] | None = None,
-                 metrics: "MetricsRegistry | None" = None) -> None:
+                 metrics: "MetricsRegistry | None" = None,
+                 fast_wire: bool = True) -> None:
         self._device = device
         self._registry = registry
         self.table = SpecializedSyscallTable(registry)
@@ -122,6 +131,12 @@ class ExecutionBroker:
         self._hal = HalExecutor(device, self.table)
         self._filter = syscall_filter
         self.programs_executed = 0
+        #: Wire caches (gated so the legacy baseline stays measurable):
+        #: full program text → pristine parsed Program, and per-line
+        #: memo shared across programs that differ in a few calls.
+        self._fast_wire = fast_wire
+        self._parse_cache: dict[str, Program] = {}
+        self._line_cache: dict[str, tuple] = {}
         self._m_programs = self._m_vtime = None
         self._m_payload = self._m_calls = self._m_rpcs = None
         if metrics is not None:
@@ -159,10 +174,11 @@ class ExecutionBroker:
 
     def execute(self, program: Program) -> ExecOutcome:
         """Run one program; returns the bonded feedback."""
-        kernel = self._device.kernel
+        device = self._device
+        kernel = device.kernel
         kernel.kcov.enable(self._native.pid)
         self.programs_executed += 1
-        vclock_start = self._device.clock
+        vclock_start = device.clock
         if self._m_programs is not None:
             self._m_programs.inc()
             self._m_calls.observe(len(program.calls))
@@ -173,12 +189,15 @@ class ExecutionBroker:
         hal_sequence: list[int] = []
         captures: list[tuple] = []
         for call in program.calls:
-            if not self._device.healthy:
+            # `kernel.panicked or kernel.hung` is `not device.healthy`,
+            # read directly: this check runs once per call.
+            if kernel.panicked or kernel.hung:
                 statuses.append(CallStatus(ret=-5))
                 results.append(-1)
                 continue
             if call.is_hal:
-                self._apply_filter()  # HAL pids change across restarts
+                if self._filter is not None:
+                    self._apply_filter()  # HAL pids change across restarts
                 status, produced, sequence, caught = self._hal.run(
                     call, results)
                 statuses.append(CallStatus(
@@ -199,8 +218,7 @@ class ExecutionBroker:
         # style): tearing the task down closes its fds, which exercises
         # the drivers' release paths before crash collection.
         kernel.kcov.enable(self._native.pid)
-        kernel.syscall_filters.pop(self._native.pid, None)
-        kernel.kill_process(self._native.pid)
+        kernel.kill_process(self._native.pid)  # also drops its filter entry
         kernel_pcs.update(kernel.kcov.collect(self._native.pid))
         kernel.kcov.disable(self._native.pid)
         self._native.respawn()
@@ -227,6 +245,33 @@ class ExecutionBroker:
     # ADB RPC surface
     # ------------------------------------------------------------------
 
+    def execute_program(self, program: Program) -> ExecOutcome:
+        """In-process fast path: run ``program`` without the text wire.
+
+        Observably equivalent to ``rpc_handler(wire_program(program))``
+        followed by ``ExecOutcome.from_dict``: execution is read-only on
+        the program (mutation always happens on copies, in the mutator
+        and minimizer), so running the caller's object directly matches
+        running a freshly parsed private copy, and every outcome field
+        round-trips the wire encoding unchanged.  Engines use this when
+        broker and device share a process and no telemetry needs the
+        payload sizes off the wire.
+        """
+        return self.execute(program)
+
+    def _parse_wire(self, text: str) -> Program:
+        """Parse an exec payload, through the wire caches when enabled."""
+        if not self._fast_wire:
+            return parse_program(text)
+        cached = self._parse_cache.get(text)
+        if cached is not None:
+            return cached.copy()
+        program = parse_program(text, line_cache=self._line_cache)
+        if len(self._parse_cache) >= self.PARSE_CACHE_CAP:
+            self._parse_cache.clear()
+        self._parse_cache[text] = program.copy()
+        return program
+
     def rpc_handler(self, payload: dict[str, Any]) -> dict[str, Any]:
         """Handle one forwarded-socket request from the host engine."""
         command = payload.get("cmd")
@@ -235,7 +280,7 @@ class ExecutionBroker:
         if command == "exec":
             if self._m_payload is not None:
                 self._m_payload.observe(len(payload["program"]))
-            program = parse_program(payload["program"])
+            program = self._parse_wire(payload["program"])
             return self.execute(program).to_dict()
         if command == "ping":
             return {"pong": True, "clock": self._device.clock}
@@ -243,7 +288,17 @@ class ExecutionBroker:
             return {"size": self.table.size()}
         return {"error": f"unknown command {command!r}"}
 
-    @staticmethod
-    def wire_program(program: Program) -> dict[str, Any]:
-        """Host-side helper: build the exec RPC payload."""
-        return {"cmd": "exec", "program": serialize_program(program)}
+    def wire_program(self, program: Program) -> dict[str, Any]:
+        """Host-side helper: build the exec RPC payload.
+
+        The serialized text is cached on the program object
+        (``_wire_text``): programs are treated as frozen once handed to
+        the broker, and mutation always works on fresh copies
+        (``Program.copy()`` does not carry the attribute), so re-sent
+        corpus seeds and reproducers skip re-serialization.
+        """
+        text = getattr(program, "_wire_text", None)
+        if text is None or not self._fast_wire:
+            text = serialize_program(program)
+            program._wire_text = text
+        return {"cmd": "exec", "program": text}

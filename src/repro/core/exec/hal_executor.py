@@ -135,11 +135,12 @@ class HalExecutor:
                 self._task.pid, "df_hal", call.service, call.method, args)
             if status == 0:
                 for tag in stub.returns:
-                    if tag in ("i32", "u32", "i64"):
-                        reader = {"i32": reply.read_i32,
-                                  "u32": reply.read_u32,
-                                  "i64": reply.read_i64}[tag]
-                        produced = reader()
+                    if tag == "i32":
+                        produced = reply.read_i32()
+                    elif tag == "u32":
+                        produced = reply.read_u32()
+                    elif tag == "i64":
+                        produced = reply.read_i64()
                     break
         except DeadObjectError:
             status = HAL_CRASH_STATUS

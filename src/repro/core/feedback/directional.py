@@ -17,11 +17,17 @@ block to the corpus logic.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 _HCOV_TAG = b"hcov"
 
 
+@lru_cache(maxsize=65536)
 def _hcov_pc(*parts: int) -> int:
+    """Memoized: the specialized-ID alphabet is small, so transitions
+    repeat constantly across executions and the blake2b per pair used
+    to show up right behind :func:`repro.kernel.kcov.stable_pc` in
+    profiles."""
     digest = hashlib.blake2b(digest_size=8)
     digest.update(_HCOV_TAG)
     for part in parts:

@@ -4,11 +4,22 @@ The broker hands back, per executed program, the kernel PCs collected by
 kcov and the directional HAL coverage elements; the engine merges them
 into one :class:`JointFeedback` signature and accumulates novelty
 against a campaign-global :class:`CoverageAccumulator`.
+
+The accumulator is the engine's per-execution novelty check, so it is
+kept dense: every 64-bit element is interned to a dense index on first
+sight and "seen" state lives in growable ``bytearray`` bitmaps.  A warm
+novelty test is one dict lookup plus one bit test instead of building
+and differencing frozensets of 64-bit hashes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.kernel.kcov import PcInterner
+
+#: Bitmap growth granularity in bytes (512 elements per step).
+_GROW = 64
 
 
 @dataclass(frozen=True)
@@ -26,26 +37,103 @@ class JointFeedback:
         return bool(self.kernel_pcs or self.hal_elements)
 
 
-@dataclass
 class CoverageAccumulator:
-    """Campaign-global novelty tracker over the joint signal."""
+    """Campaign-global novelty tracker over the joint signal.
 
-    seen: set[int] = field(default_factory=set)
-    kernel_seen: set[int] = field(default_factory=set)
+    Elements (kernel PCs and HAL directional elements share one value
+    space) are interned to dense indices; two bitmaps over that index
+    space track the joint "seen" set and its kernel-only subset.  The
+    legacy set views (:attr:`seen`, :attr:`kernel_seen`) are preserved
+    as properties for persistence and inspection — they materialize a
+    fresh set per access and are not hot-path.
+    """
+
+    __slots__ = ("_interner", "_bits", "_kernel_bits", "_total",
+                 "_kernel_total")
+
+    def __init__(self) -> None:
+        self._interner = PcInterner()
+        self._bits = bytearray()
+        self._kernel_bits = bytearray()
+        self._total = 0
+        self._kernel_total = 0
+
+    # -- hot path ----------------------------------------------------------
+
+    def _intern(self, element: int) -> int:
+        index = self._interner.intern(element)
+        need = (index >> 3) + 1
+        if need > len(self._bits):
+            grow = max(need - len(self._bits), _GROW)
+            self._bits.extend(bytes(grow))
+            self._kernel_bits.extend(bytes(grow))
+        return index
 
     def merge(self, feedback: JointFeedback) -> frozenset[int]:
         """Fold one execution in; returns the *new* elements."""
-        merged = feedback.merged()
-        fresh = frozenset(merged - self.seen)
-        self.seen |= merged
-        self.kernel_seen |= feedback.kernel_pcs
-        return fresh
+        fresh: list[int] = []
+        for pc in feedback.kernel_pcs:
+            index = self._intern(pc)
+            byte, mask = index >> 3, 1 << (index & 7)
+            if not self._bits[byte] & mask:
+                self._bits[byte] |= mask
+                self._total += 1
+                fresh.append(pc)
+            if not self._kernel_bits[byte] & mask:
+                self._kernel_bits[byte] |= mask
+                self._kernel_total += 1
+        for element in feedback.hal_elements:
+            index = self._intern(element)
+            byte, mask = index >> 3, 1 << (index & 7)
+            if not self._bits[byte] & mask:
+                self._bits[byte] |= mask
+                self._total += 1
+                fresh.append(element)
+        return frozenset(fresh)
 
     def total(self) -> int:
         """Total distinct joint elements seen."""
-        return len(self.seen)
+        return self._total
 
     def kernel_total(self) -> int:
         """Total distinct *kernel* blocks seen (the paper's coverage
         metric — HAL elements are excluded so tools are comparable)."""
-        return len(self.kernel_seen)
+        return self._kernel_total
+
+    # -- set views (persistence / inspection) ------------------------------
+
+    def _materialize(self, bits: bytearray) -> set[int]:
+        pcs = self._interner.pcs
+        return {pcs[index] for index in range(len(pcs))
+                if bits[index >> 3] & (1 << (index & 7))}
+
+    def _assign(self, which: str, values: set[int]) -> None:
+        bits = bytearray(len(self._bits))
+        for element in values:
+            index = self._intern(element)
+            # _intern may have grown the shared bitmaps; re-pad ours.
+            if len(bits) < len(self._bits):
+                bits.extend(bytes(len(self._bits) - len(bits)))
+            bits[index >> 3] |= 1 << (index & 7)
+        if which == "seen":
+            self._bits, self._total = bits, len(values)
+        else:
+            self._kernel_bits, self._kernel_total = bits, len(values)
+
+    @property
+    def seen(self) -> set[int]:
+        """The joint seen set, materialized fresh on every access."""
+        return self._materialize(self._bits)
+
+    @seen.setter
+    def seen(self, values) -> None:
+        self._assign("seen", set(values))
+
+    @property
+    def kernel_seen(self) -> set[int]:
+        """The kernel-only seen set, materialized fresh on every access."""
+        return self._materialize(self._kernel_bits)
+
+    @kernel_seen.setter
+    def kernel_seen(self, values) -> None:
+        self._assign("kernel_seen", set(values))

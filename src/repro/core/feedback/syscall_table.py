@@ -61,16 +61,20 @@ class SpecializedSyscallTable:
         directional coverage distinguishes vendor commands it has never
         seen described.  Unknown syscalls hash into their own bucket.
         """
-        if critical is not None:
-            ident = self._ids.get((name, critical))
-            if ident is not None:
-                return ident
-            return (2_000_000
-                    + (zlib.crc32(f"{name}:{critical}".encode()) & 0xFFFFF))
-        ident = self._ids.get((name, None))
+        key = (name, critical)
+        ident = self._ids.get(key)
         if ident is not None:
             return ident
-        return 1_000_000 + (zlib.crc32(name.encode()) & 0xFFFF)
+        # Memoize hashed IDs: the hash is deterministic per key, and
+        # vendor HALs re-issue the same few uncovered requests all
+        # campaign long.
+        if critical is not None:
+            ident = (2_000_000
+                     + (zlib.crc32(f"{name}:{critical}".encode()) & 0xFFFFF))
+        else:
+            ident = 1_000_000 + (zlib.crc32(name.encode()) & 0xFFFF)
+        self._ids[key] = ident
+        return ident
 
     def label(self, ident: int) -> str:
         """Human-readable name of an ID (diagnostics)."""

@@ -15,6 +15,7 @@ latency that a real campaign pays on every program execution.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Callable
 
 from repro.errors import AdbError
@@ -79,13 +80,21 @@ class AdbConnection:
     def rpc(self, socket_name: str, payload: dict[str, Any]) -> dict[str, Any]:
         """Host-side call into a forwarded device socket.
 
+        A forwarded socket carries bytes, so both directions round-trip
+        the JSON framing a real ``adb forward`` channel would ship —
+        payloads must stay JSON-safe (the broker's wire forms are built
+        for this).  Engines that colocate broker and device can skip the
+        framing entirely via ``ExecutionBroker.execute_program``.
+
         Raises:
             AdbError: the socket is not forwarded.
         """
         handler = self._forwards.get(socket_name)
         if handler is None:
             raise AdbError(f"socket not forwarded: {socket_name}")
-        return handler(payload)
+        request = json.dumps(payload).encode("utf-8")
+        response = json.dumps(handler(json.loads(request))).encode("utf-8")
+        return json.loads(response)
 
     def wait_for_device(self) -> None:
         """Block until the device is responsive (reboot if wedged)."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import DeviceError
+from repro.hal.binder import BinderProxy
 from repro.hal.process import HalProcess, Tombstone
 from repro.hal.service import HalService, marshal_args
 from repro.hal.service_manager import ServiceManager
@@ -28,6 +29,7 @@ from repro.kernel.drivers import build_driver
 from repro.kernel.kernel import VirtualKernel
 from repro.kernel.syscalls import SyscallOutcome
 from repro.device.profiles import DeviceProfile
+from repro.device.snapshot import DeviceCheckpoint
 
 
 @dataclass(frozen=True)
@@ -46,10 +48,16 @@ class AndroidDevice:
     Args:
         profile: the Table I profile to build firmware for.
         costs: virtual-time cost model.
+        checkpoint: capture a :class:`DeviceCheckpoint` of the clean
+            first-boot state so :meth:`reboot` restores it instead of
+            re-running every driver/service reset (snapshot fuzzing).
+            Byte-identical to the legacy path; disable to benchmark or
+            bisect against the reset-based reboot.
     """
 
     def __init__(self, profile: DeviceProfile,
-                 costs: DeviceCosts | None = None) -> None:
+                 costs: DeviceCosts | None = None,
+                 checkpoint: bool = True) -> None:
         self.profile = profile
         self.costs = costs or DeviceCosts()
         self.clock = 0.0
@@ -58,7 +66,14 @@ class AndroidDevice:
         self.service_manager: ServiceManager = ServiceManager(self.kernel)
         self._hal_processes: dict[str, HalProcess] = {}
         self._services: dict[str, HalService] = {}
+        #: (service, pid, comm) -> BinderProxy.  Proxies are stateless
+        #: 3-field handles; reusing them keeps hal_transact allocation
+        #: free on the hot path.  Nodes survive reboots, so the cache
+        #: never needs invalidation.
+        self._proxies: dict[tuple[str, int, str], BinderProxy] = {}
         self._build_firmware()
+        self.checkpoint: DeviceCheckpoint | None = (
+            DeviceCheckpoint(self) if checkpoint else None)
         self.boot_count = 1
 
     # ------------------------------------------------------------------
@@ -82,13 +97,21 @@ class AndroidDevice:
             self._services[service.instance_name] = service
 
     def reboot(self) -> None:
-        """Watchdog/crash reboot: reset kernel and HAL state in place."""
+        """Watchdog/crash reboot: back to a clean boot state in place.
+
+        Charges the same virtual time either way; with a checkpoint the
+        clean state is *restored* rather than re-derived, which is what
+        makes reboot-heavy campaigns cheap in real time.
+        """
         self.clock += self.costs.reboot
-        self.kernel.soft_reset()
-        for name, service in self._services.items():
-            process = self._hal_processes[name]
-            process.restart()
-            service.reset()
+        if self.checkpoint is not None:
+            self.checkpoint.restore(self)
+        else:
+            self.kernel.soft_reset()
+            for name, service in self._services.items():
+                process = self._hal_processes[name]
+                process.restart()
+                service.reset()
         self.boot_count += 1
 
     @property
@@ -117,6 +140,10 @@ class AndroidDevice:
         """Service object by instance name (device-internal)."""
         return self._services.get(name)
 
+    def services(self) -> dict[str, HalService]:
+        """All services by instance name, in registration order."""
+        return dict(self._services)
+
     def hal_process(self, name: str) -> HalProcess | None:
         """Host process of a service."""
         return self._hal_processes.get(name)
@@ -144,8 +171,12 @@ class AndroidDevice:
         if method is None:
             raise DeviceError(
                 f"{service_name} has no method {method_name}")
-        proxy = self.service_manager.get_service(service_name, client_pid,
-                                                 client_comm)
+        key = (service_name, client_pid, client_comm)
+        proxy = self._proxies.get(key)
+        if proxy is None:
+            proxy = self.service_manager.get_service(
+                service_name, client_pid, client_comm)
+            self._proxies[key] = proxy
         parcel = marshal_args(method, args)
         reply = proxy.transact(method.code, parcel)
         status = reply.read_i32()
@@ -159,9 +190,14 @@ class AndroidDevice:
         """All crash records (kernel splats + HAL tombstones) since last
         drain."""
         out: list[CrashRecord | Tombstone] = []
-        out.extend(self.kernel.dmesg.drain_crashes())
+        # Empty-drain guards: this runs once per executed program and
+        # crashes are rare, so avoid allocating drained lists for the
+        # overwhelmingly common nothing-pending case.
+        if self.kernel.dmesg._crashes:
+            out.extend(self.kernel.dmesg.drain_crashes())
         for process in self._hal_processes.values():
-            out.extend(process.drain_tombstones())
+            if process._tombstones:
+                out.extend(process.drain_tombstones())
         return out
 
     def peek_crashes(self) -> list[CrashRecord | Tombstone]:

@@ -1,0 +1,147 @@
+"""Snapshot-restore device checkpointing.
+
+A campaign pays for every watchdog reboot twice: once in virtual time
+(the 90 s reboot charge, faithfully kept) and once in *real* time — the
+host re-runs every driver ``reset()`` and every HAL ``service.reset()``
+on each reboot.  Snapshot fuzzing recovers the real-time cost: after the
+first clean boot :class:`AndroidDevice` captures a
+:class:`DeviceCheckpoint` of the clean kernel and HAL state, and
+``reboot()`` *restores* that checkpoint instead of re-deriving it.
+
+Equivalence contract (equality-tested, like PR 2's fleet merge): a
+checkpoint restore must be byte-identical to the legacy
+``soft_reset()`` + per-service restart path —
+
+* drivers and socket families come back in exactly their
+  post-``reset()`` state;
+* the slab heap, process table, dmesg ring and crash latches are reset
+  through the *same* code (``VirtualKernel.reset_core``) so monotonic
+  counters (``_next_id``, ``alloc_count``, ``free_count``) advance
+  identically;
+* HAL processes are restarted through ``HalProcess.restart()`` in the
+  same order, so pid allocation and seccomp-filter cleanup match;
+* kcov attribution and the PC interner survive, as on the legacy path.
+
+Drivers and services may implement a ``snapshot() -> token`` /
+``restore(token)`` pair for a cheap typed capture; everything else gets
+a generic capture of its ``__dict__`` (minus excluded infrastructure
+attributes) — pickled once at capture time when the state allows it
+(``pickle.loads`` per restore is several times cheaper than a
+``copy.deepcopy``), deep-copied otherwise.  Tokens are treated as
+immutable: ``restore`` may run any number of times from the same token.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.device.device import AndroidDevice
+
+#: HalService attributes that wire the service into the device rather
+#: than carry state: never captured, never deleted on restore.
+SERVICE_INFRA_ATTRS = frozenset(
+    {"process", "_kernel", "_by_code", "_by_name", "_handlers", "_readers",
+     "_ret_writers"})
+
+_GENERIC = object()  # marker: token produced by the deep-copy fallback
+_PICKLED = object()  # marker: generic state frozen as a pickle blob
+
+
+def has_snapshot_protocol(obj: Any) -> bool:
+    """True when ``obj`` implements the snapshot()/restore() pair."""
+    return (callable(getattr(obj, "snapshot", None))
+            and callable(getattr(obj, "restore", None)))
+
+
+def capture_state(obj: Any, exclude: frozenset[str] = frozenset()) -> tuple:
+    """Capture ``obj``'s restorable state.
+
+    Uses the object's own ``snapshot()`` when the protocol is
+    implemented, else deep-copies its ``__dict__`` minus ``exclude``.
+    """
+    if has_snapshot_protocol(obj):
+        return ("custom", obj.snapshot())
+    state = {key: value for key, value in vars(obj).items()
+             if key not in exclude}
+    try:
+        return (_PICKLED, pickle.dumps(state, pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable state (open handles, lambdas, ...)
+        return (_GENERIC, copy.deepcopy(state))
+
+
+def restore_state(obj: Any, token: tuple,
+                  exclude: frozenset[str] = frozenset()) -> None:
+    """Restore ``obj`` to the state captured by :func:`capture_state`.
+
+    The generic path deletes attributes the object grew since capture
+    (so lazily-added state does not leak across "reboots") and rebinds
+    every captured attribute to a fresh deep copy, keeping the token
+    pristine for the next restore.
+    """
+    kind, state = token
+    if kind == "custom":
+        obj.restore(state)
+        return
+    if kind is _PICKLED:
+        fresh = pickle.loads(state)
+    else:
+        fresh = {key: copy.deepcopy(value) for key, value in state.items()}
+    live = vars(obj)
+    for key in [k for k in live if k not in fresh and k not in exclude]:
+        del live[key]
+    live.update(fresh)
+
+
+def _restore_thunk(obj: Any, exclude: frozenset[str] = frozenset()):
+    """Capture ``obj`` now; return a no-argument restore callable.
+
+    Custom snapshot protocols resolve straight to the bound ``restore``
+    method, so a checkpoint restore of a protocol-implementing object
+    costs one call — the same shape as the ``reset()`` it replaces.
+    """
+    token = capture_state(obj, exclude)
+    kind, state = token
+    if kind == "custom":
+        restore = obj.restore
+        return lambda: restore(state)
+    return lambda: restore_state(obj, token, exclude)
+
+
+class DeviceCheckpoint:
+    """Clean-boot state of one :class:`AndroidDevice`.
+
+    Captured once after the first boot; :meth:`restore` replays it in
+    the exact order the legacy reboot path mutates the device, so the
+    two paths are interchangeable mid-campaign.
+    """
+
+    def __init__(self, device: "AndroidDevice") -> None:
+        # Restore thunks are pre-bound at capture time so the per-reboot
+        # loop is a row of plain calls (restore runs once per watchdog
+        # reboot; capture runs once per campaign).
+        self._drivers = [_restore_thunk(driver)
+                         for driver in device.kernel.drivers()]
+        # Host processes persist across reboots (restart() swaps the
+        # kernel task inside), so their restart methods can be bound
+        # once here too.
+        self._services = [
+            (device.hal_process(name).restart,
+             _restore_thunk(service, exclude=SERVICE_INFRA_ATTRS))
+            for name, service in device.services().items()]
+
+    def restore(self, device: "AndroidDevice") -> None:
+        """Put the device back into its clean-boot state.
+
+        Mirrors ``VirtualKernel.soft_reset()`` + the device's service
+        restart loop step for step; only the per-object ``reset()``
+        calls are replaced by checkpoint restores.
+        """
+        for restore_driver in self._drivers:
+            restore_driver()
+        device.kernel.reset_core()
+        for restart_process, restore_service in self._services:
+            restart_process()
+            restore_service()

@@ -159,11 +159,6 @@ class Program:
                 doomed.add(position)
         remap: dict[int, int] = {}
         kept: list[Call] = []
-        for position, call in enumerate(self.calls):
-            if position in doomed:
-                continue
-            remap[position] = len(kept)
-            kept.append(call.copy())
 
         def fix(value: ArgValue) -> ArgValue:
             if isinstance(value, ResourceRef):
@@ -174,6 +169,17 @@ class Program:
                                 for k, v in value.values.items()}
             return value
 
-        for call in kept:
-            call.args = tuple(fix(a) for a in call.args)
+        for position, call in enumerate(self.calls):
+            if position in doomed:
+                continue
+            remap[position] = len(kept)
+            if position < index:
+                # Calls before the drop point keep their indices and all
+                # their (backward) references; they are shared, not
+                # copied — safe because mutation always works on copies.
+                kept.append(call)
+            else:
+                call = call.copy()
+                call.args = tuple(fix(a) for a in call.args)
+                kept.append(call)
         return Program(kept)

@@ -32,6 +32,9 @@ from repro.dsl.model import (
 
 _CALL_RE = re.compile(
     r"^r(?P<idx>\d+)\s*=\s*(?P<name>[A-Za-z0-9_$.]+)\((?P<args>.*)\)\s*$")
+
+#: Bound on caller-provided line caches before a wholesale flush.
+_LINE_CACHE_CAP = 16384
 _HAL_NAME_RE = re.compile(r"^hal\$(?P<service>[A-Za-z0-9_.]+)\."
                           r"(?P<method>[A-Za-z0-9_]+)$")
 
@@ -188,8 +191,19 @@ def _parse_args(text: str) -> tuple[ArgValue, ...]:
     return tuple(args)
 
 
-def parse_program(text: str) -> Program:
+def parse_program(text: str, line_cache: dict | None = None) -> Program:
     """Parse the textual DSL form back into a :class:`Program`.
+
+    Args:
+        text: program in textual DSL form.
+        line_cache: optional memo of previously parsed lines
+            (``line text → (index, pristine call)``).  Every line embeds
+            its own result index (``rN = …``), so a cached entry is
+            valid exactly when that index matches the current position —
+            the numbering check below then holds by construction.
+            Mutated and minimized programs share most lines with their
+            seed, which makes this cache very warm on the broker's
+            exec path.
 
     Raises:
         DslParseError: malformed line, bad value, or wrong numbering.
@@ -199,6 +213,11 @@ def parse_program(text: str) -> Program:
         line = raw_line.strip()
         if not line or line.startswith("#"):
             continue
+        if line_cache is not None:
+            entry = line_cache.get(line)
+            if entry is not None and entry[0] == len(program.calls):
+                program.calls.append(entry[1].copy())
+                continue
         m = _CALL_RE.match(line)
         if m is None:
             raise DslParseError(f"unparsable line: {line!r}")
@@ -210,9 +229,13 @@ def parse_program(text: str) -> Program:
         name = m.group("name")
         hal = _HAL_NAME_RE.match(name)
         if hal is not None:
-            program.calls.append(HalCall(hal.group("service"),
-                                         hal.group("method"), args))
+            call = HalCall(hal.group("service"), hal.group("method"), args)
         else:
-            program.calls.append(SyscallCall(name, args))
+            call = SyscallCall(name, args)
+        program.calls.append(call)
+        if line_cache is not None:
+            if len(line_cache) >= _LINE_CACHE_CAP:
+                line_cache.clear()
+            line_cache[line] = (index, call.copy())
     program.validate()
     return program

@@ -55,7 +55,6 @@ class BinderNode:
             raise DeadObjectError(
                 f"{self.service.instance_name}: hosting process is dead")
         self._txn_seq += 1
-        method = self.service.method_by_code(code)
         reply = Parcel()
         crashed = False
         try:
@@ -65,18 +64,23 @@ class BinderNode:
             if process is not None:
                 process.record_crash(exc)
         finally:
-            self._kernel.trace.fire("binder_transaction", BinderRecord(
-                from_pid=from_pid,
-                from_comm=from_comm,
-                service=self.service.instance_name,
-                interface=self.service.interface_descriptor,
-                code=code,
-                method=method.name if method is not None else f"txn_{code}",
-                payload_types=data.type_track(),
-                payload_values=data.value_track(),
-                reply_ok=not crashed and reply.size() >= 4,
-                seq=self._txn_seq,
-            ))
+            # Record construction (payload track lists included) is the
+            # expensive half; skip it when no probe is attached.
+            if self._kernel.trace.has_listeners("binder_transaction"):
+                method = self.service.method_by_code(code)
+                self._kernel.trace.fire("binder_transaction", BinderRecord(
+                    from_pid=from_pid,
+                    from_comm=from_comm,
+                    service=self.service.instance_name,
+                    interface=self.service.interface_descriptor,
+                    code=code,
+                    method=(method.name if method is not None
+                            else f"txn_{code}"),
+                    payload_types=data.type_track(),
+                    payload_values=data.value_track(),
+                    reply_ok=not crashed and reply.size() >= 4,
+                    seq=self._txn_seq,
+                ))
         if crashed:
             raise DeadObjectError(
                 f"{self.service.instance_name}: process crashed during "

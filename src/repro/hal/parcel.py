@@ -13,6 +13,14 @@ import struct
 
 from repro.errors import ParcelError
 
+# Precompiled codecs: parcels are on the per-transaction hot path, and
+# ``Struct.pack`` skips the format-string cache lookup of the module
+# functions.
+_I32 = struct.Struct("<i")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F32 = struct.Struct("<f")
+
 
 class Parcel:
     """Typed marshaling buffer with Android-like accessors."""
@@ -31,35 +39,35 @@ class Parcel:
         wrapped = int(value) & 0xFFFFFFFF
         if wrapped >= 1 << 31:
             wrapped -= 1 << 32
-        self._data += struct.pack("<i", wrapped)
+        self._data += _I32.pack(wrapped)
         self._types.append("i32")
         self._values.append(wrapped)
         return self
 
     def write_u32(self, value: int) -> "Parcel":
         """Append an unsigned 32-bit integer."""
-        self._data += struct.pack("<I", int(value) & 0xFFFFFFFF)
+        self._data += _U32.pack(int(value) & 0xFFFFFFFF)
         self._types.append("u32")
         self._values.append(int(value) & 0xFFFFFFFF)
         return self
 
     def write_i64(self, value: int) -> "Parcel":
         """Append a signed 64-bit integer."""
-        self._data += struct.pack("<q", int(value))
+        self._data += _I64.pack(int(value))
         self._types.append("i64")
         self._values.append(int(value))
         return self
 
     def write_f32(self, value: float) -> "Parcel":
         """Append a 32-bit float."""
-        self._data += struct.pack("<f", float(value))
+        self._data += _F32.pack(float(value))
         self._types.append("f32")
         self._values.append(float(value))
         return self
 
     def write_bool(self, value: bool) -> "Parcel":
         """Append a bool (as i32, like Android)."""
-        self._data += struct.pack("<i", 1 if value else 0)
+        self._data += _I32.pack(1 if value else 0)
         self._types.append("bool")
         self._values.append(bool(value))
         return self
@@ -67,14 +75,14 @@ class Parcel:
     def write_string(self, value: str) -> "Parcel":
         """Append a length-prefixed UTF-8 string."""
         raw = value.encode("utf-8")
-        self._data += struct.pack("<i", len(raw)) + raw
+        self._data += _I32.pack(len(raw)) + raw
         self._types.append("str")
         self._values.append(value)
         return self
 
     def write_bytes(self, value: bytes) -> "Parcel":
         """Append a length-prefixed byte blob."""
-        self._data += struct.pack("<i", len(value)) + bytes(value)
+        self._data += _I32.pack(len(value)) + bytes(value)
         self._types.append("bytes")
         self._values.append(bytes(value))
         return self
@@ -96,35 +104,46 @@ class Parcel:
             return tag
         return "?"
 
+    def _fixed(self, codec: struct.Struct, what: str):
+        """Read one fixed-width value: the per-transaction hot path.
+
+        ``unpack_from`` decodes straight out of the buffer, skipping the
+        slice-and-copy of :meth:`_take`.
+        """
+        if self._read_types_pos < len(self._types):
+            self._read_types_pos += 1
+        pos = self._pos
+        end = pos + codec.size
+        if end > len(self._data):
+            raise ParcelError(f"parcel under-read: need {codec.size} bytes "
+                              f"for {what} at {pos}/{len(self._data)}")
+        self._pos = end
+        return codec.unpack_from(self._data, pos)[0]
+
     def read_i32(self) -> int:
         """Read a signed 32-bit integer."""
-        self._advance_type()
-        return struct.unpack("<i", self._take(4, "i32"))[0]
+        return self._fixed(_I32, "i32")
 
     def read_u32(self) -> int:
         """Read an unsigned 32-bit integer."""
-        self._advance_type()
-        return struct.unpack("<I", self._take(4, "u32"))[0]
+        return self._fixed(_U32, "u32")
 
     def read_i64(self) -> int:
         """Read a signed 64-bit integer."""
-        self._advance_type()
-        return struct.unpack("<q", self._take(8, "i64"))[0]
+        return self._fixed(_I64, "i64")
 
     def read_f32(self) -> float:
         """Read a 32-bit float."""
-        self._advance_type()
-        return struct.unpack("<f", self._take(4, "f32"))[0]
+        return self._fixed(_F32, "f32")
 
     def read_bool(self) -> bool:
         """Read a bool."""
-        self._advance_type()
-        return struct.unpack("<i", self._take(4, "bool"))[0] != 0
+        return self._fixed(_I32, "bool") != 0
 
     def read_string(self) -> str:
         """Read a length-prefixed UTF-8 string."""
         self._advance_type()
-        (length,) = struct.unpack("<i", self._take(4, "strlen"))
+        (length,) = _I32.unpack(self._take(4, "strlen"))
         if length < 0 or length > len(self._data):
             raise ParcelError(f"bad string length {length}")
         return self._take(length, "str").decode("utf-8", errors="replace")
@@ -132,7 +151,7 @@ class Parcel:
     def read_bytes(self) -> bytes:
         """Read a length-prefixed byte blob."""
         self._advance_type()
-        (length,) = struct.unpack("<i", self._take(4, "byteslen"))
+        (length,) = _I32.unpack(self._take(4, "byteslen"))
         if length < 0 or length > len(self._data):
             raise ParcelError(f"bad blob length {length}")
         return self._take(length, "bytes")

@@ -76,11 +76,24 @@ class HalMethod:
     doc: str = ""
 
 
+#: Writer tuples memoized per signature (shared across methods and
+#: services; signatures are tiny and drawn from a fixed tag set).
+_SIG_WRITERS: dict[tuple[str, ...], tuple] = {}
+
+
+def _writers_for(signature: tuple[str, ...]) -> tuple:
+    writers = _SIG_WRITERS.get(signature)
+    if writers is None:
+        writers = tuple(_WRITERS[tag] for tag in signature)
+        _SIG_WRITERS[signature] = writers
+    return writers
+
+
 def marshal_args(method: HalMethod, args: tuple[Any, ...]) -> Parcel:
     """Pack ``args`` into a parcel per ``method.signature``."""
     parcel = Parcel()
-    for tag, value in zip(method.signature, args):
-        _WRITERS[tag](parcel, value)
+    for write, value in zip(_writers_for(method.signature), args):
+        write(parcel, value)
     return parcel
 
 
@@ -97,6 +110,14 @@ class HalService:
         self._kernel: "VirtualKernel | None" = None
         self._by_code = {m.code: m for m in self.methods()}
         self._by_name = {m.name: m for m in self.methods()}
+        # Dispatch tables resolved once; transaction dispatch is on the
+        # campaign hot path and the surface is fixed at construction.
+        self._handlers = {m.code: getattr(self, f"_m_{m.name}")
+                          for m in self.methods()}
+        self._readers = {m.code: tuple(_READERS[tag] for tag in m.signature)
+                         for m in self.methods()}
+        self._ret_writers = {m.code: _writers_for(m.returns)
+                             for m in self.methods()}
 
     # -- wiring ----------------------------------------------------------
 
@@ -106,10 +127,16 @@ class HalService:
         self.process = process
 
     def sys(self, name: str, *args) -> "SyscallOutcome":
-        """Issue a syscall in the hosting process's context."""
-        if self.process is None:
+        """Issue a syscall in the hosting process's context.
+
+        Equivalent to ``self.process.syscall(name, *args)`` with the
+        forwarding frame flattened out: services issue a few thousand
+        syscalls per campaign and this is their only entry point.
+        """
+        process = self.process
+        if process is None:
             raise RuntimeError(f"{self.instance_name} not attached")
-        return self.process.syscall(name, *args)
+        return process._kernel.syscall(process._task.pid, name, *args)
 
     def reset(self) -> None:
         """Clear service state (called when init restarts the process)."""
@@ -155,16 +182,15 @@ class HalService:
             return
         data.rewind()
         try:
-            args = tuple(_READERS[tag](data) for tag in method.signature)
+            args = [read(data) for read in self._readers[code]]
         except ParcelError:
             reply.write_i32(int(Status.BAD_VALUE))
             return
-        handler = getattr(self, f"_m_{method.name}")
-        result = handler(*args)
+        result = self._handlers[code](*args)
         if isinstance(result, tuple):
             status, outs = result[0], result[1:]
         else:
             status, outs = result, ()
         reply.write_i32(int(status))
-        for tag, value in zip(method.returns, outs):
-            _WRITERS[tag](reply, value)
+        for write, value in zip(self._ret_writers[code], outs):
+            write(reply, value)

@@ -14,6 +14,8 @@ Planted bug (device C1 firmware):
 
 from __future__ import annotations
 
+import copy
+
 from repro.errors import NativeCrash
 from repro.hal.binder import Status
 from repro.hal.service import HalMethod, HalService
@@ -45,6 +47,19 @@ class CameraProviderHal(HalService):
         self._streaming = False
         self._captures = 0
         self._torch = False
+
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._video_fd, self._session_open, self._generation,
+                copy.deepcopy(self._streams), set(self._stale_ids),
+                self._streaming, self._captures, self._torch)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._video_fd, self._session_open, self._generation, streams,
+         stale_ids, self._streaming, self._captures, self._torch) = token
+        self._streams = copy.deepcopy(streams)
+        self._stale_ids = set(stale_ids)
 
     def methods(self) -> tuple[HalMethod, ...]:
         return (

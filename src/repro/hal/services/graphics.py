@@ -16,6 +16,8 @@ Planted bug (device A1 firmware):
 
 from __future__ import annotations
 
+import copy
+
 from repro.errors import NativeCrash
 from repro.hal.binder import Status
 from repro.hal.service import HalMethod, HalService
@@ -47,6 +49,19 @@ class GraphicsComposerHal(HalService):
         self._validated = False
         self._crtc_configured = False
         self._presents = 0
+
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._drm_fd, self._ion_fd, self._powered,
+                self._next_layer, copy.deepcopy(self._layers),
+                self._validated, self._crtc_configured, self._presents)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._drm_fd, self._ion_fd, self._powered, self._next_layer,
+         layers, self._validated, self._crtc_configured,
+         self._presents) = token
+        self._layers = copy.deepcopy(layers)
 
     def methods(self) -> tuple[HalMethod, ...]:
         return (

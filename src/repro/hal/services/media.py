@@ -20,6 +20,8 @@ HAL-mediated kernel bug the paper targets.
 
 from __future__ import annotations
 
+import copy
+
 import struct
 
 from repro.errors import NativeCrash
@@ -51,6 +53,16 @@ class MediaCodecHal(HalService):
         self._codec_fd = -1
         self._next_handle = 1
         self._codecs: dict[int, dict] = {}
+
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._codec_fd, self._next_handle,
+                copy.deepcopy(self._codecs))
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        self._codec_fd, self._next_handle, codecs = token
+        self._codecs = copy.deepcopy(codecs)
 
     def methods(self) -> tuple[HalMethod, ...]:
         return (

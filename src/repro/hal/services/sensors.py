@@ -34,6 +34,16 @@ class SensorsHal(HalService):
         self._armed = False
         self._events_polled = 0
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._iio_fd, set(self._active), self._armed,
+                self._events_polled)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        self._iio_fd, active, self._armed, self._events_polled = token
+        self._active = set(active)
+
     def methods(self) -> tuple[HalMethod, ...]:
         return (
             HalMethod(1, "getSensorsList", (), ("str",)),

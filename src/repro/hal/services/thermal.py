@@ -34,6 +34,16 @@ class ThermalHal(HalService):
         self._throttle_level = 0
         self._samples = 0
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._iio_fd, self._gpio_fd, self._gpio_handle,
+                self._throttle_level, self._samples)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._iio_fd, self._gpio_fd, self._gpio_handle,
+         self._throttle_level, self._samples) = token
+
     def methods(self) -> tuple[HalMethod, ...]:
         return (
             HalMethod(1, "getTemperatures", (), ("i32",),

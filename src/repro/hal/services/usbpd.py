@@ -30,6 +30,14 @@ class UsbPdHal(HalService):
         self._port_enabled = False
         self._negotiated = False
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._fd, self._port_enabled, self._negotiated)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        self._fd, self._port_enabled, self._negotiated = token
+
     def methods(self) -> tuple[HalMethod, ...]:
         return (
             HalMethod(1, "enablePort", (), ()),

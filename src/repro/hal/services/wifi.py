@@ -32,6 +32,14 @@ class WifiHal(HalService):
         self._softap = False
         self._clients = 0
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._fd, self._started, self._softap, self._clients)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        self._fd, self._started, self._softap, self._clients = token
+
     def methods(self) -> tuple[HalMethod, ...]:
         return (
             HalMethod(1, "start", (), ()),

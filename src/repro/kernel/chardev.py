@@ -62,10 +62,13 @@ class DriverContext:
         self.comm = comm
         self.driver_name = driver_name
         self.heap: SlabHeap = kernel.heap
+        # Bound once: cover() fires per simulated basic block, the
+        # hottest call site in the kernel substrate.
+        self._kcov_hit = kernel.kcov.hit
 
     def cover(self, label: str) -> None:
         """Record that the coverage block ``label`` of this driver ran."""
-        self.kernel.kcov.hit(self.pid, self.driver_name, label)
+        self._kcov_hit(self.pid, self.driver_name, label)
 
     def warn(self, where: str, detail: str = "") -> None:
         """Emit a WARNING splat; execution continues (like ``WARN_ON``)."""

@@ -72,6 +72,18 @@ class AudioPcm(CharDevice):
         self._xruns = 0
         self._frames_played = 0
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._state, self._rate, self._channels, self._format,
+                self._start_threshold, self._fill, self._xruns,
+                self._frames_played)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._state, self._rate, self._channels, self._format,
+         self._start_threshold, self._fill, self._xruns,
+         self._frames_played) = token
+
     def coverage_block_count(self) -> int:
         return 70
 

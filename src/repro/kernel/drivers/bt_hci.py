@@ -75,6 +75,19 @@ class BtHci(CharDevice):
         self._connections = 0
         self._codecs_scratch_freed = False
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._powered, self._reset_done, self._features_read,
+                self._scanning, list(self._events), self._connections,
+                self._codecs_scratch_freed)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._powered, self._reset_done, self._features_read,
+         self._scanning, events, self._connections,
+         self._codecs_scratch_freed) = token
+        self._events = list(events)
+
     def coverage_block_count(self) -> int:
         return 65
 

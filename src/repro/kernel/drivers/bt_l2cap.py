@@ -19,6 +19,8 @@ Planted bugs:
 
 from __future__ import annotations
 
+import copy
+
 import struct
 
 from repro.kernel.chardev import DriverContext, OpenFile, SocketFamily
@@ -94,6 +96,17 @@ class BtL2capFamily(SocketFamily):
         self._listeners: dict[int, dict] = {}  # psm -> listener private
         self._bound_psms: set[int] = set()
         self._next_sock_id = 1
+
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (copy.deepcopy(self._listeners), set(self._bound_psms),
+                self._next_sock_id)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        listeners, psms, self._next_sock_id = token
+        self._listeners = copy.deepcopy(listeners)
+        self._bound_psms = set(psms)
 
     def coverage_block_count(self) -> int:
         return 75

@@ -104,6 +104,20 @@ class DrmGpu(CharDevice):
         self._crtc_set = False
         self._vsync_client = False
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._next_handle, self._next_fb, dict(self._buffers),
+                dict(self._framebuffers), self._active_fb,
+                self._pending_flips, self._crtc_set, self._vsync_client)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._next_handle, self._next_fb, buffers, framebuffers,
+         self._active_fb, self._pending_flips, self._crtc_set,
+         self._vsync_client) = token
+        self._buffers = dict(buffers)
+        self._framebuffers = dict(framebuffers)
+
     def coverage_block_count(self) -> int:
         return 90
 

@@ -69,6 +69,20 @@ class InputTouch(CharDevice):
         self._events_out: list[bytes] = []
         self._touching = False
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._grabbed_by, dict(self._slots), self._current_slot,
+                list(self._pending), list(self._events_out),
+                self._touching)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._grabbed_by, slots, self._current_slot, pending,
+         events_out, self._touching) = token
+        self._slots = dict(slots)
+        self._pending = list(pending)
+        self._events_out = list(events_out)
+
     def coverage_block_count(self) -> int:
         return 55
 

@@ -47,6 +47,17 @@ class IonAllocator(CharDevice):
         self._buffers: dict[int, tuple[int, int]] = {}  # handle -> len, heap
         self._heap_used = {HEAP_SYSTEM: 0, HEAP_DMA: 0, HEAP_CARVEOUT: 0}
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._next_handle, dict(self._buffers),
+                dict(self._heap_used))
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        self._next_handle, buffers, heap_used = token
+        self._buffers = dict(buffers)
+        self._heap_used = dict(heap_used)
+
     def coverage_block_count(self) -> int:
         return 35
 

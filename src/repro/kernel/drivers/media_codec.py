@@ -95,6 +95,19 @@ class MediaCodec(CharDevice):
         self._output: list[bytes] = []
         self._config_seen = False
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._state, self._codec, self._mode, dict(self._params),
+                list(self._input), list(self._output), self._config_seen)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._state, self._codec, self._mode, params, inputs, outputs,
+         self._config_seen) = token
+        self._params = dict(params)
+        self._input = list(inputs)
+        self._output = list(outputs)
+
     def coverage_block_count(self) -> int:
         return 85
 

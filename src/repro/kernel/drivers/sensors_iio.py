@@ -43,6 +43,17 @@ class SensorsIio(CharDevice):
         self._watermark = 1
         self._sample_seq = 0
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (frozenset(self._enabled), self._freq, self._buffered,
+                self._watermark, self._sample_seq)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        enabled, self._freq, self._buffered, self._watermark, \
+            self._sample_seq = token
+        self._enabled = set(enabled)
+
     def coverage_block_count(self) -> int:
         return 45
 

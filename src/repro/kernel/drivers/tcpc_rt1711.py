@@ -85,6 +85,19 @@ class Rt1711Tcpc(CharDevice):
         self._regs = {reg: 0 for reg in _REGS}
         self._alert_count = 0
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._probed, self._vbus, self._state, self._role,
+                self._contract_mv, self._contract_ma, dict(self._regs),
+                self._alert_count)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._probed, self._vbus, self._state, self._role,
+         self._contract_mv, self._contract_ma, regs,
+         self._alert_count) = token
+        self._regs = dict(regs)
+
     def coverage_block_count(self) -> int:
         return 70
 

@@ -107,6 +107,20 @@ class V4l2Camera(CharDevice):
         self._frames_produced = 0
         self._device_caps_valid = True
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._input, self._fmt, self._fmt_set,
+                list(self._buffers), self._streaming, dict(self._ctrls),
+                self._frames_produced, self._device_caps_valid)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._input, self._fmt, self._fmt_set, buffers,
+         self._streaming, ctrls, self._frames_produced,
+         self._device_caps_valid) = token
+        self._buffers = list(buffers)
+        self._ctrls = dict(ctrls)
+
     def coverage_block_count(self) -> int:
         return 100
 

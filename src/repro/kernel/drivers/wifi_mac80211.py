@@ -79,6 +79,18 @@ class WifiMac80211(CharDevice):
         self._stations: dict[bytes, int] = {}  # mac -> rates bitmap
         self._ssid = b""
 
+    def snapshot(self) -> tuple:
+        """Typed checkpoint token (cheaper than the deep-copy fallback)."""
+        return (self._state, self._country, list(self._scan_results),
+                dict(self._stations), self._ssid)
+
+    def restore(self, token: tuple) -> None:
+        """Restore a :meth:`snapshot` token; the token stays reusable."""
+        (self._state, self._country, scan_results, stations,
+         self._ssid) = token
+        self._scan_results = list(scan_results)
+        self._stations = dict(stations)
+
     def coverage_block_count(self) -> int:
         return 80
 

@@ -10,17 +10,65 @@ The collector tracks:
 * a per-task trace (the PCs hit while a task's kcov is enabled), and
 * a cumulative per-boot set with PC→driver attribution, which the
   evaluation uses for per-driver coverage accounting (§V-C of the paper).
+
+Hot path: :meth:`Kcov.hit` runs on every ``ctx.cover()`` in every driver
+handler — the most frequently executed function in the whole system.
+:func:`stable_pc` is therefore memoized (the blake2b digest per call used
+to dominate profiles), and each collector keeps an own
+``(driver, label) → pc`` table so a warm hit is a single dict lookup plus
+a list append.  Distinct PCs are additionally *interned* to dense indices
+at first hit (:class:`PcInterner`), so downstream consumers can keep
+"seen" state in growable bitmaps instead of sets of 64-bit hashes.
 """
 
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 
+@lru_cache(maxsize=None)
 def stable_pc(driver: str, label: str) -> int:
-    """Deterministic 64-bit synthetic PC for a driver coverage block."""
+    """Deterministic 64-bit synthetic PC for a driver coverage block.
+
+    Memoized: the universe of ``(driver, label)`` pairs is the static set
+    of coverage points compiled into the virtual drivers, so the cache is
+    small and permanently warm after the first campaign minutes.
+    """
     digest = hashlib.blake2b(f"{driver}:{label}".encode(), digest_size=8)
     return int.from_bytes(digest.digest(), "little")
+
+
+class PcInterner:
+    """Maps 64-bit synthetic PCs to dense indices, in first-seen order.
+
+    The dense index space lets coverage consumers replace set arithmetic
+    over 64-bit hashes with bitmap tests (see
+    :class:`repro.core.feedback.CoverageAccumulator`).
+    """
+
+    __slots__ = ("_index", "pcs")
+
+    def __init__(self) -> None:
+        self._index: dict[int, int] = {}
+        #: dense index → PC, append-only.
+        self.pcs: list[int] = []
+
+    def intern(self, pc: int) -> int:
+        """Dense index for ``pc``, allocating one on first sight."""
+        index = self._index.get(pc)
+        if index is None:
+            index = len(self.pcs)
+            self._index[pc] = index
+            self.pcs.append(pc)
+        return index
+
+    def index_of(self, pc: int) -> int | None:
+        """Dense index for ``pc`` if it has been interned."""
+        return self._index.get(pc)
+
+    def __len__(self) -> int:
+        return len(self.pcs)
 
 
 class Kcov:
@@ -30,6 +78,13 @@ class Kcov:
         self._enabled: dict[int, list[int]] = {}
         self._owner: dict[int, str] = {}
         self._all: set[int] = set()
+        #: Warm-path table: (driver, label) → pc for blocks already
+        #: registered in ``_all`` this boot.  Cleared by :meth:`reset`
+        #: together with ``_all`` so membership stays in lockstep.
+        self._known: dict[tuple[str, str], int] = {}
+        #: PC → dense index, interned at first hit; survives reboots
+        #: like the attribution table (the index space is campaign-wide).
+        self.interner = PcInterner()
 
     def enable(self, task_id: int) -> None:
         """Start collecting coverage for ``task_id`` (KCOV_ENABLE)."""
@@ -45,10 +100,14 @@ class Kcov:
 
     def hit(self, task_id: int, driver: str, label: str) -> int:
         """Record one coverage block hit by ``task_id``; returns the PC."""
-        pc = stable_pc(driver, label)
-        if pc not in self._all:
-            self._all.add(pc)
-            self._owner[pc] = driver
+        pc = self._known.get((driver, label))
+        if pc is None:
+            pc = stable_pc(driver, label)
+            self._known[(driver, label)] = pc
+            self.interner.intern(pc)
+            if pc not in self._all:
+                self._all.add(pc)
+                self._owner[pc] = driver
         trace = self._enabled.get(task_id)
         if trace is not None:
             trace.append(pc)
@@ -87,3 +146,4 @@ class Kcov:
         self._enabled.clear()
         self._owner.clear()
         self._all.clear()
+        self._known.clear()

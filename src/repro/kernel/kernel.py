@@ -72,6 +72,14 @@ class VirtualKernel:
         self._driver_objs: list[CharDevice] = []
         self._families: dict[int, SocketFamily] = {}
         self._procs: dict[int, Process] = {}
+        #: syscall name -> bound ``_sys_*`` handler, resolved lazily;
+        #: avoids an f-string + getattr on every dispatch.
+        self._sys_handlers: dict[str, Any] = {}
+        self._outcome_cache: dict[int, SyscallOutcome] = {}
+        #: (pid, driver) -> DriverContext memo; pids are monotonic so
+        #: entries never alias a new task.  Emptied with the process
+        #: table on every reset.
+        self._ctx_cache: dict[tuple[int, str], Any] = {}
         self._next_pid = 1000
         self._seq = 0
         self.panicked = False
@@ -150,8 +158,21 @@ class VirtualKernel:
         """
         for drv in self._driver_objs:
             drv.reset()
+        self.reset_core()
+
+    def reset_core(self) -> None:
+        """The driver-independent half of :meth:`soft_reset`.
+
+        Split out so the checkpoint-restore reboot path
+        (:mod:`repro.device.snapshot`) shares it verbatim: the heap keeps
+        its monotonic counters, the process table empties without
+        releasing files (their owners are gone with the boot), and the
+        crash latches clear.  Seccomp filters and pid allocation are
+        intentionally untouched, exactly as on the legacy path.
+        """
         self.heap.reset()
         self._procs.clear()
+        self._ctx_cache.clear()
         self.dmesg = Dmesg()
         self.panicked = False
         self.hung = False
@@ -183,14 +204,25 @@ class VirtualKernel:
 
         self._seq += 1
         self.syscall_count += 1
-        critical = critical_argument(name, args)
-        record = SyscallRecord(pid=pid, comm=proc.comm, nr=nr, name=name,
-                               args=tuple(args), critical=critical,
-                               seq=self._seq)
-        self.trace.fire("sys_enter", record)
+        # Building SyscallRecords dominates tracepoint cost; skip it when
+        # nothing is attached (records are unobservable without listeners).
+        trace = self.trace
+        probes = trace._probes  # intra-package fast path for the check
+        eager = trace.eager
+        want_enter = eager or bool(probes.get("sys_enter"))
+        want_exit = eager or bool(probes.get("sys_exit"))
+        critical = (critical_argument(name, args)
+                    if want_enter or want_exit else False)
+        if want_enter:
+            trace.fire("sys_enter", SyscallRecord(
+                pid=pid, comm=proc.comm, nr=nr, name=name,
+                args=tuple(args), critical=critical, seq=self._seq))
 
         self.loop_budget = self._loop_budget_max
-        handler = getattr(self, f"_sys_{name}")
+        handler = self._sys_handlers.get(name)
+        if handler is None:
+            handler = getattr(self, f"_sys_{name}")
+            self._sys_handlers[name] = handler
         try:
             result = handler(proc, *args)
         except KasanReport as exc:
@@ -215,9 +247,19 @@ class VirtualKernel:
         ret, data = result if isinstance(result, tuple) else (result, None)
         if isinstance(ret, bytes):  # driver returned raw read payload
             ret, data = len(ret), ret
-        self.trace.fire("sys_exit", SyscallRecord(
-            pid=pid, comm=proc.comm, nr=nr, name=name, args=tuple(args),
-            critical=critical, seq=self._seq, ret=ret))
+        if data is None and not want_exit:
+            # Payload-less outcomes are immutable and keyed by ret alone;
+            # share one instance per value (most syscalls return 0 or a
+            # small -errno, and outcomes are never mutated downstream).
+            outcome = self._outcome_cache.get(ret)
+            if outcome is None:
+                outcome = SyscallOutcome(ret)
+                self._outcome_cache[ret] = outcome
+            return outcome
+        if want_exit:
+            trace.fire("sys_exit", SyscallRecord(
+                pid=pid, comm=proc.comm, nr=nr, name=name, args=tuple(args),
+                critical=critical, seq=self._seq, ret=ret))
         return SyscallOutcome(ret=ret, data=data)
 
     # ------------------------------------------------------------------
@@ -225,7 +267,15 @@ class VirtualKernel:
     # ------------------------------------------------------------------
 
     def _ctx(self, proc: Process, driver_name: str) -> DriverContext:
-        return DriverContext(self, proc.pid, proc.comm, driver_name)
+        # Contexts are immutable views of (kernel, task, driver); memoize
+        # them — drivers see several syscalls per task and context
+        # construction sits on the dispatch hot path.
+        key = (proc.pid, driver_name)
+        ctx = self._ctx_cache.get(key)
+        if ctx is None:
+            ctx = DriverContext(self, proc.pid, proc.comm, driver_name)
+            self._ctx_cache[key] = ctx
+        return ctx
 
     def _release_file(self, proc: Process, f: OpenFile) -> None:
         ctx = self._ctx(proc, f.driver.name)

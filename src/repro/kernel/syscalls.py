@@ -70,9 +70,12 @@ def critical_argument(name: str, args: tuple[Any, ...]) -> int | None:
     return value if isinstance(value, int) else None
 
 
-@dataclass(frozen=True)
+@dataclass
 class SyscallOutcome:
     """Result of one virtual syscall.
+
+    Treated as immutable; unfrozen because one is constructed per
+    dispatched syscall and the frozen constructor costs extra there.
 
     Attributes:
         ret: the syscall return value (``-errno`` on failure).

@@ -20,9 +20,14 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 
-@dataclass(frozen=True)
+@dataclass
 class SyscallRecord:
-    """One syscall observation delivered to ``sys_enter``/``sys_exit``."""
+    """One syscall observation delivered to ``sys_enter``/``sys_exit``.
+
+    Treated as immutable by every consumer; unfrozen because one is
+    constructed per observed syscall and the frozen constructor is the
+    dominant cost of an observed tracepoint hit.
+    """
 
     pid: int
     comm: str
@@ -34,9 +39,9 @@ class SyscallRecord:
     ret: int | None = None
 
 
-@dataclass(frozen=True)
+@dataclass
 class BinderRecord:
-    """One Binder transaction observation."""
+    """One Binder transaction observation (treated as immutable)."""
 
     from_pid: int
     from_comm: str
@@ -50,7 +55,7 @@ class BinderRecord:
     seq: int
 
 
-@dataclass(frozen=True)
+@dataclass
 class ProbeHandle:
     """Opaque handle returned by :meth:`TracepointManager.attach`."""
 
@@ -64,6 +69,15 @@ class TracepointManager:
     def __init__(self) -> None:
         self._next_id = 1
         self._probes: dict[str, dict[int, tuple[Callable[[Any], None], int | None]]] = {}
+        # Flat per-event listener tuples, rebuilt on attach/detach so
+        # fire() does not re-materialize the probe dict on every hit.
+        self._flat: dict[str, tuple[tuple[Callable[[Any], None], int | None], ...]] = {}
+        #: Legacy cost model: when True, event sites build and fire
+        #: records even with no probes attached (the behaviour before
+        #: listener-gated construction).  Observably identical either
+        #: way; benchmarks flip this on their baseline leg to reproduce
+        #: the pre-optimization per-event cost.
+        self.eager = False
 
     def attach(self, event: str, callback: Callable[[Any], None],
                pid_filter: int | None = None) -> ProbeHandle:
@@ -71,15 +85,38 @@ class TracepointManager:
         handle = ProbeHandle(event=event, ident=self._next_id)
         self._next_id += 1
         self._probes.setdefault(event, {})[handle.ident] = (callback, pid_filter)
+        self._flat.pop(event, None)
         return handle
 
     def detach(self, handle: ProbeHandle) -> None:
         """Detach a previously attached probe; idempotent."""
         self._probes.get(handle.event, {}).pop(handle.ident, None)
+        self._flat.pop(handle.event, None)
+
+    def has_listeners(self, event: str) -> bool:
+        """True when at least one probe is attached to ``event``.
+
+        Record construction is the expensive half of a tracepoint hit;
+        the substrate consults this before building a record so that
+        unobserved events cost one dict lookup.  Records are only
+        reachable through listeners, so skipping construction when none
+        are attached is invisible.  With :attr:`eager` set, always True.
+        """
+        return self.eager or bool(self._probes.get(event))
 
     def fire(self, event: str, record: Any) -> None:
-        """Deliver ``record`` to every probe attached to ``event``."""
-        for callback, pid_filter in list(self._probes.get(event, {}).values()):
+        """Deliver ``record`` to every probe attached to ``event``.
+
+        Iterates a flat tuple snapshot of the listeners, so callbacks
+        may attach/detach probes mid-delivery without corrupting the
+        iteration (the snapshot is immutable; mutations take effect on
+        the next fire).
+        """
+        listeners = self._flat.get(event)
+        if listeners is None:
+            listeners = tuple(self._probes.get(event, {}).values())
+            self._flat[event] = listeners
+        for callback, pid_filter in listeners:
             if pid_filter is not None and getattr(record, "pid", None) is not None:
                 if record.pid != pid_filter:
                     continue

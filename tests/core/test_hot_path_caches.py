@@ -1,0 +1,118 @@
+"""Unit tests for the execution hot-path caches.
+
+Each cache must be invisible: identical picks, parses, and IDs to the
+uncached code it replaced, with correct invalidation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cli import warn_if_oversubscribed
+from repro.core.corpus import Corpus
+from repro.dsl.text import parse_program, serialize_program
+from repro.kernel.kcov import PcInterner, stable_pc
+
+
+def _program(n_calls: int = 3):
+    text = "\n".join(f'r{i} = openat$x("/dev/gpiochip0")'
+                     for i in range(n_calls))
+    return parse_program(text)
+
+
+# ---------------------------------------------------------------------------
+# corpus cumulative-weight cache
+# ---------------------------------------------------------------------------
+
+
+def test_corpus_choose_matches_uncached_weights():
+    """Cached cumulative weights draw the same seeds as per-call ones."""
+    corpus = Corpus()
+    for size in (1, 2, 5):
+        corpus.add(_program(size), frozenset({size}), 0.0)
+
+    def uncached_choice(rng):
+        weights = [1.0 / (1 + len(s.program)) for s in corpus.seeds]
+        return rng.choices(corpus.seeds, weights=weights, k=1)[0]
+
+    for trial in range(50):
+        if random.Random(trial).random() < 0.5:
+            continue  # recency-biased branch: no weights involved
+        rng_a, rng_b = random.Random(trial), random.Random(trial)
+        rng_b.random()  # choose() draws its branch coin first
+        assert corpus.choose(rng_a) is uncached_choice(rng_b)
+
+
+def test_corpus_weight_cache_invalidated_on_add():
+    corpus = Corpus()
+    corpus.add(_program(1), frozenset({1}), 0.0)
+    rng = random.Random(0)
+    for _ in range(10):  # populate the cache via the weighted branch
+        corpus.choose(rng)
+    cached = corpus._cum_weights
+    corpus.add(_program(4), frozenset({2}), 1.0)
+    assert corpus._cum_weights is None
+    for _ in range(10):
+        corpus.choose(rng)
+    assert corpus._cum_weights != cached
+
+
+# ---------------------------------------------------------------------------
+# parse / line caches
+# ---------------------------------------------------------------------------
+
+
+def test_parse_with_line_cache_is_equivalent():
+    programs = [_program(n) for n in (1, 3, 5)]
+    line_cache: dict = {}
+    for program in programs:
+        text = serialize_program(program)
+        plain = parse_program(text)
+        cached_once = parse_program(text, line_cache=line_cache)
+        cached_twice = parse_program(text, line_cache=line_cache)
+        assert plain == cached_once == cached_twice == program
+    assert line_cache  # shared lines were actually memoized
+
+
+def test_line_cached_programs_are_independent_copies():
+    text = serialize_program(_program(2))
+    line_cache: dict = {}
+    first = parse_program(text, line_cache=line_cache)
+    second = parse_program(text, line_cache=line_cache)
+    assert first == second
+    first.calls[0].args = ()  # mutate as the mutator would, on one copy
+    assert second.calls[0].args != ()
+
+
+# ---------------------------------------------------------------------------
+# interned PCs
+# ---------------------------------------------------------------------------
+
+
+def test_stable_pc_is_memoized_and_stable():
+    a = stable_pc("gpiochip", "open")
+    b = stable_pc("gpiochip", "open")
+    assert a == b
+    assert stable_pc("gpiochip", "release") != a
+
+
+def test_interner_assigns_dense_first_seen_indices():
+    interner = PcInterner()
+    pcs = [stable_pc("d", f"block{i}") for i in range(5)]
+    indices = [interner.intern(pc) for pc in pcs]
+    assert indices == list(range(5))
+    assert [interner.intern(pc) for pc in pcs] == indices  # idempotent
+    assert interner.pcs == pcs
+
+
+# ---------------------------------------------------------------------------
+# CLI oversubscription warning
+# ---------------------------------------------------------------------------
+
+
+def test_jobs_warning_only_when_oversubscribed():
+    assert warn_if_oversubscribed(2, cpus=4) is None
+    assert warn_if_oversubscribed(4, cpus=4) is None
+    message = warn_if_oversubscribed(8, cpus=4)
+    assert message is not None
+    assert "--jobs 8" in message and "4" in message

@@ -1,0 +1,198 @@
+"""Snapshot-restore device checkpointing: equivalence tests.
+
+The contract under test (see ``repro.device.snapshot``): a checkpoint
+restore must be interchangeable with the legacy ``soft_reset()`` +
+service-restart reboot path, per object and for whole campaigns.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice, DeviceCosts
+from repro.device.profiles import profile_by_id
+from repro.device.snapshot import (
+    SERVICE_INFRA_ATTRS,
+    capture_state,
+    has_snapshot_protocol,
+    restore_state,
+)
+
+COSTS = DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0, shell=2.0)
+
+
+def _device(checkpoint: bool) -> AndroidDevice:
+    return AndroidDevice(profile_by_id("A1"), costs=COSTS,
+                         checkpoint=checkpoint)
+
+
+def _fuzzed(checkpoint: bool, seed: int = 7, hours: float = 1.0):
+    """A device dirtied by a short real campaign, plus its result."""
+    device = _device(checkpoint)
+    engine = FuzzingEngine(device, FuzzerConfig(seed=seed,
+                                                campaign_hours=hours))
+    return device, engine.run()
+
+
+def _state(obj, exclude: frozenset[str] = frozenset()) -> dict:
+    return {key: value for key, value in vars(obj).items()
+            if key not in exclude}
+
+
+# ---------------------------------------------------------------------------
+# per-object snapshot()/restore() protocol
+# ---------------------------------------------------------------------------
+
+
+def test_every_driver_implements_snapshot_protocol():
+    device = _device(False)
+    assert all(has_snapshot_protocol(d) for d in device.kernel.drivers())
+
+
+def test_every_service_implements_snapshot_protocol():
+    device = _device(False)
+    assert all(has_snapshot_protocol(s)
+               for s in device.services().values())
+
+
+def test_driver_snapshot_roundtrips_dirty_state():
+    """snapshot → dirty → restore puts every driver back exactly."""
+    device, _ = _fuzzed(checkpoint=False)
+    for driver in device.kernel.drivers():
+        before = copy.deepcopy(_state(driver))
+        token = capture_state(driver)
+        driver.reset()  # dirty relative to the captured mid-campaign state
+        restore_state(driver, token)
+        assert _state(driver) == before, type(driver).__name__
+
+
+def test_service_snapshot_roundtrips_dirty_state():
+    device, _ = _fuzzed(checkpoint=False)
+    for name, service in device.services().items():
+        before = copy.deepcopy(_state(service, SERVICE_INFRA_ATTRS))
+        token = capture_state(service, exclude=SERVICE_INFRA_ATTRS)
+        service.reset()
+        restore_state(service, token, exclude=SERVICE_INFRA_ATTRS)
+        assert _state(service, SERVICE_INFRA_ATTRS) == before, name
+
+
+def test_restore_token_is_reusable():
+    """Tokens are immutable: restore may run any number of times."""
+    device, _ = _fuzzed(checkpoint=False)
+    for driver in device.kernel.drivers():
+        token = capture_state(driver)
+        restore_state(driver, token)
+        reference = copy.deepcopy(_state(driver))
+        driver.reset()  # mutate between restores
+        restore_state(driver, token)
+        assert _state(driver) == reference, type(driver).__name__
+
+
+def test_restore_does_not_alias_token_state():
+    """Mutating live state after a restore must not corrupt the token."""
+    device = _device(False)
+    driver = device.kernel.drivers()[0]
+    token = capture_state(driver)
+    restore_state(driver, token)
+    for value in vars(driver).values():
+        if isinstance(value, dict):
+            value["poison"] = object()
+        elif isinstance(value, list):
+            value.append(object())
+        elif isinstance(value, set):
+            value.add("poison")
+    restore_state(driver, token)
+    for value in vars(driver).values():
+        if isinstance(value, dict):
+            assert "poison" not in value
+        elif isinstance(value, (list, set)):
+            assert not any(v == "poison" or type(v) is object
+                           for v in value)
+
+
+# ---------------------------------------------------------------------------
+# generic fallback (objects without the protocol)
+# ---------------------------------------------------------------------------
+
+
+class _PlainState:
+    def __init__(self):
+        self.counter = 3
+        self.table = {"a": [1, 2]}
+
+
+def test_generic_capture_restores_plain_objects():
+    obj = _PlainState()
+    token = capture_state(obj)
+    obj.counter = 99
+    obj.table["a"].append(3)
+    obj.grown_attr = "leak"
+    restore_state(obj, token)
+    assert obj.counter == 3
+    assert obj.table == {"a": [1, 2]}
+    assert not hasattr(obj, "grown_attr")
+
+
+def test_generic_capture_handles_unpicklable_state():
+    obj = _PlainState()
+    obj.callback = lambda: None  # forces the deep-copy fallback
+    token = capture_state(obj)
+    obj.counter = -1
+    restore_state(obj, token)
+    assert obj.counter == 3
+    assert callable(obj.callback)
+
+
+# ---------------------------------------------------------------------------
+# campaign-level equivalence: checkpoint reboots vs legacy reboots
+# ---------------------------------------------------------------------------
+
+
+def test_whole_campaign_results_identical():
+    """Checkpoint-restored reboots reproduce the legacy campaign exactly:
+    identical CampaignResult (bugs, coverage, corpus, timeline trace)."""
+    device_ckpt, result_ckpt = _fuzzed(checkpoint=True, seed=3, hours=2.0)
+    device_legacy, result_legacy = _fuzzed(checkpoint=False, seed=3,
+                                           hours=2.0)
+    assert result_ckpt == result_legacy
+    assert result_ckpt.timeline == result_legacy.timeline
+    assert result_ckpt.reboots == result_legacy.reboots
+    # Post-campaign device state matches too: same coverage tables and
+    # same per-driver / per-service end states.
+    assert (device_ckpt.kernel.kcov.total_blocks()
+            == device_legacy.kernel.kcov.total_blocks())
+    for d_ckpt, d_legacy in zip(device_ckpt.kernel.drivers(),
+                                device_legacy.kernel.drivers()):
+        assert type(d_ckpt) is type(d_legacy)
+        assert _state(d_ckpt) == _state(d_legacy), type(d_ckpt).__name__
+    for (name_a, s_ckpt), (name_b, s_legacy) in zip(
+            device_ckpt.services().items(),
+            device_legacy.services().items()):
+        assert name_a == name_b
+        assert (_state(s_ckpt, SERVICE_INFRA_ATTRS)
+                == _state(s_legacy, SERVICE_INFRA_ATTRS)), name_a
+
+
+@pytest.mark.parametrize("profile", ["A1", "A2", "B", "E"])
+def test_campaign_equivalence_across_profiles(profile):
+    def run(checkpoint: bool):
+        device = AndroidDevice(profile_by_id(profile), costs=COSTS,
+                               checkpoint=checkpoint)
+        engine = FuzzingEngine(device, FuzzerConfig(seed=11,
+                                                    campaign_hours=1.0))
+        return engine.run()
+
+    assert run(True) == run(False)
+
+
+def test_reboot_charges_same_virtual_time_either_way():
+    ckpt, legacy = _device(True), _device(False)
+    boots_before = ckpt.boot_count
+    ckpt.reboot()
+    legacy.reboot()
+    assert ckpt.clock == legacy.clock
+    assert ckpt.boot_count == legacy.boot_count == boots_before + 1
