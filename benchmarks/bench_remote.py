@@ -1,0 +1,117 @@
+"""Remote fleet benchmark: inline vs socket-transported workers.
+
+Starts a :class:`~repro.fleet.remote.WorkerServer` on localhost, runs
+the same 4-profile fleet inline (``jobs=1``) and through the socket
+transport, verifies the merged results are field-for-field identical,
+and records the comparison into ``BENCH_remote.json`` at the repo
+root.  The per-worker observability snapshot — reconnects,
+re-dispatches, frame/byte counters, RTT histograms — is written to
+``OBS_remote.json`` so CI archives what the transport actually did.
+
+The headline number here is not speedup (the worker pool benchmark
+covers that); it is ``results_identical``: moving a campaign across a
+socket must never change what it computes.  ``transport_overhead_pct``
+quantifies what the framing layer costs on top of the local pool.
+
+Dual mode: collected by pytest (``pytest benchmarks/bench_remote.py``)
+or run directly (``python benchmarks/bench_remote.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # direct invocation: src/ onto the path
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                           .parent.parent / "src"))
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.device.device import DeviceCosts
+from repro.device.profiles import profile_by_id
+from repro.fleet.remote import WorkerServer
+
+PROFILES = ("A1", "A2", "B", "E")
+SLOTS = 4
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_remote.json"
+OBS_PATH = ROOT / "OBS_remote.json"
+#: Fast cost model: campaigns stay ~sub-second so the benchmark
+#: measures the transport, not the device simulation.
+COSTS = DeviceCosts(syscall=1.0, binder=4.0, reboot=120.0, shell=2.0)
+
+
+def _run(hours: float, jobs: int = 1,
+         workers: list[str] | None = None) -> tuple[Daemon, float]:
+    daemon = Daemon(config=FuzzerConfig(seed=0, campaign_hours=hours),
+                    costs=COSTS, workers=list(workers or []))
+    profiles = [profile_by_id(ident) for ident in PROFILES]
+    started = time.perf_counter()
+    daemon.run_fleet(profiles, jobs=jobs)
+    return daemon, time.perf_counter() - started
+
+
+def bench_remote(hours: float | None = None) -> dict:
+    """Run inline, pooled, and remote; write the comparison record."""
+    if hours is None:
+        hours = float(os.environ.get("REPRO_BENCH_HOURS", 2.0))
+    sequential, seq_wall = _run(hours, jobs=1)
+    pooled, pool_wall = _run(hours, jobs=SLOTS)
+    with WorkerServer(slots=SLOTS) as server:
+        address = "%s:%d" % server.address
+        remote, remote_wall = _run(hours, workers=[address])
+
+    obs = remote.metrics.snapshot()
+    # snapshot() values are typed dicts; counters carry a "value" key.
+    transport = {name: entry.get("value", 0)
+                 for name, entry in sorted(obs.items())
+                 if name.startswith("fleet.remote.")
+                 and entry.get("type") == "counter"}
+    record = {
+        "profiles": list(PROFILES),
+        "campaign_hours": hours,
+        "slots": SLOTS,
+        "cpu_count": os.cpu_count(),
+        "worker_address": address,
+        "sequential_wall_seconds": round(seq_wall, 3),
+        "pool_wall_seconds": round(pool_wall, 3),
+        "remote_wall_seconds": round(remote_wall, 3),
+        "transport_overhead_pct": round(
+            100.0 * (remote_wall - pool_wall) / pool_wall, 1)
+        if pool_wall > 0 else 0.0,
+        "scheduler": {key: remote.fleet_stats[key]
+                      for key in ("completed", "retried", "failed")
+                      if key in remote.fleet_stats},
+        "frames_sent": sum(value for name, value in transport.items()
+                           if name.endswith(".frames_sent")),
+        "frames_received": sum(value for name, value in transport.items()
+                               if name.endswith(".frames_received")),
+        "reconnects": sum(value for name, value in transport.items()
+                          if name.endswith(".reconnects")),
+        "results_identical": (
+            sequential.results == remote.results
+            and pooled.results == remote.results),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    OBS_PATH.write_text(json.dumps(obs, indent=1, sort_keys=True) + "\n")
+    return record
+
+
+def test_remote_fleet_matches_inline():
+    record = bench_remote()
+    assert record["results_identical"]
+    assert record["scheduler"]["failed"] == 0
+    # A healthy localhost run needs no reconnects at all.
+    assert record["reconnects"] == 0
+    assert record["frames_sent"] > 0 and record["frames_received"] > 0
+    assert OUT_PATH.exists() and OBS_PATH.exists()
+
+
+if __name__ == "__main__":
+    summary = bench_remote()
+    print(json.dumps(summary, indent=1, sort_keys=True))
+    print(f"\nwritten to {OUT_PATH} and {OBS_PATH}")

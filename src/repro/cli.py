@@ -9,14 +9,17 @@ Subcommands::
     fleet                     parallel multi-device fleet via the daemon
     compare  <device>         run several tools and compare coverage
     stats    <trace-dir>      summarize a recorded telemetry trace
+    worker serve              host a remote fleet worker pool over TCP
 
 ``fuzz``, ``hunt``, and ``compare`` accept ``--telemetry DIR`` to record
 a JSONL trace, periodic monitor snapshots, and a metrics dump that
 ``stats`` reads back, and ``--jobs N`` to shard independent campaigns
 across a worker pool (``fuzz`` needs ``--seeds`` > 1 to have anything
-to parallelize).  ``--trace-max-mb`` bounds each ``trace.jsonl`` by
-rotating full segments.  Every command operates on the virtual fleet;
-see README.md.
+to parallelize).  ``--workers host:port,...`` dispatches the same
+campaigns to ``repro worker serve`` pools on other hosts instead —
+results are byte-identical to local runs.  ``--trace-max-mb`` bounds
+each ``trace.jsonl`` by rotating full segments.  Every command operates
+on the virtual fleet; see README.md.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import argparse
 import os
 import pathlib
 import sys
+import time
 
 from repro.analysis.plots import ascii_chart
 from repro.analysis.tables import render_table
@@ -49,6 +53,12 @@ def _trace_bytes(args) -> int | None:
     """``--trace-max-mb`` as a byte threshold (None: unbounded)."""
     limit = getattr(args, "trace_max_mb", 0.0)
     return int(limit * 1024 * 1024) if limit else None
+
+
+def _worker_list(args) -> list[str]:
+    """``--workers`` as a list of ``host:port`` strings ([] when off)."""
+    spec = getattr(args, "workers", "") or ""
+    return [part.strip() for part in spec.split(",") if part.strip()]
 
 
 def _make_telemetry(directory: str | None, subdir: str | None = None,
@@ -78,6 +88,9 @@ def _fleet_progress(event: dict) -> None:
         print(f"[--] {key} retry: {event.get('reason', '')}", flush=True)
     elif kind == "fail":
         print(f"[--] {key} FAILED: {event.get('reason', '')}", flush=True)
+    elif kind == "worker_lost":
+        print(f"[--] worker {key} unreachable: "
+              f"{event.get('reason', '')}", flush=True)
 
 
 def _cmd_list_devices(_args) -> int:
@@ -105,7 +118,7 @@ def _cmd_probe(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    if args.seeds > 1:
+    if args.seeds > 1 or _worker_list(args):
         return _fuzz_fleet(args)
     device = AndroidDevice(profile_by_id(args.device))
     telemetry = _make_telemetry(args.telemetry,
@@ -142,6 +155,7 @@ def _fuzz_fleet(args) -> int:
         for index, seed in enumerate(
             range(args.seed, args.seed + args.seeds))]
     scheduler = FleetScheduler(jobs=max(args.jobs, 1),
+                               workers=_worker_list(args),
                                progress=_fleet_progress)
     outcomes = scheduler.run(specs)
     failed = 0
@@ -162,7 +176,7 @@ def _fuzz_fleet(args) -> int:
 
 
 def _cmd_hunt(args) -> int:
-    if args.jobs > 1:
+    if args.jobs > 1 or _worker_list(args):
         return _hunt_fleet(args)
     total = []
     for profile in DEVICE_PROFILES:
@@ -204,7 +218,9 @@ def _hunt_fleet(args) -> int:
                                   campaign_hours=args.hours),
                 telemetry_dir=args.telemetry or None,
                 max_trace_bytes=_trace_bytes(args)))
-    scheduler = FleetScheduler(jobs=args.jobs, progress=_fleet_progress)
+    scheduler = FleetScheduler(jobs=args.jobs,
+                               workers=_worker_list(args),
+                               progress=_fleet_progress)
     outcomes = scheduler.run(specs)
     total = []
     failed = 0
@@ -238,6 +254,7 @@ def _cmd_fleet(args) -> int:
                                       campaign_hours=args.hours),
                     telemetry_dir=args.telemetry or None,
                     jobs=args.jobs, watchdog_seconds=args.watchdog,
+                    workers=_worker_list(args),
                     max_trace_bytes=_trace_bytes(args))
     try:
         daemon.run_fleet(profiles, progress=_fleet_progress)
@@ -279,6 +296,7 @@ def _compare_fleet(args):
         max_trace_bytes=_trace_bytes(args))
         for index, tool in enumerate(args.tools)]
     outcomes = FleetScheduler(jobs=args.jobs,
+                              workers=_worker_list(args),
                               progress=_fleet_progress).run(specs)
     bad = [outcome for outcome in outcomes if not outcome.ok]
     if bad:
@@ -292,7 +310,7 @@ def _compare_fleet(args):
 def _cmd_compare(args) -> int:
     series = {}
     rows = []
-    if args.jobs > 1:
+    if args.jobs > 1 or _worker_list(args):
         outcomes = _compare_fleet(args)
         if outcomes is None:
             return 1
@@ -334,6 +352,25 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_worker_serve(args) -> int:
+    """``worker serve``: host a fleet worker pool until interrupted."""
+    from repro.fleet.remote.server import WorkerServer
+    server = WorkerServer(host=args.host, port=args.port,
+                          slots=args.slots or None)
+    server.start()
+    host, port = server.address
+    print(f"fleet worker serving on {host}:{port} "
+          f"({server.slots} slot(s)); Ctrl-C to drain and stop",
+          flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("draining...", flush=True)
+        server.stop(drain=True)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     fleet = load_fleet_summary(args.trace_dir)
     if fleet is not None:
@@ -365,6 +402,11 @@ def build_parser() -> argparse.ArgumentParser:
     def _pool_args(command, jobs_help: str) -> None:
         command.add_argument("--jobs", type=int, default=1,
                              help=jobs_help)
+        command.add_argument("--workers", default="", metavar="ADDRS",
+                             help="comma-separated host:port of running "
+                                  "'repro worker serve' pools; campaigns "
+                                  "dispatch there instead of forking "
+                                  "locally")
         command.add_argument("--trace-max-mb", type=float, default=0.0,
                              metavar="MB",
                              help="rotate trace.jsonl past this size "
@@ -424,6 +466,19 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("trace_dir",
                        help="telemetry directory (or a parent of several)")
     stats.set_defaults(func=_cmd_stats)
+
+    worker = sub.add_parser("worker", help="remote fleet worker commands")
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_sub.add_parser(
+        "serve", help="host a worker pool behind a TCP socket")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (keep on a trusted network; "
+                            "the wire carries pickled job specs)")
+    serve.add_argument("--port", type=int, default=7788,
+                       help="bind port (0: pick a free one)")
+    serve.add_argument("--slots", type=int, default=0,
+                       help="concurrent campaigns (0: CPU count)")
+    serve.set_defaults(func=_cmd_worker_serve)
     return parser
 
 

@@ -48,6 +48,11 @@ class Daemon:
     rollups: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: Worker pool width for :meth:`run_fleet` (1: inline execution).
     jobs: int = 1
+    #: Remote ``host:port`` worker-server addresses; when non-empty,
+    #: fleet jobs dispatch over TCP (``repro worker serve`` peers)
+    #: instead of the local pool.  Results are byte-identical either
+    #: way — campaigns are seed-deterministic and merged by index.
+    workers: list = field(default_factory=list)
     #: Real seconds without a worker heartbeat before the watchdog
     #: kills and requeues the job.
     watchdog_seconds: float = 300.0
@@ -143,7 +148,7 @@ class Daemon:
         scheduler = FleetScheduler(
             jobs=width, watchdog_seconds=self.watchdog_seconds,
             max_retries=self.max_retries, metrics=self.metrics,
-            progress=progress)
+            progress=progress, workers=list(self.workers))
         outcomes = scheduler.run(specs)
         failures: dict[str, str] = {}
         for outcome in outcomes:  # already in submission order

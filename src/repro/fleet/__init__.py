@@ -5,12 +5,21 @@
 * :mod:`repro.fleet.worker` — the pool-process campaign runner shared
   with the inline fallback path.
 * :mod:`repro.fleet.scheduler` — :class:`FleetScheduler`: worker pool,
-  heartbeat watchdog with bounded retries, deterministic result merge.
+  heartbeat watchdog with bounded retries, deterministic result merge,
+  and remote dispatch over ``workers=["host:port", ...]``.
+* :mod:`repro.fleet.clock` — the injected :class:`Clock` every
+  scheduling decision reads time through.
+* :mod:`repro.fleet.remote` — the length-prefixed TCP transport:
+  :class:`~repro.fleet.remote.server.WorkerServer` (``repro worker
+  serve``) and
+  :class:`~repro.fleet.remote.transport.RemoteWorkerTransport`.
 """
 
+from repro.fleet.clock import Clock, ManualClock, SystemClock
 from repro.fleet.jobs import CampaignJob, CampaignOutcome, FleetJobError
 from repro.fleet.scheduler import FLEET_FILE, FleetScheduler
 from repro.fleet.worker import build_engine, execute_job
 
-__all__ = ["CampaignJob", "CampaignOutcome", "FleetJobError",
-           "FleetScheduler", "FLEET_FILE", "build_engine", "execute_job"]
+__all__ = ["CampaignJob", "CampaignOutcome", "Clock", "FleetJobError",
+           "FleetScheduler", "FLEET_FILE", "ManualClock", "SystemClock",
+           "build_engine", "execute_job"]

@@ -1,0 +1,75 @@
+"""Injectable clock for the fleet scheduling path.
+
+The scheduler's watchdog, retry backoff, and progress bookkeeping all
+consume time through one :class:`Clock` object instead of reading
+``time.monotonic()`` directly.  Production uses :class:`SystemClock`;
+tests that want to exercise watchdog timeouts or remote-latency
+behaviour deterministically inject a :class:`ManualClock`, whose
+``sleep()`` *advances* virtual time instead of blocking — a scheduler
+loop that would take minutes of wall-clock waiting runs in
+milliseconds and fires its timeouts at exact, reproducible instants.
+
+Campaign execution itself is untouched: the device simulation has its
+own virtual clock, and worker wall-time accounting stays real.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Time source protocol for scheduling decisions.
+
+    ``monotonic()`` orders events and drives timeouts;
+    ``perf_counter()`` measures wall durations for summaries;
+    ``sleep()`` yields between scheduler iterations.
+    """
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def perf_counter(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock (default)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def perf_counter(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A test clock that only moves when told (or slept) to.
+
+    ``sleep()`` advances the clock by the requested amount, so a
+    scheduler polling loop naturally marches virtual time forward and
+    watchdog deadlines fire after a deterministic number of
+    iterations, with zero real waiting.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def perf_counter(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.now += max(float(seconds), 0.0)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward explicitly (alias of :meth:`sleep`)."""
+        self.sleep(seconds)

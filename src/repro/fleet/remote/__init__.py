@@ -1,0 +1,57 @@
+"""Remote fleet workers over a length-prefixed TCP transport.
+
+* :mod:`repro.fleet.remote.framing` — versioned, CRC-checked frame
+  layer and the typed :class:`RemoteProtocolError` hierarchy.
+* :mod:`repro.fleet.remote.server` — :class:`WorkerServer`, the
+  ``repro worker serve`` daemon hosting a local pool on any host with
+  idempotent, key-deduplicated job dispatch.
+* :mod:`repro.fleet.remote.transport` —
+  :class:`RemoteWorkerTransport`, the scheduler-side link with
+  timeouts, bounded-backoff reconnect, and in-flight re-dispatch.
+"""
+
+from repro.fleet.remote.framing import (
+    MAX_FRAME,
+    VERSION,
+    FrameCorruptError,
+    FrameDecoder,
+    FrameMagicError,
+    FrameTooLargeError,
+    FrameTruncatedError,
+    FrameVersionError,
+    RemoteProtocolError,
+    encode_frame,
+    pack_message,
+    read_frame,
+    unpack_message,
+    write_frame,
+)
+from repro.fleet.remote.server import WorkerServer
+from repro.fleet.remote.transport import (
+    RemoteConnectError,
+    RemoteWorkerLost,
+    RemoteWorkerTransport,
+    parse_address,
+)
+
+__all__ = [
+    "MAX_FRAME",
+    "VERSION",
+    "FrameCorruptError",
+    "FrameDecoder",
+    "FrameMagicError",
+    "FrameTooLargeError",
+    "FrameTruncatedError",
+    "FrameVersionError",
+    "RemoteProtocolError",
+    "RemoteConnectError",
+    "RemoteWorkerLost",
+    "RemoteWorkerTransport",
+    "WorkerServer",
+    "encode_frame",
+    "pack_message",
+    "parse_address",
+    "read_frame",
+    "unpack_message",
+    "write_frame",
+]

@@ -1,0 +1,220 @@
+"""Length-prefixed, versioned frame layer for the remote fleet wire.
+
+One frame carries one fleet message (the same ``job`` / ``start`` /
+``hb`` / ``done`` / ``error`` shapes the in-process queues move) over a
+byte stream:
+
+    +-------+---------+-------+--------+------------------+
+    | magic | version | crc32 | length |     payload      |
+    | 4 B   | 2 B     | 4 B   | 4 B    | ``length`` bytes |
+    +-------+---------+-------+--------+------------------+
+
+All header fields are big-endian (``!4sHII``).  The magic pins the
+protocol (a stray client talking HTTP fails immediately, not
+confusingly), the version gates compatibility (mismatches are rejected
+with a clear error naming both sides), the CRC detects truncated or
+corrupted payloads before they are unpickled, and the length bounds
+the read.  Every decode failure raises a *typed* error derived from
+:class:`RemoteProtocolError` — transports treat them as connection
+faults and reconnect; nothing is ever silently resynchronized.
+
+:class:`FrameDecoder` is incremental: feed it arbitrary byte chunks
+(TCP segments split wherever they like) and complete payloads come out
+as they close.  :func:`write_frame` loops over short writes, so a
+writer that accepts one byte at a time still emits a well-formed
+frame.
+
+Payloads are pickled :class:`~repro.fleet.worker.WorkerMessage`
+objects — the same serialization the ``multiprocessing`` queues
+already use for these messages, so local and remote workers move
+identical shapes.  Pickle implies a *trusted* network: bind servers to
+loopback or a private fleet LAN, exactly like the broker's ADB
+surrogate channel.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.fleet.worker import WorkerMessage
+
+#: Frame header: magic, protocol version, payload CRC32, payload length.
+HEADER = struct.Struct("!4sHII")
+MAGIC = b"DFRW"
+VERSION = 1
+#: Upper bound on one payload; a length beyond this is treated as
+#: stream corruption, not an allocation request.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class RemoteProtocolError(ReproError):
+    """Base for every remote-fleet wire failure."""
+
+
+class FrameMagicError(RemoteProtocolError):
+    """The stream does not start with the fleet frame magic."""
+
+
+class FrameVersionError(RemoteProtocolError):
+    """The peer speaks an incompatible frame version."""
+
+
+class FrameTooLargeError(RemoteProtocolError):
+    """Declared payload length exceeds :data:`MAX_FRAME`."""
+
+
+class FrameCorruptError(RemoteProtocolError):
+    """Payload bytes do not match the header CRC."""
+
+
+class FrameTruncatedError(RemoteProtocolError):
+    """The stream ended (or the writer stalled) mid-frame."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One wire frame wrapping ``payload``."""
+    if len(payload) > MAX_FRAME:
+        raise FrameTooLargeError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte frame bound")
+    return HEADER.pack(MAGIC, VERSION, zlib.crc32(payload),
+                       len(payload)) + payload
+
+
+def _check_header(magic: bytes, version: int, length: int) -> None:
+    if magic != MAGIC:
+        raise FrameMagicError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}); "
+            f"peer is not speaking the fleet protocol")
+    if version != VERSION:
+        raise FrameVersionError(
+            f"peer speaks frame version {version}, this build speaks "
+            f"version {VERSION}; upgrade one side")
+    if length > MAX_FRAME:
+        raise FrameTooLargeError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME}-byte frame bound (corrupt stream?)")
+
+
+class FrameDecoder:
+    """Incremental frame parser tolerant of arbitrary read splits."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every payload completed by it."""
+        self._buffer.extend(data)
+        payloads: list[bytes] = []
+        while True:
+            if len(self._buffer) < HEADER.size:
+                return payloads
+            magic, version, crc, length = HEADER.unpack_from(self._buffer)
+            _check_header(magic, version, length)
+            end = HEADER.size + length
+            if len(self._buffer) < end:
+                return payloads
+            payload = bytes(self._buffer[HEADER.size:end])
+            if zlib.crc32(payload) != crc:
+                raise FrameCorruptError(
+                    f"payload CRC mismatch on a {length}-byte frame")
+            del self._buffer[:end]
+            payloads.append(payload)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        """Signal EOF; raises if a frame was left half-read."""
+        if self._buffer:
+            raise FrameTruncatedError(
+                f"stream ended with {len(self._buffer)} bytes of an "
+                f"unfinished frame")
+
+
+def read_frame(read: Callable[[int], bytes]) -> bytes | None:
+    """Read one payload from a blocking ``read(n)`` source.
+
+    Returns None on clean EOF at a frame boundary; raises
+    :class:`FrameTruncatedError` on EOF mid-frame.  Short reads are
+    looped over, so split TCP segments are transparent.
+    """
+    header = _read_exact(read, HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    magic, version, crc, length = HEADER.unpack(header)
+    _check_header(magic, version, length)
+    payload = _read_exact(read, length, allow_eof=False)
+    if zlib.crc32(payload) != crc:
+        raise FrameCorruptError(
+            f"payload CRC mismatch on a {length}-byte frame")
+    return payload
+
+
+def _read_exact(read: Callable[[int], bytes], count: int,
+                allow_eof: bool) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = read(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise FrameTruncatedError(
+                f"stream ended {remaining} byte(s) short of a "
+                f"{count}-byte read")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(write: Callable[[bytes], int | None],
+                payload: bytes) -> int:
+    """Emit one frame through ``write``, looping over partial writes.
+
+    ``write`` may consume everything (returning None, like
+    ``socket.sendall``) or report a byte count (like ``os.write``);
+    both are handled.  Returns the total frame size sent.
+    """
+    data = encode_frame(payload)
+    view = memoryview(data)
+    while view:
+        sent = write(view)
+        if sent is None:
+            break  # sendall-style writer took the rest
+        if sent <= 0:
+            raise FrameTruncatedError(
+                f"writer accepted 0 bytes with {len(view)} still to send")
+        view = view[sent:]
+    return len(data)
+
+
+# ----------------------------------------------------------------------
+# message payloads
+# ----------------------------------------------------------------------
+
+def pack_message(message: WorkerMessage) -> bytes:
+    """Serialize one fleet message for the wire."""
+    return pickle.dumps((message.kind, message.key, message.data),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_message(payload: bytes) -> WorkerMessage:
+    """Parse a wire payload back into a :class:`WorkerMessage`."""
+    try:
+        kind, key, data = pickle.loads(payload)
+    except Exception as error:
+        raise RemoteProtocolError(
+            f"undecodable fleet message payload: {error}") from error
+    if not isinstance(kind, str) or not isinstance(key, str) \
+            or not isinstance(data, dict):
+        raise RemoteProtocolError(
+            f"malformed fleet message shape: {type(kind).__name__}/"
+            f"{type(key).__name__}/{type(data).__name__}")
+    return WorkerMessage(kind, key, data)

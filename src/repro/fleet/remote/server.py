@@ -1,0 +1,338 @@
+"""Remote fleet worker server: a local pool behind a TCP socket.
+
+``repro worker serve`` runs one of these on any host.  A
+:class:`WorkerServer` accepts scheduler connections, receives ``job``
+frames, runs each campaign through the *same*
+:func:`~repro.fleet.worker.worker_main` entry point the local pool
+uses (a killable child process with heartbeats; inline thread fallback
+when the platform refuses processes), and streams the resulting
+``start`` / ``hb`` / ``done`` / ``error`` messages back as frames.
+
+Dispatch is **idempotent by job key**: completed outcomes are cached,
+so a scheduler that re-sends a job after a watchdog timeout or a
+reconnect gets the cached ``done`` back instead of a second execution —
+a retried job can never double-count in the merged campaign.  A job
+key that is still running is simply re-attached to the newest
+connection; two copies never run at once.
+
+Shutdown is a graceful drain by default: the listener closes first, in
+flight campaigns finish and report, then the connection threads wind
+down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import queue as queue_module
+import socket
+import threading
+import time
+from typing import Any, Callable
+
+from repro.fleet.jobs import CampaignJob, CampaignOutcome
+from repro.fleet.remote.framing import (
+    RemoteProtocolError,
+    pack_message,
+    read_frame,
+    unpack_message,
+    write_frame,
+)
+from repro.fleet.worker import WorkerMessage, worker_main
+from repro.obs.metrics import MetricsRegistry
+
+#: Seconds a dead worker process may stay silent before the server
+#: synthesizes an ``error`` message for its job.
+_DEAD_GRACE = 1.0
+#: Forwarder poll period while waiting on a worker's message queue.
+_POLL = 0.1
+
+
+class _ServerJob:
+    """One in-flight campaign on the server."""
+
+    def __init__(self, job: CampaignJob,
+                 send: Callable[[WorkerMessage], None]) -> None:
+        self.job = job
+        self.send = send  # retargeted when the scheduler reconnects
+        self.process: Any = None
+        self.cancelled = False
+
+
+class WorkerServer:
+    """Host a fleet worker pool behind a length-prefixed TCP socket.
+
+    Args:
+        host: bind address (default loopback; the wire uses pickle, so
+            expose it only to a trusted fleet network).
+        port: bind port; 0 picks a free one (see :attr:`address`).
+        slots: concurrent campaign width of this host's pool.
+        metrics: optional registry receiving ``remote.server.*``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 slots: int | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.slots = max(int(slots if slots is not None
+                             else (os.cpu_count() or 1)), 1)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._running: dict[str, _ServerJob] = {}
+        self._completed: dict[str, CampaignOutcome] = {}
+        self._free_ids = list(range(1, self.slots + 1))
+        heapq.heapify(self._free_ids)
+        self._stopping = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "WorkerServer":
+        """Begin accepting scheduler connections (returns self)."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Shut down; ``drain`` lets running campaigns finish first."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        deadline = time.monotonic() + timeout
+        if drain:
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._running:
+                        break
+                time.sleep(_POLL)
+        with self._lock:
+            entries = list(self._running.values())
+        for entry in entries:
+            entry.cancelled = True
+            process = entry.process
+            if process is not None and process.is_alive():
+                process.terminate()
+        for thread in list(self._threads):
+            thread.join(timeout=max(deadline - time.monotonic(), 0.1))
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self._count("remote.server.connections")
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="fleet-conn", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(0.5)
+        send_lock = threading.Lock()
+        heartbeat = {"seconds": 2.0}
+
+        def send(message: WorkerMessage) -> None:
+            payload = pack_message(message)
+            with send_lock:
+                sent = write_frame(lambda data: conn.sendall(data), payload)
+            self._count("remote.server.frames_sent")
+            self._count("remote.server.bytes_sent", sent)
+
+        def read(count: int) -> bytes:
+            while True:
+                try:
+                    return conn.recv(count)
+                except socket.timeout:
+                    if self._stopping.is_set():
+                        return b""
+                    continue
+
+        try:
+            while True:
+                try:
+                    payload = read_frame(read)
+                except RemoteProtocolError:
+                    break  # corrupt/truncated stream: drop the link
+                if payload is None:
+                    break  # clean EOF
+                self._count("remote.server.frames_received")
+                self._count("remote.server.bytes_received", len(payload))
+                message = unpack_message(payload)
+                if message.kind == "hello":
+                    heartbeat["seconds"] = float(
+                        message.data.get("heartbeat_seconds", 2.0))
+                    send(WorkerMessage("hello", "", {
+                        "slots": self.slots, "pid": os.getpid()}))
+                elif message.kind == "job":
+                    self._handle_job(message.data["job"], send,
+                                     heartbeat["seconds"])
+                elif message.kind == "cancel":
+                    self._handle_cancel(message.key)
+                elif message.kind == "ping":
+                    send(WorkerMessage("pong", "", dict(message.data)))
+                elif message.kind == "bye":
+                    break
+        except (OSError, RemoteProtocolError):
+            pass  # connection died; jobs keep running for the reconnect
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # jobs
+    # ------------------------------------------------------------------
+
+    def _handle_job(self, job: CampaignJob,
+                    send: Callable[[WorkerMessage], None],
+                    heartbeat_seconds: float) -> None:
+        with self._lock:
+            cached = self._completed.get(job.key)
+            if cached is not None:
+                # Idempotent re-dispatch: replay, never re-run.
+                self._count("remote.server.jobs_cached")
+                send(WorkerMessage("done", job.key, {
+                    "worker": cached.worker_id, "outcome": cached,
+                    "cached": True}))
+                return
+            entry = self._running.get(job.key)
+            if entry is not None:
+                # Already running: point its messages at this link.
+                entry.send = send
+                return
+            entry = _ServerJob(job, send)
+            self._running[job.key] = entry
+        self._count("remote.server.jobs_accepted")
+        thread = threading.Thread(
+            target=self._run_job, args=(entry, heartbeat_seconds),
+            name=f"fleet-job-{job.key}", daemon=True)
+        self._threads.append(thread)
+        thread.start()
+
+    def _handle_cancel(self, key: str) -> None:
+        with self._lock:
+            entry = self._running.pop(key, None)
+        if entry is None:
+            return
+        self._count("remote.server.jobs_cancelled")
+        entry.cancelled = True
+        process = entry.process
+        if process is not None and process.is_alive():
+            process.terminate()
+
+    def _claim_slot(self, entry: _ServerJob) -> int | None:
+        while True:
+            with self._lock:
+                if entry.cancelled:
+                    return None
+                if self._free_ids:
+                    return heapq.heappop(self._free_ids)
+            time.sleep(_POLL)
+
+    def _run_job(self, entry: _ServerJob,
+                 heartbeat_seconds: float) -> None:
+        worker_id = self._claim_slot(entry)
+        if worker_id is None:
+            return
+        try:
+            self._supervise(entry, worker_id, heartbeat_seconds)
+        finally:
+            with self._lock:
+                heapq.heappush(self._free_ids, worker_id)
+                if self._running.get(entry.job.key) is entry:
+                    del self._running[entry.job.key]
+
+    def _supervise(self, entry: _ServerJob, worker_id: int,
+                   heartbeat_seconds: float) -> None:
+        """Run one campaign in a child and forward its messages."""
+        job = entry.job
+        try:
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else None)
+            channel: Any = ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, job, channel, heartbeat_seconds),
+                daemon=True)
+            process.start()
+            entry.process = process
+        except (OSError, ValueError):
+            # Platform refuses processes: run inline in a nested thread
+            # through the identical worker_main code path.
+            channel = queue_module.Queue()
+            runner = threading.Thread(
+                target=worker_main,
+                args=(worker_id, job, channel, heartbeat_seconds),
+                daemon=True)
+            runner.start()
+            process = None
+
+        dead_since: float | None = None
+        while True:
+            try:
+                message: WorkerMessage = channel.get(timeout=_POLL)
+            except (queue_module.Empty, OSError, ValueError):
+                if entry.cancelled:
+                    return
+                if process is not None and not process.is_alive():
+                    if dead_since is None:
+                        dead_since = time.monotonic()
+                    elif time.monotonic() - dead_since > _DEAD_GRACE:
+                        self._forward(entry, WorkerMessage(
+                            "error", job.key,
+                            {"worker": worker_id,
+                             "error": f"worker process exited with code "
+                                      f"{process.exitcode}"}))
+                        return
+                continue
+            dead_since = None
+            if message.kind == "done":
+                outcome: CampaignOutcome = message.data["outcome"]
+                with self._lock:
+                    self._completed[job.key] = outcome
+                self._count("remote.server.jobs_completed")
+            if not entry.cancelled:
+                self._forward(entry, message)
+            if message.kind in ("done", "error"):
+                if process is not None:
+                    process.join(timeout=2.0)
+                return
+
+    def _forward(self, entry: _ServerJob, message: WorkerMessage) -> None:
+        """Best-effort send; a dead link is fine — completed outcomes
+        stay cached and replay when the scheduler re-dispatches."""
+        try:
+            entry.send(message)
+        except (OSError, RemoteProtocolError):
+            self._count("remote.server.frames_lost")
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)

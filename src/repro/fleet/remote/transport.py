@@ -1,0 +1,325 @@
+"""Scheduler-side transport to one remote :class:`WorkerServer`.
+
+A :class:`RemoteWorkerTransport` plugs into
+:class:`~repro.fleet.scheduler.FleetScheduler` beside the in-process
+pool: ``dispatch()`` sends ``job`` frames, a reader thread turns
+incoming frames back into the familiar
+:class:`~repro.fleet.worker.WorkerMessage` stream on :attr:`messages`,
+and the scheduler's shared watchdog / merge / retry logic never knows
+whether a worker was a forked process or a host across the network.
+
+Robustness lives here:
+
+* connect and read timeouts — a silent peer cannot wedge the scheduler;
+* bounded exponential-backoff reconnect on any stream fault (EOF,
+  truncated frame, bad CRC), with every in-flight job re-dispatched
+  after the link returns (safe: the server deduplicates by job key);
+* when reconnects exhaust, every in-flight job is surfaced as a typed
+  ``error`` message so the scheduler can retry it elsewhere or fail it
+  loudly — the transport never hangs and never drops a job silently.
+
+Per-worker observability flows into the scheduler's metrics registry:
+``fleet.remote.<label>.{reconnects, redispatches, frames_sent,
+frames_received, bytes_sent, bytes_received, jobs_dispatched}``
+counters and an ``rtt_seconds`` histogram (hello round-trip plus
+dispatch→start latency per job).
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.fleet.remote.framing import (
+    FrameDecoder,
+    RemoteProtocolError,
+    pack_message,
+    unpack_message,
+    write_frame,
+)
+from repro.fleet.worker import WorkerMessage
+
+if TYPE_CHECKING:
+    from repro.fleet.jobs import CampaignJob
+    from repro.obs.metrics import MetricsRegistry
+
+#: Histogram buckets for wire round-trip times (seconds).
+RTT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+               0.5, 1.0, 2.5)
+
+
+class RemoteConnectError(ReproError):
+    """A fleet worker address could not be reached."""
+
+
+class RemoteWorkerLost(ReproError):
+    """A connected fleet worker went away and reconnects exhausted."""
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split ``host:port`` (the port is mandatory)."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise RemoteConnectError(
+            f"malformed worker address {address!r} (expected host:port)")
+    return host, int(port)
+
+
+class RemoteWorkerTransport:
+    """One scheduler↔worker-server link with reconnect supervision.
+
+    Args:
+        address: ``host:port`` of a running ``repro worker serve``.
+        metrics: scheduler registry for the per-worker counters.
+        heartbeat_seconds: heartbeat period requested from the server.
+        connect_timeout: seconds allowed per TCP connect + hello.
+        max_reconnects: stream-fault reconnect attempts before the
+            worker is declared lost.
+        reconnect_backoff: base delay before reconnect attempt ``n``
+            (doubles each attempt, capped at 5 s).
+    """
+
+    def __init__(self, address: str,
+                 metrics: "MetricsRegistry | None" = None,
+                 heartbeat_seconds: float = 2.0,
+                 connect_timeout: float = 5.0,
+                 max_reconnects: int = 5,
+                 reconnect_backoff: float = 0.2) -> None:
+        self.address = address
+        self._host, self._port = parse_address(address)
+        self._metrics = metrics
+        self._label = address.replace(".", "-")
+        self._heartbeat_seconds = heartbeat_seconds
+        self._connect_timeout = connect_timeout
+        self._max_reconnects = max(int(max_reconnects), 0)
+        self._backoff = reconnect_backoff
+        #: Messages for the scheduler, in arrival order.
+        self.messages: queue.Queue[WorkerMessage] = queue.Queue()
+        #: Concurrent jobs the server advertises (hello exchange).
+        self.slots = 1
+        self.alive = False
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+        self._closing = threading.Event()
+        self._reader: threading.Thread | None = None
+        #: key → (job, attempt) awaiting a terminal message; re-sent
+        #: verbatim after every reconnect (server-side idempotent).
+        self._in_flight: dict[str, tuple["CampaignJob", int]] = {}
+        self._dispatched_at: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "RemoteWorkerTransport":
+        """Establish the link and exchange hellos (returns self)."""
+        self._establish()
+        self.alive = True
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"fleet-link-{self.address}",
+            daemon=True)
+        self._reader.start()
+        return self
+
+    def _establish(self) -> None:
+        started = time.perf_counter()
+        try:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout)
+        except OSError as error:
+            raise RemoteConnectError(
+                f"cannot reach fleet worker {self.address}: "
+                f"{error}") from error
+        sock.settimeout(self._connect_timeout)
+        try:
+            self._sock = sock
+            self._send(WorkerMessage("hello", "", {
+                "heartbeat_seconds": self._heartbeat_seconds}))
+            hello = self._read_one(sock)
+        except (OSError, RemoteProtocolError) as error:
+            sock.close()
+            self._sock = None
+            raise RemoteConnectError(
+                f"handshake with fleet worker {self.address} failed: "
+                f"{error}") from error
+        if hello is None or hello.kind != "hello":
+            sock.close()
+            self._sock = None
+            raise RemoteConnectError(
+                f"fleet worker {self.address} answered the hello with "
+                f"{getattr(hello, 'kind', 'EOF')!r}")
+        self.slots = max(int(hello.data.get("slots", 1)), 1)
+        self._observe_rtt(time.perf_counter() - started)
+        sock.settimeout(0.2)
+
+    def _read_one(self, sock: socket.socket) -> WorkerMessage | None:
+        """Blocking single-message read used only for the handshake."""
+        decoder = FrameDecoder()
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                decoder.close()  # raises if mid-frame
+                return None
+            payloads = decoder.feed(data)
+            if payloads:
+                self._count("frames_received", len(payloads))
+                self._count("bytes_received", sum(map(len, payloads)))
+                return unpack_message(payloads[0])
+
+    def close(self) -> None:
+        """Graceful drain: say goodbye, stop reading, drop the socket."""
+        self._closing.set()
+        try:
+            self._send(WorkerMessage("bye", "", {}))
+        except (OSError, RemoteProtocolError):
+            pass
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._reader is not None:
+            self._reader.join(timeout=2.0)
+        self.alive = False
+
+    # ------------------------------------------------------------------
+    # scheduler surface
+    # ------------------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Jobs currently awaiting a terminal message."""
+        return len(self._in_flight)
+
+    def dispatch(self, job: "CampaignJob", attempt: int) -> None:
+        """Send one job; survives a mid-reconnect link (re-sent later)."""
+        self._in_flight[job.key] = (job, attempt)
+        self._dispatched_at[job.key] = time.perf_counter()
+        self._count("jobs_dispatched")
+        try:
+            self._send(WorkerMessage("job", job.key,
+                                     {"job": job, "attempt": attempt}))
+        except (OSError, RemoteProtocolError):
+            pass  # reader notices the fault and re-dispatches
+
+    def cancel(self, key: str) -> None:
+        """Stop tracking ``key``; best-effort remote cancellation."""
+        self._in_flight.pop(key, None)
+        self._dispatched_at.pop(key, None)
+        try:
+            self._send(WorkerMessage("cancel", key, {}))
+        except (OSError, RemoteProtocolError):
+            pass
+
+    # ------------------------------------------------------------------
+    # wire plumbing
+    # ------------------------------------------------------------------
+
+    def _send(self, message: WorkerMessage) -> None:
+        payload = pack_message(message)
+        with self._send_lock:
+            sock = self._sock
+            if sock is None:
+                raise RemoteProtocolError(
+                    f"link to {self.address} is down")
+            sent = write_frame(lambda data: sock.sendall(data), payload)
+        self._count("frames_sent")
+        self._count("bytes_sent", sent)
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        while not self._closing.is_set():
+            sock = self._sock
+            if sock is None:
+                break
+            try:
+                data = sock.recv(65536)
+                if not data:
+                    raise ConnectionError("peer closed the stream")
+                for payload in decoder.feed(data):
+                    self._count("frames_received")
+                    self._count("bytes_received", len(payload))
+                    self._deliver(unpack_message(payload))
+            except socket.timeout:
+                continue
+            except (OSError, RemoteProtocolError, ConnectionError) as error:
+                if self._closing.is_set():
+                    break
+                if self._reconnect(error):
+                    decoder = FrameDecoder()
+                    continue
+                self._fail_in_flight(error)
+                break
+
+    def _deliver(self, message: WorkerMessage) -> None:
+        if message.kind == "pong":
+            sent = message.data.get("t")
+            if isinstance(sent, float):
+                self._observe_rtt(time.perf_counter() - sent)
+            return
+        if message.kind == "start":
+            sent_at = self._dispatched_at.pop(message.key, None)
+            if sent_at is not None:
+                self._observe_rtt(time.perf_counter() - sent_at)
+        elif message.kind in ("done", "error"):
+            self._in_flight.pop(message.key, None)
+            self._dispatched_at.pop(message.key, None)
+        self.messages.put(message)
+
+    def _reconnect(self, cause: Exception) -> bool:
+        """Bounded exponential-backoff reconnect; re-dispatch on success."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for attempt in range(self._max_reconnects):
+            time.sleep(min(self._backoff * (2 ** attempt), 5.0))
+            if self._closing.is_set():
+                return False
+            try:
+                self._establish()
+                self._count("reconnects")
+                for key, (job, job_attempt) in list(
+                        self._in_flight.items()):
+                    self._count("redispatches")
+                    self._send(WorkerMessage(
+                        "job", key, {"job": job, "attempt": job_attempt}))
+            except (RemoteConnectError, OSError, RemoteProtocolError):
+                continue  # counts against the same bounded budget
+            return True
+        return False
+
+    def _fail_in_flight(self, cause: Exception) -> None:
+        """Surface the dead link as typed errors the scheduler can act
+        on; the transport leaves the rotation (``alive`` False)."""
+        self.alive = False
+        reason = (f"{RemoteWorkerLost.__name__}: fleet worker "
+                  f"{self.address} unreachable after "
+                  f"{self._max_reconnects} reconnect attempt(s): {cause}")
+        for key in list(self._in_flight):
+            self._in_flight.pop(key, None)
+            self.messages.put(WorkerMessage(
+                "error", key, {"worker": -1, "error": reason,
+                               "transport": self.address}))
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                f"fleet.remote.{self._label}.{name}").inc(amount)
+
+    def _observe_rtt(self, seconds: float) -> None:
+        if self._metrics is not None:
+            self._metrics.histogram(
+                f"fleet.remote.{self._label}.rtt_seconds",
+                buckets=RTT_BUCKETS).observe(seconds)

@@ -9,6 +9,22 @@ killed and requeued with bounded, backed-off retries), and reduces the
 :class:`CampaignOutcome` stream back into submission order so the
 merged results are identical regardless of completion order.
 
+With ``workers=["host:port", ...]`` the same scheduler dispatches over
+:class:`~repro.fleet.remote.transport.RemoteWorkerTransport` links to
+``repro worker serve`` pools instead of forking locally: the job /
+heartbeat / done / error message shapes, the watchdog, the retry
+budget, and the deterministic merge are all shared, so remote output
+is byte-identical to local-pool and sequential output.  Job re-dispatch
+after a timeout or reconnect is idempotent — servers deduplicate by
+job key and replay cached outcomes, and the merge guards by campaign
+index — so a retried job can never double-count.
+
+All scheduling-path time flows through one injected
+:class:`~repro.fleet.clock.Clock` (watchdog deadlines, retry backoff,
+progress bookkeeping); tests inject a
+:class:`~repro.fleet.clock.ManualClock` to make timeout behaviour
+deterministic with zero real waiting.
+
 Degradation is graceful: ``jobs=1``, a single job, or a pool that
 cannot start all fall back to inline in-process execution through the
 *same* :func:`~repro.fleet.worker.execute_job` code path, so parallel
@@ -31,11 +47,11 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import queue as queue_module
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.fleet.clock import Clock, SystemClock
 from repro.fleet.jobs import CampaignJob, CampaignOutcome
 from repro.fleet.worker import execute_job, resolve_hook, worker_main
 from repro.obs.metrics import MetricsRegistry
@@ -53,6 +69,16 @@ class _Pending:
     job: CampaignJob
     attempt: int = 1
     not_before: float = 0.0
+
+
+@dataclass
+class _RemoteRunning:
+    """One job out on a remote worker link."""
+
+    job: CampaignJob
+    transport: Any
+    attempt: int
+    last_seen: float
 
 
 @dataclass
@@ -83,6 +109,16 @@ class FleetScheduler:
         metrics: optional registry receiving ``fleet.*`` metrics.
         progress: optional callable receiving lifecycle event dicts
             (``kind`` in start/hb/done/retry/fail) as they happen.
+        workers: remote ``host:port`` worker-server addresses (or
+            pre-built transport objects); when non-empty, jobs dispatch
+            over TCP instead of the local pool.
+        clock: time source for every scheduling decision (watchdog,
+            backoff, summaries); inject a ManualClock in tests.
+        connect_timeout: per-worker TCP connect + handshake budget.
+        max_reconnects: stream-fault reconnects allowed per worker
+            before its in-flight jobs are retried elsewhere.
+        reconnect_backoff: base delay between reconnect attempts
+            (doubles per attempt).
     """
 
     jobs: int = 1
@@ -92,6 +128,11 @@ class FleetScheduler:
     retry_backoff: float = 0.5
     metrics: MetricsRegistry | None = None
     progress: Callable[[dict[str, Any]], None] | None = None
+    workers: list[Any] = field(default_factory=list)
+    clock: Clock = field(default_factory=SystemClock)
+    connect_timeout: float = 5.0
+    max_reconnects: int = 5
+    reconnect_backoff: float = 0.2
     #: Summary of the last :meth:`run` (wall time, retries, per-worker).
     last_summary: dict[str, Any] = field(default_factory=dict)
 
@@ -103,17 +144,20 @@ class FleetScheduler:
         Failed jobs (retries exhausted) come back with ``error`` set and
         ``result`` None — the other campaigns' outcomes are never lost.
         """
-        started = time.perf_counter()
+        started = self.clock.perf_counter()
         self._counts = {"queued": len(job_list), "completed": 0,
                         "retried": 0, "failed": 0}
         self._count("fleet.jobs.queued", len(job_list))
         width = max(int(self.jobs), 1)
-        if width <= 1 or len(job_list) <= 1:
+        if self.workers:
+            outcomes = self._run_remote(job_list)
+            width = self._remote_width
+        elif width <= 1 or len(job_list) <= 1:
             outcomes = self._run_inline(job_list)
         else:
             outcomes = self._run_pool(job_list, width)
         outcomes.sort(key=lambda outcome: outcome.index)
-        wall = time.perf_counter() - started
+        wall = self.clock.perf_counter() - started
         self.last_summary = self._summarize(outcomes, wall, width)
         return outcomes
 
@@ -142,7 +186,7 @@ class FleetScheduler:
                 if attempt > self.max_retries:
                     return self._fail(job, attempt, reason)
                 self._retry(job, attempt, reason)
-                time.sleep(min(self.retry_backoff * attempt, 30.0))
+                self.clock.sleep(min(self.retry_backoff * attempt, 30.0))
                 attempt += 1
                 continue
             outcome.worker_id = 0
@@ -174,7 +218,7 @@ class FleetScheduler:
         pool_ok = True
 
         while pending or running:
-            now = time.monotonic()
+            now = self.clock.monotonic()
             if pool_ok:
                 pool_ok = self._launch_ready(ctx, pending, running,
                                              free_slots, now)
@@ -189,7 +233,7 @@ class FleetScheduler:
             self._patrol(running, pending, done, free_slots)
             self._gauge("fleet.jobs.running", len(running))
             if pending or running:
-                time.sleep(0.02)
+                self.clock.sleep(0.02)
         return [done[index] for index in sorted(done)]
 
     def _launch_ready(self, ctx, pending: list[_Pending],
@@ -221,7 +265,7 @@ class FleetScheduler:
             running[ready.job.key] = _Running(
                 job=ready.job, process=process, channel=channel,
                 worker_id=worker_id, attempt=ready.attempt,
-                last_seen=time.monotonic())
+                last_seen=self.clock.monotonic())
         return True
 
     def _drain(self, running: dict[str, _Running],
@@ -234,7 +278,7 @@ class FleetScheduler:
                     message = run.channel.get_nowait()
                 except (queue_module.Empty, OSError, ValueError):
                     break
-                run.last_seen = time.monotonic()
+                run.last_seen = self.clock.monotonic()
                 run.dead_since = None
                 if message.kind in ("start", "hb"):
                     self._emit({"kind": message.kind, "key": message.key,
@@ -256,7 +300,7 @@ class FleetScheduler:
                 done: dict[int, CampaignOutcome],
                 free_slots: list[int]) -> None:
         """Watchdog sweep: kill hung workers, reap silent deaths."""
-        now = time.monotonic()
+        now = self.clock.monotonic()
         for run in list(running.values()):
             if now - run.last_seen > self.watchdog_seconds:
                 self._retire(run, running, free_slots)
@@ -291,14 +335,188 @@ class FleetScheduler:
     def _requeue_or_fail(self, run: _Running, reason: str,
                          pending: list[_Pending],
                          done: dict[int, CampaignOutcome]) -> None:
-        if run.attempt <= self.max_retries:
-            self._retry(run.job, run.attempt, reason)
+        self._requeue_job(run.job, run.attempt, reason, pending, done)
+
+    def _requeue_job(self, job: CampaignJob, attempt: int, reason: str,
+                     pending: list[_Pending],
+                     done: dict[int, CampaignOutcome]) -> None:
+        """Shared retry-or-fail decision for pool and remote paths."""
+        if attempt <= self.max_retries:
+            self._retry(job, attempt, reason)
             pending.append(_Pending(
-                job=run.job, attempt=run.attempt + 1,
-                not_before=time.monotonic()
-                + min(self.retry_backoff * run.attempt, 30.0)))
+                job=job, attempt=attempt + 1,
+                not_before=self.clock.monotonic()
+                + min(self.retry_backoff * attempt, 30.0)))
             return
-        done[run.job.index] = self._fail(run.job, run.attempt, reason)
+        done[job.index] = self._fail(job, attempt, reason)
+
+    # ------------------------------------------------------------------
+    # remote path (workers=["host:port", ...])
+    # ------------------------------------------------------------------
+
+    def _connect_workers(self) -> list[Any]:
+        """Build and connect one transport per configured worker.
+
+        Address strings become connected
+        :class:`~repro.fleet.remote.transport.RemoteWorkerTransport`
+        links; pre-built transport objects (tests, custom transports)
+        pass through as-is.  Unreachable workers are skipped with a
+        ``worker_lost`` progress event; no reachable worker at all is a
+        typed :class:`RemoteConnectError`.
+        """
+        from repro.fleet.remote.transport import (
+            RemoteConnectError,
+            RemoteWorkerTransport,
+        )
+        transports: list[Any] = []
+        for spec in self.workers:
+            if not isinstance(spec, str):
+                transports.append(spec)
+                continue
+            transport = RemoteWorkerTransport(
+                spec, metrics=self.metrics,
+                heartbeat_seconds=self.heartbeat_seconds,
+                connect_timeout=self.connect_timeout,
+                max_reconnects=self.max_reconnects,
+                reconnect_backoff=self.reconnect_backoff)
+            try:
+                transport.connect()
+            except RemoteConnectError as error:
+                self._count("fleet.workers.unreachable")
+                self._emit({"kind": "worker_lost", "key": spec,
+                            "reason": str(error)})
+                continue
+            transports.append(transport)
+        if not transports:
+            raise RemoteConnectError(
+                "no fleet workers reachable: "
+                + ", ".join(str(spec) for spec in self.workers))
+        return transports
+
+    def _run_remote(self,
+                    job_list: list[CampaignJob]) -> list[CampaignOutcome]:
+        transports = self._connect_workers()
+        self._remote_width = sum(t.slots for t in transports)
+        pending: list[_Pending] = [_Pending(job) for job in job_list]
+        running: dict[str, _RemoteRunning] = {}
+        done: dict[int, CampaignOutcome] = {}
+        try:
+            while pending or running:
+                now = self.clock.monotonic()
+                # Drain before the liveness check so the typed errors a
+                # dying transport queued for its in-flight jobs are
+                # surfaced instead of overwritten by the generic
+                # stranded-fleet failure.
+                for transport in transports:
+                    self._drain_remote(transport, pending, running, done)
+                alive = [t for t in transports if t.alive]
+                if not alive:
+                    self._fail_stranded(transports, pending, running, done)
+                    break
+                self._dispatch_remote(alive, pending, running, now)
+                self._patrol_remote(pending, running, done, now)
+                self._gauge("fleet.jobs.running", len(running))
+                if pending or running:
+                    self.clock.sleep(0.02)
+        finally:
+            for transport in transports:
+                transport.close()
+        return [done[index] for index in sorted(done)]
+
+    def _dispatch_remote(self, alive: list[Any], pending: list[_Pending],
+                         running: dict[str, "_RemoteRunning"],
+                         now: float) -> None:
+        """Fill every free remote slot with a ready pending job."""
+        for transport in alive:
+            while transport.load < transport.slots:
+                ready = next((entry for entry in pending
+                              if entry.not_before <= now), None)
+                if ready is None:
+                    return
+                pending.remove(ready)
+                transport.dispatch(ready.job, ready.attempt)
+                running[ready.job.key] = _RemoteRunning(
+                    job=ready.job, transport=transport,
+                    attempt=ready.attempt, last_seen=now)
+
+    def _drain_remote(self, transport: Any, pending: list[_Pending],
+                      running: dict[str, "_RemoteRunning"],
+                      done: dict[int, CampaignOutcome]) -> None:
+        """Consume every message the transport has queued."""
+        while True:
+            try:
+                message = transport.messages.get_nowait()
+            except queue_module.Empty:
+                return
+            run = running.get(message.key)
+            if message.kind in ("start", "hb"):
+                if run is not None:
+                    run.last_seen = self.clock.monotonic()
+                    self._emit({"kind": message.kind, "key": message.key,
+                                "attempt": run.attempt, **message.data})
+            elif message.kind == "done":
+                outcome: CampaignOutcome = message.data["outcome"]
+                if run is not None:
+                    running.pop(message.key, None)
+                    if run.transport is not transport:
+                        # A requeued copy is still out elsewhere; the
+                        # result is already in hand, so cancel it.
+                        run.transport.cancel(message.key)
+                # A late/duplicate done for a merged campaign falls
+                # through both guards and is dropped — by construction
+                # a job can never double-count.
+                if outcome.index not in done:
+                    if run is not None:
+                        outcome.attempts = run.attempt
+                    done[outcome.index] = outcome
+                    self._discard_pending(pending, message.key)
+                    self._complete(outcome)
+            elif message.kind == "error":
+                if run is not None:
+                    running.pop(message.key, None)
+                    self._requeue_job(run.job, run.attempt,
+                                      message.data.get("error", "?"),
+                                      pending, done)
+
+    def _patrol_remote(self, pending: list[_Pending],
+                       running: dict[str, "_RemoteRunning"],
+                       done: dict[int, CampaignOutcome],
+                       now: float) -> None:
+        """Watchdog sweep over remote jobs: cancel and requeue."""
+        for run in list(running.values()):
+            if now - run.last_seen > self.watchdog_seconds:
+                run.transport.cancel(run.job.key)
+                running.pop(run.job.key, None)
+                self._requeue_job(
+                    run.job, run.attempt,
+                    f"watchdog: no remote heartbeat for "
+                    f"{self.watchdog_seconds:g}s", pending, done)
+
+    def _fail_stranded(self, transports: list[Any],
+                       pending: list[_Pending],
+                       running: dict[str, "_RemoteRunning"],
+                       done: dict[int, CampaignOutcome]) -> None:
+        """Every worker is gone: fail the remaining jobs loudly."""
+        addresses = ", ".join(str(getattr(t, "address", t))
+                              for t in transports)
+        reason = ("RemoteWorkerLost: all fleet workers unreachable "
+                  f"(reconnects exhausted): {addresses}")
+        for entry in pending:
+            if entry.job.index not in done:
+                done[entry.job.index] = self._fail(
+                    entry.job, entry.attempt, reason)
+        pending.clear()
+        for run in running.values():
+            if run.job.index not in done:
+                done[run.job.index] = self._fail(
+                    run.job, run.attempt, reason)
+        running.clear()
+
+    @staticmethod
+    def _discard_pending(pending: list[_Pending], key: str) -> None:
+        """Drop requeued copies of a job whose result just arrived."""
+        pending[:] = [entry for entry in pending
+                      if entry.job.key != key]
 
     # ------------------------------------------------------------------
     # accounting

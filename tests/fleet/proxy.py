@@ -1,0 +1,177 @@
+"""Fault-injecting frame proxy for the remote fleet tests.
+
+A :class:`FrameProxy` sits between a :class:`FleetScheduler` and a
+:class:`~repro.fleet.remote.server.WorkerServer`, decodes the framed
+stream in both directions, and asks a policy what to do with each
+message: forward it, drop it, duplicate it, delay it, forward half of
+it and cut the link (truncate), or cut the link outright.  Reconnects
+land back on the proxy, so every recovery path runs through the same
+fault policy.
+
+Policies are callables ``policy(direction, message) -> action`` where
+``direction`` is ``"up"`` (scheduler→server) or ``"down"``
+(server→scheduler) and ``message`` is the decoded
+:class:`~repro.fleet.worker.WorkerMessage`.  Actions:
+
+* ``"pass"`` — forward unchanged (the default);
+* ``"drop"`` — swallow the frame;
+* ``"dup"`` — forward it twice;
+* ``("delay", seconds)`` — sleep, then forward;
+* ``"truncate"`` — forward half the encoded frame, then cut the link;
+* ``"close"`` — cut the link without forwarding.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable
+
+from repro.fleet.remote.framing import (
+    FrameDecoder,
+    RemoteProtocolError,
+    encode_frame,
+    unpack_message,
+)
+
+Policy = Callable[[str, Any], Any]
+
+
+def passthrough(_direction: str, _message: Any) -> str:
+    return "pass"
+
+
+class _Session:
+    """One proxied scheduler connection and its upstream twin."""
+
+    def __init__(self, proxy: "FrameProxy", client: socket.socket) -> None:
+        self.proxy = proxy
+        self.client = client
+        self.upstream = socket.create_connection(proxy.upstream,
+                                                 timeout=5.0)
+        self.dead = threading.Event()
+        for direction, src, dst in (("up", client, self.upstream),
+                                    ("down", self.upstream, client)):
+            thread = threading.Thread(
+                target=self._pump, args=(direction, src, dst),
+                name=f"proxy-{direction}", daemon=True)
+            thread.start()
+
+    def cut(self) -> None:
+        """Sever both sides of this session."""
+        self.dead.set()
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(self, direction: str, src: socket.socket,
+              dst: socket.socket) -> None:
+        decoder = FrameDecoder()
+        src.settimeout(0.2)
+        while not self.dead.is_set():
+            try:
+                data = src.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not data:
+                break
+            try:
+                payloads = decoder.feed(data)
+            except RemoteProtocolError:
+                break  # upstream corrupted (shouldn't happen)
+            for payload in payloads:
+                if not self._relay(direction, payload, dst):
+                    return
+        self.cut()
+
+    def _relay(self, direction: str, payload: bytes,
+               dst: socket.socket) -> bool:
+        message = unpack_message(payload)
+        action = self.proxy.policy(direction, message)
+        self.proxy.log.append((direction, message.kind, action))
+        frame = encode_frame(payload)
+        try:
+            if action == "drop":
+                return True
+            if action == "dup":
+                dst.sendall(frame + frame)
+                return True
+            if isinstance(action, tuple) and action[0] == "delay":
+                time.sleep(action[1])
+                dst.sendall(frame)
+                return True
+            if action == "truncate":
+                dst.sendall(frame[:max(len(frame) // 2, 1)])
+                self.cut()
+                return False
+            if action == "close":
+                self.cut()
+                return False
+            dst.sendall(frame)
+            return True
+        except OSError:
+            self.cut()
+            return False
+
+
+class FrameProxy:
+    """Accepts scheduler connections and relays frames with faults."""
+
+    def __init__(self, upstream: tuple[str, int],
+                 policy: Policy = passthrough) -> None:
+        self.upstream = upstream
+        self.policy = policy
+        #: (direction, message kind, action) per observed frame.
+        self.log: list[tuple[str, str, Any]] = []
+        self._sessions: list[_Session] = []
+        self._stopping = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        host, port = self._listener.getsockname()[:2]
+        #: Give this to the scheduler as the worker address.
+        self.address = f"{host}:{port}"
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="proxy-accept", daemon=True)
+        self._accept_thread.start()
+
+    def refuse_new_connections(self) -> None:
+        """Simulate the worker host vanishing: reconnects now fail."""
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        self.refuse_new_connections()
+        for session in list(self._sessions):
+            session.cut()
+        self._accept_thread.join(timeout=2.0)
+
+    def __enter__(self) -> "FrameProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client, _peer = self._listener.accept()
+            except OSError:
+                return
+            try:
+                self._sessions.append(_Session(self, client))
+            except OSError:
+                client.close()

@@ -1,0 +1,100 @@
+"""Equality: sequential == local pool == remote WorkerServer.
+
+Extends the PR 2/PR 3 equality pattern across the socket boundary: the
+same campaign set run inline, on the local ``multiprocessing`` pool,
+and through a :class:`WorkerServer` on localhost must produce
+field-for-field identical results, rollups, and byte-identical
+telemetry artifacts.  The transport is allowed to change *where* a
+campaign runs — never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.device.profiles import profile_by_id
+from repro.fleet import CampaignJob, FleetScheduler
+from repro.fleet.remote import WorkerServer
+
+pytestmark = pytest.mark.timeout(120)
+
+IDENTS = ("A1", "B")
+
+
+def _jobs(fast_costs, telemetry_dir=None) -> list[CampaignJob]:
+    return [CampaignJob(key=f"{ident}#0", index=index,
+                        profile=profile_by_id(ident),
+                        config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                        costs=fast_costs,
+                        telemetry_dir=telemetry_dir)
+            for index, ident in enumerate(IDENTS)]
+
+
+@pytest.fixture
+def server():
+    worker = WorkerServer(slots=2).start()
+    yield worker
+    worker.stop(drain=False, timeout=5.0)
+
+
+def test_remote_results_field_for_field_identical(fast_costs, server,
+                                                  tmp_path):
+    seq_dir, pool_dir, remote_dir = (tmp_path / name
+                                     for name in ("seq", "pool", "rem"))
+    sequential = FleetScheduler(jobs=1).run(
+        _jobs(fast_costs, telemetry_dir=str(seq_dir)))
+    pooled = FleetScheduler(jobs=2).run(
+        _jobs(fast_costs, telemetry_dir=str(pool_dir)))
+    remote = FleetScheduler(workers=["%s:%d" % server.address]).run(
+        _jobs(fast_costs, telemetry_dir=str(remote_dir)))
+
+    assert [o.key for o in sequential] == [o.key for o in pooled] \
+        == [o.key for o in remote]
+    for seq, pool, rem in zip(sequential, pooled, remote):
+        assert seq.ok and pool.ok and rem.ok
+        # Field-for-field over the campaign result dataclass.
+        seq_fields = dataclasses.asdict(seq.result)
+        assert dataclasses.asdict(pool.result) == seq_fields
+        assert dataclasses.asdict(rem.result) == seq_fields
+        assert pool.rollup == seq.rollup
+        assert rem.rollup == seq.rollup
+
+    # Telemetry artifacts are byte-identical across all three modes.
+    for key in (f"{ident}#0" for ident in IDENTS):
+        for name in ("trace.jsonl", "snapshots.jsonl", "metrics.json"):
+            seq_bytes = (seq_dir / key / name).read_bytes()
+            assert (pool_dir / key / name).read_bytes() == seq_bytes, \
+                f"pool {key}/{name} diverged"
+            assert (remote_dir / key / name).read_bytes() == seq_bytes, \
+                f"remote {key}/{name} diverged"
+
+
+def test_daemon_remote_fleet_matches_inline(fast_costs, server):
+    profiles = [profile_by_id(ident) for ident in IDENTS]
+    inline = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                    costs=fast_costs)
+    remote = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.5),
+                    costs=fast_costs,
+                    workers=["%s:%d" % server.address])
+    inline.run_fleet(profiles, jobs=1)
+    remote.run_fleet(profiles)
+    assert remote.results == inline.results
+    assert remote.all_bugs() == inline.all_bugs()
+    assert remote.coverage_summary() == inline.coverage_summary()
+
+
+def test_remote_dispatch_reuses_idempotency_cache(fast_costs, server):
+    """Submitting the same key twice (scheduler restart semantics)
+    replays the cached outcome instead of re-running the campaign."""
+    address = "%s:%d" % server.address
+    first = FleetScheduler(workers=[address]).run(_jobs(fast_costs))
+    again = FleetScheduler(workers=[address]).run(_jobs(fast_costs))
+    assert [o.key for o in again] == [o.key for o in first]
+    for left, right in zip(first, again):
+        assert right.ok
+        assert dataclasses.asdict(right.result) \
+            == dataclasses.asdict(left.result)

@@ -1,0 +1,306 @@
+"""Fault-injection harness for the remote fleet transport.
+
+Every test routes a real campaign through a frame-level proxy
+(:mod:`tests.fleet.proxy`) that drops, delays, truncates, or
+duplicates messages — or cuts the link entirely — between the
+scheduler and a live :class:`WorkerServer`.  The invariant under test
+is the issue's headline contract: **every fault mode either recovers
+via retry/reconnect or fails loudly with a typed error, bounded by the
+watchdog — never a hang, never a duplicate-counted job, never a
+corrupted merge.**
+
+The last tests swap the wall clock for a
+:class:`~repro.fleet.clock.ManualClock` with a stub transport, proving
+the watchdog/retry path is deterministic with zero real waiting.
+"""
+
+from __future__ import annotations
+
+import queue
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.device.profiles import profile_by_id
+from repro.fleet import CampaignJob, FleetScheduler, ManualClock
+from repro.fleet.remote import (
+    RemoteConnectError,
+    RemoteWorkerLost,
+    WorkerServer,
+)
+from repro.fleet.worker import execute_job
+from repro.obs.metrics import MetricsRegistry
+from tests.fleet.proxy import FrameProxy
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def _jobs(fast_costs, idents=("E",), hours=0.3) -> list[CampaignJob]:
+    return [CampaignJob(key=f"{ident}#0", index=index,
+                        profile=profile_by_id(ident),
+                        config=FuzzerConfig(seed=0, campaign_hours=hours),
+                        costs=fast_costs)
+            for index, ident in enumerate(idents)]
+
+
+def _scheduler(address, metrics=None, **overrides) -> FleetScheduler:
+    options = dict(workers=[address], watchdog_seconds=3.0,
+                   heartbeat_seconds=0.2, max_retries=2,
+                   retry_backoff=0.0, connect_timeout=2.0,
+                   max_reconnects=4, reconnect_backoff=0.05,
+                   metrics=metrics)
+    options.update(overrides)
+    return FleetScheduler(**options)
+
+
+@pytest.fixture
+def server():
+    worker = WorkerServer(slots=2).start()
+    yield worker
+    worker.stop(drain=False, timeout=5.0)
+
+
+def _first_match(kind: str, direction: str = "down", action="drop"):
+    """A policy applying ``action`` to the first ``kind`` message."""
+    fired = []
+
+    def policy(pdir: str, message) -> object:
+        if pdir == direction and message.kind == kind and not fired:
+            fired.append(message.key)
+            return action
+        return "pass"
+
+    return policy
+
+
+# ----------------------------------------------------------------------
+# drop
+# ----------------------------------------------------------------------
+
+def test_dropped_done_frame_recovers_without_double_count(fast_costs,
+                                                          server):
+    """Losing the result frame triggers the watchdog; the re-dispatched
+    job replays the server's cached outcome — one execution, one
+    merge."""
+    metrics = MetricsRegistry()
+    with FrameProxy(server.address,
+                    _first_match("done", "down", "drop")) as proxy:
+        scheduler = _scheduler(proxy.address, metrics)
+        outcomes = scheduler.run(_jobs(fast_costs))
+    assert len(outcomes) == 1 and outcomes[0].ok
+    assert outcomes[0].attempts == 2  # one watchdog requeue
+    assert scheduler.last_summary["completed"] == 1
+    assert scheduler.last_summary["failed"] == 0
+    # Same campaign as a clean run: the retry did not re-randomize.
+    assert outcomes[0].result == execute_job(_jobs(fast_costs)[0]).result
+    # The replay came from the idempotency cache, not a second run.
+    assert metrics.counter("fleet.jobs.completed").value == 1
+
+
+def test_dropped_job_frame_recovers_via_watchdog(fast_costs, server):
+    """Losing the dispatch itself looks like a silent worker: the
+    watchdog requeues and the second attempt lands."""
+    with FrameProxy(server.address,
+                    _first_match("job", "up", "drop")) as proxy:
+        scheduler = _scheduler(proxy.address)
+        outcomes = scheduler.run(_jobs(fast_costs))
+    assert outcomes[0].ok and outcomes[0].attempts == 2
+    assert scheduler.last_summary["retried"] == 1
+
+
+# ----------------------------------------------------------------------
+# duplicate
+# ----------------------------------------------------------------------
+
+def test_duplicated_done_frame_counts_once(fast_costs, server):
+    with FrameProxy(server.address,
+                    _first_match("done", "down", "dup")) as proxy:
+        scheduler = _scheduler(proxy.address)
+        outcomes = scheduler.run(_jobs(fast_costs, idents=("E", "B")))
+    assert [outcome.key for outcome in outcomes] == ["E#0", "B#0"]
+    assert all(outcome.ok for outcome in outcomes)
+    assert scheduler.last_summary["completed"] == 2  # not 3
+    assert scheduler.last_summary["jobs"] == 2
+
+
+# ----------------------------------------------------------------------
+# delay
+# ----------------------------------------------------------------------
+
+def test_delayed_frames_inside_watchdog_budget(fast_costs, server):
+    def policy(direction, _message):
+        return ("delay", 0.05) if direction == "down" else "pass"
+
+    with FrameProxy(server.address, policy) as proxy:
+        scheduler = _scheduler(proxy.address, watchdog_seconds=10.0)
+        outcomes = scheduler.run(_jobs(fast_costs))
+    assert outcomes[0].ok and outcomes[0].attempts == 1
+    assert scheduler.last_summary["retried"] == 0
+
+
+# ----------------------------------------------------------------------
+# truncate (link cut mid-frame)
+# ----------------------------------------------------------------------
+
+def test_truncated_frame_reconnects_and_completes(fast_costs, server):
+    """Half a frame then EOF is a typed stream fault; the transport
+    reconnects, re-dispatches, and the server deduplicates."""
+    metrics = MetricsRegistry()
+    with FrameProxy(server.address,
+                    _first_match("start", "down", "truncate")) as proxy:
+        scheduler = _scheduler(proxy.address, metrics)
+        outcomes = scheduler.run(_jobs(fast_costs))
+    assert outcomes[0].ok
+    label = proxy.address.replace(".", "-")
+    assert metrics.counter(
+        f"fleet.remote.{label}.reconnects").value >= 1
+    assert metrics.counter(
+        f"fleet.remote.{label}.redispatches").value >= 1
+    # The merge saw exactly one result for the job.
+    assert scheduler.last_summary["completed"] == 1
+    assert outcomes[0].result == execute_job(_jobs(fast_costs)[0]).result
+
+
+# ----------------------------------------------------------------------
+# disconnect
+# ----------------------------------------------------------------------
+
+def test_unreachable_worker_is_a_typed_error(fast_costs):
+    """Nothing listening at all: the scheduler refuses to start the
+    run, with a typed error naming the address."""
+    probe = WorkerServer(slots=1)
+    host, port = probe.address
+    probe.stop(drain=False, timeout=0.1)  # port now closed
+    scheduler = FleetScheduler(workers=[f"{host}:{port}"],
+                               connect_timeout=1.0, max_reconnects=0,
+                               reconnect_backoff=0.01)
+    with pytest.raises(RemoteConnectError) as excinfo:
+        scheduler.run(_jobs(fast_costs))
+    assert str(port) in str(excinfo.value)
+
+
+def test_permanent_disconnect_fails_loudly_not_hangs(fast_costs, server):
+    """The link dies mid-campaign and never comes back: the first
+    handshake is allowed through, every later server→scheduler frame
+    cuts the link, so reconnect handshakes can never complete.
+    Reconnects exhaust, in-flight jobs surface as typed failures, and
+    the run terminates inside the retry budget."""
+    first_hello = []
+
+    def policy(direction, message):
+        if direction != "down":
+            return "pass"
+        if message.kind == "hello" and not first_hello:
+            first_hello.append(True)
+            return "pass"
+        return "close"
+
+    with FrameProxy(server.address, policy) as proxy:
+        scheduler = _scheduler(proxy.address, max_retries=0,
+                               max_reconnects=2)
+        outcomes = scheduler.run(_jobs(fast_costs))
+    assert len(outcomes) == 1 and not outcomes[0].ok
+    assert RemoteWorkerLost.__name__ in outcomes[0].error
+    assert proxy.address in outcomes[0].error
+    assert scheduler.last_summary["failed"] == 1
+
+
+def test_malformed_address_is_a_typed_error():
+    with pytest.raises(RemoteConnectError):
+        FleetScheduler(workers=["not-an-address"]).run([])
+
+
+# ----------------------------------------------------------------------
+# deterministic latency: ManualClock + stub transport
+# ----------------------------------------------------------------------
+
+class StubTransport:
+    """A transport that never answers — pure scheduler-side fixture."""
+
+    def __init__(self, slots: int = 1) -> None:
+        self.slots = slots
+        self.alive = True
+        self.messages: queue.Queue = queue.Queue()
+        self.dispatched: list[tuple[str, int]] = []
+        self.cancelled: list[str] = []
+        self._in_flight: set[str] = set()
+
+    @property
+    def load(self) -> int:
+        return len(self._in_flight)
+
+    def dispatch(self, job, attempt) -> None:
+        self.dispatched.append((job.key, attempt))
+        self._in_flight.add(job.key)
+
+    def cancel(self, key) -> None:
+        self.cancelled.append(key)
+        self._in_flight.discard(key)
+
+    def close(self) -> None:
+        self.alive = False
+
+
+def test_watchdog_timeout_is_deterministic_with_manual_clock(fast_costs):
+    """A silent remote worker trips the watchdog at an exact virtual
+    instant — no real waiting, no wall-clock reads on the path."""
+    clock = ManualClock()
+    stub = StubTransport()
+    scheduler = FleetScheduler(workers=[stub], clock=clock,
+                               watchdog_seconds=30.0, max_retries=0)
+    outcomes = scheduler.run(_jobs(fast_costs))
+    assert len(outcomes) == 1 and not outcomes[0].ok
+    assert "watchdog" in outcomes[0].error
+    assert stub.cancelled == ["E#0"]
+    # Dispatched once, cancelled exactly at/after the 30-virtual-second
+    # deadline; the whole run consumed virtual, not real, time.
+    assert stub.dispatched == [("E#0", 1)]
+    assert 30.0 <= clock.now <= 31.0
+
+
+def test_retries_requeue_on_manual_clock(fast_costs):
+    clock = ManualClock()
+    stub = StubTransport()
+    scheduler = FleetScheduler(workers=[stub], clock=clock,
+                               watchdog_seconds=10.0, max_retries=2,
+                               retry_backoff=1.0)
+    outcomes = scheduler.run(_jobs(fast_costs))
+    assert not outcomes[0].ok
+    # First try + two retries, every attempt individually watchdogged.
+    assert stub.dispatched == [("E#0", 1), ("E#0", 2), ("E#0", 3)]
+    assert scheduler.last_summary["retried"] == 2
+    assert scheduler.last_summary["failed"] == 1
+    # Three watchdog windows plus two backoffs, all virtual.
+    assert clock.now >= 3 * 10.0
+
+
+def test_late_result_after_requeue_merges_once(fast_costs):
+    """A done message landing *after* the watchdog already requeued the
+    job merges exactly once — the retry copy is dropped, not run to a
+    second, double-counted completion."""
+    from repro.fleet.worker import WorkerMessage
+
+    stub = StubTransport()
+    job = _jobs(fast_costs)[0]
+    clean = execute_job(job)
+    delivered: list[bool] = []
+
+    class OneShotClock(ManualClock):
+        def sleep(self, seconds: float) -> None:
+            super().sleep(seconds)
+            # Watchdog fired and requeued? Deliver the stale result.
+            if self.now > 31.0 and ("E#0", 2) in stub.dispatched \
+                    and not delivered:
+                delivered.append(True)
+                stub.messages.put(WorkerMessage(
+                    "done", "E#0", {"worker": 1, "outcome": clean}))
+
+    clock = OneShotClock()
+    scheduler = FleetScheduler(workers=[stub], clock=clock,
+                               watchdog_seconds=30.0, max_retries=2,
+                               retry_backoff=0.0)
+    outcomes = scheduler.run([job])
+    assert len(outcomes) == 1 and outcomes[0].ok
+    assert outcomes[0].result == clean.result
+    assert scheduler.last_summary["completed"] == 1
+    assert scheduler.last_summary["failed"] == 0

@@ -1,0 +1,217 @@
+"""Property-based round-trip tests for the remote fleet frame layer.
+
+The wire contract under test: any payload (empty through multi-64KiB)
+survives encode→decode byte-for-byte, regardless of how TCP splits the
+reads or how short the writes run; every malformed stream — wrong
+magic, wrong version, corrupt payload, truncated frame, absurd length —
+is rejected with a *typed* error, never silently resynchronized.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.config import FuzzerConfig  # noqa: E402
+from repro.device.profiles import profile_by_id  # noqa: E402
+from repro.fleet.jobs import CampaignJob  # noqa: E402
+from repro.fleet.remote.framing import (  # noqa: E402
+    HEADER,
+    MAGIC,
+    MAX_FRAME,
+    VERSION,
+    FrameCorruptError,
+    FrameDecoder,
+    FrameMagicError,
+    FrameTooLargeError,
+    FrameTruncatedError,
+    FrameVersionError,
+    RemoteProtocolError,
+    encode_frame,
+    pack_message,
+    read_frame,
+    unpack_message,
+    write_frame,
+)
+from repro.fleet.worker import WorkerMessage  # noqa: E402
+
+
+def _feed_chunked(data: bytes, sizes: list[int]) -> list[bytes]:
+    """Push ``data`` through a decoder in the given chunk sizes,
+    cycling; returns every decoded payload."""
+    decoder = FrameDecoder()
+    payloads: list[bytes] = []
+    position = 0
+    index = 0
+    while position < len(data):
+        step = sizes[index % len(sizes)] if sizes else len(data)
+        payloads.extend(decoder.feed(data[position:position + step]))
+        position += step
+        index += 1
+    decoder.close()  # raises if anything was left half-read
+    return payloads
+
+
+# ----------------------------------------------------------------------
+# round-trips
+# ----------------------------------------------------------------------
+
+@settings(max_examples=75, deadline=None)
+@given(payload=st.binary(max_size=4096))
+def test_roundtrip_single_feed(payload):
+    assert FrameDecoder().feed(encode_frame(payload)) == [payload]
+
+
+@settings(max_examples=75, deadline=None)
+@given(payload=st.binary(max_size=2048),
+       sizes=st.lists(st.integers(min_value=1, max_value=97),
+                      min_size=1, max_size=8))
+def test_roundtrip_split_reads(payload, sizes):
+    """TCP may fragment anywhere, including inside the header."""
+    assert _feed_chunked(encode_frame(payload), sizes) == [payload]
+
+
+@settings(max_examples=40, deadline=None)
+@given(payloads=st.lists(st.binary(max_size=512), min_size=1,
+                         max_size=5),
+       sizes=st.lists(st.integers(min_value=1, max_value=311),
+                      min_size=1, max_size=6))
+def test_roundtrip_coalesced_frames(payloads, sizes):
+    """Several frames in one stream come out in order, whatever the
+    read fragmentation."""
+    stream = b"".join(encode_frame(p) for p in payloads)
+    assert _feed_chunked(stream, sizes) == payloads
+
+
+@pytest.mark.parametrize("size", [0, 1, 64 * 1024 - 1, 64 * 1024,
+                                  64 * 1024 + 1, 1_000_000])
+def test_roundtrip_boundary_sizes(size):
+    """Zero, one, and the >64KiB sizes a naive u16 length would break."""
+    payload = bytes(index % 251 for index in range(size))
+    frame = encode_frame(payload)
+    assert FrameDecoder().feed(frame) == [payload]
+    buffer = bytearray(frame)
+    assert read_frame(lambda n: _take(buffer, n)) == payload
+
+
+def _take(buffer: bytearray, count: int) -> bytes:
+    chunk = bytes(buffer[:count])
+    del buffer[:count]
+    return chunk
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(max_size=2048),
+       cap=st.integers(min_value=1, max_value=64))
+def test_partial_writes_loop_to_completion(payload, cap):
+    """A writer that accepts at most ``cap`` bytes per call still emits
+    one well-formed frame."""
+    sink = bytearray()
+
+    def stingy_write(data) -> int:
+        accepted = bytes(data)[:cap]
+        sink.extend(accepted)
+        return len(accepted)
+
+    sent = write_frame(stingy_write, payload)
+    assert sent == len(sink)
+    assert FrameDecoder().feed(bytes(sink)) == [payload]
+
+
+@settings(max_examples=50, deadline=None)
+@given(payload=st.binary(max_size=2048),
+       step=st.integers(min_value=1, max_value=13))
+def test_read_frame_survives_short_reads(payload, step):
+    buffer = bytearray(encode_frame(payload))
+    assert read_frame(lambda n: _take(buffer, min(n, step))) == payload
+    assert read_frame(lambda n: _take(buffer, n)) is None  # clean EOF
+
+
+# ----------------------------------------------------------------------
+# rejection: every malformed stream gets a typed error
+# ----------------------------------------------------------------------
+
+def _header(magic=MAGIC, version=VERSION, crc=0, length=0) -> bytes:
+    return HEADER.pack(magic, version, crc, length)
+
+
+def test_version_mismatch_rejected_with_clear_error():
+    frame = bytearray(encode_frame(b"hello"))
+    struct.pack_into("!H", frame, 4, VERSION + 1)
+    with pytest.raises(FrameVersionError) as excinfo:
+        FrameDecoder().feed(bytes(frame))
+    message = str(excinfo.value)
+    assert str(VERSION + 1) in message and str(VERSION) in message
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(FrameMagicError):
+        FrameDecoder().feed(_header(magic=b"HTTP"))
+    with pytest.raises(FrameMagicError):
+        read_frame(lambda n, b=bytearray(_header(magic=b"XXXX")):
+                   _take(b, n))
+
+
+def test_corrupt_payload_rejected():
+    frame = bytearray(encode_frame(b"payload-bytes"))
+    frame[-1] ^= 0xFF
+    with pytest.raises(FrameCorruptError):
+        FrameDecoder().feed(bytes(frame))
+
+
+def test_oversize_length_rejected_before_allocation():
+    with pytest.raises(FrameTooLargeError):
+        FrameDecoder().feed(_header(length=MAX_FRAME + 1))
+    with pytest.raises(FrameTooLargeError):
+        encode_frame(bytes(MAX_FRAME + 1))
+    buffer = bytearray(_header(length=MAX_FRAME + 1))
+    with pytest.raises(FrameTooLargeError):
+        read_frame(lambda n: _take(buffer, n))
+
+
+@settings(max_examples=40, deadline=None)
+@given(payload=st.binary(min_size=1, max_size=512),
+       keep=st.integers(min_value=1, max_value=200))
+def test_truncated_stream_is_a_typed_error(payload, keep):
+    frame = encode_frame(payload)
+    cut = frame[:min(keep, len(frame) - 1)]
+    decoder = FrameDecoder()
+    decoder.feed(cut)
+    with pytest.raises(FrameTruncatedError):
+        decoder.close()
+    buffer = bytearray(cut)
+    with pytest.raises(FrameTruncatedError):
+        read_frame(lambda n: _take(buffer, n))
+
+
+def test_every_frame_error_is_a_remote_protocol_error():
+    for kind in (FrameMagicError, FrameVersionError, FrameTooLargeError,
+                 FrameCorruptError, FrameTruncatedError):
+        assert issubclass(kind, RemoteProtocolError)
+
+
+# ----------------------------------------------------------------------
+# message payloads
+# ----------------------------------------------------------------------
+
+def test_message_roundtrip_with_job_spec(fast_costs):
+    job = CampaignJob(key="A1#0", index=0, profile=profile_by_id("A1"),
+                      config=FuzzerConfig(seed=3, campaign_hours=0.5),
+                      costs=fast_costs)
+    message = WorkerMessage("job", job.key, {"job": job, "attempt": 2})
+    out = unpack_message(pack_message(message))
+    assert out.kind == "job" and out.key == "A1#0"
+    assert out.data["attempt"] == 2
+    assert out.data["job"] == job
+
+
+def test_garbage_payload_is_a_typed_error():
+    with pytest.raises(RemoteProtocolError):
+        unpack_message(b"\x00not-a-pickle")
+    with pytest.raises(RemoteProtocolError):
+        unpack_message(pack_message(WorkerMessage("x", "y", {}))[:-2]
+                       + b"zz")
