@@ -8,12 +8,18 @@ uses (a killable child process with heartbeats; inline thread fallback
 when the platform refuses processes), and streams the resulting
 ``start`` / ``hb`` / ``done`` / ``error`` messages back as frames.
 
-Dispatch is **idempotent by job key**: completed outcomes are cached,
-so a scheduler that re-sends a job after a watchdog timeout or a
-reconnect gets the cached ``done`` back instead of a second execution —
-a retried job can never double-count in the merged campaign.  A job
-key that is still running is simply re-attached to the newest
-connection; two copies never run at once.
+Dispatch is **idempotent by job key within a scheduler session**: the
+hello carries a per-transport session nonce, and completed outcomes
+are cached under ``session:key``, so a scheduler that re-sends a job
+after a watchdog timeout or a reconnect gets the cached ``done`` back
+instead of a second execution — a retried job can never double-count
+in the merged campaign.  A job key that is still running is simply
+re-attached to the newest connection; two copies never run at once.
+Because the scope is the session, a *later* scheduler run that reuses
+a job key (the CLI's keys are deterministic) always executes its own
+job spec — a long-lived server never replays a previous run's
+outcomes.  The cache itself is a bounded LRU, so an indefinitely
+running daemon cannot grow without bound.
 
 Shutdown is a graceful drain by default: the listener closes first, in
 flight campaigns finish and report, then the connection threads wind
@@ -29,6 +35,7 @@ import queue as queue_module
 import socket
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.fleet.jobs import CampaignJob, CampaignOutcome
@@ -47,14 +54,20 @@ from repro.obs.metrics import MetricsRegistry
 _DEAD_GRACE = 1.0
 #: Forwarder poll period while waiting on a worker's message queue.
 _POLL = 0.1
+#: Per-frame send budget.  Sends share the connection's socket timeout
+#: with the 0.5 s read poll; without this a send of a large outcome
+#: could expire mid-frame on a healthy link.
+_SEND_TIMEOUT = 30.0
 
 
 class _ServerJob:
     """One in-flight campaign on the server."""
 
-    def __init__(self, job: CampaignJob,
+    def __init__(self, job: CampaignJob, scoped_key: str,
                  send: Callable[[WorkerMessage], None]) -> None:
         self.job = job
+        #: ``session:key`` — the dedup-table key for this job.
+        self.scoped_key = scoped_key
         self.send = send  # retargeted when the scheduler reconnects
         self.process: Any = None
         self.cancelled = False
@@ -69,17 +82,24 @@ class WorkerServer:
         port: bind port; 0 picks a free one (see :attr:`address`).
         slots: concurrent campaign width of this host's pool.
         metrics: optional registry receiving ``remote.server.*``.
+        completed_cache: completed outcomes retained for idempotent
+            replay (LRU; oldest entries evicted — safe, because the
+            scheduler's merge also guards by campaign index and
+            campaigns are deterministic).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  slots: int | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 completed_cache: int = 1024) -> None:
         self.slots = max(int(slots if slots is not None
                              else (os.cpu_count() or 1)), 1)
         self._metrics = metrics
         self._lock = threading.Lock()
+        # Both tables are keyed by "session:key" (see _handle_job).
         self._running: dict[str, _ServerJob] = {}
-        self._completed: dict[str, CampaignOutcome] = {}
+        self._completed: OrderedDict[str, CampaignOutcome] = OrderedDict()
+        self._completed_cap = max(int(completed_cache), 1)
         self._free_ids = list(range(1, self.slots + 1))
         heapq.heapify(self._free_ids)
         self._stopping = threading.Event()
@@ -148,18 +168,39 @@ class WorkerServer:
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,),
                 name="fleet-conn", daemon=True)
+            # Keep only live connection threads: the daemon may accept
+            # connections indefinitely.
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(thread)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.settimeout(0.5)
         send_lock = threading.Lock()
-        heartbeat = {"seconds": 2.0}
+        # The session defaults to a connection-unique nonce and is
+        # replaced by the scheduler's nonce from the hello, so a
+        # reconnecting transport lands back in its own dedup scope
+        # while distinct scheduler runs can never share cache entries.
+        state = {"heartbeat": 2.0, "session": os.urandom(8).hex()}
 
         def send(message: WorkerMessage) -> None:
             payload = pack_message(message)
             with send_lock:
-                sent = write_frame(lambda data: conn.sendall(data), payload)
+                try:
+                    conn.settimeout(_SEND_TIMEOUT)
+                    sent = write_frame(
+                        lambda data: conn.sendall(data), payload)
+                    conn.settimeout(0.5)
+                except (OSError, RemoteProtocolError):
+                    # A failed send may strand a partial frame on a
+                    # healthy socket; shut the link down so the
+                    # scheduler's reader faults and reconnects now
+                    # instead of stalling on a desynchronized stream.
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    raise
             self._count("remote.server.frames_sent")
             self._count("remote.server.bytes_sent", sent)
 
@@ -184,15 +225,19 @@ class WorkerServer:
                 self._count("remote.server.bytes_received", len(payload))
                 message = unpack_message(payload)
                 if message.kind == "hello":
-                    heartbeat["seconds"] = float(
+                    state["heartbeat"] = float(
                         message.data.get("heartbeat_seconds", 2.0))
+                    session = message.data.get("session")
+                    if isinstance(session, str) and session:
+                        state["session"] = session
                     send(WorkerMessage("hello", "", {
                         "slots": self.slots, "pid": os.getpid()}))
                 elif message.kind == "job":
                     self._handle_job(message.data["job"], send,
-                                     heartbeat["seconds"])
+                                     state["heartbeat"],
+                                     state["session"])
                 elif message.kind == "cancel":
-                    self._handle_cancel(message.key)
+                    self._handle_cancel(state["session"], message.key)
                 elif message.kind == "ping":
                     send(WorkerMessage("pong", "", dict(message.data)))
                 elif message.kind == "bye":
@@ -211,33 +256,36 @@ class WorkerServer:
 
     def _handle_job(self, job: CampaignJob,
                     send: Callable[[WorkerMessage], None],
-                    heartbeat_seconds: float) -> None:
+                    heartbeat_seconds: float, session: str) -> None:
+        scoped = f"{session}:{job.key}"
         with self._lock:
-            cached = self._completed.get(job.key)
+            cached = self._completed.get(scoped)
             if cached is not None:
                 # Idempotent re-dispatch: replay, never re-run.
+                self._completed.move_to_end(scoped)
                 self._count("remote.server.jobs_cached")
                 send(WorkerMessage("done", job.key, {
                     "worker": cached.worker_id, "outcome": cached,
                     "cached": True}))
                 return
-            entry = self._running.get(job.key)
+            entry = self._running.get(scoped)
             if entry is not None:
                 # Already running: point its messages at this link.
                 entry.send = send
                 return
-            entry = _ServerJob(job, send)
-            self._running[job.key] = entry
+            entry = _ServerJob(job, scoped, send)
+            self._running[scoped] = entry
         self._count("remote.server.jobs_accepted")
+        # Job threads are daemonic and reaped through _running, so
+        # they are deliberately not tracked in _threads.
         thread = threading.Thread(
             target=self._run_job, args=(entry, heartbeat_seconds),
             name=f"fleet-job-{job.key}", daemon=True)
-        self._threads.append(thread)
         thread.start()
 
-    def _handle_cancel(self, key: str) -> None:
+    def _handle_cancel(self, session: str, key: str) -> None:
         with self._lock:
-            entry = self._running.pop(key, None)
+            entry = self._running.pop(f"{session}:{key}", None)
         if entry is None:
             return
         self._count("remote.server.jobs_cancelled")
@@ -265,8 +313,8 @@ class WorkerServer:
         finally:
             with self._lock:
                 heapq.heappush(self._free_ids, worker_id)
-                if self._running.get(entry.job.key) is entry:
-                    del self._running[entry.job.key]
+                if self._running.get(entry.scoped_key) is entry:
+                    del self._running[entry.scoped_key]
 
     def _supervise(self, entry: _ServerJob, worker_id: int,
                    heartbeat_seconds: float) -> None:
@@ -316,7 +364,10 @@ class WorkerServer:
             if message.kind == "done":
                 outcome: CampaignOutcome = message.data["outcome"]
                 with self._lock:
-                    self._completed[job.key] = outcome
+                    self._completed[entry.scoped_key] = outcome
+                    self._completed.move_to_end(entry.scoped_key)
+                    while len(self._completed) > self._completed_cap:
+                        self._completed.popitem(last=False)
                 self._count("remote.server.jobs_completed")
             if not entry.cancelled:
                 self._forward(entry, message)

@@ -11,9 +11,16 @@ whether a worker was a forked process or a host across the network.
 Robustness lives here:
 
 * connect and read timeouts — a silent peer cannot wedge the scheduler;
+* sends get their own generous budget, and any send failure tears the
+  socket down — a partial frame can never desynchronize a healthy
+  stream; the reader sees the fault at once and reconnects instead of
+  waiting out the scheduler watchdog;
 * bounded exponential-backoff reconnect on any stream fault (EOF,
   truncated frame, bad CRC), with every in-flight job re-dispatched
-  after the link returns (safe: the server deduplicates by job key);
+  after the link returns (safe: the server deduplicates by job key
+  *within this transport's session* — the hello carries a session
+  nonce, so a later scheduler run reusing the same keys can never be
+  answered from a previous run's cache);
 * when reconnects exhaust, every in-flight job is surfaced as a typed
   ``error`` message so the scheduler can retry it elsewhere or fail it
   loudly — the transport never hangs and never drops a job silently.
@@ -27,6 +34,7 @@ dispatch→start latency per job).
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import threading
@@ -50,6 +58,14 @@ if TYPE_CHECKING:
 #: Histogram buckets for wire round-trip times (seconds).
 RTT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
                0.5, 1.0, 2.5)
+
+#: Socket timeout while the reader polls for frames (also how often it
+#: notices a close request).
+_READ_POLL = 0.2
+#: Per-frame send budget.  Sends share the socket timeout with reads,
+#: so without this a 0.2 s poll timeout could expire mid-``sendall``
+#: and strand half a frame on an otherwise healthy link.
+_SEND_TIMEOUT = 30.0
 
 
 class RemoteConnectError(ReproError):
@@ -99,6 +115,11 @@ class RemoteWorkerTransport:
         self._backoff = reconnect_backoff
         #: Messages for the scheduler, in arrival order.
         self.messages: queue.Queue[WorkerMessage] = queue.Queue()
+        #: Scopes the server's idempotency cache to this transport's
+        #: lifetime: reconnects replay cached outcomes (same nonce),
+        #: while a later scheduler run reusing the same job keys gets
+        #: fresh executions, never a stale replay.
+        self._session = os.urandom(8).hex()
         #: Concurrent jobs the server advertises (hello exchange).
         self.slots = 1
         self.alive = False
@@ -126,6 +147,15 @@ class RemoteWorkerTransport:
         return self
 
     def _establish(self) -> None:
+        # A previous socket may survive a failed reconnect attempt
+        # (e.g. the post-handshake re-dispatch send blew up); reclaim
+        # its descriptor before opening the next one.
+        stale, self._sock = self._sock, None
+        if stale is not None:
+            try:
+                stale.close()
+            except OSError:
+                pass
         started = time.perf_counter()
         try:
             sock = socket.create_connection(
@@ -136,25 +166,29 @@ class RemoteWorkerTransport:
                 f"{error}") from error
         sock.settimeout(self._connect_timeout)
         try:
-            self._sock = sock
-            self._send(WorkerMessage("hello", "", {
-                "heartbeat_seconds": self._heartbeat_seconds}))
+            payload = pack_message(WorkerMessage("hello", "", {
+                "heartbeat_seconds": self._heartbeat_seconds,
+                "session": self._session}))
+            sent = write_frame(lambda data: sock.sendall(data), payload)
+            self._count("frames_sent")
+            self._count("bytes_sent", sent)
             hello = self._read_one(sock)
         except (OSError, RemoteProtocolError) as error:
             sock.close()
-            self._sock = None
             raise RemoteConnectError(
                 f"handshake with fleet worker {self.address} failed: "
                 f"{error}") from error
         if hello is None or hello.kind != "hello":
             sock.close()
-            self._sock = None
             raise RemoteConnectError(
                 f"fleet worker {self.address} answered the hello with "
                 f"{getattr(hello, 'kind', 'EOF')!r}")
         self.slots = max(int(hello.data.get("slots", 1)), 1)
         self._observe_rtt(time.perf_counter() - started)
-        sock.settimeout(0.2)
+        sock.settimeout(_READ_POLL)
+        # Publish only a fully-established link: a concurrent
+        # dispatch() can never slip a job frame ahead of the hello.
+        self._sock = sock
 
     def _read_one(self, sock: socket.socket) -> WorkerMessage | None:
         """Blocking single-message read used only for the handshake."""
@@ -205,7 +239,9 @@ class RemoteWorkerTransport:
             self._send(WorkerMessage("job", job.key,
                                      {"job": job, "attempt": attempt}))
         except (OSError, RemoteProtocolError):
-            pass  # reader notices the fault and re-dispatches
+            # _send tore the socket down, so the reader faults
+            # immediately, reconnects, and re-dispatches this job.
+            pass
 
     def cancel(self, key: str) -> None:
         """Stop tracking ``key``; best-effort remote cancellation."""
@@ -227,7 +263,22 @@ class RemoteWorkerTransport:
             if sock is None:
                 raise RemoteProtocolError(
                     f"link to {self.address} is down")
-            sent = write_frame(lambda data: sock.sendall(data), payload)
+            try:
+                sock.settimeout(_SEND_TIMEOUT)
+                sent = write_frame(lambda data: sock.sendall(data),
+                                   payload)
+                sock.settimeout(_READ_POLL)
+            except (OSError, RemoteProtocolError):
+                # A failed send may have left a partial frame on a
+                # socket that is otherwise healthy; shut it down so
+                # the reader faults and reconnects *now* rather than
+                # idling on a desynchronized stream until the
+                # scheduler watchdog fires.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                raise
         self._count("frames_sent")
         self._count("bytes_sent", sent)
 

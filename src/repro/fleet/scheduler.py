@@ -450,7 +450,11 @@ class FleetScheduler:
                 return
             run = running.get(message.key)
             if message.kind in ("start", "hb"):
-                if run is not None:
+                # Ownership check (mirrors the "done" guard): after a
+                # watchdog requeue moved the key to another transport,
+                # a still-running stale copy's heartbeats must not
+                # refresh last_seen and shield a hung replacement.
+                if run is not None and run.transport is transport:
                     run.last_seen = self.clock.monotonic()
                     self._emit({"kind": message.kind, "key": message.key,
                                 "attempt": run.attempt, **message.data})

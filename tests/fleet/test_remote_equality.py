@@ -19,6 +19,8 @@ from repro.core.daemon import Daemon
 from repro.device.profiles import profile_by_id
 from repro.fleet import CampaignJob, FleetScheduler
 from repro.fleet.remote import WorkerServer
+from repro.fleet.worker import execute_job
+from repro.obs.metrics import MetricsRegistry
 
 pytestmark = pytest.mark.timeout(120)
 
@@ -87,14 +89,53 @@ def test_daemon_remote_fleet_matches_inline(fast_costs, server):
     assert remote.coverage_summary() == inline.coverage_summary()
 
 
-def test_remote_dispatch_reuses_idempotency_cache(fast_costs, server):
-    """Submitting the same key twice (scheduler restart semantics)
-    replays the cached outcome instead of re-running the campaign."""
-    address = "%s:%d" % server.address
-    first = FleetScheduler(workers=[address]).run(_jobs(fast_costs))
-    again = FleetScheduler(workers=[address]).run(_jobs(fast_costs))
+def test_rerun_with_same_keys_reexecutes_identically(fast_costs):
+    """The idempotency cache is scoped to one scheduler session: a
+    fresh run against the same long-lived server re-executes every job
+    (never replays the previous run's cache) — and determinism makes
+    the results field-for-field identical anyway."""
+    metrics = MetricsRegistry()
+    with WorkerServer(slots=2, metrics=metrics) as server:
+        address = "%s:%d" % server.address
+        first = FleetScheduler(workers=[address]).run(_jobs(fast_costs))
+        again = FleetScheduler(workers=[address]).run(_jobs(fast_costs))
+    # Both runs executed for real: 2 jobs accepted each, 0 cache hits.
+    assert metrics.counter("remote.server.jobs_accepted").value == 4
+    assert metrics.counter("remote.server.jobs_cached").value == 0
     assert [o.key for o in again] == [o.key for o in first]
     for left, right in zip(first, again):
         assert right.ok
         assert dataclasses.asdict(right.result) \
             == dataclasses.asdict(left.result)
+
+
+def test_stale_cache_never_replays_across_runs(fast_costs):
+    """Same job key, *different* campaign spec, same long-lived
+    server: the second run must compute its own spec's result, not
+    replay the first run's cached outcome for the reused key."""
+    def job(hours: float) -> CampaignJob:
+        return CampaignJob(key="E#0", index=0,
+                           profile=profile_by_id("E"),
+                           config=FuzzerConfig(seed=0,
+                                               campaign_hours=hours),
+                           costs=fast_costs)
+
+    with WorkerServer(slots=1) as server:
+        address = "%s:%d" % server.address
+        first = FleetScheduler(workers=[address]).run([job(0.3)])
+        second = FleetScheduler(workers=[address]).run([job(0.6)])
+    assert first[0].ok and second[0].ok
+    expected = execute_job(job(0.6))
+    assert dataclasses.asdict(second[0].result) \
+        == dataclasses.asdict(expected.result)
+    assert second[0].result.executions != first[0].result.executions
+
+
+def test_completed_cache_is_bounded(fast_costs):
+    """The replay cache is an LRU: a daemon that serves campaigns
+    forever retains at most ``completed_cache`` outcomes."""
+    with WorkerServer(slots=2, completed_cache=1) as server:
+        outcomes = FleetScheduler(
+            workers=["%s:%d" % server.address]).run(_jobs(fast_costs))
+        assert all(outcome.ok for outcome in outcomes)
+        assert len(server._completed) == 1

@@ -274,6 +274,43 @@ def test_retries_requeue_on_manual_clock(fast_costs):
     assert clock.now >= 3 * 10.0
 
 
+def test_stale_heartbeat_cannot_shield_requeued_copy(fast_costs):
+    """After a watchdog requeue moves a job to a second transport, the
+    stale still-running copy's heartbeats on the *old* transport must
+    not refresh the new entry's last_seen — a hung replacement still
+    times out on schedule instead of being shielded indefinitely."""
+    from repro.fleet.worker import WorkerMessage
+
+    class StickyStub(StubTransport):
+        def cancel(self, key) -> None:  # stale copy keeps "running"
+            self.cancelled.append(key)
+
+    sticky, fresh = StickyStub(), StubTransport()
+
+    class StaleHbClock(ManualClock):
+        def sleep(self, seconds: float) -> None:
+            super().sleep(seconds)
+            # Once the retry is out on `fresh`, the stale copy on
+            # `sticky` heartbeats for the same key until t=100.
+            if ("E#0", 2) in fresh.dispatched and self.now < 100.0:
+                sticky.messages.put(WorkerMessage(
+                    "hb", "E#0", {"worker": 1}))
+
+    clock = StaleHbClock()
+    scheduler = FleetScheduler(workers=[sticky, fresh], clock=clock,
+                               watchdog_seconds=30.0, max_retries=1,
+                               retry_backoff=0.0)
+    outcomes = scheduler.run(_jobs(fast_costs))
+    assert len(outcomes) == 1 and not outcomes[0].ok
+    assert "watchdog" in outcomes[0].error
+    # Attempt 1 went to sticky, the requeued attempt 2 to fresh.
+    assert sticky.dispatched == [("E#0", 1)]
+    assert fresh.dispatched == [("E#0", 2)]
+    # The second watchdog window expired at ~60 virtual seconds; the
+    # stale heartbeats (flowing until t=100) were ignored.
+    assert clock.now < 100.0
+
+
 def test_late_result_after_requeue_merges_once(fast_costs):
     """A done message landing *after* the watchdog already requeued the
     job merges exactly once — the retry copy is dropped, not run to a
