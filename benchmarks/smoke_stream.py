@@ -1,0 +1,116 @@
+"""Streaming smoke test: a real ``--stream`` campaign, watched headless.
+
+End-to-end across process boundaries, exactly as a user would run it:
+
+1. launch ``python -m repro hunt --stream 127.0.0.1:PORT`` as a
+   subprocess (the campaign hosts the live-telemetry server);
+2. attach an in-process headless watcher (``repro watch --sse``
+   equivalent) and collect every newline-delimited JSON record until
+   the campaign finishes and closes the stream;
+3. assert the watcher saw at least one monitor snapshot plus the
+   sticky campaign announcements, and that both sides exited 0.
+
+The record lands in ``SMOKE_stream.json`` at the repo root so CI can
+upload it next to the ``BENCH_*.json`` artifacts.
+
+Dual mode: collected by pytest (``pytest benchmarks/smoke_stream.py``)
+or run directly (``python benchmarks/smoke_stream.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":  # direct invocation: src/ onto the path
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.watch import run_watch
+
+OUT_PATH = ROOT / "SMOKE_stream.json"
+#: Real-seconds safety net; the watch normally ends when the campaign
+#: closes the stream, long before this.
+WATCH_DEADLINE = 300.0
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def smoke_stream(hours: float | None = None) -> dict:
+    """Run the campaign + watcher pair and assemble the smoke record."""
+    if hours is None:
+        hours = float(os.environ.get("REPRO_BENCH_HOURS", 2.0))
+    port = _free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    campaign = subprocess.Popen(
+        [sys.executable, "-m", "repro", "hunt", "--hours", str(hours),
+         "--stream", f"127.0.0.1:{port}"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True, cwd=ROOT)
+
+    feed = io.StringIO()
+    started = time.perf_counter()
+    # Generous reconnect budget: the subprocess takes a moment to bind.
+    watch_exit = run_watch(f"127.0.0.1:{port}", sse=True,
+                           duration=WATCH_DEADLINE, connect_timeout=2.0,
+                           reconnects=120, out=feed)
+    watch_wall = time.perf_counter() - started
+    campaign_out, _ = campaign.communicate(timeout=120)
+
+    records = [json.loads(line) for line in
+               feed.getvalue().splitlines()]
+    by_type: dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("type", "?"))
+        by_type[kind] = by_type.get(kind, 0) + 1
+
+    record = {
+        "campaign_hours": hours,
+        "campaign_exit": campaign.returncode,
+        "watch_exit": watch_exit,
+        "watch_wall_seconds": round(watch_wall, 3),
+        "records": len(records),
+        "by_type": by_type,
+        "snapshots": by_type.get("snapshot", 0),
+        "campaign_announcements": by_type.get("campaign", 0),
+        "all_records_wall_stamped": all("wall" in r for r in records
+                                        if r.get("type") != "meta"),
+        "campaign_reported_results": "Hunt results" in campaign_out,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=1, sort_keys=True)
+                        + "\n")
+    return record
+
+
+def test_stream_smoke():
+    record = smoke_stream()
+    assert record["campaign_exit"] == 0, record
+    assert record["watch_exit"] == 0, record
+    assert record["snapshots"] >= 1, record
+    assert record["campaign_announcements"] >= 1, record
+    assert record["all_records_wall_stamped"], record
+    assert record["campaign_reported_results"], record
+    assert OUT_PATH.exists()
+
+
+if __name__ == "__main__":
+    summary = smoke_stream()
+    print(json.dumps(summary, indent=1, sort_keys=True))
+    print(f"\nwritten to {OUT_PATH}")
+    failed = (summary["campaign_exit"] != 0 or summary["watch_exit"] != 0
+              or summary["snapshots"] < 1)
+    sys.exit(1 if failed else 0)

@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.analysis.tables import render_table
 from repro.core.engine import CampaignResult
 from repro.core.relations import RelationGraph
-from repro.obs.stats import TraceSummary
+from repro.core.results import FleetResult
+from repro.obs.stats import TraceSummary, render_fleet_summary
 
 
 def strongest_relations(relations: RelationGraph,
@@ -109,4 +110,39 @@ def campaign_report(result: CampaignResult,
     if trace_summary is not None and (trace_summary.phases
                                       or trace_summary.snapshots):
         lines.extend(profiling_section(trace_summary))
+    return "\n".join(lines)
+
+
+def fleet_report(fleet: FleetResult) -> str:
+    """Terminal summary of a fleet run: per-campaign table, the
+    deduplicated bug ledger, scheduler stats, and the monitor rollup.
+
+    Consumes the typed :class:`~repro.core.results.FleetResult`
+    surface (``Daemon.run_fleet`` return value or
+    ``Daemon.fleet_result()`` after a partial failure).
+    """
+    lines = []
+    rows = [[key, result.kernel_coverage, result.executions,
+             result.reboots, len(result.bugs)]
+            for key, result in sorted(fleet.by_key().items())]
+    lines.append(render_table(
+        ["Campaign", "Coverage", "Execs", "Reboots", "Bugs"], rows,
+        title="Fleet results"))
+    bugs = fleet.all_bugs()
+    if bugs:
+        bug_rows = [[i, b.device, b.title, b.component]
+                    for i, b in enumerate(bugs, 1)]
+        lines.append(render_table(
+            ["No", "Device", "Bug", "Component"], bug_rows,
+            title=f"{len(bugs)} unique bug(s)"))
+    if fleet.fleet_stats:
+        lines.append(render_fleet_summary(fleet.fleet_stats))
+    if fleet.rollups():
+        rollup = fleet.rollup()
+        lines.append(
+            f"fleet rollup: {rollup.get('campaigns', 0)} campaign(s), "
+            f"{rollup.get('executions', 0)} executions, "
+            f"{rollup.get('kernel_coverage', 0)} coverage, "
+            f"{rollup.get('bugs', 0)} bug(s), "
+            f"{rollup.get('mean_execs_per_sec', 0.0):.2f} exec/s mean")
     return "\n".join(lines)

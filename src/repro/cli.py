@@ -9,17 +9,27 @@ Subcommands::
     fleet                     parallel multi-device fleet via the daemon
     compare  <device>         run several tools and compare coverage
     stats    <trace-dir>      summarize a recorded telemetry trace
+    watch    <host:port>      live dashboard for a --stream campaign
     worker serve              host a remote fleet worker pool over TCP
 
-``fuzz``, ``hunt``, and ``compare`` accept ``--telemetry DIR`` to record
-a JSONL trace, periodic monitor snapshots, and a metrics dump that
-``stats`` reads back, and ``--jobs N`` to shard independent campaigns
-across a worker pool (``fuzz`` needs ``--seeds`` > 1 to have anything
-to parallelize).  ``--workers host:port,...`` dispatches the same
-campaigns to ``repro worker serve`` pools on other hosts instead —
-results are byte-identical to local runs.  ``--trace-max-mb`` bounds
-each ``trace.jsonl`` by rotating full segments.  Every command operates
-on the virtual fleet; see README.md.
+The campaign commands (``fuzz``/``hunt``/``fleet``/``compare``) share
+three option groups, declared once as argparse *parent parsers* so new
+flags land on every command consistently:
+
+* campaign options — ``--seed``, ``--hours`` (per-command defaults);
+* telemetry options — ``--telemetry DIR`` records a JSONL trace,
+  periodic monitor snapshots, and a metrics dump that ``stats`` reads
+  back; ``--stream HOST:PORT`` additionally serves the live feed for
+  ``repro watch`` (``:0`` picks a free port, printed at startup);
+  ``--trace-max-mb`` bounds each ``trace.jsonl`` by rotating segments;
+* pool options — ``--jobs N`` shards independent campaigns across a
+  worker pool (``fuzz`` needs ``--seeds`` > 1 to have anything to
+  parallelize); ``--workers host:port,...`` dispatches to
+  ``repro worker serve`` pools on other hosts instead, byte-identical
+  to local runs; ``--watchdog-seconds`` bounds worker silence
+  (``--watchdog`` remains as a deprecated alias).
+
+Every command operates on the virtual fleet; see README.md.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import sys
 import time
 
 from repro.analysis.plots import ascii_chart
+from repro.analysis.report import fleet_report
 from repro.analysis.tables import render_table
 from repro.baselines import TOOLS, config_for, make_engine
 from repro.core.daemon import Daemon
@@ -39,6 +50,7 @@ from repro.core.state import save_state
 from repro.device.device import AndroidDevice
 from repro.device.profiles import DEVICE_PROFILES, profile_by_id
 from repro.fleet import CampaignJob, FleetJobError, FleetScheduler
+from repro.obs.sinks import open_sink
 from repro.obs.stats import (
     find_trace_dirs,
     load_fleet_summary,
@@ -61,15 +73,49 @@ def _worker_list(args) -> list[str]:
     return [part.strip() for part in spec.split(",") if part.strip()]
 
 
-def _make_telemetry(directory: str | None, subdir: str | None = None,
-                    max_trace_bytes: int | None = None) -> Telemetry | None:
-    """A recording telemetry context, or None when not requested."""
-    if not directory:
+def _open_stream(args):
+    """The live-telemetry server for ``--stream``, or None when off."""
+    spec = getattr(args, "stream", "") or ""
+    if not spec:
         return None
+    sink = open_sink(f"stream:{spec}")
+    host, port = sink.address
+    print(f"streaming live telemetry on {host}:{port} "
+          f"(attach with: repro watch {host}:{port})", flush=True)
+    return sink
+
+
+def _close_stream(stream) -> None:
+    """Report drop counters and shut the stream server down."""
+    if stream is None:
+        return
+    stats = stream.stats()
+    if stats.get("dropped"):
+        print(f"stream: dropped {stats['dropped']} record(s) to slow "
+              f"watcher(s) (delivered {stats['delivered']})", flush=True)
+    stream.close()
+
+
+def _make_telemetry(directory: str | None, subdir: str | None = None,
+                    max_trace_bytes: int | None = None,
+                    stream=None, source: str = "") -> Telemetry | None:
+    """A recording and/or streaming telemetry context, or None.
+
+    Built when either a ``--telemetry`` directory or a ``--stream``
+    sink is present; with a stream only, nothing is written to disk
+    but snapshots still reach live watchers.
+    """
+    scoped = (stream.scoped(source) if stream is not None and source
+              else stream)
+    if not directory:
+        if scoped is None:
+            return None
+        return Telemetry(stream=scoped)
     path = pathlib.Path(directory)
     if subdir:
         path = path / subdir
-    return Telemetry(directory=path, max_trace_bytes=max_trace_bytes)
+    return Telemetry(directory=path, max_trace_bytes=max_trace_bytes,
+                     stream=scoped)
 
 
 def _fleet_progress(event: dict) -> None:
@@ -118,33 +164,40 @@ def _cmd_probe(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
-    if args.seeds > 1 or _worker_list(args):
-        return _fuzz_fleet(args)
-    device = AndroidDevice(profile_by_id(args.device))
-    telemetry = _make_telemetry(args.telemetry,
-                                max_trace_bytes=_trace_bytes(args))
-    engine = make_engine(args.tool, device, seed=args.seed,
-                         campaign_hours=args.hours, telemetry=telemetry)
-    result = engine.run()
-    print(f"{args.tool} on {args.device}: coverage "
-          f"{result.kernel_coverage}, {result.executions} executions, "
-          f"{result.reboots} reboots")
-    for bug in result.bugs:
-        print(f"  [{bug.component}] {bug.title} "
-              f"(first at {bug.first_clock / 3600:.1f}h)")
-        if args.repro and bug.reproducer:
-            for line in bug.reproducer.splitlines():
-                print(f"      {line}")
-    if args.state_dir and args.tool not in ("difuze",):
-        save_state(engine, args.state_dir)
-        print(f"state saved to {args.state_dir}")
-    if telemetry is not None:
-        telemetry.close()
-        print(f"telemetry written to {telemetry.directory}")
-    return 0
+    stream = _open_stream(args)
+    try:
+        if args.seeds > 1 or _worker_list(args):
+            return _fuzz_fleet(args, stream)
+        device = AndroidDevice(profile_by_id(args.device))
+        telemetry = _make_telemetry(
+            args.telemetry, max_trace_bytes=_trace_bytes(args),
+            stream=stream, source=f"{args.device}#{args.seed}")
+        engine = make_engine(args.tool, device, seed=args.seed,
+                             campaign_hours=args.hours,
+                             telemetry=telemetry)
+        result = engine.run()
+        print(f"{args.tool} on {args.device}: coverage "
+              f"{result.kernel_coverage}, {result.executions} executions, "
+              f"{result.reboots} reboots")
+        for bug in result.bugs:
+            print(f"  [{bug.component}] {bug.title} "
+                  f"(first at {bug.first_clock / 3600:.1f}h)")
+            if args.repro and bug.reproducer:
+                for line in bug.reproducer.splitlines():
+                    print(f"      {line}")
+        if args.state_dir and args.tool not in ("difuze",):
+            save_state(engine, args.state_dir)
+            print(f"state saved to {args.state_dir}")
+        if telemetry is not None:
+            telemetry.close()
+            if telemetry.directory is not None:
+                print(f"telemetry written to {telemetry.directory}")
+        return 0
+    finally:
+        _close_stream(stream)
 
 
-def _fuzz_fleet(args) -> int:
+def _fuzz_fleet(args, stream=None) -> int:
     """``fuzz --seeds N``: one campaign per seed, optionally parallel."""
     profile = profile_by_id(args.device)
     specs = [CampaignJob(
@@ -156,7 +209,8 @@ def _fuzz_fleet(args) -> int:
             range(args.seed, args.seed + args.seeds))]
     scheduler = FleetScheduler(jobs=max(args.jobs, 1),
                                workers=_worker_list(args),
-                               progress=_fleet_progress)
+                               watchdog_seconds=args.watchdog_seconds,
+                               progress=_fleet_progress, stream=stream)
     outcomes = scheduler.run(specs)
     failed = 0
     for outcome in outcomes:
@@ -176,41 +230,48 @@ def _fuzz_fleet(args) -> int:
 
 
 def _cmd_hunt(args) -> int:
-    if args.jobs > 1 or _worker_list(args):
-        return _hunt_fleet(args)
-    total = []
-    for profile in DEVICE_PROFILES:
-        for seed in range(args.seeds):
-            device = AndroidDevice(profile)
-            telemetry = _make_telemetry(args.telemetry,
-                                        f"{profile.ident}-s{seed}",
-                                        max_trace_bytes=_trace_bytes(args))
-            engine = make_engine("droidfuzz", device, seed=seed,
-                                 campaign_hours=args.hours,
-                                 telemetry=telemetry)
-            result = engine.run()
-            if telemetry is not None:
-                telemetry.close()
-            print(f"{profile.ident} seed {seed}: "
-                  f"cov {result.kernel_coverage}, "
-                  f"{len(result.bugs)} bug(s)", flush=True)
-            total.extend((profile.ident, b.title, b.component)
-                         for b in result.bugs)
-    unique = sorted(set(total))
-    rows = [[i, ident, title, comp]
-            for i, (ident, title, comp) in enumerate(unique, 1)]
-    print(render_table(["No", "Device", "Bug", "Component"], rows,
-                       title=f"Hunt results ({len(unique)} unique bugs)"))
-    if args.telemetry:
-        print(f"telemetry written to {args.telemetry}")
-    return 0
+    stream = _open_stream(args)
+    try:
+        if args.jobs > 1 or _worker_list(args):
+            return _hunt_fleet(args, stream)
+        total = []
+        for profile in DEVICE_PROFILES:
+            for seed in range(args.seed, args.seed + args.seeds):
+                device = AndroidDevice(profile)
+                key = f"{profile.ident}-s{seed}"
+                telemetry = _make_telemetry(
+                    args.telemetry, key,
+                    max_trace_bytes=_trace_bytes(args),
+                    stream=stream, source=key)
+                engine = make_engine("droidfuzz", device, seed=seed,
+                                     campaign_hours=args.hours,
+                                     telemetry=telemetry)
+                result = engine.run()
+                if telemetry is not None:
+                    telemetry.close()
+                print(f"{profile.ident} seed {seed}: "
+                      f"cov {result.kernel_coverage}, "
+                      f"{len(result.bugs)} bug(s)", flush=True)
+                total.extend((profile.ident, b.title, b.component)
+                             for b in result.bugs)
+        unique = sorted(set(total))
+        rows = [[i, ident, title, comp]
+                for i, (ident, title, comp) in enumerate(unique, 1)]
+        print(render_table(
+            ["No", "Device", "Bug", "Component"], rows,
+            title=f"Hunt results ({len(unique)} unique bugs)"))
+        if args.telemetry:
+            print(f"telemetry written to {args.telemetry}")
+        return 0
+    finally:
+        _close_stream(stream)
 
 
-def _hunt_fleet(args) -> int:
+def _hunt_fleet(args, stream=None) -> int:
     """``hunt --jobs N``: the profile×seed grid on a worker pool."""
     specs = []
     for profile in DEVICE_PROFILES:
-        for seed in range(args.seeds):
+        for seed in range(args.seed, args.seed + args.seeds):
             specs.append(CampaignJob(
                 key=f"{profile.ident}-s{seed}", index=len(specs),
                 profile=profile,
@@ -220,7 +281,8 @@ def _hunt_fleet(args) -> int:
                 max_trace_bytes=_trace_bytes(args)))
     scheduler = FleetScheduler(jobs=args.jobs,
                                workers=_worker_list(args),
-                               progress=_fleet_progress)
+                               watchdog_seconds=args.watchdog_seconds,
+                               progress=_fleet_progress, stream=stream)
     outcomes = scheduler.run(specs)
     total = []
     failed = 0
@@ -250,43 +312,29 @@ def _cmd_fleet(args) -> int:
     except KeyError as error:
         print(error.args[0])
         return 2
+    stream = _open_stream(args)
     daemon = Daemon(config=config_for(args.tool, seed=args.seed,
                                       campaign_hours=args.hours),
                     telemetry_dir=args.telemetry or None,
-                    jobs=args.jobs, watchdog_seconds=args.watchdog,
+                    jobs=args.jobs,
+                    watchdog_seconds=args.watchdog_seconds,
                     workers=_worker_list(args),
-                    max_trace_bytes=_trace_bytes(args))
+                    max_trace_bytes=_trace_bytes(args),
+                    stream=stream)
     try:
         daemon.run_fleet(profiles, progress=_fleet_progress)
     except FleetJobError as error:
         for key, reason in error.failures.items():
             print(f"[--] {key} FAILED: {reason.strip().splitlines()[-1]}")
-    rows = [[key, result.kernel_coverage, result.executions,
-             result.reboots, len(result.bugs)]
-            for key, result in sorted(daemon.results.items())]
-    print(render_table(["Campaign", "Coverage", "Execs", "Reboots", "Bugs"],
-                       rows, title="Fleet results"))
-    bugs = daemon.all_bugs()
-    if bugs:
-        bug_rows = [[i, b.device, b.title, b.component]
-                    for i, b in enumerate(bugs, 1)]
-        print(render_table(["No", "Device", "Bug", "Component"], bug_rows,
-                           title=f"{len(bugs)} unique bug(s)"))
-    if daemon.fleet_stats:
-        print(render_fleet_summary(daemon.fleet_stats))
-    if daemon.rollups:
-        rollup = daemon.fleet_rollup()
-        print(f"fleet rollup: {rollup.get('campaigns', 0)} campaign(s), "
-              f"{rollup.get('executions', 0)} executions, "
-              f"{rollup.get('kernel_coverage', 0)} coverage, "
-              f"{rollup.get('bugs', 0)} bug(s), "
-              f"{rollup.get('mean_execs_per_sec', 0.0):.2f} exec/s mean")
+    finally:
+        _close_stream(stream)
+    print(fleet_report(daemon.fleet_result()))
     if args.telemetry:
         print(f"telemetry written to {args.telemetry}")
     return 1 if len(daemon.results) < len(profiles) else 0
 
 
-def _compare_fleet(args):
+def _compare_fleet(args, stream=None):
     """``compare --jobs N``: one worker per tool; None on any failure."""
     profile = profile_by_id(args.device)
     specs = [CampaignJob(
@@ -297,7 +345,9 @@ def _compare_fleet(args):
         for index, tool in enumerate(args.tools)]
     outcomes = FleetScheduler(jobs=args.jobs,
                               workers=_worker_list(args),
-                              progress=_fleet_progress).run(specs)
+                              watchdog_seconds=args.watchdog_seconds,
+                              progress=_fleet_progress,
+                              stream=stream).run(specs)
     bad = [outcome for outcome in outcomes if not outcome.ok]
     if bad:
         for outcome in bad:
@@ -310,36 +360,45 @@ def _compare_fleet(args):
 def _cmd_compare(args) -> int:
     series = {}
     rows = []
-    if args.jobs > 1 or _worker_list(args):
-        outcomes = _compare_fleet(args)
-        if outcomes is None:
-            return 1
-        for outcome in outcomes:
-            result = outcome.result
-            series[outcome.key] = [(t, float(c))
-                                   for t, c in result.timeline]
-            row = [outcome.key, result.kernel_coverage, len(result.bugs)]
-            if args.telemetry:
-                row.append(f"{outcome.rollup.get('mean_execs_per_sec', 0.0):.2f}")
-            rows.append(row)
-    else:
-        for tool in args.tools:
-            device = AndroidDevice(profile_by_id(args.device))
-            telemetry = _make_telemetry(args.telemetry, tool,
-                                        max_trace_bytes=_trace_bytes(args))
-            engine = make_engine(tool, device, seed=args.seed,
-                                 campaign_hours=args.hours,
-                                 telemetry=telemetry)
-            result = engine.run()
-            rollup = (engine.telemetry.rollup()
-                      if telemetry is not None else None)
-            if telemetry is not None:
-                telemetry.close()
-            series[tool] = [(t, float(c)) for t, c in result.timeline]
-            row = [tool, result.kernel_coverage, len(result.bugs)]
-            if rollup is not None:
-                row.append(f"{rollup.get('mean_execs_per_sec', 0.0):.2f}")
-            rows.append(row)
+    stream = _open_stream(args)
+    try:
+        if args.jobs > 1 or _worker_list(args):
+            outcomes = _compare_fleet(args, stream)
+            if outcomes is None:
+                return 1
+            for outcome in outcomes:
+                result = outcome.result
+                series[outcome.key] = [(t, float(c))
+                                       for t, c in result.timeline]
+                row = [outcome.key, result.kernel_coverage,
+                       len(result.bugs)]
+                if args.telemetry:
+                    row.append(
+                        f"{outcome.rollup.get('mean_execs_per_sec', 0.0):.2f}")
+                rows.append(row)
+        else:
+            for tool in args.tools:
+                device = AndroidDevice(profile_by_id(args.device))
+                telemetry = _make_telemetry(
+                    args.telemetry, tool,
+                    max_trace_bytes=_trace_bytes(args),
+                    stream=stream, source=tool)
+                engine = make_engine(tool, device, seed=args.seed,
+                                     campaign_hours=args.hours,
+                                     telemetry=telemetry)
+                result = engine.run()
+                rollup = (engine.telemetry.rollup()
+                          if args.telemetry else None)
+                if telemetry is not None:
+                    telemetry.close()
+                series[tool] = [(t, float(c)) for t, c in result.timeline]
+                row = [tool, result.kernel_coverage, len(result.bugs)]
+                if rollup is not None:
+                    row.append(
+                        f"{rollup.get('mean_execs_per_sec', 0.0):.2f}")
+                rows.append(row)
+    finally:
+        _close_stream(stream)
     print(ascii_chart(series,
                       title=f"Coverage on {args.device}, "
                             f"{args.hours:g} virtual hours"))
@@ -350,6 +409,16 @@ def _cmd_compare(args) -> int:
     if args.telemetry:
         print(f"telemetry written to {args.telemetry}")
     return 0
+
+
+def _cmd_watch(args) -> int:
+    """Attach to a ``--stream`` campaign and render it live."""
+    from repro.obs.watch import run_watch
+    return run_watch(args.address, sse=args.sse, interval=args.interval,
+                     duration=args.duration, max_records=args.max_records,
+                     follow=args.follow,
+                     connect_timeout=args.connect_timeout,
+                     reconnects=args.reconnects)
 
 
 def _cmd_worker_serve(args) -> int:
@@ -386,11 +455,77 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+class _DeprecatedAlias(argparse.Action):
+    """Store into the canonical dest while warning that the flag moved."""
+
+    def __init__(self, *args, replacement: str = "", **kwargs):
+        self.replacement = replacement
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(f"warning: {option_string} is deprecated; use "
+              f"{self.replacement}", file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+def _parent_parsers() -> dict[str, argparse.ArgumentParser]:
+    """The shared option groups of the campaign commands.
+
+    Declared once as argparse parents so a new flag (like ``--stream``)
+    lands on ``fuzz``/``hunt``/``fleet``/``compare`` in one place.
+    Per-command defaults (e.g. ``--hours``) are overridden with
+    ``set_defaults`` at the subparser — which mutates the *shared*
+    action objects, so every subparser must get its own fresh parent
+    instances (call this once per ``add_parser``).
+    """
+    campaign = argparse.ArgumentParser(add_help=False)
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="base RNG seed (campaigns are "
+                               "seed-deterministic)")
+    campaign.add_argument("--hours", type=float, default=24.0,
+                          help="virtual campaign hours")
+
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument("--telemetry", default="", metavar="DIR",
+                           help="record JSONL trace + snapshots + "
+                                "metrics under DIR")
+    telemetry.add_argument("--stream", default="", metavar="HOST:PORT",
+                           help="serve live telemetry here for "
+                                "'repro watch' (:0 picks a free port; "
+                                "slow watchers drop frames, never "
+                                "slow the campaign)")
+    telemetry.add_argument("--trace-max-mb", type=float, default=0.0,
+                           metavar="MB",
+                           help="rotate trace.jsonl past this size "
+                                "(0: unbounded)")
+
+    pool = argparse.ArgumentParser(add_help=False)
+    pool.add_argument("--jobs", type=int, default=1,
+                      help="worker pool width (1: run inline)")
+    pool.add_argument("--workers", default="", metavar="ADDRS",
+                      help="comma-separated host:port of running "
+                           "'repro worker serve' pools; campaigns "
+                           "dispatch there instead of forking locally")
+    pool.add_argument("--watchdog-seconds", type=float, default=300.0,
+                      metavar="SECONDS",
+                      help="kill+requeue a worker silent this long")
+    pool.add_argument("--watchdog", dest="watchdog_seconds", type=float,
+                      action=_DeprecatedAlias,
+                      replacement="--watchdog-seconds",
+                      help=argparse.SUPPRESS)
+    return {"campaign": campaign, "telemetry": telemetry, "pool": pool}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="DroidFuzz reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def shared() -> list[argparse.ArgumentParser]:
+        parents = _parent_parsers()
+        return [parents["campaign"], parents["telemetry"],
+                parents["pool"]]
 
     sub.add_parser("list-devices").set_defaults(func=_cmd_list_devices)
 
@@ -399,73 +534,62 @@ def build_parser() -> argparse.ArgumentParser:
     probe.add_argument("--no-links", action="store_true")
     probe.set_defaults(func=_cmd_probe)
 
-    def _pool_args(command, jobs_help: str) -> None:
-        command.add_argument("--jobs", type=int, default=1,
-                             help=jobs_help)
-        command.add_argument("--workers", default="", metavar="ADDRS",
-                             help="comma-separated host:port of running "
-                                  "'repro worker serve' pools; campaigns "
-                                  "dispatch there instead of forking "
-                                  "locally")
-        command.add_argument("--trace-max-mb", type=float, default=0.0,
-                             metavar="MB",
-                             help="rotate trace.jsonl past this size "
-                                  "(0: unbounded)")
-
-    fuzz = sub.add_parser("fuzz")
+    fuzz = sub.add_parser("fuzz", parents=shared())
     fuzz.add_argument("device")
     fuzz.add_argument("--tool", choices=TOOLS, default="droidfuzz")
-    fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--seeds", type=int, default=1,
                       help="campaigns to run, seeded --seed, --seed+1, …")
-    fuzz.add_argument("--hours", type=float, default=24.0)
     fuzz.add_argument("--repro", action="store_true",
                       help="print bug reproducers")
     fuzz.add_argument("--state-dir", default="",
                       help="persist corpus/relations/bugs here")
-    fuzz.add_argument("--telemetry", default="", metavar="DIR",
-                      help="record JSONL trace + snapshots + metrics here")
-    _pool_args(fuzz, "worker pool width for --seeds > 1")
     fuzz.set_defaults(func=_cmd_fuzz)
 
-    hunt = sub.add_parser("hunt")
-    hunt.add_argument("--hours", type=float, default=48.0)
-    hunt.add_argument("--seeds", type=int, default=1)
-    hunt.add_argument("--telemetry", default="", metavar="DIR",
-                      help="record per-campaign telemetry under DIR")
-    _pool_args(hunt, "worker pool width for the profile×seed grid")
-    hunt.set_defaults(func=_cmd_hunt)
+    hunt = sub.add_parser("hunt", parents=shared())
+    hunt.add_argument("--seeds", type=int, default=1,
+                      help="seeds per device, from --seed upward")
+    hunt.set_defaults(func=_cmd_hunt, hours=48.0)
 
     fleet = sub.add_parser(
-        "fleet", help="parallel multi-device fleet via the daemon")
+        "fleet", parents=shared(),
+        help="parallel multi-device fleet via the daemon")
     fleet.add_argument("--devices", nargs="+", metavar="ID",
                        default=[p.ident for p in DEVICE_PROFILES])
     fleet.add_argument("--tool", choices=TOOLS, default="droidfuzz")
-    fleet.add_argument("--seed", type=int, default=0)
-    fleet.add_argument("--hours", type=float, default=24.0)
-    fleet.add_argument("--watchdog", type=float, default=300.0,
-                       metavar="SECONDS",
-                       help="kill+requeue a worker silent this long")
-    fleet.add_argument("--telemetry", default="", metavar="DIR",
-                       help="record per-campaign telemetry under DIR")
-    _pool_args(fleet, "worker pool width (1: run inline)")
     fleet.set_defaults(func=_cmd_fleet)
 
-    compare = sub.add_parser("compare")
+    compare = sub.add_parser("compare", parents=shared())
     compare.add_argument("device")
     compare.add_argument("--tools", nargs="+", choices=TOOLS,
                          default=["droidfuzz", "syzkaller"])
-    compare.add_argument("--seed", type=int, default=0)
-    compare.add_argument("--hours", type=float, default=12.0)
-    compare.add_argument("--telemetry", default="", metavar="DIR",
-                         help="record per-tool telemetry under DIR")
-    _pool_args(compare, "worker pool width (one worker per tool)")
-    compare.set_defaults(func=_cmd_compare)
+    compare.set_defaults(func=_cmd_compare, hours=12.0)
 
     stats = sub.add_parser("stats")
     stats.add_argument("trace_dir",
                        help="telemetry directory (or a parent of several)")
     stats.set_defaults(func=_cmd_stats)
+
+    watch = sub.add_parser(
+        "watch", help="live dashboard for a --stream campaign")
+    watch.add_argument("address", metavar="HOST:PORT",
+                       help="the campaign's --stream address")
+    watch.add_argument("--sse", action="store_true",
+                       help="emit newline-delimited JSON records "
+                            "instead of the terminal dashboard")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="minimum real seconds between redraws")
+    watch.add_argument("--duration", type=float, default=0.0,
+                       help="stop after this many real seconds "
+                            "(0: until the stream ends)")
+    watch.add_argument("--max-records", type=int, default=0,
+                       help="stop after this many records (0: no limit)")
+    watch.add_argument("--follow", action="store_true",
+                       help="reconnect after the stream ends and wait "
+                            "for a new campaign")
+    watch.add_argument("--connect-timeout", type=float, default=5.0)
+    watch.add_argument("--reconnects", type=int, default=5,
+                       help="consecutive connection failures tolerated")
+    watch.set_defaults(func=_cmd_watch)
 
     worker = sub.add_parser("worker", help="remote fleet worker commands")
     worker_sub = worker.add_subparsers(dest="worker_command", required=True)

@@ -25,6 +25,12 @@ from typing import Any, Callable
 from repro.core.bugs import BugReport
 from repro.core.config import FuzzerConfig
 from repro.core.engine import CampaignResult, FuzzingEngine
+from repro.core.results import (
+    CampaignRecord,
+    FleetResult,
+    coverage_summary,
+    dedupe_bugs,
+)
 from repro.device.device import AndroidDevice, DeviceCosts
 from repro.device.profiles import DeviceProfile
 from repro.fleet.jobs import CampaignJob, FleetJobError
@@ -44,6 +50,13 @@ class Daemon:
     #: When set, each campaign records its telemetry under
     #: ``<telemetry_dir>/<campaign key>/``.
     telemetry_dir: str | pathlib.Path | None = None
+    #: Typed per-campaign records (result + rollup + telemetry path),
+    #: keyed like :attr:`results`.
+    records: dict[str, CampaignRecord] = field(default_factory=dict)
+    #: Live-telemetry stream sink (a ``repro.obs.stream.StreamSink``),
+    #: *borrowed*: the daemon scopes it per campaign and never closes
+    #: it — the CLI (or whoever built it) owns its lifecycle.
+    stream: Any = None
     #: Per-campaign monitor rollups, keyed like :attr:`results`.
     rollups: dict[str, dict[str, Any]] = field(default_factory=dict)
     #: Worker pool width for :meth:`run_fleet` (1: inline execution).
@@ -99,11 +112,14 @@ class Daemon:
             config = config.variant(seed=seed)
         key = self._campaign_key(profile, config)
         telemetry = None
-        if self.telemetry_dir is not None:
+        telemetry_path = (pathlib.Path(self.telemetry_dir) / key
+                          if self.telemetry_dir is not None else None)
+        if telemetry_path is not None or self.stream is not None:
             telemetry = Telemetry(
-                directory=pathlib.Path(self.telemetry_dir) / key,
+                directory=telemetry_path,
                 interval=config.sample_interval,
-                max_trace_bytes=self.max_trace_bytes)
+                max_trace_bytes=self.max_trace_bytes,
+                stream=self._scoped_stream(key))
         device = AndroidDevice(profile, costs=self.costs)
         engine = FuzzingEngine(device, config, telemetry=telemetry)
         result = engine.run()
@@ -111,7 +127,19 @@ class Daemon:
             self.rollups[key] = telemetry.rollup()
             telemetry.close()
         self.results[key] = result
+        self.records[key] = CampaignRecord(
+            key=key, result=result,
+            rollup=self.rollups.get(key, {}),
+            telemetry_path=(str(telemetry_path)
+                            if telemetry_path is not None else None))
         return result
+
+    def _scoped_stream(self, key: str):
+        """The live stream scoped to one campaign key (None when off)."""
+        if self.stream is None:
+            return None
+        scoped = getattr(self.stream, "scoped", None)
+        return scoped(key) if scoped is not None else self.stream
 
     # ------------------------------------------------------------------
     # fleet orchestration
@@ -134,23 +162,27 @@ class Daemon:
     def run_fleet(self, profiles: list[DeviceProfile],
                   seed: int | None = None, jobs: int | None = None,
                   progress: Callable[[dict[str, Any]], None] | None = None,
-                  ) -> list[CampaignResult]:
+                  ) -> FleetResult:
         """One campaign per device profile (the paper's 7-device run).
 
         With ``jobs > 1`` the campaigns shard across a worker pool;
         results, rollups and aggregates are merged in submission order
-        and are identical to a sequential run.  Jobs whose retries are
-        exhausted raise :class:`FleetJobError` *after* every other
-        campaign's result has been merged.
+        and are identical to a sequential run.  Returns a
+        :class:`~repro.core.results.FleetResult` (sequence-compatible
+        with the ``list[CampaignResult]`` it replaced).  Jobs whose
+        retries are exhausted raise :class:`FleetJobError` *after*
+        every other campaign's result has been merged.
         """
         width = self.jobs if jobs is None else jobs
         specs = self._job_specs(profiles, seed)
         scheduler = FleetScheduler(
             jobs=width, watchdog_seconds=self.watchdog_seconds,
             max_retries=self.max_retries, metrics=self.metrics,
-            progress=progress, workers=list(self.workers))
+            progress=progress, workers=list(self.workers),
+            stream=self.stream)
         outcomes = scheduler.run(specs)
         failures: dict[str, str] = {}
+        fleet_records: list[CampaignRecord] = []
         for outcome in outcomes:  # already in submission order
             if not outcome.ok:
                 failures[outcome.key] = outcome.error or "unknown failure"
@@ -158,7 +190,21 @@ class Daemon:
             self.results[outcome.key] = outcome.result
             if outcome.rollup:
                 self.rollups[outcome.key] = outcome.rollup
+            record = CampaignRecord(
+                key=outcome.key, result=outcome.result,
+                rollup=outcome.rollup or {},
+                telemetry_path=(
+                    str(pathlib.Path(self.telemetry_dir) / outcome.key)
+                    if self.telemetry_dir is not None else None),
+                worker_id=outcome.worker_id,
+                attempts=outcome.attempts,
+                wall_seconds=outcome.wall_seconds)
+            self.records[outcome.key] = record
+            fleet_records.append(record)
         self.fleet_stats = scheduler.last_summary
+        if self.stream is not None:
+            self.stream.emit({"type": "fleet-summary",
+                              **self.fleet_stats})
         if self.telemetry_dir is not None:
             root = pathlib.Path(self.telemetry_dir)
             root.mkdir(parents=True, exist_ok=True)
@@ -166,7 +212,8 @@ class Daemon:
                 json.dumps(self.fleet_stats, indent=1, sort_keys=True))
         if failures:
             raise FleetJobError(failures)
-        return [outcome.result for outcome in outcomes]
+        return FleetResult(records=fleet_records,
+                           fleet_stats=self.fleet_stats)
 
     # ------------------------------------------------------------------
     # aggregation
@@ -174,20 +221,23 @@ class Daemon:
 
     def all_bugs(self) -> list[BugReport]:
         """Deduplicated bugs across all campaigns, by discovery time."""
-        seen: dict[tuple[str, str], BugReport] = {}
-        for result in self.results.values():
-            for bug in result.bugs:
-                key = (bug.device, bug.title)
-                if key not in seen or bug.first_clock < seen[key].first_clock:
-                    seen[key] = bug
-        return sorted(seen.values(),
-                      key=lambda b: (b.device, b.first_clock))
+        return dedupe_bugs(self.results.values())
 
     def coverage_summary(self) -> dict[str, int]:
         """Final kernel coverage per campaign key."""
-        return {key: result.kernel_coverage
-                for key, result in sorted(self.results.items())}
+        return coverage_summary(self.results)
 
     def fleet_rollup(self) -> dict[str, Any]:
         """Aggregate throughput across all monitored campaigns."""
         return CampaignMonitor.fleet_rollup(self.rollups)
+
+    def fleet_result(self) -> FleetResult:
+        """Typed view over *everything* this daemon has completed.
+
+        Unlike the :meth:`run_fleet` return value, this also covers
+        :meth:`run_device` campaigns and the partial state left behind
+        when a fleet raised :class:`FleetJobError` — the CLI renders
+        from it in both the success and the failure path.
+        """
+        return FleetResult(records=list(self.records.values()),
+                           fleet_stats=dict(self.fleet_stats))

@@ -10,7 +10,7 @@ and reboot the device when it wedges or (per configuration) on any bug.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.core.bugs import BugReport, BugTracker
@@ -63,6 +63,29 @@ class CampaignResult:
 
     def bug_titles(self) -> set[str]:
         return {b.title for b in self.bugs}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable shape (the external result contract).
+
+        ``timeline`` points become 2-lists and bugs become plain
+        dicts; :meth:`from_dict` restores the exact dataclass, so
+        ``from_dict(to_dict(r)) == r``.
+        """
+        data = asdict(self)
+        data["timeline"] = [[t, cov] for t, cov in self.timeline]
+        data["bugs"] = [asdict(bug) for bug in self.bugs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignResult":
+        """Rebuild a result from its :meth:`to_dict` shape."""
+        fields_in = dict(data)
+        fields_in["timeline"] = [tuple(point)
+                                 for point in data.get("timeline", [])]
+        fields_in["bugs"] = [bug if isinstance(bug, BugReport)
+                             else BugReport(**bug)
+                             for bug in data.get("bugs", [])]
+        return cls(**fields_in)
 
     def coverage_at(self, hours: float) -> int:
         """Kernel coverage at a timeline offset (step interpolation)."""
@@ -192,6 +215,11 @@ class FuzzingEngine:
                 self.telemetry.tracer.event(
                     "crash", title=bug.title, component=bug.component,
                     bug_kind=bug.kind)
+                self.telemetry.stream_record({
+                    "type": "bug", "t": self.device.clock,
+                    "title": bug.title, "component": bug.component,
+                    "bug_kind": bug.kind,
+                    "total": len(self.bugs.reports)})
         if outcome.needs_reboot or (outcome.crashes
                                     and self.config.reboot_on_crash):
             self._reboot()
@@ -250,6 +278,13 @@ class FuzzingEngine:
         next_sample = self._campaign_start
         last_decay = self._campaign_start
         self.telemetry.monitor.start(self._campaign_start)
+        # Sticky so a watcher attaching mid-campaign still learns who
+        # this row is; live-stream only, never a recorded artifact.
+        self.telemetry.stream_record({
+            "type": "campaign", "device": self.device.profile.ident,
+            "tool": config.name, "seed": config.seed,
+            "hours": config.campaign_hours, "t": self._campaign_start,
+        }, sticky=True)
 
         # Seed the corpus with the canonical flows distilled from the
         # probed framework traffic (the daemon's persistent seed corpus).

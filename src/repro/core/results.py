@@ -1,0 +1,146 @@
+"""Typed campaign/fleet result surface (the external result contract).
+
+:class:`~repro.core.engine.CampaignResult` is what one engine run
+produces; this module adds the daemon-level shapes around it:
+
+* :class:`CampaignRecord` — one completed campaign *as the daemon saw
+  it*: the result plus its key, monitor rollup, telemetry path, and
+  scheduling facts (worker, attempts).  Keeping these outside
+  ``CampaignResult`` preserves the invariant the equality tests lean
+  on — identical seeds produce *equal* results no matter which key,
+  worker, or telemetry directory they ran under.
+* :class:`FleetResult` — the value :meth:`Daemon.run_fleet` returns.
+  It is a sequence of ``CampaignResult`` in submission order (so
+  ``len()`` / iteration / indexing keep working for existing callers)
+  with the typed records, fleet stats, and aggregate helpers hanging
+  off it.
+
+Everything serializes via ``to_dict()`` for JSON artifacts and
+back-compat consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.core.bugs import BugReport
+from repro.core.engine import CampaignResult
+from repro.obs.monitor import CampaignMonitor
+
+
+def dedupe_bugs(results: Iterable[CampaignResult]) -> list[BugReport]:
+    """Deduplicated bugs across campaigns, by device then discovery
+    time; the earliest sighting of a (device, title) pair wins."""
+    seen: dict[tuple[str, str], BugReport] = {}
+    for result in results:
+        for bug in result.bugs:
+            key = (bug.device, bug.title)
+            if key not in seen or bug.first_clock < seen[key].first_clock:
+                seen[key] = bug
+    return sorted(seen.values(),
+                  key=lambda b: (b.device, b.first_clock))
+
+
+def coverage_summary(
+        results: dict[str, CampaignResult]) -> dict[str, int]:
+    """Final kernel coverage per campaign key, key-sorted."""
+    return {key: result.kernel_coverage
+            for key, result in sorted(results.items())}
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One completed campaign with its daemon-side context."""
+
+    key: str
+    result: CampaignResult
+    rollup: dict[str, Any] = field(default_factory=dict)
+    #: Directory holding this campaign's recorded telemetry (trace,
+    #: snapshots, metrics), when one was configured.
+    telemetry_path: str | None = None
+    worker_id: int = 0
+    attempts: int = 1
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "result": self.result.to_dict(),
+            "rollup": dict(self.rollup),
+            "telemetry_path": self.telemetry_path,
+            "worker_id": self.worker_id,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Typed return value of a fleet run.
+
+    Sequence-compatible with the ``list[CampaignResult]`` it replaced:
+    ``len(fleet)``, ``fleet[i]`` and iteration yield the campaign
+    results in submission order.
+    """
+
+    records: list[CampaignRecord] = field(default_factory=list)
+    fleet_stats: dict[str, Any] = field(default_factory=dict)
+
+    # -- sequence of CampaignResult (back-compat) ----------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[CampaignResult]:
+        return (record.result for record in self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [record.result for record in self.records[index]]
+        return self.records[index].result
+
+    # -- typed views ---------------------------------------------------
+
+    def results(self) -> list[CampaignResult]:
+        return [record.result for record in self.records]
+
+    def by_key(self) -> dict[str, CampaignResult]:
+        return {record.key: record.result for record in self.records}
+
+    def rollups(self) -> dict[str, dict[str, Any]]:
+        return {record.key: record.rollup for record in self.records
+                if record.rollup}
+
+    def record(self, key: str) -> CampaignRecord:
+        for candidate in self.records:
+            if candidate.key == key:
+                return candidate
+        raise KeyError(key)
+
+    # -- aggregates ----------------------------------------------------
+
+    def all_bugs(self) -> list[BugReport]:
+        """Deduplicated bugs across the fleet, by discovery time."""
+        return dedupe_bugs(self.results())
+
+    def coverage_summary(self) -> dict[str, int]:
+        """Final kernel coverage per campaign key."""
+        return coverage_summary(self.by_key())
+
+    def rollup(self) -> dict[str, Any]:
+        """Aggregate throughput across all monitored campaigns."""
+        return CampaignMonitor.fleet_rollup(self.rollups())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "campaigns": [record.to_dict() for record in self.records],
+            "fleet_stats": dict(self.fleet_stats),
+            "rollup": self.rollup(),
+            "coverage": self.coverage_summary(),
+            "bugs": len(self.all_bugs()),
+        }
+
+
+__all__ = ["CampaignRecord", "FleetResult", "dedupe_bugs",
+           "coverage_summary"]

@@ -24,20 +24,30 @@ as they close.  :func:`write_frame` loops over short writes, so a
 writer that accepts one byte at a time still emits a well-formed
 frame.
 
-Payloads are pickled :class:`~repro.fleet.worker.WorkerMessage`
-objects — the same serialization the ``multiprocessing`` queues
-already use for these messages, so local and remote workers move
-identical shapes.  Pickle implies a *trusted* network: bind servers to
-loopback or a private fleet LAN, exactly like the broker's ADB
-surrogate channel.
+Two payload kinds ride inside the same frame:
+
+* **fleet messages** — pickled
+  :class:`~repro.fleet.worker.WorkerMessage` objects, the same
+  serialization the ``multiprocessing`` queues already use, so local
+  and remote workers move identical shapes.  Pickle implies a
+  *trusted* network: bind servers to loopback or a private fleet LAN,
+  exactly like the broker's ADB surrogate channel.
+* **record-stream payloads** — JSON-encoded telemetry records tagged
+  with :data:`RECORD_TAG`, the ``repro.obs.stream`` live-dashboard
+  feed (:func:`pack_record` / :func:`unpack_record`).  JSON (not
+  pickle) because watchers are read-only consumers that may be
+  external UIs; the tag keeps a fleet peer that dials a stream port
+  (or vice versa) failing with a typed error instead of a confusing
+  unpickle/parse error.
 """
 
 from __future__ import annotations
 
+import json
 import pickle
 import struct
 import zlib
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import ReproError
 from repro.fleet.worker import WorkerMessage
@@ -73,6 +83,10 @@ class FrameCorruptError(RemoteProtocolError):
 
 class FrameTruncatedError(RemoteProtocolError):
     """The stream ended (or the writer stalled) mid-frame."""
+
+
+class RecordPayloadError(RemoteProtocolError):
+    """A frame payload is not a well-formed telemetry record."""
 
 
 def encode_frame(payload: bytes) -> bytes:
@@ -218,3 +232,42 @@ def unpack_message(payload: bytes) -> WorkerMessage:
             f"malformed fleet message shape: {type(kind).__name__}/"
             f"{type(key).__name__}/{type(data).__name__}")
     return WorkerMessage(kind, key, data)
+
+
+# ----------------------------------------------------------------------
+# record-stream payloads (the live telemetry feed, DESIGN §10)
+# ----------------------------------------------------------------------
+
+#: Leading tag of a record-stream payload.  Pickled fleet messages
+#: start with the pickle protocol opcode (``b"\x80"``), so the two
+#: payload kinds can never be confused inside the shared frame layer.
+RECORD_TAG = b"DFRC"
+
+
+def pack_record(record: dict[str, Any]) -> bytes:
+    """Serialize one telemetry record for the stream wire."""
+    return RECORD_TAG + json.dumps(
+        record, sort_keys=True, default=str).encode("utf-8")
+
+
+def unpack_record(payload: bytes) -> dict[str, Any]:
+    """Parse a stream payload back into a record dict.
+
+    Raises :class:`RecordPayloadError` when the payload is missing the
+    record tag (e.g. a fleet worker answered on this port), is not
+    valid JSON, or does not decode to an object.
+    """
+    if not payload.startswith(RECORD_TAG):
+        raise RecordPayloadError(
+            f"payload does not carry the {RECORD_TAG!r} record tag; "
+            f"peer is not a telemetry stream")
+    try:
+        record = json.loads(payload[len(RECORD_TAG):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise RecordPayloadError(
+            f"undecodable stream record: {error}") from error
+    if not isinstance(record, dict):
+        raise RecordPayloadError(
+            f"stream record decodes to {type(record).__name__}, "
+            f"not an object")
+    return record

@@ -133,6 +133,12 @@ class FleetScheduler:
     connect_timeout: float = 5.0
     max_reconnects: int = 5
     reconnect_backoff: float = 0.2
+    #: Live-telemetry sink (``repro.obs.stream.StreamSink``): every
+    #: lifecycle event is also published to it as a ``{"type":
+    #: "fleet", ...}`` record, and inline jobs additionally stream
+    #: their monitor snapshots through a per-key scoped view.
+    #: Borrowed — never closed here.
+    stream: Any = None
     #: Summary of the last :meth:`run` (wall time, retries, per-worker).
     last_summary: dict[str, Any] = field(default_factory=dict)
 
@@ -180,7 +186,8 @@ class FleetScheduler:
             try:
                 if job.hook:
                     resolve_hook(job.hook)(job)
-                outcome = execute_job(job)
+                outcome = execute_job(
+                    job, stream=self._scoped_stream(job.key))
             except Exception:
                 reason = traceback.format_exc()
                 if attempt > self.max_retries:
@@ -566,8 +573,20 @@ class FleetScheduler:
             self.metrics.gauge(name).set(value)
 
     def _emit(self, event: dict[str, Any]) -> None:
+        if self.stream is not None:
+            # ``key`` doubles as the dashboard row ("source"); the
+            # stream sink stamps wall time and mirrors ``clock`` (on
+            # heartbeats) into the virtual ``t``.
+            self.stream.emit({"type": "fleet", **event})
         if self.progress is not None:
             self.progress(event)
+
+    def _scoped_stream(self, key: str):
+        """Per-campaign stream view for inline execution (None off)."""
+        if self.stream is None:
+            return None
+        scoped = getattr(self.stream, "scoped", None)
+        return scoped(key) if scoped is not None else self.stream
 
     def _summarize(self, outcomes: list[CampaignOutcome], wall: float,
                    width: int) -> dict[str, Any]:

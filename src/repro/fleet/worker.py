@@ -66,7 +66,8 @@ def resolve_hook(spec: str) -> Callable[[CampaignJob], None]:
 
 
 def execute_job(job: CampaignJob,
-                holder: dict[str, Any] | None = None) -> CampaignOutcome:
+                holder: dict[str, Any] | None = None,
+                stream: Any = None) -> CampaignOutcome:
     """Run one campaign from its spec; shared by inline and pool paths.
 
     Args:
@@ -74,14 +75,21 @@ def execute_job(job: CampaignJob,
         holder: optional dict the live engine/device are published into
             (``engine`` / ``device`` keys) so a heartbeat thread can
             report progress mid-campaign.
+        stream: optional live-telemetry sink (already scoped to this
+            job's key) for inline fleet execution; pool/remote workers
+            leave it None — their progress streams via heartbeat
+            events from the parent instead, since a socket can't cross
+            the pickle boundary.
     """
     started = time.perf_counter()
     telemetry = None
-    if job.telemetry_dir:
+    if job.telemetry_dir or stream is not None:
         telemetry = Telemetry(
-            directory=pathlib.Path(job.telemetry_dir) / job.key,
+            directory=(pathlib.Path(job.telemetry_dir) / job.key
+                       if job.telemetry_dir else None),
             interval=job.config.sample_interval,
-            max_trace_bytes=job.max_trace_bytes)
+            max_trace_bytes=job.max_trace_bytes,
+            stream=stream)
     device = AndroidDevice(job.profile, costs=job.costs)
     engine = build_engine(device, job.config, telemetry)
     if holder is not None:

@@ -16,13 +16,27 @@ near-zero cost.
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.monitor import CampaignMonitor, Snapshot
-from repro.obs.sinks import JsonlSink, MemorySink, NullSink, StdoutSink
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    StdoutSink,
+    TeeSink,
+    open_sink,
+)
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import PHASES, Tracer
+
+# repro.obs.stream / repro.obs.watch are deliberately NOT imported
+# eagerly: they pull in socket + wire-framing machinery that the
+# disabled-telemetry path never needs.  ``open_sink("stream:...")``
+# loads them on demand.
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "CampaignMonitor", "Snapshot",
-    "JsonlSink", "MemorySink", "NullSink", "StdoutSink",
+    "Sink", "JsonlSink", "MemorySink", "NullSink", "StdoutSink",
+    "TeeSink", "open_sink",
     "Telemetry", "Tracer", "PHASES",
 ]

@@ -101,6 +101,13 @@ class CampaignMonitor:
         )
         self.snapshots.append(snapshot)
         self.sink.emit(snapshot.to_dict())
+        # Snapshots are rare (one per interval), so flushing each one
+        # is cheap and keeps live consumers — ``tail -f`` on the JSONL
+        # or an attached ``repro watch`` — current instead of a
+        # buffer-flush behind.
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            flush()
         self._last_t = clock
         self._last_executions = executions
         self._last_coverage = kernel_coverage

@@ -1,22 +1,64 @@
 """Pluggable record sinks for traces and monitor snapshots.
 
-A sink consumes flat JSON-serializable dicts.  Four implementations:
+Every sink conforms to the :class:`Sink` protocol — ``emit(record)`` /
+``flush()`` / ``close()`` plus context-manager support — and consumes
+flat JSON-serializable dicts.  Implementations:
 
 * :class:`NullSink` — discards everything; the disabled-telemetry path.
 * :class:`MemorySink` — keeps records in a list (tests, fleet rollups).
 * :class:`JsonlSink` — appends one JSON object per line to a file.
 * :class:`StdoutSink` — prints a compact ``key=value`` line (the
   syzkaller-console experience for interactive runs).
+* :class:`TeeSink` — fans one record out to several sinks.
+* :class:`~repro.obs.stream.StreamSink` — publishes records to live
+  ``repro watch`` clients over TCP (defined in its own module; its
+  socket machinery should not load on the disabled path).
+
+:func:`open_sink` builds any of them from a compact spec string
+(``"jsonl:trace.jsonl"``, ``"stream:127.0.0.1:7799"``,
+``"tee:jsonl:a.jsonl,stdout"``) so the CLI and the Daemon construct
+sinks through one factory instead of ad-hoc wiring.
 """
 
 from __future__ import annotations
 
+import abc
 import json
 import pathlib
 from typing import Any, TextIO
 
 
-class NullSink:
+class Sink(abc.ABC):
+    """The sink protocol every record destination implements.
+
+    A sink consumes flat JSON-serializable dicts via :meth:`emit`.
+    ``enabled`` is advisory: emitters may skip building records
+    entirely when it is False (the :class:`NullSink` fast path).
+    Sinks are context managers — leaving the ``with`` block closes
+    them.
+    """
+
+    #: When False, emitters may skip record construction entirely.
+    enabled: bool = True
+
+    @abc.abstractmethod
+    def emit(self, record: dict[str, Any]) -> None:
+        """Consume one record."""
+
+    def flush(self) -> None:
+        """Push buffered records to their destination (default no-op)."""
+
+    def close(self) -> None:
+        """Release resources; the sink must not be emitted to after."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(Sink):
     """Discards every record; ``enabled`` is False so emitters can skip
     building records entirely."""
 
@@ -25,14 +67,9 @@ class NullSink:
     def emit(self, record: dict[str, Any]) -> None:
         pass
 
-    def close(self) -> None:
-        pass
 
-
-class MemorySink:
+class MemorySink(Sink):
     """Accumulates records in memory."""
-
-    enabled = True
 
     def __init__(self) -> None:
         self.records: list[dict[str, Any]] = []
@@ -40,15 +77,12 @@ class MemorySink:
     def emit(self, record: dict[str, Any]) -> None:
         self.records.append(record)
 
-    def close(self) -> None:
-        pass
-
     def by_type(self, record_type: str) -> list[dict[str, Any]]:
         """Records whose ``type`` field matches."""
         return [r for r in self.records if r.get("type") == record_type]
 
 
-class JsonlSink:
+class JsonlSink(Sink):
     """Writes records as JSON lines to ``path`` (opened lazily).
 
     The file is truncated on first emit so a re-run into the same
@@ -64,8 +98,6 @@ class JsonlSink:
             begins.  Multi-day campaigns stay bounded per segment and
             readers can replay segments in index order.
     """
-
-    enabled = True
 
     def __init__(self, path: str | pathlib.Path,
                  max_bytes: int | None = None) -> None:
@@ -104,16 +136,18 @@ class JsonlSink:
         self.path.rename(self._rotated_name(self._segments))
         self._bytes = 0
 
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
 
 
-class StdoutSink:
+class StdoutSink(Sink):
     """Prints each record as one compact ``k=v`` line."""
-
-    enabled = True
 
     def emit(self, record: dict[str, Any]) -> None:
         parts = []
@@ -126,14 +160,9 @@ class StdoutSink:
             parts.append(f"{key}={value}")
         print(" ".join(parts), flush=True)
 
-    def close(self) -> None:
-        pass
 
-
-class TeeSink:
+class TeeSink(Sink):
     """Fans one record out to several sinks."""
-
-    enabled = True
 
     def __init__(self, *sinks) -> None:
         self.sinks = [s for s in sinks if getattr(s, "enabled", True)]
@@ -142,6 +171,56 @@ class TeeSink:
         for sink in self.sinks:
             sink.emit(record)
 
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+
+# ----------------------------------------------------------------------
+# spec factory
+# ----------------------------------------------------------------------
+
+def open_sink(spec: str | Sink | None) -> Sink:
+    """Build a sink from a spec string.
+
+    Specs::
+
+        null                     NullSink (also: "" or None)
+        memory                   MemorySink
+        stdout                   StdoutSink
+        jsonl:PATH               JsonlSink(PATH)
+        stream:HOST:PORT         StreamSink bound to HOST:PORT
+        stream:PORT              StreamSink on 127.0.0.1:PORT
+        tee:SPEC,SPEC,...        TeeSink over comma-separated sub-specs
+
+    A :class:`Sink` instance passes through unchanged, so call sites
+    can accept "spec or sink" uniformly.  Unknown specs raise
+    ``ValueError`` naming the offender.
+    """
+    if spec is None or spec == "" or spec == "null":
+        return NullSink()
+    if isinstance(spec, Sink):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"not a sink spec: {spec!r}")
+    if spec == "memory":
+        return MemorySink()
+    if spec == "stdout":
+        return StdoutSink()
+    kind, _, rest = spec.partition(":")
+    if kind == "jsonl" and rest:
+        return JsonlSink(rest)
+    if kind == "stream" and rest:
+        # Imported lazily: the stream sink drags in socket + framing
+        # machinery that the disabled-telemetry path never needs.
+        from repro.obs.stream import StreamSink, parse_address
+        host, port = parse_address(rest)
+        return StreamSink(host=host, port=port)
+    if kind == "tee" and rest:
+        return TeeSink(*(open_sink(part.strip())
+                         for part in rest.split(",") if part.strip()))
+    raise ValueError(f"unknown sink spec: {spec!r}")

@@ -1,0 +1,378 @@
+"""Live telemetry streaming: the ``repro watch`` feed (DESIGN §10).
+
+A :class:`StreamSink` turns a running campaign into a tiny localhost
+telemetry server: monitor snapshots, fleet scheduler progress events,
+and bug arrivals are published to every attached ``repro watch``
+client as length-prefixed ``DFRW`` frames carrying JSON record
+payloads (:func:`~repro.fleet.remote.framing.pack_record`).
+
+The cardinal rule is that **watchers can never slow the fuzz loop**:
+
+* ``emit()`` does no socket I/O.  It serializes the record once and
+  enqueues the frame on each client's *bounded* send queue with
+  ``put_nowait``; a slow or stalled client overflows its own queue and
+  the frame is **dropped and counted** (``obs.stream.dropped``) —
+  never waited on.  A dedicated sender thread per client drains the
+  queue.
+* Dropping is per-client: one wedged watcher loses frames while a
+  healthy one alongside it receives everything.
+* File telemetry is unaffected: the sink only ever sees *copies* of
+  the records the JSONL sinks write, so artifacts are byte-identical
+  with streaming on or off.
+
+Every streamed record carries both clocks: ``t`` (virtual seconds,
+deterministic, already present on snapshots/events) and ``wall``
+(``time.time()`` stamped at emit, for dashboards).  The wall stamp
+exists *only* on the streamed copy — recorded artifacts stay
+deterministic and replayable.
+
+A new client first receives a ``meta``/``hello`` record and the sticky
+header (campaign announcements), then the live feed from the next
+record onward — reconnecting mid-campaign resumes at the next
+snapshot, it does not replay history.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+import time
+from typing import Any, Callable, Iterator
+
+from repro.fleet.remote.framing import (
+    RemoteProtocolError,
+    encode_frame,
+    pack_record,
+    read_frame,
+    unpack_record,
+)
+from repro.fleet.remote.framing import VERSION as FRAME_VERSION
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import Sink
+
+#: Default per-client send-queue bound (records).  Snapshots are rare
+#: (one per monitor interval), so even a briefly stalled client rides
+#: this out; a truly wedged one overflows it and drops.
+DEFAULT_QUEUE_RECORDS = 256
+#: Per-frame send budget; a client that cannot accept a frame for this
+#: long is disconnected (its queue keeps absorbing drops meanwhile).
+_SEND_TIMEOUT = 5.0
+#: Sticky header records retained for late joiners.
+_MAX_HEADER = 64
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``"host:port"`` (or bare ``"port"``) → ``(host, port)``."""
+    text = str(spec).strip()
+    host, separator, port_text = text.rpartition(":")
+    if not separator:
+        host, port_text = "127.0.0.1", text
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"not a stream address: {spec!r} "
+                         f"(expected HOST:PORT)") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"stream port out of range: {spec!r}")
+    return host, port
+
+
+class _Client:
+    """One attached watcher: socket + bounded queue + sender thread."""
+
+    def __init__(self, conn: socket.socket, peer: str,
+                 queue_records: int) -> None:
+        self.conn = conn
+        self.peer = peer
+        self.frames: queue_module.Queue[bytes] = queue_module.Queue(
+            maxsize=max(queue_records, 1))
+        self.dropped = 0
+        self.alive = True
+        self.thread: threading.Thread | None = None
+
+    def offer(self, frame: bytes) -> bool:
+        """Enqueue without blocking; False (and counted) when full."""
+        try:
+            self.frames.put_nowait(frame)
+            return True
+        except queue_module.Full:
+            self.dropped += 1
+            return False
+
+    def shutdown(self) -> None:
+        self.alive = False
+        try:
+            self.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class StreamSink(Sink):
+    """Publish telemetry records to live TCP watchers.
+
+    Args:
+        host: bind address (loopback by default; the feed is read-only
+            JSON but still campaign-internal — keep it on a trusted
+            interface).
+        port: bind port; 0 picks a free one (see :attr:`address`).
+        queue_records: per-client send-queue bound; overflow drops.
+        metrics: optional registry receiving ``obs.stream.*`` counters.
+        send_buffer: explicit ``SO_SNDBUF`` for client sockets (tests
+            shrink it to force the drop path deterministically).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 queue_records: int = DEFAULT_QUEUE_RECORDS,
+                 metrics: MetricsRegistry | None = None,
+                 send_buffer: int | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queue_records = queue_records
+        self._send_buffer = send_buffer
+        self._lock = threading.Lock()
+        self._clients: list[_Client] = []
+        self._header: list[bytes] = []
+        self._stopping = threading.Event()
+        self.delivered = 0
+        self.dropped = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(8)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="obs-stream-accept", daemon=True)
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    # Sink protocol
+    # ------------------------------------------------------------------
+
+    def emit(self, record: dict[str, Any], sticky: bool = False) -> None:
+        """Publish one record to every attached client, never blocking.
+
+        The record is *copied* before the wall-clock stamp is added, so
+        a sink tee-ing the same dict into a JSONL file stays
+        byte-identical to a no-stream run.  ``sticky`` records are also
+        retained and replayed to clients that connect later (campaign
+        announcements).
+        """
+        stamped = dict(record)
+        stamped.setdefault("wall", round(time.time(), 6))
+        if "t" not in stamped and "clock" in stamped:
+            stamped["t"] = stamped["clock"]
+        frame = encode_frame(pack_record(stamped))
+        with self._lock:
+            if sticky:
+                if len(self._header) < _MAX_HEADER:
+                    self._header.append(frame)
+            clients = list(self._clients)
+        for client in clients:
+            if client.offer(frame):
+                self.delivered += 1
+            else:
+                self.dropped += 1
+                self.metrics.counter("obs.stream.dropped").inc()
+        self.metrics.counter("obs.stream.records").inc()
+
+    def flush(self) -> None:
+        """No-op: queues drain asynchronously; blocking here could
+        stall the campaign on a slow watcher, the one forbidden
+        behaviour."""
+
+    def close(self) -> None:
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            clients = list(self._clients)
+            self._clients.clear()
+        for client in clients:
+            client.shutdown()
+            if client.thread is not None:
+                client.thread.join(timeout=2.0)
+        self._accept_thread.join(timeout=1.0)
+
+    # ------------------------------------------------------------------
+
+    def scoped(self, source: str) -> "ScopedStreamSink":
+        """A view of this sink that stamps ``source`` on each record.
+
+        The scoped view is what campaign telemetry holds: its
+        ``close()`` is a no-op, so one shared stream server outlives
+        the many campaigns of a ``hunt``."""
+        return ScopedStreamSink(self, source)
+
+    def stats(self) -> dict[str, Any]:
+        """Live counters for the CLI's end-of-run report."""
+        with self._lock:
+            clients = len(self._clients)
+        return {"clients": clients, "delivered": self.delivered,
+                "dropped": self.dropped}
+
+    @property
+    def client_count(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    # ------------------------------------------------------------------
+    # server internals
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            if self._send_buffer is not None:
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                self._send_buffer)
+            conn.settimeout(_SEND_TIMEOUT)
+            client = _Client(conn, "%s:%d" % peer[:2],
+                             self._queue_records)
+            hello = encode_frame(pack_record({
+                "type": "meta", "kind": "hello", "proto": FRAME_VERSION,
+                "wall": round(time.time(), 6)}))
+            with self._lock:
+                # Preload greeting + sticky header, then register for
+                # the live feed — a record emitted concurrently lands
+                # after the header, preserving order.
+                client.offer(hello)
+                for frame in self._header:
+                    client.offer(frame)
+                self._clients.append(client)
+            self.metrics.counter("obs.stream.connections").inc()
+            client.thread = threading.Thread(
+                target=self._send_loop, args=(client,),
+                name="obs-stream-send", daemon=True)
+            client.thread.start()
+
+    def _send_loop(self, client: _Client) -> None:
+        try:
+            while client.alive and not self._stopping.is_set():
+                try:
+                    frame = client.frames.get(timeout=0.2)
+                except queue_module.Empty:
+                    continue
+                client.conn.sendall(frame)
+        except OSError:
+            pass  # watcher went away (or stalled past the send budget)
+        self._drop_client(client)
+
+    def _drop_client(self, client: _Client) -> None:
+        client.shutdown()
+        with self._lock:
+            if client in self._clients:
+                self._clients.remove(client)
+                self.metrics.counter("obs.stream.disconnects").inc()
+
+
+class ScopedStreamSink(Sink):
+    """A per-campaign view of a shared :class:`StreamSink`.
+
+    Stamps ``source`` (the campaign key) on every record so the watch
+    dashboard can keep one row per device, and ignores ``close()`` —
+    the server is owned by whoever built it, not by any one campaign's
+    telemetry."""
+
+    def __init__(self, stream: StreamSink, source: str) -> None:
+        self.stream = stream
+        self.source = source
+
+    def emit(self, record: dict[str, Any], sticky: bool = False) -> None:
+        scoped = dict(record)
+        scoped.setdefault("source", self.source)
+        self.stream.emit(scoped, sticky=sticky)
+
+    def scoped(self, source: str) -> "ScopedStreamSink":
+        return ScopedStreamSink(self.stream, source)
+
+    def close(self) -> None:  # borrowed reference: never close the server
+        pass
+
+
+# ----------------------------------------------------------------------
+# client side (``repro watch``)
+# ----------------------------------------------------------------------
+
+class StreamClient:
+    """Blocking reader for one stream connection.
+
+    Args:
+        address: ``"host:port"`` string or ``(host, port)`` tuple.
+        connect_timeout: TCP connect budget in real seconds.
+    """
+
+    def __init__(self, address: str | tuple[str, int],
+                 connect_timeout: float = 5.0) -> None:
+        if isinstance(address, str):
+            address = parse_address(address)
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self._conn: socket.socket | None = None
+        self._closed = False
+
+    def connect(self) -> "StreamClient":
+        self._conn = socket.create_connection(
+            self.address, timeout=self.connect_timeout)
+        self._conn.settimeout(0.5)
+        return self
+
+    def records(self, deadline: float | None = None,
+                stop: Callable[[], bool] | None = None,
+                ) -> Iterator[dict[str, Any]]:
+        """Yield records until clean EOF, ``deadline``
+        (``time.monotonic()`` instant), or ``stop()`` turns true.
+
+        Stream faults raise :class:`RemoteProtocolError` / ``OSError``
+        so callers can distinguish a finished campaign (clean return)
+        from a torn connection (reconnect candidate).
+        """
+        assert self._conn is not None, "connect() first"
+        conn = self._conn
+
+        def read(count: int) -> bytes:
+            while True:
+                if self._closed:
+                    return b""
+                try:
+                    return conn.recv(count)
+                except socket.timeout:
+                    if deadline is not None \
+                            and time.monotonic() >= deadline:
+                        raise TimeoutError from None
+                    if stop is not None and stop():
+                        raise TimeoutError from None
+                    continue
+
+        while True:
+            try:
+                payload = read_frame(read)
+            except TimeoutError:
+                return
+            if payload is None:
+                return  # clean EOF: campaign over / server closed
+            yield unpack_record(payload)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+
+__all__ = ["StreamSink", "ScopedStreamSink", "StreamClient",
+           "parse_address", "RemoteProtocolError"]

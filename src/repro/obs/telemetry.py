@@ -23,7 +23,7 @@ from typing import Any
 from repro.obs.bridge import DeviceBridge
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import CampaignMonitor
-from repro.obs.sinks import JsonlSink, NullSink, StdoutSink, TeeSink
+from repro.obs.sinks import JsonlSink, NullSink, Sink, StdoutSink, TeeSink
 from repro.obs.trace import Tracer
 
 TRACE_FILE = "trace.jsonl"
@@ -32,6 +32,27 @@ METRICS_FILE = "metrics.json"
 #: Fleet-level scheduler summary, at the *root* of a fleet telemetry
 #: directory (the per-campaign files above live one level below it).
 FLEET_FILE = "fleet.json"
+
+
+class _BorrowedSink(Sink):
+    """Forwarding view that shields a shared sink from ``close()``.
+
+    A stream server outlives any one campaign's telemetry; tee-ing it
+    behind this wrapper lets ``Telemetry.close()`` close its own file
+    sinks without tearing the server down."""
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+        self.enabled = getattr(sink, "enabled", True)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self.sink.emit(record)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        pass
 
 
 class Telemetry:
@@ -46,13 +67,24 @@ class Telemetry:
         max_trace_bytes: size-based ``trace.jsonl`` rotation threshold;
             full segments shelve to ``trace.1.jsonl``, ``trace.2.jsonl``
             … (None: one unbounded file).
+        stream: live-telemetry sink (usually a
+            ``StreamSink.scoped(key)`` view); monitor snapshots are
+            tee'd into it and campaign events go through
+            :meth:`stream_record`.  The stream sink is *borrowed*: it
+            is never closed here, and the JSONL artifacts it rides
+            along with stay byte-identical whether it is attached or
+            not.
     """
 
     def __init__(self, directory: str | pathlib.Path | None = None,
                  trace_sink=None, snapshot_sink=None,
                  interval: float = 1800.0, echo: bool = False,
-                 max_trace_bytes: int | None = None) -> None:
+                 max_trace_bytes: int | None = None,
+                 stream=None) -> None:
         self.directory = pathlib.Path(directory) if directory else None
+        if stream is not None and not getattr(stream, "enabled", True):
+            stream = None
+        self.stream = stream
         if trace_sink is None:
             trace_sink = (JsonlSink(self.directory / TRACE_FILE,
                                     max_bytes=max_trace_bytes)
@@ -62,6 +94,12 @@ class Telemetry:
                              if self.directory else NullSink())
         if echo:
             snapshot_sink = TeeSink(snapshot_sink, StdoutSink())
+        if stream is not None:
+            # TeeSink drops disabled members, so a stream-only
+            # Telemetry (no directory) still samples snapshots.  The
+            # borrowed wrapper keeps monitor-sink close() from
+            # tearing down a stream server shared across campaigns.
+            snapshot_sink = TeeSink(snapshot_sink, _BorrowedSink(stream))
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(trace_sink)
         self.monitor = CampaignMonitor(snapshot_sink, interval)
@@ -89,6 +127,22 @@ class Telemetry:
         """Drain bridged device channels (cheap; call at sample points)."""
         for bridge in self._bridges:
             bridge.poll_dmesg()
+
+    def stream_record(self, record: dict[str, Any],
+                      sticky: bool = False) -> None:
+        """Publish one event to live watchers only (never to files).
+
+        No-op without an attached stream, so instrumented call sites
+        (campaign start, bug arrivals) cost one attribute check on the
+        recorded-artifacts path — determinism and byte-identity of the
+        JSONL outputs are untouched.
+        """
+        if self.stream is None:
+            return
+        try:
+            self.stream.emit(record, sticky=sticky)
+        except TypeError:  # plain Sink without sticky support
+            self.stream.emit(record)
 
     # ------------------------------------------------------------------
 

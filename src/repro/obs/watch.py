@@ -1,0 +1,330 @@
+"""The ``repro watch`` live dashboard: state folding + rendering.
+
+:class:`WatchState` folds the stream of records from a
+:class:`~repro.obs.stream.StreamClient` into a per-source (campaign
+key / device) table; :func:`render_dashboard` turns that state into
+the terminal view — one row per device with exec-rate and coverage
+sparklines, a fleet rollup footer, and the most recent bug arrivals.
+:func:`run_watch` is the CLI driver, including the ``--sse``
+newline-delimited-JSON mode and bounded reconnect-on-tear logic.
+
+All numbers shown are *virtual-time* figures from the campaign
+(deterministic, replayable); the wall-clock stamps on each record are
+used only for the "last update" staleness column.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, TextIO
+
+from repro.analysis.tables import render_table
+from repro.obs.stats import render_fleet_summary, sparkline
+
+#: History depth for the per-source sparklines.
+_HISTORY = 96
+#: Recent-bug lines shown in the footer.
+_MAX_BUGS = 8
+
+
+@dataclass
+class SourceState:
+    """Live view of one campaign (one dashboard row)."""
+
+    source: str
+    device: str = ""
+    tool: str = ""
+    status: str = "running"
+    t: float = 0.0
+    executions: int = 0
+    execs_per_sec: float = 0.0
+    kernel_coverage: int = 0
+    corpus_size: int = 0
+    reboots: int = 0
+    bugs: int = 0
+    wall: float = 0.0
+    rate_history: list[float] = field(default_factory=list)
+    coverage_history: list[float] = field(default_factory=list)
+
+    def _remember(self, rate: float, coverage: float) -> None:
+        self.rate_history.append(rate)
+        self.coverage_history.append(coverage)
+        del self.rate_history[:-_HISTORY]
+        del self.coverage_history[:-_HISTORY]
+
+    def apply_snapshot(self, record: dict[str, Any]) -> None:
+        self.t = float(record.get("t", self.t))
+        self.executions = int(record.get("executions", self.executions))
+        self.execs_per_sec = float(
+            record.get("execs_per_sec", self.execs_per_sec))
+        self.kernel_coverage = int(
+            record.get("kernel_coverage", self.kernel_coverage))
+        self.corpus_size = int(record.get("corpus_size", self.corpus_size))
+        self.reboots = int(record.get("reboots", self.reboots))
+        self.bugs = int(record.get("bugs", self.bugs))
+        self.wall = float(record.get("wall", self.wall))
+        self._remember(self.execs_per_sec, float(self.kernel_coverage))
+
+    def apply_fleet_event(self, record: dict[str, Any]) -> None:
+        kind = record.get("kind", "")
+        if kind == "start":
+            self.status = "running"
+            worker = record.get("worker")
+            if worker is not None:
+                self.status = f"running w{worker}"
+        elif kind == "hb":
+            previous_execs, previous_t = self.executions, self.t
+            self.executions = int(record.get("executions", self.executions))
+            coverage = int(record.get("coverage",
+                                      self.kernel_coverage))
+            self.kernel_coverage = coverage
+            clock = float(record.get("clock", self.t))
+            if clock > previous_t:
+                # Heartbeats carry totals, not rates: derive one.
+                self.execs_per_sec = ((self.executions - previous_execs)
+                                      / (clock - previous_t))
+            self.t = clock
+            self._remember(self.execs_per_sec, float(coverage))
+        elif kind == "done":
+            self.status = "done"
+            self.executions = int(record.get("executions", self.executions))
+            self.kernel_coverage = int(
+                record.get("coverage", self.kernel_coverage))
+            self.bugs = int(record.get("bugs", self.bugs))
+        elif kind == "retry":
+            self.status = f"retry {record.get('attempt', '?')}"
+        elif kind == "fail":
+            self.status = "FAILED"
+        elif kind == "worker_lost":
+            self.status = "worker lost"
+        self.wall = float(record.get("wall", self.wall))
+
+
+@dataclass
+class WatchState:
+    """Everything the dashboard knows, folded from the record stream."""
+
+    sources: dict[str, SourceState] = field(default_factory=dict)
+    bug_log: list[dict[str, Any]] = field(default_factory=list)
+    fleet_summary: dict[str, Any] = field(default_factory=dict)
+    hello: dict[str, Any] = field(default_factory=dict)
+    records_seen: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    def _source(self, record: dict[str, Any]) -> SourceState:
+        name = str(record.get("source") or record.get("key")
+                   or "campaign")
+        if name not in self.sources:
+            self.sources[name] = SourceState(source=name)
+        return self.sources[name]
+
+    def apply(self, record: dict[str, Any]) -> None:
+        """Fold one stream record into the dashboard state."""
+        self.records_seen += 1
+        record_type = str(record.get("type", ""))
+        self.by_type[record_type] = self.by_type.get(record_type, 0) + 1
+        if record_type == "snapshot":
+            self._source(record).apply_snapshot(record)
+        elif record_type == "fleet":
+            self._source(record).apply_fleet_event(record)
+        elif record_type == "fleet-summary":
+            self.fleet_summary = {
+                k: v for k, v in record.items()
+                if k not in ("type", "wall", "source")}
+        elif record_type == "bug":
+            self.bug_log.append(record)
+            del self.bug_log[:-_MAX_BUGS * 4]
+            source = self._source(record)
+            source.bugs = max(source.bugs + 1,
+                              int(record.get("total", 0)))
+        elif record_type == "campaign":
+            source = self._source(record)
+            source.device = str(record.get("device", source.device))
+            source.tool = str(record.get("tool", source.tool))
+        elif record_type == "meta":
+            self.hello = dict(record)
+
+    # ------------------------------------------------------------------
+
+    def rollup(self) -> dict[str, int | float]:
+        """Fleet-wide totals across every source row."""
+        rows = list(self.sources.values())
+        return {
+            "campaigns": len(rows),
+            "executions": sum(r.executions for r in rows),
+            "kernel_coverage": sum(r.kernel_coverage for r in rows),
+            "bugs": sum(r.bugs for r in rows),
+            "reboots": sum(r.reboots for r in rows),
+        }
+
+
+def _age(wall: float, now: float) -> str:
+    if wall <= 0:
+        return "-"
+    seconds = max(now - wall, 0.0)
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def render_dashboard(state: WatchState, width: int = 100) -> str:
+    """The terminal dashboard for the current watch state."""
+    now = time.time()
+    lines = ["# repro watch — live campaign telemetry", ""]
+    if not state.sources:
+        lines.append("(waiting for snapshots ... "
+                     f"{state.records_seen} record(s) so far)")
+        return "\n".join(lines)
+    spark_width = max(min(width // 5, 24), 8)
+    rows = []
+    for name in sorted(state.sources):
+        source = state.sources[name]
+        rows.append([
+            name,
+            source.device or source.tool or "-",
+            source.status,
+            f"{source.t / 3600.0:.2f}",
+            f"{source.executions}",
+            f"{source.execs_per_sec:.1f}",
+            sparkline(source.rate_history, width=spark_width),
+            f"{source.kernel_coverage}",
+            sparkline(source.coverage_history, width=spark_width),
+            f"{source.bugs}",
+            _age(source.wall, now),
+        ])
+    lines.append(render_table(
+        ["campaign", "device", "status", "vh", "execs", "exec/s",
+         "rate", "cov", "growth", "bugs", "age"], rows))
+    rollup = state.rollup()
+    lines.append("")
+    lines.append(
+        f"fleet: {rollup['campaigns']} campaign(s), "
+        f"{rollup['executions']} execs, "
+        f"{rollup['kernel_coverage']} kernel cov (summed), "
+        f"{rollup['bugs']} bug(s), {rollup['reboots']} reboot(s)")
+    if state.fleet_summary:
+        lines.append("")
+        lines.append(render_fleet_summary(state.fleet_summary))
+    if state.bug_log:
+        lines.append("")
+        lines.append("recent bugs:")
+        for bug in state.bug_log[-_MAX_BUGS:]:
+            source = bug.get("source", "?")
+            clock = float(bug.get("t", 0.0))
+            lines.append(f"  [{source} @ {clock / 3600.0:.2f}vh] "
+                         f"{bug.get('title', '(untitled)')}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI driver
+# ----------------------------------------------------------------------
+
+def run_watch(address: str, *, sse: bool = False, interval: float = 1.0,
+              duration: float = 0.0, max_records: int = 0,
+              follow: bool = False, connect_timeout: float = 5.0,
+              reconnects: int = 5, out: TextIO | None = None,
+              clear: bool | None = None,
+              stop: Callable[[], bool] | None = None) -> int:
+    """Attach to a ``--stream`` campaign and render it until it ends.
+
+    Args:
+        address: ``host:port`` of the campaign's stream server.
+        sse: emit newline-delimited JSON records instead of the
+            dashboard (for piping into external UIs).
+        interval: minimum real seconds between dashboard redraws.
+        duration: stop after this many real seconds (0 = until the
+            stream ends).
+        max_records: stop after this many records (0 = unlimited).
+        follow: reconnect and keep watching after a clean stream end.
+        connect_timeout / reconnects: connection budget; a torn
+            connection mid-campaign is always retried (resuming from
+            the next record), ``reconnects`` bounds consecutive
+            failures.
+        out: output stream (defaults to stdout).
+        clear: clear the screen between redraws; default auto-detects
+            a TTY.
+        stop: optional callable polled between reads; truthy = exit.
+
+    Returns a process exit code: 0 once any records were received,
+    1 when the server could never be reached.
+    """
+    from repro.obs.stream import StreamClient
+
+    out = out if out is not None else sys.stdout
+    if clear is None:
+        clear = (not sse) and out.isatty()
+    state = WatchState()
+    deadline = time.monotonic() + duration if duration > 0 else None
+    received = 0
+    failures = 0
+    last_draw = 0.0
+
+    def expired() -> bool:
+        if deadline is not None and time.monotonic() >= deadline:
+            return True
+        return bool(stop and stop())
+
+    def draw(force: bool = False) -> None:
+        nonlocal last_draw
+        if sse:
+            return
+        now = time.monotonic()
+        if not force and now - last_draw < interval:
+            return
+        last_draw = now
+        if clear:
+            out.write("\x1b[H\x1b[2J")
+        out.write(render_dashboard(state) + "\n")
+        out.flush()
+
+    while True:
+        client = StreamClient(address, connect_timeout=connect_timeout)
+        try:
+            client.connect()
+        except OSError as error:
+            failures += 1
+            if failures > reconnects or expired():
+                if received == 0:
+                    print(f"watch: cannot reach {address}: {error}",
+                          file=sys.stderr)
+                    return 1
+                break
+            time.sleep(min(0.2 * failures, 2.0))
+            continue
+        failures = 0
+        ended_clean = False
+        try:
+            for record in client.records(deadline=deadline, stop=stop):
+                received += 1
+                if sse:
+                    out.write(json.dumps(record, sort_keys=True) + "\n")
+                    out.flush()
+                else:
+                    state.apply(record)
+                    draw()
+                if max_records and received >= max_records:
+                    client.close()
+                    draw(force=True)
+                    return 0
+            ended_clean = True
+        except Exception:  # torn connection: reconnect, resume live
+            pass
+        finally:
+            client.close()
+        if expired():
+            break
+        if ended_clean and not follow:
+            break
+    draw(force=True)
+    if received == 0:
+        print(f"watch: no records received from {address}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+__all__ = ["WatchState", "SourceState", "render_dashboard", "run_watch"]

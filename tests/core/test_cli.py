@@ -149,3 +149,77 @@ def test_trace_max_mb_rotates_trace(tmp_path, capsys):
     assert (telemetry_dir / "trace.1.jsonl").exists()
     assert main(["stats", str(telemetry_dir)]) == 0
     assert "Virtual time by campaign phase" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# shared parent parsers, --stream, watch, deprecations
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("command", ["fuzz", "hunt", "compare", "fleet"])
+def test_stream_flag_present_on_every_campaign_command(command):
+    parser = build_parser()
+    tail = {"fuzz": ["E"], "hunt": [], "compare": ["E"],
+            "fleet": ["--devices", "E"]}[command]
+    args = parser.parse_args([command, *tail,
+                              "--stream", "127.0.0.1:7799"])
+    assert args.stream == "127.0.0.1:7799"
+    assert args.seed == 0          # shared campaign group
+    assert args.trace_max_mb == 0.0  # shared telemetry group
+
+
+def test_per_command_hours_defaults_survive_shared_parsers():
+    parser = build_parser()
+    assert parser.parse_args(["fuzz", "E"]).hours == 24.0
+    assert parser.parse_args(["hunt"]).hours == 48.0
+    assert parser.parse_args(["compare", "E"]).hours == 12.0
+
+
+def test_hunt_seed_offsets_the_seed_range(capsys):
+    assert main(["hunt", "--hours", "1", "--seeds", "1",
+                 "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "E seed 5:" in out
+    assert "seed 0:" not in out  # range starts at --seed, not 0
+
+
+def test_watchdog_alias_is_deprecated_but_still_lands(capsys):
+    args = build_parser().parse_args(
+        ["fleet", "--devices", "E", "--watchdog", "17"])
+    assert args.watchdog_seconds == 17.0
+    assert "deprecated" in capsys.readouterr().err
+    # The replacement spelling works without a warning.
+    args = build_parser().parse_args(
+        ["fleet", "--devices", "E", "--watchdog-seconds", "23"])
+    assert args.watchdog_seconds == 23.0
+    assert capsys.readouterr().err == ""
+
+
+def test_watch_subcommand_parses():
+    args = build_parser().parse_args(
+        ["watch", "127.0.0.1:7799", "--sse", "--max-records", "5",
+         "--duration", "2.5", "--follow"])
+    assert args.address == "127.0.0.1:7799"
+    assert args.sse and args.follow
+    assert args.max_records == 5
+    assert args.duration == 2.5
+
+
+def test_stream_flag_announces_and_keeps_results_identical(capsys):
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2"]) == 0
+    plain = capsys.readouterr().out.splitlines()[0]
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                 "--stream", "127.0.0.1:0"]) == 0
+    out = capsys.readouterr().out
+    assert "streaming live telemetry on 127.0.0.1:" in out
+    assert "repro watch" in out  # tells the user how to attach
+    result_line = next(line for line in out.splitlines()
+                       if line.startswith("droidfuzz on E:"))
+    assert result_line == plain
+
+
+def test_fleet_with_stream_flag_still_reports(capsys):
+    assert main(["fleet", "--devices", "E", "--hours", "1",
+                 "--stream", "127.0.0.1:0"]) == 0
+    out = capsys.readouterr().out
+    assert "streaming live telemetry" in out
+    assert "Fleet results" in out

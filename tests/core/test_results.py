@@ -1,0 +1,138 @@
+"""The typed result surface: CampaignResult serialization,
+CampaignRecord, and the sequence-compatible FleetResult."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.bugs import BugReport
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.core.engine import CampaignResult
+from repro.core.results import CampaignRecord, FleetResult, dedupe_bugs
+from repro.device.profiles import profile_by_id
+
+pytestmark = pytest.mark.timeout(120)
+
+
+def _result(device="E", seed=0, coverage=100, bugs=()) -> CampaignResult:
+    return CampaignResult(
+        tool="droidfuzz", device=device, seed=seed, duration_hours=1.0,
+        timeline=[(0.0, 0), (1800.0, coverage)],
+        bugs=list(bugs), kernel_coverage=coverage, joint_coverage=coverage,
+        per_driver={"ion": coverage}, driver_totals={"ion": 500},
+        executions=1000, corpus_size=40, interface_count=12, reboots=2)
+
+
+def _bug(device="E", title="UAF in ion_free", clock=100.0) -> BugReport:
+    return BugReport(title=title, kind="kasan", component="kernel",
+                     device=device, first_clock=clock)
+
+
+# ----------------------------------------------------------------------
+# CampaignResult <-> dict
+# ----------------------------------------------------------------------
+
+def test_campaign_result_roundtrips_through_dict():
+    original = _result(bugs=[_bug()])
+    data = original.to_dict()
+    assert CampaignResult.from_dict(data) == original
+
+
+def test_campaign_result_to_dict_is_json_serializable():
+    data = _result(bugs=[_bug()]).to_dict()
+    restored = json.loads(json.dumps(data, sort_keys=True))
+    assert CampaignResult.from_dict(restored) == _result(bugs=[_bug()])
+
+
+def test_real_campaign_result_roundtrips(fast_costs):
+    daemon = Daemon(config=FuzzerConfig(seed=1, campaign_hours=0.4),
+                    costs=fast_costs)
+    result = daemon.run_device(profile_by_id("E"))
+    assert CampaignResult.from_dict(
+        json.loads(json.dumps(result.to_dict()))) == result
+
+
+# ----------------------------------------------------------------------
+# FleetResult: sequence back-compat + typed views
+# ----------------------------------------------------------------------
+
+def _fleet() -> FleetResult:
+    records = [
+        CampaignRecord(key="A1#0", result=_result("A1", coverage=50),
+                       rollup={"snapshots": 3, "executions": 500},
+                       telemetry_path="/tmp/t/A1#0", worker_id=1),
+        CampaignRecord(key="E#0",
+                       result=_result("E", coverage=80, bugs=[_bug()]),
+                       rollup={"snapshots": 2, "executions": 800}),
+    ]
+    return FleetResult(records=records, fleet_stats={"jobs": 2})
+
+
+def test_fleet_result_is_a_sequence_of_campaign_results():
+    fleet = _fleet()
+    assert len(fleet) == 2
+    assert [r.device for r in fleet] == ["A1", "E"]
+    assert fleet[0].device == "A1"
+    assert [r.device for r in fleet[0:2]] == ["A1", "E"]
+
+
+def test_fleet_result_typed_views():
+    fleet = _fleet()
+    assert set(fleet.by_key()) == {"A1#0", "E#0"}
+    assert fleet.record("A1#0").worker_id == 1
+    assert fleet.record("A1#0").telemetry_path == "/tmp/t/A1#0"
+    with pytest.raises(KeyError):
+        fleet.record("nope")
+    assert fleet.coverage_summary() == {"A1#0": 50, "E#0": 80}
+    assert fleet.rollups()["E#0"]["executions"] == 800
+    assert fleet.rollup()["executions"] == 1300
+    assert [b.title for b in fleet.all_bugs()] == ["UAF in ion_free"]
+
+
+def test_fleet_result_to_dict_is_json_serializable():
+    data = _fleet().to_dict()
+    parsed = json.loads(json.dumps(data, sort_keys=True))
+    assert parsed["bugs"] == 1
+    assert len(parsed["campaigns"]) == 2
+    assert parsed["coverage"] == {"A1#0": 50, "E#0": 80}
+
+
+def test_dedupe_bugs_keeps_earliest_sighting_per_device():
+    early = _bug(clock=10.0)
+    late = _bug(clock=99.0)
+    other = _bug(device="A1", clock=50.0)
+    bugs = dedupe_bugs([_result(bugs=[late]), _result(bugs=[early]),
+                        _result("A1", bugs=[other])])
+    assert [(b.device, b.first_clock) for b in bugs] \
+        == [("A1", 50.0), ("E", 10.0)]
+
+
+# ----------------------------------------------------------------------
+# daemon integration
+# ----------------------------------------------------------------------
+
+def test_run_fleet_returns_sequence_compatible_fleet_result(fast_costs):
+    daemon = Daemon(config=FuzzerConfig(seed=0, campaign_hours=0.4),
+                    costs=fast_costs)
+    profiles = [profile_by_id("A1"), profile_by_id("E")]
+    fleet = daemon.run_fleet(profiles)
+    assert isinstance(fleet, FleetResult)
+    assert len(fleet) == 2  # old list-consumers keep working
+    assert fleet.by_key() == daemon.results
+    assert fleet.all_bugs() == daemon.all_bugs()
+    assert fleet.coverage_summary() == daemon.coverage_summary()
+    assert fleet.fleet_stats == daemon.fleet_stats
+
+
+def test_daemon_fleet_result_covers_run_device_too(fast_costs, tmp_path):
+    daemon = Daemon(config=FuzzerConfig(seed=2, campaign_hours=0.4),
+                    costs=fast_costs, telemetry_dir=tmp_path)
+    daemon.run_device(profile_by_id("E"))
+    fleet = daemon.fleet_result()
+    assert len(fleet) == 1
+    record = fleet.record("E#2")
+    assert record.telemetry_path == str(tmp_path / "E#2")
+    assert record.rollup.get("snapshots", 0) > 0

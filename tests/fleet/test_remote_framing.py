@@ -30,11 +30,15 @@ from repro.fleet.remote.framing import (  # noqa: E402
     FrameTooLargeError,
     FrameTruncatedError,
     FrameVersionError,
+    RECORD_TAG,
+    RecordPayloadError,
     RemoteProtocolError,
     encode_frame,
     pack_message,
+    pack_record,
     read_frame,
     unpack_message,
+    unpack_record,
     write_frame,
 )
 from repro.fleet.worker import WorkerMessage  # noqa: E402
@@ -215,3 +219,45 @@ def test_garbage_payload_is_a_typed_error():
     with pytest.raises(RemoteProtocolError):
         unpack_message(pack_message(WorkerMessage("x", "y", {}))[:-2]
                        + b"zz")
+
+
+# ----------------------------------------------------------------------
+# record-stream payloads (the live telemetry feed)
+# ----------------------------------------------------------------------
+
+def test_record_roundtrip_through_a_frame():
+    record = {"type": "snapshot", "t": 1800.0, "executions": 42,
+              "per_driver_delta": {"ion": 3}}
+    decoder = FrameDecoder()
+    payloads = decoder.feed(encode_frame(pack_record(record)))
+    assert [unpack_record(p) for p in payloads] == [record]
+
+
+def test_record_payload_is_tagged_json_not_pickle():
+    payload = pack_record({"type": "bug", "t": 1.0})
+    assert payload.startswith(RECORD_TAG)
+    # Pickled fleet messages start with the pickle opcode, so the two
+    # payload kinds can never be confused.
+    assert not pack_message(WorkerMessage("hb", "k", {})).startswith(
+        RECORD_TAG)
+
+
+def test_fleet_message_on_a_stream_port_is_a_typed_error():
+    with pytest.raises(RecordPayloadError):
+        unpack_record(pack_message(WorkerMessage("job", "k", {})))
+
+
+def test_record_on_a_fleet_port_is_a_typed_error():
+    with pytest.raises(RemoteProtocolError):
+        unpack_message(pack_record({"type": "snapshot"}))
+
+
+def test_undecodable_record_is_a_typed_error():
+    with pytest.raises(RecordPayloadError):
+        unpack_record(RECORD_TAG + b"{not json")
+    with pytest.raises(RecordPayloadError):
+        unpack_record(RECORD_TAG + b"[1, 2]")  # array, not an object
+
+
+def test_record_errors_are_remote_protocol_errors():
+    assert issubclass(RecordPayloadError, RemoteProtocolError)

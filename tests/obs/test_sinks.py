@@ -1,0 +1,122 @@
+"""The formal Sink protocol and the ``open_sink`` spec factory."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    StdoutSink,
+    TeeSink,
+    open_sink,
+)
+
+
+# ----------------------------------------------------------------------
+# protocol conformance
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", [
+    NullSink, MemorySink, StdoutSink,
+    lambda: TeeSink(MemorySink()),
+])
+def test_every_sink_conforms_to_the_protocol(factory):
+    sink = factory()
+    assert isinstance(sink, Sink)
+    sink.emit({"type": "x", "t": 0.0})
+    sink.flush()
+    sink.close()
+
+
+def test_jsonl_sink_conforms(tmp_path):
+    sink = JsonlSink(tmp_path / "out.jsonl")
+    assert isinstance(sink, Sink)
+    sink.emit({"a": 1})
+    sink.flush()
+    sink.close()
+    assert json.loads((tmp_path / "out.jsonl").read_text()) == {"a": 1}
+
+
+def test_sinks_are_context_managers(tmp_path):
+    with JsonlSink(tmp_path / "cm.jsonl") as sink:
+        sink.emit({"b": 2})
+    # Leaving the with-block closed the file; content is durable.
+    assert (tmp_path / "cm.jsonl").read_text().strip() == '{"b": 2}'
+
+
+def test_null_sink_is_disabled_others_enabled():
+    assert NullSink().enabled is False
+    assert MemorySink().enabled is True
+
+
+def test_tee_fans_out_and_skips_disabled_members():
+    left, right = MemorySink(), MemorySink()
+    tee = TeeSink(left, NullSink(), right)
+    assert len(tee.sinks) == 2  # the NullSink was filtered out
+    tee.emit({"type": "snapshot"})
+    assert left.records == right.records == [{"type": "snapshot"}]
+
+
+def test_tee_flush_reaches_members(tmp_path):
+    jsonl = JsonlSink(tmp_path / "tee.jsonl")
+    tee = TeeSink(jsonl)
+    tee.emit({"c": 3})
+    tee.flush()
+    # flushed but not closed: bytes are already on disk
+    assert (tmp_path / "tee.jsonl").read_text().strip() == '{"c": 3}'
+    tee.close()
+
+
+# ----------------------------------------------------------------------
+# the spec factory
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", [None, "", "null"])
+def test_open_sink_null_specs(spec):
+    assert isinstance(open_sink(spec), NullSink)
+
+
+def test_open_sink_memory_and_stdout():
+    assert isinstance(open_sink("memory"), MemorySink)
+    assert isinstance(open_sink("stdout"), StdoutSink)
+
+
+def test_open_sink_jsonl(tmp_path):
+    sink = open_sink(f"jsonl:{tmp_path / 'spec.jsonl'}")
+    assert isinstance(sink, JsonlSink)
+    sink.emit({"d": 4})
+    sink.close()
+    assert (tmp_path / "spec.jsonl").exists()
+
+
+def test_open_sink_stream_binds_a_server():
+    sink = open_sink("stream:127.0.0.1:0")
+    try:
+        host, port = sink.address
+        assert host == "127.0.0.1" and port > 0
+    finally:
+        sink.close()
+
+
+def test_open_sink_tee_composes_sub_specs(tmp_path):
+    sink = open_sink(f"tee:memory,jsonl:{tmp_path / 'a.jsonl'}")
+    assert isinstance(sink, TeeSink)
+    assert len(sink.sinks) == 2
+    sink.close()
+
+
+def test_open_sink_passes_instances_through():
+    memory = MemorySink()
+    assert open_sink(memory) is memory
+
+
+@pytest.mark.parametrize("bad", ["bogus", "jsonl:", "tee:", "stream:",
+                                 42])
+def test_open_sink_rejects_unknown_specs(bad):
+    with pytest.raises(ValueError):
+        open_sink(bad)

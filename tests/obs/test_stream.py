@@ -1,0 +1,335 @@
+"""The live telemetry stream (``repro.obs.stream``, DESIGN §10).
+
+The contract under test: watchers get the live feed (plus the sticky
+header on attach), reconnecting resumes from the *next* record, and —
+the cardinal rule — a slow or dead watcher drops frames (counted) but
+can never slow or stall the campaign, whose recorded artifacts stay
+byte-identical with streaming on or off.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.daemon import Daemon
+from repro.device.profiles import profile_by_id
+from repro.obs.sinks import MemorySink
+from repro.obs.stream import (
+    ScopedStreamSink,
+    StreamClient,
+    StreamSink,
+    parse_address,
+)
+from repro.obs.telemetry import SNAPSHOT_FILE, TRACE_FILE, Telemetry
+
+pytestmark = pytest.mark.timeout(60)
+
+
+@pytest.fixture
+def sink():
+    stream = StreamSink(port=0)
+    yield stream
+    stream.close()
+
+
+def _connect(sink: StreamSink) -> StreamClient:
+    return StreamClient(sink.address).connect()
+
+
+def _drain(client: StreamClient, count: int,
+           timeout: float = 10.0) -> list[dict]:
+    records = []
+    deadline = time.monotonic() + timeout
+    for record in client.records(deadline=deadline):
+        records.append(record)
+        if len(records) >= count:
+            break
+    return records
+
+
+def _wait_for_clients(sink: StreamSink, count: int,
+                      timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while sink.client_count < count:
+        assert time.monotonic() < deadline, "client never registered"
+        time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# address parsing
+# ----------------------------------------------------------------------
+
+def test_parse_address_host_port():
+    assert parse_address("10.0.0.5:7799") == ("10.0.0.5", 7799)
+
+
+def test_parse_address_bare_port_defaults_to_loopback():
+    assert parse_address("7799") == ("127.0.0.1", 7799)
+    assert parse_address(":7799") == ("127.0.0.1", 7799)
+
+
+@pytest.mark.parametrize("bad", ["", "host:", "host:x", "a:b:c",
+                                 "1.2.3.4:99999"])
+def test_parse_address_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_address(bad)
+
+
+# ----------------------------------------------------------------------
+# live feed basics
+# ----------------------------------------------------------------------
+
+def test_client_receives_hello_then_live_records(sink):
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "snapshot", "t": 10.0, "executions": 5})
+    hello, snap = _drain(client, 2)
+    assert hello["type"] == "meta" and hello["kind"] == "hello"
+    assert snap["type"] == "snapshot" and snap["executions"] == 5
+    client.close()
+
+
+def test_every_record_carries_both_clocks(sink):
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "snapshot", "t": 1800.0})
+    _, snap = _drain(client, 2)
+    assert snap["t"] == 1800.0          # virtual clock, untouched
+    assert abs(snap["wall"] - time.time()) < 60  # wall clock, stamped
+    client.close()
+
+
+def test_heartbeat_clock_mirrored_into_t(sink):
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "fleet", "kind": "hb", "key": "A1#0",
+               "clock": 3600.0})
+    _, event = _drain(client, 2)
+    assert event["t"] == 3600.0
+    client.close()
+
+
+def test_emit_does_not_mutate_the_caller_record(sink):
+    record = {"type": "snapshot", "t": 5.0}
+    sink.emit(record)
+    assert record == {"type": "snapshot", "t": 5.0}  # no wall stamp
+
+
+def test_sticky_header_replayed_to_late_joiners(sink):
+    sink.emit({"type": "campaign", "device": "E", "t": 0.0}, sticky=True)
+    sink.emit({"type": "snapshot", "t": 1800.0})  # not sticky: not replayed
+    client = _connect(sink)
+    hello, campaign = _drain(client, 2)
+    assert campaign["type"] == "campaign" and campaign["device"] == "E"
+    # Nothing else is waiting: history is NOT replayed.
+    assert _drain(client, 1, timeout=0.5) == []
+    client.close()
+
+
+def test_reconnect_resumes_from_next_record_not_history(sink):
+    first = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "snapshot", "t": 100.0, "n": 1})
+    assert len(_drain(first, 2)) == 2
+    first.close()
+    sink.emit({"type": "snapshot", "t": 200.0, "n": 2})  # while detached
+    second = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "snapshot", "t": 300.0, "n": 3})
+    records = _drain(second, 2)
+    kinds = [(r["type"], r.get("n")) for r in records]
+    assert kinds == [("meta", None), ("snapshot", 3)]  # t=200 was missed
+    second.close()
+
+
+def test_two_clients_both_receive(sink):
+    a, b = _connect(sink), _connect(sink)
+    _wait_for_clients(sink, 2)
+    sink.emit({"type": "snapshot", "t": 1.0})
+    assert _drain(a, 2)[1]["t"] == 1.0
+    assert _drain(b, 2)[1]["t"] == 1.0
+    a.close()
+    b.close()
+
+
+def test_scoped_view_stamps_source_and_shields_close(sink):
+    scoped = sink.scoped("A1#0")
+    assert isinstance(scoped, ScopedStreamSink)
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    scoped.emit({"type": "snapshot", "t": 2.0})
+    _, snap = _drain(client, 2)
+    assert snap["source"] == "A1#0"
+    scoped.close()  # a no-op: the server must survive
+    scoped.emit({"type": "snapshot", "t": 3.0})
+    assert _drain(client, 1)[0]["t"] == 3.0
+    client.close()
+
+
+def test_clean_server_close_ends_the_record_iterator(sink):
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "snapshot", "t": 1.0})
+    records = []
+    closer = threading.Timer(0.3, sink.close)
+    closer.start()
+    for record in client.records(deadline=time.monotonic() + 10.0):
+        records.append(record)
+    closer.join()
+    assert len(records) == 2  # hello + snapshot, then clean EOF
+    client.close()
+
+
+# ----------------------------------------------------------------------
+# the cardinal rule: slow watchers drop, never stall
+# ----------------------------------------------------------------------
+
+def test_stalled_client_drops_frames_and_never_blocks_emit():
+    sink = StreamSink(port=0, queue_records=8, send_buffer=2048)
+    try:
+        # A watcher that connects and then never reads: the OS buffers
+        # fill, the sender thread wedges, the bounded queue overflows.
+        stalled = socket.create_connection(sink.address)
+        stalled.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+        _wait_for_clients(sink, 1)
+        payload = "x" * 2048
+        started = time.perf_counter()
+        for index in range(600):
+            sink.emit({"type": "snapshot", "t": float(index),
+                       "pad": payload})
+        elapsed = time.perf_counter() - started
+        assert sink.dropped > 0
+        assert sink.metrics.counter("obs.stream.dropped").value > 0
+        # 600 emits against a dead consumer must stay effectively
+        # instant — queue-bound, not socket-bound.
+        assert elapsed < 5.0
+        stalled.close()
+    finally:
+        sink.close()
+
+
+def test_disconnecting_client_does_not_stall_emit(sink):
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    client.close()  # goes away without a word
+    for index in range(50):
+        sink.emit({"type": "snapshot", "t": float(index)})
+    # The dead client is eventually reaped; new emits keep working.
+    deadline = time.monotonic() + 10.0
+    while sink.client_count > 0:
+        assert time.monotonic() < deadline, "dead client never reaped"
+        time.sleep(0.01)
+    healthy = _connect(sink)
+    _wait_for_clients(sink, 1)
+    sink.emit({"type": "snapshot", "t": 999.0})
+    records = _drain(healthy, 2)
+    assert records[-1]["t"] == 999.0
+    healthy.close()
+
+
+def test_drop_counters_surface_in_stats():
+    sink = StreamSink(port=0, queue_records=1, send_buffer=2048)
+    try:
+        stalled = socket.create_connection(sink.address)
+        stalled.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1024)
+        _wait_for_clients(sink, 1)
+        for index in range(400):
+            sink.emit({"type": "snapshot", "t": float(index),
+                       "pad": "y" * 4096})
+        stats = sink.stats()
+        assert stats["dropped"] > 0
+        assert stats["dropped"] + stats["delivered"] > 0
+        stalled.close()
+    finally:
+        sink.close()
+
+
+# ----------------------------------------------------------------------
+# campaign integration: byte-identical artifacts, streamed snapshots
+# ----------------------------------------------------------------------
+
+def _run_campaign(fast_costs, telemetry_dir, stream):
+    daemon = Daemon(config=FuzzerConfig(seed=3, campaign_hours=0.5),
+                    costs=fast_costs, telemetry_dir=telemetry_dir,
+                    stream=stream)
+    return daemon.run_device(profile_by_id("E"))
+
+
+def test_streaming_keeps_telemetry_byte_identical(fast_costs, tmp_path):
+    plain_dir = tmp_path / "plain"
+    streamed_dir = tmp_path / "streamed"
+    plain = _run_campaign(fast_costs, plain_dir, stream=None)
+    sink = StreamSink(port=0)
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    try:
+        streamed = _run_campaign(fast_costs, streamed_dir, stream=sink)
+    finally:
+        records = _drain(client, 3)
+        client.close()
+        sink.close()
+    assert plain == streamed  # identical results, field for field
+    for name in (TRACE_FILE, SNAPSHOT_FILE):
+        assert (streamed_dir / "E#3" / name).read_bytes() \
+            == (plain_dir / "E#3" / name).read_bytes(), name
+    # ... and the watcher really got the feed (hello + sticky
+    # campaign announcement + snapshots).
+    types = [r["type"] for r in records]
+    assert "campaign" in types
+
+
+def test_stream_only_telemetry_needs_no_directory(fast_costs):
+    sink = StreamSink(port=0)
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    try:
+        result = _run_campaign(fast_costs, None, stream=sink)
+        records = _drain(client, 4)
+    finally:
+        client.close()
+        sink.close()
+    assert result.executions > 0
+    types = {r["type"] for r in records}
+    assert "snapshot" in types
+    snapshots = [r for r in records if r["type"] == "snapshot"]
+    assert all(r["source"] == "E#3" for r in snapshots)
+
+
+def test_bug_arrivals_stream_live(fast_costs):
+    sink = StreamSink(port=0)
+    client = _connect(sink)
+    _wait_for_clients(sink, 1)
+    try:
+        result = _run_campaign(fast_costs, None, stream=sink)
+        wanted = 3 + len(result.bugs)
+        records = _drain(client, wanted + 50, timeout=5.0)
+    finally:
+        client.close()
+        sink.close()
+    bugs = [r for r in records if r["type"] == "bug"]
+    assert len(bugs) == len(result.bugs)
+    assert {b["title"] for b in bugs} == result.bug_titles()
+
+
+def test_telemetry_stream_record_without_stream_is_noop():
+    telemetry = Telemetry.disabled()
+    telemetry.stream_record({"type": "bug", "t": 0.0})  # must not raise
+    assert telemetry.stream is None
+
+
+def test_telemetry_tees_snapshots_into_plain_sinks_too(tmp_path):
+    # MemorySink stands in for the stream: Telemetry must tee monitor
+    # snapshots into it alongside the JSONL file.
+    memory = MemorySink()
+    telemetry = Telemetry(directory=tmp_path / "t", stream=memory)
+    telemetry.monitor.start(0.0)
+    telemetry.monitor.sample(1800.0, executions=10, kernel_coverage=5,
+                             corpus_size=2, reboots=0, bugs=0)
+    telemetry.close()
+    assert len(memory.by_type("snapshot")) == 1
+    assert (tmp_path / "t" / SNAPSHOT_FILE).exists()

@@ -1,0 +1,252 @@
+"""The ``repro watch`` dashboard: state folding, rendering, driver."""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.obs.stream import StreamSink
+from repro.obs.watch import (
+    SourceState,
+    WatchState,
+    render_dashboard,
+    run_watch,
+)
+
+pytestmark = pytest.mark.timeout(60)
+
+
+# ----------------------------------------------------------------------
+# state folding
+# ----------------------------------------------------------------------
+
+def test_snapshot_creates_and_updates_a_source_row():
+    state = WatchState()
+    state.apply({"type": "snapshot", "source": "E#3", "t": 1800.0,
+                 "executions": 500, "execs_per_sec": 12.5,
+                 "kernel_coverage": 80, "corpus_size": 9, "reboots": 1,
+                 "bugs": 2, "wall": 123.0})
+    row = state.sources["E#3"]
+    assert (row.executions, row.kernel_coverage, row.bugs) == (500, 80, 2)
+    assert row.execs_per_sec == 12.5
+    assert row.rate_history == [12.5]
+    assert row.coverage_history == [80.0]
+
+
+def test_records_without_source_fold_into_the_default_row():
+    state = WatchState()
+    state.apply({"type": "snapshot", "t": 1.0, "executions": 10})
+    assert list(state.sources) == ["campaign"]
+
+
+def test_fleet_heartbeat_derives_a_rate_from_totals():
+    state = WatchState()
+    for clock, executions in ((100.0, 100), (200.0, 350)):
+        state.apply({"type": "fleet", "kind": "hb", "key": "A1#0",
+                     "clock": clock, "executions": executions,
+                     "coverage": 40})
+    row = state.sources["A1#0"]
+    assert row.execs_per_sec == pytest.approx(2.5)  # 250 execs / 100 vs
+    assert row.t == 200.0
+
+
+def test_fleet_lifecycle_statuses():
+    state = WatchState()
+    events = [
+        ({"kind": "start", "worker": 2}, "running w2"),
+        ({"kind": "retry", "attempt": 2}, "retry 2"),
+        ({"kind": "worker_lost"}, "worker lost"),
+        ({"kind": "fail"}, "FAILED"),
+        ({"kind": "done", "executions": 900, "coverage": 70, "bugs": 1},
+         "done"),
+    ]
+    for event, expected in events:
+        state.apply({"type": "fleet", "key": "E#0", **event})
+        assert state.sources["E#0"].status == expected
+    assert state.sources["E#0"].executions == 900
+
+
+def test_bug_records_accumulate_in_the_log_and_the_row():
+    state = WatchState()
+    state.apply({"type": "bug", "source": "E#0", "t": 50.0,
+                 "title": "UAF in ion_free", "total": 1})
+    state.apply({"type": "bug", "source": "E#0", "t": 90.0,
+                 "title": "OOB in kgsl_ioctl", "total": 2})
+    assert state.sources["E#0"].bugs == 2
+    assert [b["title"] for b in state.bug_log] \
+        == ["UAF in ion_free", "OOB in kgsl_ioctl"]
+
+
+def test_campaign_and_meta_records():
+    state = WatchState()
+    state.apply({"type": "meta", "kind": "hello", "proto": 1})
+    state.apply({"type": "campaign", "source": "E#3", "device": "E",
+                 "tool": "droidfuzz"})
+    assert state.hello["kind"] == "hello"
+    assert state.sources["E#3"].device == "E"
+    assert state.sources["E#3"].tool == "droidfuzz"
+
+
+def test_fleet_summary_record_strips_transport_fields():
+    state = WatchState()
+    state.apply({"type": "fleet-summary", "jobs": 3, "retries": 1,
+                 "wall": 99.0, "source": "x"})
+    assert state.fleet_summary == {"jobs": 3, "retries": 1}
+
+
+def test_rollup_sums_across_sources():
+    state = WatchState()
+    for key, execs, bugs in (("A1#0", 100, 0), ("E#0", 250, 2)):
+        state.apply({"type": "snapshot", "source": key, "t": 1.0,
+                     "executions": execs, "kernel_coverage": 10,
+                     "bugs": bugs})
+    rollup = state.rollup()
+    assert rollup["campaigns"] == 2
+    assert rollup["executions"] == 350
+    assert rollup["bugs"] == 2
+
+
+def test_sparkline_history_is_bounded():
+    row = SourceState(source="E#0")
+    for index in range(500):
+        row.apply_snapshot({"t": float(index), "execs_per_sec": 1.0,
+                            "kernel_coverage": index})
+    assert len(row.rate_history) == 96
+    assert len(row.coverage_history) == 96
+    assert row.coverage_history[-1] == 499.0
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def test_dashboard_shows_waiting_message_before_first_snapshot():
+    state = WatchState()
+    state.apply({"type": "meta", "kind": "hello"})
+    view = render_dashboard(state)
+    assert "waiting for snapshots" in view
+    assert "1 record(s)" in view
+
+
+def test_dashboard_renders_rows_rollup_and_bugs():
+    state = WatchState()
+    state.apply({"type": "campaign", "source": "E#3", "device": "E",
+                 "tool": "droidfuzz"})
+    state.apply({"type": "snapshot", "source": "E#3", "t": 3600.0,
+                 "executions": 1200, "execs_per_sec": 4.2,
+                 "kernel_coverage": 85, "bugs": 1, "wall": time.time()})
+    state.apply({"type": "bug", "source": "E#3", "t": 1800.0,
+                 "title": "UAF in ion_free", "total": 1})
+    view = render_dashboard(state)
+    assert "E#3" in view and "1200" in view
+    assert "1.00" in view  # 3600 virtual seconds = 1.00 vh
+    assert "fleet: 1 campaign(s)" in view
+    assert "recent bugs:" in view
+    assert "UAF in ion_free" in view
+    assert "0.50vh" in view  # bug clock rendered in virtual hours
+
+
+def test_dashboard_includes_fleet_summary_when_present():
+    state = WatchState()
+    state.apply({"type": "snapshot", "source": "E#0", "t": 1.0})
+    state.apply({"type": "fleet-summary", "jobs": 2, "workers": 2,
+                 "wall_seconds": 1.5, "sum_campaign_wall": 2.0,
+                 "speedup": 1.3, "retries": 0, "failures": 0})
+    assert "speedup" in render_dashboard(state)
+
+
+# ----------------------------------------------------------------------
+# the run_watch driver
+# ----------------------------------------------------------------------
+
+def _emit_when_watched(sink: StreamSink, records: list[dict]) -> threading.Thread:
+    def worker() -> None:
+        deadline = time.monotonic() + 10.0
+        while sink.client_count < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        for record in records:
+            sink.emit(record)
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    return thread
+
+
+def test_run_watch_sse_emits_newline_delimited_json():
+    sink = StreamSink(port=0)
+    out = io.StringIO()
+    try:
+        thread = _emit_when_watched(sink, [
+            {"type": "snapshot", "t": 10.0, "executions": 7},
+            {"type": "snapshot", "t": 20.0, "executions": 9},
+        ])
+        host, port = sink.address
+        code = run_watch(f"{host}:{port}", sse=True, max_records=3,
+                         out=out)
+        thread.join()
+    finally:
+        sink.close()
+    assert code == 0
+    records = [json.loads(line) for line in
+               out.getvalue().strip().splitlines()]
+    assert records[0]["type"] == "meta"  # the hello
+    assert [r.get("executions") for r in records[1:]] == [7, 9]
+    assert all("wall" in r for r in records[1:])
+
+
+def test_run_watch_dashboard_mode_draws_table(capsys):
+    sink = StreamSink(port=0)
+    out = io.StringIO()
+    try:
+        thread = _emit_when_watched(sink, [
+            {"type": "snapshot", "source": "E#0", "t": 1800.0,
+             "executions": 33, "kernel_coverage": 12},
+        ])
+        host, port = sink.address
+        code = run_watch(f"{host}:{port}", max_records=2, out=out,
+                         clear=False)
+        thread.join()
+    finally:
+        sink.close()
+    assert code == 0
+    view = out.getvalue()
+    assert "repro watch" in view
+    assert "E#0" in view and "33" in view
+
+
+def test_run_watch_unreachable_server_exits_nonzero(capsys):
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    _, dead_port = probe.getsockname()
+    probe.close()  # nothing listens here any more
+    code = run_watch(f"127.0.0.1:{dead_port}", sse=True,
+                     connect_timeout=0.5, reconnects=0,
+                     out=io.StringIO())
+    assert code == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_run_watch_ends_cleanly_when_server_closes():
+    sink = StreamSink(port=0)
+    out = io.StringIO()
+    host, port = sink.address
+
+    def close_soon() -> None:
+        deadline = time.monotonic() + 10.0
+        while sink.client_count < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        sink.emit({"type": "snapshot", "t": 1.0})
+        time.sleep(0.2)
+        sink.close()
+
+    thread = threading.Thread(target=close_soon, daemon=True)
+    thread.start()
+    code = run_watch(f"{host}:{port}", sse=True, out=out)
+    thread.join()
+    assert code == 0  # records arrived, then a clean end-of-stream
+    assert out.getvalue().count("\n") >= 2
