@@ -1,0 +1,66 @@
+"""BENCH trajectory tool: fold benchmark outputs into the ratchet.
+
+Thin wrapper over :mod:`repro.analysis.trajectory` so the trajectory
+can be driven from the benchmarks directory like the other tools::
+
+    python benchmarks/trajectory.py diff --tolerance 15%
+    python benchmarks/trajectory.py update --label my-change
+
+``diff`` compares the repo-root ``BENCH_*.json`` files against the
+committed ``BENCH_trajectory.json`` and exits non-zero when a gated
+metric regressed beyond the tolerance (CI runs exactly this).
+``update`` appends the current measurements as a new entry — the file
+is append-only; history is never rewritten.
+
+Dual mode: collected by pytest (``pytest benchmarks/trajectory.py``
+checks the committed trajectory is internally consistent) or run
+directly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":  # direct invocation: src/ onto the path
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.trajectory import (  # noqa: E402
+    TRAJECTORY_FILE,
+    collect_values,
+    load_trajectory,
+    reference_values,
+)
+
+
+def test_committed_trajectory_is_consistent():
+    """The committed trajectory gates the committed BENCH files."""
+    trajectory = load_trajectory(REPO_ROOT / TRAJECTORY_FILE)
+    assert trajectory["entries"], "trajectory must have history"
+    for entry in trajectory["entries"]:
+        assert entry["values"], "entries carry at least one metric"
+        for key in entry["values"]:
+            assert key in trajectory["metrics"], (
+                f"metric {key} lacks a direction annotation")
+    # The committed BENCH files must not regress against their own
+    # history (they produced the trajectory's entries).
+    from repro.analysis.trajectory import diff_values
+
+    values = collect_values(REPO_ROOT)
+    diffs = diff_values(trajectory, values, tolerance=0.15)
+    regressed = [d.key for d in diffs if d.regressed]
+    assert not regressed, f"committed BENCH files regressed: {regressed}"
+    # The reference is direction-aware best-so-far, never empty here.
+    assert reference_values(trajectory)
+
+
+def main(argv: list[str]) -> int:
+    from repro.cli import main as repro_main
+
+    return repro_main(["bench", *argv, "--root", str(REPO_ROOT)])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:] or ["diff"]))

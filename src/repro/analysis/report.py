@@ -55,6 +55,33 @@ def profiling_section(summary: TraceSummary) -> list[str]:
     return lines
 
 
+#: Display units for the broker latency metrics.
+LATENCY_UNITS = {"exec_vtime": "virtual s/program",
+                 "payload_bytes": "bytes/program"}
+
+
+def latency_rows(latency: dict[str, dict[str, float]]) -> list[list]:
+    """Table rows for a result's broker latency quantiles."""
+    rows = []
+    for name in sorted(latency):
+        stats = latency[name]
+        rows.append([name, LATENCY_UNITS.get(name, ""),
+                     int(stats.get("count", 0)),
+                     f"{stats.get('p50', 0.0):g}",
+                     f"{stats.get('p90', 0.0):g}",
+                     f"{stats.get('p99', 0.0):g}",
+                     f"{stats.get('max', 0.0):g}"])
+    return rows
+
+
+def latency_section(latency: dict[str, dict[str, float]]) -> list[str]:
+    """Markdown lines for the broker wire-latency section."""
+    return ["## Wire latency", "",
+            render_table(["metric", "unit", "count", "p50", "p90",
+                          "p99", "max"], latency_rows(latency)),
+            ""]
+
+
 def campaign_report(result: CampaignResult,
                     relations: RelationGraph | None = None,
                     trace_summary: TraceSummary | None = None) -> str:
@@ -107,6 +134,9 @@ def campaign_report(result: CampaignResult,
         lines.append(render_table(["call", "", "depends on it", "w"], rows))
         lines.append("")
 
+    if result.latency:
+        lines.extend(latency_section(result.latency))
+
     if trace_summary is not None and (trace_summary.phases
                                       or trace_summary.snapshots):
         lines.extend(profiling_section(trace_summary))
@@ -135,6 +165,15 @@ def fleet_report(fleet: FleetResult) -> str:
         lines.append(render_table(
             ["No", "Device", "Bug", "Component"], bug_rows,
             title=f"{len(bugs)} unique bug(s)"))
+    latencies = fleet.latency_by_key()
+    if latencies:
+        rows = []
+        for key in sorted(latencies):
+            for row in latency_rows(latencies[key]):
+                rows.append([key] + row)
+        lines.append(render_table(
+            ["Campaign", "metric", "unit", "count", "p50", "p90", "p99",
+             "max"], rows, title="Wire latency quantiles"))
     if fleet.fleet_stats:
         lines.append(render_fleet_summary(fleet.fleet_stats))
     if fleet.rollups():

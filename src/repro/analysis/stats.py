@@ -17,6 +17,38 @@ except ImportError:  # pragma: no cover
     _scipy_mwu = None
 
 
+def histogram_summary(data: dict, qs: tuple[float, ...] = (0.5, 0.9, 0.99),
+                      digits: int = 4) -> dict[str, float]:
+    """Quantile summary of a *serialized* histogram dict.
+
+    Accepts the ``metrics.json`` dump shape produced by
+    :meth:`repro.obs.metrics.Histogram.to_dict` (``bounds`` /
+    ``counts`` / ``sum`` / ``count`` / ``min`` / ``max``) and returns
+    the same ``{"count", "mean", "max", "p50", ...}`` summary a live
+    :meth:`~repro.obs.metrics.Histogram.summary` would, so offline
+    analysis of a recorded trace matches in-process reporting.
+    Returns ``{}`` for empty or non-histogram input.
+    """
+    from repro.obs.metrics import bucket_quantile
+
+    count = int(data.get("count", 0) or 0)
+    if not count or data.get("type", "histogram") != "histogram":
+        return {}
+    bounds = tuple(data.get("bounds", ()))
+    counts = list(data.get("counts", ()))
+    minimum = float(data.get("min", 0.0))
+    maximum = float(data.get("max", 0.0))
+    summary: dict[str, float] = {
+        "count": count,
+        "mean": round(float(data.get("sum", 0.0)) / count, digits),
+        "max": round(maximum, digits)}
+    for q in qs:
+        label = f"{q * 100:g}".replace(".", "_")
+        summary[f"p{label}"] = round(
+            bucket_quantile(bounds, counts, q, minimum, maximum), digits)
+    return summary
+
+
 def mean(values: list[float]) -> float:
     """Arithmetic mean (0.0 for empty input)."""
     return sum(values) / len(values) if values else 0.0

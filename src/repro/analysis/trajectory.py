@@ -1,0 +1,317 @@
+"""BENCH trajectory ratchet: committed perf history with a regression gate.
+
+Each benchmark writes a point-in-time ``BENCH_*.json`` at the repo
+root; this module folds the tracked metrics out of those files into a
+committed, append-only ``BENCH_trajectory.json`` and diffs fresh
+measurements against the trajectory's *reference* — the direction-aware
+best value each metric has ever recorded.  ``repro bench diff`` exits
+non-zero when a gated metric regresses beyond the tolerance, which is
+what turns the committed history into a ratchet: perf can only move in
+its annotated direction (plus noise allowance), never quietly slide
+back.
+
+Schema of ``BENCH_trajectory.json``::
+
+    {
+      "schema": 1,
+      "metrics": {"exec.execs_per_second": {"direction": "higher",
+                                            "gate": true,
+                                            "source": "BENCH_exec.json",
+                                            "path": "optimized.execs_per_second"},
+                  ...},
+      "entries": [{"label": "...", "recorded": "...",
+                   "values": {"exec.execs_per_second": 5312.7, ...}},
+                  ...]
+    }
+
+``entries`` is append-only (``repro bench update`` only ever adds);
+``metrics`` carries the direction/gate annotations so a reader needs no
+code to interpret the numbers.  Wall-clock-derived metrics that are too
+noisy to gate on shared CI hosts (e.g. the restore microbenchmark) are
+tracked with ``gate: false`` — recorded and reported, never failing.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any
+
+TRAJECTORY_FILE = "BENCH_trajectory.json"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One tracked benchmark metric."""
+
+    key: str
+    source: str  # BENCH file at the repo root
+    path: str  # dotted path inside the file
+    direction: str  # "higher" or "lower" is better
+    #: Gated metrics fail ``bench diff`` on regression; ungated ones
+    #: are tracked and reported only (too noisy for shared CI hosts).
+    gate: bool = True
+
+
+#: The ratcheted metric set.  ``transport_overhead_pct`` is deliberately
+#: absent: it hovers around zero (the committed measurement is
+#: negative), so a relative tolerance is ill-defined for it.
+TRACKED_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec("exec.execs_per_second", "BENCH_exec.json",
+               "optimized.execs_per_second", "higher"),
+    MetricSpec("exec.speedup_vs_legacy", "BENCH_exec.json",
+               "speedup_vs_legacy", "higher"),
+    MetricSpec("exec.restore_us", "BENCH_exec.json",
+               "restore_vs_reboot_us.checkpoint_restore", "lower",
+               gate=False),
+    MetricSpec("fleet.virtual_makespan_speedup", "BENCH_fleet.json",
+               "virtual_makespan_speedup", "higher"),
+    MetricSpec("fleet.efficiency", "BENCH_fleet.json",
+               "scheduler.efficiency", "higher"),
+    MetricSpec("remote.reconnects", "BENCH_remote.json",
+               "reconnects", "lower"),
+    MetricSpec("remote.failed_jobs", "BENCH_remote.json",
+               "scheduler.failed", "lower"),
+)
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's position relative to the trajectory reference."""
+
+    key: str
+    direction: str
+    gate: bool
+    reference: float | None  # best-so-far (None: no history yet)
+    current: float | None  # fresh measurement (None: source missing)
+    change_pct: float | None  # signed, positive = moved the good way
+    regressed: bool
+
+
+def parse_tolerance(spec: str | float) -> float:
+    """A tolerance spec (``"15%"``, ``"0.15"``, ``0.15``) as a ratio.
+
+    Raises:
+        ValueError: malformed or negative.
+    """
+    if isinstance(spec, (int, float)):
+        ratio = float(spec)
+    else:
+        text = spec.strip()
+        if text.endswith("%"):
+            ratio = float(text[:-1]) / 100.0
+        else:
+            ratio = float(text)
+    if ratio < 0:
+        raise ValueError(f"tolerance must be non-negative, got {spec!r}")
+    return ratio
+
+
+def _dig(data: Any, path: str) -> float | None:
+    """Resolve a dotted path; None when any step is missing."""
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def collect_values(root: str | pathlib.Path,
+                   specs: tuple[MetricSpec, ...] = TRACKED_METRICS,
+                   ) -> dict[str, float]:
+    """Extract every tracked metric present under ``root``.
+
+    Missing BENCH files (a partial benchmark run) simply omit their
+    metrics; a present file with a missing path omits that metric.
+    """
+    root = pathlib.Path(root)
+    cache: dict[str, Any] = {}
+    values: dict[str, float] = {}
+    for spec in specs:
+        if spec.source not in cache:
+            path = root / spec.source
+            try:
+                cache[spec.source] = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                cache[spec.source] = None
+        data = cache[spec.source]
+        if data is None:
+            continue
+        value = _dig(data, spec.path)
+        if value is not None:
+            values[spec.key] = value
+    return values
+
+
+def empty_trajectory(
+        specs: tuple[MetricSpec, ...] = TRACKED_METRICS) -> dict[str, Any]:
+    """A fresh trajectory skeleton with the metric annotations."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "metrics": {spec.key: {"direction": spec.direction,
+                               "gate": spec.gate,
+                               "source": spec.source,
+                               "path": spec.path}
+                    for spec in specs},
+        "entries": [],
+    }
+
+
+def load_trajectory(path: str | pathlib.Path) -> dict[str, Any]:
+    """The committed trajectory, or an empty skeleton when absent."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return empty_trajectory()
+    data = json.loads(path.read_text())
+    data.setdefault("schema", SCHEMA_VERSION)
+    data.setdefault("metrics", {})
+    data.setdefault("entries", [])
+    return data
+
+
+def append_entry(trajectory: dict[str, Any], values: dict[str, float],
+                 label: str = "",
+                 recorded: str | None = None) -> dict[str, Any]:
+    """Append one measurement entry (the only mutation ever allowed).
+
+    Also refreshes the ``metrics`` annotations for any newly tracked
+    keys, so an old trajectory picks up new metrics without rewriting
+    its history.
+    """
+    for spec in TRACKED_METRICS:
+        trajectory["metrics"].setdefault(
+            spec.key, {"direction": spec.direction, "gate": spec.gate,
+                       "source": spec.source, "path": spec.path})
+    entry = {
+        "label": label or f"entry-{len(trajectory['entries']) + 1}",
+        "recorded": recorded or datetime.datetime.now(
+            datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "values": {key: values[key] for key in sorted(values)},
+    }
+    trajectory["entries"].append(entry)
+    return entry
+
+
+def save_trajectory(trajectory: dict[str, Any],
+                    path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(
+        json.dumps(trajectory, indent=1, sort_keys=True) + "\n")
+
+
+def reference_values(trajectory: dict[str, Any]) -> dict[str, float]:
+    """Direction-aware best value per metric across all entries."""
+    metrics = trajectory.get("metrics", {})
+    best: dict[str, float] = {}
+    for entry in trajectory.get("entries", ()):
+        for key, value in entry.get("values", {}).items():
+            direction = metrics.get(key, {}).get("direction", "higher")
+            if key not in best:
+                best[key] = float(value)
+            elif direction == "lower":
+                best[key] = min(best[key], float(value))
+            else:
+                best[key] = max(best[key], float(value))
+    return best
+
+
+def diff_values(trajectory: dict[str, Any], values: dict[str, float],
+                tolerance: float) -> list[MetricDiff]:
+    """Compare fresh measurements against the trajectory reference.
+
+    A *gated* metric regresses when it lands beyond ``tolerance``
+    (relative) on the wrong side of its reference; a reference of zero
+    leaves no relative slack, so any movement in the bad direction
+    regresses (``remote.reconnects`` is meant to stay exactly zero).
+    Metrics with no history yet, or whose BENCH file was not produced
+    this run, never regress — they are reported as unknown instead.
+    """
+    metrics = trajectory.get("metrics", {})
+    reference = reference_values(trajectory)
+    keys = sorted(set(metrics) | set(values) | set(reference))
+    diffs: list[MetricDiff] = []
+    for key in keys:
+        annotation = metrics.get(key, {})
+        direction = annotation.get("direction", "higher")
+        gate = bool(annotation.get("gate", True))
+        ref = reference.get(key)
+        current = values.get(key)
+        change_pct = None
+        regressed = False
+        if ref is not None and current is not None:
+            delta = current - ref
+            if direction == "lower":
+                delta = -delta
+            # Positive delta = moved the good way.
+            change_pct = (delta / abs(ref) * 100.0) if ref else None
+            allowance = abs(ref) * tolerance
+            regressed = gate and delta < -allowance
+            if ref == 0.0:
+                change_pct = None
+                regressed = gate and delta < 0.0
+        diffs.append(MetricDiff(
+            key=key, direction=direction, gate=gate, reference=ref,
+            current=current, change_pct=change_pct, regressed=regressed))
+    return diffs
+
+
+def render_diff(diffs: list[MetricDiff], tolerance: float) -> str:
+    """Terminal table for ``repro bench diff``."""
+    from repro.analysis.tables import render_table
+
+    rows = []
+    for diff in diffs:
+        if diff.change_pct is None:
+            change = "?" if diff.current is None or diff.reference is None \
+                else "0" if diff.current == diff.reference else "!"
+        else:
+            change = f"{diff.change_pct:+.1f}%"
+        status = ("REGRESSED" if diff.regressed
+                  else "missing" if diff.current is None
+                  else "no-history" if diff.reference is None
+                  else "ok" if diff.gate else "ok (ungated)")
+        rows.append([
+            diff.key, diff.direction,
+            "-" if diff.reference is None else f"{diff.reference:g}",
+            "-" if diff.current is None else f"{diff.current:g}",
+            change, status])
+    return render_table(
+        ["metric", "better", "reference", "current", "change", "status"],
+        rows,
+        title=f"BENCH trajectory diff (tolerance {tolerance * 100:g}%)")
+
+
+def run_diff(root: str | pathlib.Path,
+             trajectory_path: str | pathlib.Path | None = None,
+             tolerance: float = 0.15) -> tuple[list[MetricDiff], int]:
+    """The ``repro bench diff`` core: diffs + process exit code."""
+    root = pathlib.Path(root)
+    trajectory = load_trajectory(trajectory_path or root / TRAJECTORY_FILE)
+    values = collect_values(root)
+    diffs = diff_values(trajectory, values, tolerance)
+    failed = any(diff.regressed for diff in diffs)
+    return diffs, 1 if failed else 0
+
+
+def run_update(root: str | pathlib.Path,
+               trajectory_path: str | pathlib.Path | None = None,
+               label: str = "",
+               recorded: str | None = None) -> dict[str, Any]:
+    """The ``repro bench update`` core: append and persist an entry."""
+    root = pathlib.Path(root)
+    path = pathlib.Path(trajectory_path or root / TRAJECTORY_FILE)
+    trajectory = load_trajectory(path)
+    entry = append_entry(trajectory, collect_values(root), label=label,
+                         recorded=recorded)
+    save_trajectory(trajectory, path)
+    return entry
+
+
+__all__ = ["MetricSpec", "MetricDiff", "TRACKED_METRICS",
+           "TRAJECTORY_FILE", "parse_tolerance", "collect_values",
+           "empty_trajectory", "load_trajectory", "append_entry",
+           "save_trajectory", "reference_values", "diff_values",
+           "render_diff", "run_diff", "run_update"]

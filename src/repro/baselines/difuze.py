@@ -162,7 +162,8 @@ class DifuzeEngine:
                 corpus_size=0,
                 reboots=self.reboots,
                 bugs=len(self.bugs.reports),
-                per_driver=self.device.per_driver_coverage())
+                per_driver=self.device.per_driver_coverage(),
+                latency=self.broker.latency_summary())
 
     # ------------------------------------------------------------------
 
@@ -224,4 +225,5 @@ class DifuzeEngine:
             corpus_size=0,
             interface_count=len(self.interfaces),
             reboots=self.reboots,
+            latency=self.broker.latency_summary(),
         )

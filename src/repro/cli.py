@@ -22,6 +22,8 @@ flags land on every command consistently:
   back; ``--stream HOST:PORT`` additionally serves the live feed for
   ``repro watch`` (``:0`` picks a free port, printed at startup);
   ``--trace-max-mb`` bounds each ``trace.jsonl`` by rotating segments;
+  ``--trace-sample PHASE=RATE`` records only a deterministic fraction
+  of high-frequency spans while metrics keep exact counts;
 * pool options — ``--jobs N`` shards independent campaigns across a
   worker pool (``fuzz`` needs ``--seeds`` > 1 to have anything to
   parallelize); ``--workers host:port,...`` dispatches to
@@ -54,17 +56,25 @@ from repro.obs.sinks import open_sink
 from repro.obs.stats import (
     find_trace_dirs,
     load_fleet_summary,
+    load_stream_file,
     load_trace_dir,
     render_fleet_summary,
     render_summary,
 )
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace import SamplingPolicy, parse_sample_spec
 
 
 def _trace_bytes(args) -> int | None:
     """``--trace-max-mb`` as a byte threshold (None: unbounded)."""
     limit = getattr(args, "trace_max_mb", 0.0)
     return int(limit * 1024 * 1024) if limit else None
+
+
+def _sample_rates(args) -> dict[str, float] | None:
+    """``--trace-sample`` as ``{name: rate}`` (None when off)."""
+    rates = getattr(args, "trace_sample", None)
+    return rates or None
 
 
 def _worker_list(args) -> list[str]:
@@ -98,24 +108,31 @@ def _close_stream(stream) -> None:
 
 def _make_telemetry(directory: str | None, subdir: str | None = None,
                     max_trace_bytes: int | None = None,
-                    stream=None, source: str = "") -> Telemetry | None:
+                    stream=None, source: str = "",
+                    trace_sample: dict[str, float] | None = None,
+                    sample_seed: int = 0) -> Telemetry | None:
     """A recording and/or streaming telemetry context, or None.
 
     Built when either a ``--telemetry`` directory or a ``--stream``
     sink is present; with a stream only, nothing is written to disk
-    but snapshots still reach live watchers.
+    but snapshots still reach live watchers.  ``trace_sample`` builds
+    a fresh per-campaign :class:`SamplingPolicy` seeded from
+    ``sample_seed`` (pass the campaign seed so sampled traces stay
+    deterministic).
     """
     scoped = (stream.scoped(source) if stream is not None and source
               else stream)
+    sampling = (SamplingPolicy(trace_sample, seed=sample_seed)
+                if trace_sample else None)
     if not directory:
         if scoped is None:
             return None
-        return Telemetry(stream=scoped)
+        return Telemetry(stream=scoped, sampling=sampling)
     path = pathlib.Path(directory)
     if subdir:
         path = path / subdir
     return Telemetry(directory=path, max_trace_bytes=max_trace_bytes,
-                     stream=scoped)
+                     stream=scoped, sampling=sampling)
 
 
 def _fleet_progress(event: dict) -> None:
@@ -171,7 +188,8 @@ def _cmd_fuzz(args) -> int:
         device = AndroidDevice(profile_by_id(args.device))
         telemetry = _make_telemetry(
             args.telemetry, max_trace_bytes=_trace_bytes(args),
-            stream=stream, source=f"{args.device}#{args.seed}")
+            stream=stream, source=f"{args.device}#{args.seed}",
+            trace_sample=_sample_rates(args), sample_seed=args.seed)
         engine = make_engine(args.tool, device, seed=args.seed,
                              campaign_hours=args.hours,
                              telemetry=telemetry)
@@ -204,7 +222,8 @@ def _fuzz_fleet(args, stream=None) -> int:
         key=f"{args.device}-s{seed}", index=index, profile=profile,
         config=config_for(args.tool, seed=seed, campaign_hours=args.hours),
         telemetry_dir=args.telemetry or None,
-        max_trace_bytes=_trace_bytes(args))
+        max_trace_bytes=_trace_bytes(args),
+        trace_sample=_sample_rates(args))
         for index, seed in enumerate(
             range(args.seed, args.seed + args.seeds))]
     scheduler = FleetScheduler(jobs=max(args.jobs, 1),
@@ -242,7 +261,8 @@ def _cmd_hunt(args) -> int:
                 telemetry = _make_telemetry(
                     args.telemetry, key,
                     max_trace_bytes=_trace_bytes(args),
-                    stream=stream, source=key)
+                    stream=stream, source=key,
+                    trace_sample=_sample_rates(args), sample_seed=seed)
                 engine = make_engine("droidfuzz", device, seed=seed,
                                      campaign_hours=args.hours,
                                      telemetry=telemetry)
@@ -278,7 +298,8 @@ def _hunt_fleet(args, stream=None) -> int:
                 config=config_for("droidfuzz", seed=seed,
                                   campaign_hours=args.hours),
                 telemetry_dir=args.telemetry or None,
-                max_trace_bytes=_trace_bytes(args)))
+                max_trace_bytes=_trace_bytes(args),
+                trace_sample=_sample_rates(args)))
     scheduler = FleetScheduler(jobs=args.jobs,
                                workers=_worker_list(args),
                                watchdog_seconds=args.watchdog_seconds,
@@ -320,6 +341,7 @@ def _cmd_fleet(args) -> int:
                     watchdog_seconds=args.watchdog_seconds,
                     workers=_worker_list(args),
                     max_trace_bytes=_trace_bytes(args),
+                    trace_sample=_sample_rates(args),
                     stream=stream)
     try:
         daemon.run_fleet(profiles, progress=_fleet_progress)
@@ -341,7 +363,8 @@ def _compare_fleet(args, stream=None):
         key=tool, index=index, profile=profile,
         config=config_for(tool, seed=args.seed, campaign_hours=args.hours),
         telemetry_dir=args.telemetry or None,
-        max_trace_bytes=_trace_bytes(args))
+        max_trace_bytes=_trace_bytes(args),
+        trace_sample=_sample_rates(args))
         for index, tool in enumerate(args.tools)]
     outcomes = FleetScheduler(jobs=args.jobs,
                               workers=_worker_list(args),
@@ -360,6 +383,7 @@ def _compare_fleet(args, stream=None):
 def _cmd_compare(args) -> int:
     series = {}
     rows = []
+    latencies: dict[str, dict[str, dict[str, float]]] = {}
     stream = _open_stream(args)
     try:
         if args.jobs > 1 or _worker_list(args):
@@ -376,13 +400,17 @@ def _cmd_compare(args) -> int:
                     row.append(
                         f"{outcome.rollup.get('mean_execs_per_sec', 0.0):.2f}")
                 rows.append(row)
+                if result.latency:
+                    latencies[outcome.key] = result.latency
         else:
             for tool in args.tools:
                 device = AndroidDevice(profile_by_id(args.device))
                 telemetry = _make_telemetry(
                     args.telemetry, tool,
                     max_trace_bytes=_trace_bytes(args),
-                    stream=stream, source=tool)
+                    stream=stream, source=tool,
+                    trace_sample=_sample_rates(args),
+                    sample_seed=args.seed)
                 engine = make_engine(tool, device, seed=args.seed,
                                      campaign_hours=args.hours,
                                      telemetry=telemetry)
@@ -397,6 +425,8 @@ def _cmd_compare(args) -> int:
                     row.append(
                         f"{rollup.get('mean_execs_per_sec', 0.0):.2f}")
                 rows.append(row)
+                if result.latency:
+                    latencies[tool] = result.latency
     finally:
         _close_stream(stream)
     print(ascii_chart(series,
@@ -406,9 +436,28 @@ def _cmd_compare(args) -> int:
     if args.telemetry:
         headers.append("exec/s")
     print(render_table(headers, rows))
+    if latencies:
+        print(_latency_table(latencies))
     if args.telemetry:
         print(f"telemetry written to {args.telemetry}")
     return 0
+
+
+def _latency_table(latencies: dict[str, dict[str, dict[str, float]]]) -> str:
+    """Per-tool broker latency quantiles for ``repro compare``."""
+    rows = []
+    for tool in sorted(latencies):
+        for metric in sorted(latencies[tool]):
+            stats = latencies[tool][metric]
+            rows.append([tool, metric, int(stats.get("count", 0)),
+                         f"{stats.get('p50', 0.0):g}",
+                         f"{stats.get('p90', 0.0):g}",
+                         f"{stats.get('p99', 0.0):g}",
+                         f"{stats.get('max', 0.0):g}"])
+    return render_table(
+        ["Tool", "metric", "count", "p50", "p90", "p99", "max"], rows,
+        title="Wire latency quantiles (exec_vtime: virtual s/program; "
+              "payload_bytes: bytes)")
 
 
 def _cmd_watch(args) -> int:
@@ -440,7 +489,54 @@ def _cmd_worker_serve(args) -> int:
     return 0
 
 
+def _cmd_bench_diff(args) -> int:
+    """``bench diff``: gate fresh BENCH files on the trajectory."""
+    from repro.analysis.trajectory import (
+        parse_tolerance,
+        render_diff,
+        run_diff,
+    )
+
+    try:
+        tolerance = parse_tolerance(args.tolerance)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    diffs, code = run_diff(args.root, trajectory_path=args.trajectory,
+                           tolerance=tolerance)
+    print(render_diff(diffs, tolerance))
+    if code:
+        regressed = [d.key for d in diffs if d.regressed]
+        print(f"FAIL: {len(regressed)} gated metric(s) regressed beyond "
+              f"{tolerance * 100:g}%: {', '.join(regressed)}")
+    else:
+        print("ok: no gated metric regressed")
+    return code
+
+
+def _cmd_bench_update(args) -> int:
+    """``bench update``: append the current BENCH files as an entry."""
+    from repro.analysis.trajectory import TRAJECTORY_FILE, run_update
+
+    entry = run_update(args.root, trajectory_path=args.trajectory,
+                       label=args.label)
+    path = args.trajectory or str(
+        pathlib.Path(args.root) / TRAJECTORY_FILE)
+    print(f"appended {entry['label']!r} "
+          f"({len(entry['values'])} metric(s)) to {path}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
+    path = pathlib.Path(args.trace_dir)
+    if path.is_file():
+        summaries = load_stream_file(path)
+        if not summaries:
+            print(f"no stream records found in {path}")
+            return 1
+        for summary in summaries:
+            print(render_summary(summary))
+        return 0
     fleet = load_fleet_summary(args.trace_dir)
     if fleet is not None:
         print(render_fleet_summary(fleet))
@@ -498,6 +594,12 @@ def _parent_parsers() -> dict[str, argparse.ArgumentParser]:
                            metavar="MB",
                            help="rotate trace.jsonl past this size "
                                 "(0: unbounded)")
+    telemetry.add_argument("--trace-sample", type=parse_sample_spec,
+                           default="", metavar="PHASE=RATE[,...]",
+                           help="record only this fraction of each "
+                                "named span/event (e.g. exec=0.01); "
+                                "metrics keep exact counts and "
+                                "sampling is seed-deterministic")
 
     pool = argparse.ArgumentParser(add_help=False)
     pool.add_argument("--jobs", type=int, default=1,
@@ -590,6 +692,36 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--reconnects", type=int, default=5,
                        help="consecutive connection failures tolerated")
     watch.set_defaults(func=_cmd_watch)
+
+    bench = sub.add_parser(
+        "bench", help="BENCH trajectory ratchet commands")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    def bench_common(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--root", default=".",
+                             help="directory holding the BENCH_*.json "
+                                  "files (default: cwd)")
+        command.add_argument("--trajectory", default="",
+                             metavar="PATH",
+                             help="trajectory file (default: "
+                                  "<root>/BENCH_trajectory.json)")
+
+    bench_diff = bench_sub.add_parser(
+        "diff", help="diff fresh BENCH files against the committed "
+                     "trajectory; non-zero exit on gated regression")
+    bench_common(bench_diff)
+    bench_diff.add_argument("--tolerance", default="15%",
+                            help="allowed relative slack before a gated "
+                                 "metric fails ('15%%' or '0.15')")
+    bench_diff.set_defaults(func=_cmd_bench_diff)
+
+    bench_update = bench_sub.add_parser(
+        "update", help="append the current BENCH files to the "
+                       "trajectory (append-only)")
+    bench_common(bench_update)
+    bench_update.add_argument("--label", default="",
+                              help="entry label (default: entry-N)")
+    bench_update.set_defaults(func=_cmd_bench_update)
 
     worker = sub.add_parser("worker", help="remote fleet worker commands")
     worker_sub = worker.add_subparsers(dest="worker_command", required=True)

@@ -38,6 +38,7 @@ from repro.fleet.scheduler import FLEET_FILE, FleetScheduler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import CampaignMonitor
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace import SamplingPolicy
 
 
 @dataclass
@@ -74,6 +75,10 @@ class Daemon:
     #: Size-based trace rotation threshold handed to each campaign's
     #: telemetry (None: unbounded ``trace.jsonl``).
     max_trace_bytes: int | None = None
+    #: Span-sampling rates (``{"execute": 0.01}``) applied to every
+    #: campaign's telemetry; each campaign gets a fresh policy seeded
+    #: from its own config seed (None: record every span).
+    trace_sample: dict[str, float] | None = None
     #: Fleet-level scheduler metrics (jobs queued/retried/failed,
     #: per-worker exec/s, wall vs virtual seconds).
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
@@ -115,11 +120,13 @@ class Daemon:
         telemetry_path = (pathlib.Path(self.telemetry_dir) / key
                           if self.telemetry_dir is not None else None)
         if telemetry_path is not None or self.stream is not None:
+            sampling = (SamplingPolicy(self.trace_sample, seed=config.seed)
+                        if self.trace_sample else None)
             telemetry = Telemetry(
                 directory=telemetry_path,
                 interval=config.sample_interval,
                 max_trace_bytes=self.max_trace_bytes,
-                stream=self._scoped_stream(key))
+                stream=self._scoped_stream(key), sampling=sampling)
         device = AndroidDevice(profile, costs=self.costs)
         engine = FuzzingEngine(device, config, telemetry=telemetry)
         result = engine.run()
@@ -156,7 +163,8 @@ class Daemon:
         return [CampaignJob(key=self._campaign_key(profile, config),
                             index=index, profile=profile, config=config,
                             costs=self.costs, telemetry_dir=telemetry_dir,
-                            max_trace_bytes=self.max_trace_bytes)
+                            max_trace_bytes=self.max_trace_bytes,
+                            trace_sample=self.trace_sample)
                 for index, profile in enumerate(profiles)]
 
     def run_fleet(self, profiles: list[DeviceProfile],

@@ -60,6 +60,13 @@ class CampaignResult:
     corpus_size: int = 0
     interface_count: int = 0
     reboots: int = 0
+    #: Broker wire-latency quantiles (``exec_vtime`` /
+    #: ``payload_bytes`` → count/mean/max/p50/p90/p99).  Populated
+    #: only when telemetry observed the campaign; excluded from
+    #: equality so a telemetry-on result still compares equal to the
+    #: telemetry-off result of the same campaign.
+    latency: dict[str, dict[str, float]] = field(
+        default_factory=dict, compare=False)
 
     def bug_titles(self) -> set[str]:
         return {b.title for b in self.bugs}
@@ -356,7 +363,8 @@ class FuzzingEngine:
                 corpus_size=len(self.corpus),
                 reboots=self.reboots,
                 bugs=len(self.bugs.reports),
-                per_driver=self.device.per_driver_coverage())
+                per_driver=self.device.per_driver_coverage(),
+                latency=self.broker.latency_summary())
 
     def _next_program(self) -> Program:
         if (self.rng.random() < self.config.generation_probability
@@ -424,4 +432,5 @@ class FuzzingEngine:
             interface_count=(self.hal_model.interface_count()
                              if self.hal_model else 0),
             reboots=self.reboots,
+            latency=self.broker.latency_summary(),
         )

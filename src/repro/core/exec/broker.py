@@ -288,6 +288,26 @@ class ExecutionBroker:
             return {"size": self.table.size()}
         return {"error": f"unknown command {command!r}"}
 
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """Quantile summaries of the broker's wire histograms.
+
+        ``{"exec_vtime": {...}, "payload_bytes": {...}}`` with
+        ``count``/``mean``/``max``/``p50``/``p90``/``p99`` per metric
+        (empty histograms are omitted; ``{}`` without telemetry).
+        Per-program virtual time is always recorded; payload sizes only
+        when programs actually cross the text wire (``rpc_handler``),
+        so a fast-path campaign reports vtime alone.
+        """
+        summary: dict[str, dict[str, float]] = {}
+        for label, histogram in (("exec_vtime", self._m_vtime),
+                                 ("payload_bytes", self._m_payload)):
+            if histogram is None:
+                continue
+            stats = histogram.summary()
+            if stats:
+                summary[label] = stats
+        return summary
+
     def wire_program(self, program: Program) -> dict[str, Any]:
         """Host-side helper: build the exec RPC payload.
 

@@ -112,6 +112,16 @@ class FleetResult:
         return {record.key: record.rollup for record in self.records
                 if record.rollup}
 
+    def latency_by_key(self) -> dict[str, dict[str, dict[str, float]]]:
+        """Broker latency quantiles per campaign key.
+
+        ``{key: {"exec_vtime": {...}, "payload_bytes": {...}}}``,
+        holding only campaigns that ran with telemetry (the latency
+        field is empty otherwise).
+        """
+        return {record.key: record.result.latency
+                for record in self.records if record.result.latency}
+
     def record(self, key: str) -> CampaignRecord:
         for candidate in self.records:
             if candidate.key == key:

@@ -57,6 +57,10 @@ class CampaignJob:
     telemetry_dir: str | None = None
     #: Size-based ``trace.jsonl`` rotation threshold (None: unbounded).
     max_trace_bytes: int | None = None
+    #: Span-sampling rates (``{"execute": 0.01}``); the worker builds a
+    #: fresh SamplingPolicy seeded from ``config.seed`` (None: record
+    #: every span).
+    trace_sample: dict[str, float] | None = None
     #: Test-only fault-injection hook, ``"module.path:callable"``;
     #: resolved and invoked with the job inside the worker before the
     #: campaign starts (and before heartbeats, so a hanging hook looks

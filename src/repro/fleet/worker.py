@@ -27,6 +27,7 @@ from repro.core.engine import FuzzingEngine
 from repro.device.device import AndroidDevice
 from repro.fleet.jobs import CampaignJob, CampaignOutcome
 from repro.obs.telemetry import Telemetry
+from repro.obs.trace import SamplingPolicy
 
 
 @dataclass
@@ -84,12 +85,14 @@ def execute_job(job: CampaignJob,
     started = time.perf_counter()
     telemetry = None
     if job.telemetry_dir or stream is not None:
+        sampling = (SamplingPolicy(job.trace_sample, seed=job.config.seed)
+                    if job.trace_sample else None)
         telemetry = Telemetry(
             directory=(pathlib.Path(job.telemetry_dir) / job.key
                        if job.telemetry_dir else None),
             interval=job.config.sample_interval,
             max_trace_bytes=job.max_trace_bytes,
-            stream=stream)
+            stream=stream, sampling=sampling)
     device = AndroidDevice(job.profile, costs=job.costs)
     engine = build_engine(device, job.config, telemetry)
     if holder is not None:

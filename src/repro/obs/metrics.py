@@ -17,6 +17,61 @@ from typing import Any
 DEFAULT_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
                    500.0, 1000.0)
 
+#: Quantiles surfaced by :meth:`Histogram.summary` and downstream
+#: latency reports (``repro compare``, ``CampaignResult.latency``).
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def bucket_quantile(bounds, counts, q: float,
+                    minimum: float, maximum: float) -> float:
+    """Quantile ``q`` of a fixed-bucket histogram, interpolated.
+
+    Observations inside the containing bucket are assumed uniformly
+    distributed, so the estimate is the linear position of rank ``q``
+    between the bucket's edges — not the upper bound, which biases
+    every quantile high (p50 of uniform data landed a full bucket
+    above the true median before interpolation).
+
+    Edges are clamped to the observed ``minimum``/``maximum``: the
+    first bucket's lower edge is the observed minimum (the histogram
+    has no lower bound of its own), and the implicit +inf bucket
+    interpolates between the last finite bound and the observed
+    maximum, so extreme quantiles stay inside the data's range.
+
+    Args:
+        bounds: sorted finite bucket upper bounds.
+        counts: ``len(bounds) + 1`` observation counts; the final
+            entry is the implicit +inf bucket.
+        q: quantile in ``[0, 1]`` (clamped).
+        minimum: smallest observed value.
+        maximum: largest observed value.
+
+    Returns:
+        0.0 for an empty histogram.
+    """
+    total = sum(counts)
+    if not total:
+        return 0.0
+    q = min(max(q, 0.0), 1.0)
+    rank = q * total
+    if rank <= 0:
+        return minimum
+    cumulative = 0
+    lower = minimum
+    for index, count in enumerate(counts):
+        upper = bounds[index] if index < len(bounds) else maximum
+        upper = min(upper, maximum)
+        if count:
+            if cumulative + count >= rank:
+                lower = max(lower, minimum)
+                if upper <= lower:
+                    return upper
+                within = (rank - cumulative) / count
+                return lower + (upper - lower) * within
+            cumulative += count
+        lower = max(upper, lower)
+    return maximum
+
 
 class Counter:
     """A monotonically increasing counter."""
@@ -94,16 +149,33 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the bucket bound containing rank ``q``."""
+        """Approximate quantile ``q``, interpolated within its bucket.
+
+        Returns 0.0 for an empty histogram; see :func:`bucket_quantile`
+        for the interpolation and clamping rules.
+        """
         if not self.count:
             return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for bound, bucket_count in zip(self.bounds, self.counts):
-            cumulative += bucket_count
-            if cumulative >= rank:
-                return bound
-        return self.maximum
+        return bucket_quantile(self.bounds, self.counts, q,
+                               self.minimum, self.maximum)
+
+    def summary(self, quantiles: tuple[float, ...] = SUMMARY_QUANTILES,
+                digits: int = 4) -> dict[str, float]:
+        """Compact quantile summary (``{"p50": …, "p90": …, …}``).
+
+        Includes ``count``, ``mean`` and ``max`` alongside the
+        requested quantiles; empty histograms summarize to ``{}`` so
+        callers can treat "no summary" and "no data" uniformly.
+        """
+        if not self.count:
+            return {}
+        summary: dict[str, float] = {"count": self.count,
+                                     "mean": round(self.mean(), digits),
+                                     "max": round(self.maximum, digits)}
+        for q in quantiles:
+            label = f"{q * 100:g}".replace(".", "_")
+            summary[f"p{label}"] = round(self.quantile(q), digits)
+        return summary
 
     def to_dict(self) -> dict[str, Any]:
         return {

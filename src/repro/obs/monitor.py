@@ -26,6 +26,10 @@ class Snapshot:
     reboots: int
     bugs: int
     per_driver_delta: dict[str, int] = field(default_factory=dict)
+    #: Broker wire-latency quantiles at sample time (``exec_vtime`` /
+    #: ``payload_bytes`` → count/mean/max/p50/p90/p99); cumulative
+    #: over the campaign so far, {} when the broker has no metrics.
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         record: dict[str, Any] = {
@@ -42,6 +46,9 @@ class Snapshot:
         if self.per_driver_delta:
             record["per_driver_delta"] = dict(
                 sorted(self.per_driver_delta.items()))
+        if self.latency:
+            record["latency"] = {name: dict(stats) for name, stats
+                                 in sorted(self.latency.items())}
         return record
 
 
@@ -75,7 +82,9 @@ class CampaignMonitor:
 
     def sample(self, clock: float, *, executions: int, kernel_coverage: int,
                corpus_size: int, reboots: int, bugs: int,
-               per_driver: dict[str, int] | None = None) -> Snapshot | None:
+               per_driver: dict[str, int] | None = None,
+               latency: dict[str, dict[str, float]] | None = None,
+               ) -> Snapshot | None:
         """Take one snapshot now; returns it (None when disabled)."""
         if not self.enabled:
             return None
@@ -98,6 +107,7 @@ class CampaignMonitor:
             reboots=reboots,
             bugs=bugs,
             per_driver_delta=driver_delta,
+            latency=latency or {},
         )
         self.snapshots.append(snapshot)
         self.sink.emit(snapshot.to_dict())
@@ -128,7 +138,7 @@ class CampaignMonitor:
         first = self.snapshots[0]
         elapsed = last.t - first.t
         rates = [s.execs_per_sec for s in self.snapshots[1:]] or [0.0]
-        return {
+        rollup = {
             "snapshots": len(self.snapshots),
             "virtual_seconds": elapsed,
             "executions": last.executions,
@@ -140,6 +150,12 @@ class CampaignMonitor:
             "reboots": last.reboots,
             "bugs": last.bugs,
         }
+        if last.latency:
+            # The final snapshot's quantiles are cumulative, so they
+            # are the campaign's latency summary.
+            rollup["latency"] = {name: dict(stats) for name, stats
+                                 in sorted(last.latency.items())}
+        return rollup
 
     @staticmethod
     def fleet_rollup(rollups: dict[str, dict[str, Any]]) -> dict[str, Any]:

@@ -14,6 +14,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.stats import histogram_summary
 from repro.analysis.tables import render_table
 from repro.obs.telemetry import (
     FLEET_FILE,
@@ -79,6 +80,46 @@ class TraceSummary:
 
     def coverage_series(self) -> list[float]:
         return [float(s.get("kernel_coverage", 0)) for s in self.snapshots]
+
+    def latency_summaries(self) -> dict[str, dict[str, float]]:
+        """Broker wire-latency quantiles, from metrics or snapshots.
+
+        Prefers recomputing from the ``metrics.json`` histogram dumps
+        (``broker.exec_vtime`` / ``broker.payload_bytes``); a stream
+        capture has no metrics file, so the final snapshot's cumulative
+        ``latency`` block stands in.
+        """
+        summaries: dict[str, dict[str, float]] = {}
+        for name, label in (("broker.exec_vtime", "exec_vtime"),
+                            ("broker.payload_bytes", "payload_bytes")):
+            stats = histogram_summary(self.metrics.get(name) or {})
+            if stats:
+                summaries[label] = stats
+        if not summaries and self.snapshots:
+            last = self.snapshots[-1].get("latency") or {}
+            summaries = {name: dict(stats)
+                         for name, stats in sorted(last.items())}
+        return summaries
+
+    def sampled_spans(self) -> dict[str, tuple[int, int]]:
+        """Per-phase ``(total, dropped)`` span counts under sampling.
+
+        Only phases that actually dropped records appear; the totals
+        are the *exact* counts the tracer kept in the metrics registry,
+        which is what makes rate accounting survive ``--trace-sample``.
+        """
+        sampled: dict[str, tuple[int, int]] = {}
+        prefix = "trace.spans_dropped."
+        for name, metric in self.metrics.items():
+            if not name.startswith(prefix):
+                continue
+            dropped = int(metric.get("value", 0))
+            if not dropped:
+                continue
+            phase = name.removeprefix(prefix)
+            total_metric = self.metrics.get(f"trace.spans.{phase}") or {}
+            sampled[phase] = (int(total_metric.get("value", 0)), dropped)
+        return sampled
 
 
 def _read_jsonl(path: pathlib.Path) -> list[dict[str, Any]]:
@@ -148,6 +189,37 @@ def _fold_trace(summary: TraceSummary, segment: pathlib.Path) -> None:
         elif record.get("type") == "event":
             kind = record.get("kind", "?")
             summary.events[kind] = summary.events.get(kind, 0) + 1
+
+
+def load_stream_file(path: str | pathlib.Path) -> list[TraceSummary]:
+    """Fold a ``repro watch --sse`` NDJSON capture into summaries.
+
+    The capture interleaves records from every streaming campaign;
+    they are regrouped by their ``source`` (falling back to ``key``,
+    then a single anonymous campaign) into one :class:`TraceSummary`
+    each, so ``repro stats capture.ndjson`` renders the same
+    sparkline view as a recorded telemetry directory.  Returns ``[]``
+    when the file holds no snapshot/bug records at all.
+    """
+    path = pathlib.Path(path)
+    summaries: dict[str, TraceSummary] = {}
+
+    def summary_for(record: dict[str, Any]) -> TraceSummary:
+        source = str(record.get("source") or record.get("key")
+                     or "campaign")
+        if source not in summaries:
+            summaries[source] = TraceSummary(
+                directory=f"{path} [{source}]")
+        return summaries[source]
+
+    for record in _read_jsonl(path):
+        record_type = record.get("type")
+        if record_type == "snapshot":
+            summary_for(record).snapshots.append(record)
+        elif record_type in ("bug", "crash"):
+            events = summary_for(record).events
+            events["crash"] = events.get("crash", 0) + 1
+    return [summaries[source] for source in sorted(summaries)]
 
 
 def _holds_telemetry(path: pathlib.Path) -> bool:
@@ -262,6 +334,29 @@ def render_summary(summary: TraceSummary) -> str:
         lines.append(render_table(
             ["phase", "spans", "vsec", "vsec(excl)", "share"], rows,
             title="Virtual time by campaign phase"))
+        lines.append("")
+
+    sampled = summary.sampled_spans()
+    if sampled:
+        parts = [f"{phase} {total - dropped}/{total} recorded"
+                 for phase, (total, dropped) in sorted(sampled.items())]
+        lines.append("span sampling active: " + ", ".join(parts)
+                     + " (counts above are exact; recorded spans are "
+                       "a deterministic subset)")
+        lines.append("")
+
+    latency = summary.latency_summaries()
+    if latency:
+        rows = [[name, int(stats.get("count", 0)),
+                 f"{stats.get('mean', 0.0):g}",
+                 f"{stats.get('p50', 0.0):g}",
+                 f"{stats.get('p90', 0.0):g}",
+                 f"{stats.get('p99', 0.0):g}",
+                 f"{stats.get('max', 0.0):g}"]
+                for name, stats in sorted(latency.items())]
+        lines.append(render_table(
+            ["metric", "count", "mean", "p50", "p90", "p99", "max"],
+            rows, title="Wire latency quantiles"))
         lines.append("")
 
     drivers = summary.driver_costs()

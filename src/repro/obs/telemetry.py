@@ -74,13 +74,19 @@ class Telemetry:
             is never closed here, and the JSONL artifacts it rides
             along with stay byte-identical whether it is attached or
             not.
+        sampling: optional
+            :class:`~repro.obs.trace.SamplingPolicy` bounding
+            high-frequency trace spans; exact span/event counts stay
+            in the metrics registry regardless.  Build one *per
+            campaign* (its RNG streams are stateful) seeded from the
+            campaign seed so sampled traces stay deterministic.
     """
 
     def __init__(self, directory: str | pathlib.Path | None = None,
                  trace_sink=None, snapshot_sink=None,
                  interval: float = 1800.0, echo: bool = False,
                  max_trace_bytes: int | None = None,
-                 stream=None) -> None:
+                 stream=None, sampling=None) -> None:
         self.directory = pathlib.Path(directory) if directory else None
         if stream is not None and not getattr(stream, "enabled", True):
             stream = None
@@ -101,7 +107,8 @@ class Telemetry:
             # tearing down a stream server shared across campaigns.
             snapshot_sink = TeeSink(snapshot_sink, _BorrowedSink(stream))
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(trace_sink)
+        self.tracer = Tracer(trace_sink, sampling=sampling,
+                             metrics=self.metrics)
         self.monitor = CampaignMonitor(snapshot_sink, interval)
         self.enabled: bool = self.tracer.enabled or self.monitor.enabled
         self._bridges: list[DeviceBridge] = []

@@ -17,15 +17,96 @@ fully deterministic for a given seed and can be diffed across runs.
 Nested spans (an ``execute`` inside a ``minimize``) each emit their own
 record; readers aggregating per-phase time should treat ``minimize`` as
 inclusive of its inner executions.
+
+**Span sampling.** High-frequency spans (one ``execute`` per program at
+5k+ execs/sec) can swamp the trace file; a :class:`SamplingPolicy`
+records only a configured fraction of each named span/event while the
+tracer keeps *exact* per-name counts in the metrics registry
+(``trace.spans.<phase>`` / ``trace.spans_dropped.<phase>``), so rate
+accounting never degrades.  Sampling decisions come from dedicated
+per-name RNG streams seeded from the campaign seed — never from the
+campaign RNG or the wall clock — so a sampled trace is a
+*deterministic subset* of the unsampled one: same seed + same campaign
+⇒ byte-identical sampled JSONL.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import random
+from typing import Any, Callable, Mapping
 
 #: Canonical campaign phases, in pipeline order.
 PHASES = ("probe", "seed", "generate", "mutate", "execute", "minimize",
           "triage", "reboot")
+
+#: CLI shorthand → canonical span name (``--trace-sample exec=0.01``).
+SAMPLE_ALIASES = {"exec": "execute", "min": "minimize"}
+
+
+def parse_sample_spec(spec: str) -> dict[str, float]:
+    """Parse a ``--trace-sample`` spec into ``{name: rate}``.
+
+    The spec is comma-separated ``name=rate`` pairs
+    (``"exec=0.01,mutate=0.1"``); rates must be in ``[0, 1]`` and the
+    aliases in :data:`SAMPLE_ALIASES` are canonicalized.  An empty
+    spec parses to ``{}`` (no sampling).
+
+    Raises:
+        ValueError: malformed pair or out-of-range rate.
+    """
+    rates: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, value = part.partition("=")
+        name = name.strip()
+        if not separator or not name:
+            raise ValueError(
+                f"malformed sample spec {part!r} (expected name=rate)")
+        try:
+            rate = float(value)
+        except ValueError:
+            raise ValueError(
+                f"malformed sample rate in {part!r}") from None
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"sample rate for {name!r} must be in [0, 1], got {rate}")
+        rates[SAMPLE_ALIASES.get(name, name)] = rate
+    return rates
+
+
+class SamplingPolicy:
+    """Deterministic keep/drop decisions for named spans and events.
+
+    Each sampled name gets its own ``random.Random`` stream seeded
+    from ``(seed, name)`` (string seeding hashes via SHA-512, so the
+    stream is identical across processes and platforms).  Decisions
+    therefore depend only on the campaign seed and the deterministic
+    order of instrumentation calls — the campaign RNG and wall clock
+    are never touched, preserving the telemetry-determinism
+    guarantees.  Names without a configured rate are always kept.
+    """
+
+    def __init__(self, rates: Mapping[str, float], seed: int = 0) -> None:
+        self.rates = {name: float(rate) for name, rate in rates.items()}
+        self.seed = seed
+        self._streams = {name: random.Random(f"trace-sample:{seed}:{name}")
+                         for name, rate in self.rates.items()
+                         if 0.0 < rate < 1.0}
+
+    def keep(self, name: str) -> bool:
+        """Decide whether this occurrence of ``name`` is recorded."""
+        rate = self.rates.get(name)
+        if rate is None or rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._streams[name].random() < rate
+
+    def to_dict(self) -> dict[str, float]:
+        """The configured rates (for artifact metadata)."""
+        return dict(sorted(self.rates.items()))
 
 
 class _NoopSpan:
@@ -44,6 +125,32 @@ class _NoopSpan:
 
 
 _NOOP_SPAN = _NoopSpan()
+
+
+class _DroppedSpan:
+    """A sampled-out span: tracks depth, emits nothing.
+
+    Depth bookkeeping must stay identical to the unsampled run so the
+    ``depth`` field of every *recorded* span matches — that is what
+    makes the sampled trace a byte-identical subset.  Stateless per
+    entry, so one shared instance per tracer handles nesting.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "_DroppedSpan":
+        self._tracer.depth += 1
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.depth -= 1
+        return False
+
+    def note(self, **fields) -> None:
+        pass
 
 
 class _Span:
@@ -88,29 +195,72 @@ class Tracer:
         clock: zero-argument callable returning the current virtual
             time; bind one with :meth:`bind_clock` once the device
             exists.
+        sampling: optional :class:`SamplingPolicy`; sampled-out spans
+            and events still count in ``metrics`` but emit no record.
+        metrics: optional metrics registry for exact per-name span and
+            event counts (``trace.spans.<phase>``,
+            ``trace.spans_dropped.<phase>``, ``trace.events.<kind>``,
+            ``trace.events_dropped.<kind>``) — the rate accounting
+            that survives sampling.
     """
 
-    def __init__(self, sink, clock: Callable[[], float] | None = None) -> None:
+    def __init__(self, sink, clock: Callable[[], float] | None = None,
+                 sampling: "SamplingPolicy | None" = None,
+                 metrics=None) -> None:
         self.sink = sink
         self.clock: Callable[[], float] = clock or (lambda: 0.0)
         self.enabled: bool = getattr(sink, "enabled", True)
         #: Current span nesting depth; recorded on each span so readers
         #: can compute exclusive top-level phase breakdowns.
         self.depth = 0
+        self.sampling = sampling
+        self._metrics = metrics
+        self._dropped_span = _DroppedSpan(self)
+        #: name → (total counter, dropped counter), cached so the hot
+        #: path pays one dict lookup, not a registry get-or-create.
+        self._span_counters: dict[str, tuple] = {}
+        self._event_counters: dict[str, tuple] = {}
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the tracer at a device's virtual clock."""
         self.clock = clock
 
+    def _counters(self, cache: dict, family: str, name: str) -> tuple:
+        counters = cache.get(name)
+        if counters is None:
+            counters = (self._metrics.counter(f"trace.{family}.{name}"),
+                        self._metrics.counter(
+                            f"trace.{family}_dropped.{name}"))
+            cache[name] = counters
+        return counters
+
     def span(self, phase: str, **fields):
         """Context manager timing one phase occurrence."""
         if not self.enabled:
             return _NOOP_SPAN
+        dropped = None
+        if self._metrics is not None:
+            total, dropped = self._counters(self._span_counters, "spans",
+                                            phase)
+            total.inc()
+        if self.sampling is not None and not self.sampling.keep(phase):
+            if dropped is not None:
+                dropped.inc()
+            return self._dropped_span
         return _Span(self, phase, fields)
 
     def event(self, kind: str, **fields) -> None:
         """Emit one discrete event at the current virtual time."""
         if not self.enabled:
+            return
+        dropped = None
+        if self._metrics is not None:
+            total, dropped = self._counters(self._event_counters, "events",
+                                            kind)
+            total.inc()
+        if self.sampling is not None and not self.sampling.keep(kind):
+            if dropped is not None:
+                dropped.inc()
             return
         record = {"type": "event", "kind": kind, "t": self.clock()}
         if fields:

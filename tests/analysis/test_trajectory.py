@@ -1,0 +1,161 @@
+"""Tests for the BENCH trajectory ratchet."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.trajectory import (
+    TRAJECTORY_FILE,
+    append_entry,
+    collect_values,
+    diff_values,
+    empty_trajectory,
+    load_trajectory,
+    parse_tolerance,
+    reference_values,
+    render_diff,
+    run_diff,
+    run_update,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def _write_bench_files(root, exec_eps=5000.0, speedup=2.0,
+                       restore_us=20.0, makespan=4.0, efficiency=0.87,
+                       reconnects=0, failed=0):
+    (root / "BENCH_exec.json").write_text(json.dumps({
+        "optimized": {"execs_per_second": exec_eps},
+        "speedup_vs_legacy": speedup,
+        "restore_vs_reboot_us": {"checkpoint_restore": restore_us},
+    }))
+    (root / "BENCH_fleet.json").write_text(json.dumps({
+        "virtual_makespan_speedup": makespan,
+        "scheduler": {"efficiency": efficiency},
+    }))
+    (root / "BENCH_remote.json").write_text(json.dumps({
+        "reconnects": reconnects,
+        "scheduler": {"failed": failed},
+    }))
+
+
+def test_parse_tolerance_forms():
+    assert parse_tolerance("15%") == pytest.approx(0.15)
+    assert parse_tolerance("0.15") == pytest.approx(0.15)
+    assert parse_tolerance(0.1) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        parse_tolerance("-5%")
+    with pytest.raises(ValueError):
+        parse_tolerance("lots")
+
+
+def test_collect_values_tolerates_missing_files(tmp_path):
+    _write_bench_files(tmp_path)
+    (tmp_path / "BENCH_remote.json").unlink()
+    values = collect_values(tmp_path)
+    assert values["exec.execs_per_second"] == 5000.0
+    assert values["fleet.efficiency"] == 0.87
+    assert "remote.reconnects" not in values
+
+
+def test_reference_is_direction_aware_best():
+    trajectory = empty_trajectory()
+    append_entry(trajectory, {"exec.execs_per_second": 4000.0,
+                              "exec.restore_us": 25.0}, label="a",
+                 recorded="2026-01-01T00:00:00Z")
+    append_entry(trajectory, {"exec.execs_per_second": 5000.0,
+                              "exec.restore_us": 30.0}, label="b",
+                 recorded="2026-01-02T00:00:00Z")
+    best = reference_values(trajectory)
+    assert best["exec.execs_per_second"] == 5000.0  # higher is better
+    assert best["exec.restore_us"] == 25.0  # lower is better
+
+
+def test_injected_exec_regression_fails_at_15_percent(tmp_path):
+    _write_bench_files(tmp_path, exec_eps=5000.0)
+    run_update(tmp_path, label="baseline")
+    # A 20% exec-rate drop must trip the 15% gate ...
+    _write_bench_files(tmp_path, exec_eps=4000.0)
+    diffs, code = run_diff(tmp_path, tolerance=0.15)
+    assert code == 1
+    by_key = {d.key: d for d in diffs}
+    assert by_key["exec.execs_per_second"].regressed
+    assert by_key["exec.execs_per_second"].change_pct == pytest.approx(-20.0)
+    assert "REGRESSED" in render_diff(diffs, 0.15)
+    # ... while a 10% wobble stays inside the tolerance.
+    _write_bench_files(tmp_path, exec_eps=4500.0)
+    _, code = run_diff(tmp_path, tolerance=0.15)
+    assert code == 0
+
+
+def test_ungated_metric_never_fails(tmp_path):
+    _write_bench_files(tmp_path, restore_us=20.0)
+    run_update(tmp_path, label="baseline")
+    _write_bench_files(tmp_path, restore_us=200.0)  # 10x worse
+    diffs, code = run_diff(tmp_path, tolerance=0.15)
+    assert code == 0
+    by_key = {d.key: d for d in diffs}
+    assert not by_key["exec.restore_us"].regressed
+    assert by_key["exec.restore_us"].change_pct == pytest.approx(-900.0)
+
+
+def test_zero_reference_allows_no_slack(tmp_path):
+    _write_bench_files(tmp_path, reconnects=0)
+    run_update(tmp_path, label="baseline")
+    _write_bench_files(tmp_path, reconnects=1)
+    diffs, code = run_diff(tmp_path, tolerance=0.15)
+    assert code == 1
+    assert {d.key for d in diffs if d.regressed} == {"remote.reconnects"}
+
+
+def test_missing_bench_file_reports_but_never_fails(tmp_path):
+    _write_bench_files(tmp_path)
+    run_update(tmp_path, label="baseline")
+    (tmp_path / "BENCH_exec.json").unlink()
+    diffs, code = run_diff(tmp_path, tolerance=0.15)
+    assert code == 0
+    by_key = {d.key: d for d in diffs}
+    assert by_key["exec.execs_per_second"].current is None
+    assert "missing" in render_diff(diffs, 0.15)
+
+
+def test_update_is_append_only(tmp_path):
+    _write_bench_files(tmp_path, exec_eps=4000.0)
+    run_update(tmp_path, label="first", recorded="2026-01-01T00:00:00Z")
+    _write_bench_files(tmp_path, exec_eps=5000.0)
+    run_update(tmp_path, label="second")
+    trajectory = load_trajectory(tmp_path / TRAJECTORY_FILE)
+    labels = [entry["label"] for entry in trajectory["entries"]]
+    assert labels == ["first", "second"]
+    assert trajectory["entries"][0]["values"][
+        "exec.execs_per_second"] == 4000.0
+    # The ratchet references the new best.
+    assert reference_values(trajectory)[
+        "exec.execs_per_second"] == 5000.0
+
+
+def test_committed_trajectory_passes_the_gate():
+    """Acceptance: ``repro bench diff`` exits 0 on the committed repo."""
+    diffs, code = run_diff(REPO_ROOT, tolerance=0.15)
+    assert code == 0
+    assert any(d.current is not None for d in diffs)
+
+
+def test_bench_cli_diff_and_update(tmp_path, capsys):
+    from repro.cli import main
+
+    _write_bench_files(tmp_path, exec_eps=5000.0)
+    assert main(["bench", "update", "--root", str(tmp_path),
+                 "--label", "baseline"]) == 0
+    assert "appended 'baseline'" in capsys.readouterr().out
+    assert main(["bench", "diff", "--root", str(tmp_path),
+                 "--tolerance", "15%"]) == 0
+    assert "no gated metric regressed" in capsys.readouterr().out
+    _write_bench_files(tmp_path, exec_eps=3900.0)
+    assert main(["bench", "diff", "--root", str(tmp_path),
+                 "--tolerance", "15%"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out and "exec.execs_per_second" in out
+    assert main(["bench", "diff", "--root", str(tmp_path),
+                 "--tolerance", "nonsense"]) == 2

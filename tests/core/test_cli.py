@@ -223,3 +223,84 @@ def test_fleet_with_stream_flag_still_reports(capsys):
     out = capsys.readouterr().out
     assert "streaming live telemetry" in out
     assert "Fleet results" in out
+
+
+def test_compare_with_telemetry_prints_latency_quantiles(tmp_path, capsys):
+    assert main(["compare", "E", "--hours", "1",
+                 "--tools", "droidfuzz", "syzkaller",
+                 "--telemetry", str(tmp_path / "cmp")]) == 0
+    out = capsys.readouterr().out
+    assert "Wire latency quantiles" in out
+    assert "exec_vtime" in out and "payload_bytes" in out
+    assert "p50" in out and "p90" in out and "p99" in out
+
+
+def test_trace_sample_flag_is_deterministic_and_shrinks_trace(
+        tmp_path, capsys):
+    dirs = [tmp_path / name for name in ("a", "b", "full")]
+    for directory in dirs[:2]:
+        assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                     "--telemetry", str(directory),
+                     "--trace-sample", "exec=0.05"]) == 0
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                 "--telemetry", str(dirs[2])]) == 0
+    capsys.readouterr()
+    sampled = [(d / "trace.jsonl").read_bytes() for d in dirs[:2]]
+    assert sampled[0] == sampled[1]  # byte-identical across runs
+    full = (dirs[2] / "trace.jsonl").read_bytes()
+    assert len(sampled[0]) < len(full)
+    # Recorded sampled lines are a subset of the full trace's lines.
+    full_lines = iter(full.splitlines())
+    assert all(line in full_lines for line in sampled[0].splitlines())
+
+
+def test_trace_sample_rejects_malformed_spec():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["fuzz", "E", "--trace-sample", "exec=lots"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["fuzz", "E", "--trace-sample", "exec=1.5"])
+
+
+def test_stats_renders_latency_and_sampling_note(tmp_path, capsys):
+    directory = tmp_path / "tel"
+    assert main(["fuzz", "E", "--hours", "1", "--seed", "2",
+                 "--telemetry", str(directory),
+                 "--trace-sample", "exec=0.1"]) == 0
+    capsys.readouterr()
+    assert main(["stats", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "Wire latency quantiles" in out
+    assert "exec_vtime" in out
+    assert "span sampling active: execute" in out
+
+
+def test_stats_reads_watch_sse_capture(tmp_path, capsys):
+    import json
+
+    capture = tmp_path / "capture.ndjson"
+    records = []
+    for source in ("E#0", "E#1"):
+        for step in range(3):
+            records.append({
+                "type": "snapshot", "source": source, "t": step * 600.0,
+                "executions": step * 100, "execs_per_sec": 5.0 + step,
+                "kernel_coverage": 40 + step, "corpus_size": step,
+                "reboots": 0, "bugs": 0})
+    records.append({"type": "bug", "source": "E#1", "t": 1300.0,
+                    "title": "BUG: x", "total": 1})
+    capture.write_text(
+        "\n".join(json.dumps(r) for r in records) + "\n")
+    assert main(["stats", str(capture)]) == 0
+    out = capsys.readouterr().out
+    assert "[E#0]" in out and "[E#1]" in out
+    assert "exec/s" in out  # same sparkline view as a trace dir
+    assert "crash" in out  # bug records fold into the event table
+
+
+def test_stats_on_empty_stream_file_fails(tmp_path, capsys):
+    capture = tmp_path / "empty.ndjson"
+    capture.write_text("")
+    assert main(["stats", str(capture)]) == 1
+    assert "no stream records" in capsys.readouterr().out

@@ -123,3 +123,35 @@ def test_dmesg_splats_bridge_into_trace():
     lines = [r["line"] for r in telemetry.tracer.sink.records
              if r.get("kind") == "dmesg"]
     assert any("after_reboot" in line for line in lines)
+
+
+def test_campaign_result_carries_latency_quantiles():
+    telemetry = _memory_telemetry()
+    _, observed = _run_campaign(telemetry=telemetry, hours=1.0)
+    _, baseline = _run_campaign(telemetry=None, hours=1.0)
+    # Latency only exists on the observed run, yet results still
+    # compare equal: the field is excluded from equality.
+    assert baseline.latency == {}
+    assert observed == baseline
+    assert set(observed.latency) == {"exec_vtime", "payload_bytes"}
+    for stats in observed.latency.values():
+        assert stats["count"] == observed.executions
+        assert 0 < stats["p50"] <= stats["p90"] <= stats["p99"]
+        assert stats["p99"] <= stats["max"]
+    # The wire-latency block round-trips the serialized result.
+    from repro.core.engine import CampaignResult
+
+    restored = CampaignResult.from_dict(observed.to_dict())
+    assert restored.latency == observed.latency
+
+
+def test_snapshots_carry_cumulative_latency():
+    telemetry = _memory_telemetry()
+    _, result = _run_campaign(telemetry=telemetry, hours=1.0)
+    last = telemetry.monitor.snapshots[-1]
+    assert last.latency["exec_vtime"]["count"] == result.executions
+    assert "latency" in last.to_dict()
+    # ... and the rollup surfaces the final cumulative summary.
+    assert telemetry.rollup()["latency"] == {
+        name: dict(stats) for name, stats
+        in sorted(last.latency.items())}

@@ -35,15 +35,71 @@ def test_histogram_buckets_and_stats():
     assert hist.maximum == 50.0
 
 
-def test_histogram_quantile_approximation():
+def test_histogram_quantile_interpolates_within_bucket():
     hist = Histogram("q", buckets=(1.0, 10.0, 100.0))
     for _ in range(90):
         hist.observe(0.5)
     for _ in range(10):
         hist.observe(50.0)
-    assert hist.quantile(0.5) == 1.0
-    assert hist.quantile(0.95) == 100.0
+    # Rank 50 sits 50/90ths into the (min=0.5, 1.0] bucket.
+    assert hist.quantile(0.5) == pytest.approx(0.5 + 0.5 * 50 / 90)
+    # Rank 95 sits halfway into the (10, 100] bucket, clamped to max=50.
+    assert hist.quantile(0.95) == pytest.approx(30.0)
+    # Quantiles never leave the observed range.
+    assert hist.quantile(0.0) == 0.5
+    assert hist.quantile(1.0) <= 50.0
     assert Histogram("empty").quantile(0.5) == 0.0
+
+
+def test_histogram_quantile_median_of_uniform_data_unbiased():
+    hist = Histogram("u", buckets=(25.0, 50.0, 75.0, 100.0))
+    for value in range(1, 101):  # uniform 1..100
+        hist.observe(float(value))
+    # The old bucket-bound rule returned 50 exactly but 75 for p60;
+    # interpolation stays within a bucket's width of the true value.
+    assert abs(hist.quantile(0.5) - 50.0) <= 1.0
+    assert abs(hist.quantile(0.6) - 60.0) <= 1.0
+    assert abs(hist.quantile(0.9) - 90.0) <= 1.0
+
+
+def test_histogram_quantile_implicit_inf_bucket():
+    # Every observation lands above the last finite bound.
+    hist = Histogram("inf", buckets=(1.0,))
+    for value in (10.0, 15.0, 20.0):
+        hist.observe(value)
+    assert hist.counts == [0, 3]
+    # Interpolates between the bucket's clamped edges (min=10, max=20).
+    assert 10.0 <= hist.quantile(0.5) <= 20.0
+    assert hist.quantile(1.0) == 20.0
+
+
+def test_histogram_quantile_single_value():
+    hist = Histogram("one", buckets=(1.0, 10.0, 100.0))
+    for _ in range(5):
+        hist.observe(50.0)
+    assert hist.quantile(0.5) == 50.0
+    assert hist.quantile(0.99) == 50.0
+
+
+def test_bucket_quantile_empty_and_clamped():
+    from repro.obs.metrics import bucket_quantile
+
+    assert bucket_quantile((1.0,), [0, 0], 0.5, 0.0, 0.0) == 0.0
+    # q outside [0, 1] is clamped.
+    assert bucket_quantile((10.0,), [4, 0], -1.0, 2.0, 8.0) == 2.0
+    assert bucket_quantile((10.0,), [4, 0], 2.0, 2.0, 8.0) == 8.0
+
+
+def test_histogram_summary_shape():
+    hist = Histogram("s", buckets=(1.0, 10.0))
+    assert hist.summary() == {}  # empty: no summary at all
+    for value in (0.5, 2.0, 4.0, 8.0):
+        hist.observe(value)
+    summary = hist.summary()
+    assert summary["count"] == 4
+    assert summary["max"] == 8.0
+    assert summary["mean"] == pytest.approx(14.5 / 4)
+    assert summary["p50"] <= summary["p90"] <= summary["p99"] <= 8.0
 
 
 def test_registry_rejects_kind_clash():

@@ -1,0 +1,197 @@
+"""Deterministic span sampling: policy, tracer bookkeeping, campaigns.
+
+The perf-observatory guarantee: with ``--trace-sample`` the recorded
+trace is a *deterministic subset* of the unsampled trace (same seed +
+same campaign ⇒ byte-identical sampled JSONL), while the metrics
+registry keeps exact per-phase span counts so rate accounting never
+degrades.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import FuzzerConfig
+from repro.core.engine import FuzzingEngine
+from repro.device.device import AndroidDevice
+from repro.device.profiles import profile_by_id
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import MemorySink
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import SamplingPolicy, Tracer, parse_sample_spec
+
+
+# ----------------------------------------------------------------------
+# parse_sample_spec
+
+
+def test_parse_sample_spec_basic_and_aliases():
+    assert parse_sample_spec("") == {}
+    assert parse_sample_spec("execute=0.5") == {"execute": 0.5}
+    assert parse_sample_spec("exec=0.01,min=0.2") == {
+        "execute": 0.01, "minimize": 0.2}
+    assert parse_sample_spec(" mutate = 1 ,, ") == {"mutate": 1.0}
+
+
+@pytest.mark.parametrize("spec", ["exec", "=0.5", "exec=x", "exec=1.5",
+                                  "exec=-0.1"])
+def test_parse_sample_spec_rejects_malformed(spec):
+    with pytest.raises(ValueError):
+        parse_sample_spec(spec)
+
+
+# ----------------------------------------------------------------------
+# SamplingPolicy
+
+
+def test_sampling_policy_edge_rates():
+    policy = SamplingPolicy({"never": 0.0, "always": 1.0}, seed=1)
+    assert all(policy.keep("always") for _ in range(50))
+    assert not any(policy.keep("never") for _ in range(50))
+    assert all(policy.keep("unconfigured") for _ in range(50))
+
+
+def test_sampling_policy_deterministic_across_instances():
+    runs = []
+    for _ in range(2):
+        policy = SamplingPolicy({"execute": 0.3}, seed=7)
+        runs.append([policy.keep("execute") for _ in range(500)])
+    assert runs[0] == runs[1]
+    kept = sum(runs[0])
+    assert 0.2 * 500 < kept < 0.4 * 500  # roughly the configured rate
+    # A different seed gives a different (but still deterministic) set.
+    other = SamplingPolicy({"execute": 0.3}, seed=8)
+    assert [other.keep("execute") for _ in range(500)] != runs[0]
+
+
+def test_sampling_policy_streams_are_independent_per_name():
+    policy = SamplingPolicy({"a": 0.5, "b": 0.5}, seed=3)
+    solo = SamplingPolicy({"b": 0.5}, seed=3)
+    # Drawing from "a" must not advance "b"'s stream.
+    interleaved = []
+    for _ in range(100):
+        policy.keep("a")
+        interleaved.append(policy.keep("b"))
+    assert interleaved == [solo.keep("b") for _ in range(100)]
+
+
+# ----------------------------------------------------------------------
+# Tracer integration
+
+
+def _tracer(rates, seed=0):
+    sink = MemorySink()
+    metrics = MetricsRegistry()
+    tracer = Tracer(sink, sampling=SamplingPolicy(rates, seed=seed),
+                    metrics=metrics)
+    return tracer, sink, metrics
+
+
+def test_tracer_counts_exactly_while_dropping_records():
+    tracer, sink, metrics = _tracer({"execute": 0.25}, seed=5)
+    for _ in range(200):
+        with tracer.span("execute"):
+            pass
+    recorded = [r for r in sink.records if r["phase"] == "execute"]
+    total = metrics.counter("trace.spans.execute").value
+    dropped = metrics.counter("trace.spans_dropped.execute").value
+    assert total == 200  # exact count survives sampling
+    assert dropped == 200 - len(recorded)
+    assert 0 < len(recorded) < 200
+
+
+def test_tracer_dropped_span_preserves_depth():
+    tracer, sink, _ = _tracer({"execute": 0.0})
+    with tracer.span("minimize"):
+        with tracer.span("execute"):  # sampled out, still nests
+            with tracer.span("triage"):
+                pass
+    by_phase = {r["phase"]: r for r in sink.records}
+    assert "execute" not in by_phase
+    assert by_phase["minimize"]["depth"] == 0
+    assert by_phase["triage"]["depth"] == 2  # as if execute was recorded
+    assert tracer.depth == 0
+
+
+def test_tracer_event_sampling_counts_and_drops():
+    tracer, sink, metrics = _tracer({"new-coverage": 0.0})
+    for _ in range(10):
+        tracer.event("new-coverage", fresh=1)
+    tracer.event("crash")
+    assert metrics.counter("trace.events.new-coverage").value == 10
+    assert metrics.counter("trace.events_dropped.new-coverage").value == 10
+    kinds = [r["kind"] for r in sink.records]
+    assert kinds == ["crash"]
+
+
+# ----------------------------------------------------------------------
+# Campaign-level determinism
+
+
+def _campaign_records(sampling=None, seed=3, hours=0.5):
+    telemetry = Telemetry(trace_sink=MemorySink(),
+                          snapshot_sink=MemorySink(),
+                          interval=600.0, sampling=sampling)
+    device = AndroidDevice(profile_by_id("E"))
+    engine = FuzzingEngine(
+        device, FuzzerConfig(seed=seed, campaign_hours=hours),
+        telemetry=telemetry)
+    result = engine.run()
+    return telemetry, result
+
+
+def _jsonl(records):
+    return "\n".join(json.dumps(r, sort_keys=True) for r in records)
+
+
+def test_sampled_campaign_trace_is_byte_identical_across_runs():
+    rates = {"execute": 0.05}
+    lines = []
+    for _ in range(2):
+        telemetry, result = _campaign_records(
+            SamplingPolicy(rates, seed=3))
+        lines.append(_jsonl(telemetry.tracer.sink.records))
+    assert lines[0] == lines[1]
+
+
+def test_sampled_trace_is_subset_with_exact_metric_counts():
+    full, result_full = _campaign_records(sampling=None)
+    sampled, result_sampled = _campaign_records(
+        SamplingPolicy({"execute": 0.05}, seed=3))
+    # Sampling must not perturb the campaign itself.
+    assert result_sampled == result_full
+    full_records = [json.dumps(r, sort_keys=True)
+                    for r in full.tracer.sink.records]
+    sampled_records = [json.dumps(r, sort_keys=True)
+                       for r in sampled.tracer.sink.records]
+    # Ordered subset: every sampled record appears in the full trace in
+    # the same relative order (depth bookkeeping included).
+    iterator = iter(full_records)
+    assert all(record in iterator for record in sampled_records)
+    kept_execs = sum(1 for r in sampled.tracer.sink.records
+                     if r["type"] == "span" and r["phase"] == "execute")
+    assert kept_execs < result_full.executions
+    # Metrics keep the exact execute count despite the dropped records.
+    total = sampled.metrics.counter("trace.spans.execute").value
+    dropped = sampled.metrics.counter(
+        "trace.spans_dropped.execute").value
+    assert total == result_full.executions
+    assert total - dropped == kept_execs
+
+
+def test_sampling_bounds_trace_size():
+    full, result = _campaign_records(sampling=None)
+    exec_only, _ = _campaign_records(
+        SamplingPolicy({"execute": 0.01}, seed=3))
+    hot, _ = _campaign_records(SamplingPolicy(
+        {"execute": 0.01, "generate": 0.01, "mutate": 0.01}, seed=3))
+    full_bytes = len(_jsonl(full.tracer.sink.records))
+    exec_bytes = len(_jsonl(exec_only.tracer.sink.records))
+    hot_bytes = len(_jsonl(hot.tracer.sink.records))
+    # Execute is the single hottest span; 1% sampling nearly removes it.
+    kept = sum(1 for r in exec_only.tracer.sink.records
+               if r["type"] == "span" and r["phase"] == "execute")
+    assert kept <= max(2, 0.05 * result.executions)
+    assert exec_bytes < full_bytes / 2
+    # Sampling every per-program phase collapses the trace outright.
+    assert hot_bytes < full_bytes / 5
